@@ -1,0 +1,48 @@
+// Ablation — sensitivity to the emulated NVM write latency.
+//
+// The paper fixes the post-clflush delay at 300 ns (PCM-class writes).
+// Sweeping it from 0 (DRAM) to 600 ns (slow PCM) shows how much of each
+// scheme's request latency is NVM-write-bound: schemes with more flushes
+// per op (logging variants, linear's delete) degrade fastest, so group
+// hashing's advantage *grows* with write latency.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gh;
+  using namespace gh::bench;
+  const Cli cli(argc, argv);
+  BenchEnv env = BenchEnv::from_env();
+  env.ops = cli.get_u64("ops", env.ops);
+
+  print_banner("Ablation: NVM write-latency sweep (0-600ns)",
+               "methodology sensitivity for the ICPP'18 emulation", env);
+
+  const u32 bits = cells_log2_for(trace::TraceKind::kRandomNum, env.scale_shift);
+  const trace::Workload workload =
+      sized_workload(trace::TraceKind::kRandomNum, bits, 0.5, env.ops * 2, env.seed);
+
+  struct Contender {
+    hash::Scheme scheme;
+    bool wal;
+  };
+  const Contender contenders[] = {
+      {hash::Scheme::kGroup, false},
+      {hash::Scheme::kLinear, true},
+      {hash::Scheme::kPath, true},
+  };
+
+  for (const u64 latency : {0ull, 150ull, 300ull, 600ull}) {
+    BenchEnv sweep_env = env;
+    sweep_env.flush_latency_ns = latency;
+    std::cout << "write latency " << latency << "ns\n";
+    TablePrinter t({"scheme", "insert", "delete"});
+    for (const Contender& c : contenders) {
+      const auto cfg = scheme_config(c.scheme, c.wal, bits, false);
+      const LatencyResult r = run_latency(cfg, workload, 0.5, sweep_env);
+      t.add_row({cfg.display_name(), format_ns(r.insert_ns), format_ns(r.delete_ns)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

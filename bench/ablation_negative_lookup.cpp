@@ -1,0 +1,86 @@
+// Ablation — negative lookups, the case the paper does NOT evaluate.
+//
+// The paper's query phase only requests items that exist. A query for an
+// ABSENT key is group hashing's structural weak spot: after missing the
+// level-1 cell it must scan the entire matched level-2 group (group_size
+// cells; deletion holes forbid early exit), while linear probing stops at
+// the first hole, PFHT checks 8 slots + stash, and path checks 2 x levels
+// cells. This bench measures hit vs miss latency and probe counts —
+// honest due diligence a downstream user needs before adopting the
+// scheme for membership-test-heavy workloads.
+#include "bench_common.hpp"
+
+#include "util/clock.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gh;
+  using namespace gh::bench;
+  const Cli cli(argc, argv);
+  BenchEnv env = BenchEnv::from_env();
+  env.ops = cli.get_u64("ops", env.ops * 4);
+
+  print_banner("Ablation: negative (absent-key) lookups",
+               "evaluates the case ICPP'18's query phase leaves out", env);
+
+  const u32 bits = cells_log2_for(trace::TraceKind::kRandomNum, env.scale_shift);
+  const trace::Workload workload =
+      sized_workload(trace::TraceKind::kRandomNum, bits, 0.5, env.ops, env.seed);
+
+  struct Contender {
+    hash::Scheme scheme;
+    bool wal;
+  };
+  const Contender contenders[] = {
+      {hash::Scheme::kGroup, false},  {hash::Scheme::kGroup2H, false},
+      {hash::Scheme::kLinear, true},  {hash::Scheme::kPfht, true},
+      {hash::Scheme::kPath, true},    {hash::Scheme::kLevel, false},
+  };
+
+  TablePrinter t({"scheme", "hit_query", "miss_query", "miss/hit", "probes/miss"});
+  for (const Contender& c : contenders) {
+    const auto cfg = scheme_config(c.scheme, c.wal, bits, false);
+    nvm::DirectPM pm(nvm::PersistConfig{.flush_latency_ns = env.flush_latency_ns});
+    const usize bytes = hash::table_required_bytes(cfg);
+    nvm::NvmRegion region = nvm::NvmRegion::create_anonymous(bytes);
+    auto table = hash::make_table(pm, region.bytes().first(bytes), cfg, true);
+
+    const auto keys = workload_keys(workload);
+    const u64 target = table->capacity() / 2;
+    usize next = 0;
+    std::vector<usize> inserted;
+    while (table->count() < target && next < keys.size()) {
+      if (table->insert(keys[next], 1)) inserted.push_back(next);
+      ++next;
+    }
+
+    Xoshiro256 rng(env.seed);
+    Histogram hit, miss;
+    for (u64 i = 0; i < env.ops; ++i) {
+      const Key128& k = keys[inserted[rng.next_below(inserted.size())]];
+      const u64 t0 = now_ns();
+      const auto v = table->find(k);
+      hit.record(now_ns() - t0);
+      GH_CHECK(v.has_value());
+    }
+    table->stats().clear();
+    for (u64 i = 0; i < env.ops; ++i) {
+      // Absent keys: outside the 2^26 RandomNum domain entirely.
+      const Key128 k{(1ull << 27) + rng.next_below(1ull << 40), 0};
+      const u64 t0 = now_ns();
+      const auto v = table->find(k);
+      miss.record(now_ns() - t0);
+      GH_CHECK(!v.has_value());
+    }
+    const double probes_per_miss =
+        static_cast<double>(table->stats().probes) / static_cast<double>(env.ops);
+    t.add_row({cfg.display_name(), format_ns(hit.mean()), format_ns(miss.mean()),
+               format_double(miss.mean() / hit.mean(), 1) + "x",
+               format_double(probes_per_miss, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nGroup hashing's miss path scans the whole group (group_size cells; "
+               "holes from deletes forbid early exit) — a real cost the paper's "
+               "hit-only query phase never shows. Applications with many negative "
+               "lookups should pair the table with a Bloom-style filter.\n";
+  return 0;
+}

@@ -1,0 +1,222 @@
+#include "bench_common.hpp"
+
+#include "util/assert.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace gh::bench {
+
+BenchEnv BenchEnv::from_env() {
+  BenchEnv env;
+  env.scale_shift = bench_scale_shift();
+  env.flush_latency_ns = env_u64("GH_NVM_LATENCY_NS", 300);
+  env.ops = env_u64("GH_OPS", 1000);
+  env.seed = env_u64("GH_SEED", 42);
+  return env;
+}
+
+u32 cells_log2_for(trace::TraceKind kind, u32 scale_shift) {
+  u32 paper_bits = 23;  // RandomNum (§4.1)
+  switch (kind) {
+    case trace::TraceKind::kRandomNum:
+      paper_bits = 23;
+      break;
+    case trace::TraceKind::kBagOfWords:
+      paper_bits = 24;
+      break;
+    case trace::TraceKind::kFingerprint:
+      paper_bits = 25;
+      break;
+  }
+  const u32 scaled = paper_bits > scale_shift ? paper_bits - scale_shift : 12;
+  return std::max(scaled, 12u);
+}
+
+trace::Workload sized_workload(trace::TraceKind kind, u32 cells_log2,
+                               double max_load_factor, u64 extra_ops, u64 seed) {
+  const u64 cells = 1ull << cells_log2;
+  // 1.3x headroom: fills skip keys rejected by a full group/bucket.
+  u64 n = static_cast<u64>(static_cast<double>(cells) * max_load_factor * 1.3) + extra_ops;
+  if (kind == trace::TraceKind::kRandomNum) {
+    n = std::min<u64>(n, 1ull << 26);  // the paper's key domain
+  }
+  return trace::make_workload(kind, n, seed);
+}
+
+std::vector<Key128> workload_keys(const trace::Workload& w) {
+  std::vector<Key128> keys;
+  keys.reserve(w.size());
+  if (w.wide_keys) {
+    keys = w.keys128;
+  } else {
+    for (const u64 k : w.keys64) keys.push_back(Key128{k, 0});
+  }
+  return keys;
+}
+
+hash::TableConfig scheme_config(hash::Scheme scheme, bool with_wal, u32 cells_log2,
+                                bool wide_cells, u32 group_size) {
+  hash::TableConfig cfg;
+  cfg.scheme = scheme;
+  cfg.with_wal = with_wal;
+  cfg.total_cells_log2 = cells_log2;
+  cfg.wide_cells = wide_cells;
+  cfg.group_size = group_size;
+  cfg.reserved_levels = 20;  // paper's path-hashing setting
+  return cfg;
+}
+
+namespace {
+
+/// Shared phase driver: fills `table` to the load factor, then executes
+/// the three timed phases, invoking `measure(phase_fn)` wrappers provided
+/// by the caller so latency and miss benches share the exact same op
+/// sequence.
+template <class PM>
+struct PhasePlan {
+  std::vector<Key128> insert_keys;  // timed inserts
+  std::vector<Key128> query_keys;   // timed queries (of inserted items)
+  std::vector<Key128> delete_keys;  // timed deletes (of inserted items)
+  u64 fill_failures = 0;
+  double achieved_load_factor = 0;
+};
+
+template <class PM>
+PhasePlan<PM> fill_table(hash::AnyTable<PM>& table, const std::vector<Key128>& keys,
+                         double load_factor, u64 ops, u64 seed) {
+  PhasePlan<PM> plan;
+  const u64 target = static_cast<u64>(static_cast<double>(table.capacity()) * load_factor);
+  usize next = 0;
+  std::vector<usize> inserted;
+  inserted.reserve(target);
+  while (table.count() < target && next < keys.size()) {
+    const Key128& k = keys[next];
+    if (table.insert(k, trace::value_for_key(k))) {
+      inserted.push_back(next);
+    } else {
+      plan.fill_failures++;
+    }
+    ++next;
+  }
+  plan.achieved_load_factor = table.load_factor();
+
+  // Timed-phase keys: fresh keys for inserts; random committed keys for
+  // queries; distinct random committed keys for deletes.
+  Xoshiro256 rng(seed);
+  for (u64 i = 0; i < ops && next < keys.size(); ++i, ++next) {
+    plan.insert_keys.push_back(keys[next]);
+  }
+  GH_CHECK_MSG(inserted.size() >= ops, "fill too small for the request phases");
+  for (u64 i = 0; i < ops; ++i) {
+    plan.query_keys.push_back(keys[inserted[rng.next_below(inserted.size())]]);
+  }
+  // Sample distinct delete victims from the filled set.
+  for (u64 i = 0; i < ops; ++i) {
+    const usize j = i + rng.next_below(inserted.size() - i);
+    std::swap(inserted[i], inserted[j]);
+    plan.delete_keys.push_back(keys[inserted[i]]);
+  }
+  return plan;
+}
+
+}  // namespace
+
+LatencyResult run_latency(const hash::TableConfig& cfg, const trace::Workload& workload,
+                          double load_factor, const BenchEnv& env) {
+  nvm::DirectPM pm(nvm::PersistConfig{.flush_latency_ns = env.flush_latency_ns});
+  nvm::NvmRegion region = nvm::NvmRegion::create_anonymous(hash::table_required_bytes(cfg));
+  auto table =
+      hash::make_table(pm, region.bytes().first(hash::table_required_bytes(cfg)), cfg, true);
+
+  const std::vector<Key128> keys = workload_keys(workload);
+  auto plan = fill_table(*table, keys, load_factor, env.ops, env.seed);
+
+  LatencyResult result;
+  result.achieved_load_factor = plan.achieved_load_factor;
+  result.fill_failures = plan.fill_failures;
+  pm.stats().clear();
+
+  Histogram h;
+  for (const Key128& k : plan.insert_keys) {
+    const u64 t0 = now_ns();
+    table->insert(k, trace::value_for_key(k));
+    h.record(now_ns() - t0);
+  }
+  result.insert_ns = h.mean();
+
+  h.clear();
+  for (const Key128& k : plan.query_keys) {
+    const u64 t0 = now_ns();
+    const auto v = table->find(k);
+    h.record(now_ns() - t0);
+    GH_CHECK(v.has_value());
+  }
+  result.query_ns = h.mean();
+
+  h.clear();
+  for (const Key128& k : plan.delete_keys) {
+    const u64 t0 = now_ns();
+    const bool ok = table->erase(k);
+    h.record(now_ns() - t0);
+    GH_CHECK(ok);
+  }
+  result.delete_ns = h.mean();
+  result.persist = pm.stats();
+  return result;
+}
+
+MissResult run_misses(const hash::TableConfig& cfg, const trace::Workload& workload,
+                      double load_factor, const BenchEnv& env) {
+  const usize table_bytes = hash::table_required_bytes(cfg);
+  // Keep the paper's table:LLC ratio (~128 MiB-1 GiB tables against a
+  // 15 MiB L3, i.e. roughly 8-64x) when tables are scaled down.
+  cachesim::CacheSim sim(cachesim::CacheConfig::scaled_l3(table_bytes / 8));
+  nvm::TracingPM pm(sim);
+  nvm::NvmRegion region = nvm::NvmRegion::create_anonymous(table_bytes);
+  auto table = hash::make_table(pm, region.bytes().first(table_bytes), cfg, true);
+
+  const std::vector<Key128> keys = workload_keys(workload);
+  auto plan = fill_table(*table, keys, load_factor, env.ops, env.seed);
+
+  MissResult result;
+  result.achieved_load_factor = plan.achieved_load_factor;
+
+  u64 start = sim.llc_misses();
+  for (const Key128& k : plan.insert_keys) table->insert(k, trace::value_for_key(k));
+  result.insert_misses = static_cast<double>(sim.llc_misses() - start) /
+                         static_cast<double>(plan.insert_keys.size());
+
+  start = sim.llc_misses();
+  for (const Key128& k : plan.query_keys) GH_CHECK(table->find(k).has_value());
+  result.query_misses = static_cast<double>(sim.llc_misses() - start) /
+                        static_cast<double>(plan.query_keys.size());
+
+  start = sim.llc_misses();
+  for (const Key128& k : plan.delete_keys) GH_CHECK(table->erase(k));
+  result.delete_misses = static_cast<double>(sim.llc_misses() - start) /
+                         static_cast<double>(plan.delete_keys.size());
+  return result;
+}
+
+double run_space_utilization(const hash::TableConfig& cfg, const trace::Workload& workload) {
+  nvm::DirectPM pm(nvm::PersistConfig::counting_only());
+  nvm::NvmRegion region = nvm::NvmRegion::create_anonymous(hash::table_required_bytes(cfg));
+  auto table =
+      hash::make_table(pm, region.bytes().first(hash::table_required_bytes(cfg)), cfg, true);
+  const std::vector<Key128> keys = workload_keys(workload);
+  for (const Key128& k : keys) {
+    if (!table->insert(k, 1)) break;  // utilisation = load factor at first failure
+  }
+  return table->load_factor();
+}
+
+void print_banner(const std::string& title, const std::string& paper_ref,
+                  const BenchEnv& env) {
+  std::cout << "=== " << title << " ===\n"
+            << "Reproduces: " << paper_ref << "\n"
+            << "scale=1/" << (1u << env.scale_shift) << " of paper table sizes"
+            << "  nvm_write_latency=" << env.flush_latency_ns << "ns"
+            << "  ops/phase=" << env.ops << "\n\n";
+}
+
+}  // namespace gh::bench

@@ -1,0 +1,96 @@
+// Shared harness for the figure/table benches.
+//
+// Methodology (paper §4.2): build the table, insert items until the load
+// factor reaches the operating point, then time 1000 inserts, 1000
+// queries and 1000 deletes and report the average latency per request.
+// The cache-efficiency benches run the same phases against the cache
+// simulator and report average L3 misses per request.
+//
+// Scaling: paper-size tables (2^23-2^25 cells) with a 300 ns flush delay
+// take minutes per configuration, so GH_SCALE (default 5) subtracts that
+// many bits from every table size; GH_SCALE=paper (or 0) reproduces the
+// full-size runs. GH_NVM_LATENCY_NS overrides the emulated write latency
+// and GH_OPS the number of timed requests per phase.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cachesim/cache_sim.hpp"
+#include "hash/any_table.hpp"
+#include "nvm/direct_pm.hpp"
+#include "nvm/region.hpp"
+#include "nvm/tracing_pm.hpp"
+#include "trace/workload.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace gh::bench {
+
+struct BenchEnv {
+  u32 scale_shift = 5;       ///< bits subtracted from the paper's table sizes
+  u64 flush_latency_ns = 300;
+  u64 ops = 1000;            ///< timed requests per phase (paper: 1000)
+  u64 seed = 42;
+
+  static BenchEnv from_env();
+};
+
+/// Paper table sizes (log2 cells) per trace, minus the scale shift.
+u32 cells_log2_for(trace::TraceKind kind, u32 scale_shift);
+
+/// A workload with enough unique keys to fill `cells_log2` to
+/// `max_load_factor` with headroom plus `extra_ops` request keys.
+trace::Workload sized_workload(trace::TraceKind kind, u32 cells_log2,
+                               double max_load_factor, u64 extra_ops, u64 seed);
+
+/// Keys of a workload as uniform Key128 views.
+std::vector<Key128> workload_keys(const trace::Workload& w);
+
+hash::TableConfig scheme_config(hash::Scheme scheme, bool with_wal, u32 cells_log2,
+                                bool wide_cells, u32 group_size = 256);
+
+/// Per-phase results of one latency run.
+struct LatencyResult {
+  double insert_ns = 0;
+  double query_ns = 0;
+  double delete_ns = 0;
+  double achieved_load_factor = 0;
+  u64 fill_failures = 0;
+  nvm::PersistStats persist;
+};
+
+LatencyResult run_latency(const hash::TableConfig& cfg, const trace::Workload& workload,
+                          double load_factor, const BenchEnv& env);
+
+/// Per-phase L3 miss counts from the cache simulator.
+struct MissResult {
+  double insert_misses = 0;
+  double query_misses = 0;
+  double delete_misses = 0;
+  double achieved_load_factor = 0;
+};
+
+MissResult run_misses(const hash::TableConfig& cfg, const trace::Workload& workload,
+                      double load_factor, const BenchEnv& env);
+
+/// Insert items until the first insert failure; returns the load factor at
+/// that point (the paper's space-utilisation metric, Fig. 7).
+double run_space_utilization(const hash::TableConfig& cfg, const trace::Workload& workload);
+
+/// Standard bench banner: what is being reproduced and at what scale.
+void print_banner(const std::string& title, const std::string& paper_ref,
+                  const BenchEnv& env);
+
+/// Compiler barrier keeping a value observably alive (google-benchmark's
+/// DoNotOptimize, for the benches that do not link google-benchmark).
+template <class T>
+inline void do_not_optimize(T&& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
+}  // namespace gh::bench

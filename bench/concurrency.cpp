@@ -1,0 +1,81 @@
+// Extension bench — multithreaded throughput of the sharded concurrent
+// wrapper (the paper evaluates single-threaded latency only; concurrency
+// is the obvious deployment question for a library release).
+//
+// Mixed workload (configurable get fraction) over ConcurrentGroupHashMap
+// with varying thread counts; reports aggregate Mops/s and scaling
+// relative to one thread.
+#include <atomic>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/concurrent_map.hpp"
+#include "core/concurrent_table.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gh;
+  using namespace gh::bench;
+  const Cli cli(argc, argv);
+  BenchEnv env = BenchEnv::from_env();
+  const u64 ops_per_thread = cli.get_u64("ops", 200'000);
+  const double get_fraction = cli.get_double("get_fraction", 0.8);
+  const usize shards = cli.get_u64("shards", 64);
+
+  print_banner("Extension: concurrent throughput (sharded GroupHashMap)",
+               "beyond the paper: multi-threaded scaling of the same structure", env);
+
+  std::cout << "mixed workload: " << static_cast<int>(get_fraction * 100) << "% get, "
+            << static_cast<int>((1 - get_fraction) * 100) << "% put, " << shards
+            << " shards, " << format_count(ops_per_thread) << " ops/thread\n\n";
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  // Two designs: N independent sharded maps vs ONE table with per-group
+  // reader-writer locks (core/concurrent_table.hpp).
+  auto run_workload = [&](auto&& put, auto&& get, usize threads) {
+    std::atomic<u64> total_ops{0};
+    Stopwatch sw;
+    std::vector<std::thread> workers;
+    for (usize tid = 0; tid < threads; ++tid) {
+      workers.emplace_back([&, tid] {
+        Xoshiro256 rng(env.seed + tid);
+        u64 done = 0;
+        for (u64 i = 0; i < ops_per_thread; ++i) {
+          const u64 k = rng.next_below(1 << 18) + 1;
+          if (rng.next_double() < get_fraction) {
+            get(k);
+          } else {
+            put(k, i);
+          }
+          ++done;
+        }
+        total_ops.fetch_add(done);
+      });
+    }
+    for (auto& w : workers) w.join();
+    return static_cast<double>(total_ops.load()) / sw.elapsed_s() / 1e6;
+  };
+
+  TablePrinter t({"threads", "sharded maps", "striped-lock table"});
+  for (usize threads = 1; threads <= hw * 2; threads *= 2) {
+    ConcurrentGroupHashMap sharded(shards, {.initial_cells = 1 << 20});
+    for (u64 k = 1; k <= (1 << 18); ++k) sharded.put(k, k);
+    const double sharded_mops = run_workload(
+        [&](u64 k, u64 v) { sharded.put(k, v); },
+        [&](u64 k) { do_not_optimize(sharded.get(k)); }, threads);
+
+    ConcurrentGroupHashTable striped({.total_cells = 1 << 20, .group_size = 256});
+    for (u64 k = 1; k <= (1 << 18); ++k) striped.put(k, k);
+    const double striped_mops = run_workload(
+        [&](u64 k, u64 v) { striped.put(k, v); },
+        [&](u64 k) { do_not_optimize(striped.find(k)); }, threads);
+
+    t.add_row({std::to_string(threads), format_double(sharded_mops, 2) + " Mops/s",
+               format_double(striped_mops, 2) + " Mops/s"});
+  }
+  t.print(std::cout);
+  std::cout << "\n(Scaling columns are only meaningful on multicore hosts.)\n";
+  return 0;
+}

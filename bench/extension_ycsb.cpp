@@ -1,0 +1,110 @@
+// Extension bench — YCSB-style mixed workloads.
+//
+// The paper times isolated phases (insert, then query, then delete).
+// Production key-value traffic interleaves them; the YCSB core workloads
+// are the standard shapes:
+//   A: 50% read / 50% update        (session store)
+//   B: 95% read / 5% update         (photo tagging)
+//   C: 100% read                    (caches)
+//   D: 95% read / 5% insert, recent keys hot (status feeds)
+// Run over the consistency-matched contenders with Zipf-distributed key
+// popularity; reports throughput per workload.
+#include "bench_common.hpp"
+
+#include "trace/zipf.hpp"
+#include "util/clock.hpp"
+
+namespace {
+
+using namespace gh;
+using namespace gh::bench;
+
+struct Mix {
+  const char* name;
+  double read = 0;
+  double update = 0;
+  double insert = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  BenchEnv env = BenchEnv::from_env();
+  const u64 ops = cli.get_u64("ops", 50'000);
+
+  print_banner("Extension: YCSB-style mixed workloads",
+               "beyond the paper: interleaved production traffic shapes", env);
+
+  const Mix mixes[] = {
+      {"A (50r/50u)", 0.50, 0.50, 0.0},
+      {"B (95r/5u)", 0.95, 0.05, 0.0},
+      {"C (100r)", 1.00, 0.00, 0.0},
+      {"D (95r/5i)", 0.95, 0.00, 0.05},
+  };
+
+  struct Contender {
+    hash::Scheme scheme;
+    bool wal;
+  };
+  const Contender contenders[] = {
+      {hash::Scheme::kGroup, false},
+      {hash::Scheme::kLinear, true},
+      {hash::Scheme::kPfht, true},
+      {hash::Scheme::kPath, true},
+  };
+
+  const u32 bits = cells_log2_for(trace::TraceKind::kRandomNum, env.scale_shift);
+  const trace::Workload workload =
+      sized_workload(trace::TraceKind::kRandomNum, bits, 0.5, ops, env.seed);
+  const auto keys = workload_keys(workload);
+
+  for (const Mix& mix : mixes) {
+    std::cout << "YCSB-" << mix.name << ", " << format_count(ops) << " ops, Zipf(0.99) "
+              << "key popularity\n";
+    TablePrinter t({"scheme", "throughput", "mean_latency"});
+    for (const Contender& c : contenders) {
+      const auto cfg = scheme_config(c.scheme, c.wal, bits, false);
+      nvm::DirectPM pm(nvm::PersistConfig{.flush_latency_ns = env.flush_latency_ns});
+      const usize bytes = hash::table_required_bytes(cfg);
+      nvm::NvmRegion region = nvm::NvmRegion::create_anonymous(bytes);
+      auto table = hash::make_table(pm, region.bytes().first(bytes), cfg, true);
+
+      // Preload to load factor 0.5.
+      const u64 target = table->capacity() / 2;
+      usize next = 0;
+      std::vector<usize> loaded;
+      while (table->count() < target && next < keys.size()) {
+        if (table->insert(keys[next], 1)) loaded.push_back(next);
+        ++next;
+      }
+      const trace::ZipfSampler zipf(loaded.size(), 0.99);
+      Xoshiro256 rng(env.seed);
+
+      Stopwatch sw;
+      u64 done = 0;
+      for (u64 i = 0; i < ops; ++i) {
+        const double r = rng.next_double();
+        if (r < mix.read) {
+          const Key128& k = keys[loaded[zipf.sample(rng)]];
+          do_not_optimize(table->find(k));
+        } else if (r < mix.read + mix.update) {
+          // Update = delete + reinsert for schemes without in-place update
+          // (uniform across contenders for fairness).
+          const Key128& k = keys[loaded[zipf.sample(rng)]];
+          if (table->erase(k)) table->insert(k, i);
+        } else if (next < keys.size()) {
+          table->insert(keys[next++], i);
+        }
+        ++done;
+      }
+      const double secs = sw.elapsed_s();
+      t.add_row({cfg.display_name(),
+                 format_double(static_cast<double>(done) / secs / 1000.0, 1) + " kops/s",
+                 format_ns(secs * 1e9 / static_cast<double>(done))});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 2 — "The consistency cost of different hashing schemes."
+//
+// (a) average request latency and (b) average L3 cache misses for linear
+// probing, PFHT and path hashing, each with and without the logging
+// scheme, on the RandomNum trace at load factor 0.5. The paper's
+// headline numbers: logging versions are ~1.95x slower and produce
+// ~2.16x more L3 misses on insert/delete.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gh;
+  using namespace gh::bench;
+  const Cli cli(argc, argv);
+  BenchEnv env = BenchEnv::from_env();
+  env.ops = cli.get_u64("ops", env.ops);
+
+  print_banner("Fig 2: consistency cost of logging",
+               "ICPP'18 group hashing, Figure 2 (RandomNum, load factor 0.5)", env);
+
+  const u32 bits = cells_log2_for(trace::TraceKind::kRandomNum, env.scale_shift);
+  const trace::Workload workload =
+      sized_workload(trace::TraceKind::kRandomNum, bits, 0.5, env.ops * 2, env.seed);
+
+  struct Row {
+    hash::Scheme scheme;
+    bool wal;
+  };
+  const Row rows[] = {
+      {hash::Scheme::kLinear, false}, {hash::Scheme::kLinear, true},
+      {hash::Scheme::kPfht, false},   {hash::Scheme::kPfht, true},
+      {hash::Scheme::kPath, false},   {hash::Scheme::kPath, true},
+  };
+
+  TablePrinter latency({"scheme", "insert", "query", "delete", "flushes/op"});
+  TablePrinter misses({"scheme", "insert_L3miss", "query_L3miss", "delete_L3miss"});
+
+  struct Agg {
+    double plain_ins = 0, plain_del = 0, log_ins = 0, log_del = 0;
+    double plain_miss = 0, log_miss = 0;
+  } agg;
+
+  for (const Row& row : rows) {
+    const auto cfg = scheme_config(row.scheme, row.wal, bits, false);
+    const LatencyResult lat = run_latency(cfg, workload, 0.5, env);
+    const MissResult mis = run_misses(cfg, workload, 0.5, env);
+    const double flushes_per_op =
+        static_cast<double>(lat.persist.lines_flushed) / static_cast<double>(3 * env.ops);
+    latency.add_row({cfg.display_name(), format_ns(lat.insert_ns), format_ns(lat.query_ns),
+                     format_ns(lat.delete_ns), format_double(flushes_per_op, 2)});
+    misses.add_row({cfg.display_name(), format_double(mis.insert_misses, 2),
+                    format_double(mis.query_misses, 2), format_double(mis.delete_misses, 2)});
+    if (row.wal) {
+      agg.log_ins += lat.insert_ns;
+      agg.log_del += lat.delete_ns;
+      agg.log_miss += mis.insert_misses + mis.delete_misses;
+    } else {
+      agg.plain_ins += lat.insert_ns;
+      agg.plain_del += lat.delete_ns;
+      agg.plain_miss += mis.insert_misses + mis.delete_misses;
+    }
+  }
+
+  std::cout << "(a) Average request latency\n";
+  latency.print(std::cout);
+  std::cout << "\n(b) Average L3 cache misses per request (cache simulator)\n";
+  misses.print(std::cout);
+
+  const double slowdown = (agg.log_ins + agg.log_del) / (agg.plain_ins + agg.plain_del);
+  const double miss_ratio = agg.log_miss / agg.plain_miss;
+  std::cout << "\nLogging slowdown on insert+delete: " << format_double(slowdown, 2)
+            << "x (paper: ~1.95x)\n"
+            << "Logging L3-miss inflation on insert+delete: " << format_double(miss_ratio, 2)
+            << "x (paper: ~2.16x)\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 5 — "The average latency of requesting an item."
+//
+// Group hashing vs linear-L, PFHT-L and path-L (all with consistency
+// guarantees) across the three traces and load factors 0.5 / 0.75, for
+// insert, query and delete. Expected shape: group hashing lowest
+// everywhere; linear-L good insert/query but poor delete; PFHT-L ahead of
+// path-L at lf 0.5, behind at 0.75; Fingerprint slower than the 16-byte
+// traces on insert/delete.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gh;
+  using namespace gh::bench;
+  const Cli cli(argc, argv);
+  BenchEnv env = BenchEnv::from_env();
+  env.ops = cli.get_u64("ops", env.ops);
+
+  print_banner("Fig 5: average request latency",
+               "ICPP'18 group hashing, Figure 5 (3 traces x load factors 0.5/0.75)", env);
+
+  struct Contender {
+    hash::Scheme scheme;
+    bool wal;
+  };
+  // The paper's consistency-matched comparison: the baselines carry the
+  // logging scheme, group hashing runs its bare 8-byte-commit protocol.
+  const Contender contenders[] = {
+      {hash::Scheme::kGroup, false},
+      {hash::Scheme::kLinear, true},
+      {hash::Scheme::kPfht, true},
+      {hash::Scheme::kPath, true},
+  };
+
+  for (const trace::TraceKind kind :
+       {trace::TraceKind::kRandomNum, trace::TraceKind::kBagOfWords,
+        trace::TraceKind::kFingerprint}) {
+    const u32 bits = cells_log2_for(kind, env.scale_shift);
+    const bool wide = kind == trace::TraceKind::kFingerprint;
+    const trace::Workload workload = sized_workload(kind, bits, 0.75, env.ops * 2, env.seed);
+    for (const double lf : {0.5, 0.75}) {
+      std::cout << trace::trace_name(kind) << ", load factor " << lf << " (2^" << bits
+                << " cells, " << workload.item_bytes << "B items)\n";
+      TablePrinter t({"scheme", "insert", "query", "delete", "achieved_lf"});
+      for (const Contender& c : contenders) {
+        const auto cfg = scheme_config(c.scheme, c.wal, bits, wide);
+        const LatencyResult r = run_latency(cfg, workload, lf, env);
+        t.add_row({cfg.display_name(), format_ns(r.insert_ns), format_ns(r.query_ns),
+                   format_ns(r.delete_ns), format_double(r.achieved_load_factor, 3)});
+      }
+      t.print(std::cout);
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}

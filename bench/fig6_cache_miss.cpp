@@ -1,0 +1,51 @@
+// Figure 6 — "The average L3 cache miss number of requesting an item."
+//
+// Same contender matrix as Fig. 5, measured on the deterministic cache
+// simulator (the PAPI substitute; see DESIGN.md). Expected shape: group
+// hashing fewest misses; linear good on insert/query, poor on delete;
+// PFHT-L vs path-L crossover between load factors 0.5 and 0.75.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gh;
+  using namespace gh::bench;
+  const Cli cli(argc, argv);
+  BenchEnv env = BenchEnv::from_env();
+  env.ops = cli.get_u64("ops", env.ops);
+
+  print_banner("Fig 6: average L3 cache misses per request",
+               "ICPP'18 group hashing, Figure 6 (cache simulator standing in for PAPI)",
+               env);
+
+  struct Contender {
+    hash::Scheme scheme;
+    bool wal;
+  };
+  const Contender contenders[] = {
+      {hash::Scheme::kGroup, false},
+      {hash::Scheme::kLinear, true},
+      {hash::Scheme::kPfht, true},
+      {hash::Scheme::kPath, true},
+  };
+
+  for (const trace::TraceKind kind :
+       {trace::TraceKind::kRandomNum, trace::TraceKind::kBagOfWords,
+        trace::TraceKind::kFingerprint}) {
+    const u32 bits = cells_log2_for(kind, env.scale_shift);
+    const bool wide = kind == trace::TraceKind::kFingerprint;
+    const trace::Workload workload = sized_workload(kind, bits, 0.75, env.ops * 2, env.seed);
+    for (const double lf : {0.5, 0.75}) {
+      std::cout << trace::trace_name(kind) << ", load factor " << lf << "\n";
+      TablePrinter t({"scheme", "insert_L3miss", "query_L3miss", "delete_L3miss"});
+      for (const Contender& c : contenders) {
+        const auto cfg = scheme_config(c.scheme, c.wal, bits, wide);
+        const MissResult r = run_misses(cfg, workload, lf, env);
+        t.add_row({cfg.display_name(), format_double(r.insert_misses, 2),
+                   format_double(r.query_misses, 2), format_double(r.delete_misses, 2)});
+      }
+      t.print(std::cout);
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}

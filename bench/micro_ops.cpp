@@ -1,0 +1,161 @@
+// Google-benchmark micro suite: raw operation throughput of the public
+// GroupHashMap API and the underlying schemes, without NVM latency
+// emulation (GH_NVM_LATENCY_NS applies if set). Complements the figure
+// benches, which reproduce the paper's methodology.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/group_hash_map.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gh;
+
+constexpr u64 kCells = 1 << 16;
+
+hash::TableConfig micro_config(hash::Scheme scheme, bool wal) {
+  return bench::scheme_config(scheme, wal, 16, false);
+}
+
+void bench_scheme_insert(benchmark::State& state, hash::Scheme scheme, bool wal) {
+  const auto cfg = micro_config(scheme, wal);
+  const u64 latency = env_u64("GH_NVM_LATENCY_NS", 0);
+  nvm::DirectPM pm(nvm::PersistConfig{.flush_latency_ns = latency});
+  nvm::NvmRegion region = nvm::NvmRegion::create_anonymous(hash::table_required_bytes(cfg));
+  auto table =
+      hash::make_table(pm, region.bytes().first(hash::table_required_bytes(cfg)), cfg, true);
+  Xoshiro256 rng(7);
+  std::vector<Key128> keys;
+  const u64 fill = kCells / 2;
+  for (u64 i = 0; i < fill; ++i) keys.push_back(Key128{rng.next() & hash::Cell16::kMaxKey, 0});
+  usize i = 0;
+  for (auto _ : state) {
+    if (i == keys.size()) {
+      // Refill: erase everything (untimed) and start over.
+      state.PauseTiming();
+      for (const Key128& k : keys) table->erase(k);
+      i = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(table->insert(keys[i++], 1));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+void bench_scheme_find(benchmark::State& state, hash::Scheme scheme) {
+  const auto cfg = micro_config(scheme, false);
+  nvm::DirectPM pm(nvm::PersistConfig::dram());
+  nvm::NvmRegion region = nvm::NvmRegion::create_anonymous(hash::table_required_bytes(cfg));
+  auto table =
+      hash::make_table(pm, region.bytes().first(hash::table_required_bytes(cfg)), cfg, true);
+  Xoshiro256 rng(7);
+  std::vector<Key128> keys;
+  for (u64 i = 0; i < kCells / 2; ++i) {
+    const Key128 k{rng.next() & hash::Cell16::kMaxKey, 0};
+    if (table->insert(k, 1)) keys.push_back(k);
+  }
+  usize i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->find(keys[i]));
+    i = (i + 1) % keys.size();
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+void bench_map_put(benchmark::State& state) {
+  auto map = GroupHashMap::create_in_memory({.initial_cells = kCells});
+  Xoshiro256 rng(11);
+  for (auto _ : state) {
+    map.put(rng.next_below(kCells * 4) + 1, 42);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+void bench_map_get_hit(benchmark::State& state) {
+  auto map = GroupHashMap::create_in_memory({.initial_cells = kCells});
+  for (u64 k = 1; k <= kCells / 2; ++k) map.put(k, k);
+  Xoshiro256 rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.get(rng.next_below(kCells / 2) + 1));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+void bench_map_get_miss(benchmark::State& state) {
+  auto map = GroupHashMap::create_in_memory({.initial_cells = kCells});
+  for (u64 k = 1; k <= kCells / 2; ++k) map.put(k, k);
+  Xoshiro256 rng(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.get((rng.next_below(1u << 20)) + (1ull << 33)));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+void bench_map_increment(benchmark::State& state) {
+  auto map = GroupHashMap::create_in_memory({.initial_cells = kCells});
+  Xoshiro256 rng(23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.increment(rng.next_below(kCells / 4) + 1));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+void bench_map_get_vs_batch(benchmark::State& state) {
+  // Batched lookup with software prefetching vs one-at-a-time gets.
+  const bool batched = state.range(0) != 0;
+  auto map = GroupHashMap::create_in_memory({.initial_cells = kCells});
+  for (u64 k = 1; k <= kCells / 2; ++k) map.put(k, k);
+  Xoshiro256 rng(29);
+  constexpr usize kBatch = 256;
+  std::vector<u64> keys(kBatch);
+  std::vector<std::optional<u64>> out(kBatch);
+  for (auto _ : state) {
+    for (auto& k : keys) k = rng.next_below(kCells / 2) + 1;
+    if (batched) {
+      map.get_batch(keys, out);
+    } else {
+      for (usize i = 0; i < kBatch; ++i) out[i] = map.get(keys[i]);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * kBatch);
+}
+
+void bench_recovery_scan(benchmark::State& state) {
+  const auto cfg = micro_config(hash::Scheme::kGroup, false);
+  nvm::DirectPM pm(nvm::PersistConfig::dram());
+  nvm::NvmRegion region = nvm::NvmRegion::create_anonymous(hash::table_required_bytes(cfg));
+  auto table =
+      hash::make_table(pm, region.bytes().first(hash::table_required_bytes(cfg)), cfg, true);
+  Xoshiro256 rng(19);
+  while (table->load_factor() < 0.5) {
+    table->insert(Key128{rng.next() & hash::Cell16::kMaxKey, 0}, 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->recover());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(hash::table_required_bytes(cfg)));
+}
+
+BENCHMARK_CAPTURE(bench_scheme_insert, group, hash::Scheme::kGroup, false);
+BENCHMARK_CAPTURE(bench_scheme_insert, group_logged, hash::Scheme::kGroup, true);
+BENCHMARK_CAPTURE(bench_scheme_insert, linear, hash::Scheme::kLinear, false);
+BENCHMARK_CAPTURE(bench_scheme_insert, pfht, hash::Scheme::kPfht, false);
+BENCHMARK_CAPTURE(bench_scheme_insert, path, hash::Scheme::kPath, false);
+BENCHMARK_CAPTURE(bench_scheme_find, group, hash::Scheme::kGroup);
+BENCHMARK_CAPTURE(bench_scheme_find, linear, hash::Scheme::kLinear);
+BENCHMARK_CAPTURE(bench_scheme_find, pfht, hash::Scheme::kPfht);
+BENCHMARK_CAPTURE(bench_scheme_find, path, hash::Scheme::kPath);
+BENCHMARK(bench_map_put);
+BENCHMARK(bench_map_get_hit);
+BENCHMARK(bench_map_get_miss);
+BENCHMARK(bench_map_increment);
+BENCHMARK(bench_map_get_vs_batch)->Arg(0)->ArgName("scalar");
+BENCHMARK(bench_map_get_vs_batch)->Arg(1)->ArgName("batched");
+BENCHMARK(bench_recovery_scan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

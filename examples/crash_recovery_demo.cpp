@@ -1,0 +1,105 @@
+// crash_recovery_demo — walks through the paper's consistency story on
+// the crash simulator: an insert is interrupted at every point of its
+// commit protocol, the durable NVM image is materialised, recovery
+// (Algorithm 4) runs, and the resulting state is printed. Watch the
+// in-flight item be either fully present or fully absent — never torn.
+#include <iostream>
+
+#include "hash/cells.hpp"
+#include "hash/group_hashing.hpp"
+#include "nvm/region.hpp"
+#include "nvm/shadow_pm.hpp"
+#include "util/format.hpp"
+
+using namespace gh;
+using Table = hash::GroupHashTable<hash::Cell16, nvm::ShadowPM>;
+
+namespace {
+
+const char* phase_name(u64 event_offset) {
+  switch (event_offset) {
+    case 0:
+      return "before the value store";
+    case 1:
+      return "after value store, before its flush";
+    case 2:
+      return "after value flush, before the 8-byte commit";
+    case 3:
+      return "after the commit store, before its flush";
+    case 4:
+      return "after commit flush, before the count update";
+    case 5:
+      return "after count store, before its flush";
+    default:
+      return "after the operation completed";
+  }
+}
+
+}  // namespace
+
+int main() {
+  const Table::Params params{.level_cells = 1024, .group_size = 64};
+  nvm::NvmRegion region = nvm::NvmRegion::create_anonymous(Table::required_bytes(params));
+  auto mem = region.bytes().first(Table::required_bytes(params));
+
+  std::cout << "Group hashing crash-recovery walkthrough\n"
+            << "(simulated NVM: only flushed cachelines survive a crash)\n\n";
+
+  // Learn the event window of one insert with a dry run.
+  u64 op_start = 0, op_end = 0;
+  {
+    nvm::ShadowPM pm(mem);
+    Table table(pm, mem, params, /*format=*/true);
+    for (u64 k = 1; k <= 10; ++k) table.insert(k, k * 100);
+    op_start = pm.event_count();
+    table.insert(777, 77700);
+    op_end = pm.event_count();
+  }
+  std::cout << "an insert spans " << (op_end - op_start)
+            << " NVM events (stores + flushes)\n\n";
+
+  for (u64 crash_at = op_start; crash_at <= op_end; ++crash_at) {
+    std::fill(mem.begin(), mem.end(), std::byte{0});
+    nvm::ShadowPM pm(mem);
+    Table table(pm, mem, params, /*format=*/true);
+    for (u64 k = 1; k <= 10; ++k) table.insert(k, k * 100);
+
+    bool crashed = false;
+    if (crash_at < op_end) pm.crash_at_event(crash_at);
+    try {
+      table.insert(777, 77700);
+    } catch (const nvm::SimulatedCrash&) {
+      crashed = true;
+    }
+    pm.crash_at_event(nvm::ShadowPM::no_crash());
+
+    // Power is gone: materialise what NVM actually holds and reboot.
+    const auto image = pm.materialize_crash_image(nvm::CrashMode::kNothingEvicted);
+    pm.reset_to_image(image);
+    Table rebooted = Table::attach(pm, mem);
+    const auto report = rebooted.recover();
+
+    const auto v = rebooted.find(777);
+    std::cout << "crash " << phase_name(crash_at - op_start) << ": "
+              << (crashed ? "power lost mid-insert" : "insert completed") << " -> "
+              << "recovered count=" << rebooted.count() << ", scrubbed "
+              << report.cells_scrubbed << " torn cell(s), key 777 "
+              << (v ? ("PRESENT (value " + std::to_string(*v) + ")") : "ABSENT") << "\n";
+
+    // The ten committed items must always survive.
+    for (u64 k = 1; k <= 10; ++k) {
+      if (!rebooted.find(k) || *rebooted.find(k) != k * 100) {
+        std::cerr << "LOST COMMITTED DATA — this must never happen\n";
+        return 1;
+      }
+    }
+    if (v && *v != 77700) {
+      std::cerr << "TORN VALUE — this must never happen\n";
+      return 1;
+    }
+  }
+
+  std::cout << "\nAll crash points recovered to a consistent state. "
+               "The in-flight insert is atomic: present with its exact value, or absent.\n";
+  return 0;
+}

@@ -1,0 +1,143 @@
+// trace_replay — record and replay operation traces against any scheme,
+// reporting per-op latency percentiles. The evaluation-methodology
+// counterpart of the figure benches: generate one of the paper's traces,
+// save it to a file, and replay it bit-identically later (or against a
+// different scheme) for apples-to-apples comparisons.
+//
+//   ./trace_replay --generate=RandomNum --ops=20000 --out=/tmp/t.ght
+//   ./trace_replay --replay=/tmp/t.ght --scheme=group
+//   ./trace_replay --replay=/tmp/t.ght --scheme=path --wal
+#include <iostream>
+
+#include "hash/any_table.hpp"
+#include "nvm/direct_pm.hpp"
+#include "nvm/region.hpp"
+#include "trace/trace_file.hpp"
+#include "trace/workload.hpp"
+#include "util/cli.hpp"
+#include "util/clock.hpp"
+#include "util/format.hpp"
+#include "util/histogram.hpp"
+
+using namespace gh;
+
+namespace {
+
+std::optional<trace::TraceKind> parse_kind(const std::string& s) {
+  if (s == "RandomNum") return trace::TraceKind::kRandomNum;
+  if (s == "Bag-of-Words" || s == "BagOfWords") return trace::TraceKind::kBagOfWords;
+  if (s == "Fingerprint") return trace::TraceKind::kFingerprint;
+  return std::nullopt;
+}
+
+std::optional<hash::Scheme> parse_scheme(const std::string& s) {
+  if (s == "group") return hash::Scheme::kGroup;
+  if (s == "group-2h") return hash::Scheme::kGroup2H;
+  if (s == "linear") return hash::Scheme::kLinear;
+  if (s == "PFHT" || s == "pfht") return hash::Scheme::kPfht;
+  if (s == "path") return hash::Scheme::kPath;
+  if (s == "cuckoo") return hash::Scheme::kCuckoo;
+  if (s == "chained") return hash::Scheme::kChained;
+  if (s == "2-choice") return hash::Scheme::kTwoChoice;
+  return std::nullopt;
+}
+
+int generate(const Cli& cli) {
+  const auto kind = parse_kind(cli.get_or("generate", "RandomNum"));
+  if (!kind) {
+    std::cerr << "unknown trace kind\n";
+    return 2;
+  }
+  const u64 ops = cli.get_u64("ops", 20000);
+  const u64 fill = cli.get_u64("fill", ops / 2);
+  const u64 seed = cli.get_u64("seed", 42);
+  const std::string out = cli.get_or("out", "/tmp/trace.ght");
+  const trace::Workload w = trace::make_workload(*kind, fill + ops, seed);
+  const trace::OpTrace t = trace::make_op_trace(w, fill, ops, 0.5, 0.2, seed);
+  trace::save_trace(t, out);
+  std::cout << "wrote " << format_count(t.ops.size()) << " ops (" << w.name << ", "
+            << (t.wide_keys ? "128-bit" : "64-bit") << " keys) to " << out << "\n";
+  return 0;
+}
+
+int replay(const Cli& cli) {
+  const trace::OpTrace t = trace::load_trace(cli.get_or("replay", ""));
+  const auto scheme = parse_scheme(cli.get_or("scheme", "group"));
+  if (!scheme) {
+    std::cerr << "unknown scheme\n";
+    return 2;
+  }
+  hash::TableConfig cfg;
+  cfg.scheme = *scheme;
+  cfg.wide_cells = t.wide_keys;
+  cfg.with_wal = cli.has("wal");
+  cfg.group_size = static_cast<u32>(cli.get_u64("group_size", 256));
+  // Size the table for the trace's peak occupancy with 4x headroom.
+  u64 peak = 0, live = 0;
+  for (const trace::TraceOp& op : t.ops) {
+    if (op.type == trace::OpType::kInsert) peak = std::max(peak, ++live);
+    if (op.type == trace::OpType::kDelete && live > 0) --live;
+  }
+  u32 bits = 12;
+  while ((1ull << bits) < peak * 4) ++bits;
+  cfg.total_cells_log2 = bits;
+
+  nvm::DirectPM pm(nvm::PersistConfig{
+      .flush_latency_ns = cli.get_u64("latency_ns", 300)});
+  nvm::NvmRegion region = nvm::NvmRegion::create_anonymous(hash::table_required_bytes(cfg));
+  auto table =
+      hash::make_table(pm, region.bytes().first(hash::table_required_bytes(cfg)), cfg, true);
+
+  Histogram insert_h, query_h, delete_h;
+  u64 misses = 0;
+  Stopwatch total;
+  for (const trace::TraceOp& op : t.ops) {
+    const u64 t0 = now_ns();
+    switch (op.type) {
+      case trace::OpType::kInsert:
+        table->insert(op.key, op.value);
+        insert_h.record(now_ns() - t0);
+        break;
+      case trace::OpType::kQuery:
+        if (!table->find(op.key)) ++misses;
+        query_h.record(now_ns() - t0);
+        break;
+      case trace::OpType::kDelete:
+        if (!table->erase(op.key)) ++misses;
+        delete_h.record(now_ns() - t0);
+        break;
+    }
+  }
+  const double seconds = total.elapsed_s();
+
+  std::cout << "replayed " << format_count(t.ops.size()) << " ops (" << t.name << ") on "
+            << cfg.display_name() << " in " << format_double(seconds, 2) << "s ("
+            << format_double(static_cast<double>(t.ops.size()) / seconds / 1000.0, 1)
+            << " kops/s)\n"
+            << "  insert: " << insert_h.summary() << "\n"
+            << "  query:  " << query_h.summary() << "\n"
+            << "  delete: " << delete_h.summary() << "\n"
+            << "  unexpected misses: " << misses << "\n"
+            << "  final load factor: " << format_double(table->load_factor(), 3) << "\n"
+            << "  nvm: " << pm.stats().to_string() << "\n";
+  return misses == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  try {
+    if (cli.has("generate")) return generate(cli);
+    if (cli.has("replay")) return replay(cli);
+  } catch (const std::exception& e) {
+    std::cerr << "trace_replay: " << e.what() << "\n";
+    return 2;
+  }
+  std::cout << "usage:\n"
+               "  trace_replay --generate=<RandomNum|Bag-of-Words|Fingerprint> "
+               "[--ops=N] [--fill=N] [--seed=S] --out=FILE\n"
+               "  trace_replay --replay=FILE [--scheme=group|linear|PFHT|path|cuckoo|"
+               "group-2h] [--wal] [--latency_ns=300]\n";
+  return 2;
+}

@@ -1,0 +1,54 @@
+#include "cachesim/hw_counters.hpp"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace gh::cachesim {
+
+HwCounters::HwCounters() {
+#ifdef __linux__
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.config = PERF_COUNT_HW_CACHE_MISSES;  // LLC misses
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  fd_ = static_cast<int>(
+      ::syscall(SYS_perf_event_open, &attr, 0 /*this thread*/, -1, -1, 0));
+#endif
+}
+
+HwCounters::~HwCounters() {
+#ifdef __linux__
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+void HwCounters::start() {
+#ifdef __linux__
+  if (fd_ < 0) return;
+  ::ioctl(fd_, PERF_EVENT_IOC_RESET, 0);
+  ::ioctl(fd_, PERF_EVENT_IOC_ENABLE, 0);
+#endif
+}
+
+std::optional<u64> HwCounters::stop() {
+#ifdef __linux__
+  if (fd_ < 0) return std::nullopt;
+  ::ioctl(fd_, PERF_EVENT_IOC_DISABLE, 0);
+  u64 value = 0;
+  if (::read(fd_, &value, sizeof(value)) != sizeof(value)) return std::nullopt;
+  return value;
+#else
+  return std::nullopt;
+#endif
+}
+
+}  // namespace gh::cachesim

@@ -1,0 +1,34 @@
+// Optional real-hardware counter access via perf_event_open — a
+// substitute for the PAPI library the paper uses. Gracefully degrades to
+// "unavailable" when the kernel forbids perf events (common in
+// containers); the figure benches then rely solely on the deterministic
+// cache simulator and note that in their output.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace gh::cachesim {
+
+class HwCounters {
+ public:
+  /// Tries to open an LLC-miss counter for the calling thread.
+  HwCounters();
+  ~HwCounters();
+  HwCounters(const HwCounters&) = delete;
+  HwCounters& operator=(const HwCounters&) = delete;
+
+  [[nodiscard]] bool available() const { return fd_ >= 0; }
+
+  void start();
+  /// Stops counting and returns LLC misses since start() (nullopt when
+  /// counters are unavailable).
+  std::optional<u64> stop();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace gh::cachesim

@@ -1,0 +1,130 @@
+// ConcurrentGroupHashTable — fine-grained thread safety over ONE group
+// hashing table (contrast with ConcurrentGroupHashMap, which shards into
+// independent maps).
+//
+// The key observation: an operation on key k touches exactly its level-1
+// cell and the matched level-2 group — both inside group g = index /
+// group_size. Group-granular reader-writer locks therefore make the whole
+// paper-structure concurrent without changing a single byte of its NVM
+// layout or its commit protocol: writers serialize per group, readers of
+// the same group proceed in parallel, and operations on different groups
+// never touch the same lock. This is the same granularity insight the
+// OSDI'18 level-hashing paper applies to buckets.
+//
+// The global `count` is the one cross-group word; the table runs in
+// CountMode::kRecoveryOnly, where it is an exact atomic (see
+// util/counters.hpp) and the persistent copy is recomputed by recovery —
+// which also removes the count cacheline as a cross-group flush hotspot
+// (see ablation_wear).
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "hash/cells.hpp"
+#include "hash/group_hashing.hpp"
+#include "nvm/direct_pm.hpp"
+#include "nvm/region.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace gh {
+
+template <class Cell>
+class BasicConcurrentGroupHashTable {
+ public:
+  using key_type = typename Cell::key_type;
+  using Table = hash::GroupHashTable<Cell, nvm::DirectPM>;
+
+  struct Params {
+    u64 total_cells = 1ull << 16;  ///< both levels; rounded to a power of two
+    u32 group_size = 256;
+    u64 seed = hash::kDefaultSeed1;
+    u64 flush_latency_ns = 0;
+    u32 lock_stripes = 1024;  ///< upper bound; clamped to the group count
+  };
+
+  explicit BasicConcurrentGroupHashTable(const Params& params)
+      : pm_(nvm::PersistConfig{.flush_latency_ns = params.flush_latency_ns}) {
+    u64 total = 16;
+    while (total < params.total_cells) total <<= 1;
+    const typename Table::Params table_params{
+        .level_cells = total / 2,
+        .group_size = static_cast<u32>(std::min<u64>(params.group_size, total / 2)),
+        .seed = params.seed,
+        .count_mode = hash::CountMode::kRecoveryOnly};
+    region_ = nvm::NvmRegion::create_anonymous(Table::required_bytes(table_params));
+    table_.emplace(pm_, region_.bytes().first(Table::required_bytes(table_params)),
+                   table_params, /*format=*/true);
+    const u64 groups = table_->level_cells() / table_->group_size();
+    u64 stripes = 1;
+    while (stripes < std::min<u64>(groups, params.lock_stripes)) stripes <<= 1;
+    locks_ = std::vector<std::shared_mutex>(stripes);
+    stripe_mask_ = stripes - 1;
+    hash_ = hash::SeededHash(table_->seed());
+  }
+
+  bool insert(const key_type& key, u64 value) {
+    std::unique_lock lock(lock_for(key));
+    return table_->insert(key, value);
+  }
+
+  [[nodiscard]] std::optional<u64> find(const key_type& key) {
+    std::shared_lock lock(lock_for(key));
+    return table_->find(key);
+  }
+
+  bool update(const key_type& key, u64 value) {
+    std::unique_lock lock(lock_for(key));
+    return table_->update(key, value);
+  }
+
+  /// Insert-or-update under one lock acquisition.
+  void put(const key_type& key, u64 value) {
+    std::unique_lock lock(lock_for(key));
+    if (table_->update(key, value)) return;
+    GH_CHECK_MSG(table_->insert(key, value),
+                 "concurrent table is full (no auto-expansion at this layer)");
+  }
+
+  bool erase(const key_type& key) {
+    std::unique_lock lock(lock_for(key));
+    return table_->erase(key);
+  }
+
+  [[nodiscard]] u64 count() const { return table_->count(); }
+  [[nodiscard]] u64 capacity() const { return table_->capacity(); }
+  [[nodiscard]] double load_factor() const { return table_->load_factor(); }
+  [[nodiscard]] usize lock_stripes() const { return locks_.size(); }
+
+  /// Exclusive recovery: takes every stripe, then runs Algorithm 4.
+  hash::RecoveryReport recover() {
+    std::vector<std::unique_lock<std::shared_mutex>> all;
+    all.reserve(locks_.size());
+    for (auto& m : locks_) all.emplace_back(m);
+    return table_->recover();
+  }
+
+  /// Unsynchronized access for single-threaded phases (setup, teardown).
+  [[nodiscard]] Table& unsynchronized_table() { return *table_; }
+
+ private:
+  std::shared_mutex& lock_for(const key_type& key) {
+    const u64 level1 = hash_(key) & (table_->level_cells() - 1);
+    const u64 group = level1 / table_->group_size();
+    return locks_[group & stripe_mask_];
+  }
+
+  nvm::NvmRegion region_;
+  nvm::DirectPM pm_;
+  std::optional<Table> table_;
+  hash::SeededHash hash_{hash::kDefaultSeed1};
+  std::vector<std::shared_mutex> locks_;
+  u64 stripe_mask_ = 0;
+};
+
+using ConcurrentGroupHashTable = BasicConcurrentGroupHashTable<hash::Cell16>;
+using ConcurrentGroupHashTableWide = BasicConcurrentGroupHashTable<hash::Cell32>;
+
+}  // namespace gh

@@ -1,0 +1,255 @@
+#include "core/group_hash_map.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/map_format.hpp"
+#include "util/assert.hpp"
+
+namespace gh {
+namespace {
+
+using map_format::kTableOffset;
+constexpr u64 kMapMagic = map_format::kMagic;
+constexpr u64 kMapVersion = map_format::kVersion;
+constexpr u64 kStateClean = map_format::kStateClean;
+constexpr u64 kStateDirty = map_format::kStateDirty;
+
+u64 pow2_at_least(u64 v) {
+  u64 p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+template <class Cell>
+struct BasicGroupHashMap<Cell>::Superblock : map_format::Superblock {};
+
+template <class Cell>
+typename BasicGroupHashMap<Cell>::Superblock* BasicGroupHashMap<Cell>::superblock() {
+  return reinterpret_cast<Superblock*>(region_.data());
+}
+
+template <class Cell>
+void BasicGroupHashMap<Cell>::init_region(nvm::NvmRegion region, const MapOptions& options,
+                                          bool fresh) {
+  region_ = std::move(region);
+  if (!pm_) {
+    pm_ = std::make_unique<nvm::DirectPM>(
+        nvm::PersistConfig{.flush_latency_ns = options.flush_latency_ns});
+  }
+  if (fresh) {
+    const u64 total_cells = pow2_at_least(std::max<u64>(options.initial_cells, 16));
+    typename Table::Params params{
+        .level_cells = total_cells / 2,
+        .group_size = static_cast<u32>(
+            std::min<u64>(pow2_at_least(options.group_size), total_cells / 2)),
+        .seed = options.hash_seed,
+        // A fresh file (ftruncate) or anonymous mapping is already zero.
+        .zero_memory = false};
+    const usize table_bytes = Table::required_bytes(params);
+    GH_CHECK(region_.size() >= kTableOffset + table_bytes);
+    table_.emplace(*pm_, region_.bytes().subspan(kTableOffset, table_bytes), params,
+                   /*format=*/true);
+    Superblock* sb = superblock();
+    pm_->store_u64(&sb->magic, kMapMagic);
+    pm_->store_u64(&sb->version, kMapVersion);
+    pm_->store_u64(&sb->state, kStateDirty);
+    pm_->store_u64(&sb->cell_size, sizeof(Cell));
+    pm_->store_u64(&sb->table_offset, kTableOffset);
+    pm_->store_u64(&sb->table_bytes, table_bytes);
+    pm_->store_u64(&sb->group_size, params.group_size);
+    pm_->store_u64(&sb->seed, params.seed);
+    pm_->persist(sb, sizeof(Superblock));
+  } else {
+    Superblock* sb = superblock();
+    if (sb->magic != kMapMagic) throw std::runtime_error("not a GroupHashMap file");
+    if (sb->version != kMapVersion) throw std::runtime_error("unsupported map version");
+    if (sb->cell_size != sizeof(Cell)) {
+      throw std::runtime_error("map was created with a different key width");
+    }
+    GH_CHECK(region_.size() >= sb->table_offset + sb->table_bytes);
+    table_.emplace(
+        Table::attach(*pm_, region_.bytes().subspan(sb->table_offset, sb->table_bytes)));
+    if (sb->state == kStateDirty) {
+      recover_now();
+      recovered_on_open_ = true;
+    }
+    mark_state(kStateDirty);
+  }
+}
+
+template <class Cell>
+BasicGroupHashMap<Cell> BasicGroupHashMap<Cell>::create(const std::string& path,
+                                                        const MapOptions& options) {
+  BasicGroupHashMap map;
+  map.path_ = path;
+  map.options_ = options;
+  const u64 total_cells = pow2_at_least(std::max<u64>(options.initial_cells, 16));
+  const usize table_bytes = Table::required_bytes(
+      {.level_cells = total_cells / 2, .group_size = 1});
+  map.init_region(nvm::NvmRegion::create_file(path, kTableOffset + table_bytes), options,
+                  /*fresh=*/true);
+  return map;
+}
+
+template <class Cell>
+BasicGroupHashMap<Cell> BasicGroupHashMap<Cell>::create_in_memory(const MapOptions& options) {
+  BasicGroupHashMap map;
+  map.options_ = options;
+  const u64 total_cells = pow2_at_least(std::max<u64>(options.initial_cells, 16));
+  const usize table_bytes = Table::required_bytes(
+      {.level_cells = total_cells / 2, .group_size = 1});
+  map.init_region(nvm::NvmRegion::create_anonymous(kTableOffset + table_bytes), options,
+                  /*fresh=*/true);
+  return map;
+}
+
+template <class Cell>
+BasicGroupHashMap<Cell> BasicGroupHashMap<Cell>::open(const std::string& path,
+                                                      const MapOptions& options) {
+  BasicGroupHashMap map;
+  map.path_ = path;
+  map.options_ = options;
+  map.init_region(nvm::NvmRegion::open_file(path), options, /*fresh=*/false);
+  return map;
+}
+
+template <class Cell>
+BasicGroupHashMap<Cell>::~BasicGroupHashMap() {
+  if (region_.valid() && !closed_) close();
+}
+
+template <class Cell>
+void BasicGroupHashMap<Cell>::mark_state(u64 state) {
+  Superblock* sb = superblock();
+  pm_->atomic_store_u64(&sb->state, state);
+  pm_->persist(&sb->state, sizeof(u64));
+}
+
+template <class Cell>
+void BasicGroupHashMap<Cell>::close() {
+  if (!region_.valid() || closed_) return;
+  mark_state(kStateClean);
+  region_.sync();
+  closed_ = true;
+}
+
+template <class Cell>
+void BasicGroupHashMap<Cell>::put(const key_type& key, u64 value) {
+  GH_CHECK_MSG(!closed_, "map is closed");
+  if (table().update(key, value)) return;
+  while (!table().insert(key, value)) {
+    if (!options_.auto_expand) throw std::runtime_error("GroupHashMap is full");
+    expand();
+  }
+}
+
+template <class Cell>
+std::optional<u64> BasicGroupHashMap<Cell>::get(const key_type& key) {
+  return table().find(key);
+}
+
+template <class Cell>
+bool BasicGroupHashMap<Cell>::contains(const key_type& key) {
+  return table().find(key).has_value();
+}
+
+template <class Cell>
+u64 BasicGroupHashMap<Cell>::increment(const key_type& key, u64 delta) {
+  GH_CHECK_MSG(!closed_, "map is closed");
+  // One probe: find the cell, bump its value in place; fall back to an
+  // insert when the key is new.
+  if (const auto current = table().find(key)) {
+    const u64 next = *current + delta;
+    GH_CHECK(table().update(key, next));
+    return next;
+  }
+  while (!table().insert(key, delta)) {
+    if (!options_.auto_expand) throw std::runtime_error("GroupHashMap is full");
+    expand();
+  }
+  return delta;
+}
+
+template <class Cell>
+bool BasicGroupHashMap<Cell>::erase(const key_type& key) {
+  GH_CHECK_MSG(!closed_, "map is closed");
+  return table().erase(key);
+}
+
+template <class Cell>
+hash::RecoveryReport BasicGroupHashMap<Cell>::recover_now() {
+  const auto report = table().recover();
+  metrics_.recoveries++;
+  return report;
+}
+
+template <class Cell>
+const MapMetrics& BasicGroupHashMap<Cell>::metrics() {
+  metrics_.table = table().stats();
+  metrics_.persist = pm_->stats();
+  return metrics_;
+}
+
+template <class Cell>
+void BasicGroupHashMap<Cell>::expand() {
+  u64 new_total = 2 * table().capacity();
+  for (;;) {
+    typename Table::Params params{
+        .level_cells = new_total / 2,
+        .group_size = static_cast<u32>(std::min<u64>(table().group_size(), new_total / 2)),
+        .seed = table().seed(),
+        .zero_memory = false};
+    const usize table_bytes = Table::required_bytes(params);
+    const bool file_backed = region_.file_backed();
+    const std::string tmp_path = path_ + ".expand";
+    nvm::NvmRegion new_region =
+        file_backed ? nvm::NvmRegion::create_file(tmp_path, kTableOffset + table_bytes)
+                    : nvm::NvmRegion::create_anonymous(kTableOffset + table_bytes);
+    Table new_table(*pm_, new_region.bytes().subspan(kTableOffset, table_bytes), params,
+                    /*format=*/true);
+    bool refill_ok = true;
+    table().for_each([&](const key_type& k, u64 v) {
+      if (refill_ok && !new_table.insert(k, v)) refill_ok = false;
+    });
+    if (!refill_ok) {
+      // Pathological grouping in the bigger table; double again.
+      new_total *= 2;
+      if (file_backed) std::remove(tmp_path.c_str());
+      continue;
+    }
+    // Publish the new table: superblock, sync, then atomically replace the
+    // old file. The mapping of the new file survives the rename.
+    {
+      auto* sb = reinterpret_cast<Superblock*>(new_region.data());
+      pm_->store_u64(&sb->magic, kMapMagic);
+      pm_->store_u64(&sb->version, kMapVersion);
+      pm_->store_u64(&sb->state, kStateDirty);
+      pm_->store_u64(&sb->cell_size, sizeof(Cell));
+      pm_->store_u64(&sb->table_offset, kTableOffset);
+      pm_->store_u64(&sb->table_bytes, table_bytes);
+      pm_->store_u64(&sb->group_size, params.group_size);
+      pm_->store_u64(&sb->seed, params.seed);
+      pm_->persist(sb, sizeof(Superblock));
+    }
+    if (file_backed) {
+      new_region.sync();
+      if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+        throw std::runtime_error("failed to publish expanded map file");
+      }
+    }
+    // Preserve operation statistics across the rebuild.
+    new_table.stats() = table().stats();
+    table_.emplace(std::move(new_table));
+    region_ = std::move(new_region);
+    metrics_.expansions++;
+    return;
+  }
+}
+
+template class BasicGroupHashMap<hash::Cell16>;
+template class BasicGroupHashMap<hash::Cell32>;
+
+}  // namespace gh

@@ -1,0 +1,153 @@
+// GroupHashMap — the user-facing persistent key-value map built on group
+// hashing. This is the library API a downstream application adopts:
+//
+//   auto map = gh::GroupHashMap::create("/mnt/pmem/index.gh", {});
+//   map.put(42, 1000);
+//   map.close();                       // clean shutdown
+//   ...
+//   auto map2 = gh::GroupHashMap::open("/mnt/pmem/index.gh");
+//   // after a crash, open() runs Algorithm-4 recovery automatically
+//
+// On top of the raw table (src/hash/group_hashing.hpp) this layer adds:
+//   * a superblock with magic/version and a clean/dirty state flag, so
+//     open() knows whether the last shutdown was orderly;
+//   * checked semantics: put() is an upsert, duplicate inserts cannot
+//     create duplicate cells;
+//   * automatic expansion: when an insert finds its level-2 group full
+//     (the paper's "capacity needs to be expanded" signal) the map
+//     rebuilds into a table twice the size — for file-backed maps via
+//     write-new-file + atomic rename;
+//   * a choice of key widths: GroupHashMap (63-bit integer keys) and
+//     GroupHashMapWide (128-bit keys, e.g. content fingerprints).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "hash/cells.hpp"
+#include "hash/group_hashing.hpp"
+#include "nvm/direct_pm.hpp"
+#include "nvm/region.hpp"
+#include "util/types.hpp"
+
+namespace gh {
+
+struct MapOptions {
+  /// Total cell budget (level 1 + level 2); rounded up to a power of two.
+  u64 initial_cells = 1ull << 16;
+  /// Cells per group (paper default 256; power of two).
+  u32 group_size = 256;
+  u64 hash_seed = hash::kDefaultSeed1;
+  /// Emulated NVM write latency injected after each cacheline flush.
+  /// 0 = run at memory speed (real persistent memory, or no emulation).
+  u64 flush_latency_ns = 0;
+  /// Double the table (rebuild) when an insert fails instead of throwing.
+  bool auto_expand = true;
+};
+
+struct MapMetrics {
+  hash::TableStats table;
+  nvm::PersistStats persist;
+  u64 expansions = 0;
+  u64 recoveries = 0;
+};
+
+template <class Cell>
+class BasicGroupHashMap {
+ public:
+  using key_type = typename Cell::key_type;
+  using Table = hash::GroupHashTable<Cell, nvm::DirectPM>;
+
+  /// Create a fresh file-backed map (truncates an existing file).
+  static BasicGroupHashMap create(const std::string& path, const MapOptions& options = {});
+
+  /// Create a map backed by anonymous memory (contents die with the
+  /// process; useful for tests and volatile caches).
+  static BasicGroupHashMap create_in_memory(const MapOptions& options = {});
+
+  /// Open an existing file-backed map. If the map was not closed cleanly,
+  /// recovery (Algorithm 4) runs before the map is usable;
+  /// recovered_on_open() reports that it did.
+  static BasicGroupHashMap open(const std::string& path, const MapOptions& options = {});
+
+  BasicGroupHashMap(BasicGroupHashMap&&) noexcept = default;
+  BasicGroupHashMap& operator=(BasicGroupHashMap&&) noexcept = default;
+  ~BasicGroupHashMap();
+
+  /// Insert or update. May expand the map; throws std::runtime_error when
+  /// the map is full and auto_expand is off.
+  void put(const key_type& key, u64 value);
+
+  [[nodiscard]] std::optional<u64> get(const key_type& key);
+  [[nodiscard]] bool contains(const key_type& key);
+
+  /// Read-modify-write in one lookup: adds `delta` to the key's value
+  /// (inserting `delta` if absent) and returns the new value. The value
+  /// overwrite is a single 8-byte atomic store, so a crash leaves either
+  /// the old or the new counter — never a torn one.
+  u64 increment(const key_type& key, u64 delta = 1);
+
+  /// Batched lookup with software prefetching (see
+  /// hash::GroupHashTable::find_batch). out[i] receives the result for
+  /// keys[i].
+  void get_batch(std::span<const key_type> keys, std::span<std::optional<u64>> out) {
+    table().find_batch(keys, out);
+  }
+
+  /// Removes the key; returns whether it was present.
+  bool erase(const key_type& key);
+
+  /// Visit all (key, value) pairs.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    table().for_each(std::forward<Fn>(fn));
+  }
+
+  [[nodiscard]] u64 size() const { return table().count(); }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] u64 capacity() const { return table().capacity(); }
+  [[nodiscard]] double load_factor() const { return table().load_factor(); }
+  [[nodiscard]] bool recovered_on_open() const { return recovered_on_open_; }
+  [[nodiscard]] const MapMetrics& metrics();
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Force an Algorithm-4 recovery pass (normally done by open()).
+  hash::RecoveryReport recover_now();
+
+  /// Mark the map clean and sync it. Called by the destructor; calling it
+  /// explicitly makes shutdown errors observable.
+  void close();
+
+ private:
+  struct Superblock;
+
+  BasicGroupHashMap() = default;
+
+  Table& table() { return *table_; }
+  const Table& table() const { return *table_; }
+  Superblock* superblock();
+  void mark_state(u64 state);
+  void expand();
+  void init_region(nvm::NvmRegion region, const MapOptions& options, bool fresh);
+
+  std::string path_;
+  MapOptions options_;
+  nvm::NvmRegion region_;
+  // Heap-allocated so the table's pointer to it stays valid across moves.
+  std::unique_ptr<nvm::DirectPM> pm_;
+  std::optional<Table> table_;
+  MapMetrics metrics_;
+  bool recovered_on_open_ = false;
+  bool closed_ = false;
+};
+
+/// 63-bit integer keys in 16-byte cells (the paper's RandomNum /
+/// Bag-of-Words item shape).
+using GroupHashMap = BasicGroupHashMap<hash::Cell16>;
+
+/// 128-bit keys in 32-byte cells (the paper's Fingerprint item shape).
+using GroupHashMapWide = BasicGroupHashMap<hash::Cell32>;
+
+}  // namespace gh

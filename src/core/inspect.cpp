@@ -1,0 +1,37 @@
+#include "core/inspect.hpp"
+
+#include <stdexcept>
+
+#include "core/map_format.hpp"
+#include "nvm/direct_pm.hpp"
+#include "hash/cells.hpp"
+#include "nvm/region.hpp"
+
+namespace gh {
+
+MapFileInfo read_map_file_info(const std::string& path) {
+  nvm::NvmRegion region = nvm::NvmRegion::open_file(path);
+  if (region.size() < map_format::kTableOffset + 64) {
+    throw std::runtime_error("file too small to be a GroupHashMap: " + path);
+  }
+  const auto* sb = reinterpret_cast<const map_format::Superblock*>(region.data());
+  if (sb->magic != map_format::kMagic) {
+    throw std::runtime_error("not a GroupHashMap file: " + path);
+  }
+  MapFileInfo info;
+  info.version = sb->version;
+  info.clean = sb->state == map_format::kStateClean;
+  info.cell_size = sb->cell_size;
+  info.table_offset = sb->table_offset;
+  info.table_bytes = sb->table_bytes;
+  info.group_size = sb->group_size;
+  // The table header layout is cell-size independent; Cell16's suffices
+  // for the geometry fields.
+  using Header = hash::GroupHashTable<hash::Cell16, nvm::DirectPM>::Header;
+  const auto* th = reinterpret_cast<const Header*>(region.data() + sb->table_offset);
+  info.level_cells = th->level_cells;
+  info.count = th->count;
+  return info;
+}
+
+}  // namespace gh

@@ -1,0 +1,87 @@
+// Inspection and integrity checking for group-hashing tables and map
+// files — the tooling layer behind the gh_fsck example.
+//
+// inspect() walks a table read-only and reports occupancy (overall, per
+// level, per group), torn cells a recovery pass would scrub, and whether
+// the persistent `count` matches a fresh scan. read_map_file_info() peeks
+// at a GroupHashMap file's superblock without opening (and therefore
+// without recovering) it.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "hash/group_hashing.hpp"
+#include "util/types.hpp"
+
+namespace gh {
+
+struct TableInspection {
+  u64 capacity = 0;
+  u64 count_field = 0;       ///< the persistent count word
+  u64 scanned_occupied = 0;  ///< occupied cells found by the scan
+  u64 level1_occupied = 0;
+  u64 level2_occupied = 0;
+  u64 torn_cells = 0;  ///< unoccupied cells holding residual payload bytes
+  u32 group_size = 0;
+  std::vector<u64> group_level2_occupancy;  ///< items per level-2 group
+  u64 max_group_occupancy = 0;
+  u64 full_groups = 0;  ///< groups with no level-2 space left
+
+  [[nodiscard]] bool count_consistent() const { return count_field == scanned_occupied; }
+  [[nodiscard]] bool clean() const { return count_consistent() && torn_cells == 0; }
+  [[nodiscard]] double load_factor() const {
+    return capacity ? static_cast<double>(scanned_occupied) / static_cast<double>(capacity)
+                    : 0.0;
+  }
+};
+
+/// Read-only structural scan of a group-hashing table.
+template <class Cell, class PM>
+TableInspection inspect(const hash::GroupHashTable<Cell, PM>& table) {
+  TableInspection r;
+  r.capacity = table.capacity();
+  r.count_field = table.count();
+  r.group_size = table.group_size();
+  const u64 level_cells = table.level_cells();
+  r.group_level2_occupancy.assign(level_cells / r.group_size, 0);
+  for (u64 i = 0; i < level_cells; ++i) {
+    const Cell& c1 = table.level1_cell(i);
+    if (c1.occupied()) {
+      r.level1_occupied++;
+    } else if (c1.payload_dirty()) {
+      r.torn_cells++;
+    }
+    const Cell& c2 = table.level2_cell(i);
+    if (c2.occupied()) {
+      r.level2_occupied++;
+      r.group_level2_occupancy[i / r.group_size]++;
+    } else if (c2.payload_dirty()) {
+      r.torn_cells++;
+    }
+  }
+  r.scanned_occupied = r.level1_occupied + r.level2_occupied;
+  for (const u64 occ : r.group_level2_occupancy) {
+    r.max_group_occupancy = std::max(r.max_group_occupancy, occ);
+    if (occ == r.group_size) r.full_groups++;
+  }
+  return r;
+}
+
+/// Superblock summary of a GroupHashMap file (no recovery is triggered).
+struct MapFileInfo {
+  u64 version = 0;
+  bool clean = false;   ///< last shutdown was orderly
+  u64 cell_size = 0;    ///< 16 (integer keys) or 32 (wide keys)
+  u64 table_offset = 0;
+  u64 table_bytes = 0;
+  u64 group_size = 0;
+  u64 level_cells = 0;
+  u64 count = 0;
+};
+
+/// Throws std::runtime_error when the file is not a GroupHashMap.
+MapFileInfo read_map_file_info(const std::string& path);
+
+}  // namespace gh

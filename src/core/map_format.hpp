@@ -1,0 +1,31 @@
+// On-NVM file format of a GroupHashMap: the superblock page that precedes
+// the table. Shared by the map implementation (group_hash_map.cpp) and
+// the read-only tooling (inspect.cpp / gh_fsck).
+//
+// Layout:
+//   [0, 4096)   Superblock (magic, version, clean/dirty state, geometry)
+//   [4096, ...) GroupHashTable (its own 64-byte header + two cell levels)
+#pragma once
+
+#include "util/types.hpp"
+
+namespace gh::map_format {
+
+inline constexpr u64 kMagic = 0x47484d4150303031ull;  // "GHMAP001"
+inline constexpr u64 kVersion = 1;
+inline constexpr u64 kStateClean = 0x636c65616eull;  // "clean"
+inline constexpr u64 kStateDirty = 0x6469727479ull;  // "dirty"
+inline constexpr usize kTableOffset = 4096;          // superblock page
+
+struct Superblock {
+  u64 magic;
+  u64 version;
+  u64 state;  ///< kStateClean / kStateDirty; 8-byte atomically flipped
+  u64 cell_size;
+  u64 table_offset;
+  u64 table_bytes;
+  u64 group_size;
+  u64 seed;
+};
+
+}  // namespace gh::map_format

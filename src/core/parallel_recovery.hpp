@@ -1,0 +1,68 @@
+// Parallel recovery — a multicore extension of the paper's Algorithm 4.
+//
+// Recovery scans the whole table (the paper measures 630 ms for a 1 GiB
+// table, Table 3). The scan is embarrassingly parallel: cells are
+// independent, scrubbing one never touches another, and the only shared
+// state — the recomputed `count` — reduces over slices. This splits the
+// index space across threads, each with its own persistence policy
+// instance (so flush statistics and latency injection stay per-thread),
+// and publishes the merged count once at the end. The result is
+// bit-identical to the sequential Algorithm 4.
+#pragma once
+
+#include <thread>
+#include <vector>
+
+#include "hash/group_hashing.hpp"
+#include "nvm/direct_pm.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace gh {
+
+struct ParallelRecoveryResult {
+  hash::RecoveryReport report;
+  u32 threads_used = 0;
+};
+
+/// Recover `table` using up to `threads` workers (0 = hardware
+/// concurrency). The table's own persistence configuration is replicated
+/// per worker.
+template <class Cell>
+ParallelRecoveryResult parallel_recover(
+    hash::GroupHashTable<Cell, nvm::DirectPM>& table, u32 threads = 0) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  const u64 level_cells = table.level_cells();
+  threads = static_cast<u32>(std::min<u64>(threads, std::max<u64>(1, level_cells / 1024)));
+  if (threads <= 1) {
+    ParallelRecoveryResult r{table.recover(), 1};
+    return r;
+  }
+
+  const nvm::PersistConfig config = table.pm().config();
+  std::vector<hash::RecoveryReport> slices(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const u64 chunk = (level_cells + threads - 1) / threads;
+  for (u32 t = 0; t < threads; ++t) {
+    workers.emplace_back([&table, &slices, config, t, chunk, level_cells] {
+      const u64 begin = t * chunk;
+      const u64 end = std::min(level_cells, begin + chunk);
+      nvm::DirectPM worker_pm(config);
+      if (begin < end) slices[t] = table.recover_slice(begin, end, worker_pm);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  ParallelRecoveryResult result;
+  result.threads_used = threads;
+  for (const auto& s : slices) {
+    result.report.cells_scanned += s.cells_scanned;
+    result.report.cells_scrubbed += s.cells_scrubbed;
+    result.report.recovered_count += s.recovered_count;
+  }
+  table.set_recovered_count(result.report.recovered_count);
+  return result;
+}
+
+}  // namespace gh

@@ -1,0 +1,312 @@
+#include "core/string_map.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "trace/md5.hpp"
+#include "util/assert.hpp"
+
+namespace gh {
+namespace {
+
+constexpr u64 kMagic = 0x4748534d41503031ull;  // "GHSMAP01"
+constexpr u64 kVersion = 1;
+constexpr u64 kStateClean = 0x636c65616eull;
+constexpr u64 kStateDirty = 0x6469727479ull;
+constexpr usize kSuperblockBytes = 4096;
+
+/// Arena record layout: value (u64) | key_len (u64) | key bytes.
+constexpr usize kRecordHeaderBytes = 2 * sizeof(u64);
+
+u64 pow2_at_least(u64 v) {
+  u64 p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+struct PersistentStringMap::Superblock {
+  u64 magic;
+  u64 version;
+  u64 state;
+  u64 arena_offset;
+  u64 arena_bytes;
+  u64 table_offset;
+  u64 table_bytes;
+  u64 seed;
+};
+
+Key128 PersistentStringMap::fingerprint(std::string_view key) {
+  trace::Md5 md5;
+  md5.update(key.data(), key.size());
+  return trace::Md5::to_key(md5.finish());
+}
+
+PersistentStringMap::Superblock* PersistentStringMap::superblock() {
+  return reinterpret_cast<Superblock*>(region_.data());
+}
+
+void PersistentStringMap::init_region(nvm::NvmRegion region,
+                                      const StringMapOptions& options, bool fresh) {
+  region_ = std::move(region);
+  if (!pm_) {
+    pm_ = std::make_unique<nvm::DirectPM>(
+        nvm::PersistConfig{.flush_latency_ns = options.flush_latency_ns});
+  }
+  if (fresh) {
+    const u64 cells = pow2_at_least(std::max<u64>(options.initial_cells, 16));
+    const usize arena_bytes =
+        Arena::required_bytes(std::max<usize>(cells * options.arena_bytes_per_cell, 4096));
+    const typename Table::Params params{
+        .level_cells = cells / 2,
+        .group_size =
+            static_cast<u32>(std::min<u64>(pow2_at_least(options.group_size), cells / 2))};
+    const usize table_bytes = Table::required_bytes(params);
+    GH_CHECK(region_.size() >= kSuperblockBytes + arena_bytes + table_bytes);
+    arena_.emplace(*pm_, region_.bytes().subspan(kSuperblockBytes, arena_bytes),
+                   /*format=*/true);
+    table_.emplace(*pm_,
+                   region_.bytes().subspan(kSuperblockBytes + arena_bytes, table_bytes),
+                   params, /*format=*/true);
+    Superblock* sb = superblock();
+    pm_->store_u64(&sb->magic, kMagic);
+    pm_->store_u64(&sb->version, kVersion);
+    pm_->store_u64(&sb->state, kStateDirty);
+    pm_->store_u64(&sb->arena_offset, kSuperblockBytes);
+    pm_->store_u64(&sb->arena_bytes, arena_bytes);
+    pm_->store_u64(&sb->table_offset, kSuperblockBytes + arena_bytes);
+    pm_->store_u64(&sb->table_bytes, table_bytes);
+    pm_->store_u64(&sb->seed, params.seed);
+    pm_->persist(sb, sizeof(Superblock));
+  } else {
+    Superblock* sb = superblock();
+    if (sb->magic != kMagic) throw std::runtime_error("not a PersistentStringMap file");
+    if (sb->version != kVersion) throw std::runtime_error("unsupported string-map version");
+    GH_CHECK(region_.size() >= sb->table_offset + sb->table_bytes);
+    arena_.emplace(*pm_, region_.bytes().subspan(sb->arena_offset, sb->arena_bytes),
+                   /*format=*/false);
+    table_.emplace(
+        Table::attach(*pm_, region_.bytes().subspan(sb->table_offset, sb->table_bytes)));
+    if (sb->state == kStateDirty) {
+      table_->recover();
+      recoveries_++;
+      recovered_on_open_ = true;
+    }
+    mark_state(kStateDirty);
+  }
+}
+
+PersistentStringMap PersistentStringMap::create(const std::string& path,
+                                                const StringMapOptions& options) {
+  PersistentStringMap map;
+  map.path_ = path;
+  map.options_ = options;
+  const u64 cells = pow2_at_least(std::max<u64>(options.initial_cells, 16));
+  const usize arena_bytes =
+      Arena::required_bytes(std::max<usize>(cells * options.arena_bytes_per_cell, 4096));
+  const usize table_bytes =
+      Table::required_bytes({.level_cells = cells / 2, .group_size = 1});
+  map.init_region(
+      nvm::NvmRegion::create_file(path, kSuperblockBytes + arena_bytes + table_bytes),
+      options, /*fresh=*/true);
+  return map;
+}
+
+PersistentStringMap PersistentStringMap::create_in_memory(const StringMapOptions& options) {
+  PersistentStringMap map;
+  map.options_ = options;
+  const u64 cells = pow2_at_least(std::max<u64>(options.initial_cells, 16));
+  const usize arena_bytes =
+      Arena::required_bytes(std::max<usize>(cells * options.arena_bytes_per_cell, 4096));
+  const usize table_bytes =
+      Table::required_bytes({.level_cells = cells / 2, .group_size = 1});
+  map.init_region(
+      nvm::NvmRegion::create_anonymous(kSuperblockBytes + arena_bytes + table_bytes),
+      options, /*fresh=*/true);
+  return map;
+}
+
+PersistentStringMap PersistentStringMap::open(const std::string& path,
+                                              const StringMapOptions& options) {
+  PersistentStringMap map;
+  map.path_ = path;
+  map.options_ = options;
+  map.init_region(nvm::NvmRegion::open_file(path), options, /*fresh=*/false);
+  return map;
+}
+
+PersistentStringMap::~PersistentStringMap() {
+  if (region_.valid() && !closed_) close();
+}
+
+void PersistentStringMap::mark_state(u64 state) {
+  Superblock* sb = superblock();
+  pm_->atomic_store_u64(&sb->state, state);
+  pm_->persist(&sb->state, sizeof(u64));
+}
+
+void PersistentStringMap::close() {
+  if (!region_.valid() || closed_) return;
+  mark_state(kStateClean);
+  region_.sync();
+  closed_ = true;
+}
+
+PersistentStringMap::Record PersistentStringMap::load_record(u64 offset) const {
+  const auto header = arena().read(offset, kRecordHeaderBytes);
+  u64 value, key_len;
+  std::memcpy(&value, header.data(), sizeof(u64));
+  std::memcpy(&key_len, header.data() + sizeof(u64), sizeof(u64));
+  const auto key_bytes = arena().read(offset + kRecordHeaderBytes, key_len);
+  return Record{
+      std::string_view(reinterpret_cast<const char*>(key_bytes.data()), key_len), value};
+}
+
+std::optional<u64> PersistentStringMap::append_record(std::string_view key, u64 value) {
+  std::string buf;
+  buf.resize(kRecordHeaderBytes + key.size());
+  const u64 key_len = key.size();
+  std::memcpy(buf.data(), &value, sizeof(u64));
+  std::memcpy(buf.data() + sizeof(u64), &key_len, sizeof(u64));
+  std::memcpy(buf.data() + kRecordHeaderBytes, key.data(), key.size());
+  return arena().append(buf.data(), buf.size());
+}
+
+void PersistentStringMap::put(std::string_view key, u64 value) {
+  GH_CHECK_MSG(!closed_, "map is closed");
+  const Key128 fp = fingerprint(key);
+  if (const auto offset = table().find(fp)) {
+    const Record rec = load_record(*offset);
+    if (rec.key != key) {
+      throw std::runtime_error("fingerprint collision between distinct keys");
+    }
+    if (rec.value == value) return;
+    // In-place 8-byte atomic update of the record's value word.
+    auto* value_word = const_cast<std::byte*>(arena().read(*offset, sizeof(u64)).data());
+    pm_->atomic_store_u64(reinterpret_cast<u64*>(value_word), value);
+    pm_->persist(value_word, sizeof(u64));
+    return;
+  }
+  for (u32 attempt = 0;; ++attempt) {
+    if (const auto offset = append_record(key, value)) {
+      if (table().insert(fp, *offset)) return;
+      // Table full: the appended record becomes garbage the compaction
+      // reclaims (the arena has no way to un-append atomically).
+    }
+    if (!options_.auto_compact) throw std::runtime_error("PersistentStringMap is full");
+    if (attempt == 0) {
+      compact();  // reclaim garbage first; often enough
+    } else {
+      // Same-size compaction was not enough (e.g. one over-full group
+      // re-hashes identically); force a doubling.
+      const StringMapStats s = stats();
+      rebuild(pow2_at_least(s.table_capacity * 2),
+              std::max<usize>(s.arena_live * 2 + 4096, s.arena_capacity));
+      compactions_++;
+    }
+  }
+}
+
+std::optional<u64> PersistentStringMap::get(std::string_view key) {
+  const auto offset = table().find(fingerprint(key));
+  if (!offset) return std::nullopt;
+  const Record rec = load_record(*offset);
+  if (rec.key != key) {
+    throw std::runtime_error("fingerprint collision between distinct keys");
+  }
+  return rec.value;
+}
+
+bool PersistentStringMap::contains(std::string_view key) { return get(key).has_value(); }
+
+bool PersistentStringMap::erase(std::string_view key) {
+  GH_CHECK_MSG(!closed_, "map is closed");
+  return table().erase(fingerprint(key));
+}
+
+StringMapStats PersistentStringMap::stats() const {
+  StringMapStats s;
+  s.items = table().count();
+  s.table_capacity = table().capacity();
+  s.arena_used = arena().head();
+  s.arena_capacity = arena().capacity();
+  table().for_each([&](const Key128&, u64 offset) {
+    const Record rec = load_record(offset);
+    s.arena_live += round_up(kRecordHeaderBytes + rec.key.size(), kAtomicUnit);
+  });
+  s.compactions = compactions_;
+  s.recoveries = recoveries_;
+  return s;
+}
+
+void PersistentStringMap::compact() {
+  // Size the new region for current contents with headroom.
+  const StringMapStats s = stats();
+  const u64 new_cells =
+      pow2_at_least(std::max<u64>(s.items * 2, std::max<u64>(s.table_capacity, 16)));
+  const usize new_arena = std::max<usize>(s.arena_live * 2 + 4096, s.arena_capacity);
+  rebuild(new_cells, new_arena);
+  compactions_++;
+}
+
+void PersistentStringMap::rebuild(u64 new_cells, usize new_arena_data_bytes) {
+  const usize arena_bytes = Arena::required_bytes(new_arena_data_bytes);
+  const typename Table::Params params{
+      .level_cells = new_cells / 2,
+      .group_size =
+          static_cast<u32>(std::min<u64>(table().group_size(), new_cells / 2)),
+      .seed = table().seed()};
+  const usize table_bytes = Table::required_bytes(params);
+  const usize total = kSuperblockBytes + arena_bytes + table_bytes;
+
+  const bool file_backed = region_.file_backed();
+  const std::string tmp_path = path_ + ".compact";
+  nvm::NvmRegion new_region = file_backed ? nvm::NvmRegion::create_file(tmp_path, total)
+                                          : nvm::NvmRegion::create_anonymous(total);
+  Arena new_arena(*pm_, new_region.bytes().subspan(kSuperblockBytes, arena_bytes),
+                  /*format=*/true);
+  Table new_table(*pm_,
+                  new_region.bytes().subspan(kSuperblockBytes + arena_bytes, table_bytes),
+                  params, /*format=*/true);
+
+  bool ok = true;
+  table().for_each([&](const Key128& fp, u64 offset) {
+    if (!ok) return;
+    const Record rec = load_record(offset);
+    std::string buf;
+    buf.resize(kRecordHeaderBytes + rec.key.size());
+    const u64 key_len = rec.key.size();
+    std::memcpy(buf.data(), &rec.value, sizeof(u64));
+    std::memcpy(buf.data() + sizeof(u64), &key_len, sizeof(u64));
+    std::memcpy(buf.data() + kRecordHeaderBytes, rec.key.data(), rec.key.size());
+    const auto new_offset = new_arena.append(buf.data(), buf.size());
+    if (!new_offset || !new_table.insert(fp, *new_offset)) ok = false;
+  });
+  GH_CHECK_MSG(ok, "compaction target sizing failed");
+
+  {
+    auto* sb = reinterpret_cast<Superblock*>(new_region.data());
+    pm_->store_u64(&sb->magic, kMagic);
+    pm_->store_u64(&sb->version, kVersion);
+    pm_->store_u64(&sb->state, kStateDirty);
+    pm_->store_u64(&sb->arena_offset, kSuperblockBytes);
+    pm_->store_u64(&sb->arena_bytes, arena_bytes);
+    pm_->store_u64(&sb->table_offset, kSuperblockBytes + arena_bytes);
+    pm_->store_u64(&sb->table_bytes, table_bytes);
+    pm_->store_u64(&sb->seed, params.seed);
+    pm_->persist(sb, sizeof(Superblock));
+  }
+  if (file_backed) {
+    new_region.sync();
+    if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+      throw std::runtime_error("failed to publish compacted map file");
+    }
+  }
+  table_.emplace(std::move(new_table));
+  arena_.emplace(std::move(new_arena));
+  region_ = std::move(new_region);
+}
+
+}  // namespace gh

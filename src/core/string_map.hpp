@@ -1,0 +1,140 @@
+// PersistentStringMap — string keys on top of group hashing.
+//
+// The paper's cells hold fixed-size keys (63-bit integers or 16-byte
+// fingerprints). Real key-value workloads (memcached et al., the paper's
+// own motivation in §1) have variable-size string keys. This layer
+// composes two of this repository's primitives into a complete answer:
+//
+//   * keys are fingerprinted to 128 bits (MD5) and indexed by a
+//     GroupHashTable<Cell32> — the paper's structure, unchanged;
+//   * the full key bytes and the user value live in a PersistentArena
+//     record; the hash cell's value field stores the record offset;
+//   * get() verifies the stored key bytes, so a fingerprint collision is
+//     detected (and reported) rather than silently merged;
+//   * value updates are 8-byte atomic in-place overwrites of the record's
+//     value word — no new allocation, no logging;
+//   * deletes retract the cell (the paper's protocol); the orphaned
+//     record is reclaimed by compact(), which rebuilds arena + table into
+//     a fresh region and doubles them as needed (auto-triggered when
+//     either fills).
+//
+// Consistency: every mutation is committed by exactly one 8-byte atomic
+// store (arena head, cell commit word, or record value word), in the same
+// spirit — and with the same recovery scan — as the paper's design.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "hash/cells.hpp"
+#include "hash/group_hashing.hpp"
+#include "nvm/arena.hpp"
+#include "nvm/direct_pm.hpp"
+#include "nvm/region.hpp"
+#include "util/types.hpp"
+
+namespace gh {
+
+struct StringMapOptions {
+  u64 initial_cells = 1ull << 12;  ///< hash cells (both levels)
+  u32 group_size = 256;
+  /// Arena bytes provisioned per hash cell (records are ~24B + key).
+  usize arena_bytes_per_cell = 48;
+  u64 flush_latency_ns = 0;
+  bool auto_compact = true;  ///< rebuild+grow when table or arena fills
+};
+
+struct StringMapStats {
+  u64 items = 0;
+  u64 table_capacity = 0;
+  u64 arena_used = 0;
+  u64 arena_capacity = 0;
+  u64 arena_live = 0;  ///< bytes reachable from the table (rest is garbage)
+  u64 compactions = 0;
+  u64 recoveries = 0;
+};
+
+class PersistentStringMap {
+ public:
+  static PersistentStringMap create(const std::string& path,
+                                    const StringMapOptions& options = {});
+  static PersistentStringMap create_in_memory(const StringMapOptions& options = {});
+  /// Opens an existing map; runs recovery when the last shutdown was not
+  /// clean (recovered_on_open() reports it).
+  static PersistentStringMap open(const std::string& path,
+                                  const StringMapOptions& options = {});
+
+  PersistentStringMap(PersistentStringMap&&) noexcept = default;
+  PersistentStringMap& operator=(PersistentStringMap&&) noexcept = default;
+  ~PersistentStringMap();
+
+  /// Insert or update. Throws std::runtime_error on a detected
+  /// fingerprint collision (probability ~2^-128) and when full with
+  /// auto_compact disabled.
+  void put(std::string_view key, u64 value);
+
+  [[nodiscard]] std::optional<u64> get(std::string_view key);
+  [[nodiscard]] bool contains(std::string_view key);
+  bool erase(std::string_view key);
+
+  /// Visit every (key, value). Key views are valid only during the call.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    table().for_each([&](const Key128&, u64 offset) {
+      const Record rec = load_record(offset);
+      fn(rec.key, rec.value);
+    });
+  }
+
+  [[nodiscard]] u64 size() const { return table().count(); }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] bool recovered_on_open() const { return recovered_on_open_; }
+  [[nodiscard]] StringMapStats stats() const;
+
+  /// Rebuild into a fresh region: drops orphaned arena records and grows
+  /// table/arena to fit current contents with headroom. Called
+  /// automatically by put() when space runs out (auto_compact).
+  void compact();
+
+  void close();
+
+ private:
+  using Table = hash::GroupHashTable<hash::Cell32, nvm::DirectPM>;
+  using Arena = nvm::PersistentArena<nvm::DirectPM>;
+
+  struct Superblock;
+  struct Record {
+    std::string_view key;
+    u64 value = 0;
+  };
+
+  PersistentStringMap() = default;
+
+  Table& table() { return *table_; }
+  const Table& table() const { return *table_; }
+  Arena& arena() { return *arena_; }
+  const Arena& arena() const { return *arena_; }
+  Superblock* superblock();
+  void mark_state(u64 state);
+  void init_region(nvm::NvmRegion region, const StringMapOptions& options, bool fresh);
+  Record load_record(u64 offset) const;
+  /// Appends a (value, key) record; nullopt when the arena is full.
+  std::optional<u64> append_record(std::string_view key, u64 value);
+  void rebuild(u64 new_cells, usize new_arena_bytes);
+  static Key128 fingerprint(std::string_view key);
+
+  std::string path_;
+  StringMapOptions options_;
+  nvm::NvmRegion region_;
+  std::unique_ptr<nvm::DirectPM> pm_;
+  std::optional<Table> table_;
+  std::optional<Arena> arena_;
+  u64 compactions_ = 0;
+  u64 recoveries_ = 0;
+  bool recovered_on_open_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace gh

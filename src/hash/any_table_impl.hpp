@@ -1,0 +1,198 @@
+// Implementation of the AnyTable factory (included by any_table.hpp).
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "hash/any_table.hpp"
+#include "hash/cells.hpp"
+#include "hash/chained_hashing.hpp"
+#include "hash/cuckoo_hashing.hpp"
+#include "hash/group_hashing_2h.hpp"
+#include "hash/level_hashing.hpp"
+#include "hash/linear_probing.hpp"
+#include "hash/path_hashing.hpp"
+#include "hash/pfht.hpp"
+#include "hash/two_choice.hpp"
+#include "hash/wal.hpp"
+#include "util/assert.hpp"
+
+namespace gh::hash::detail {
+
+template <class Table, class PM>
+class TableAdapter final : public AnyTable<PM> {
+ public:
+  TableAdapter(std::string name, Table table, std::unique_ptr<UndoLog<PM>> wal)
+      : name_(std::move(name)), table_(std::move(table)), wal_(std::move(wal)) {
+    if (wal_) {
+      // Schemes outside the paper's comparison (chained, 2-choice) have no
+      // logging hook; a WAL configured for them is simply unused.
+      if constexpr (requires(Table& t, UndoLog<PM>* w) { t.attach_wal(w); }) {
+        table_.attach_wal(wal_.get());
+      }
+    }
+  }
+
+  bool insert(const Key128& key, u64 value) override {
+    return table_.insert(narrow(key), value);
+  }
+  std::optional<u64> find(const Key128& key) override { return table_.find(narrow(key)); }
+  bool erase(const Key128& key) override { return table_.erase(narrow(key)); }
+  RecoveryReport recover() override { return table_.recover(); }
+  u64 count() const override { return table_.count(); }
+  u64 capacity() const override { return table_.capacity(); }
+  TableStats& stats() override { return table_.stats(); }
+  std::string name() const override { return name_; }
+
+  [[nodiscard]] Table& inner() { return table_; }
+
+ private:
+  static typename Table::key_type narrow(const Key128& key) {
+    if constexpr (std::is_same_v<typename Table::key_type, u64>) {
+      GH_DCHECK(key.hi == 0 && key.lo <= Cell16::kMaxKey);
+      return key.lo;
+    } else {
+      return key;
+    }
+  }
+
+  std::string name_;
+  Table table_;
+  std::unique_ptr<UndoLog<PM>> wal_;
+};
+
+/// Per-scheme layout parameters derived from the shared cell budget.
+inline u64 cells_budget(const TableConfig& c) { return 1ull << c.total_cells_log2; }
+
+inline u32 clamped_group_size(const TableConfig& c) {
+  const u64 level_cells = cells_budget(c) / 2;
+  GH_CHECK_MSG(is_pow2(c.group_size), "group_size must be a power of two");
+  return static_cast<u32>(std::min<u64>(c.group_size, level_cells));
+}
+
+inline u32 path_level0_bits(const TableConfig& c) { return c.total_cells_log2 - 1; }
+inline u32 path_levels(const TableConfig& c) {
+  return std::min(c.reserved_levels, c.total_cells_log2);
+}
+
+template <class Cell, class PM>
+std::unique_ptr<AnyTable<PM>> make_table_cell(PM& pm, std::span<std::byte> mem,
+                                              const TableConfig& cfg, bool format) {
+  const u64 total = cells_budget(cfg);
+  GH_CHECK_MSG(cfg.total_cells_log2 >= 4, "table too small");
+
+  // The undo log (if any) lives after the table in the same span and
+  // tracks the table bytes.
+  auto finish = [&](auto table, usize table_bytes) -> std::unique_ptr<AnyTable<PM>> {
+    using Table = decltype(table);
+    std::unique_ptr<UndoLog<PM>> wal;
+    if (cfg.with_wal) {
+      const usize wal_bytes = UndoLog<PM>::required_bytes(cfg.wal_records);
+      GH_CHECK(mem.size() >= table_bytes + wal_bytes);
+      wal = std::make_unique<UndoLog<PM>>(pm, mem.subspan(table_bytes, wal_bytes),
+                                          mem.first(table_bytes), cfg.wal_records, format);
+    }
+    return std::make_unique<TableAdapter<Table, PM>>(cfg.display_name(), std::move(table),
+                                                     std::move(wal));
+  };
+
+  switch (cfg.scheme) {
+    case Scheme::kGroup: {
+      using Table = GroupHashTable<Cell, PM>;
+      typename Table::Params p{.level_cells = total / 2,
+                               .group_size = clamped_group_size(cfg),
+                               .seed = cfg.seed1,
+                               .zero_memory = cfg.zero_memory};
+      const usize bytes = Table::required_bytes(p);
+      GH_CHECK(mem.size() >= bytes);
+      return finish(Table(pm, mem.first(bytes), p, format), bytes);
+    }
+    case Scheme::kLinear: {
+      using Table = LinearProbingTable<Cell, PM>;
+      typename Table::Params p{.cells = total, .seed = cfg.seed1,
+                               .zero_memory = cfg.zero_memory};
+      const usize bytes = Table::required_bytes(p);
+      GH_CHECK(mem.size() >= bytes);
+      return finish(Table(pm, mem.first(bytes), p, format), bytes);
+    }
+    case Scheme::kPfht: {
+      using Table = PfhtTable<Cell, PM>;
+      typename Table::Params p{.cells = total, .seed1 = cfg.seed1, .seed2 = cfg.seed2,
+                               .zero_memory = cfg.zero_memory};
+      const usize bytes = Table::required_bytes(p);
+      GH_CHECK(mem.size() >= bytes);
+      return finish(Table(pm, mem.first(bytes), p, format), bytes);
+    }
+    case Scheme::kPath: {
+      using Table = PathHashTable<Cell, PM>;
+      typename Table::Params p{.level0_bits = path_level0_bits(cfg),
+                               .reserved_levels = path_levels(cfg),
+                               .seed1 = cfg.seed1, .seed2 = cfg.seed2,
+                               .zero_memory = cfg.zero_memory};
+      const usize bytes = Table::required_bytes(p);
+      GH_CHECK(mem.size() >= bytes);
+      return finish(Table(pm, mem.first(bytes), p, format), bytes);
+    }
+    case Scheme::kChained: {
+      using Table = ChainedHashTable<Cell, PM>;
+      typename Table::Params p{.buckets = total / 2, .pool_nodes = total,
+                               .seed = cfg.seed1, .zero_memory = cfg.zero_memory};
+      const usize bytes = Table::required_bytes(p);
+      GH_CHECK(mem.size() >= bytes);
+      return finish(Table(pm, mem.first(bytes), p, format), bytes);
+    }
+    case Scheme::kTwoChoice: {
+      using Table = TwoChoiceTable<Cell, PM>;
+      typename Table::Params p{.cells = total, .seed1 = cfg.seed1, .seed2 = cfg.seed2,
+                               .zero_memory = cfg.zero_memory};
+      const usize bytes = Table::required_bytes(p);
+      GH_CHECK(mem.size() >= bytes);
+      return finish(Table(pm, mem.first(bytes), p, format), bytes);
+    }
+    case Scheme::kCuckoo: {
+      using Table = CuckooHashTable<Cell, PM>;
+      typename Table::Params p{.cells = total, .seed1 = cfg.seed1, .seed2 = cfg.seed2,
+                               .zero_memory = cfg.zero_memory};
+      const usize bytes = Table::required_bytes(p);
+      GH_CHECK(mem.size() >= bytes);
+      return finish(Table(pm, mem.first(bytes), p, format), bytes);
+    }
+    case Scheme::kGroup2H: {
+      using Table = GroupHashTable2H<Cell, PM>;
+      typename Table::Params p{.level_cells = total / 2,
+                               .group_size = clamped_group_size(cfg),
+                               .seed1 = cfg.seed1, .seed2 = cfg.seed2,
+                               .zero_memory = cfg.zero_memory};
+      const usize bytes = Table::required_bytes(p);
+      GH_CHECK(mem.size() >= bytes);
+      return finish(Table(pm, mem.first(bytes), p, format), bytes);
+    }
+    case Scheme::kLevel: {
+      using Table = LevelHashTable<Cell, PM>;
+      // total cells = 6 * top_buckets; 2^(T-3) tops gives 0.75 * 2^T cells.
+      typename Table::Params p{.top_buckets = std::max<u64>(total >> 3, 2),
+                               .seed1 = cfg.seed1, .seed2 = cfg.seed2,
+                               .zero_memory = cfg.zero_memory};
+      const usize bytes = Table::required_bytes(p);
+      GH_CHECK(mem.size() >= bytes);
+      return finish(Table(pm, mem.first(bytes), p, format), bytes);
+    }
+  }
+  GH_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace gh::hash::detail
+
+namespace gh::hash {
+
+template <class PM>
+std::unique_ptr<AnyTable<PM>> make_table(PM& pm, std::span<std::byte> mem,
+                                         const TableConfig& config, bool format) {
+  if (config.wide_cells) {
+    return detail::make_table_cell<Cell32, PM>(pm, mem, config, format);
+  }
+  return detail::make_table_cell<Cell16, PM>(pm, mem, config, format);
+}
+
+}  // namespace gh::hash

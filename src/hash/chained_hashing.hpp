@@ -1,0 +1,221 @@
+// Chained hashing — implemented so the paper's reason for excluding it
+// ("performs poorly under memory pressure due to frequent memory
+// allocation and free calls", §4.1) is checkable in the ablation bench.
+// Buckets hold node indices into a persistent pool with a bump allocator
+// plus free list; every insert allocates and every erase frees, and the
+// nodes of one chain are scattered across the pool — both effects the
+// ablation quantifies. Not crash consistent (it is not a contender).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "hash/cells.hpp"
+#include "hash/hash_functions.hpp"
+#include "hash/table_stats.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace gh::hash {
+
+template <class Cell, class PM>
+class ChainedHashTable {
+ public:
+  using key_type = typename Cell::key_type;
+
+  struct Node {
+    Cell cell;
+    u64 next;  ///< node index + 1; 0 terminates the chain
+  };
+
+  struct Params {
+    u64 buckets = 1024;  ///< power of two
+    u64 pool_nodes = 2048;
+    u64 seed = kDefaultSeed1;
+    bool zero_memory = false;
+  };
+
+  static constexpr u64 kMagic = 0x4748544348303031ull;  // "GHTCH001"
+
+  struct Header {
+    u64 magic;
+    u64 buckets;
+    u64 pool_nodes;
+    u64 count;
+    u64 seed;
+    u64 pool_used;
+    u64 free_head;  ///< node index + 1; 0 = empty free list
+    u64 cell_size;
+  };
+  static_assert(sizeof(Header) == 64);
+
+  static usize required_bytes(const Params& p) {
+    return sizeof(Header) + p.buckets * sizeof(u64) + p.pool_nodes * sizeof(Node);
+  }
+
+  ChainedHashTable(PM& pm, std::span<std::byte> mem, const Params& p, bool format)
+      : pm_(&pm), hash_(p.seed) {
+    GH_CHECK_MSG(is_pow2(p.buckets), "buckets must be a power of two");
+    GH_CHECK(mem.size() >= required_bytes(p));
+    header_ = reinterpret_cast<Header*>(mem.data());
+    heads_ = reinterpret_cast<u64*>(mem.data() + sizeof(Header));
+    nodes_ = reinterpret_cast<Node*>(mem.data() + sizeof(Header) + p.buckets * sizeof(u64));
+    if (format) {
+      if (p.zero_memory) {
+        pm.fill(heads_, 0, p.buckets * sizeof(u64) + p.pool_nodes * sizeof(Node));
+        pm.persist(heads_, p.buckets * sizeof(u64) + p.pool_nodes * sizeof(Node));
+      }
+      pm.store_u64(&header_->magic, kMagic);
+      pm.store_u64(&header_->buckets, p.buckets);
+      pm.store_u64(&header_->pool_nodes, p.pool_nodes);
+      pm.store_u64(&header_->count, 0);
+      pm.store_u64(&header_->seed, p.seed);
+      pm.store_u64(&header_->pool_used, 0);
+      pm.store_u64(&header_->free_head, 0);
+      pm.store_u64(&header_->cell_size, sizeof(Cell));
+      pm.persist(header_, sizeof(Header));
+    } else {
+      GH_CHECK_MSG(header_->magic == kMagic, "not a chained table");
+      GH_CHECK(header_->cell_size == sizeof(Cell));
+      hash_ = SeededHash(header_->seed);
+    }
+    mask_ = header_->buckets - 1;
+  }
+
+  bool insert(key_type key, u64 value) {
+    stats_.inserts++;
+    const u64 slot = allocate_node();
+    if (slot == 0) {
+      stats_.insert_failures++;
+      return false;
+    }
+    Node& node = nodes_[slot - 1];
+    node.cell.publish(*pm_, key, value);
+    const u64 b = hash_(key) & mask_;
+    pm_->touch_read(&heads_[b], sizeof(u64));
+    pm_->store_u64(&node.next, heads_[b]);
+    pm_->persist(&node.next, sizeof(u64));
+    pm_->atomic_store_u64(&heads_[b], slot);
+    pm_->persist(&heads_[b], sizeof(u64));
+    bump_count(+1);
+    return true;
+  }
+
+  std::optional<u64> find(key_type key) {
+    stats_.queries++;
+    const u64 b = hash_(key) & mask_;
+    pm_->touch_read(&heads_[b], sizeof(u64));
+    for (u64 slot = heads_[b]; slot != 0;) {
+      Node& node = nodes_[slot - 1];
+      pm_->touch_read(&node, sizeof(Node));
+      stats_.probes++;
+      if (node.cell.matches(key)) {
+        stats_.query_hits++;
+        return node.cell.value;
+      }
+      slot = node.next;
+    }
+    return std::nullopt;
+  }
+
+  bool erase(key_type key) {
+    stats_.erases++;
+    const u64 b = hash_(key) & mask_;
+    pm_->touch_read(&heads_[b], sizeof(u64));
+    u64* link = &heads_[b];
+    for (u64 slot = *link; slot != 0;) {
+      Node& node = nodes_[slot - 1];
+      pm_->touch_read(&node, sizeof(Node));
+      stats_.probes++;
+      if (node.cell.matches(key)) {
+        pm_->atomic_store_u64(link, node.next);
+        pm_->persist(link, sizeof(u64));
+        node.cell.retract(*pm_);
+        free_node(slot);
+        bump_count(-1);
+        stats_.erase_hits++;
+        return true;
+      }
+      link = &node.next;
+      slot = node.next;
+    }
+    return false;
+  }
+
+  /// Chained hashing is not crash consistent (that is part of the paper's
+  /// point); recovery here just recounts reachable nodes so the adapter
+  /// interface stays uniform for the ablation bench.
+  RecoveryReport recover() {
+    RecoveryReport report;
+    u64 count = 0;
+    for (u64 b = 0; b <= mask_; ++b) {
+      for (u64 slot = heads_[b]; slot != 0; slot = nodes_[slot - 1].next) {
+        pm_->touch_read(&nodes_[slot - 1], sizeof(Node));
+        report.cells_scanned++;
+        count++;
+      }
+    }
+    pm_->store_u64(&header_->count, count);
+    pm_->persist(&header_->count, sizeof(u64));
+    report.recovered_count = count;
+    return report;
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (u64 b = 0; b <= mask_; ++b) {
+      for (u64 slot = heads_[b]; slot != 0; slot = nodes_[slot - 1].next) {
+        const Cell& c = nodes_[slot - 1].cell;
+        fn(c.key(), c.value);
+      }
+    }
+  }
+
+  [[nodiscard]] u64 count() const { return header_->count; }
+  [[nodiscard]] u64 capacity() const { return header_->pool_nodes; }
+  [[nodiscard]] double load_factor() const {
+    return static_cast<double>(count()) / static_cast<double>(capacity());
+  }
+  [[nodiscard]] TableStats& stats() { return stats_; }
+
+ private:
+  /// Returns node index + 1, or 0 when the pool is exhausted.
+  u64 allocate_node() {
+    if (header_->free_head != 0) {
+      const u64 slot = header_->free_head;
+      pm_->touch_read(&nodes_[slot - 1], sizeof(Node));
+      pm_->atomic_store_u64(&header_->free_head, nodes_[slot - 1].next);
+      pm_->persist(&header_->free_head, sizeof(u64));
+      return slot;
+    }
+    if (header_->pool_used < header_->pool_nodes) {
+      const u64 slot = header_->pool_used + 1;
+      pm_->atomic_store_u64(&header_->pool_used, slot);
+      pm_->persist(&header_->pool_used, sizeof(u64));
+      return slot;
+    }
+    return 0;
+  }
+
+  void free_node(u64 slot) {
+    pm_->store_u64(&nodes_[slot - 1].next, header_->free_head);
+    pm_->persist(&nodes_[slot - 1].next, sizeof(u64));
+    pm_->atomic_store_u64(&header_->free_head, slot);
+    pm_->persist(&header_->free_head, sizeof(u64));
+  }
+
+  void bump_count(i64 delta) {
+    pm_->atomic_store_u64(&header_->count, header_->count + static_cast<u64>(delta));
+    pm_->persist(&header_->count, sizeof(u64));
+  }
+
+  PM* pm_;
+  SeededHash hash_;
+  Header* header_ = nullptr;
+  u64* heads_ = nullptr;
+  Node* nodes_ = nullptr;
+  u64 mask_ = 0;
+  TableStats stats_;
+};
+
+}  // namespace gh::hash

@@ -1,0 +1,228 @@
+// Classic cuckoo hashing (Pagh & Rodler [22]) with full eviction chains —
+// the scheme PFHT deliberately restricts. Implemented so the ablation
+// bench can quantify WHY bounding displacements matters on NVM: a single
+// insert near high load can cascade through dozens of evictions, each one
+// a persisted cell write (write amplification the paper's Table 1
+// endurance numbers say NVM cannot afford).
+//
+// Two hash functions, single-cell slots, bounded eviction chain; when the
+// chain exceeds the bound the insert fails (a production design would
+// rehash; the ablation measures amplification, not resizing policy).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "hash/cells.hpp"
+#include "hash/hash_functions.hpp"
+#include "hash/table_stats.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace gh::hash {
+
+template <class Cell, class PM>
+class CuckooHashTable {
+ public:
+  using key_type = typename Cell::key_type;
+
+  struct Params {
+    u64 cells = 2048;        ///< power of two
+    u32 max_evictions = 64;  ///< eviction-chain bound before giving up
+    u64 seed1 = kDefaultSeed1;
+    u64 seed2 = kDefaultSeed2;
+    bool zero_memory = false;
+  };
+
+  static constexpr u64 kMagic = 0x4748544355303031ull;  // "GHTCU001"
+
+  struct Header {
+    u64 magic;
+    u64 cells;
+    u64 count;
+    u64 max_evictions;
+    u64 seed1;
+    u64 seed2;
+    u64 cell_size;
+    u64 reserved;
+  };
+  static_assert(sizeof(Header) == 64);
+
+  static usize required_bytes(const Params& p) {
+    return sizeof(Header) + p.cells * sizeof(Cell);
+  }
+
+  CuckooHashTable(PM& pm, std::span<std::byte> mem, const Params& p, bool format)
+      : pm_(&pm), hash1_(p.seed1), hash2_(p.seed2) {
+    GH_CHECK_MSG(is_pow2(p.cells), "cells must be a power of two");
+    GH_CHECK(mem.size() >= required_bytes(p));
+    header_ = reinterpret_cast<Header*>(mem.data());
+    tab_ = reinterpret_cast<Cell*>(mem.data() + sizeof(Header));
+    if (format) {
+      if (p.zero_memory) {
+        pm.fill(tab_, 0, p.cells * sizeof(Cell));
+        pm.persist(tab_, p.cells * sizeof(Cell));
+      }
+      pm.store_u64(&header_->magic, kMagic);
+      pm.store_u64(&header_->cells, p.cells);
+      pm.store_u64(&header_->count, 0);
+      pm.store_u64(&header_->max_evictions, p.max_evictions);
+      pm.store_u64(&header_->seed1, p.seed1);
+      pm.store_u64(&header_->seed2, p.seed2);
+      pm.store_u64(&header_->cell_size, sizeof(Cell));
+      pm.persist(header_, sizeof(Header));
+    } else {
+      GH_CHECK_MSG(header_->magic == kMagic, "not a cuckoo table");
+      GH_CHECK(header_->cell_size == sizeof(Cell));
+      hash1_ = SeededHash(header_->seed1);
+      hash2_ = SeededHash(header_->seed2);
+    }
+    mask_ = header_->cells - 1;
+  }
+
+  bool insert(key_type key, u64 value) {
+    stats_.inserts++;
+    // Fast path: either candidate cell free.
+    for (Cell* c : {cell1(key), cell2(key)}) {
+      pm_->touch_read(c, sizeof(Cell));
+      stats_.probes++;
+      if (!c->occupied()) {
+        c->publish(*pm_, key, value);
+        bump_count(+1);
+        return true;
+      }
+    }
+    // Eviction chain: kick the resident of the first candidate into its
+    // alternate cell and repeat. Every hop is a persisted cell rewrite —
+    // the cascading write amplification PFHT's one-displacement bound (and
+    // group hashing's no-displacement design) exists to avoid. An undo
+    // trail restores the table when the chain bound is hit, so a failed
+    // insert never loses a resident (and the undo writes amplify further).
+    struct Move {
+      Cell* cell;
+      key_type key;
+      u64 value;
+    };
+    std::vector<Move> trail;
+    key_type carry_key = key;
+    u64 carry_value = value;
+    Cell* target = cell1(key);
+    const u32 bound = static_cast<u32>(header_->max_evictions);
+    for (u32 hop = 0; hop < bound; ++hop) {
+      // Swap the carried item with the resident of `target`.
+      trail.push_back({target, target->key(), target->value});
+      target->retract(*pm_);
+      target->publish(*pm_, carry_key, carry_value);
+      stats_.displacements++;
+      carry_key = trail.back().key;
+      carry_value = trail.back().value;
+      Cell* alt = alternate_cell(carry_key, target);
+      pm_->touch_read(alt, sizeof(Cell));
+      stats_.probes++;
+      if (!alt->occupied()) {
+        alt->publish(*pm_, carry_key, carry_value);
+        bump_count(+1);
+        return true;
+      }
+      target = alt;
+    }
+    // Chain bound hit: roll the displacements back (more NVM writes) and
+    // report the table as full for this key.
+    for (auto it = trail.rbegin(); it != trail.rend(); ++it) {
+      it->cell->retract(*pm_);
+      it->cell->publish(*pm_, it->key, it->value);
+      stats_.displacements++;
+    }
+    stats_.insert_failures++;
+    return false;
+  }
+
+  std::optional<u64> find(key_type key) {
+    stats_.queries++;
+    for (Cell* c : {cell1(key), cell2(key)}) {
+      pm_->touch_read(c, sizeof(Cell));
+      stats_.probes++;
+      if (c->matches(key)) {
+        stats_.query_hits++;
+        return c->value;
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool erase(key_type key) {
+    stats_.erases++;
+    for (Cell* c : {cell1(key), cell2(key)}) {
+      pm_->touch_read(c, sizeof(Cell));
+      stats_.probes++;
+      if (c->matches(key)) {
+        c->retract(*pm_);
+        bump_count(-1);
+        stats_.erase_hits++;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  RecoveryReport recover() {
+    RecoveryReport report;
+    u64 count = 0;
+    for (u64 i = 0; i <= mask_; ++i) {
+      Cell* c = &tab_[i];
+      pm_->touch_read(c, sizeof(Cell));
+      report.cells_scanned++;
+      if (!c->occupied()) {
+        if (c->payload_dirty()) {
+          c->scrub(*pm_);
+          report.cells_scrubbed++;
+        }
+      } else {
+        count++;
+      }
+    }
+    pm_->store_u64(&header_->count, count);
+    pm_->persist(&header_->count, sizeof(u64));
+    report.recovered_count = count;
+    return report;
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (u64 i = 0; i <= mask_; ++i) {
+      if (tab_[i].occupied()) fn(tab_[i].key(), tab_[i].value);
+    }
+  }
+
+  [[nodiscard]] u64 count() const { return header_->count; }
+  [[nodiscard]] u64 capacity() const { return header_->cells; }
+  [[nodiscard]] double load_factor() const {
+    return static_cast<double>(count()) / static_cast<double>(capacity());
+  }
+  [[nodiscard]] TableStats& stats() { return stats_; }
+
+ private:
+  Cell* cell1(key_type key) { return &tab_[hash1_(key) & mask_]; }
+  Cell* cell2(key_type key) { return &tab_[hash2_(key) & mask_]; }
+
+  Cell* alternate_cell(key_type key, Cell* current) {
+    Cell* a = cell1(key);
+    return a == current ? cell2(key) : a;
+  }
+
+  void bump_count(i64 delta) {
+    pm_->atomic_store_u64(&header_->count, header_->count + static_cast<u64>(delta));
+    pm_->persist(&header_->count, sizeof(u64));
+  }
+
+  PM* pm_;
+  SeededHash hash1_;
+  SeededHash hash2_;
+  Header* header_ = nullptr;
+  Cell* tab_ = nullptr;
+  u64 mask_ = 0;
+  TableStats stats_;
+};
+
+}  // namespace gh::hash

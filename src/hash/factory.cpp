@@ -1,0 +1,101 @@
+#include "hash/any_table.hpp"
+
+#include "nvm/direct_pm.hpp"
+
+namespace gh::hash {
+namespace {
+
+// The memory layout of every scheme is independent of the persistence
+// policy, so size with a canonical one.
+using SizingPM = nvm::DirectPM;
+
+template <class Cell>
+usize required_bytes_cell(const TableConfig& cfg) {
+  const u64 total = detail::cells_budget(cfg);
+  usize bytes = 0;
+  switch (cfg.scheme) {
+    case Scheme::kGroup: {
+      using Table = GroupHashTable<Cell, SizingPM>;
+      bytes = Table::required_bytes({.level_cells = total / 2,
+                                     .group_size = detail::clamped_group_size(cfg)});
+      break;
+    }
+    case Scheme::kLinear: {
+      using Table = LinearProbingTable<Cell, SizingPM>;
+      bytes = Table::required_bytes({.cells = total});
+      break;
+    }
+    case Scheme::kPfht: {
+      using Table = PfhtTable<Cell, SizingPM>;
+      bytes = Table::required_bytes({.cells = total});
+      break;
+    }
+    case Scheme::kPath: {
+      using Table = PathHashTable<Cell, SizingPM>;
+      bytes = Table::required_bytes({.level0_bits = detail::path_level0_bits(cfg),
+                                     .reserved_levels = detail::path_levels(cfg)});
+      break;
+    }
+    case Scheme::kChained: {
+      using Table = ChainedHashTable<Cell, SizingPM>;
+      bytes = Table::required_bytes({.buckets = total / 2, .pool_nodes = total});
+      break;
+    }
+    case Scheme::kTwoChoice: {
+      using Table = TwoChoiceTable<Cell, SizingPM>;
+      bytes = Table::required_bytes({.cells = total});
+      break;
+    }
+    case Scheme::kCuckoo: {
+      using Table = CuckooHashTable<Cell, SizingPM>;
+      bytes = Table::required_bytes({.cells = total});
+      break;
+    }
+    case Scheme::kGroup2H: {
+      using Table = GroupHashTable2H<Cell, SizingPM>;
+      bytes = Table::required_bytes({.level_cells = total / 2,
+                                     .group_size = detail::clamped_group_size(cfg)});
+      break;
+    }
+    case Scheme::kLevel: {
+      using Table = LevelHashTable<Cell, SizingPM>;
+      bytes = Table::required_bytes({.top_buckets = std::max<u64>(total >> 3, 2)});
+      break;
+    }
+  }
+  if (cfg.with_wal) bytes += UndoLog<SizingPM>::required_bytes(cfg.wal_records);
+  return bytes;
+}
+
+}  // namespace
+
+const char* scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kGroup:
+      return "group";
+    case Scheme::kLinear:
+      return "linear";
+    case Scheme::kPfht:
+      return "PFHT";
+    case Scheme::kPath:
+      return "path";
+    case Scheme::kChained:
+      return "chained";
+    case Scheme::kTwoChoice:
+      return "2-choice";
+    case Scheme::kCuckoo:
+      return "cuckoo";
+    case Scheme::kGroup2H:
+      return "group-2h";
+    case Scheme::kLevel:
+      return "level";
+  }
+  return "?";
+}
+
+usize table_required_bytes(const TableConfig& config) {
+  return config.wide_cells ? required_bytes_cell<Cell32>(config)
+                           : required_bytes_cell<Cell16>(config);
+}
+
+}  // namespace gh::hash

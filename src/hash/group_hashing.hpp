@@ -1,0 +1,376 @@
+// Group hashing — the paper's contribution (§3).
+//
+// Layout: the cells are decoupled into two equal-sized levels. Level 1 is
+// addressable by the hash function; level 2 is non-addressable and
+// resolves collisions. Both levels are divided into groups of
+// `group_size` contiguous cells, and the level-2 group with the same
+// group number is *shared* by all cells of the matching level-1 group:
+//
+//   level 1 (tab1):  [ group 0 | group 1 | group 2 | ... ]
+//   level 2 (tab2):  [ group 0 | group 1 | group 2 | ... ]
+//
+// An item hashing to level-1 index k that finds tab1[k] occupied probes
+// tab2[j .. j+group_size) where j = k - k % group_size — a contiguous
+// range, so a single memory access prefetches the following cells of the
+// same cacheline (the CPU-cache-efficiency half of the design).
+//
+// Consistency (§3.3): no logging and no copy-on-write. Inserts and
+// deletes are committed by the cell's 8-byte atomic commit word (see
+// cells.hpp); the persistent `count` is atomically updated afterwards,
+// and recovery (§3.5, Algorithm 4) rescans the table to scrub torn
+// payloads and recompute `count`.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+
+#include "hash/cells.hpp"
+#include "hash/hash_functions.hpp"
+#include "hash/table_stats.hpp"
+#include "hash/wal.hpp"
+#include "util/assert.hpp"
+#include "util/counters.hpp"
+#include "util/types.hpp"
+
+namespace gh::hash {
+
+/// How the global `count` field is maintained.
+enum class CountMode {
+  /// The paper's protocol (Algorithms 1/3): atomically update and persist
+  /// `count` after every insert/delete — one extra flush per mutation.
+  kEager,
+  /// Keep `count` volatile and let recovery recompute it (which Algorithm
+  /// 4 does anyway). Saves the flush; `count` is only approximate in the
+  /// on-NVM image between recoveries. Measured by
+  /// bench/ablation_count_persistence.
+  kRecoveryOnly,
+};
+
+template <class Cell, class PM>
+class GroupHashTable {
+ public:
+  using key_type = typename Cell::key_type;
+
+  struct Params {
+    u64 level_cells = 1024;  ///< cells per level (power of two)
+    u32 group_size = 256;    ///< cells per group (divides level_cells)
+    u64 seed = kDefaultSeed1;
+    /// Zero cell memory on format. Fresh anonymous mappings are already
+    /// zero, so benches skip this; formatting a reused file needs it.
+    bool zero_memory = false;
+    CountMode count_mode = CountMode::kEager;
+  };
+
+  static constexpr u64 kMagic = 0x4748544742303031ull;  // "GHTGB001"
+
+  struct Header {
+    u64 magic;
+    u64 level_cells;
+    u64 group_size;
+    u64 count;  ///< occupied cells; 8-byte atomically maintained
+    u64 seed;
+    u64 cell_size;
+    u64 reserved[2];
+  };
+  static_assert(sizeof(Header) == 64);
+
+  static usize required_bytes(const Params& p) {
+    return sizeof(Header) + 2 * p.level_cells * sizeof(Cell);
+  }
+
+  /// Create (format=true) or attach to (format=false) a table in `mem`.
+  GroupHashTable(PM& pm, std::span<std::byte> mem, const Params& p, bool format)
+      : pm_(&pm), hash_(p.seed) {
+    GH_CHECK_MSG(is_pow2(p.level_cells), "level_cells must be a power of two");
+    GH_CHECK_MSG(p.group_size > 0 && p.level_cells % p.group_size == 0,
+                 "group_size must divide level_cells");
+    GH_CHECK(mem.size() >= required_bytes(p));
+    header_ = reinterpret_cast<Header*>(mem.data());
+    tab1_ = reinterpret_cast<Cell*>(mem.data() + sizeof(Header));
+    tab2_ = tab1_ + p.level_cells;
+    if (format) {
+      if (p.zero_memory) {
+        pm.fill(tab1_, 0, 2 * p.level_cells * sizeof(Cell));
+        pm.persist(tab1_, 2 * p.level_cells * sizeof(Cell));
+      }
+      pm.store_u64(&header_->magic, kMagic);
+      pm.store_u64(&header_->level_cells, p.level_cells);
+      pm.store_u64(&header_->group_size, p.group_size);
+      pm.store_u64(&header_->count, 0);
+      pm.store_u64(&header_->seed, p.seed);
+      pm.store_u64(&header_->cell_size, sizeof(Cell));
+      pm.persist(header_, sizeof(Header));
+    } else {
+      GH_CHECK_MSG(header_->magic == kMagic, "not a group-hashing table");
+      GH_CHECK(header_->cell_size == sizeof(Cell));
+      GH_CHECK(header_->level_cells == p.level_cells);
+      hash_ = SeededHash(header_->seed);
+    }
+    level_cells_ = header_->level_cells;
+    mask_ = level_cells_ - 1;
+    group_size_ = static_cast<u32>(header_->group_size);
+    count_mode_ = p.count_mode;
+    volatile_count_ = header_->count;
+  }
+
+  /// Attach to an existing table, taking parameters from its header.
+  static GroupHashTable attach(PM& pm, std::span<std::byte> mem) {
+    GH_CHECK(mem.size() >= sizeof(Header));
+    const auto* h = reinterpret_cast<const Header*>(mem.data());
+    GH_CHECK_MSG(h->magic == kMagic, "not a group-hashing table");
+    Params p{.level_cells = h->level_cells,
+             .group_size = static_cast<u32>(h->group_size),
+             .seed = h->seed};
+    return GroupHashTable(pm, mem, p, /*format=*/false);
+  }
+
+  /// Optional logging wrapper used only by the ablation bench (the paper's
+  /// point is that group hashing does NOT need it).
+  void attach_wal(UndoLog<PM>* wal) { wal_ = wal; }
+
+  /// Algorithm 1. Precondition: `key` is not already present (the paper's
+  /// insert does not check; use the core-API upsert for checked inserts).
+  /// Returns false when the level-1 cell and its whole matched level-2
+  /// group are full — the signal to expand the table.
+  bool insert(key_type key, u64 value) {
+    stats_.inserts++;
+    if (wal_) wal_->begin();
+    const u64 k = hash_(key) & mask_;
+    Cell* c1 = probe(&tab1_[k]);
+    if (!c1->occupied()) {
+      commit_insert(c1, key, value);
+      return true;
+    }
+    const u64 j = k - k % group_size_;
+    for (u32 i = 0; i < group_size_; ++i) {
+      Cell* c2 = probe(&tab2_[j + i]);
+      stats_.level2_probes++;
+      if (!c2->occupied()) {
+        commit_insert(c2, key, value);
+        return true;
+      }
+    }
+    stats_.insert_failures++;
+    if (wal_) wal_->commit();
+    return false;
+  }
+
+  /// Algorithm 2. (We additionally require the bitmap to be set on
+  /// level-2 matches — the paper's pseudo-code compares only the key,
+  /// which would mis-match a key of all-zero bits.)
+  std::optional<u64> find(key_type key) { return find_at(key, hash_(key) & mask_); }
+
+  /// Batched lookup with software prefetching: hashes a window of keys,
+  /// issues prefetches for all their level-1 cells, then resolves the
+  /// lookups — overlapping the memory latency of independent probes the
+  /// way out-of-order hardware cannot across separate find() calls.
+  /// Writes out[i] for keys[i]; behaviourally identical to per-key find().
+  void find_batch(std::span<const key_type> keys, std::span<std::optional<u64>> out) {
+    GH_CHECK(out.size() >= keys.size());
+    constexpr usize kWindow = 16;
+    std::array<u64, kWindow> slots{};
+    for (usize base = 0; base < keys.size(); base += kWindow) {
+      const usize n = std::min(kWindow, keys.size() - base);
+      for (usize i = 0; i < n; ++i) {
+        slots[i] = hash_(keys[base + i]) & mask_;
+        __builtin_prefetch(&tab1_[slots[i]], /*rw=*/0, /*locality=*/1);
+      }
+      for (usize i = 0; i < n; ++i) {
+        out[base + i] = find_at(keys[base + i], slots[i]);
+      }
+    }
+  }
+
+  /// In-place value update. An 8-byte value overwrite is itself failure
+  /// atomic, so no further protocol is needed.
+  bool update(key_type key, u64 value) {
+    Cell* c = find_cell(key);
+    if (c == nullptr) return false;
+    pm_->atomic_store_u64(&c->value, value);
+    pm_->persist(&c->value, sizeof(u64));
+    return true;
+  }
+
+  /// Algorithm 3.
+  bool erase(key_type key) {
+    stats_.erases++;
+    if (wal_) wal_->begin();
+    Cell* c = find_cell(key);
+    if (c == nullptr) {
+      if (wal_) wal_->commit();
+      return false;
+    }
+    if (wal_) {
+      wal_->log_cell(c, sizeof(Cell));
+      wal_->log_cell(&header_->count, sizeof(u64));
+    }
+    c->retract(*pm_);
+    bump_count(-1);
+    stats_.erase_hits++;
+    if (wal_) wal_->commit();
+    return true;
+  }
+
+  /// Algorithm 4: full-scan recovery. Scrubs the payload of every
+  /// unoccupied cell that still holds bytes (a torn insert or the tail of
+  /// a committed delete) and recomputes `count`.
+  RecoveryReport recover() {
+    RecoveryReport report;
+    if (wal_) report.wal_records_rolled_back = wal_->recover();
+    u64 count = 0;
+    for (u64 i = 0; i < level_cells_; ++i) {
+      for (Cell* c : {&tab1_[i], &tab2_[i]}) {
+        pm_->touch_read(c, sizeof(Cell));
+        report.cells_scanned++;
+        if (!c->occupied()) {
+          if (c->payload_dirty()) {
+            c->scrub(*pm_);
+            report.cells_scrubbed++;
+          }
+        } else {
+          count++;
+        }
+      }
+    }
+    pm_->store_u64(&header_->count, count);
+    pm_->persist(&header_->count, sizeof(u64));
+    volatile_count_ = count;
+    report.recovered_count = count;
+    return report;
+  }
+
+  /// One slice of the Algorithm-4 scan: indices [begin, end) of BOTH
+  /// levels, scrubbing through `pm` (callers running slices on separate
+  /// threads pass one persistence policy per thread). Does NOT update the
+  /// header count — the caller aggregates slice counts and publishes once.
+  /// See core/parallel_recovery.hpp.
+  template <class SlicePM>
+  RecoveryReport recover_slice(u64 begin, u64 end, SlicePM& pm) {
+    RecoveryReport report;
+    for (u64 i = begin; i < end; ++i) {
+      for (Cell* c : {&tab1_[i], &tab2_[i]}) {
+        pm.touch_read(c, sizeof(Cell));
+        report.cells_scanned++;
+        if (!c->occupied()) {
+          if (c->payload_dirty()) {
+            c->scrub(pm);
+            report.cells_scrubbed++;
+          }
+        } else {
+          report.recovered_count++;
+        }
+      }
+    }
+    return report;
+  }
+
+  /// Publish a recovered count (used by parallel recovery after merging
+  /// slice results).
+  void set_recovered_count(u64 count) {
+    pm_->store_u64(&header_->count, count);
+    pm_->persist(&header_->count, sizeof(u64));
+    volatile_count_ = count;
+  }
+
+  /// Visit every occupied cell (used by the core API's expansion rebuild).
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (u64 i = 0; i < 2 * level_cells_; ++i) {
+      const Cell& c = tab1_[i];
+      if (c.occupied()) fn(c.key(), c.value);
+    }
+  }
+
+  /// Read-only cell access for inspection tooling (gh_fsck, core/inspect).
+  [[nodiscard]] const Cell& level1_cell(u64 i) const { return tab1_[i]; }
+  [[nodiscard]] const Cell& level2_cell(u64 i) const { return tab2_[i]; }
+
+  [[nodiscard]] u64 count() const {
+    return count_mode_ == CountMode::kEager ? header_->count : volatile_count_.load();
+  }
+  [[nodiscard]] u64 capacity() const { return 2 * level_cells_; }
+  [[nodiscard]] double load_factor() const {
+    return static_cast<double>(count()) / static_cast<double>(capacity());
+  }
+  [[nodiscard]] u32 group_size() const { return group_size_; }
+  [[nodiscard]] u64 level_cells() const { return level_cells_; }
+  [[nodiscard]] u64 seed() const { return header_->seed; }
+  [[nodiscard]] TableStats& stats() { return stats_; }
+  [[nodiscard]] PM& pm() { return *pm_; }
+
+ private:
+  Cell* probe(Cell* c) {
+    pm_->touch_read(c, sizeof(Cell));
+    stats_.probes++;
+    return c;
+  }
+
+  void bump_count(i64 delta) {
+    if (count_mode_ == CountMode::kEager) {
+      pm_->atomic_store_u64(&header_->count, header_->count + static_cast<u64>(delta));
+      pm_->persist(&header_->count, sizeof(u64));
+      volatile_count_ = header_->count;
+    } else {
+      // Recovery-only: the on-NVM count goes stale; Algorithm 4 fixes it.
+      volatile_count_ += static_cast<u64>(delta);
+    }
+  }
+
+  void commit_insert(Cell* c, key_type key, u64 value) {
+    if (wal_) {
+      wal_->log_cell(c, sizeof(Cell));
+      wal_->log_cell(&header_->count, sizeof(u64));
+    }
+    c->publish(*pm_, key, value);
+    bump_count(+1);
+    if (wal_) wal_->commit();
+  }
+
+  std::optional<u64> find_at(key_type key, u64 k) {
+    stats_.queries++;
+    const Cell* c1 = probe(&tab1_[k]);
+    if (c1->matches(key)) {
+      stats_.query_hits++;
+      return c1->value;
+    }
+    const u64 j = k - k % group_size_;
+    for (u32 i = 0; i < group_size_; ++i) {
+      const Cell* c2 = probe(&tab2_[j + i]);
+      stats_.level2_probes++;
+      if (c2->matches(key)) {
+        stats_.query_hits++;
+        return c2->value;
+      }
+    }
+    return std::nullopt;
+  }
+
+  Cell* find_cell(key_type key) {
+    const u64 k = hash_(key) & mask_;
+    Cell* c1 = probe(&tab1_[k]);
+    if (c1->matches(key)) return c1;
+    const u64 j = k - k % group_size_;
+    for (u32 i = 0; i < group_size_; ++i) {
+      Cell* c2 = probe(&tab2_[j + i]);
+      stats_.level2_probes++;
+      if (c2->matches(key)) return c2;
+    }
+    return nullptr;
+  }
+
+  PM* pm_;
+  SeededHash hash_;
+  Header* header_ = nullptr;
+  Cell* tab1_ = nullptr;
+  Cell* tab2_ = nullptr;
+  u64 level_cells_ = 0;
+  u64 mask_ = 0;
+  u32 group_size_ = 0;
+  CountMode count_mode_ = CountMode::kEager;
+  AtomicCounter volatile_count_;  ///< exact; shared by concurrent wrappers
+  UndoLog<PM>* wal_ = nullptr;
+  TableStats stats_;
+};
+
+}  // namespace gh::hash

@@ -1,0 +1,242 @@
+// Two-hash-function group hashing — the variant the paper itself sketches
+// and rejects in §4.4:
+//
+//   "Although two hash functions can be used in our group hashing to
+//    improve the space utilization ratio, the continuity of the collision
+//    resolution cells is damaged, more L3 cache misses would be produced,
+//    which deteriorates the performance in terms of request latency."
+//
+// Implemented so the trade-off is measurable (bench/ablation_two_hash):
+// an item has two level-1 candidate cells (h1, h2) and may overflow into
+// EITHER matched level-2 group, choosing the emptier one at insert time
+// (power of two choices => much better group balance => higher
+// utilisation). Lookups must now probe two level-1 cells and scan up to
+// two non-adjacent groups — twice the probe footprint, split across
+// distant cachelines.
+//
+// The consistency protocol is unchanged: the same 8-byte commit word, the
+// same recovery scan (Algorithm 4 never depends on the hash functions).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "hash/cells.hpp"
+#include "hash/hash_functions.hpp"
+#include "hash/table_stats.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace gh::hash {
+
+template <class Cell, class PM>
+class GroupHashTable2H {
+ public:
+  using key_type = typename Cell::key_type;
+
+  struct Params {
+    u64 level_cells = 1024;
+    u32 group_size = 256;
+    u64 seed1 = kDefaultSeed1;
+    u64 seed2 = kDefaultSeed2;
+    bool zero_memory = false;
+  };
+
+  static constexpr u64 kMagic = 0x4748544732483031ull;  // "GHTG2H01"
+
+  struct Header {
+    u64 magic;
+    u64 level_cells;
+    u64 group_size;
+    u64 count;
+    u64 seed1;
+    u64 seed2;
+    u64 cell_size;
+    u64 reserved;
+  };
+  static_assert(sizeof(Header) == 64);
+
+  static usize required_bytes(const Params& p) {
+    return sizeof(Header) + 2 * p.level_cells * sizeof(Cell);
+  }
+
+  GroupHashTable2H(PM& pm, std::span<std::byte> mem, const Params& p, bool format)
+      : pm_(&pm), hash1_(p.seed1), hash2_(p.seed2) {
+    GH_CHECK_MSG(is_pow2(p.level_cells), "level_cells must be a power of two");
+    GH_CHECK_MSG(p.group_size > 0 && p.level_cells % p.group_size == 0,
+                 "group_size must divide level_cells");
+    GH_CHECK(mem.size() >= required_bytes(p));
+    header_ = reinterpret_cast<Header*>(mem.data());
+    tab1_ = reinterpret_cast<Cell*>(mem.data() + sizeof(Header));
+    tab2_ = tab1_ + p.level_cells;
+    if (format) {
+      if (p.zero_memory) {
+        pm.fill(tab1_, 0, 2 * p.level_cells * sizeof(Cell));
+        pm.persist(tab1_, 2 * p.level_cells * sizeof(Cell));
+      }
+      pm.store_u64(&header_->magic, kMagic);
+      pm.store_u64(&header_->level_cells, p.level_cells);
+      pm.store_u64(&header_->group_size, p.group_size);
+      pm.store_u64(&header_->count, 0);
+      pm.store_u64(&header_->seed1, p.seed1);
+      pm.store_u64(&header_->seed2, p.seed2);
+      pm.store_u64(&header_->cell_size, sizeof(Cell));
+      pm.persist(header_, sizeof(Header));
+    } else {
+      GH_CHECK_MSG(header_->magic == kMagic, "not a 2-hash group table");
+      GH_CHECK(header_->cell_size == sizeof(Cell));
+      hash1_ = SeededHash(header_->seed1);
+      hash2_ = SeededHash(header_->seed2);
+    }
+    level_cells_ = header_->level_cells;
+    mask_ = level_cells_ - 1;
+    group_size_ = static_cast<u32>(header_->group_size);
+  }
+
+  bool insert(key_type key, u64 value) {
+    stats_.inserts++;
+    const u64 k1 = hash1_(key) & mask_;
+    const u64 k2 = hash2_(key) & mask_;
+    for (const u64 k : {k1, k2}) {
+      Cell* c = probe(&tab1_[k]);
+      if (!c->occupied()) {
+        commit_insert(c, key, value);
+        return true;
+      }
+      if (k1 == k2) break;
+    }
+    // Both level-1 cells taken: overflow into the emptier of the two
+    // matched groups (a quick occupancy estimate costs probes but buys
+    // balance — the price is paid in cache misses, which is the point of
+    // the ablation).
+    const u64 j1 = k1 - k1 % group_size_;
+    const u64 j2 = k2 - k2 % group_size_;
+    Cell* slot1 = first_empty(j1);
+    Cell* slot2 = j2 == j1 ? nullptr : first_empty(j2);
+    Cell* chosen = slot1;
+    if (slot2 != nullptr &&
+        (slot1 == nullptr || (slot2 - &tab2_[j2]) < (slot1 - &tab2_[j1]))) {
+      // Fewer occupied cells precede the empty slot => emptier group.
+      chosen = slot2;
+    }
+    if (chosen == nullptr) {
+      stats_.insert_failures++;
+      return false;
+    }
+    commit_insert(chosen, key, value);
+    return true;
+  }
+
+  std::optional<u64> find(key_type key) {
+    stats_.queries++;
+    Cell* c = find_cell(key);
+    if (c == nullptr) return std::nullopt;
+    stats_.query_hits++;
+    return c->value;
+  }
+
+  bool erase(key_type key) {
+    stats_.erases++;
+    Cell* c = find_cell(key);
+    if (c == nullptr) return false;
+    c->retract(*pm_);
+    pm_->atomic_store_u64(&header_->count, header_->count - 1);
+    pm_->persist(&header_->count, sizeof(u64));
+    stats_.erase_hits++;
+    return true;
+  }
+
+  RecoveryReport recover() {
+    RecoveryReport report;
+    u64 count = 0;
+    for (u64 i = 0; i < level_cells_; ++i) {
+      for (Cell* c : {&tab1_[i], &tab2_[i]}) {
+        pm_->touch_read(c, sizeof(Cell));
+        report.cells_scanned++;
+        if (!c->occupied()) {
+          if (c->payload_dirty()) {
+            c->scrub(*pm_);
+            report.cells_scrubbed++;
+          }
+        } else {
+          count++;
+        }
+      }
+    }
+    pm_->store_u64(&header_->count, count);
+    pm_->persist(&header_->count, sizeof(u64));
+    report.recovered_count = count;
+    return report;
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (u64 i = 0; i < 2 * level_cells_; ++i) {
+      if (tab1_[i].occupied()) fn(tab1_[i].key(), tab1_[i].value);
+    }
+  }
+
+  [[nodiscard]] u64 count() const { return header_->count; }
+  [[nodiscard]] u64 capacity() const { return 2 * level_cells_; }
+  [[nodiscard]] double load_factor() const {
+    return static_cast<double>(count()) / static_cast<double>(capacity());
+  }
+  [[nodiscard]] u32 group_size() const { return group_size_; }
+  [[nodiscard]] TableStats& stats() { return stats_; }
+
+ private:
+  Cell* probe(Cell* c) {
+    pm_->touch_read(c, sizeof(Cell));
+    stats_.probes++;
+    return c;
+  }
+
+  Cell* first_empty(u64 group_base) {
+    for (u32 i = 0; i < group_size_; ++i) {
+      Cell* c = probe(&tab2_[group_base + i]);
+      stats_.level2_probes++;
+      if (!c->occupied()) return c;
+    }
+    return nullptr;
+  }
+
+  void commit_insert(Cell* c, key_type key, u64 value) {
+    c->publish(*pm_, key, value);
+    pm_->atomic_store_u64(&header_->count, header_->count + 1);
+    pm_->persist(&header_->count, sizeof(u64));
+  }
+
+  Cell* find_cell(key_type key) {
+    const u64 k1 = hash1_(key) & mask_;
+    const u64 k2 = hash2_(key) & mask_;
+    for (const u64 k : {k1, k2}) {
+      Cell* c = probe(&tab1_[k]);
+      if (c->matches(key)) return c;
+      if (k1 == k2) break;
+    }
+    const u64 j1 = k1 - k1 % group_size_;
+    const u64 j2 = k2 - k2 % group_size_;
+    for (const u64 j : {j1, j2}) {
+      for (u32 i = 0; i < group_size_; ++i) {
+        Cell* c = probe(&tab2_[j + i]);
+        stats_.level2_probes++;
+        if (c->matches(key)) return c;
+      }
+      if (j1 == j2) break;
+    }
+    return nullptr;
+  }
+
+  PM* pm_;
+  SeededHash hash1_;
+  SeededHash hash2_;
+  Header* header_ = nullptr;
+  Cell* tab1_ = nullptr;
+  Cell* tab2_ = nullptr;
+  u64 level_cells_ = 0;
+  u64 mask_ = 0;
+  u32 group_size_ = 0;
+  TableStats stats_;
+};
+
+}  // namespace gh::hash

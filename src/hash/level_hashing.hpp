@@ -1,0 +1,330 @@
+// Level hashing (Zuo, Hua & Wu, OSDI'18) — the successor NVM hashing
+// scheme from the path-hashing authors, published shortly after the
+// group-hashing paper. Included as a forward-looking comparison point
+// (bench/extension_level_hashing): where does group hashing stand against
+// the next generation?
+//
+// Structure: a TOP level of 2^k four-slot buckets addressed by two hash
+// functions, and a BOTTOM level of 2^(k-1) four-slot buckets; top bucket
+// i overflows into bottom bucket i/2, so each key has two top candidates
+// and two (often coinciding) bottom candidates. An insert that finds all
+// four candidate buckets full may move ONE resident of a candidate top
+// bucket to that resident's alternate top bucket (and likewise one bottom
+// resident) before giving up — bounded movement, like PFHT.
+//
+// Consistency: slot state is committed with the same 8-byte commit word
+// as every scheme here, so plain inserts/deletes are failure-atomic. A
+// *movement* is copy-then-retract: a crash in between leaves a duplicate,
+// which the original paper deduplicates during rehashing; attach a WAL
+// ("level-L") for the consistency-matched comparison, as with the other
+// movement-based baselines.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+
+#include "hash/cells.hpp"
+#include "hash/hash_functions.hpp"
+#include "hash/table_stats.hpp"
+#include "hash/wal.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace gh::hash {
+
+template <class Cell, class PM>
+class LevelHashTable {
+ public:
+  using key_type = typename Cell::key_type;
+  static constexpr u32 kBucketSlots = 4;
+
+  struct Params {
+    u64 top_buckets = 512;  ///< power of two; bottom level has half as many
+    u64 seed1 = kDefaultSeed1;
+    u64 seed2 = kDefaultSeed2;
+    bool zero_memory = false;
+  };
+
+  static constexpr u64 kMagic = 0x474854'4c56'3031ull;  // "GHTLV01"
+
+  struct Header {
+    u64 magic;
+    u64 top_buckets;
+    u64 count;
+    u64 seed1;
+    u64 seed2;
+    u64 cell_size;
+    u64 reserved[2];
+  };
+  static_assert(sizeof(Header) == 64);
+
+  static u64 total_cells(const Params& p) {
+    return (p.top_buckets + p.top_buckets / 2) * kBucketSlots;
+  }
+
+  static usize required_bytes(const Params& p) {
+    return sizeof(Header) + total_cells(p) * sizeof(Cell);
+  }
+
+  LevelHashTable(PM& pm, std::span<std::byte> mem, const Params& p, bool format)
+      : pm_(&pm), hash1_(p.seed1), hash2_(p.seed2) {
+    GH_CHECK_MSG(is_pow2(p.top_buckets) && p.top_buckets >= 2,
+                 "top_buckets must be a power of two >= 2");
+    GH_CHECK(mem.size() >= required_bytes(p));
+    header_ = reinterpret_cast<Header*>(mem.data());
+    top_ = reinterpret_cast<Cell*>(mem.data() + sizeof(Header));
+    bottom_ = top_ + p.top_buckets * kBucketSlots;
+    if (format) {
+      if (p.zero_memory) {
+        pm.fill(top_, 0, total_cells(p) * sizeof(Cell));
+        pm.persist(top_, total_cells(p) * sizeof(Cell));
+      }
+      pm.store_u64(&header_->magic, kMagic);
+      pm.store_u64(&header_->top_buckets, p.top_buckets);
+      pm.store_u64(&header_->count, 0);
+      pm.store_u64(&header_->seed1, p.seed1);
+      pm.store_u64(&header_->seed2, p.seed2);
+      pm.store_u64(&header_->cell_size, sizeof(Cell));
+      pm.persist(header_, sizeof(Header));
+    } else {
+      GH_CHECK_MSG(header_->magic == kMagic, "not a level-hashing table");
+      GH_CHECK(header_->cell_size == sizeof(Cell));
+      hash1_ = SeededHash(header_->seed1);
+      hash2_ = SeededHash(header_->seed2);
+    }
+    top_buckets_ = header_->top_buckets;
+    top_mask_ = top_buckets_ - 1;
+  }
+
+  void attach_wal(UndoLog<PM>* wal) { wal_ = wal; }
+
+  bool insert(key_type key, u64 value) {
+    stats_.inserts++;
+    if (wal_) wal_->begin();
+    const u64 t1 = hash1_(key) & top_mask_;
+    const u64 t2 = hash2_(key) & top_mask_;
+    // Top-level candidates, less-loaded bucket first.
+    for (const u64 b : ordered_by_load(t1, t2)) {
+      if (Cell* c = empty_slot(top_bucket(b))) {
+        commit_insert(c, key, value);
+        return true;
+      }
+    }
+    // Bottom-level candidates.
+    for (const u64 b : ordered_by_load_bottom(t1 / 2, t2 / 2)) {
+      if (Cell* c = empty_slot(bottom_bucket(b))) {
+        commit_insert(c, key, value);
+        return true;
+      }
+    }
+    // One top-level movement: relocate a resident of t1/t2 to its
+    // alternate top bucket.
+    for (const u64 b : {t1, t2}) {
+      if (try_move_from_top(b, key, value)) return true;
+      if (t1 == t2) break;
+    }
+    // One bottom-level movement.
+    for (const u64 b : {t1 / 2, t2 / 2}) {
+      if (try_move_from_bottom(b, key, value)) return true;
+      if (t1 / 2 == t2 / 2) break;
+    }
+    stats_.insert_failures++;
+    if (wal_) wal_->commit();
+    return false;
+  }
+
+  std::optional<u64> find(key_type key) {
+    stats_.queries++;
+    Cell* c = find_cell(key);
+    if (c == nullptr) return std::nullopt;
+    stats_.query_hits++;
+    return c->value;
+  }
+
+  bool erase(key_type key) {
+    stats_.erases++;
+    if (wal_) wal_->begin();
+    Cell* c = find_cell(key);
+    if (c == nullptr) {
+      if (wal_) wal_->commit();
+      return false;
+    }
+    if (wal_) {
+      wal_->log_cell(c, sizeof(Cell));
+      wal_->log_cell(&header_->count, sizeof(u64));
+    }
+    c->retract(*pm_);
+    pm_->atomic_store_u64(&header_->count, header_->count - 1);
+    pm_->persist(&header_->count, sizeof(u64));
+    stats_.erase_hits++;
+    if (wal_) wal_->commit();
+    return true;
+  }
+
+  RecoveryReport recover() {
+    RecoveryReport report;
+    if (wal_) report.wal_records_rolled_back = wal_->recover();
+    u64 count = 0;
+    const u64 total = (top_buckets_ + top_buckets_ / 2) * kBucketSlots;
+    for (u64 i = 0; i < total; ++i) {
+      Cell* c = &top_[i];
+      pm_->touch_read(c, sizeof(Cell));
+      report.cells_scanned++;
+      if (!c->occupied()) {
+        if (c->payload_dirty()) {
+          c->scrub(*pm_);
+          report.cells_scrubbed++;
+        }
+      } else {
+        count++;
+      }
+    }
+    pm_->store_u64(&header_->count, count);
+    pm_->persist(&header_->count, sizeof(u64));
+    report.recovered_count = count;
+    return report;
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    const u64 total = (top_buckets_ + top_buckets_ / 2) * kBucketSlots;
+    for (u64 i = 0; i < total; ++i) {
+      if (top_[i].occupied()) fn(top_[i].key(), top_[i].value);
+    }
+  }
+
+  [[nodiscard]] u64 count() const { return header_->count; }
+  [[nodiscard]] u64 capacity() const {
+    return (top_buckets_ + top_buckets_ / 2) * kBucketSlots;
+  }
+  [[nodiscard]] double load_factor() const {
+    return static_cast<double>(count()) / static_cast<double>(capacity());
+  }
+  [[nodiscard]] TableStats& stats() { return stats_; }
+
+ private:
+  Cell* top_bucket(u64 b) { return &top_[b * kBucketSlots]; }
+  Cell* bottom_bucket(u64 b) { return &bottom_[b * kBucketSlots]; }
+
+  Cell* empty_slot(Cell* bucket) {
+    for (u32 s = 0; s < kBucketSlots; ++s) {
+      Cell* c = &bucket[s];
+      pm_->touch_read(c, sizeof(Cell));
+      stats_.probes++;
+      if (!c->occupied()) return c;
+    }
+    return nullptr;
+  }
+
+  u32 bucket_load(Cell* bucket) const {
+    u32 load = 0;
+    for (u32 s = 0; s < kBucketSlots; ++s) {
+      if (bucket[s].occupied()) ++load;
+    }
+    return load;
+  }
+
+  std::array<u64, 2> ordered_by_load(u64 a, u64 b) {
+    if (bucket_load(top_bucket(a)) <= bucket_load(top_bucket(b))) return {a, b};
+    return {b, a};
+  }
+
+  std::array<u64, 2> ordered_by_load_bottom(u64 a, u64 b) {
+    if (bucket_load(bottom_bucket(a)) <= bucket_load(bottom_bucket(b))) return {a, b};
+    return {b, a};
+  }
+
+  bool try_move_from_top(u64 b, key_type key, u64 value) {
+    Cell* bucket = top_bucket(b);
+    for (u32 s = 0; s < kBucketSlots; ++s) {
+      Cell* victim = &bucket[s];
+      const u64 v1 = hash1_(victim->key()) & top_mask_;
+      const u64 v2 = hash2_(victim->key()) & top_mask_;
+      const u64 alt = v1 == b ? v2 : v1;
+      if (alt == b) continue;
+      if (Cell* dest = empty_slot(top_bucket(alt))) {
+        move_and_insert(victim, dest, key, value);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool try_move_from_bottom(u64 b, key_type key, u64 value) {
+    Cell* bucket = bottom_bucket(b);
+    for (u32 s = 0; s < kBucketSlots; ++s) {
+      Cell* victim = &bucket[s];
+      const u64 v1 = (hash1_(victim->key()) & top_mask_) / 2;
+      const u64 v2 = (hash2_(victim->key()) & top_mask_) / 2;
+      const u64 alt = v1 == b ? v2 : v1;
+      if (alt == b) continue;
+      if (Cell* dest = empty_slot(bottom_bucket(alt))) {
+        move_and_insert(victim, dest, key, value);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void move_and_insert(Cell* victim, Cell* dest, key_type key, u64 value) {
+    if (wal_) {
+      wal_->log_cell(dest, sizeof(Cell));
+      wal_->log_cell(victim, sizeof(Cell));
+    }
+    dest->publish_from(*pm_, *victim);
+    victim->retract(*pm_);
+    stats_.displacements++;
+    commit_insert(victim, key, value);
+  }
+
+  void commit_insert(Cell* c, key_type key, u64 value) {
+    if (wal_) {
+      wal_->log_cell(c, sizeof(Cell));
+      wal_->log_cell(&header_->count, sizeof(u64));
+    }
+    c->publish(*pm_, key, value);
+    pm_->atomic_store_u64(&header_->count, header_->count + 1);
+    pm_->persist(&header_->count, sizeof(u64));
+    if (wal_) wal_->commit();
+  }
+
+  Cell* find_cell(key_type key) {
+    const u64 t1 = hash1_(key) & top_mask_;
+    const u64 t2 = hash2_(key) & top_mask_;
+    for (const u64 b : {t1, t2}) {
+      Cell* bucket = top_bucket(b);
+      for (u32 s = 0; s < kBucketSlots; ++s) {
+        Cell* c = &bucket[s];
+        pm_->touch_read(c, sizeof(Cell));
+        stats_.probes++;
+        if (c->matches(key)) return c;
+      }
+      if (t1 == t2) break;
+    }
+    for (const u64 b : {t1 / 2, t2 / 2}) {
+      Cell* bucket = bottom_bucket(b);
+      for (u32 s = 0; s < kBucketSlots; ++s) {
+        Cell* c = &bucket[s];
+        pm_->touch_read(c, sizeof(Cell));
+        stats_.probes++;
+        if (c->matches(key)) return c;
+      }
+      if (t1 / 2 == t2 / 2) break;
+    }
+    return nullptr;
+  }
+
+  PM* pm_;
+  SeededHash hash1_;
+  SeededHash hash2_;
+  Header* header_ = nullptr;
+  Cell* top_ = nullptr;
+  Cell* bottom_ = nullptr;
+  u64 top_buckets_ = 0;
+  u64 top_mask_ = 0;
+  UndoLog<PM>* wal_ = nullptr;
+  TableStats stats_;
+};
+
+}  // namespace gh::hash

@@ -1,0 +1,226 @@
+// Linear probing — the traditional DRAM hashing baseline (§2.3, §4).
+//
+// Collisions probe the immediately following cells, so collision
+// resolution stays in contiguous memory (the paper's explanation for its
+// good insert/query cache behaviour). Deletion uses backward-shift
+// compaction (no tombstones): every item between the freed slot and the
+// next empty cell whose home position permits it is moved back — the
+// "complicated delete process" whose extra writes make linear probing's
+// delete slow, especially at load factor 0.75.
+//
+// The plain table is not crash consistent (neither was the paper's); the
+// "-L" variant attaches an UndoLog so every cell modification is
+// duplicate-copied first.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "hash/cells.hpp"
+#include "hash/hash_functions.hpp"
+#include "hash/table_stats.hpp"
+#include "hash/wal.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace gh::hash {
+
+template <class Cell, class PM>
+class LinearProbingTable {
+ public:
+  using key_type = typename Cell::key_type;
+
+  struct Params {
+    u64 cells = 2048;  ///< power of two
+    u64 seed = kDefaultSeed1;
+    bool zero_memory = false;
+  };
+
+  static constexpr u64 kMagic = 0x4748544c50303031ull;  // "GHTLP001"
+
+  struct Header {
+    u64 magic;
+    u64 cells;
+    u64 count;
+    u64 seed;
+    u64 cell_size;
+    u64 reserved[3];
+  };
+  static_assert(sizeof(Header) == 64);
+
+  static usize required_bytes(const Params& p) {
+    return sizeof(Header) + p.cells * sizeof(Cell);
+  }
+
+  LinearProbingTable(PM& pm, std::span<std::byte> mem, const Params& p, bool format)
+      : pm_(&pm), hash_(p.seed) {
+    GH_CHECK_MSG(is_pow2(p.cells), "cells must be a power of two");
+    GH_CHECK(mem.size() >= required_bytes(p));
+    header_ = reinterpret_cast<Header*>(mem.data());
+    tab_ = reinterpret_cast<Cell*>(mem.data() + sizeof(Header));
+    if (format) {
+      if (p.zero_memory) {
+        pm.fill(tab_, 0, p.cells * sizeof(Cell));
+        pm.persist(tab_, p.cells * sizeof(Cell));
+      }
+      pm.store_u64(&header_->magic, kMagic);
+      pm.store_u64(&header_->cells, p.cells);
+      pm.store_u64(&header_->count, 0);
+      pm.store_u64(&header_->seed, p.seed);
+      pm.store_u64(&header_->cell_size, sizeof(Cell));
+      pm.persist(header_, sizeof(Header));
+    } else {
+      GH_CHECK_MSG(header_->magic == kMagic, "not a linear-probing table");
+      GH_CHECK(header_->cell_size == sizeof(Cell));
+      hash_ = SeededHash(header_->seed);
+    }
+    cells_ = header_->cells;
+    mask_ = cells_ - 1;
+  }
+
+  void attach_wal(UndoLog<PM>* wal) { wal_ = wal; }
+
+  bool insert(key_type key, u64 value) {
+    stats_.inserts++;
+    if (wal_) wal_->begin();
+    u64 i = hash_(key) & mask_;
+    for (u64 step = 0; step < cells_; ++step, i = (i + 1) & mask_) {
+      Cell* c = probe(&tab_[i]);
+      if (!c->occupied()) {
+        if (wal_) {
+          wal_->log_cell(c, sizeof(Cell));
+          wal_->log_cell(&header_->count, sizeof(u64));
+        }
+        c->publish(*pm_, key, value);
+        bump_count(+1);
+        if (wal_) wal_->commit();
+        return true;
+      }
+    }
+    stats_.insert_failures++;
+    if (wal_) wal_->commit();
+    return false;
+  }
+
+  std::optional<u64> find(key_type key) {
+    stats_.queries++;
+    u64 i = hash_(key) & mask_;
+    for (u64 step = 0; step < cells_; ++step, i = (i + 1) & mask_) {
+      const Cell* c = probe(&tab_[i]);
+      if (!c->occupied()) return std::nullopt;  // probe chain ends at first hole
+      if (c->matches(key)) {
+        stats_.query_hits++;
+        return c->value;
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool erase(key_type key) {
+    stats_.erases++;
+    if (wal_) wal_->begin();
+    u64 i = hash_(key) & mask_;
+    bool found = false;
+    for (u64 step = 0; step < cells_; ++step, i = (i + 1) & mask_) {
+      const Cell* c = probe(&tab_[i]);
+      if (!c->occupied()) break;
+      if (c->matches(key)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (wal_) wal_->commit();
+      return false;
+    }
+    // Backward-shift compaction: pull every later item in the probe chain
+    // whose home position allows it into the hole, leaving no tombstone.
+    u64 hole = i;
+    maybe_log(&tab_[hole]);
+    tab_[hole].retract(*pm_);
+    u64 j = (hole + 1) & mask_;
+    for (u64 step = 0; step < cells_; ++step, j = (j + 1) & mask_) {
+      Cell* cj = probe(&tab_[j]);
+      if (!cj->occupied()) break;
+      const u64 home = hash_(cj->key()) & mask_;
+      // Move if the hole lies cyclically within [home, j].
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        maybe_log(&tab_[hole]);
+        maybe_log(cj);
+        tab_[hole].publish_from(*pm_, *cj);
+        cj->retract(*pm_);
+        stats_.backward_shifts++;
+        hole = j;
+      }
+    }
+    if (wal_) wal_->log_cell(&header_->count, sizeof(u64));
+    bump_count(-1);
+    stats_.erase_hits++;
+    if (wal_) wal_->commit();
+    return true;
+  }
+
+  RecoveryReport recover() {
+    RecoveryReport report;
+    if (wal_) report.wal_records_rolled_back = wal_->recover();
+    u64 count = 0;
+    for (u64 i = 0; i < cells_; ++i) {
+      Cell* c = &tab_[i];
+      pm_->touch_read(c, sizeof(Cell));
+      report.cells_scanned++;
+      if (!c->occupied()) {
+        if (c->payload_dirty()) {
+          c->scrub(*pm_);
+          report.cells_scrubbed++;
+        }
+      } else {
+        count++;
+      }
+    }
+    pm_->store_u64(&header_->count, count);
+    pm_->persist(&header_->count, sizeof(u64));
+    report.recovered_count = count;
+    return report;
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (u64 i = 0; i < cells_; ++i) {
+      if (tab_[i].occupied()) fn(tab_[i].key(), tab_[i].value);
+    }
+  }
+
+  [[nodiscard]] u64 count() const { return header_->count; }
+  [[nodiscard]] u64 capacity() const { return cells_; }
+  [[nodiscard]] double load_factor() const {
+    return static_cast<double>(count()) / static_cast<double>(capacity());
+  }
+  [[nodiscard]] TableStats& stats() { return stats_; }
+
+ private:
+  Cell* probe(Cell* c) {
+    pm_->touch_read(c, sizeof(Cell));
+    stats_.probes++;
+    return c;
+  }
+
+  void maybe_log(Cell* c) {
+    if (wal_) wal_->log_cell(c, sizeof(Cell));
+  }
+
+  void bump_count(i64 delta) {
+    pm_->atomic_store_u64(&header_->count, header_->count + static_cast<u64>(delta));
+    pm_->persist(&header_->count, sizeof(u64));
+  }
+
+  PM* pm_;
+  SeededHash hash_;
+  Header* header_ = nullptr;
+  Cell* tab_ = nullptr;
+  u64 cells_ = 0;
+  u64 mask_ = 0;
+  UndoLog<PM>* wal_ = nullptr;
+  TableStats stats_;
+};
+
+}  // namespace gh::hash

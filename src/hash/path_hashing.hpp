@@ -1,0 +1,240 @@
+// Path hashing (Zuo & Hua, MSST'17) — an NVM-friendly baseline that
+// resolves collisions with *position sharing* in an inverted complete
+// binary tree: level 0 holds 2^n addressable cells; each lower level
+// halves in size, and an item hashed to level-0 position p may stand in
+// any cell along the path p, p>>1, p>>2, ... toward the root. Two hash
+// functions give every item two such paths. Only the top
+// `reserved_levels` levels are kept (path shortening; the paper uses 20).
+//
+// Insertion/search walk both paths level by level; no item ever moves, so
+// no extra NVM writes occur — but the path cells live in different memory
+// regions (one per level), so every probe is a fresh memory access, the
+// cache-miss behaviour the group-hashing paper contrasts against.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "hash/cells.hpp"
+#include "hash/hash_functions.hpp"
+#include "hash/table_stats.hpp"
+#include "hash/wal.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace gh::hash {
+
+template <class Cell, class PM>
+class PathHashTable {
+ public:
+  using key_type = typename Cell::key_type;
+
+  struct Params {
+    u32 level0_bits = 11;     ///< level 0 holds 2^level0_bits cells
+    u32 reserved_levels = 20; ///< levels kept (paper default 20)
+    u64 seed1 = kDefaultSeed1;
+    u64 seed2 = kDefaultSeed2;
+    bool zero_memory = false;
+  };
+
+  static constexpr u64 kMagic = 0x4748545048303031ull;  // "GHTPH001"
+
+  struct Header {
+    u64 magic;
+    u64 level0_bits;
+    u64 levels;
+    u64 count;
+    u64 seed1;
+    u64 seed2;
+    u64 cell_size;
+    u64 reserved;
+  };
+  static_assert(sizeof(Header) == 64);
+
+  static u32 effective_levels(const Params& p) {
+    return std::min(p.reserved_levels, p.level0_bits + 1);
+  }
+
+  static u64 total_cells(const Params& p) {
+    const u32 levels = effective_levels(p);
+    u64 total = 0;
+    for (u32 l = 0; l < levels; ++l) total += 1ull << (p.level0_bits - l);
+    return total;
+  }
+
+  static usize required_bytes(const Params& p) {
+    return sizeof(Header) + total_cells(p) * sizeof(Cell);
+  }
+
+  PathHashTable(PM& pm, std::span<std::byte> mem, const Params& p, bool format)
+      : pm_(&pm), hash1_(p.seed1), hash2_(p.seed2) {
+    GH_CHECK(p.level0_bits >= 1 && p.level0_bits < 63);
+    GH_CHECK(p.reserved_levels >= 1);
+    GH_CHECK(mem.size() >= required_bytes(p));
+    header_ = reinterpret_cast<Header*>(mem.data());
+    tab_ = reinterpret_cast<Cell*>(mem.data() + sizeof(Header));
+    if (format) {
+      if (p.zero_memory) {
+        pm.fill(tab_, 0, total_cells(p) * sizeof(Cell));
+        pm.persist(tab_, total_cells(p) * sizeof(Cell));
+      }
+      pm.store_u64(&header_->magic, kMagic);
+      pm.store_u64(&header_->level0_bits, p.level0_bits);
+      pm.store_u64(&header_->levels, effective_levels(p));
+      pm.store_u64(&header_->count, 0);
+      pm.store_u64(&header_->seed1, p.seed1);
+      pm.store_u64(&header_->seed2, p.seed2);
+      pm.store_u64(&header_->cell_size, sizeof(Cell));
+      pm.persist(header_, sizeof(Header));
+    } else {
+      GH_CHECK_MSG(header_->magic == kMagic, "not a path-hashing table");
+      GH_CHECK(header_->cell_size == sizeof(Cell));
+      hash1_ = SeededHash(header_->seed1);
+      hash2_ = SeededHash(header_->seed2);
+    }
+    level0_bits_ = static_cast<u32>(header_->level0_bits);
+    levels_ = static_cast<u32>(header_->levels);
+    mask_ = (1ull << level0_bits_) - 1;
+    level_offset_.resize(levels_ + 1);
+    level_offset_[0] = 0;
+    for (u32 l = 0; l < levels_; ++l) {
+      level_offset_[l + 1] = level_offset_[l] + (1ull << (level0_bits_ - l));
+    }
+  }
+
+  void attach_wal(UndoLog<PM>* wal) { wal_ = wal; }
+
+  bool insert(key_type key, u64 value) {
+    stats_.inserts++;
+    if (wal_) wal_->begin();
+    const u64 p1 = hash1_(key) & mask_;
+    const u64 p2 = hash2_(key) & mask_;
+    for (u32 l = 0; l < levels_; ++l) {
+      for (const u64 p : {p1, p2}) {
+        Cell* c = probe(cell_at(l, p >> l));
+        if (!c->occupied()) {
+          commit_insert(c, key, value);
+          return true;
+        }
+      }
+    }
+    stats_.insert_failures++;
+    if (wal_) wal_->commit();
+    return false;
+  }
+
+  std::optional<u64> find(key_type key) {
+    stats_.queries++;
+    Cell* c = find_cell(key);
+    if (c == nullptr) return std::nullopt;
+    stats_.query_hits++;
+    return c->value;
+  }
+
+  bool erase(key_type key) {
+    stats_.erases++;
+    if (wal_) wal_->begin();
+    Cell* c = find_cell(key);
+    if (c == nullptr) {
+      if (wal_) wal_->commit();
+      return false;
+    }
+    if (wal_) {
+      wal_->log_cell(c, sizeof(Cell));
+      wal_->log_cell(&header_->count, sizeof(u64));
+    }
+    c->retract(*pm_);
+    pm_->atomic_store_u64(&header_->count, header_->count - 1);
+    pm_->persist(&header_->count, sizeof(u64));
+    stats_.erase_hits++;
+    if (wal_) wal_->commit();
+    return true;
+  }
+
+  RecoveryReport recover() {
+    RecoveryReport report;
+    if (wal_) report.wal_records_rolled_back = wal_->recover();
+    u64 count = 0;
+    const u64 total = level_offset_[levels_];
+    for (u64 i = 0; i < total; ++i) {
+      Cell* c = &tab_[i];
+      pm_->touch_read(c, sizeof(Cell));
+      report.cells_scanned++;
+      if (!c->occupied()) {
+        if (c->payload_dirty()) {
+          c->scrub(*pm_);
+          report.cells_scrubbed++;
+        }
+      } else {
+        count++;
+      }
+    }
+    pm_->store_u64(&header_->count, count);
+    pm_->persist(&header_->count, sizeof(u64));
+    report.recovered_count = count;
+    return report;
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    const u64 total = level_offset_[levels_];
+    for (u64 i = 0; i < total; ++i) {
+      if (tab_[i].occupied()) fn(tab_[i].key(), tab_[i].value);
+    }
+  }
+
+  [[nodiscard]] u64 count() const { return header_->count; }
+  [[nodiscard]] u64 capacity() const { return level_offset_[levels_]; }
+  [[nodiscard]] double load_factor() const {
+    return static_cast<double>(count()) / static_cast<double>(capacity());
+  }
+  [[nodiscard]] u32 levels() const { return levels_; }
+  [[nodiscard]] TableStats& stats() { return stats_; }
+
+ private:
+  Cell* cell_at(u32 level, u64 pos) { return &tab_[level_offset_[level] + pos]; }
+
+  Cell* probe(Cell* c) {
+    pm_->touch_read(c, sizeof(Cell));
+    stats_.probes++;
+    return c;
+  }
+
+  void commit_insert(Cell* c, key_type key, u64 value) {
+    if (wal_) {
+      wal_->log_cell(c, sizeof(Cell));
+      wal_->log_cell(&header_->count, sizeof(u64));
+    }
+    c->publish(*pm_, key, value);
+    pm_->atomic_store_u64(&header_->count, header_->count + 1);
+    pm_->persist(&header_->count, sizeof(u64));
+    if (wal_) wal_->commit();
+  }
+
+  Cell* find_cell(key_type key) {
+    const u64 p1 = hash1_(key) & mask_;
+    const u64 p2 = hash2_(key) & mask_;
+    for (u32 l = 0; l < levels_; ++l) {
+      for (const u64 p : {p1, p2}) {
+        Cell* c = probe(cell_at(l, p >> l));
+        if (c->matches(key)) return c;
+      }
+    }
+    return nullptr;
+  }
+
+  PM* pm_;
+  SeededHash hash1_;
+  SeededHash hash2_;
+  Header* header_ = nullptr;
+  Cell* tab_ = nullptr;
+  u32 level0_bits_ = 0;
+  u32 levels_ = 0;
+  u64 mask_ = 0;
+  std::vector<u64> level_offset_;
+  UndoLog<PM>* wal_ = nullptr;
+  TableStats stats_;
+};
+
+}  // namespace gh::hash

@@ -1,0 +1,278 @@
+// PFHT (Debnath et al., "Revisiting hash table design for phase change
+// memory") — an NVM-friendly cuckoo-hashing variant used as a baseline:
+// two hash functions address buckets of 4 contiguous cells, an insert may
+// displace at most ONE resident item (bounding cascading cuckoo writes),
+// and items that still do not fit go to a linear stash sized at 3% of the
+// table (§4.1 of the group-hashing paper).
+//
+// The 4-cell buckets are contiguous (good cache behaviour at load factor
+// 0.5); at 0.75 more items land in the stash, whose linear scans make
+// PFHT fall behind path hashing — a crossover the figures reproduce.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "hash/cells.hpp"
+#include "hash/hash_functions.hpp"
+#include "hash/table_stats.hpp"
+#include "hash/wal.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace gh::hash {
+
+template <class Cell, class PM>
+class PfhtTable {
+ public:
+  using key_type = typename Cell::key_type;
+  static constexpr u32 kBucketCells = 4;
+  /// Stash size as a fraction of the table (paper: 3%).
+  static constexpr double kStashFraction = 0.03;
+
+  struct Params {
+    u64 cells = 2048;  ///< table cells excluding stash; power of two
+    u64 seed1 = kDefaultSeed1;
+    u64 seed2 = kDefaultSeed2;
+    bool zero_memory = false;
+  };
+
+  static constexpr u64 kMagic = 0x4748545046303031ull;  // "GHTPF001"
+
+  struct Header {
+    u64 magic;
+    u64 cells;
+    u64 stash_cells;
+    u64 count;
+    u64 seed1;
+    u64 seed2;
+    u64 cell_size;
+    u64 reserved;
+  };
+  static_assert(sizeof(Header) == 64);
+
+  static u64 stash_cells_for(u64 cells) {
+    return std::max<u64>(1, static_cast<u64>(static_cast<double>(cells) * kStashFraction));
+  }
+
+  static usize required_bytes(const Params& p) {
+    return sizeof(Header) + (p.cells + stash_cells_for(p.cells)) * sizeof(Cell);
+  }
+
+  PfhtTable(PM& pm, std::span<std::byte> mem, const Params& p, bool format)
+      : pm_(&pm), hash1_(p.seed1), hash2_(p.seed2) {
+    GH_CHECK_MSG(is_pow2(p.cells) && p.cells >= kBucketCells,
+                 "cells must be a power of two >= bucket size");
+    GH_CHECK(mem.size() >= required_bytes(p));
+    header_ = reinterpret_cast<Header*>(mem.data());
+    tab_ = reinterpret_cast<Cell*>(mem.data() + sizeof(Header));
+    if (format) {
+      const u64 total = p.cells + stash_cells_for(p.cells);
+      if (p.zero_memory) {
+        pm.fill(tab_, 0, total * sizeof(Cell));
+        pm.persist(tab_, total * sizeof(Cell));
+      }
+      pm.store_u64(&header_->magic, kMagic);
+      pm.store_u64(&header_->cells, p.cells);
+      pm.store_u64(&header_->stash_cells, stash_cells_for(p.cells));
+      pm.store_u64(&header_->count, 0);
+      pm.store_u64(&header_->seed1, p.seed1);
+      pm.store_u64(&header_->seed2, p.seed2);
+      pm.store_u64(&header_->cell_size, sizeof(Cell));
+      pm.persist(header_, sizeof(Header));
+    } else {
+      GH_CHECK_MSG(header_->magic == kMagic, "not a PFHT table");
+      GH_CHECK(header_->cell_size == sizeof(Cell));
+      hash1_ = SeededHash(header_->seed1);
+      hash2_ = SeededHash(header_->seed2);
+    }
+    buckets_ = header_->cells / kBucketCells;
+    bucket_mask_ = buckets_ - 1;
+    stash_ = tab_ + header_->cells;
+    stash_cells_ = header_->stash_cells;
+  }
+
+  void attach_wal(UndoLog<PM>* wal) { wal_ = wal; }
+
+  bool insert(key_type key, u64 value) {
+    stats_.inserts++;
+    if (wal_) wal_->begin();
+    const u64 b1 = hash1_(key) & bucket_mask_;
+    const u64 b2 = hash2_(key) & bucket_mask_;
+    if (Cell* c = empty_slot(b1); c != nullptr) {
+      commit_insert(c, key, value);
+      return true;
+    }
+    if (Cell* c = empty_slot(b2); c != nullptr) {
+      commit_insert(c, key, value);
+      return true;
+    }
+    // At most one displacement: try to move one resident of the first
+    // candidate bucket to its alternate bucket, then reuse the freed slot.
+    Cell* bucket = &tab_[b1 * kBucketCells];
+    for (u32 s = 0; s < kBucketCells; ++s) {
+      Cell* victim = &bucket[s];
+      const u64 alt = alternate_bucket(victim->key(), b1);
+      if (alt == b1) continue;
+      if (Cell* dest = empty_slot(alt); dest != nullptr) {
+        if (wal_) {
+          wal_->log_cell(dest, sizeof(Cell));
+          wal_->log_cell(victim, sizeof(Cell));
+        }
+        dest->publish_from(*pm_, *victim);
+        victim->retract(*pm_);
+        stats_.displacements++;
+        commit_insert(victim, key, value);
+        return true;
+      }
+    }
+    // Stash of last resort.
+    for (u64 i = 0; i < stash_cells_; ++i) {
+      Cell* c = probe(&stash_[i]);
+      stats_.stash_probes++;
+      if (!c->occupied()) {
+        commit_insert(c, key, value);
+        return true;
+      }
+    }
+    stats_.insert_failures++;
+    if (wal_) wal_->commit();
+    return false;
+  }
+
+  std::optional<u64> find(key_type key) {
+    stats_.queries++;
+    Cell* c = find_cell(key);
+    if (c == nullptr) return std::nullopt;
+    stats_.query_hits++;
+    return c->value;
+  }
+
+  bool erase(key_type key) {
+    stats_.erases++;
+    if (wal_) wal_->begin();
+    Cell* c = find_cell(key);
+    if (c == nullptr) {
+      if (wal_) wal_->commit();
+      return false;
+    }
+    if (wal_) {
+      wal_->log_cell(c, sizeof(Cell));
+      wal_->log_cell(&header_->count, sizeof(u64));
+    }
+    c->retract(*pm_);
+    pm_->atomic_store_u64(&header_->count, header_->count - 1);
+    pm_->persist(&header_->count, sizeof(u64));
+    stats_.erase_hits++;
+    if (wal_) wal_->commit();
+    return true;
+  }
+
+  RecoveryReport recover() {
+    RecoveryReport report;
+    if (wal_) report.wal_records_rolled_back = wal_->recover();
+    u64 count = 0;
+    const u64 total = header_->cells + stash_cells_;
+    for (u64 i = 0; i < total; ++i) {
+      Cell* c = &tab_[i];
+      pm_->touch_read(c, sizeof(Cell));
+      report.cells_scanned++;
+      if (!c->occupied()) {
+        if (c->payload_dirty()) {
+          c->scrub(*pm_);
+          report.cells_scrubbed++;
+        }
+      } else {
+        count++;
+      }
+    }
+    pm_->store_u64(&header_->count, count);
+    pm_->persist(&header_->count, sizeof(u64));
+    report.recovered_count = count;
+    return report;
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    const u64 total = header_->cells + stash_cells_;
+    for (u64 i = 0; i < total; ++i) {
+      if (tab_[i].occupied()) fn(tab_[i].key(), tab_[i].value);
+    }
+  }
+
+  [[nodiscard]] u64 count() const { return header_->count; }
+  [[nodiscard]] u64 capacity() const { return header_->cells + stash_cells_; }
+  [[nodiscard]] double load_factor() const {
+    return static_cast<double>(count()) / static_cast<double>(capacity());
+  }
+  [[nodiscard]] TableStats& stats() { return stats_; }
+
+ private:
+  Cell* probe(Cell* c) {
+    pm_->touch_read(c, sizeof(Cell));
+    stats_.probes++;
+    return c;
+  }
+
+  Cell* empty_slot(u64 bucket) {
+    Cell* base = &tab_[bucket * kBucketCells];
+    for (u32 s = 0; s < kBucketCells; ++s) {
+      Cell* c = probe(&base[s]);
+      if (!c->occupied()) return c;
+    }
+    return nullptr;
+  }
+
+  u64 alternate_bucket(key_type key, u64 current) const {
+    const u64 b1 = hash1_(key) & bucket_mask_;
+    return b1 == current ? (hash2_(key) & bucket_mask_) : b1;
+  }
+
+  void commit_insert(Cell* c, key_type key, u64 value) {
+    if (wal_) {
+      wal_->log_cell(c, sizeof(Cell));
+      wal_->log_cell(&header_->count, sizeof(u64));
+    }
+    c->publish(*pm_, key, value);
+    pm_->atomic_store_u64(&header_->count, header_->count + 1);
+    pm_->persist(&header_->count, sizeof(u64));
+    if (wal_) wal_->commit();
+  }
+
+  Cell* find_cell(key_type key) {
+    const u64 b1 = hash1_(key) & bucket_mask_;
+    Cell* base = &tab_[b1 * kBucketCells];
+    for (u32 s = 0; s < kBucketCells; ++s) {
+      Cell* c = probe(&base[s]);
+      if (c->matches(key)) return c;
+    }
+    const u64 b2 = hash2_(key) & bucket_mask_;
+    if (b2 != b1) {
+      base = &tab_[b2 * kBucketCells];
+      for (u32 s = 0; s < kBucketCells; ++s) {
+        Cell* c = probe(&base[s]);
+        if (c->matches(key)) return c;
+      }
+    }
+    for (u64 i = 0; i < stash_cells_; ++i) {
+      Cell* c = probe(&stash_[i]);
+      stats_.stash_probes++;
+      if (c->matches(key)) return c;
+    }
+    return nullptr;
+  }
+
+  PM* pm_;
+  SeededHash hash1_;
+  SeededHash hash2_;
+  Header* header_ = nullptr;
+  Cell* tab_ = nullptr;
+  Cell* stash_ = nullptr;
+  u64 buckets_ = 0;
+  u64 bucket_mask_ = 0;
+  u64 stash_cells_ = 0;
+  UndoLog<PM>* wal_ = nullptr;
+  TableStats stats_;
+};
+
+}  // namespace gh::hash

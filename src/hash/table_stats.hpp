@@ -1,0 +1,53 @@
+// Per-table operation statistics. Orthogonal to nvm::PersistStats (which
+// counts NVM traffic): these count algorithmic work — probes, level-2
+// group probes, displacements, backward shifts, stash scans — the
+// quantities the paper's analysis (§2.3, §4.2-4.3) reasons about.
+#pragma once
+
+#include <string>
+
+#include "util/counters.hpp"
+#include "util/types.hpp"
+
+namespace gh::hash {
+
+/// Result of an Algorithm-4 style recovery scan (and, for "-L" variants,
+/// the undo-log rollback that precedes it).
+struct RecoveryReport {
+  u64 cells_scanned = 0;
+  u64 cells_scrubbed = 0;
+  u64 recovered_count = 0;
+  u64 wal_records_rolled_back = 0;
+};
+
+/// Counters use RelaxedCounter so the concurrent wrappers can share a
+/// table without data races; under concurrency statistics are
+/// approximate (see util/counters.hpp), single-threaded they are exact.
+struct TableStats {
+  RelaxedCounter inserts;
+  RelaxedCounter insert_failures;
+  RelaxedCounter queries;
+  RelaxedCounter query_hits;
+  RelaxedCounter erases;
+  RelaxedCounter erase_hits;
+  RelaxedCounter probes;            ///< cells examined across all operations
+  RelaxedCounter level2_probes;     ///< group hashing: collision-cell probes
+  RelaxedCounter displacements;     ///< PFHT: cuckoo moves
+  RelaxedCounter stash_probes;      ///< PFHT: stash cells examined
+  RelaxedCounter backward_shifts;   ///< linear probing: cells moved on delete
+
+  void clear() { *this = TableStats{}; }
+
+  [[nodiscard]] std::string to_string() const {
+    return "inserts=" + std::to_string(inserts) + "(" + std::to_string(insert_failures) +
+           " failed) queries=" + std::to_string(queries) + "/" + std::to_string(query_hits) +
+           " erases=" + std::to_string(erases) + "/" + std::to_string(erase_hits) +
+           " probes=" + std::to_string(probes) +
+           " l2probes=" + std::to_string(level2_probes) +
+           " displacements=" + std::to_string(displacements) +
+           " stash_probes=" + std::to_string(stash_probes) +
+           " shifts=" + std::to_string(backward_shifts);
+  }
+};
+
+}  // namespace gh::hash

@@ -1,0 +1,167 @@
+// Undo log ("logging scheme", the duplicate-copy consistency baseline).
+//
+// The paper makes the comparison fair by adding a logging scheme to the
+// baselines (Linear-L, PFHT-L, Path-L): before a cell is modified in
+// place, its old image is copied to a persistent log, so a crash mid-
+// operation can be rolled back. This is exactly the "duplicate copy"
+// whose extra writes and cacheline flushes Figures 2, 5 and 6 quantify:
+// one extra cacheline write + flush per modified cell, plus the
+// transaction begin/commit flushes.
+//
+// Design: each 64-byte record carries the transaction sequence number and
+// a checksum, so validity is determined at recovery time without a
+// persistent record counter (one flush per record instead of two). A
+// torn record — possible when the crash interrupts the record write
+// itself — fails the checksum and is skipped, which is safe because the
+// protected in-place write only starts after the record has persisted.
+//
+// Transaction protocol:
+//   begin():     active_tx = (tx_id << 1) | 1, 8-byte atomic, persist
+//   log_cell():  write record {offset, len, old image, tx_id, checksum},
+//                persist (one cacheline)
+//   commit():    active_tx = tx_id << 1 (bit 0 cleared), persist
+//   recover():   if the active bit is set, apply the checksum-valid
+//                records of that tx newest-first, persist each, clear bit
+#pragma once
+
+#include <span>
+
+#include "hash/hash_functions.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace gh::hash {
+
+template <class PM>
+class UndoLog {
+ public:
+  static constexpr u64 kMagic = 0x474857414c303032ull;  // "GHWAL002"
+  static constexpr usize kMaxCellBytes = 32;
+
+  struct Header {
+    u64 magic;
+    u64 active_tx;  ///< (tx_id << 1) | active_bit — the 8-byte commit word
+    u64 max_records;
+    u64 reserved[5];
+  };
+  static_assert(sizeof(Header) == 64);
+
+  struct Record {
+    u64 offset;  ///< of the saved cell within the tracked span
+    u64 len;
+    u8 old_image[kMaxCellBytes];
+    u64 seq;       ///< tx_id this record belongs to
+    u64 checksum;  ///< torn-write detector
+  };
+  static_assert(sizeof(Record) == 64);
+
+  static usize required_bytes(u32 max_records) {
+    return sizeof(Header) + static_cast<usize>(max_records) * sizeof(Record);
+  }
+
+  /// `log_mem` holds the log itself; `tracked` is the table memory the log
+  /// protects (record offsets are relative to it).
+  UndoLog(PM& pm, std::span<std::byte> log_mem, std::span<std::byte> tracked,
+          u32 max_records, bool format)
+      : pm_(&pm), tracked_(tracked) {
+    GH_CHECK(log_mem.size() >= required_bytes(max_records));
+    header_ = reinterpret_cast<Header*>(log_mem.data());
+    records_ = reinterpret_cast<Record*>(log_mem.data() + sizeof(Header));
+    if (format) {
+      pm.store_u64(&header_->magic, kMagic);
+      pm.store_u64(&header_->active_tx, 0);
+      pm.store_u64(&header_->max_records, max_records);
+      pm.persist(header_, sizeof(Header));
+    } else {
+      GH_CHECK_MSG(header_->magic == kMagic, "not an undo log");
+    }
+  }
+
+  void begin() {
+    GH_DCHECK(!in_transaction());
+    tx_id_ = (header_->active_tx >> 1) + 1;
+    pm_->atomic_store_u64(&header_->active_tx, tx_id_ << 1 | 1);
+    pm_->persist(&header_->active_tx, sizeof(u64));
+    nrecords_ = 0;
+  }
+
+  /// Copy the current (pre-modification) image of `addr` into the log.
+  /// One cacheline write + one flush — the "duplicate copy" cost.
+  void log_cell(const void* addr, usize len) {
+    GH_DCHECK(in_transaction());
+    GH_CHECK(len <= kMaxCellBytes);
+    const auto* p = static_cast<const std::byte*>(addr);
+    GH_DCHECK(p >= tracked_.data() && p + len <= tracked_.data() + tracked_.size());
+    GH_CHECK_MSG(nrecords_ < header_->max_records, "undo log full");
+    Record& rec = records_[nrecords_];
+    pm_->store_u64(&rec.offset, static_cast<u64>(p - tracked_.data()));
+    pm_->store_u64(&rec.len, len);
+    pm_->copy(rec.old_image, addr, len);
+    pm_->store_u64(&rec.seq, tx_id_);
+    pm_->store_u64(&rec.checksum, checksum_of(rec));
+    pm_->persist(&rec, sizeof(Record));
+    ++nrecords_;
+    ++records_logged_;
+  }
+
+  void commit() {
+    GH_DCHECK(in_transaction());
+    pm_->atomic_store_u64(&header_->active_tx, tx_id_ << 1);
+    pm_->persist(&header_->active_tx, sizeof(u64));
+  }
+
+  /// Roll back an interrupted transaction (no-op when none was active).
+  /// Returns the number of records undone.
+  u64 recover() {
+    if (!in_transaction()) return 0;
+    const u64 tx = header_->active_tx >> 1;
+    tx_id_ = tx;
+    // Records of the open tx occupy a slot prefix in append order; walk
+    // them newest-first. Checksum-invalid (torn) or stale-seq records are
+    // skipped — their in-place writes never started.
+    const u64 max = header_->max_records;
+    u64 valid_top = 0;
+    for (u64 i = 0; i < max; ++i) {
+      const Record& rec = records_[i];
+      if (rec.seq == tx && rec.checksum == checksum_of(rec) && rec.len <= kMaxCellBytes &&
+          rec.offset + rec.len <= tracked_.size()) {
+        valid_top = i + 1;
+      } else {
+        break;  // slot prefix ends at the first non-matching record
+      }
+    }
+    for (u64 i = valid_top; i-- > 0;) {
+      const Record& rec = records_[i];
+      pm_->copy(tracked_.data() + rec.offset, rec.old_image, rec.len);
+      pm_->persist(tracked_.data() + rec.offset, rec.len);
+    }
+    pm_->atomic_store_u64(&header_->active_tx, tx << 1);
+    pm_->persist(&header_->active_tx, sizeof(u64));
+    return valid_top;
+  }
+
+  [[nodiscard]] bool in_transaction() const { return (header_->active_tx & 1) != 0; }
+  [[nodiscard]] u64 records_in_transaction() const { return nrecords_; }
+  [[nodiscard]] u64 lifetime_records() const { return records_logged_; }
+
+ private:
+  static u64 checksum_of(const Record& rec) {
+    u64 h = fmix64(rec.offset ^ (rec.len * 0x9e3779b97f4a7c15ull));
+    for (usize i = 0; i < kMaxCellBytes; i += 8) {
+      u64 word;
+      __builtin_memcpy(&word, rec.old_image + i, 8);
+      h = fmix64(h ^ word);
+    }
+    return fmix64(h ^ rec.seq);
+  }
+
+  PM* pm_;
+  std::span<std::byte> tracked_;
+  Header* header_ = nullptr;
+  Record* records_ = nullptr;
+  u64 tx_id_ = 0;      ///< volatile: re-derived from the header on reattach
+  u64 nrecords_ = 0;   ///< volatile: slot cursor within the open tx
+  u64 records_logged_ = 0;
+};
+
+}  // namespace gh::hash

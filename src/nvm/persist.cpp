@@ -1,0 +1,73 @@
+#include "nvm/persist.hpp"
+
+#include <sstream>
+
+#include "util/format.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define GH_X86 1
+#endif
+
+namespace gh::nvm {
+
+void flush_line(const void* addr) {
+#if defined(GH_X86) && defined(GH_HAVE_CLFLUSHOPT)
+  _mm_clflushopt(const_cast<void*>(addr));
+#elif defined(GH_X86)
+  _mm_clflush(const_cast<void*>(addr));
+#else
+  (void)addr;
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+void flush_line(const void* addr, FlushInstruction kind) {
+#ifdef GH_X86
+  switch (kind) {
+    case FlushInstruction::kClflush:
+      _mm_clflush(const_cast<void*>(addr));
+      return;
+    case FlushInstruction::kClflushOpt:
+    case FlushInstruction::kClwb:
+      // clwb shares clflushopt's encoding class; without -mclwb at build
+      // time (or hardware support) degrade to clflushopt/clflush — same
+      // durability, stronger invalidation.
+#ifdef GH_HAVE_CLWB
+      if (kind == FlushInstruction::kClwb) {
+        _mm_clwb(const_cast<void*>(addr));
+        return;
+      }
+#endif
+#ifdef GH_HAVE_CLFLUSHOPT
+      _mm_clflushopt(const_cast<void*>(addr));
+#else
+      _mm_clflush(const_cast<void*>(addr));
+#endif
+      return;
+  }
+#else
+  (void)addr;
+  (void)kind;
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+void store_fence() {
+#ifdef GH_X86
+  _mm_sfence();
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+std::string PersistStats::to_string() const {
+  std::ostringstream os;
+  os << "stores=" << stores << " bytes=" << format_bytes(bytes_written)
+     << " atomic=" << atomic_stores << " persists=" << persist_calls
+     << " lines_flushed=" << lines_flushed << " fences=" << fences
+     << " delay=" << format_ns(static_cast<double>(delay_ns));
+  return os.str();
+}
+
+}  // namespace gh::nvm

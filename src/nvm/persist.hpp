@@ -1,0 +1,114 @@
+// Low-level persistence primitives for emulated NVM.
+//
+// The paper's methodology (following PMFS / Mnemosyne) emulates NVM on
+// DRAM: data lives in ordinary mapped memory, writes become durable when
+// their cacheline is flushed (clflush) and ordered with a fence, and NVM's
+// slower writes are emulated by spinning for a configurable delay (300 ns
+// by default) after every cacheline flush.
+//
+// This header provides the raw instructions plus the statistics and
+// configuration types shared by all persistence policies.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "util/counters.hpp"
+#include "util/types.hpp"
+
+namespace gh::nvm {
+
+/// Which flush instruction the persistence layer issues. The paper's
+/// machine (and evaluation) used clflush, which *invalidates* the line —
+/// the root cause of the logging schemes' extra cache misses (§2.3).
+/// clwb (on CPUs that have it) writes the line back but keeps it cached;
+/// the ablation_clwb bench measures how much of the paper's miss
+/// inflation is specific to clflush semantics.
+enum class FlushInstruction {
+  kClflush,     ///< invalidating flush (the paper's setting)
+  kClflushOpt,  ///< weakly-ordered invalidating flush
+  kClwb,        ///< non-invalidating writeback (falls back if unsupported)
+};
+
+/// Flush one cacheline containing `addr` (clflushopt when compiled in,
+/// otherwise clflush; portable fallback is a compiler barrier only).
+void flush_line(const void* addr);
+
+/// Flush with an explicit instruction choice. Unsupported instructions
+/// degrade to the strongest available one; whether the line survives in
+/// cache is modelled exactly only by the cache simulator.
+void flush_line(const void* addr, FlushInstruction kind);
+
+/// True when the requested instruction keeps the line cached.
+constexpr bool flush_keeps_line_cached(FlushInstruction kind) {
+  return kind == FlushInstruction::kClwb;
+}
+
+/// Store fence ordering prior flushes (sfence on x86).
+void store_fence();
+
+/// Counters accumulated by every persistence policy. Benches print these
+/// next to latency so the write-amplification argument of the paper
+/// (logging ⇒ ~2x flushes) is directly visible.
+/// Fields use RelaxedCounter so a persistence policy can be shared by the
+/// concurrent wrappers without data races (statistics become approximate
+/// under concurrency; exact single-threaded).
+struct PersistStats {
+  RelaxedCounter stores;          ///< individual 8-byte (or smaller) stores
+  RelaxedCounter bytes_written;   ///< payload bytes written to NVM
+  RelaxedCounter atomic_stores;   ///< 8-byte failure-atomic publishes
+  RelaxedCounter persist_calls;   ///< persist() invocations (flush+fence)
+  RelaxedCounter lines_flushed;   ///< cachelines flushed
+  RelaxedCounter fences;          ///< store fences issued
+  RelaxedCounter delay_ns;        ///< total emulated NVM write latency injected
+
+  void clear() { *this = PersistStats{}; }
+
+  PersistStats& operator+=(const PersistStats& o) {
+    stores += o.stores;
+    bytes_written += o.bytes_written;
+    atomic_stores += o.atomic_stores;
+    persist_calls += o.persist_calls;
+    lines_flushed += o.lines_flushed;
+    fences += o.fences;
+    delay_ns += o.delay_ns;
+    return *this;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Emulated-NVM configuration.
+struct PersistConfig {
+  /// Extra latency injected after each cacheline flush, emulating NVM's
+  /// slower writes (paper default: 300 ns).
+  u64 flush_latency_ns = 300;
+  /// When false, skips the real clflush instruction (the cacheline
+  /// bookkeeping and latency injection still happen). Useful for unit
+  /// tests that only care about counters.
+  bool issue_real_flush = true;
+  /// Flush instruction (paper setting: invalidating clflush).
+  FlushInstruction flush_instruction = FlushInstruction::kClflush;
+
+  static PersistConfig emulated_nvm() { return PersistConfig{}; }
+  static PersistConfig dram() { return PersistConfig{.flush_latency_ns = 0}; }
+  static PersistConfig counting_only() {
+    return PersistConfig{.flush_latency_ns = 0, .issue_real_flush = false};
+  }
+};
+
+/// First byte of the cacheline containing `p`.
+inline const std::byte* line_begin(const void* p) {
+  const auto v = reinterpret_cast<std::uintptr_t>(p);
+  return reinterpret_cast<const std::byte*>(v - v % kCachelineSize);
+}
+
+/// Number of cachelines spanned by [addr, addr+len).
+inline u64 lines_spanned(const void* addr, usize len) {
+  if (len == 0) return 0;
+  const auto first = reinterpret_cast<std::uintptr_t>(addr) / kCachelineSize;
+  const auto last = (reinterpret_cast<std::uintptr_t>(addr) + len - 1) / kCachelineSize;
+  return last - first + 1;
+}
+
+}  // namespace gh::nvm

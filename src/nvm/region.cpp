@@ -1,0 +1,102 @@
+#include "nvm/region.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace gh::nvm {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+usize page_round(usize bytes) {
+  const auto page = static_cast<usize>(sysconf(_SC_PAGESIZE));
+  return round_up(bytes, page);
+}
+
+}  // namespace
+
+NvmRegion::NvmRegion(std::byte* data, usize size, int fd, std::string path)
+    : data_(data), size_(size), fd_(fd), path_(std::move(path)) {}
+
+NvmRegion NvmRegion::create_anonymous(usize bytes) {
+  const usize size = page_round(bytes);
+  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) throw_errno("mmap(anonymous NVM region)");
+  return NvmRegion(static_cast<std::byte*>(p), size, -1, {});
+}
+
+NvmRegion NvmRegion::create_file(const std::string& path, usize bytes) {
+  const usize size = page_round(bytes);
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("open(" + path + ")");
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    ::close(fd);
+    throw_errno("ftruncate(" + path + ")");
+  }
+  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (p == MAP_FAILED) {
+    ::close(fd);
+    throw_errno("mmap(" + path + ")");
+  }
+  return NvmRegion(static_cast<std::byte*>(p), size, fd, path);
+}
+
+NvmRegion NvmRegion::open_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) throw_errno("open(" + path + ")");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw_errno("fstat(" + path + ")");
+  }
+  const usize size = static_cast<usize>(st.st_size);
+  GH_CHECK_MSG(size > 0, "cannot map an empty NVM file");
+  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (p == MAP_FAILED) {
+    ::close(fd);
+    throw_errno("mmap(" + path + ")");
+  }
+  return NvmRegion(static_cast<std::byte*>(p), size, fd, path);
+}
+
+NvmRegion::NvmRegion(NvmRegion&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)) {}
+
+NvmRegion& NvmRegion::operator=(NvmRegion&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    if (fd_ >= 0) ::close(fd_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+NvmRegion::~NvmRegion() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void NvmRegion::sync() {
+  if (data_ != nullptr && fd_ >= 0) {
+    GH_CHECK(::msync(data_, size_, MS_SYNC) == 0);
+  }
+}
+
+}  // namespace gh::nvm

@@ -1,0 +1,128 @@
+#include "nvm/shadow_pm.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace gh::nvm {
+
+ShadowPM::ShadowPM(std::span<std::byte> live)
+    : live_(live),
+      shadow_(live.begin(), live.end()),
+      dirty_((live.size() / kAtomicUnit + 63) / 64, 0) {
+  GH_CHECK_MSG(reinterpret_cast<std::uintptr_t>(live.data()) % kAtomicUnit == 0,
+               "live span must be 8-byte aligned");
+  GH_CHECK_MSG(live.size() % kAtomicUnit == 0, "live span must be a multiple of 8 bytes");
+}
+
+usize ShadowPM::word_index(const void* addr) const {
+  const auto* p = static_cast<const std::byte*>(addr);
+  GH_DCHECK(p >= live_.data() && p < live_.data() + live_.size());
+  return static_cast<usize>(p - live_.data()) / kAtomicUnit;
+}
+
+void ShadowPM::bump_event() {
+  if (events_ == crash_event_) throw SimulatedCrash{};
+  events_++;
+}
+
+void ShadowPM::mark_dirty(const void* addr, usize n) {
+  if (n == 0) return;
+  const usize first = word_index(addr);
+  const usize last = word_index(static_cast<const std::byte*>(addr) + n - 1);
+  for (usize w = first; w <= last; ++w) dirty_[w / 64] |= 1ull << (w % 64);
+}
+
+void ShadowPM::store_u64(u64* dst, u64 v) {
+  bump_event();
+  *dst = v;
+  mark_dirty(dst, sizeof(u64));
+  stats_.stores++;
+  stats_.bytes_written += sizeof(u64);
+}
+
+void ShadowPM::atomic_store_u64(u64* dst, u64 v) {
+  bump_event();
+  *dst = v;
+  mark_dirty(dst, sizeof(u64));
+  stats_.atomic_stores++;
+  stats_.bytes_written += sizeof(u64);
+}
+
+void ShadowPM::copy(void* dst, const void* src, usize n) {
+  bump_event();
+  std::memmove(dst, src, n);
+  mark_dirty(dst, n);
+  stats_.stores++;
+  stats_.bytes_written += n;
+}
+
+void ShadowPM::fill(void* dst, unsigned char byte, usize n) {
+  bump_event();
+  std::memset(dst, byte, n);
+  mark_dirty(dst, n);
+  stats_.stores++;
+  stats_.bytes_written += n;
+}
+
+void ShadowPM::persist(const void* addr, usize n) {
+  bump_event();
+  stats_.persist_calls++;
+  if (n == 0) {
+    stats_.fences++;
+    return;
+  }
+  // clflush granularity: persist the *whole* cachelines covering the range.
+  const std::byte* begin = line_begin(addr);
+  const std::byte* end = line_begin(static_cast<const std::byte*>(addr) + n - 1) + kCachelineSize;
+  if (begin < live_.data()) begin = live_.data();
+  if (end > live_.data() + live_.size()) end = live_.data() + live_.size();
+  const usize off = static_cast<usize>(begin - live_.data());
+  const usize len = static_cast<usize>(end - begin);
+  std::memcpy(shadow_.data() + off, begin, len);
+  for (usize w = off / kAtomicUnit; w < (off + len) / kAtomicUnit; ++w) {
+    dirty_[w / 64] &= ~(1ull << (w % 64));
+  }
+  stats_.lines_flushed += lines_spanned(addr, n);
+  stats_.fences++;
+}
+
+void ShadowPM::fence() {
+  bump_event();
+  stats_.fences++;
+}
+
+std::vector<std::byte> ShadowPM::materialize_crash_image(CrashMode mode, u64 seed) const {
+  std::vector<std::byte> image = shadow_;
+  if (mode == CrashMode::kNothingEvicted) return image;
+  Xoshiro256 rng(seed);
+  const usize words = live_.size() / kAtomicUnit;
+  for (usize w = 0; w < words; ++w) {
+    if ((dirty_[w / 64] >> (w % 64)) & 1) {
+      const bool evict = mode == CrashMode::kAllEvicted || rng.next_bool();
+      if (evict) {
+        std::memcpy(image.data() + w * kAtomicUnit, live_.data() + w * kAtomicUnit,
+                    kAtomicUnit);
+      }
+    }
+  }
+  return image;
+}
+
+void ShadowPM::reset_to_image(std::span<const std::byte> image) {
+  GH_CHECK(image.size() == live_.size());
+  std::memcpy(live_.data(), image.data(), image.size());
+  shadow_.assign(image.begin(), image.end());
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  crash_event_ = no_crash();
+}
+
+u64 ShadowPM::dirty_word_count() const {
+  u64 n = 0;
+  for (const u64 word : dirty_) n += static_cast<u64>(std::popcount(word));
+  return n;
+}
+
+}  // namespace gh::nvm

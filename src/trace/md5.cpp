@@ -1,0 +1,146 @@
+#include "trace/md5.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace gh::trace {
+namespace {
+
+constexpr std::array<u32, 64> kT = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+constexpr std::array<u32, 64> kShift = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+constexpr u32 rotl(u32 x, u32 n) { return (x << n) | (x >> (32 - n)); }
+
+}  // namespace
+
+Md5::Md5() { reset(); }
+
+void Md5::reset() {
+  state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u};
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Md5::process_block(const u8* block) {
+  std::array<u32, 16> m{};
+  for (usize i = 0; i < 16; ++i) {
+    std::memcpy(&m[i], block + 4 * i, 4);  // little-endian load
+  }
+  u32 a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  for (u32 i = 0; i < 64; ++i) {
+    u32 f = 0, g = 0;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    const u32 tmp = d;
+    d = c;
+    c = b;
+    b = b + rotl(a + f + kT[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::update(const void* data, usize n) {
+  const u8* p = static_cast<const u8*>(data);
+  total_bytes_ += n;
+  if (buffered_ != 0) {
+    const usize take = std::min(n, buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    n -= take;
+    if (buffered_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (n >= 64) {
+    process_block(p);
+    p += 64;
+    n -= 64;
+  }
+  if (n != 0) {
+    std::memcpy(buffer_.data(), p, n);
+    buffered_ = n;
+  }
+}
+
+void Md5::update(std::span<const std::byte> data) { update(data.data(), data.size()); }
+
+Md5::Digest Md5::finish() {
+  const u64 bit_len = total_bytes_ * 8;
+  constexpr u8 kPad = 0x80;
+  update(&kPad, 1);
+  constexpr u8 kZero = 0;
+  while (buffered_ != 56) update(&kZero, 1);
+  u8 len_le[8];
+  std::memcpy(len_le, &bit_len, 8);  // little-endian length
+  update(len_le, 8);
+  GH_DCHECK(buffered_ == 0);
+  Digest d{};
+  std::memcpy(d.data(), state_.data(), 16);
+  return d;
+}
+
+Md5::Digest Md5::hash(std::span<const std::byte> data) {
+  Md5 h;
+  h.update(data);
+  return h.finish();
+}
+
+Md5::Digest Md5::hash(const std::string& s) {
+  Md5 h;
+  h.update(s.data(), s.size());
+  return h.finish();
+}
+
+Key128 Md5::to_key(const Digest& d) {
+  Key128 k;
+  std::memcpy(&k.lo, d.data(), 8);
+  std::memcpy(&k.hi, d.data() + 8, 8);
+  return k;
+}
+
+std::string Md5::to_hex(const Digest& d) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (const u8 b : d) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace gh::trace

@@ -1,0 +1,54 @@
+// MD5 (RFC 1321), implemented from scratch.
+//
+// The paper's Fingerprint trace consists of 16-byte MD5 digests of files
+// from daily Mac-server snapshots. That trace is not redistributable, so
+// the Fingerprint workload generator digests synthetic file contents with
+// this implementation — the hash-table under test sees the same thing
+// either way: uniformly distributed 128-bit keys.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace gh::trace {
+
+class Md5 {
+ public:
+  using Digest = std::array<u8, 16>;
+
+  Md5();
+
+  /// Stream more input into the hash.
+  void update(std::span<const std::byte> data);
+  void update(const void* data, usize n);
+
+  /// Finalize and return the 16-byte digest. The object must not be
+  /// updated afterwards (reset() to reuse).
+  Digest finish();
+
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::byte> data);
+  static Digest hash(const std::string& s);
+
+  /// Digest as a Key128 (little-endian words, the layout the 32-byte hash
+  /// cell stores).
+  static Key128 to_key(const Digest& d);
+
+  /// Lowercase hex string, e.g. for the RFC 1321 test vectors.
+  static std::string to_hex(const Digest& d);
+
+ private:
+  void process_block(const u8* block);
+
+  std::array<u32, 4> state_{};
+  u64 total_bytes_ = 0;
+  std::array<u8, 64> buffer_{};
+  usize buffered_ = 0;
+};
+
+}  // namespace gh::trace

@@ -1,0 +1,65 @@
+// A seeded pseudo-random permutation of [0, 2^bits) built as a balanced
+// 4-round Feistel network with cycle-walking. perm(i) for i = 0..n-1
+// yields n *distinct* uniform-looking keys in O(1) memory — how the
+// RandomNum trace draws unique random integers from [0, 2^26) without
+// keeping a dedup set, even at paper scale.
+#pragma once
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace gh::trace {
+
+class FeistelPermutation {
+ public:
+  /// Permutation over [0, 2^bits), 2 <= bits <= 62.
+  FeistelPermutation(u32 bits, u64 seed) : seed_(seed) {
+    GH_CHECK(bits >= 2 && bits <= 62);
+    domain_ = 1ull << bits;
+    // The Feistel network operates on balanced halves, so its native
+    // domain is 2^(2*half_bits) >= 2^bits; cycle-walking maps back.
+    half_bits_ = (bits + 1) / 2;
+    half_mask_ = (1ull << half_bits_) - 1;
+  }
+
+  [[nodiscard]] u64 domain() const { return domain_; }
+
+  /// Bijective map of [0, domain) onto itself.
+  [[nodiscard]] u64 operator()(u64 x) const {
+    GH_DCHECK(x < domain_);
+    // Cycle-walk: the network permutes the (possibly larger) power-of-four
+    // domain; repeatedly applying it from a point inside [0, domain)
+    // re-enters [0, domain) because permutation cycles are closed.
+    do {
+      x = encrypt_once(x);
+    } while (x >= domain_);
+    return x;
+  }
+
+ private:
+  [[nodiscard]] u64 encrypt_once(u64 x) const {
+    u64 left = x >> half_bits_;
+    u64 right = x & half_mask_;
+    for (u32 round = 0; round < 4; ++round) {
+      const u64 next_right = (left ^ round_function(right, round)) & half_mask_;
+      left = right;
+      right = next_right;
+    }
+    return (left << half_bits_) | right;
+  }
+
+  [[nodiscard]] u64 round_function(u64 v, u32 round) const {
+    // splitmix-style mixing keyed by seed and round.
+    u64 z = v + seed_ + 0x9e3779b97f4a7c15ull * (round + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  u64 seed_;
+  u64 domain_;
+  u32 half_bits_;
+  u64 half_mask_;
+};
+
+}  // namespace gh::trace

@@ -1,0 +1,141 @@
+#include "trace/trace_file.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace gh::trace {
+namespace {
+
+constexpr char kMagic[8] = {'G', 'H', 'T', 'R', 'A', 'C', 'E', '1'};
+
+struct FileHeader {
+  char magic[8];
+  u64 op_count;
+  u32 wide_keys;
+  u32 name_len;
+};
+
+struct FileOp {
+  u8 type;
+  u8 pad[7];
+  u64 key_lo;
+  u64 key_hi;
+  u64 value;
+};
+
+using FilePtr = std::unique_ptr<std::FILE, int (*)(std::FILE*)>;
+
+FilePtr open_file(const std::string& path, const char* mode) {
+  FilePtr f(std::fopen(path.c_str(), mode), &std::fclose);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  return f;
+}
+
+}  // namespace
+
+void save_trace(const OpTrace& trace, const std::string& path) {
+  auto f = open_file(path, "wb");
+  FileHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.op_count = trace.ops.size();
+  header.wide_keys = trace.wide_keys ? 1 : 0;
+  header.name_len = static_cast<u32>(trace.name.size());
+  GH_CHECK(std::fwrite(&header, sizeof(header), 1, f.get()) == 1);
+  if (!trace.name.empty()) {
+    GH_CHECK(std::fwrite(trace.name.data(), 1, trace.name.size(), f.get()) ==
+             trace.name.size());
+  }
+  for (const TraceOp& op : trace.ops) {
+    FileOp fo{};
+    fo.type = static_cast<u8>(op.type);
+    fo.key_lo = op.key.lo;
+    fo.key_hi = op.key.hi;
+    fo.value = op.value;
+    GH_CHECK(std::fwrite(&fo, sizeof(fo), 1, f.get()) == 1);
+  }
+}
+
+OpTrace load_trace(const std::string& path) {
+  auto f = open_file(path, "rb");
+  FileHeader header{};
+  if (std::fread(&header, sizeof(header), 1, f.get()) != 1 ||
+      std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not a GHTRACE1 file: " + path);
+  }
+  OpTrace trace;
+  trace.wide_keys = header.wide_keys != 0;
+  trace.name.resize(header.name_len);
+  if (header.name_len != 0 &&
+      std::fread(trace.name.data(), 1, header.name_len, f.get()) != header.name_len) {
+    throw std::runtime_error("truncated trace name: " + path);
+  }
+  trace.ops.reserve(header.op_count);
+  for (u64 i = 0; i < header.op_count; ++i) {
+    FileOp fo{};
+    if (std::fread(&fo, sizeof(fo), 1, f.get()) != 1) {
+      throw std::runtime_error("truncated trace ops: " + path);
+    }
+    if (fo.type > static_cast<u8>(OpType::kDelete)) {
+      throw std::runtime_error("corrupt op type in trace: " + path);
+    }
+    trace.ops.push_back(TraceOp{static_cast<OpType>(fo.type),
+                                Key128{fo.key_lo, fo.key_hi}, fo.value});
+  }
+  return trace;
+}
+
+OpTrace make_op_trace(const Workload& workload, usize fill, usize ops,
+                      double query_fraction, double delete_fraction, u64 seed) {
+  GH_CHECK(fill <= workload.size());
+  GH_CHECK(query_fraction + delete_fraction <= 1.0);
+  OpTrace trace;
+  trace.name = workload.name;
+  trace.wide_keys = workload.wide_keys;
+  trace.ops.reserve(fill + ops);
+
+  auto key_at = [&](usize i) {
+    return workload.wide_keys ? workload.keys128[i] : Key128{workload.keys64[i], 0};
+  };
+  auto value_at = [&](usize i) {
+    return workload.wide_keys ? value_for_key(workload.keys128[i])
+                              : value_for_key(workload.keys64[i]);
+  };
+
+  std::vector<usize> live;
+  live.reserve(fill + ops);
+  for (usize i = 0; i < fill; ++i) {
+    trace.ops.push_back(TraceOp{OpType::kInsert, key_at(i), value_at(i)});
+    live.push_back(i);
+  }
+
+  Xoshiro256 rng(seed);
+  usize next_fresh = fill;
+  for (usize i = 0; i < ops; ++i) {
+    const double r = rng.next_double();
+    if (r < query_fraction && !live.empty()) {
+      const usize pick = live[rng.next_below(live.size())];
+      trace.ops.push_back(TraceOp{OpType::kQuery, key_at(pick), 0});
+    } else if (r < query_fraction + delete_fraction && !live.empty()) {
+      const usize slot = rng.next_below(live.size());
+      const usize pick = live[slot];
+      live[slot] = live.back();
+      live.pop_back();
+      trace.ops.push_back(TraceOp{OpType::kDelete, key_at(pick), 0});
+    } else if (next_fresh < workload.size()) {
+      trace.ops.push_back(TraceOp{OpType::kInsert, key_at(next_fresh), value_at(next_fresh)});
+      live.push_back(next_fresh);
+      ++next_fresh;
+    } else if (!live.empty()) {
+      const usize pick = live[rng.next_below(live.size())];
+      trace.ops.push_back(TraceOp{OpType::kQuery, key_at(pick), 0});
+    }
+  }
+  return trace;
+}
+
+}  // namespace gh::trace

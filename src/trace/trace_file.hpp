@@ -1,0 +1,43 @@
+// Binary operation traces: a recorded sequence of insert/query/delete
+// requests that can be saved, reloaded and replayed bit-identically —
+// used by the integration tests and the trace_replay example.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/workload.hpp"
+#include "util/types.hpp"
+
+namespace gh::trace {
+
+enum class OpType : u8 { kInsert = 0, kQuery = 1, kDelete = 2 };
+
+struct TraceOp {
+  OpType type = OpType::kInsert;
+  Key128 key;  ///< narrow keys use .lo with .hi == 0
+  u64 value = 0;
+
+  friend bool operator==(const TraceOp&, const TraceOp&) = default;
+};
+
+struct OpTrace {
+  std::string name;
+  bool wide_keys = false;
+  std::vector<TraceOp> ops;
+};
+
+/// Serialize to `path` (fixed little-endian layout, magic + version).
+void save_trace(const OpTrace& trace, const std::string& path);
+
+/// Load a trace written by save_trace. Throws std::runtime_error on
+/// malformed input.
+OpTrace load_trace(const std::string& path);
+
+/// Build a mixed op trace from a workload: the first `fill` keys become
+/// inserts, then `ops` requests are drawn with the given insert/query/
+/// delete mix over inserted keys (deterministic in `seed`).
+OpTrace make_op_trace(const Workload& workload, usize fill, usize ops,
+                      double query_fraction, double delete_fraction, u64 seed);
+
+}  // namespace gh::trace

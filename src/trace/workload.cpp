@@ -1,0 +1,158 @@
+#include "trace/workload.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "trace/md5.hpp"
+#include "trace/permute.hpp"
+#include "trace/zipf.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace gh::trace {
+namespace {
+
+/// The paper draws keys from [0, 2^26).
+constexpr u32 kRandomNumBits = 26;
+
+/// PubMed bag-of-words vocabulary size (UCI dataset card: 141,043 words).
+constexpr usize kPubMedVocab = 141043;
+
+/// Average distinct words per abstract in the PubMed collection is ~90;
+/// we use a round 64 so DocIDs stay dense.
+constexpr usize kWordsPerDoc = 64;
+
+}  // namespace
+
+const char* trace_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kRandomNum:
+      return "RandomNum";
+    case TraceKind::kBagOfWords:
+      return "Bag-of-Words";
+    case TraceKind::kFingerprint:
+      return "Fingerprint";
+  }
+  return "?";
+}
+
+Workload make_random_num(usize n_keys, u64 seed) {
+  GH_CHECK_MSG(n_keys <= (1ull << kRandomNumBits),
+               "RandomNum trace draws from a 2^26 key domain");
+  Workload w;
+  w.name = trace_name(TraceKind::kRandomNum);
+  w.kind = TraceKind::kRandomNum;
+  w.wide_keys = false;
+  w.item_bytes = 16;
+  w.keys64.reserve(n_keys);
+  const FeistelPermutation perm(kRandomNumBits, seed);
+  for (usize i = 0; i < n_keys; ++i) w.keys64.push_back(perm(i));
+  return w;
+}
+
+Workload make_bag_of_words(usize n_keys, u64 seed) {
+  Workload w;
+  w.name = trace_name(TraceKind::kBagOfWords);
+  w.kind = TraceKind::kBagOfWords;
+  w.wide_keys = false;
+  w.item_bytes = 16;
+  w.keys64.reserve(n_keys);
+  Xoshiro256 rng(seed);
+  const ZipfSampler zipf(kPubMedVocab, 1.0);
+  u64 doc = 0;
+  std::unordered_set<u64> doc_words;
+  doc_words.reserve(kWordsPerDoc * 2);
+  while (w.keys64.size() < n_keys) {
+    // Collect kWordsPerDoc distinct Zipf-sampled words for this document;
+    // (DocID, WordID) keys are unique by construction.
+    doc_words.clear();
+    while (doc_words.size() < kWordsPerDoc) {
+      const u64 word = zipf.sample(rng);
+      if (doc_words.insert(word).second) {
+        w.keys64.push_back(doc << 32 | word);
+        if (w.keys64.size() == n_keys) break;
+      }
+    }
+    ++doc;
+  }
+  return w;
+}
+
+Workload make_fingerprint(usize n_keys, u64 seed) {
+  Workload w;
+  w.name = trace_name(TraceKind::kFingerprint);
+  w.kind = TraceKind::kFingerprint;
+  w.wide_keys = true;
+  w.item_bytes = 32;
+  w.keys128.reserve(n_keys);
+  // Digest synthetic per-file content the way the FSL snapshots fingerprint
+  // real files. 128-bit digests of distinct inputs collide with negligible
+  // probability, so keys are unique.
+  u8 content[24];
+  for (usize i = 0; i < n_keys; ++i) {
+    std::memcpy(content, &seed, 8);
+    const u64 id = i;
+    std::memcpy(content + 8, &id, 8);
+    const u64 tag = 0x66736c2d66696c65ull;  // "fsl-file"
+    std::memcpy(content + 16, &tag, 8);
+    Md5 h;
+    h.update(content, sizeof(content));
+    w.keys128.push_back(Md5::to_key(h.finish()));
+  }
+  return w;
+}
+
+Workload make_workload(TraceKind kind, usize n_keys, u64 seed) {
+  switch (kind) {
+    case TraceKind::kRandomNum:
+      return make_random_num(n_keys, seed);
+    case TraceKind::kBagOfWords:
+      return make_bag_of_words(n_keys, seed);
+    case TraceKind::kFingerprint:
+      return make_fingerprint(n_keys, seed);
+  }
+  GH_CHECK(false);
+  return {};
+}
+
+Workload load_bag_of_words_file(const std::string& path, usize max_keys) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open bag-of-words file: " + path);
+  u64 docs = 0, vocab = 0, nnz = 0;
+  if (!(in >> docs >> vocab >> nnz)) {
+    throw std::runtime_error("malformed bag-of-words header: " + path);
+  }
+  Workload w;
+  w.name = std::string(trace_name(TraceKind::kBagOfWords)) + " (" + path + ")";
+  w.kind = TraceKind::kBagOfWords;
+  w.wide_keys = false;
+  w.item_bytes = 16;
+  const usize want = max_keys == 0 ? nnz : std::min<usize>(max_keys, nnz);
+  w.keys64.reserve(want);
+  u64 doc = 0, word = 0, count = 0;
+  for (usize i = 0; i < nnz && w.keys64.size() < want; ++i) {
+    if (!(in >> doc >> word >> count)) {
+      throw std::runtime_error("truncated bag-of-words data: " + path);
+    }
+    if (doc == 0 || doc > docs || word == 0 || word > vocab) {
+      throw std::runtime_error("out-of-range doc/word id in: " + path);
+    }
+    // Same encoding as the synthetic generator; (doc,word) pairs are
+    // unique in the format, so keys are unique.
+    w.keys64.push_back(doc << 32 | word);
+  }
+  return w;
+}
+
+u64 value_for_key(u64 key) {
+  u64 z = key + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+u64 value_for_key(const Key128& key) { return value_for_key(key.lo ^ (key.hi * 0x2545f4914f6cdd1dull)); }
+
+}  // namespace gh::trace

@@ -1,0 +1,63 @@
+// The three evaluation workloads of the paper (§4.1):
+//
+//  * RandomNum  — unique random integers in [0, 2^26), 16-byte items.
+//  * Bag-of-Words — (DocID, WordID) pairs, word IDs Zipf-distributed over
+//    a PubMed-sized vocabulary, 16-byte items. (Synthetic stand-in for the
+//    UCI PubMed collection; see DESIGN.md substitutions.)
+//  * Fingerprint — MD5 digests of synthetic file contents, 16-byte keys /
+//    32-byte items. (Stand-in for the FSL Mac-server snapshot trace.)
+//
+// A Workload is a deduplicated key sequence; benches split it into a
+// fill phase (to reach the target load factor) and request phases, the
+// way the paper's evaluation does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gh::trace {
+
+enum class TraceKind { kRandomNum, kBagOfWords, kFingerprint };
+
+const char* trace_name(TraceKind kind);
+
+struct Workload {
+  std::string name;
+  TraceKind kind = TraceKind::kRandomNum;
+  bool wide_keys = false;  ///< true: Key128 keys (32 B cells); false: u64 (16 B cells)
+  usize item_bytes = 16;
+  std::vector<u64> keys64;
+  std::vector<Key128> keys128;
+
+  [[nodiscard]] usize size() const { return wide_keys ? keys128.size() : keys64.size(); }
+};
+
+/// `n_keys` unique keys, deterministic in `seed`.
+Workload make_random_num(usize n_keys, u64 seed);
+Workload make_bag_of_words(usize n_keys, u64 seed);
+Workload make_fingerprint(usize n_keys, u64 seed);
+Workload make_workload(TraceKind kind, usize n_keys, u64 seed);
+
+/// Load a REAL UCI Bag-of-Words collection (the paper's PubMed trace) from
+/// its `docword.*.txt` format:
+///
+///   D            (number of documents)
+///   W            (vocabulary size)
+///   NNZ          (number of doc/word pairs)
+///   docID wordID count     (NNZ lines, IDs 1-based)
+///
+/// Keys are encoded exactly like the synthetic generator
+/// ((docID<<32)|wordID), so the full evaluation runs unchanged on the real
+/// dataset when it is available (http://archive.ics.uci.edu/ml/datasets/
+/// Bag+of+Words). `max_keys` = 0 loads everything. Throws
+/// std::runtime_error on malformed input.
+Workload load_bag_of_words_file(const std::string& path, usize max_keys = 0);
+
+/// Deterministic value derived from a key; tests and crash-recovery checks
+/// use it to detect torn or misplaced payloads.
+u64 value_for_key(u64 key);
+u64 value_for_key(const Key128& key);
+
+}  // namespace gh::trace

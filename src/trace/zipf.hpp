@@ -1,0 +1,50 @@
+// Zipfian sampler over {0, ..., n-1} with exponent s, using a precomputed
+// cumulative distribution and binary search. Used by the Bag-of-Words
+// generator: word frequencies in text corpora are famously Zipfian, so the
+// synthetic (DocID, WordID) trace preserves the skew of the real PubMed
+// collection.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace gh::trace {
+
+class ZipfSampler {
+ public:
+  ZipfSampler(usize n, double s) : cdf_(n) {
+    GH_CHECK_MSG(n > 0, "Zipf domain must be non-empty");
+    double sum = 0;
+    for (usize i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  /// Rank sampled according to P(k) ∝ 1/(k+1)^s.
+  [[nodiscard]] usize sample(Xoshiro256& rng) const {
+    const double u = rng.next_double();
+    usize lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const usize mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  [[nodiscard]] usize domain() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace gh::trace

@@ -1,0 +1,34 @@
+// Lightweight checked assertions. GH_CHECK is always on (used on cold
+// paths: construction, recovery, file-format validation); GH_DCHECK
+// compiles out in release builds and may be used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gh::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "GH_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace gh::detail
+
+#define GH_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) ::gh::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define GH_CHECK_MSG(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) ::gh::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define GH_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define GH_DCHECK(expr) GH_CHECK(expr)
+#endif

@@ -1,0 +1,62 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+namespace gh {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        options_[arg.substr(2)] = "1";
+      } else {
+        options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+std::optional<std::string> Cli::get(const std::string& key) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Cli::get_or(const std::string& key, std::string def) const {
+  return get(key).value_or(std::move(def));
+}
+
+u64 Cli::get_u64(const std::string& key, u64 def) const {
+  const auto v = get(key);
+  return v ? std::strtoull(v->c_str(), nullptr, 0) : def;
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  const auto v = get(key);
+  return v ? std::strtod(v->c_str(), nullptr) : def;
+}
+
+bool Cli::has(const std::string& key) const { return options_.count(key) != 0; }
+
+u64 env_u64(const std::string& name, u64 def) {
+  const char* v = std::getenv(name.c_str());
+  return v ? std::strtoull(v, nullptr, 0) : def;
+}
+
+std::string env_str(const std::string& name, std::string def) {
+  const char* v = std::getenv(name.c_str());
+  return v ? std::string(v) : def;
+}
+
+u32 bench_scale_shift() {
+  const std::string v = env_str("GH_SCALE", "5");
+  if (v == "paper") return 0;
+  return static_cast<u32>(std::strtoul(v.c_str(), nullptr, 0));
+}
+
+}  // namespace gh

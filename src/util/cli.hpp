@@ -1,0 +1,42 @@
+// Minimal command-line / environment option parsing shared by benches and
+// examples: --key=value flags plus GH_* environment overrides so the whole
+// bench suite can be scaled with a single env var.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gh {
+
+class Cli {
+ public:
+  /// Parses "--key=value" and "--flag" arguments; anything else is kept as
+  /// a positional argument.
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key, std::string def) const;
+  [[nodiscard]] u64 get_u64(const std::string& key, u64 def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+/// GH_<NAME> environment lookup with default (used for bench scaling).
+u64 env_u64(const std::string& name, u64 def);
+std::string env_str(const std::string& name, std::string def);
+
+/// Bench scale factor: number of bits to *subtract* from the paper's table
+/// sizes. GH_SCALE=0 (or GH_SCALE=paper) runs paper-size tables; default
+/// subtracts 5 bits (32x smaller) so the full suite completes quickly.
+u32 bench_scale_shift();
+
+}  // namespace gh

@@ -1,0 +1,58 @@
+#include "util/clock.hpp"
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define GH_HAVE_RDTSC 1
+#endif
+
+namespace gh {
+namespace {
+
+#ifdef GH_HAVE_RDTSC
+// Calibrate TSC frequency against the steady clock once, lazily. A ~20 ms
+// window gives better than 1% accuracy, plenty for emulated-latency waits.
+double calibrate_tsc_ghz() {
+  const u64 t0 = now_ns();
+  const u64 c0 = __rdtsc();
+  u64 t1 = t0;
+  while (t1 - t0 < 20'000'000) t1 = now_ns();
+  const u64 c1 = __rdtsc();
+  return static_cast<double>(c1 - c0) / static_cast<double>(t1 - t0);
+}
+
+double tsc_ghz_cached() {
+  static const double ghz = calibrate_tsc_ghz();
+  return ghz;
+}
+#endif
+
+}  // namespace
+
+double tsc_ghz() {
+#ifdef GH_HAVE_RDTSC
+  return tsc_ghz_cached();
+#else
+  return 0.0;
+#endif
+}
+
+void spin_wait_ns(u64 ns) {
+  if (ns == 0) return;
+#ifdef GH_HAVE_RDTSC
+  const double ghz = tsc_ghz_cached();
+  const u64 target = static_cast<u64>(static_cast<double>(ns) * ghz);
+  const u64 start = __rdtsc();
+  while (__rdtsc() - start < target) {
+    _mm_pause();
+  }
+#else
+  const u64 start = now_ns();
+  while (now_ns() - start < ns) {
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+  }
+#endif
+}
+
+}  // namespace gh

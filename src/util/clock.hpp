@@ -1,0 +1,42 @@
+// Nanosecond clocks and calibrated spin-waits. The NVM emulation layer
+// injects extra write latency after each cacheline flush with
+// spin_wait_ns(); the bench harness uses Stopwatch for per-request
+// latency.
+#pragma once
+
+#include <chrono>
+
+#include "util/types.hpp"
+
+namespace gh {
+
+/// Monotonic wall-clock in nanoseconds.
+inline u64 now_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+/// Busy-wait for approximately `ns` nanoseconds. Uses the TSC when
+/// available (calibrated once at startup) so very short waits (tens to
+/// hundreds of ns — the scale of emulated NVM write latency) do not pay a
+/// syscall or a full steady_clock read per iteration.
+void spin_wait_ns(u64 ns);
+
+/// Cycles-per-nanosecond of the calibrated TSC (0 if TSC unavailable).
+double tsc_ghz();
+
+/// Simple stopwatch over the monotonic clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_ns()) {}
+  void reset() { start_ = now_ns(); }
+  [[nodiscard]] u64 elapsed_ns() const { return now_ns() - start_; }
+  [[nodiscard]] double elapsed_ms() const { return static_cast<double>(elapsed_ns()) / 1e6; }
+  [[nodiscard]] double elapsed_s() const { return static_cast<double>(elapsed_ns()) / 1e9; }
+
+ private:
+  u64 start_;
+};
+
+}  // namespace gh

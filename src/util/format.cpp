@@ -1,0 +1,85 @@
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace gh {
+namespace {
+
+std::string printf_str(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_ns(double ns) {
+  if (ns < 1000.0) return printf_str("%.0f", ns) + "ns";
+  if (ns < 1e6) return printf_str("%.2f", ns / 1e3) + "us";
+  if (ns < 1e9) return printf_str("%.2f", ns / 1e6) + "ms";
+  return printf_str("%.2f", ns / 1e9) + "s";
+}
+
+std::string format_bytes(u64 bytes) {
+  constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) return std::to_string(bytes) + "B";
+  return printf_str(v < 10 ? "%.2f" : "%.1f", v) + kUnits[unit];
+}
+
+std::string format_count(u64 n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const usize first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (usize i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first) % 3 == 0 && i >= first) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string format_double(double v, int precision) {
+  char fmt[16];
+  std::snprintf(fmt, sizeof(fmt), "%%.%df", precision);
+  return printf_str(fmt, v);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  GH_CHECK_MSG(cells.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<usize> width(header_.size());
+  for (usize c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (usize c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (usize c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size())
+        os << std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  usize total = 0;
+  for (usize c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace gh

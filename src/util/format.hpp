@@ -1,0 +1,41 @@
+// Human-readable formatting and a fixed-width table printer used by the
+// figure/table bench harnesses to emit the same rows the paper reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gh {
+
+/// "812ns", "1.25us", "3.1ms", "2.4s"
+std::string format_ns(double ns);
+
+/// "512B", "1.5KiB", "128MiB", "1GiB"
+std::string format_bytes(u64 bytes);
+
+/// "1234567" -> "1,234,567"
+std::string format_count(u64 n);
+
+/// Fixed-precision double, e.g. format_double(0.8213, 3) == "0.821".
+std::string format_double(double v, int precision);
+
+/// Minimal aligned-column table printer.
+///
+///   TablePrinter t({"scheme", "insert", "query"});
+///   t.add_row({"group", "812ns", "301ns"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gh

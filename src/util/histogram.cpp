@@ -1,0 +1,73 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/format.hpp"
+
+namespace gh {
+
+usize Histogram::bucket_for(u64 v) {
+  if (v < kSub) return static_cast<usize>(v);
+  const u32 msb = 63 - static_cast<u32>(std::countl_zero(v));
+  // Linear sub-bucket from the bits just below the MSB.
+  const u64 sub = (v >> (msb - 4)) & (kSub - 1);
+  const usize b = static_cast<usize>(msb) * kSub + static_cast<usize>(sub);
+  return std::min(b, kBuckets - 1);
+}
+
+double Histogram::bucket_midpoint(usize b) {
+  if (b < kSub) return static_cast<double>(b);
+  const usize msb = b / kSub;
+  const usize sub = b % kSub;
+  const double base = std::ldexp(1.0, static_cast<int>(msb));
+  const double step = base / kSub;
+  return base + (static_cast<double>(sub) + 0.5) * step;
+}
+
+void Histogram::record(u64 value) {
+  buckets_[bucket_for(value)]++;
+  count_++;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (usize i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+}
+
+void Histogram::clear() { *this = Histogram{}; }
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
+  const double target = q / 100.0 * static_cast<double>(count_ - 1);
+  u64 seen = 0;
+  for (usize b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (static_cast<double>(seen) > target) {
+      return std::clamp(bucket_midpoint(b), static_cast<double>(min()),
+                        static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::summary() const {
+  if (count_ == 0) return "n=0";
+  return "n=" + std::to_string(count_) + " mean=" + format_ns(mean()) +
+         " p50=" + format_ns(percentile(50)) + " p99=" + format_ns(percentile(99)) +
+         " max=" + format_ns(static_cast<double>(max_));
+}
+
+}  // namespace gh

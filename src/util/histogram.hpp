@@ -1,0 +1,48 @@
+// Latency histogram with logarithmic buckets plus exact mean/min/max.
+// Benches record one sample per request and report mean and tail
+// percentiles the way the paper reports "average latency of requesting an
+// item".
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace gh {
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void record(u64 value);
+  void merge(const Histogram& other);
+  void clear();
+
+  [[nodiscard]] u64 count() const { return count_; }
+  [[nodiscard]] u64 min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] u64 max() const { return max_; }
+  [[nodiscard]] double mean() const;
+  /// Approximate percentile (q in [0,100]) from the log-bucketed counts.
+  [[nodiscard]] double percentile(double q) const;
+
+  /// e.g. "n=1000 mean=812ns p50=790ns p99=1.2us max=3.1us"
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  // Buckets: 64 powers-of-two ranges, each split into 16 linear sub-buckets
+  // => ~6% relative error on percentiles.
+  static constexpr usize kSub = 16;
+  static constexpr usize kBuckets = 64 * kSub;
+
+  static usize bucket_for(u64 v);
+  static double bucket_midpoint(usize b);
+
+  std::array<u64, kBuckets> buckets_{};
+  u64 count_ = 0;
+  u64 min_ = ~0ull;
+  u64 max_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace gh

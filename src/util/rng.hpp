@@ -1,0 +1,86 @@
+// Deterministic, fast pseudo-random generators used by workload
+// generators, hash seeding and the crash simulator. Implemented from
+// scratch (splitmix64 for seeding, xoshiro256** as the workhorse) so runs
+// are reproducible across platforms and standard-library versions.
+#pragma once
+
+#include <array>
+
+#include "util/types.hpp"
+
+namespace gh {
+
+/// splitmix64 — used to expand a single seed into generator state.
+/// Reference: Sebastiano Vigna, public domain.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(u64 seed) : state_(seed) {}
+
+  constexpr u64 next() {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// xoshiro256** — fast, high-quality 64-bit generator.
+class Xoshiro256 {
+ public:
+  using result_type = u64;
+
+  explicit constexpr Xoshiro256(u64 seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr u64 min() { return 0; }
+  static constexpr u64 max() { return ~0ull; }
+
+  constexpr u64 operator()() { return next(); }
+
+  constexpr u64 next() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  constexpr u64 next_below(u64 bound) {
+    // 128-bit multiply keeps the distribution exactly uniform for any bound.
+    __extension__ using u128 = unsigned __int128;
+    u128 m = static_cast<u128>(next()) * bound;
+    u64 lo = static_cast<u64>(m);
+    if (lo < bound) {
+      const u64 threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<u128>(next()) * bound;
+        lo = static_cast<u64>(m);
+      }
+    }
+    return static_cast<u64>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  constexpr bool next_bool() { return (next() & 1) != 0; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace gh

@@ -1,0 +1,46 @@
+// Fundamental fixed-width aliases and small shared types used across the
+// group-hashing codebase.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gh {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// A 128-bit key (e.g. an MD5 fingerprint), stored as two little-endian
+/// 64-bit words. Used by the 32-byte cell layout.
+struct Key128 {
+  u64 lo = 0;
+  u64 hi = 0;
+
+  friend constexpr bool operator==(const Key128&, const Key128&) = default;
+};
+
+/// Cacheline size assumed by the persistence layer and the cache simulator.
+inline constexpr usize kCachelineSize = 64;
+
+/// NVM failure-atomicity unit (the paper's 8-byte atomic-write assumption).
+inline constexpr usize kAtomicUnit = 8;
+
+constexpr u64 round_up(u64 v, u64 align) { return (v + align - 1) / align * align; }
+constexpr u64 round_down(u64 v, u64 align) { return v / align * align; }
+constexpr bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)) for v >= 1.
+constexpr u32 log2_floor(u64 v) {
+  u32 r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+}  // namespace gh

@@ -1,0 +1,227 @@
+#include "cachesim/cache_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gh::cachesim {
+namespace {
+
+CacheConfig tiny_config() {
+  // 1 KiB direct-mapped-ish L1 (2-way), 4 KiB L2 (4-way): small enough to
+  // force evictions with hand-crafted patterns. Prefetcher off so miss
+  // counts are exact; prefetcher behaviour has its own tests below.
+  CacheConfig cfg{{{1024, 2}, {4096, 4}}};
+  cfg.prefetch_degree = 0;
+  return cfg;
+}
+
+CacheConfig tiny_config_with_prefetch(u32 degree) {
+  CacheConfig cfg = tiny_config();
+  cfg.prefetch_degree = degree;
+  return cfg;
+}
+
+TEST(CacheLevel, HitAfterFill) {
+  CacheLevel level({1024, 2}, kCachelineSize);
+  EXPECT_FALSE(level.access(5));
+  EXPECT_TRUE(level.access(5));
+  EXPECT_EQ(level.stats().misses, 1u);
+  EXPECT_EQ(level.stats().hits, 1u);
+}
+
+TEST(CacheLevel, LruEvictionOrder) {
+  // 2-way: lines mapping to the same set evict least-recently-used first.
+  CacheLevel level({2 * 64, 2}, kCachelineSize);  // 1 set, 2 ways
+  EXPECT_EQ(level.sets(), 1u);
+  level.access(1);
+  level.access(2);
+  level.access(1);      // 1 is now MRU
+  level.access(3);      // evicts 2
+  EXPECT_TRUE(level.access(1));
+  EXPECT_FALSE(level.access(2));  // was evicted
+}
+
+TEST(CacheLevel, InvalidateDropsLine) {
+  CacheLevel level({1024, 2}, kCachelineSize);
+  level.access(7);
+  level.invalidate(7);
+  EXPECT_FALSE(level.access(7));  // miss again
+}
+
+TEST(CacheLevel, InvalidateMissingLineIsNoop) {
+  CacheLevel level({1024, 2}, kCachelineSize);
+  level.invalidate(99);
+  EXPECT_EQ(level.stats().hits, 0u);
+  EXPECT_EQ(level.stats().misses, 0u);
+}
+
+TEST(CacheSim, SequentialScanMissesOncePerLine) {
+  CacheSim sim(tiny_config());
+  std::vector<std::byte> buf(512);
+  const std::byte* base = buf.data();
+  // Touch 8 consecutive 16-byte items: 512 bytes span at most 9 lines
+  // depending on alignment, and repeated touches inside a line hit.
+  for (usize i = 0; i < 32; ++i) sim.read(base + i * 16, 16);
+  const u64 misses_first = sim.llc_misses();
+  EXPECT_LE(misses_first, 9u);
+  EXPECT_GE(misses_first, 8u);
+  for (usize i = 0; i < 32; ++i) sim.read(base + i * 16, 16);
+  EXPECT_EQ(sim.llc_misses(), misses_first);  // all hits on the rescan
+}
+
+TEST(CacheSim, ClflushCausesRereadMiss) {
+  // The mechanism behind the paper's Fig. 2b: flushing invalidates, so the
+  // next read of the same address misses.
+  CacheSim sim(tiny_config());
+  alignas(kCachelineSize) std::byte buf[64];
+  sim.read(buf, 8);
+  const u64 m1 = sim.llc_misses();
+  sim.read(buf, 8);
+  EXPECT_EQ(sim.llc_misses(), m1);  // hit
+  sim.clflush(buf, 8);
+  EXPECT_EQ(sim.flushes(), 1u);
+  sim.read(buf, 8);
+  EXPECT_EQ(sim.llc_misses(), m1 + 1);  // flushed => miss
+}
+
+TEST(CacheSim, WritesAllocateLikeReads) {
+  CacheSim sim(tiny_config());
+  alignas(kCachelineSize) std::byte buf[64];
+  sim.write(buf, 8);
+  const u64 m = sim.llc_misses();
+  sim.read(buf, 8);
+  EXPECT_EQ(sim.llc_misses(), m);  // write-allocate made it a hit
+}
+
+TEST(CacheSim, CapacityEvictionOnLargeWorkingSet) {
+  CacheSim sim(tiny_config());
+  // Working set of 16 KiB >> 4 KiB L2: a second pass must still miss.
+  std::vector<std::byte> buf(16 * 1024);
+  for (usize i = 0; i < buf.size(); i += 64) sim.read(buf.data() + i, 8);
+  const u64 first_pass = sim.llc_misses();
+  for (usize i = 0; i < buf.size(); i += 64) sim.read(buf.data() + i, 8);
+  const u64 second_pass = sim.llc_misses() - first_pass;
+  EXPECT_GE(second_pass, first_pass / 2);
+}
+
+TEST(CacheSim, SmallWorkingSetStaysResident) {
+  CacheSim sim(tiny_config());
+  std::vector<std::byte> buf(1024);  // fits in 4 KiB L2
+  for (int pass = 0; pass < 4; ++pass) {
+    for (usize i = 0; i < buf.size(); i += 64) sim.read(buf.data() + i, 8);
+  }
+  // Only the first pass misses (compulsory); ~16 lines.
+  EXPECT_LE(sim.llc_misses(), 17u);
+}
+
+TEST(CacheSim, ContiguousVsScatteredAccess) {
+  // The heart of the group-sharing argument: probing N cells that share
+  // cachelines costs fewer misses than probing N cells scattered across
+  // distinct lines.
+  CacheSim contiguous(tiny_config());
+  CacheSim scattered(tiny_config());
+  std::vector<std::byte> buf(64 * 1024);
+  // 16 contiguous 16-byte cells = 4 lines.
+  for (usize i = 0; i < 16; ++i) contiguous.read(buf.data() + i * 16, 16);
+  // 16 cells each on their own line, 4 KiB apart.
+  for (usize i = 0; i < 16; ++i) scattered.read(buf.data() + i * 4096, 16);
+  EXPECT_LT(contiguous.llc_misses(), scattered.llc_misses());
+  EXPECT_LE(contiguous.llc_misses(), 5u);
+  EXPECT_GE(scattered.llc_misses(), 16u);
+}
+
+TEST(CacheSim, ClearResetsEverything) {
+  CacheSim sim(tiny_config());
+  alignas(kCachelineSize) std::byte buf[64];
+  sim.read(buf, 8);
+  sim.clflush(buf, 8);
+  sim.clear_stats_and_contents();
+  EXPECT_EQ(sim.llc_misses(), 0u);
+  EXPECT_EQ(sim.flushes(), 0u);
+  sim.read(buf, 8);
+  EXPECT_EQ(sim.llc_misses(), 1u);  // cold again
+}
+
+TEST(CacheConfig, PresetsAreWellFormed) {
+  const CacheConfig xeon = CacheConfig::xeon_e5_2620();
+  ASSERT_EQ(xeon.levels.size(), 3u);
+  EXPECT_EQ(xeon.levels[0].size_bytes, 32u * 1024);
+  EXPECT_EQ(xeon.levels[2].size_bytes, 15u * 1024 * 1024);
+  const CacheConfig scaled = CacheConfig::scaled_l3(1 << 20);
+  EXPECT_EQ(scaled.levels.back().size_bytes % (kCachelineSize * 16), 0u);
+  // Must construct without tripping the power-of-two set check.
+  CacheSim sim(scaled);
+  (void)sim;
+}
+
+TEST(CachePrefetch, StreamScanCostsOneDemandMiss) {
+  // The mechanism behind group sharing: a sequential scan of N lines
+  // triggers the stream prefetcher after the first access, so demand
+  // misses stay O(1) instead of O(N).
+  CacheSim sim(tiny_config_with_prefetch(4));
+  alignas(kCachelineSize) static std::byte buf[64 * 64];
+  for (usize i = 0; i < sizeof(buf); i += 16) sim.read(buf + i, 16);
+  EXPECT_LE(sim.llc_misses(), 3u);  // first line + prefetcher ramp-up
+  EXPECT_GT(sim.prefetches(), 0u);
+}
+
+TEST(CachePrefetch, RandomAccessesGetNoPrefetchBenefit) {
+  CacheSim sim(tiny_config_with_prefetch(4));
+  alignas(kCachelineSize) static std::byte buf[64 * 256];
+  // Strided pattern (every 4th line, descending) never forms an
+  // ascending unit stride stream.
+  for (usize i = 256; i-- > 0;) {
+    if (i % 4 == 0) sim.read(buf + i * 64, 8);
+  }
+  EXPECT_EQ(sim.prefetches(), 0u);
+  EXPECT_EQ(sim.llc_misses(), 64u);
+}
+
+TEST(CachePrefetch, PrefetchedLinesDoNotCountAsMisses) {
+  CacheSim with(tiny_config_with_prefetch(4));
+  CacheSim without(tiny_config());
+  alignas(kCachelineSize) static std::byte buf[64 * 32];
+  for (usize i = 0; i < sizeof(buf); i += 64) {
+    with.read(buf + i, 8);
+    without.read(buf + i, 8);
+  }
+  EXPECT_LT(with.llc_misses(), without.llc_misses());
+  EXPECT_EQ(without.llc_misses(), 32u);
+}
+
+TEST(CachePrefetch, DegreeZeroDisables) {
+  CacheSim sim(tiny_config_with_prefetch(0));
+  alignas(kCachelineSize) static std::byte buf[64 * 8];
+  for (usize i = 0; i < sizeof(buf); i += 64) sim.read(buf + i, 8);
+  EXPECT_EQ(sim.prefetches(), 0u);
+  EXPECT_EQ(sim.llc_misses(), 8u);
+}
+
+TEST(CacheClwb, WritebackKeepsLineCached) {
+  CacheSim sim(tiny_config());
+  alignas(kCachelineSize) static std::byte buf[64];
+  sim.read(buf, 8);
+  const u64 m = sim.llc_misses();
+  sim.clwb(buf, 8);
+  EXPECT_EQ(sim.flushes(), 1u);
+  sim.read(buf, 8);
+  EXPECT_EQ(sim.llc_misses(), m);  // still a hit — unlike clflush
+}
+
+TEST(CacheClwb, CountsLinesLikeClflush) {
+  CacheSim sim(tiny_config());
+  alignas(kCachelineSize) static std::byte buf[256];
+  sim.clwb(buf, 256);
+  EXPECT_EQ(sim.flushes(), 4u);
+}
+
+TEST(CacheSim, SummaryMentionsLevels) {
+  CacheSim sim(tiny_config());
+  const std::string s = sim.summary();
+  EXPECT_NE(s.find("L1"), std::string::npos);
+  EXPECT_NE(s.find("L2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gh::cachesim

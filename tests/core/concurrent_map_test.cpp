@@ -1,0 +1,109 @@
+#include "core/concurrent_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace gh {
+namespace {
+
+TEST(ConcurrentGroupHashMap, SingleThreadedBasics) {
+  ConcurrentGroupHashMap map(4, {.initial_cells = 1024});
+  EXPECT_EQ(map.shard_count(), 4u);
+  map.put(1, 10);
+  map.put(2, 20);
+  EXPECT_EQ(*map.get(1), 10u);
+  EXPECT_EQ(*map.get(2), 20u);
+  EXPECT_TRUE(map.erase(1));
+  EXPECT_FALSE(map.get(1).has_value());
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(ConcurrentGroupHashMap, KeysSpreadAcrossShards) {
+  ConcurrentGroupHashMap map(8, {.initial_cells = 8 * 1024});
+  for (u64 k = 1; k <= 4000; ++k) map.put(k, k);
+  EXPECT_EQ(map.size(), 4000u);
+  for (u64 k = 1; k <= 4000; ++k) EXPECT_EQ(*map.get(k), k);
+}
+
+TEST(ConcurrentGroupHashMap, ParallelDisjointWriters) {
+  ConcurrentGroupHashMap map(16, {.initial_cells = 1 << 14});
+  constexpr int kThreads = 8;
+  constexpr u64 kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      for (u64 i = 0; i < kPerThread; ++i) {
+        const u64 k = static_cast<u64>(t) * kPerThread + i + 1;
+        map.put(k, k * 3);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(map.size(), kThreads * kPerThread);
+  for (u64 k = 1; k <= kThreads * kPerThread; ++k) {
+    ASSERT_TRUE(map.get(k).has_value()) << k;
+    EXPECT_EQ(*map.get(k), k * 3);
+  }
+}
+
+TEST(ConcurrentGroupHashMap, MixedReadersAndWriters) {
+  ConcurrentGroupHashMap map(16, {.initial_cells = 1 << 14});
+  for (u64 k = 1; k <= 1000; ++k) map.put(k, k);
+  std::atomic<bool> stop{false};
+  std::atomic<u64> read_errors{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (u64 k = 1; k <= 1000; ++k) {
+        const auto v = map.get(k);
+        if (!v.has_value() || *v != k) read_errors.fetch_add(1);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&map, t] {
+      for (u64 i = 0; i < 3000; ++i) {
+        map.put(10000 + static_cast<u64>(t) * 10000 + i, i);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(read_errors.load(), 0u);
+  EXPECT_EQ(map.size(), 1000u + 4 * 3000u);
+}
+
+TEST(ConcurrentGroupHashMap, ConcurrentErase) {
+  ConcurrentGroupHashMap map(8, {.initial_cells = 1 << 13});
+  for (u64 k = 1; k <= 4000; ++k) map.put(k, k);
+  std::vector<std::thread> erasers;
+  std::atomic<u64> erased{0};
+  for (int t = 0; t < 4; ++t) {
+    erasers.emplace_back([&, t] {
+      for (u64 k = static_cast<u64>(t) + 1; k <= 4000; k += 4) {
+        if (map.erase(k)) erased.fetch_add(1);
+      }
+    });
+  }
+  for (auto& e : erasers) e.join();
+  EXPECT_EQ(erased.load(), 4000u);
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(ConcurrentGroupHashMapWide, WideKeysWork) {
+  ConcurrentGroupHashMapWide map(4, {.initial_cells = 1024});
+  map.put(Key128{1, 2}, 3);
+  EXPECT_EQ(*map.get(Key128{1, 2}), 3u);
+  EXPECT_FALSE(map.get(Key128{2, 1}).has_value());
+}
+
+TEST(ConcurrentGroupHashMap, RejectsNonPowerOfTwoShards) {
+  EXPECT_DEATH(ConcurrentGroupHashMap(6, {}), "power of two");
+}
+
+}  // namespace
+}  // namespace gh

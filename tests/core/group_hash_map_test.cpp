@@ -1,0 +1,206 @@
+#include "core/group_hash_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace gh {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+struct TempFile {
+  explicit TempFile(const std::string& name) : path(temp_path(name)) {
+    std::filesystem::remove(path);
+  }
+  ~TempFile() { std::filesystem::remove(path); }
+  std::string path;
+};
+
+TEST(GroupHashMap, InMemoryBasics) {
+  auto map = GroupHashMap::create_in_memory({.initial_cells = 1024});
+  EXPECT_TRUE(map.empty());
+  map.put(1, 10);
+  map.put(2, 20);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(*map.get(1), 10u);
+  EXPECT_EQ(*map.get(2), 20u);
+  EXPECT_FALSE(map.get(3).has_value());
+  EXPECT_TRUE(map.contains(1));
+  EXPECT_TRUE(map.erase(1));
+  EXPECT_FALSE(map.contains(1));
+  EXPECT_FALSE(map.erase(1));
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(GroupHashMap, PutIsUpsert) {
+  auto map = GroupHashMap::create_in_memory({.initial_cells = 1024});
+  map.put(5, 1);
+  map.put(5, 2);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.get(5), 2u);
+}
+
+TEST(GroupHashMap, FilePersistenceAcrossCleanShutdown) {
+  TempFile file("gh_map_clean.gh");
+  {
+    auto map = GroupHashMap::create(file.path, {.initial_cells = 1024});
+    for (u64 k = 1; k <= 100; ++k) map.put(k, k * 11);
+    map.close();
+  }
+  {
+    auto map = GroupHashMap::open(file.path);
+    EXPECT_FALSE(map.recovered_on_open());  // clean shutdown: no recovery
+    EXPECT_EQ(map.size(), 100u);
+    for (u64 k = 1; k <= 100; ++k) EXPECT_EQ(*map.get(k), k * 11);
+  }
+}
+
+TEST(GroupHashMap, DirtyOpenTriggersRecovery) {
+  TempFile file("gh_map_dirty.gh");
+  {
+    auto map = GroupHashMap::create(file.path, {.initial_cells = 1024});
+    for (u64 k = 1; k <= 50; ++k) map.put(k, k);
+    // Simulate a crash: leak the dirty state by moving out without close.
+    map.recover_now();  // (exercise the public hook too)
+    // Destructor would mark clean; emulate a kill by syncing the region
+    // and abandoning: easiest honest approach is to copy the file while
+    // it is still dirty.
+    std::filesystem::copy_file(file.path, file.path + ".crashed",
+                               std::filesystem::copy_options::overwrite_existing);
+    map.close();
+  }
+  {
+    auto map = GroupHashMap::open(file.path + ".crashed");
+    EXPECT_TRUE(map.recovered_on_open());
+    EXPECT_EQ(map.size(), 50u);
+    for (u64 k = 1; k <= 50; ++k) EXPECT_EQ(*map.get(k), k);
+  }
+  std::filesystem::remove(file.path + ".crashed");
+}
+
+TEST(GroupHashMap, AutoExpansionPreservesContents) {
+  auto map = GroupHashMap::create_in_memory({.initial_cells = 64, .group_size = 16});
+  std::unordered_map<u64, u64> oracle;
+  Xoshiro256 rng(3);
+  // Insert far beyond the initial capacity.
+  for (int i = 0; i < 2000; ++i) {
+    const u64 k = rng.next_below(1ull << 40) + 1;
+    map.put(k, k ^ 0xff);
+    oracle[k] = k ^ 0xff;
+  }
+  EXPECT_EQ(map.size(), oracle.size());
+  EXPECT_GT(map.capacity(), 2000u);
+  EXPECT_GT(map.metrics().expansions, 0u);
+  for (const auto& [k, v] : oracle) EXPECT_EQ(*map.get(k), v);
+}
+
+TEST(GroupHashMap, ExpansionOfFileBackedMapSurvivesReopen) {
+  TempFile file("gh_map_expand.gh");
+  {
+    auto map = GroupHashMap::create(file.path, {.initial_cells = 64});
+    for (u64 k = 1; k <= 500; ++k) map.put(k, k + 1);
+    EXPECT_GT(map.metrics().expansions, 0u);
+    map.close();
+  }
+  {
+    auto map = GroupHashMap::open(file.path);
+    EXPECT_EQ(map.size(), 500u);
+    for (u64 k = 1; k <= 500; ++k) EXPECT_EQ(*map.get(k), k + 1);
+  }
+}
+
+TEST(GroupHashMap, ThrowsWhenFullAndExpansionDisabled) {
+  auto map = GroupHashMap::create_in_memory({.initial_cells = 16, .auto_expand = false});
+  bool threw = false;
+  try {
+    for (u64 k = 1; k <= 64; ++k) map.put(k, k);
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(GroupHashMap, ForEachVisitsAll) {
+  auto map = GroupHashMap::create_in_memory({.initial_cells = 256});
+  for (u64 k = 1; k <= 20; ++k) map.put(k, k * 2);
+  std::unordered_map<u64, u64> seen;
+  map.for_each([&](u64 k, u64 v) { seen[k] = v; });
+  EXPECT_EQ(seen.size(), 20u);
+  for (u64 k = 1; k <= 20; ++k) EXPECT_EQ(seen[k], k * 2);
+}
+
+TEST(GroupHashMap, MetricsExposeTraffic) {
+  auto map = GroupHashMap::create_in_memory({.initial_cells = 256});
+  map.put(1, 1);
+  const MapMetrics& m = map.metrics();
+  EXPECT_EQ(m.table.inserts, 1u);
+  EXPECT_GT(m.persist.persist_calls, 0u);
+  EXPECT_GT(m.persist.atomic_stores, 0u);
+}
+
+TEST(GroupHashMap, OpenRejectsWrongWidth) {
+  TempFile file("gh_map_width.gh");
+  {
+    auto map = GroupHashMap::create(file.path, {.initial_cells = 64});
+    map.put(1, 1);
+    map.close();
+  }
+  EXPECT_THROW(GroupHashMapWide::open(file.path), std::runtime_error);
+}
+
+TEST(GroupHashMap, OpenRejectsGarbageFile) {
+  TempFile file("gh_map_garbage.gh");
+  {
+    std::FILE* f = std::fopen(file.path.c_str(), "wb");
+    std::string junk(8192, 'x');
+    std::fwrite(junk.data(), 1, junk.size(), f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(GroupHashMap::open(file.path), std::runtime_error);
+}
+
+TEST(GroupHashMapWide, FingerprintShapedKeys) {
+  auto map = GroupHashMapWide::create_in_memory({.initial_cells = 1024});
+  const Key128 a{0xdeadbeefcafe1234ull, 0x0123456789abcdefull};
+  const Key128 b{a.lo, a.hi ^ 1};
+  map.put(a, 1);
+  map.put(b, 2);
+  EXPECT_EQ(*map.get(a), 1u);
+  EXPECT_EQ(*map.get(b), 2u);
+  EXPECT_TRUE(map.erase(a));
+  EXPECT_FALSE(map.get(a).has_value());
+  EXPECT_EQ(*map.get(b), 2u);
+}
+
+TEST(GroupHashMapWide, FilePersistence) {
+  TempFile file("gh_map_wide.gh");
+  {
+    auto map = GroupHashMapWide::create(file.path, {.initial_cells = 256});
+    for (u64 i = 1; i <= 50; ++i) map.put(Key128{i, i * 7}, i);
+    map.close();
+  }
+  {
+    auto map = GroupHashMapWide::open(file.path);
+    EXPECT_EQ(map.size(), 50u);
+    for (u64 i = 1; i <= 50; ++i) EXPECT_EQ(*map.get(Key128{i, i * 7}), i);
+  }
+}
+
+TEST(GroupHashMap, MoveSemantics) {
+  auto map = GroupHashMap::create_in_memory({.initial_cells = 256});
+  map.put(1, 10);
+  GroupHashMap moved = std::move(map);
+  EXPECT_EQ(*moved.get(1), 10u);
+  moved.put(2, 20);
+  EXPECT_EQ(moved.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gh

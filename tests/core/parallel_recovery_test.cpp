@@ -1,0 +1,101 @@
+#include "core/parallel_recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hash/cells.hpp"
+#include "nvm/region.hpp"
+#include "util/rng.hpp"
+
+namespace gh {
+namespace {
+
+using Table = hash::GroupHashTable<hash::Cell16, nvm::DirectPM>;
+
+class ParallelRecoveryTest : public ::testing::Test {
+ protected:
+  Table& init(u64 level_cells, u32 group_size = 64) {
+    const Table::Params p{.level_cells = level_cells, .group_size = group_size};
+    region_ = nvm::NvmRegion::create_anonymous(Table::required_bytes(p));
+    table_.emplace(pm_, region_.bytes().first(Table::required_bytes(p)), p, true);
+    return *table_;
+  }
+
+  void forge_torn_cells(usize how_many) {
+    auto* cells = reinterpret_cast<hash::Cell16*>(region_.data() + 64);
+    usize forged = 0;
+    for (usize i = 0; forged < how_many; ++i) {
+      if (!cells[i].occupied() && !cells[i].payload_dirty()) {
+        cells[i].value = 0xbad0000 + i;
+        ++forged;
+      }
+    }
+  }
+
+  nvm::NvmRegion region_;
+  nvm::DirectPM pm_{nvm::PersistConfig::counting_only()};
+  std::optional<Table> table_;
+};
+
+TEST_F(ParallelRecoveryTest, MatchesSequentialRecovery) {
+  auto& t = init(1 << 14);
+  Xoshiro256 rng(5);
+  while (t.load_factor() < 0.5) {
+    t.insert(rng.next_below(1ull << 40) + 1, rng.next());
+  }
+  forge_torn_cells(17);
+  const u64 expected_count = t.count();
+
+  const auto par = parallel_recover(t, 4);
+  EXPECT_EQ(par.report.recovered_count, expected_count);
+  EXPECT_EQ(par.report.cells_scrubbed, 17u);
+  EXPECT_EQ(par.report.cells_scanned, t.capacity());
+  EXPECT_EQ(t.count(), expected_count);
+
+  // A sequential pass afterwards finds nothing left to do.
+  const auto seq = t.recover();
+  EXPECT_EQ(seq.cells_scrubbed, 0u);
+  EXPECT_EQ(seq.recovered_count, expected_count);
+}
+
+TEST_F(ParallelRecoveryTest, ContentsIntactAfterParallelScrub) {
+  auto& t = init(1 << 13);
+  std::vector<std::pair<u64, u64>> items;
+  Xoshiro256 rng(7);
+  while (t.load_factor() < 0.4) {
+    const u64 k = rng.next_below(1ull << 40) + 1;
+    const u64 v = rng.next();
+    if (t.insert(k, v)) items.push_back({k, v});
+  }
+  forge_torn_cells(5);
+  parallel_recover(t, 8);
+  for (const auto& [k, v] : items) {
+    const auto found = t.find(k);
+    ASSERT_TRUE(found.has_value()) << k;
+    EXPECT_EQ(*found, v);
+  }
+}
+
+TEST_F(ParallelRecoveryTest, SmallTablesFallBackToSequential) {
+  auto& t = init(256, 16);
+  t.insert(1, 1);
+  const auto r = parallel_recover(t, 8);
+  EXPECT_EQ(r.threads_used, 1u);  // 256 level cells < per-thread minimum
+  EXPECT_EQ(r.report.recovered_count, 1u);
+}
+
+TEST_F(ParallelRecoveryTest, ThreadCountVariantsAgree) {
+  for (const u32 threads : {2u, 3u, 5u, 8u}) {
+    auto& t = init(1 << 13);
+    Xoshiro256 rng(threads);
+    while (t.load_factor() < 0.3) {
+      t.insert(rng.next_below(1ull << 40) + 1, 9);
+    }
+    const u64 expected = t.count();
+    const auto r = parallel_recover(t, threads);
+    EXPECT_EQ(r.report.recovered_count, expected) << threads << " threads";
+    EXPECT_EQ(r.report.cells_scanned, t.capacity()) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace gh

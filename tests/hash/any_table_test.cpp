@@ -1,0 +1,120 @@
+#include "hash/any_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nvm/direct_pm.hpp"
+#include "nvm/region.hpp"
+#include "nvm/tracing_pm.hpp"
+
+namespace gh::hash {
+namespace {
+
+TEST(AnyTable, SchemeNames) {
+  EXPECT_STREQ(scheme_name(Scheme::kGroup), "group");
+  EXPECT_STREQ(scheme_name(Scheme::kLinear), "linear");
+  EXPECT_STREQ(scheme_name(Scheme::kPfht), "PFHT");
+  EXPECT_STREQ(scheme_name(Scheme::kPath), "path");
+  TableConfig cfg;
+  cfg.scheme = Scheme::kLinear;
+  cfg.with_wal = true;
+  EXPECT_EQ(cfg.display_name(), "linear-L");
+}
+
+TEST(AnyTable, RequiredBytesCoversEverySchemeAndWidth) {
+  for (const Scheme scheme : {Scheme::kGroup, Scheme::kLinear, Scheme::kPfht, Scheme::kPath,
+                              Scheme::kChained, Scheme::kTwoChoice, Scheme::kCuckoo,
+                              Scheme::kGroup2H, Scheme::kLevel}) {
+    for (const bool wide : {false, true}) {
+      TableConfig cfg;
+      cfg.scheme = scheme;
+      cfg.total_cells_log2 = 10;
+      cfg.wide_cells = wide;
+      const usize plain = table_required_bytes(cfg);
+      EXPECT_GT(plain, 1024u * (wide ? 32 : 16) / 2) << scheme_name(scheme);
+      cfg.with_wal = true;
+      EXPECT_GT(table_required_bytes(cfg), plain) << scheme_name(scheme);
+    }
+  }
+}
+
+class AnyTableRoundTrip : public ::testing::TestWithParam<std::tuple<Scheme, bool, bool>> {};
+
+TEST_P(AnyTableRoundTrip, InsertFindErase) {
+  const auto [scheme, wide, with_wal] = GetParam();
+  TableConfig cfg;
+  cfg.scheme = scheme;
+  cfg.total_cells_log2 = 10;
+  cfg.wide_cells = wide;
+  cfg.with_wal = with_wal;
+  nvm::DirectPM pm(nvm::PersistConfig::counting_only());
+  nvm::NvmRegion region = nvm::NvmRegion::create_anonymous(table_required_bytes(cfg));
+  auto table = make_table(pm, region.bytes().first(table_required_bytes(cfg)), cfg, true);
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->count(), 0u);
+  EXPECT_GT(table->capacity(), 0u);
+
+  // 2-choice may legitimately reject inserts well below capacity; every
+  // other scheme must take all 200 keys at ~20% load.
+  std::vector<u64> inserted;
+  for (u64 i = 1; i <= 200; ++i) {
+    const Key128 key{i * 977, wide ? i * 31 : 0};
+    if (table->insert(key, i)) {
+      inserted.push_back(i);
+    } else {
+      ASSERT_EQ(scheme, Scheme::kTwoChoice) << table->name() << " refused i=" << i;
+    }
+  }
+  EXPECT_EQ(table->count(), inserted.size());
+  EXPECT_GE(inserted.size(), 180u);
+  for (const u64 i : inserted) {
+    const Key128 key{i * 977, wide ? i * 31 : 0};
+    const auto v = table->find(key);
+    ASSERT_TRUE(v.has_value()) << table->name() << " i=" << i;
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(table->find(Key128{~0ull >> 2, 0}).has_value());
+  usize erased = 0;
+  for (usize idx = 0; idx < inserted.size(); idx += 2) {
+    const u64 i = inserted[idx];
+    const Key128 key{i * 977, wide ? i * 31 : 0};
+    EXPECT_TRUE(table->erase(key));
+    ++erased;
+  }
+  EXPECT_EQ(table->count(), inserted.size() - erased);
+  const auto report = table->recover();
+  EXPECT_EQ(report.recovered_count, inserted.size() - erased);
+  EXPECT_EQ(table->count(), inserted.size() - erased);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, AnyTableRoundTrip,
+    ::testing::Combine(::testing::Values(Scheme::kGroup, Scheme::kLinear, Scheme::kPfht,
+                                         Scheme::kPath, Scheme::kChained, Scheme::kTwoChoice,
+                                         Scheme::kCuckoo, Scheme::kGroup2H, Scheme::kLevel),
+                       ::testing::Bool(),   // wide cells
+                       ::testing::Bool()),  // with wal
+    [](const auto& info) {
+      std::string name = scheme_name(std::get<0>(info.param));
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name + (std::get<1>(info.param) ? "_wide" : "_narrow") +
+             (std::get<2>(info.param) ? "_wal" : "_plain");
+    });
+
+TEST(AnyTableTracing, WorksWithCacheSimPolicy) {
+  cachesim::CacheSim sim(cachesim::CacheConfig::scaled_l3(1 << 20));
+  nvm::TracingPM pm(sim);
+  TableConfig cfg;
+  cfg.scheme = Scheme::kGroup;
+  cfg.total_cells_log2 = 10;
+  nvm::NvmRegion region = nvm::NvmRegion::create_anonymous(table_required_bytes(cfg));
+  auto table = make_table(pm, region.bytes().first(table_required_bytes(cfg)), cfg, true);
+  for (u64 i = 1; i <= 100; ++i) ASSERT_TRUE(table->insert(Key128{i, 0}, i));
+  EXPECT_GT(sim.llc_misses(), 0u);
+  EXPECT_GT(sim.flushes(), 0u);
+  for (u64 i = 1; i <= 100; ++i) EXPECT_EQ(*table->find(Key128{i, 0}), i);
+}
+
+}  // namespace
+}  // namespace gh::hash

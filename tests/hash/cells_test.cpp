@@ -1,0 +1,186 @@
+#include "hash/cells.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nvm/direct_pm.hpp"
+#include "nvm/shadow_pm.hpp"
+
+namespace gh::hash {
+namespace {
+
+using nvm::DirectPM;
+using nvm::PersistConfig;
+
+class Cell16Test : public ::testing::Test {
+ protected:
+  DirectPM pm_{PersistConfig::counting_only()};
+  alignas(kCachelineSize) Cell16 cell_{};
+};
+
+TEST_F(Cell16Test, FreshCellIsEmpty) {
+  EXPECT_FALSE(cell_.occupied());
+  EXPECT_FALSE(cell_.payload_dirty());
+  EXPECT_FALSE(cell_.matches(0));
+}
+
+TEST_F(Cell16Test, PublishMakesOccupiedAndMatchable) {
+  cell_.publish(pm_, 1234, 5678);
+  EXPECT_TRUE(cell_.occupied());
+  EXPECT_EQ(cell_.key(), 1234u);
+  EXPECT_EQ(cell_.value, 5678u);
+  EXPECT_TRUE(cell_.matches(1234));
+  EXPECT_FALSE(cell_.matches(1235));
+}
+
+TEST_F(Cell16Test, KeyZeroDoesNotMatchEmptyCell) {
+  // The bitmap is part of the commit word: an empty cell must not match a
+  // genuine key of 0 (the paper's level-2 lookup pseudo-code misses this).
+  EXPECT_FALSE(cell_.matches(0));
+  cell_.publish(pm_, 0, 99);
+  EXPECT_TRUE(cell_.matches(0));
+}
+
+TEST_F(Cell16Test, RetractEmptiesAndClearsPayload) {
+  cell_.publish(pm_, 7, 8);
+  cell_.retract(pm_);
+  EXPECT_FALSE(cell_.occupied());
+  EXPECT_FALSE(cell_.payload_dirty());
+  EXPECT_FALSE(cell_.matches(7));
+}
+
+TEST_F(Cell16Test, InsertProtocolOrdering) {
+  // Value persists before the commit word flips: exactly 1 store, 1
+  // atomic store, 2 persist calls.
+  cell_.publish(pm_, 1, 2);
+  EXPECT_EQ(pm_.stats().stores, 1u);
+  EXPECT_EQ(pm_.stats().atomic_stores, 1u);
+  EXPECT_EQ(pm_.stats().persist_calls, 2u);
+}
+
+TEST_F(Cell16Test, DeleteProtocolCommitsBitmapFirst) {
+  cell_.publish(pm_, 1, 2);
+  pm_.stats().clear();
+  cell_.retract(pm_);
+  // One atomic store (the bitmap clear) followed by the payload wipe.
+  EXPECT_EQ(pm_.stats().atomic_stores, 1u);
+  EXPECT_EQ(pm_.stats().stores, 1u);
+  EXPECT_EQ(pm_.stats().persist_calls, 2u);
+}
+
+TEST_F(Cell16Test, MaxKeyRoundTrips) {
+  cell_.publish(pm_, Cell16::kMaxKey, 1);
+  EXPECT_TRUE(cell_.matches(Cell16::kMaxKey));
+  EXPECT_EQ(cell_.key(), Cell16::kMaxKey);
+}
+
+TEST_F(Cell16Test, ScrubClearsTornPayload) {
+  // Simulate a torn insert: value written but commit word never flipped.
+  cell_.value = 0xdeadbeef;
+  EXPECT_FALSE(cell_.occupied());
+  EXPECT_TRUE(cell_.payload_dirty());
+  cell_.scrub(pm_);
+  EXPECT_FALSE(cell_.payload_dirty());
+}
+
+TEST_F(Cell16Test, PublishFromCopiesContents) {
+  alignas(8) Cell16 src{};
+  src.publish(pm_, 42, 43);
+  cell_.publish_from(pm_, src);
+  EXPECT_TRUE(cell_.matches(42));
+  EXPECT_EQ(cell_.value, 43u);
+}
+
+class Cell32Test : public ::testing::Test {
+ protected:
+  DirectPM pm_{PersistConfig::counting_only()};
+  alignas(kCachelineSize) Cell32 cell_{};
+};
+
+TEST_F(Cell32Test, PublishAndMatch) {
+  const Key128 key{0x1111222233334444ull, 0x5555666677778888ull};
+  cell_.publish(pm_, key, 99);
+  EXPECT_TRUE(cell_.occupied());
+  EXPECT_TRUE(cell_.matches(key));
+  EXPECT_FALSE(cell_.matches(Key128{key.lo, key.hi + 1}));
+  EXPECT_FALSE(cell_.matches(Key128{key.lo + 1, key.hi}));
+  EXPECT_EQ(cell_.key(), key);
+  EXPECT_EQ(cell_.value, 99u);
+}
+
+TEST_F(Cell32Test, TagRejectsWithoutFullCompare) {
+  const Key128 a{1, 2};
+  cell_.publish(pm_, a, 1);
+  // Keys with a different tag are rejected by the meta word alone; keys
+  // with the same tag but different bits are rejected by the full compare.
+  const Key128 same_tag{a.lo ^ (1ull << 32), a.hi ^ (1ull << 32)};
+  if (Cell32::tag_of(same_tag) == Cell32::tag_of(a)) {
+    EXPECT_FALSE(cell_.matches(same_tag));
+  }
+}
+
+TEST_F(Cell32Test, RetractProtocol) {
+  cell_.publish(pm_, {3, 4}, 5);
+  pm_.stats().clear();
+  cell_.retract(pm_);
+  EXPECT_FALSE(cell_.occupied());
+  EXPECT_FALSE(cell_.payload_dirty());
+  EXPECT_EQ(pm_.stats().atomic_stores, 1u);
+  EXPECT_EQ(pm_.stats().persist_calls, 2u);
+}
+
+TEST_F(Cell32Test, InsertProtocolPersistsPayloadBeforeCommit) {
+  cell_.publish(pm_, {1, 2}, 3);
+  // 3 payload stores, one persist over them, then the atomic commit and
+  // its persist.
+  EXPECT_EQ(pm_.stats().stores, 3u);
+  EXPECT_EQ(pm_.stats().atomic_stores, 1u);
+  EXPECT_EQ(pm_.stats().persist_calls, 2u);
+}
+
+TEST_F(Cell32Test, ZeroKeyIsDistinguishable) {
+  EXPECT_FALSE(cell_.matches(Key128{0, 0}));
+  cell_.publish(pm_, {0, 0}, 7);
+  EXPECT_TRUE(cell_.matches(Key128{0, 0}));
+}
+
+TEST(CellLayout, SizesAndCommitWordAlignment) {
+  static_assert(sizeof(Cell16) == 16);
+  static_assert(sizeof(Cell32) == 32);
+  static_assert(offsetof(Cell16, word0) == 0);
+  static_assert(offsetof(Cell32, meta) == 0);
+  static_assert(alignof(Cell16) == 8);
+  static_assert(alignof(Cell32) == 8);
+  SUCCEED();
+}
+
+TEST(CellCrashAtomicity, UncommittedInsertIsInvisible) {
+  // Drive the insert protocol through the crash simulator and stop before
+  // the commit word persists: the durable image must read as empty.
+  alignas(kCachelineSize) struct {
+    Cell16 cell;
+    std::byte pad[48];
+  } mem{};
+  nvm::ShadowPM pm({reinterpret_cast<std::byte*>(&mem), sizeof(mem)});
+  // Events: store value(0), persist(1), atomic commit(2), persist(3).
+  pm.crash_at_event(2);
+  EXPECT_THROW(mem.cell.publish(pm, 77, 88), nvm::SimulatedCrash);
+  const auto img = pm.materialize_crash_image(nvm::CrashMode::kNothingEvicted);
+  const Cell16* durable = reinterpret_cast<const Cell16*>(img.data());
+  EXPECT_FALSE(durable->occupied());
+}
+
+TEST(CellCrashAtomicity, CommittedInsertIsComplete) {
+  alignas(kCachelineSize) struct {
+    Cell16 cell;
+    std::byte pad[48];
+  } mem{};
+  nvm::ShadowPM pm({reinterpret_cast<std::byte*>(&mem), sizeof(mem)});
+  mem.cell.publish(pm, 77, 88);  // runs to completion
+  const auto img = pm.materialize_crash_image(nvm::CrashMode::kNothingEvicted);
+  const Cell16* durable = reinterpret_cast<const Cell16*>(img.data());
+  EXPECT_TRUE(durable->matches(77));
+  EXPECT_EQ(durable->value, 88u);
+}
+
+}  // namespace
+}  // namespace gh::hash

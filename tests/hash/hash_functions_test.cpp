@@ -1,0 +1,89 @@
+#include "hash/hash_functions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gh::hash {
+namespace {
+
+TEST(SeededHash, DeterministicPerSeed) {
+  const SeededHash h(42);
+  EXPECT_EQ(h(u64{123}), h(u64{123}));
+  EXPECT_EQ(h(Key128{1, 2}), h(Key128{1, 2}));
+}
+
+TEST(SeededHash, SeedsAreIndependent) {
+  const SeededHash a(kDefaultSeed1), b(kDefaultSeed2);
+  int same = 0;
+  for (u64 k = 0; k < 1000; ++k) {
+    if ((a(k) & 0xfff) == (b(k) & 0xfff)) ++same;
+  }
+  // ~1000/4096 expected collisions on 12 bits.
+  EXPECT_LT(same, 30);
+}
+
+TEST(SeededHash, AvalancheOnSingleBitFlips) {
+  // Flipping one input bit should flip ~32 of the 64 output bits.
+  const SeededHash h(1);
+  Xoshiro256 rng(9);
+  double total_flipped = 0;
+  int samples = 0;
+  for (int i = 0; i < 200; ++i) {
+    const u64 x = rng.next();
+    for (u32 bit = 0; bit < 64; bit += 7) {
+      const u64 d = h(x) ^ h(x ^ (1ull << bit));
+      total_flipped += std::popcount(d);
+      ++samples;
+    }
+  }
+  const double mean = total_flipped / samples;
+  EXPECT_GT(mean, 28.0);
+  EXPECT_LT(mean, 36.0);
+}
+
+TEST(SeededHash, UniformBucketDistribution) {
+  const SeededHash h(kDefaultSeed1);
+  constexpr u64 kBuckets = 64;
+  std::vector<int> counts(kBuckets, 0);
+  constexpr int kKeys = 64000;
+  for (u64 k = 0; k < kKeys; ++k) counts[h(k) & (kBuckets - 1)]++;
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);   // expected 1000 ± noise
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(SeededHash, SequentialKeysDoNotCollide) {
+  // Sequential integers (the RandomNum key shape) must spread out.
+  const SeededHash h(kDefaultSeed1);
+  std::set<u64> low_bits;
+  for (u64 k = 0; k < 10000; ++k) low_bits.insert(h(k) & 0xffffffffull);
+  EXPECT_EQ(low_bits.size(), 10000u);
+}
+
+TEST(SeededHash, Key128HalvesBothMatter) {
+  const SeededHash h(3);
+  EXPECT_NE(h(Key128{1, 0}), h(Key128{0, 1}));
+  EXPECT_NE(h(Key128{1, 2}), h(Key128{2, 1}));
+  EXPECT_NE(h(Key128{1, 2}), h(Key128{1, 3}));
+}
+
+TEST(Fmix64, BijectivityOverSample) {
+  // fmix64 is a bijection on u64 — no two of a large sample may collide.
+  std::set<u64> out;
+  for (u64 i = 0; i < 100000; ++i) out.insert(fmix64(i));
+  EXPECT_EQ(out.size(), 100000u);
+}
+
+TEST(Fmix64, ZeroIsNotFixedPointOfSeededUse) {
+  const SeededHash h(kDefaultSeed1);
+  EXPECT_NE(h(u64{0}), 0u);
+}
+
+}  // namespace
+}  // namespace gh::hash

@@ -1,0 +1,124 @@
+#include "hash/level_hashing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "hash/cells.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace gh::hash {
+namespace {
+
+using Table = LevelHashTable<Cell16, nvm::DirectPM>;
+
+class LevelHashingTest : public ::testing::Test, public test::TableFixture<Table> {};
+
+TEST_F(LevelHashingTest, GeometryIsTwoToOne) {
+  Table::Params p{.top_buckets = 64};
+  EXPECT_EQ(Table::total_cells(p), (64u + 32u) * 4u);
+  init(p);
+  EXPECT_EQ(table().capacity(), 384u);
+}
+
+TEST_F(LevelHashingTest, InsertFindEraseRoundTrip) {
+  init(Table::Params{.top_buckets = 64});
+  EXPECT_TRUE(table().insert(3, 30));
+  EXPECT_EQ(*table().find(3), 30u);
+  EXPECT_TRUE(table().erase(3));
+  EXPECT_FALSE(table().find(3).has_value());
+  EXPECT_EQ(table().count(), 0u);
+}
+
+TEST_F(LevelHashingTest, OverflowDescendsToBottomLevel) {
+  init(Table::Params{.top_buckets = 8});
+  const SeededHash h1(kDefaultSeed1);
+  const SeededHash h2(kDefaultSeed2);
+  // Keys whose BOTH top buckets coincide: after 8 slots (2 buckets x 4),
+  // the 9th must land in the bottom level and stay findable.
+  const u64 b1 = h1(1) & 7, b2 = h2(1) & 7;
+  std::vector<u64> keys{1};
+  for (u64 k = 2; keys.size() < 9 && k < 5'000'000; ++k) {
+    if ((h1(k) & 7) == b1 && (h2(k) & 7) == b2) keys.push_back(k);
+  }
+  if (keys.size() < 9) GTEST_SKIP() << "not enough doubly-colliding keys";
+  for (const u64 k : keys) ASSERT_TRUE(table().insert(k, k));
+  for (const u64 k : keys) EXPECT_EQ(*table().find(k), k);
+}
+
+TEST_F(LevelHashingTest, BoundedMovementRelocatesResidents) {
+  init(Table::Params{.top_buckets = 256});
+  Xoshiro256 rng(3);
+  std::vector<u64> keys;
+  while (table().stats().displacements == 0 && table().load_factor() < 0.85) {
+    const u64 k = rng.next_below(1ull << 40) + 1;
+    if (table().insert(k, k * 2)) keys.push_back(k);
+  }
+  ASSERT_GT(table().stats().displacements, 0u);
+  for (const u64 k : keys) {
+    ASSERT_TRUE(table().find(k).has_value()) << k;
+    EXPECT_EQ(*table().find(k), k * 2);
+  }
+}
+
+TEST_F(LevelHashingTest, HighSpaceUtilization) {
+  // Level hashing's selling point: > 0.85 utilisation at first failure.
+  init(Table::Params{.top_buckets = 1024});
+  Xoshiro256 rng(7);
+  for (;;) {
+    const u64 k = (rng.next() & Cell16::kMaxKey) | 1;
+    if (!table().insert(k, 1)) break;
+  }
+  EXPECT_GT(table().load_factor(), 0.85);
+}
+
+TEST_F(LevelHashingTest, OracleComparisonWithChurn) {
+  init(Table::Params{.top_buckets = 512});
+  std::unordered_map<u64, u64> oracle;
+  Xoshiro256 rng(9);
+  std::vector<u64> live;
+  for (int step = 0; step < 6000; ++step) {
+    const double r = rng.next_double();
+    if (r < 0.5 && oracle.size() < 2000) {
+      const u64 k = rng.next_below(1ull << 30) + 1;
+      if (!oracle.count(k) && table().insert(k, k + 13)) {
+        oracle[k] = k + 13;
+        live.push_back(k);
+      }
+    } else if (!live.empty()) {
+      const usize idx = rng.next_below(live.size());
+      const u64 k = live[idx];
+      if (r < 0.8) {
+        ASSERT_TRUE(table().find(k).has_value());
+        EXPECT_EQ(*table().find(k), oracle[k]);
+      } else {
+        EXPECT_TRUE(table().erase(k));
+        oracle.erase(k);
+        live[idx] = live.back();
+        live.pop_back();
+      }
+    }
+  }
+  EXPECT_EQ(table().count(), oracle.size());
+  for (const auto& [k, v] : oracle) EXPECT_EQ(*table().find(k), v);
+}
+
+TEST_F(LevelHashingTest, QueryProbesAtMostFourBuckets) {
+  init(Table::Params{.top_buckets = 64});
+  table().stats().clear();
+  (void)table().find(123456);  // absent
+  EXPECT_LE(table().stats().probes, 16u);  // 4 buckets x 4 slots
+}
+
+TEST_F(LevelHashingTest, RecoverRecounts) {
+  init(Table::Params{.top_buckets = 64});
+  for (u64 k = 1; k <= 100; ++k) table().insert(k, k);
+  table().erase(50);
+  const auto report = table().recover();
+  EXPECT_EQ(report.recovered_count, 99u);
+  EXPECT_EQ(report.cells_scanned, table().capacity());
+}
+
+}  // namespace
+}  // namespace gh::hash

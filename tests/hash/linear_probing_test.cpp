@@ -1,0 +1,156 @@
+#include "hash/linear_probing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "hash/cells.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace gh::hash {
+namespace {
+
+using Table = LinearProbingTable<Cell16, nvm::DirectPM>;
+
+class LinearProbingTest : public ::testing::Test, public test::TableFixture<Table> {};
+
+TEST_F(LinearProbingTest, InsertFindEraseRoundTrip) {
+  init(Table::Params{.cells = 256});
+  EXPECT_TRUE(table().insert(10, 100));
+  EXPECT_EQ(*table().find(10), 100u);
+  EXPECT_TRUE(table().erase(10));
+  EXPECT_FALSE(table().find(10).has_value());
+  EXPECT_EQ(table().count(), 0u);
+}
+
+TEST_F(LinearProbingTest, ProbeChainWalksForward) {
+  init(Table::Params{.cells = 16});
+  const SeededHash h(kDefaultSeed1);
+  // Find three keys with the same home slot.
+  std::vector<u64> same_home;
+  const u64 home = h(1) & 15;
+  same_home.push_back(1);
+  for (u64 k = 2; same_home.size() < 3; ++k) {
+    if ((h(k) & 15) == home) same_home.push_back(k);
+  }
+  for (const u64 k : same_home) ASSERT_TRUE(table().insert(k, k));
+  for (const u64 k : same_home) EXPECT_EQ(*table().find(k), k);
+  EXPECT_GE(table().stats().probes, 3u + 1 + 2);  // chain probing happened
+}
+
+TEST_F(LinearProbingTest, BackwardShiftDeleteLeavesNoTombstones) {
+  init(Table::Params{.cells = 16});
+  const SeededHash h(kDefaultSeed1);
+  const u64 home = h(1) & 15;
+  std::vector<u64> same_home{1};
+  for (u64 k = 2; same_home.size() < 4; ++k) {
+    if ((h(k) & 15) == home) same_home.push_back(k);
+  }
+  for (const u64 k : same_home) ASSERT_TRUE(table().insert(k, k * 2));
+  // Delete the first of the chain: the rest must shift back and stay
+  // findable (no tombstone means a find would otherwise stop early).
+  ASSERT_TRUE(table().erase(same_home[0]));
+  EXPECT_GT(table().stats().backward_shifts, 0u);
+  for (usize i = 1; i < same_home.size(); ++i) {
+    ASSERT_TRUE(table().find(same_home[i]).has_value()) << same_home[i];
+    EXPECT_EQ(*table().find(same_home[i]), same_home[i] * 2);
+  }
+}
+
+TEST_F(LinearProbingTest, DeleteCausesExtraWrites) {
+  // The paper's observation: linear probing's delete is write-heavy.
+  init(Table::Params{.cells = 16});
+  const SeededHash h(kDefaultSeed1);
+  const u64 home = h(1) & 15;
+  std::vector<u64> same_home{1};
+  for (u64 k = 2; same_home.size() < 5; ++k) {
+    if ((h(k) & 15) == home) same_home.push_back(k);
+  }
+  for (const u64 k : same_home) ASSERT_TRUE(table().insert(k, k));
+  pm().stats().clear();
+  ASSERT_TRUE(table().erase(same_home[0]));
+  // A chain of 4 successors forces multiple cell moves: far more persist
+  // traffic than the two-persist delete of group hashing.
+  EXPECT_GT(pm().stats().persist_calls, 3u);
+}
+
+TEST_F(LinearProbingTest, WrapAroundProbing) {
+  init(Table::Params{.cells = 16});
+  const SeededHash h(kDefaultSeed1);
+  // A key whose home is the last slot; fill it and the first slots so the
+  // probe wraps.
+  u64 tail_key = 0;
+  for (u64 k = 1;; ++k) {
+    if ((h(k) & 15) == 15) {
+      tail_key = k;
+      break;
+    }
+  }
+  u64 tail_key2 = 0;
+  for (u64 k = tail_key + 1;; ++k) {
+    if ((h(k) & 15) == 15) {
+      tail_key2 = k;
+      break;
+    }
+  }
+  ASSERT_TRUE(table().insert(tail_key, 1));
+  ASSERT_TRUE(table().insert(tail_key2, 2));  // wraps to slot 0
+  EXPECT_EQ(*table().find(tail_key2), 2u);
+  EXPECT_TRUE(table().erase(tail_key));
+  EXPECT_EQ(*table().find(tail_key2), 2u);  // still reachable after shift
+}
+
+TEST_F(LinearProbingTest, FillsToLoadFactorOne) {
+  init(Table::Params{.cells = 64});
+  u64 inserted = 0;
+  for (u64 k = 1; k <= 64; ++k) {
+    ASSERT_TRUE(table().insert(k, k));
+    ++inserted;
+  }
+  EXPECT_EQ(table().count(), 64u);
+  EXPECT_DOUBLE_EQ(table().load_factor(), 1.0);
+  EXPECT_FALSE(table().insert(65, 65));  // completely full
+}
+
+TEST_F(LinearProbingTest, OracleComparisonWithChurn) {
+  init(Table::Params{.cells = 1024});
+  std::unordered_map<u64, u64> oracle;
+  Xoshiro256 rng(3);
+  std::vector<u64> live;
+  for (int step = 0; step < 5000; ++step) {
+    const double r = rng.next_double();
+    if (r < 0.5 && oracle.size() < 700) {
+      const u64 k = rng.next_below(1ull << 30) + 1;
+      if (!oracle.count(k)) {
+        ASSERT_TRUE(table().insert(k, k * 3));
+        oracle[k] = k * 3;
+        live.push_back(k);
+      }
+    } else if (!live.empty()) {
+      const usize idx = rng.next_below(live.size());
+      const u64 k = live[idx];
+      if (r < 0.75) {
+        EXPECT_EQ(*table().find(k), oracle[k]);
+      } else {
+        EXPECT_TRUE(table().erase(k));
+        oracle.erase(k);
+        live[idx] = live.back();
+        live.pop_back();
+      }
+    }
+  }
+  EXPECT_EQ(table().count(), oracle.size());
+  for (const auto& [k, v] : oracle) EXPECT_EQ(*table().find(k), v);
+}
+
+TEST_F(LinearProbingTest, RecoverRecomputesCount) {
+  init(Table::Params{.cells = 256});
+  for (u64 k = 1; k <= 60; ++k) table().insert(k, k);
+  const auto report = table().recover();
+  EXPECT_EQ(report.recovered_count, 60u);
+  EXPECT_EQ(report.cells_scanned, 256u);
+}
+
+}  // namespace
+}  // namespace gh::hash

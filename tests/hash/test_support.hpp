@@ -1,0 +1,41 @@
+// Shared helpers for the hash-scheme tests: a fixture mixin that carves a
+// table of any scheme out of an anonymous NVM region with a counting-only
+// persistence policy (no real flushes, no latency — the protocols and
+// counters are what the unit tests check).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "nvm/direct_pm.hpp"
+#include "nvm/region.hpp"
+#include "trace/workload.hpp"
+#include "util/types.hpp"
+
+namespace gh::hash::test {
+
+template <class Table>
+class TableFixture {
+ public:
+  template <class Params>
+  Table& init(const Params& params) {
+    region_ = nvm::NvmRegion::create_anonymous(Table::required_bytes(params));
+    table_.emplace(pm_, region_.bytes().first(Table::required_bytes(params)), params,
+                   /*format=*/true);
+    return *table_;
+  }
+
+  Table& table() { return *table_; }
+  nvm::DirectPM& pm() { return pm_; }
+  std::span<std::byte> region_bytes() { return region_.bytes(); }
+
+ private:
+  nvm::NvmRegion region_;
+  nvm::DirectPM pm_{nvm::PersistConfig::counting_only()};
+  std::optional<Table> table_;
+};
+
+/// Key helpers usable for both cell widths.
+inline u64 k64(u64 i) { return i * 2654435761u % (1ull << 40); }
+
+}  // namespace gh::hash::test

@@ -1,0 +1,126 @@
+#include "nvm/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "nvm/direct_pm.hpp"
+#include "nvm/region.hpp"
+#include "nvm/shadow_pm.hpp"
+
+namespace gh::nvm {
+namespace {
+
+class ArenaTest : public ::testing::Test {
+ protected:
+  using Arena = PersistentArena<DirectPM>;
+
+  ArenaTest()
+      : region_(NvmRegion::create_anonymous(Arena::required_bytes(1024))),
+        arena_(pm_, region_.bytes().first(Arena::required_bytes(1024)), true) {}
+
+  NvmRegion region_;
+  DirectPM pm_{PersistConfig::counting_only()};
+  Arena arena_;
+};
+
+TEST_F(ArenaTest, AppendReturnsReadableOffsets) {
+  const auto a = arena_.append("hello", 5);
+  const auto b = arena_.append("world!", 6);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(std::memcmp(arena_.read(*a, 5).data(), "hello", 5), 0);
+  EXPECT_EQ(std::memcmp(arena_.read(*b, 6).data(), "world!", 6), 0);
+}
+
+TEST_F(ArenaTest, OffsetsAreEightByteAligned) {
+  const auto a = arena_.append("x", 1);
+  const auto b = arena_.append("y", 1);
+  EXPECT_EQ(*a % kAtomicUnit, 0u);
+  EXPECT_EQ(*b % kAtomicUnit, 0u);
+  EXPECT_EQ(*b - *a, 8u);  // 1 byte rounds to one atomic unit
+}
+
+TEST_F(ArenaTest, PaddingIsZeroed) {
+  arena_.append("abc", 3);
+  const auto bytes = arena_.read(0, 8);
+  for (usize i = 3; i < 8; ++i) EXPECT_EQ(bytes[i], std::byte{0});
+}
+
+TEST_F(ArenaTest, FullArenaRejectsAppend) {
+  std::string big(1000, 'z');
+  ASSERT_TRUE(arena_.append(big.data(), big.size()).has_value());
+  std::string more(100, 'w');
+  EXPECT_FALSE(arena_.append(more.data(), more.size()).has_value());
+  // But a small one still fits the remainder.
+  EXPECT_TRUE(arena_.append("t", 1).has_value());
+}
+
+TEST_F(ArenaTest, HeadAndRemainingTrackUsage) {
+  EXPECT_EQ(arena_.head(), 0u);
+  EXPECT_EQ(arena_.remaining(), arena_.capacity());
+  arena_.append("12345678", 8);
+  EXPECT_EQ(arena_.head(), 8u);
+  EXPECT_EQ(arena_.remaining(), arena_.capacity() - 8);
+}
+
+TEST_F(ArenaTest, ReattachSeesCommittedRecords) {
+  arena_.append("durable", 7);
+  PersistentArena<DirectPM> reattached(
+      pm_, region_.bytes().first(PersistentArena<DirectPM>::required_bytes(1024)),
+      /*format=*/false);
+  EXPECT_EQ(reattached.head(), 8u);
+  EXPECT_EQ(std::memcmp(reattached.read(0, 7).data(), "durable", 7), 0);
+}
+
+TEST_F(ArenaTest, ReadBeyondHeadDies) {
+  arena_.append("ab", 2);
+  EXPECT_DEATH((void)arena_.read(0, 64), "beyond committed");
+}
+
+TEST(ArenaCrash, InterruptedAppendIsForgotten) {
+  using Arena = PersistentArena<ShadowPM>;
+  NvmRegion region = NvmRegion::create_anonymous(Arena::required_bytes(1024));
+  auto mem = region.bytes().first(Arena::required_bytes(1024));
+  ShadowPM pm(mem);
+  Arena arena(pm, mem, true);
+  ASSERT_TRUE(arena.append("first", 5).has_value());
+
+  // Find the event window of one append, then crash at every point.
+  const u64 before = pm.event_count();
+  ASSERT_TRUE(arena.append("second", 6).has_value());
+  const u64 after = pm.event_count();
+
+  for (u64 crash_at = 0; crash_at < after - before; ++crash_at) {
+    std::fill(mem.begin(), mem.end(), std::byte{0});
+    ShadowPM pm2(mem);
+    Arena arena2(pm2, mem, true);
+    ASSERT_TRUE(arena2.append("first", 5).has_value());
+    pm2.crash_at_event(pm2.event_count() + crash_at);
+    bool crashed = false;
+    try {
+      (void)arena2.append("second", 6);
+    } catch (const SimulatedCrash&) {
+      crashed = true;
+    }
+    pm2.crash_at_event(ShadowPM::no_crash());
+    const auto image = pm2.materialize_crash_image(CrashMode::kRandomEviction, crash_at);
+    pm2.reset_to_image(image);
+    Arena rebooted(pm2, mem, /*format=*/false);
+    // Head is either before or after the append — never in between, and
+    // whatever it covers is fully readable.
+    EXPECT_TRUE(rebooted.head() == 8u || rebooted.head() == 16u) << rebooted.head();
+    EXPECT_EQ(std::memcmp(rebooted.read(0, 5).data(), "first", 5), 0);
+    if (rebooted.head() == 16u) {
+      // The record was persisted before the head store executed, so a
+      // committed head always covers complete data (even when the head
+      // itself became durable through eviction after the crash point).
+      EXPECT_EQ(std::memcmp(rebooted.read(8, 6).data(), "second", 6), 0);
+    }
+    (void)crashed;
+  }
+}
+
+}  // namespace
+}  // namespace gh::nvm

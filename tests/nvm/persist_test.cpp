@@ -1,0 +1,65 @@
+#include "nvm/persist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gh::nvm {
+namespace {
+
+TEST(PersistMath, LinesSpanned) {
+  alignas(kCachelineSize) std::byte buf[256];
+  EXPECT_EQ(lines_spanned(buf, 0), 0u);
+  EXPECT_EQ(lines_spanned(buf, 1), 1u);
+  EXPECT_EQ(lines_spanned(buf, 64), 1u);
+  EXPECT_EQ(lines_spanned(buf, 65), 2u);
+  EXPECT_EQ(lines_spanned(buf + 63, 2), 2u);   // straddles a boundary
+  EXPECT_EQ(lines_spanned(buf + 8, 56), 1u);   // ends exactly at boundary
+  EXPECT_EQ(lines_spanned(buf + 8, 57), 2u);
+  EXPECT_EQ(lines_spanned(buf, 256), 4u);
+}
+
+TEST(PersistMath, LineBegin) {
+  alignas(kCachelineSize) std::byte buf[128];
+  EXPECT_EQ(line_begin(buf), buf);
+  EXPECT_EQ(line_begin(buf + 1), buf);
+  EXPECT_EQ(line_begin(buf + 63), buf);
+  EXPECT_EQ(line_begin(buf + 64), buf + 64);
+}
+
+TEST(PersistStats, Accumulate) {
+  PersistStats a, b;
+  a.stores = 1;
+  a.lines_flushed = 2;
+  b.stores = 10;
+  b.fences = 5;
+  a += b;
+  EXPECT_EQ(a.stores, 11u);
+  EXPECT_EQ(a.lines_flushed, 2u);
+  EXPECT_EQ(a.fences, 5u);
+  a.clear();
+  EXPECT_EQ(a.stores, 0u);
+}
+
+TEST(PersistStats, ToStringMentionsCounters) {
+  PersistStats s;
+  s.stores = 3;
+  s.lines_flushed = 7;
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("stores=3"), std::string::npos);
+  EXPECT_NE(str.find("lines_flushed=7"), std::string::npos);
+}
+
+TEST(PersistInstructions, FlushAndFenceDoNotCrash) {
+  alignas(kCachelineSize) volatile u64 word = 42;
+  flush_line(const_cast<u64*>(&word));
+  store_fence();
+  EXPECT_EQ(word, 42u);
+}
+
+TEST(PersistConfig, Presets) {
+  EXPECT_EQ(PersistConfig::emulated_nvm().flush_latency_ns, 300u);
+  EXPECT_EQ(PersistConfig::dram().flush_latency_ns, 0u);
+  EXPECT_FALSE(PersistConfig::counting_only().issue_real_flush);
+}
+
+}  // namespace
+}  // namespace gh::nvm

@@ -1,0 +1,72 @@
+#include "nvm/tracing_pm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cachesim/cache_sim.hpp"
+#include "nvm/region.hpp"
+
+namespace gh::nvm {
+namespace {
+
+cachesim::CacheConfig tiny() {
+  cachesim::CacheConfig cfg{{{1024, 2}, {4096, 4}}};
+  cfg.prefetch_degree = 0;
+  return cfg;
+}
+
+class TracingPMTest : public ::testing::Test {
+ protected:
+  TracingPMTest() : region_(NvmRegion::create_anonymous(4096)), sim_(tiny()), pm_(sim_) {}
+
+  u64* word(usize i) { return reinterpret_cast<u64*>(region_.data()) + i; }
+
+  NvmRegion region_;
+  cachesim::CacheSim sim_;
+  TracingPM pm_;
+};
+
+TEST_F(TracingPMTest, StoresWriteThroughAndTouchTheCache) {
+  pm_.store_u64(word(0), 42);
+  EXPECT_EQ(*word(0), 42u);
+  EXPECT_EQ(sim_.llc_misses(), 1u);  // cold line
+  pm_.store_u64(word(1), 43);        // same line: hit
+  EXPECT_EQ(sim_.llc_misses(), 1u);
+  EXPECT_EQ(pm_.stats().stores, 2u);
+}
+
+TEST_F(TracingPMTest, TouchReadFeedsTheSimulator) {
+  pm_.touch_read(word(0), 8);
+  EXPECT_EQ(sim_.llc_misses(), 1u);
+  pm_.touch_read(word(0), 8);
+  EXPECT_EQ(sim_.llc_misses(), 1u);  // now cached
+}
+
+TEST_F(TracingPMTest, PersistInvalidatesCausingRereadMiss) {
+  pm_.store_u64(word(0), 1);
+  EXPECT_EQ(sim_.llc_misses(), 1u);
+  pm_.persist(word(0), 8);  // simulated clflush
+  EXPECT_EQ(sim_.flushes(), 1u);
+  pm_.touch_read(word(0), 8);
+  EXPECT_EQ(sim_.llc_misses(), 2u);  // the paper's logging-cost mechanism
+  EXPECT_EQ(pm_.stats().persist_calls, 1u);
+  EXPECT_EQ(pm_.stats().lines_flushed, 1u);
+}
+
+TEST_F(TracingPMTest, CopyAndFillWriteThrough) {
+  const unsigned char src[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  pm_.copy(region_.data() + 128, src, 16);
+  EXPECT_EQ(region_.data()[128], std::byte{1});
+  pm_.fill(region_.data() + 256, 0x7f, 32);
+  EXPECT_EQ(region_.data()[287], std::byte{0x7f});
+  EXPECT_EQ(pm_.stats().bytes_written, 16u + 32u);
+}
+
+TEST_F(TracingPMTest, AtomicStoreCountsSeparately) {
+  pm_.atomic_store_u64(word(0), 5);
+  EXPECT_EQ(*word(0), 5u);
+  EXPECT_EQ(pm_.stats().atomic_stores, 1u);
+  EXPECT_EQ(pm_.stats().stores, 0u);
+}
+
+}  // namespace
+}  // namespace gh::nvm

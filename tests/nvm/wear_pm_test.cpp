@@ -1,0 +1,78 @@
+#include "nvm/wear_pm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nvm/region.hpp"
+
+namespace gh::nvm {
+namespace {
+
+class WearPMTest : public ::testing::Test {
+ protected:
+  WearPMTest() : region_(NvmRegion::create_anonymous(4096)), pm_(region_.bytes()) {}
+
+  u64* word(usize i) { return reinterpret_cast<u64*>(region_.data()) + i; }
+
+  NvmRegion region_;
+  WearPM pm_;
+};
+
+TEST_F(WearPMTest, StoresAloneDoNotWear) {
+  pm_.store_u64(word(0), 1);
+  pm_.atomic_store_u64(word(1), 2);
+  EXPECT_EQ(pm_.report().total_line_writes, 0u);
+}
+
+TEST_F(WearPMTest, PersistWearsTheLine) {
+  pm_.store_u64(word(0), 1);
+  pm_.persist(word(0), 8);
+  const WearReport r = pm_.report();
+  EXPECT_EQ(r.total_line_writes, 1u);
+  EXPECT_EQ(r.lines_touched, 1u);
+  EXPECT_EQ(r.max_line_writes, 1u);
+  EXPECT_EQ(pm_.line_wear(0), 1u);
+}
+
+TEST_F(WearPMTest, RepeatedFlushesAccumulate) {
+  for (int i = 0; i < 10; ++i) {
+    pm_.store_u64(word(0), static_cast<u64>(i));
+    pm_.persist(word(0), 8);
+  }
+  EXPECT_EQ(pm_.line_wear(0), 10u);
+  EXPECT_EQ(pm_.report().max_line_writes, 10u);
+}
+
+TEST_F(WearPMTest, MultiLinePersistWearsEachLine) {
+  pm_.persist(region_.data(), 256);  // 4 lines
+  EXPECT_EQ(pm_.report().total_line_writes, 4u);
+  EXPECT_EQ(pm_.report().lines_touched, 4u);
+  for (usize l = 0; l < 4; ++l) EXPECT_EQ(pm_.line_wear(l), 1u);
+}
+
+TEST_F(WearPMTest, ImbalanceDetectsHotLine) {
+  // One hot line (like the persistent `count` header word) among many
+  // cold ones.
+  for (int i = 0; i < 100; ++i) pm_.persist(word(0), 8);
+  for (usize l = 1; l < 10; ++l) pm_.persist(region_.data() + l * 64, 8);
+  const WearReport r = pm_.report();
+  EXPECT_EQ(r.max_line_writes, 100u);
+  EXPECT_EQ(r.hottest_line_offset, 0u);
+  EXPECT_GT(r.wear_imbalance, 5.0);
+}
+
+TEST_F(WearPMTest, ResetClearsWearButNotStats) {
+  pm_.persist(word(0), 8);
+  pm_.reset_wear();
+  EXPECT_EQ(pm_.report().total_line_writes, 0u);
+  EXPECT_EQ(pm_.stats().persist_calls, 1u);
+}
+
+TEST_F(WearPMTest, OutOfRangePersistIsIgnored) {
+  alignas(kCachelineSize) u64 external = 0;
+  pm_.persist(&external, 8);  // outside the tracked span
+  EXPECT_EQ(pm_.report().total_line_writes, 0u);
+  EXPECT_EQ(pm_.stats().persist_calls, 1u);
+}
+
+}  // namespace
+}  // namespace gh::nvm

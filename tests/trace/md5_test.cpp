@@ -1,0 +1,83 @@
+#include "trace/md5.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace gh::trace {
+namespace {
+
+std::string md5_hex(const std::string& input) { return Md5::to_hex(Md5::hash(input)); }
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(md5_hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(md5_hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(md5_hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(md5_hex("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(md5_hex("abcdefghijklmnopqrstuvwxyz"), "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(md5_hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(
+      md5_hex("12345678901234567890123456789012345678901234567890123456789012345678901234567890"),
+      "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, StreamingMatchesOneShot) {
+  const std::string input(1000, 'x');
+  Md5 h;
+  // Feed in awkward chunk sizes that straddle the 64-byte block boundary.
+  usize off = 0;
+  for (const usize chunk : {1u, 63u, 64u, 65u, 100u, 300u}) {
+    h.update(input.data() + off, std::min(chunk, input.size() - off));
+    off += std::min(chunk, input.size() - off);
+  }
+  h.update(input.data() + off, input.size() - off);
+  EXPECT_EQ(Md5::to_hex(h.finish()), md5_hex(input));
+}
+
+TEST(Md5, ExactBlockSizedInputs) {
+  // Inputs of exactly 55, 56, 63, 64, 119, 120 bytes exercise the padding
+  // corner cases (56 is where the length no longer fits the final block).
+  for (const usize n : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string input(n, 'b');
+    Md5 stream;
+    for (char c : input) stream.update(&c, 1);
+    EXPECT_EQ(Md5::to_hex(stream.finish()), md5_hex(input)) << "n=" << n;
+  }
+}
+
+TEST(Md5, ResetAllowsReuse) {
+  Md5 h;
+  h.update("abc", 3);
+  (void)h.finish();
+  h.reset();
+  h.update("abc", 3);
+  EXPECT_EQ(Md5::to_hex(h.finish()), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5, ToKeyRoundTripsDigestBytes) {
+  const auto digest = Md5::hash(std::string("abc"));
+  const Key128 key = Md5::to_key(digest);
+  u8 lo[8], hi[8];
+  std::memcpy(lo, &key.lo, 8);
+  std::memcpy(hi, &key.hi, 8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(lo[i], digest[i]);
+    EXPECT_EQ(hi[i], digest[8 + i]);
+  }
+}
+
+TEST(Md5, DistinctInputsDistinctDigests) {
+  std::vector<std::string> seen;
+  for (int i = 0; i < 100; ++i) {
+    const std::string hex = md5_hex("input-" + std::to_string(i));
+    for (const auto& prev : seen) EXPECT_NE(hex, prev);
+    seen.push_back(hex);
+  }
+}
+
+}  // namespace
+}  // namespace gh::trace

@@ -1,0 +1,78 @@
+#include "trace/permute.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace gh::trace {
+namespace {
+
+TEST(Feistel, IsBijectiveOnSmallEvenDomain) {
+  const FeistelPermutation perm(10, 42);  // 1024 values
+  std::vector<bool> seen(1024, false);
+  for (u64 i = 0; i < 1024; ++i) {
+    const u64 v = perm(i);
+    ASSERT_LT(v, 1024u);
+    ASSERT_FALSE(seen[v]) << "collision at input " << i;
+    seen[v] = true;
+  }
+}
+
+TEST(Feistel, IsBijectiveOnSmallOddDomain) {
+  // Odd bit widths exercise the cycle-walking path.
+  const FeistelPermutation perm(11, 7);  // 2048 values
+  std::vector<bool> seen(2048, false);
+  for (u64 i = 0; i < 2048; ++i) {
+    const u64 v = perm(i);
+    ASSERT_LT(v, 2048u);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Feistel, DeterministicPerSeed) {
+  const FeistelPermutation a(20, 123), b(20, 123);
+  for (u64 i = 0; i < 1000; ++i) EXPECT_EQ(a(i), b(i));
+}
+
+TEST(Feistel, DifferentSeedsGiveDifferentPermutations) {
+  const FeistelPermutation a(16, 1), b(16, 2);
+  int same = 0;
+  for (u64 i = 0; i < 1000; ++i) {
+    if (a(i) == b(i)) ++same;
+  }
+  EXPECT_LT(same, 10);  // expected ~1000/65536
+}
+
+TEST(Feistel, OutputLooksUniform) {
+  // Map the first half of a 2^20 domain; outputs should spread over the
+  // whole range, not cluster in the input half.
+  const FeistelPermutation perm(20, 99);
+  u64 in_upper_half = 0;
+  constexpr u64 kProbe = 10000;
+  for (u64 i = 0; i < kProbe; ++i) {
+    if (perm(i) >= (1ull << 19)) ++in_upper_half;
+  }
+  EXPECT_NEAR(static_cast<double>(in_upper_half), kProbe / 2.0, kProbe * 0.05);
+}
+
+TEST(Feistel, MinimumAndLargeWidths) {
+  const FeistelPermutation tiny(2, 5);
+  std::set<u64> seen;
+  for (u64 i = 0; i < 4; ++i) seen.insert(tiny(i));
+  EXPECT_EQ(seen.size(), 4u);
+
+  const FeistelPermutation wide(26, 5);  // the RandomNum trace width
+  EXPECT_EQ(wide.domain(), 1ull << 26);
+  std::set<u64> wide_seen;
+  for (u64 i = 0; i < 10000; ++i) {
+    const u64 v = wide(i);
+    EXPECT_LT(v, 1ull << 26);
+    wide_seen.insert(v);
+  }
+  EXPECT_EQ(wide_seen.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace gh::trace

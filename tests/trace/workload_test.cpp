@@ -1,0 +1,118 @@
+#include "trace/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "hash/cells.hpp"
+
+namespace gh::trace {
+namespace {
+
+TEST(RandomNumWorkload, ShapeMatchesPaper) {
+  const Workload w = make_random_num(10000, 1);
+  EXPECT_EQ(w.kind, TraceKind::kRandomNum);
+  EXPECT_FALSE(w.wide_keys);
+  EXPECT_EQ(w.item_bytes, 16u);
+  EXPECT_EQ(w.size(), 10000u);
+  for (const u64 k : w.keys64) EXPECT_LT(k, 1ull << 26);  // paper's key domain
+}
+
+TEST(RandomNumWorkload, KeysAreUnique) {
+  const Workload w = make_random_num(100000, 2);
+  std::unordered_set<u64> seen(w.keys64.begin(), w.keys64.end());
+  EXPECT_EQ(seen.size(), w.keys64.size());
+}
+
+TEST(RandomNumWorkload, DeterministicPerSeed) {
+  const Workload a = make_random_num(1000, 3), b = make_random_num(1000, 3);
+  EXPECT_EQ(a.keys64, b.keys64);
+  const Workload c = make_random_num(1000, 4);
+  EXPECT_NE(a.keys64, c.keys64);
+}
+
+TEST(BagOfWordsWorkload, ShapeAndUniqueness) {
+  const Workload w = make_bag_of_words(50000, 1);
+  EXPECT_EQ(w.kind, TraceKind::kBagOfWords);
+  EXPECT_FALSE(w.wide_keys);
+  EXPECT_EQ(w.item_bytes, 16u);
+  EXPECT_EQ(w.size(), 50000u);
+  std::unordered_set<u64> seen(w.keys64.begin(), w.keys64.end());
+  EXPECT_EQ(seen.size(), w.keys64.size());
+}
+
+TEST(BagOfWordsWorkload, KeysEncodeDocAndWord) {
+  const Workload w = make_bag_of_words(10000, 2);
+  std::set<u64> docs, words;
+  for (const u64 k : w.keys64) {
+    docs.insert(k >> 32);
+    words.insert(k & 0xffffffffull);
+    EXPECT_LT(k & 0xffffffffull, 141043u);  // PubMed vocabulary bound
+  }
+  EXPECT_GT(docs.size(), 100u);   // many documents
+  EXPECT_GT(words.size(), 500u);  // many distinct words
+}
+
+TEST(BagOfWordsWorkload, WordFrequenciesAreSkewed) {
+  const Workload w = make_bag_of_words(50000, 3);
+  std::unordered_map<u64, int> freq;
+  for (const u64 k : w.keys64) freq[k & 0xffffffffull]++;
+  int max_freq = 0;
+  for (const auto& [word, n] : freq) max_freq = std::max(max_freq, n);
+  // Zipf skew: the hottest word appears in far more documents than the
+  // uniform expectation.
+  const double uniform = static_cast<double>(w.size()) / 141043.0;
+  EXPECT_GT(max_freq, uniform * 50);
+}
+
+TEST(BagOfWordsWorkload, NarrowKeysFitCell16) {
+  const Workload w = make_bag_of_words(10000, 4);
+  for (const u64 k : w.keys64) EXPECT_LE(k, hash::Cell16::kMaxKey);
+}
+
+TEST(FingerprintWorkload, ShapeMatchesPaper) {
+  const Workload w = make_fingerprint(10000, 1);
+  EXPECT_EQ(w.kind, TraceKind::kFingerprint);
+  EXPECT_TRUE(w.wide_keys);
+  EXPECT_EQ(w.item_bytes, 32u);
+  EXPECT_EQ(w.size(), 10000u);
+}
+
+TEST(FingerprintWorkload, KeysAreUniqueAndWellMixed) {
+  const Workload w = make_fingerprint(20000, 2);
+  std::set<std::pair<u64, u64>> seen;
+  u64 lo_or = 0, lo_and = ~0ull;
+  for (const Key128& k : w.keys128) {
+    EXPECT_TRUE(seen.insert({k.lo, k.hi}).second);
+    lo_or |= k.lo;
+    lo_and &= k.lo;
+  }
+  EXPECT_EQ(lo_or, ~0ull);  // every bit appears set somewhere
+  EXPECT_EQ(lo_and, 0u);    // and clear somewhere
+}
+
+TEST(FingerprintWorkload, DeterministicPerSeed) {
+  const Workload a = make_fingerprint(100, 5), b = make_fingerprint(100, 5);
+  for (usize i = 0; i < 100; ++i) EXPECT_EQ(a.keys128[i], b.keys128[i]);
+}
+
+TEST(WorkloadFactory, DispatchesAllKinds) {
+  for (const TraceKind kind :
+       {TraceKind::kRandomNum, TraceKind::kBagOfWords, TraceKind::kFingerprint}) {
+    const Workload w = make_workload(kind, 100, 1);
+    EXPECT_EQ(w.kind, kind);
+    EXPECT_EQ(w.size(), 100u);
+    EXPECT_STREQ(trace_name(kind), w.name.c_str());
+  }
+}
+
+TEST(ValueForKey, DeterministicAndDiscriminating) {
+  EXPECT_EQ(value_for_key(u64{1}), value_for_key(u64{1}));
+  EXPECT_NE(value_for_key(u64{1}), value_for_key(u64{2}));
+  EXPECT_NE(value_for_key(Key128{1, 0}), value_for_key(Key128{0, 1}));
+}
+
+}  // namespace
+}  // namespace gh::trace

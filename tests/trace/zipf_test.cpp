@@ -1,0 +1,74 @@
+#include "trace/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gh::trace {
+namespace {
+
+TEST(Zipf, StaysInDomain) {
+  ZipfSampler zipf(100, 1.0);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.sample(rng), 100u);
+  }
+}
+
+TEST(Zipf, SingleElementDomain) {
+  ZipfSampler zipf(1, 1.0);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(Zipf, RankZeroIsMostFrequent) {
+  ZipfSampler zipf(1000, 1.0);
+  Xoshiro256 rng(3);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) counts[zipf.sample(rng)]++;
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(Zipf, MatchesTheoreticalFrequencies) {
+  constexpr usize kN = 100;
+  constexpr double kS = 1.0;
+  ZipfSampler zipf(kN, kS);
+  Xoshiro256 rng(4);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kDraws; ++i) counts[zipf.sample(rng)]++;
+  double harmonic = 0;
+  for (usize k = 1; k <= kN; ++k) harmonic += 1.0 / static_cast<double>(k);
+  for (const usize rank : {0u, 1u, 4u, 9u}) {
+    const double expected = kDraws / (static_cast<double>(rank + 1) * harmonic);
+    EXPECT_NEAR(counts[rank], expected, expected * 0.15) << "rank " << rank;
+  }
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  constexpr usize kN = 10;
+  ZipfSampler zipf(kN, 0.0);
+  Xoshiro256 rng(5);
+  std::vector<int> counts(kN, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) counts[zipf.sample(rng)]++;
+  for (usize k = 0; k < kN; ++k) {
+    EXPECT_NEAR(counts[k], kDraws / kN, kDraws / kN * 0.1);
+  }
+}
+
+TEST(Zipf, HigherExponentIsMoreSkewed) {
+  Xoshiro256 rng(6);
+  ZipfSampler mild(100, 0.5), steep(100, 1.5);
+  int mild_zero = 0, steep_zero = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (mild.sample(rng) == 0) ++mild_zero;
+    if (steep.sample(rng) == 0) ++steep_zero;
+  }
+  EXPECT_GT(steep_zero, mild_zero * 2);
+}
+
+}  // namespace
+}  // namespace gh::trace

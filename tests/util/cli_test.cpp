@@ -1,0 +1,69 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace gh {
+namespace {
+
+Cli make_cli(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesKeyValueOptions) {
+  const Cli cli = make_cli({"--cells=4096", "--trace=RandomNum"});
+  EXPECT_EQ(cli.get_u64("cells", 0), 4096u);
+  EXPECT_EQ(cli.get_or("trace", ""), "RandomNum");
+}
+
+TEST(Cli, ParsesBareFlags) {
+  const Cli cli = make_cli({"--verbose"});
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_EQ(cli.get_or("verbose", ""), "1");
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const Cli cli = make_cli({});
+  EXPECT_EQ(cli.get_u64("missing", 7), 7u);
+  EXPECT_EQ(cli.get_double("missing", 0.5), 0.5);
+  EXPECT_FALSE(cli.get("missing").has_value());
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, PositionalArguments) {
+  const Cli cli = make_cli({"file1", "--opt=1", "file2"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "file1");
+  EXPECT_EQ(cli.positional()[1], "file2");
+}
+
+TEST(Cli, ParsesHexAndDouble) {
+  const Cli cli = make_cli({"--mask=0xff", "--ratio=0.75"});
+  EXPECT_EQ(cli.get_u64("mask", 0), 255u);
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0), 0.75);
+}
+
+TEST(Env, U64Override) {
+  ::setenv("GH_TEST_ENV_U64", "123", 1);
+  EXPECT_EQ(env_u64("GH_TEST_ENV_U64", 0), 123u);
+  ::unsetenv("GH_TEST_ENV_U64");
+  EXPECT_EQ(env_u64("GH_TEST_ENV_U64", 9), 9u);
+}
+
+TEST(Env, BenchScaleShift) {
+  ::setenv("GH_SCALE", "paper", 1);
+  EXPECT_EQ(bench_scale_shift(), 0u);
+  ::setenv("GH_SCALE", "3", 1);
+  EXPECT_EQ(bench_scale_shift(), 3u);
+  ::unsetenv("GH_SCALE");
+  EXPECT_EQ(bench_scale_shift(), 5u);
+}
+
+}  // namespace
+}  // namespace gh

@@ -1,0 +1,50 @@
+#include "util/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gh {
+namespace {
+
+TEST(Clock, NowIsMonotonic) {
+  const u64 a = now_ns();
+  const u64 b = now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(Clock, SpinWaitZeroReturnsImmediately) {
+  const u64 start = now_ns();
+  spin_wait_ns(0);
+  EXPECT_LT(now_ns() - start, 1'000'000u);
+}
+
+TEST(Clock, SpinWaitApproximatesRequestedDelay) {
+  // The NVM emulation depends on this: a 300 ns request must wait at
+  // least ~300 ns and not grossly more.
+  spin_wait_ns(1);  // trigger the one-time TSC calibration outside the timing
+  constexpr u64 kDelay = 100'000;  // 100 us, large enough to measure reliably
+  const u64 start = now_ns();
+  spin_wait_ns(kDelay);
+  const u64 elapsed = now_ns() - start;
+  EXPECT_GE(elapsed, kDelay * 9 / 10);
+  EXPECT_LT(elapsed, kDelay * 20);  // generous upper bound for noisy CI
+}
+
+TEST(Clock, SpinWaitShortDelaysAccumulate) {
+  // 1000 x 300 ns should take ~300 us in total.
+  const u64 start = now_ns();
+  for (int i = 0; i < 1000; ++i) spin_wait_ns(300);
+  const u64 elapsed = now_ns() - start;
+  EXPECT_GE(elapsed, 250'000u);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  spin_wait_ns(1'000'000);
+  EXPECT_GE(sw.elapsed_ns(), 900'000u);
+  EXPECT_GT(sw.elapsed_ms(), 0.9);
+  sw.reset();
+  EXPECT_LT(sw.elapsed_ns(), 1'000'000u);
+}
+
+}  // namespace
+}  // namespace gh

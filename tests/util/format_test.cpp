@@ -1,0 +1,57 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gh {
+namespace {
+
+TEST(FormatNs, Ranges) {
+  EXPECT_EQ(format_ns(0), "0ns");
+  EXPECT_EQ(format_ns(999), "999ns");
+  EXPECT_EQ(format_ns(1500), "1.50us");
+  EXPECT_EQ(format_ns(2'500'000), "2.50ms");
+  EXPECT_EQ(format_ns(3'200'000'000.0), "3.20s");
+}
+
+TEST(FormatBytes, Ranges) {
+  EXPECT_EQ(format_bytes(0), "0B");
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(1024), "1.00KiB");
+  EXPECT_EQ(format_bytes(128ull * 1024 * 1024), "128.0MiB");
+  EXPECT_EQ(format_bytes(1ull << 30), "1.00GiB");
+}
+
+TEST(FormatCount, ThousandsSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(1000000000), "1,000,000,000");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(0.8213, 3), "0.821");
+  EXPECT_EQ(format_double(1.0, 1), "1.0");
+  EXPECT_EQ(format_double(0.5, 0), "0");  // rounds to even per printf
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"a", "longheader"});
+  t.add_row({"xxxx", "y"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a     longheader"), std::string::npos);
+  EXPECT_NE(out.find("xxxx  y"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsMismatchedRowWidth) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace gh

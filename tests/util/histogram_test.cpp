@@ -1,0 +1,102 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace gh {
+namespace {
+
+TEST(Histogram, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0.0);
+  EXPECT_EQ(h.summary(), "n=0");
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 100.0);
+  EXPECT_NEAR(h.percentile(50), 100.0, 7.0);  // ~6% bucket error
+}
+
+TEST(Histogram, ExactMeanMinMax) {
+  Histogram h;
+  for (u64 v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+}
+
+TEST(Histogram, PercentilesOfUniformRange) {
+  Histogram h;
+  for (u64 v = 0; v < 10000; ++v) h.record(v);
+  EXPECT_NEAR(h.percentile(50), 5000.0, 500.0);
+  EXPECT_NEAR(h.percentile(90), 9000.0, 900.0);
+  EXPECT_NEAR(h.percentile(99), 9900.0, 990.0);
+  EXPECT_NEAR(h.percentile(0), 0.0, 16.0);
+  EXPECT_NEAR(h.percentile(100), 9999.0, 16.0);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (u64 v = 0; v < 16; ++v) h.record(v);
+  // Values below 16 land in exact unit buckets.
+  EXPECT_NEAR(h.percentile(50), 7.0, 1.0);
+}
+
+TEST(Histogram, MergeCombinesCounts) {
+  Histogram a, b;
+  for (u64 v = 0; v < 100; ++v) a.record(10);
+  for (u64 v = 0; v < 100; ++v) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_NEAR(a.mean(), 505.0, 0.001);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.record(5);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.summary(), "n=0");
+}
+
+TEST(Histogram, LargeValuesDoNotOverflow) {
+  Histogram h;
+  h.record(~0ull);
+  h.record(1ull << 62);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ull);
+}
+
+TEST(Histogram, RelativeErrorBounded) {
+  Xoshiro256 rng(42);
+  Histogram h;
+  std::vector<u64> values;
+  for (int i = 0; i < 50000; ++i) {
+    const u64 v = 1 + rng.next_below(1'000'000);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {10.0, 50.0, 90.0, 99.0}) {
+    const u64 exact = values[static_cast<usize>(q / 100.0 * (values.size() - 1))];
+    const double approx = h.percentile(q);
+    EXPECT_NEAR(approx, static_cast<double>(exact), static_cast<double>(exact) * 0.10)
+        << "q=" << q;
+  }
+}
+
+}  // namespace
+}  // namespace gh

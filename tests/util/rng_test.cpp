@@ -1,0 +1,98 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace gh {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, KnownReferenceValues) {
+  // Reference outputs of the canonical splitmix64 for seed 0.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ull);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454full);
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, NextBelowStaysInBounds) {
+  Xoshiro256 rng(123);
+  for (u64 bound : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 40) + 7}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextBelowCoversSmallDomainUniformly) {
+  Xoshiro256 rng(99);
+  constexpr u64 kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) counts[rng.next_below(kBound)]++;
+  for (u64 v = 0; v < kBound; ++v) {
+    // Expected 10000 per bin; allow 10% slack.
+    EXPECT_GT(counts[v], 9000) << "bin " << v;
+    EXPECT_LT(counts[v], 11000) << "bin " << v;
+  }
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  double min = 1.0, max = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    min = std::min(min, d);
+    max = std::max(max, d);
+  }
+  EXPECT_LT(min, 0.01);
+  EXPECT_GT(max, 0.99);
+}
+
+TEST(Xoshiro256, MeanIsCentered) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NoShortCycles) {
+  Xoshiro256 rng(3);
+  std::set<u64> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(rng.next());
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Xoshiro256, UsableWithStdDistributions) {
+  Xoshiro256 rng(17);
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~0ull);
+  u64 v = rng();
+  (void)v;
+}
+
+}  // namespace
+}  // namespace gh
