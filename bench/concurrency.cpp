@@ -1,12 +1,17 @@
-// Extension bench — multithreaded throughput of the sharded concurrent
-// wrapper (the paper evaluates single-threaded latency only; concurrency
+// Extension bench — multithreaded read/write scaling of the concurrent
+// wrappers (the paper evaluates single-threaded latency only; concurrency
 // is the obvious deployment question for a library release).
 //
-// Mixed workload (configurable get fraction) over ConcurrentGroupHashMap
-// with varying thread counts; reports aggregate Mops/s and scaling
-// relative to one thread.
+// For each read mix (50 / 95 / 100 % gets) and thread count, runs the
+// SAME workload against the sharded map with pessimistic locking (every
+// read takes the shard mutex — the pre-seqlock baseline) and with
+// optimistic seqlock reads, plus the striped single table in both modes.
+// Reports aggregate Mops/s, the seqlock-vs-mutex ratio, and the seqlock
+// contention counters (read retries / lock fallbacks / writer waits), so
+// the cost of validation failures is visible next to the win.
 #include <atomic>
 #include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/concurrent_map.hpp"
@@ -20,62 +25,85 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   BenchEnv env = BenchEnv::from_env();
   const u64 ops_per_thread = cli.get_u64("ops", 200'000);
-  const double get_fraction = cli.get_double("get_fraction", 0.8);
   const usize shards = cli.get_u64("shards", 64);
-
-  print_banner("Extension: concurrent throughput (sharded GroupHashMap)",
-               "beyond the paper: multi-threaded scaling of the same structure", env);
-
-  std::cout << "mixed workload: " << static_cast<int>(get_fraction * 100) << "% get, "
-            << static_cast<int>((1 - get_fraction) * 100) << "% put, " << shards
-            << " shards, " << format_count(ops_per_thread) << " ops/thread\n\n";
-
+  const u64 key_space = 1 << 18;
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
 
-  // Two designs: N independent sharded maps vs ONE table with per-group
-  // reader-writer locks (core/concurrent_table.hpp).
-  auto run_workload = [&](auto&& put, auto&& get, usize threads) {
+  print_banner("Extension: concurrent read/write scaling (mutex vs seqlock reads)",
+               "beyond the paper: lock-free reads over the same structure", env);
+  std::cout << shards << " shards, " << format_count(ops_per_thread)
+            << " ops/thread, " << format_count(key_space) << " keys, "
+            << hw << " hardware threads\n";
+
+  // Aggregate Mops/s of a put/get mix across `threads` workers.
+  auto run_workload = [&](auto&& put, auto&& get, usize threads, double get_fraction) {
     std::atomic<u64> total_ops{0};
     Stopwatch sw;
     std::vector<std::thread> workers;
     for (usize tid = 0; tid < threads; ++tid) {
       workers.emplace_back([&, tid] {
         Xoshiro256 rng(env.seed + tid);
-        u64 done = 0;
         for (u64 i = 0; i < ops_per_thread; ++i) {
-          const u64 k = rng.next_below(1 << 18) + 1;
+          const u64 k = rng.next_below(key_space) + 1;
           if (rng.next_double() < get_fraction) {
             get(k);
           } else {
             put(k, i);
           }
-          ++done;
         }
-        total_ops.fetch_add(done);
+        total_ops.fetch_add(ops_per_thread);
       });
     }
     for (auto& w : workers) w.join();
     return static_cast<double>(total_ops.load()) / sw.elapsed_s() / 1e6;
   };
 
-  TablePrinter t({"threads", "sharded maps", "striped-lock table"});
-  for (usize threads = 1; threads <= hw * 2; threads *= 2) {
-    ConcurrentGroupHashMap sharded(shards, {.initial_cells = 1 << 20});
-    for (u64 k = 1; k <= (1 << 18); ++k) sharded.put(k, k);
-    const double sharded_mops = run_workload(
-        [&](u64 k, u64 v) { sharded.put(k, v); },
-        [&](u64 k) { do_not_optimize(sharded.get(k)); }, threads);
+  auto run_map = [&](LockMode mode, usize threads, double get_fraction,
+                     LockContention* contention_out) {
+    ConcurrentGroupHashMap map(shards, {.initial_cells = 1 << 20}, mode);
+    for (u64 k = 1; k <= key_space; ++k) map.put(k, k);
+    const double mops = run_workload(
+        [&](u64 k, u64 v) { map.put(k, v); },
+        [&](u64 k) { do_not_optimize(map.get(k)); }, threads, get_fraction);
+    if (contention_out != nullptr) *contention_out = map.contention();
+    return mops;
+  };
 
-    ConcurrentGroupHashTable striped({.total_cells = 1 << 20, .group_size = 256});
-    for (u64 k = 1; k <= (1 << 18); ++k) striped.put(k, k);
-    const double striped_mops = run_workload(
-        [&](u64 k, u64 v) { striped.put(k, v); },
-        [&](u64 k) { do_not_optimize(striped.find(k)); }, threads);
+  auto run_table = [&](LockMode mode, usize threads, double get_fraction) {
+    ConcurrentGroupHashTable table(
+        {.total_cells = 1 << 20, .group_size = 256, .lock_mode = mode});
+    for (u64 k = 1; k <= key_space; ++k) table.put(k, k);
+    return run_workload(
+        [&](u64 k, u64 v) { table.put(k, v); },
+        [&](u64 k) { do_not_optimize(table.find(k)); }, threads, get_fraction);
+  };
 
-    t.add_row({std::to_string(threads), format_double(sharded_mops, 2) + " Mops/s",
-               format_double(striped_mops, 2) + " Mops/s"});
+  for (const int read_pct : {50, 95, 100}) {
+    const double get_fraction = read_pct / 100.0;
+    std::cout << "\n== " << read_pct << "% get / " << (100 - read_pct)
+              << "% put ==\n";
+    TablePrinter t({"threads", "map mutex", "map seqlock", "map ratio",
+                    "table mutex", "table seqlock", "retries", "fallbacks",
+                    "writer waits"});
+    for (usize threads = 1; threads <= 16; threads *= 2) {
+      const double map_mutex =
+          run_map(LockMode::kPessimistic, threads, get_fraction, nullptr);
+      LockContention contention;
+      const double map_seq =
+          run_map(LockMode::kOptimistic, threads, get_fraction, &contention);
+      const double tab_mutex = run_table(LockMode::kPessimistic, threads, get_fraction);
+      const double tab_seq = run_table(LockMode::kOptimistic, threads, get_fraction);
+      t.add_row({std::to_string(threads), format_double(map_mutex, 2),
+                 format_double(map_seq, 2), format_double(map_seq / map_mutex, 2) + "x",
+                 format_double(tab_mutex, 2), format_double(tab_seq, 2),
+                 std::to_string(contention.read_retries.load()),
+                 std::to_string(contention.read_fallbacks.load()),
+                 std::to_string(contention.writer_waits.load())});
+    }
+    t.print(std::cout);
   }
-  t.print(std::cout);
-  std::cout << "\n(Scaling columns are only meaningful on multicore hosts.)\n";
+  std::cout << "\nThroughput in Mops/s; ratio = seqlock / mutex on the sharded map.\n"
+            << "(Scaling beyond 1x thread columns is only meaningful on multicore"
+               " hosts; contention columns are from the seqlock map run.)\n";
   return 0;
 }

@@ -1,20 +1,39 @@
-// ConcurrentGroupHashMap — thread-safe sharded wrapper over GroupHashMap.
+// ConcurrentGroupHashMap — thread-safe sharded wrapper over GroupHashMap
+// with optimistic lock-free reads.
 //
-// The paper evaluates single-threaded request latency; concurrency is a
-// natural extension for a library release. Keys are routed to one of N
-// power-of-two shards by an independent hash; each shard is a complete
-// GroupHashMap guarded by its own mutex, so threads touching different
-// shards never contend and per-shard recovery/expansion is unchanged.
-// This preserves the paper's consistency argument verbatim: every shard
-// commits with the same 8-byte atomic protocol.
+// Keys are routed to one of N power-of-two shards by an independent hash;
+// each shard is a complete GroupHashMap, so per-shard recovery/expansion
+// is unchanged and the paper's consistency argument holds verbatim: every
+// shard commits with the same 8-byte atomic protocol.
+//
+// Concurrency (this layer's contribution):
+//   * writers (put/erase) take the shard's seqlock exclusively; the
+//     epoch goes odd around mutation + persist;
+//   * readers (get) run LOCK-FREE: snapshot the epoch, probe through an
+//     immutable TableReadView with acquire loads, and validate the epoch
+//     — retrying on a mismatch and falling back to the lock after
+//     kMaxOptimisticAttempts failures so writer churn cannot starve them
+//     (see util/seqlock.hpp and core/optimistic_read.hpp);
+//   * expansion publishes a fresh view and retires (never unmaps) the old
+//     region, so a stale reader touches only mapped memory and is then
+//     rejected by validation.
+//
+// Per-shard contention counters (read retries, fallback acquisitions,
+// writer waits) are exact and surfaced via contention()/shard_contention()
+// and the inspect machinery (core/inspect.hpp: inspect_shards()).
 #pragma once
 
-#include <mutex>
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/group_hash_map.hpp"
+#include "core/optimistic_read.hpp"
 #include "hash/hash_functions.hpp"
 #include "util/assert.hpp"
+#include "util/seqlock.hpp"
 #include "util/types.hpp"
 
 namespace gh {
@@ -24,50 +43,147 @@ class BasicConcurrentGroupHashMap {
  public:
   using key_type = typename Cell::key_type;
   using Shard = BasicGroupHashMap<Cell>;
+  using Table = typename Shard::Table;
+  using ReadView = core::TableReadView<Cell>;
 
-  /// In-memory concurrent map with `shards` (power of two) shards, each
-  /// starting at options.initial_cells / shards cells.
-  explicit BasicConcurrentGroupHashMap(usize shards = 16, const MapOptions& options = {})
-      : locks_(shards) {
+  /// Optimistic attempts before a reader falls back to the shard lock.
+  static constexpr u32 kMaxOptimisticAttempts = 8;
+
+  /// In-memory concurrent map with `shards` (power of two) shards. The
+  /// total cell budget options.initial_cells is split across shards with
+  /// a ceiling divide, so the summed capacity is never below the request.
+  explicit BasicConcurrentGroupHashMap(usize shards = 16, const MapOptions& options = {},
+                                       LockMode mode = LockMode::kOptimistic)
+      : mode_(mode) {
     GH_CHECK_MSG(is_pow2(shards), "shard count must be a power of two");
     MapOptions per_shard = options;
-    per_shard.initial_cells = std::max<u64>(options.initial_cells / shards, 64);
+    per_shard.initial_cells =
+        std::max<u64>((options.initial_cells + shards - 1) / shards, 64);
+    per_shard.retain_retired_regions = true;
     shards_.reserve(shards);
     for (usize i = 0; i < shards; ++i) {
-      shards_.push_back(Shard::create_in_memory(per_shard));
+      shards_.push_back(std::make_unique<ShardState>(per_shard));
     }
   }
 
   void put(const key_type& key, u64 value) {
-    const usize s = shard_of(key);
-    std::lock_guard lock(locks_[s]);
-    shards_[s].put(key, value);
+    ShardState& sh = shard(key);
+    SeqLockWriteGuard guard(sh.lock, &sh.contention);
+    sh.map.put(key, value);
+    sh.republish_view_if_moved();
   }
 
   [[nodiscard]] std::optional<u64> get(const key_type& key) {
-    const usize s = shard_of(key);
-    std::lock_guard lock(locks_[s]);
-    return shards_[s].get(key);
+    ShardState& sh = shard(key);
+    if (mode_ == LockMode::kOptimistic) {
+      u64 retries = 0;
+      for (u32 attempt = 0; attempt < max_optimistic_attempts_; ++attempt) {
+        const u64 epoch = sh.lock.read_begin();
+        if (!SeqLock::epoch_stable(epoch)) {
+          ++retries;
+          cpu_relax();
+          continue;
+        }
+        const ReadView* view = sh.view.load(std::memory_order_acquire);
+        const auto result = core::optimistic_find(*view, key);
+        if (sh.lock.read_validate(epoch)) {
+          if (retries != 0) sh.contention.read_retries += retries;
+          return result;
+        }
+        ++retries;
+      }
+      sh.contention.read_retries += retries;
+      sh.contention.read_fallbacks += 1;
+    }
+    SeqLockReadGuard guard(sh.lock);
+    return sh.map.get(key);
   }
 
   bool erase(const key_type& key) {
-    const usize s = shard_of(key);
-    std::lock_guard lock(locks_[s]);
-    return shards_[s].erase(key);
+    ShardState& sh = shard(key);
+    SeqLockWriteGuard guard(sh.lock, &sh.contention);
+    return sh.map.erase(key);
   }
 
   [[nodiscard]] u64 size() {
     u64 total = 0;
-    for (usize s = 0; s < shards_.size(); ++s) {
-      std::lock_guard lock(locks_[s]);
-      total += shards_[s].size();
+    for (auto& sh : shards_) {
+      SeqLockReadGuard guard(sh->lock);
+      total += sh->map.size();
+    }
+    return total;
+  }
+
+  /// Summed cell capacity across shards (≥ the requested initial_cells
+  /// rounded up per shard; grows with expansion).
+  [[nodiscard]] u64 capacity() {
+    u64 total = 0;
+    for (auto& sh : shards_) {
+      SeqLockReadGuard guard(sh->lock);
+      total += sh->map.capacity();
     }
     return total;
   }
 
   [[nodiscard]] usize shard_count() const { return shards_.size(); }
+  [[nodiscard]] LockMode lock_mode() const { return mode_; }
+
+  /// Shard a key routes to (tests target one shard's lock with this).
+  [[nodiscard]] usize shard_index(const key_type& key) const { return shard_of(key); }
+
+  /// Contention counters of one shard / aggregated over all shards.
+  [[nodiscard]] const LockContention& shard_contention(usize s) const {
+    return shards_[s]->contention;
+  }
+  [[nodiscard]] LockContention contention() const {
+    LockContention total;
+    for (const auto& sh : shards_) total += sh->contention;
+    return total;
+  }
+
+  /// Run `fn(const Table&)` on one shard's table under its lock (readers
+  /// excluded from writers only — safe for read-only scans; used by
+  /// inspect_shards()).
+  template <class Fn>
+  auto with_shard_table(usize s, Fn&& fn) {
+    SeqLockReadGuard guard(shards_[s]->lock);
+    return fn(static_cast<const Table&>(shards_[s]->map.raw_table()));
+  }
+
+  /// Tests only: lowers (or raises) the optimistic attempt budget; 0 sends
+  /// every read straight to the lock fallback.
+  void set_max_optimistic_attempts(u32 attempts) { max_optimistic_attempts_ = attempts; }
 
  private:
+  struct ShardState {
+    explicit ShardState(const MapOptions& options)
+        : map(Shard::create_in_memory(options)) {
+      auto initial = std::make_unique<ReadView>(ReadView::of(map.raw_table()));
+      view.store(initial.get(), std::memory_order_release);
+      views.push_back(std::move(initial));
+    }
+
+    /// After a mutation: if expansion replaced the table, publish a fresh
+    /// view. Old views are retired, not freed — a racing reader may still
+    /// hold one. Called with the shard seqlock held exclusively.
+    void republish_view_if_moved() {
+      const Table& table = map.raw_table();
+      const ReadView* current = view.load(std::memory_order_relaxed);
+      if (current->tab1 == &table.level1_cell(0)) return;
+      auto fresh = std::make_unique<ReadView>(ReadView::of(table));
+      view.store(fresh.get(), std::memory_order_release);
+      views.push_back(std::move(fresh));
+    }
+
+    Shard map;
+    SeqLock lock;
+    std::atomic<const ReadView*> view{nullptr};
+    std::vector<std::unique_ptr<ReadView>> views;  ///< current + retired
+    LockContention contention;
+  };
+
+  ShardState& shard(const key_type& key) { return *shards_[shard_of(key)]; }
+
   [[nodiscard]] usize shard_of(const key_type& key) const {
     // Shard routing must be independent of the in-table hash; use a
     // distinct fixed seed.
@@ -75,8 +191,9 @@ class BasicConcurrentGroupHashMap {
            (shards_.size() - 1);
   }
 
-  std::vector<Shard> shards_;
-  std::vector<std::mutex> locks_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  LockMode mode_;
+  u32 max_optimistic_attempts_ = kMaxOptimisticAttempts;
 };
 
 using ConcurrentGroupHashMap = BasicConcurrentGroupHashMap<hash::Cell16>;

@@ -4,12 +4,19 @@
 //
 // The key observation: an operation on key k touches exactly its level-1
 // cell and the matched level-2 group — both inside group g = index /
-// group_size. Group-granular reader-writer locks therefore make the whole
+// group_size. Group-granular seqlock stripes therefore make the whole
 // paper-structure concurrent without changing a single byte of its NVM
-// layout or its commit protocol: writers serialize per group, readers of
-// the same group proceed in parallel, and operations on different groups
-// never touch the same lock. This is the same granularity insight the
-// OSDI'18 level-hashing paper applies to buckets.
+// layout or its commit protocol: writers serialize per group; readers of
+// ANY group run lock-free, probing with acquire loads and validating the
+// stripe's epoch (util/seqlock.hpp), falling back to the stripe lock
+// after kMaxOptimisticAttempts failed validations. This replaces the
+// earlier reader-writer locks: an uncontended shared_mutex read still
+// costs two atomic RMWs on the lock word; a validated optimistic read
+// costs none and its cacheline stays shared.
+//
+// The table never moves (no expansion at this layer), so a single
+// immutable TableReadView taken at construction serves all readers — no
+// view republication or region retirement is needed here.
 //
 // The global `count` is the one cross-group word; the table runs in
 // CountMode::kRecoveryOnly, where it is an exact atomic (see
@@ -18,15 +25,17 @@
 // (see ablation_wear).
 #pragma once
 
-#include <mutex>
-#include <shared_mutex>
+#include <algorithm>
+#include <optional>
 #include <vector>
 
+#include "core/optimistic_read.hpp"
 #include "hash/cells.hpp"
 #include "hash/group_hashing.hpp"
 #include "nvm/direct_pm.hpp"
 #include "nvm/region.hpp"
 #include "util/assert.hpp"
+#include "util/seqlock.hpp"
 #include "util/types.hpp"
 
 namespace gh {
@@ -36,6 +45,9 @@ class BasicConcurrentGroupHashTable {
  public:
   using key_type = typename Cell::key_type;
   using Table = hash::GroupHashTable<Cell, nvm::DirectPM>;
+  using ReadView = core::TableReadView<Cell>;
+
+  static constexpr u32 kMaxOptimisticAttempts = 8;
 
   struct Params {
     u64 total_cells = 1ull << 16;  ///< both levels; rounded to a power of two
@@ -43,10 +55,12 @@ class BasicConcurrentGroupHashTable {
     u64 seed = hash::kDefaultSeed1;
     u64 flush_latency_ns = 0;
     u32 lock_stripes = 1024;  ///< upper bound; clamped to the group count
+    LockMode lock_mode = LockMode::kOptimistic;
   };
 
   explicit BasicConcurrentGroupHashTable(const Params& params)
-      : pm_(nvm::PersistConfig{.flush_latency_ns = params.flush_latency_ns}) {
+      : pm_(nvm::PersistConfig{.flush_latency_ns = params.flush_latency_ns}),
+        mode_(params.lock_mode) {
     u64 total = 16;
     while (total < params.total_cells) total <<= 1;
     const typename Table::Params table_params{
@@ -60,68 +74,117 @@ class BasicConcurrentGroupHashTable {
     const u64 groups = table_->level_cells() / table_->group_size();
     u64 stripes = 1;
     while (stripes < std::min<u64>(groups, params.lock_stripes)) stripes <<= 1;
-    locks_ = std::vector<std::shared_mutex>(stripes);
+    stripes_ = std::vector<Stripe>(stripes);
     stripe_mask_ = stripes - 1;
     hash_ = hash::SeededHash(table_->seed());
+    view_ = ReadView::of(*table_);
   }
 
   bool insert(const key_type& key, u64 value) {
-    std::unique_lock lock(lock_for(key));
+    Stripe& st = stripe_for(key);
+    SeqLockWriteGuard guard(st.lock, &st.contention);
     return table_->insert(key, value);
   }
 
   [[nodiscard]] std::optional<u64> find(const key_type& key) {
-    std::shared_lock lock(lock_for(key));
+    Stripe& st = stripe_for(key);
+    if (mode_ == LockMode::kOptimistic) {
+      u64 retries = 0;
+      for (u32 attempt = 0; attempt < max_optimistic_attempts_; ++attempt) {
+        const u64 epoch = st.lock.read_begin();
+        if (!SeqLock::epoch_stable(epoch)) {
+          ++retries;
+          cpu_relax();
+          continue;
+        }
+        const auto result = core::optimistic_find(view_, key);
+        if (st.lock.read_validate(epoch)) {
+          if (retries != 0) st.contention.read_retries += retries;
+          return result;
+        }
+        ++retries;
+      }
+      st.contention.read_retries += retries;
+      st.contention.read_fallbacks += 1;
+    }
+    SeqLockReadGuard guard(st.lock);
     return table_->find(key);
   }
 
   bool update(const key_type& key, u64 value) {
-    std::unique_lock lock(lock_for(key));
+    Stripe& st = stripe_for(key);
+    SeqLockWriteGuard guard(st.lock, &st.contention);
     return table_->update(key, value);
   }
 
   /// Insert-or-update under one lock acquisition.
   void put(const key_type& key, u64 value) {
-    std::unique_lock lock(lock_for(key));
+    Stripe& st = stripe_for(key);
+    SeqLockWriteGuard guard(st.lock, &st.contention);
     if (table_->update(key, value)) return;
     GH_CHECK_MSG(table_->insert(key, value),
                  "concurrent table is full (no auto-expansion at this layer)");
   }
 
   bool erase(const key_type& key) {
-    std::unique_lock lock(lock_for(key));
+    Stripe& st = stripe_for(key);
+    SeqLockWriteGuard guard(st.lock, &st.contention);
     return table_->erase(key);
   }
 
   [[nodiscard]] u64 count() const { return table_->count(); }
   [[nodiscard]] u64 capacity() const { return table_->capacity(); }
   [[nodiscard]] double load_factor() const { return table_->load_factor(); }
-  [[nodiscard]] usize lock_stripes() const { return locks_.size(); }
+  [[nodiscard]] usize lock_stripes() const { return stripes_.size(); }
+  [[nodiscard]] LockMode lock_mode() const { return mode_; }
 
-  /// Exclusive recovery: takes every stripe, then runs Algorithm 4.
+  [[nodiscard]] const LockContention& stripe_contention(usize i) const {
+    return stripes_[i].contention;
+  }
+  [[nodiscard]] LockContention contention() const {
+    LockContention total;
+    for (const Stripe& st : stripes_) total += st.contention;
+    return total;
+  }
+
+  /// Exclusive recovery: takes every stripe write-side, then runs
+  /// Algorithm 4 (optimistic readers see odd epochs throughout and fall
+  /// back to the stripe locks, which are held).
   hash::RecoveryReport recover() {
-    std::vector<std::unique_lock<std::shared_mutex>> all;
-    all.reserve(locks_.size());
-    for (auto& m : locks_) all.emplace_back(m);
-    return table_->recover();
+    for (Stripe& st : stripes_) st.lock.write_lock();
+    const auto report = table_->recover();
+    for (auto it = stripes_.rbegin(); it != stripes_.rend(); ++it) it->lock.write_unlock();
+    return report;
   }
 
   /// Unsynchronized access for single-threaded phases (setup, teardown).
   [[nodiscard]] Table& unsynchronized_table() { return *table_; }
 
+  /// Tests only: lowers (or raises) the optimistic attempt budget; 0 sends
+  /// every read straight to the lock fallback.
+  void set_max_optimistic_attempts(u32 attempts) { max_optimistic_attempts_ = attempts; }
+
  private:
-  std::shared_mutex& lock_for(const key_type& key) {
+  struct Stripe {
+    SeqLock lock;
+    LockContention contention;
+  };
+
+  Stripe& stripe_for(const key_type& key) {
     const u64 level1 = hash_(key) & (table_->level_cells() - 1);
     const u64 group = level1 / table_->group_size();
-    return locks_[group & stripe_mask_];
+    return stripes_[group & stripe_mask_];
   }
 
   nvm::NvmRegion region_;
   nvm::DirectPM pm_;
   std::optional<Table> table_;
   hash::SeededHash hash_{hash::kDefaultSeed1};
-  std::vector<std::shared_mutex> locks_;
+  ReadView view_;
+  std::vector<Stripe> stripes_;
   u64 stripe_mask_ = 0;
+  LockMode mode_;
+  u32 max_optimistic_attempts_ = kMaxOptimisticAttempts;
 };
 
 using ConcurrentGroupHashTable = BasicConcurrentGroupHashTable<hash::Cell16>;

@@ -243,6 +243,9 @@ void BasicGroupHashMap<Cell>::expand() {
     // Preserve operation statistics across the rebuild.
     new_table.stats() = table().stats();
     table_.emplace(std::move(new_table));
+    if (options_.retain_retired_regions) {
+      retired_regions_.push_back(std::move(region_));
+    }
     region_ = std::move(new_region);
     metrics_.expansions++;
     return;

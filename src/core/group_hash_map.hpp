@@ -25,6 +25,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "hash/cells.hpp"
 #include "hash/group_hashing.hpp"
@@ -45,6 +46,13 @@ struct MapOptions {
   u64 flush_latency_ns = 0;
   /// Double the table (rebuild) when an insert fails instead of throwing.
   bool auto_expand = true;
+  /// Keep the old region mapped (instead of unmapping it) when expansion
+  /// rebuilds into a new one. Required by the optimistic concurrent
+  /// wrapper: a lock-free reader racing an expansion may still probe the
+  /// retired table, and must hit mapped (stale) memory — its seqlock
+  /// validation then discards the result. Doubling bounds the total
+  /// retired footprint below the live table's size.
+  bool retain_retired_regions = false;
 };
 
 struct MapMetrics {
@@ -113,6 +121,15 @@ class BasicGroupHashMap {
   [[nodiscard]] const MapMetrics& metrics();
   [[nodiscard]] const std::string& path() const { return path_; }
 
+  /// Direct access to the underlying table, for the concurrent wrappers
+  /// (optimistic read-view snapshots) and inspection tooling. The
+  /// reference is invalidated by expansion — callers synchronize.
+  [[nodiscard]] Table& raw_table() { return table(); }
+  [[nodiscard]] const Table& raw_table() const { return table(); }
+
+  /// Regions retired by expansion while retain_retired_regions is set.
+  [[nodiscard]] usize retired_region_count() const { return retired_regions_.size(); }
+
   /// Force an Algorithm-4 recovery pass (normally done by open()).
   hash::RecoveryReport recover_now();
 
@@ -135,6 +152,7 @@ class BasicGroupHashMap {
   std::string path_;
   MapOptions options_;
   nvm::NvmRegion region_;
+  std::vector<nvm::NvmRegion> retired_regions_;
   // Heap-allocated so the table's pointer to it stays valid across moves.
   std::unique_ptr<nvm::DirectPM> pm_;
   std::optional<Table> table_;

@@ -69,6 +69,55 @@ TableInspection inspect(const hash::GroupHashTable<Cell, PM>& table) {
   return r;
 }
 
+/// Per-shard view of a concurrent map: the structural scan plus the
+/// shard's seqlock contention counters (read retries, lock fallbacks,
+/// writer waits — see util/seqlock.hpp).
+struct ShardInspection {
+  usize shard = 0;
+  TableInspection table;
+  u64 read_retries = 0;
+  u64 read_fallbacks = 0;
+  u64 writer_waits = 0;
+};
+
+struct ConcurrentMapInspection {
+  std::vector<ShardInspection> shards;
+  u64 total_capacity = 0;
+  u64 total_occupied = 0;
+  u64 total_torn_cells = 0;
+
+  [[nodiscard]] bool clean() const {
+    for (const auto& s : shards) {
+      if (!s.table.clean()) return false;
+    }
+    return true;
+  }
+};
+
+/// Structural scan of every shard of a concurrent map, taken under each
+/// shard's lock in turn (writers in other shards proceed unhindered).
+/// Works for any wrapper exposing shard_count(), with_shard_table() and
+/// shard_contention() — i.e. BasicConcurrentGroupHashMap<Cell>.
+template <class ConcurrentMap>
+ConcurrentMapInspection inspect_shards(ConcurrentMap& map) {
+  ConcurrentMapInspection r;
+  r.shards.reserve(map.shard_count());
+  for (usize s = 0; s < map.shard_count(); ++s) {
+    ShardInspection si;
+    si.shard = s;
+    map.with_shard_table(s, [&](const auto& table) { si.table = inspect(table); });
+    const auto& c = map.shard_contention(s);
+    si.read_retries = c.read_retries.load();
+    si.read_fallbacks = c.read_fallbacks.load();
+    si.writer_waits = c.writer_waits.load();
+    r.total_capacity += si.table.capacity;
+    r.total_occupied += si.table.scanned_occupied;
+    r.total_torn_cells += si.table.torn_cells;
+    r.shards.push_back(std::move(si));
+  }
+  return r;
+}
+
 /// Superblock summary of a GroupHashMap file (no recovery is triggered).
 struct MapFileInfo {
   u64 version = 0;

@@ -1,0 +1,98 @@
+// Lock-free optimistic probing of a group-hashing table.
+//
+// The paper's commit protocol (§3.3) publishes every insert/delete with
+// one 8-byte atomic store of the cell's commit word, which makes the
+// table naturally readable without locks: a reader that (1) snapshots a
+// shard's seqlock epoch, (2) probes with atomic loads, and (3) validates
+// the epoch has observed a state some quiescent moment could have shown.
+// Torn or stale intermediate states are rejected by the validation and
+// retried (see util/seqlock.hpp for the fence discipline).
+//
+// Two pieces live here:
+//
+//   * TableReadView — an immutable snapshot of the probing parameters
+//     (cell pointers, mask, group size, hash seed). The concurrent
+//     wrappers publish a fresh heap-allocated view whenever expansion
+//     replaces a shard's table, and retire — but never free — the old
+//     view and its region, so a stale reader dereferences only mapped
+//     memory and is then corrected by epoch validation.
+//
+//   * optimistic_find — Algorithm 2 over a view, using acquire loads on
+//     every cell word. Acquire pairs with DirectPM's release stores, so a
+//     matching commit word guarantees the payload read afterwards is the
+//     one published with it (or newer — in which case validation fails).
+//
+// All loads are atomic, so this path is clean under ThreadSanitizer by
+// construction rather than by suppression.
+#pragma once
+
+#include <atomic>
+#include <optional>
+
+#include "hash/cells.hpp"
+#include "hash/group_hashing.hpp"
+#include "hash/hash_functions.hpp"
+#include "util/types.hpp"
+
+namespace gh::core {
+
+[[nodiscard]] inline u64 atomic_load_acquire(const u64& word) {
+  return std::atomic_ref<u64>(const_cast<u64&>(word)).load(std::memory_order_acquire);
+}
+
+/// Immutable probing snapshot of one GroupHashTable. Values, not
+/// references: a view stays usable (if stale) after the table object it
+/// was taken from is re-emplaced by expansion.
+template <class Cell>
+struct TableReadView {
+  const Cell* tab1 = nullptr;
+  const Cell* tab2 = nullptr;
+  u64 mask = 0;
+  u32 group_size = 1;
+  hash::SeededHash hash{0};
+
+  template <class PM>
+  [[nodiscard]] static TableReadView of(const hash::GroupHashTable<Cell, PM>& table) {
+    TableReadView v;
+    v.tab1 = &table.level1_cell(0);
+    v.tab2 = &table.level2_cell(0);
+    v.mask = table.level_cells() - 1;
+    v.group_size = table.group_size();
+    v.hash = hash::SeededHash(table.seed());
+    return v;
+  }
+};
+
+/// Atomic-read equivalent of Cell16::matches + value fetch.
+[[nodiscard]] inline std::optional<u64> optimistic_read_cell(const hash::Cell16& cell,
+                                                             u64 key) {
+  const u64 word0 = atomic_load_acquire(cell.word0);
+  if (word0 != (key | hash::Cell16::kOccupiedBit)) return std::nullopt;
+  return atomic_load_acquire(cell.value);
+}
+
+/// Atomic-read equivalent of Cell32::matches + value fetch.
+[[nodiscard]] inline std::optional<u64> optimistic_read_cell(const hash::Cell32& cell,
+                                                             const Key128& key) {
+  const u64 meta = atomic_load_acquire(cell.meta);
+  if (meta != (hash::Cell32::kOccupiedBit | hash::Cell32::tag_of(key))) return std::nullopt;
+  if (atomic_load_acquire(cell.key_lo) != key.lo) return std::nullopt;
+  if (atomic_load_acquire(cell.key_hi) != key.hi) return std::nullopt;
+  return atomic_load_acquire(cell.value);
+}
+
+/// Algorithm 2 over a view. The result is only meaningful if the caller's
+/// subsequent epoch validation succeeds.
+template <class Cell>
+[[nodiscard]] std::optional<u64> optimistic_find(const TableReadView<Cell>& view,
+                                                 const typename Cell::key_type& key) {
+  const u64 k = view.hash(key) & view.mask;
+  if (const auto hit = optimistic_read_cell(view.tab1[k], key)) return hit;
+  const u64 j = k - k % view.group_size;
+  for (u32 i = 0; i < view.group_size; ++i) {
+    if (const auto hit = optimistic_read_cell(view.tab2[j + i], key)) return hit;
+  }
+  return std::nullopt;
+}
+
+}  // namespace gh::core

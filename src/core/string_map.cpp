@@ -154,6 +154,28 @@ void PersistentStringMap::close() {
   closed_ = true;
 }
 
+void PersistentStringMap::abandon() {
+  if (!region_.valid() || closed_) return;
+  // No mark_state: the superblock stays dirty, exactly like a crash.
+  table_.reset();
+  arena_.reset();
+  region_ = nvm::NvmRegion();
+  retired_regions_.clear();
+  closed_ = true;
+}
+
+PersistentStringMap::ReadSnapshot PersistentStringMap::read_snapshot() const {
+  ReadSnapshot s;
+  s.tab1 = &table().level1_cell(0);
+  s.tab2 = &table().level2_cell(0);
+  s.mask = table().level_cells() - 1;
+  s.group_size = table().group_size();
+  s.seed = table().seed();
+  s.arena_data = arena().data();
+  s.arena_capacity = arena().capacity();
+  return s;
+}
+
 PersistentStringMap::Record PersistentStringMap::load_record(u64 offset) const {
   const auto header = arena().read(offset, kRecordHeaderBytes);
   u64 value, key_len;
@@ -306,6 +328,9 @@ void PersistentStringMap::rebuild(u64 new_cells, usize new_arena_data_bytes) {
   }
   table_.emplace(std::move(new_table));
   arena_.emplace(std::move(new_arena));
+  if (options_.retain_retired_regions) {
+    retired_regions_.push_back(std::move(region_));
+  }
   region_ = std::move(new_region);
 }
 

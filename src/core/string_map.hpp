@@ -27,6 +27,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "hash/cells.hpp"
 #include "hash/group_hashing.hpp"
@@ -44,6 +45,13 @@ struct StringMapOptions {
   usize arena_bytes_per_cell = 48;
   u64 flush_latency_ns = 0;
   bool auto_compact = true;  ///< rebuild+grow when table or arena fills
+  /// Keep superseded regions mapped after compaction instead of unmapping
+  /// them. Required by the optimistic concurrent wrapper
+  /// (core/concurrent_string_map.hpp): a lock-free reader racing a
+  /// compaction may still probe the retired table/arena and must hit
+  /// mapped (stale) memory; its seqlock validation then discards the
+  /// result.
+  bool retain_retired_regions = false;
 };
 
 struct StringMapStats {
@@ -100,9 +108,38 @@ class PersistentStringMap {
 
   void close();
 
- private:
+  /// Test hook: drop the mapping WITHOUT marking the map clean, exactly
+  /// as a crash would. A file-backed map abandoned this way reopens
+  /// through the recovery path (mmap writes are in the page cache, so the
+  /// file holds everything stored before the "crash").
+  void abandon();
+
   using Table = hash::GroupHashTable<hash::Cell32, nvm::DirectPM>;
   using Arena = nvm::PersistentArena<nvm::DirectPM>;
+
+  /// MD5 fingerprint a key is indexed under (pure; public for the
+  /// concurrent wrapper's lock-free read path).
+  static Key128 fingerprint(std::string_view key);
+
+  /// Immutable probing snapshot for optimistic readers: the table's cell
+  /// arrays plus the arena's data window. Taken under the writer lock by
+  /// the concurrent wrapper; stays dereferenceable (if stale) across
+  /// compactions when retain_retired_regions is set.
+  struct ReadSnapshot {
+    const hash::Cell32* tab1 = nullptr;
+    const hash::Cell32* tab2 = nullptr;
+    u64 mask = 0;
+    u32 group_size = 1;
+    u64 seed = 0;
+    const std::byte* arena_data = nullptr;
+    u64 arena_capacity = 0;
+  };
+  [[nodiscard]] ReadSnapshot read_snapshot() const;
+
+  /// Regions retired by compaction while retain_retired_regions is set.
+  [[nodiscard]] usize retired_region_count() const { return retired_regions_.size(); }
+
+ private:
 
   struct Superblock;
   struct Record {
@@ -123,11 +160,11 @@ class PersistentStringMap {
   /// Appends a (value, key) record; nullopt when the arena is full.
   std::optional<u64> append_record(std::string_view key, u64 value);
   void rebuild(u64 new_cells, usize new_arena_bytes);
-  static Key128 fingerprint(std::string_view key);
 
   std::string path_;
   StringMapOptions options_;
   nvm::NvmRegion region_;
+  std::vector<nvm::NvmRegion> retired_regions_;
   std::unique_ptr<nvm::DirectPM> pm_;
   std::optional<Table> table_;
   std::optional<Arena> arena_;

@@ -81,6 +81,11 @@ class PersistentArena {
   [[nodiscard]] u64 capacity() const { return header_->capacity; }
   [[nodiscard]] u64 remaining() const { return header_->capacity - header_->head; }
 
+  /// Base of the data bytes, for optimistic readers that bounds-check
+  /// offsets themselves instead of going through read()'s head check
+  /// (a stale reader's head may lag its offset; see concurrent_string_map).
+  [[nodiscard]] const std::byte* data() const { return data_; }
+
  private:
   PM* pm_;
   Header* header_ = nullptr;

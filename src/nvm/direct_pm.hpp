@@ -37,8 +37,14 @@ class DirectPM {
   explicit DirectPM(PersistConfig config = PersistConfig::emulated_nvm())
       : config_(config) {}
 
+  /// Ordinary 8-byte store. Issued as a release atomic so the optimistic
+  /// lock-free readers (core/optimistic_read.hpp) can load the same words
+  /// with acquire semantics without a data race: any value a reader
+  /// obtains this way carries happens-before with everything the writer
+  /// stored earlier (e.g. arena record bytes behind a published offset).
+  /// On x86 this compiles to the same plain mov as before.
   void store_u64(u64* dst, u64 v) {
-    *dst = v;
+    std::atomic_ref<u64>(*dst).store(v, std::memory_order_release);
     stats_.stores++;
     stats_.bytes_written += sizeof(u64);
   }

@@ -8,8 +8,9 @@
 // racing on a plain u64.
 //
 // AtomicCounter — exact counter (fetch_add). Used where correctness
-// depends on the value (the table's logical count), where the per-op cost
-// of one lock-prefixed add is irrelevant.
+// depends on the value (the table's logical count) or where tests assert
+// on it (the seqlock contention counters in util/seqlock.hpp), and where
+// the per-op cost of one lock-prefixed add is irrelevant.
 #pragma once
 
 #include <atomic>
@@ -67,6 +68,10 @@ class AtomicCounter {
     v_.fetch_add(d, std::memory_order_relaxed);
     return *this;
   }
+
+  /// Atomically zero the counter and return the previous value (interval
+  /// sampling: per-phase contention deltas in benches/tests).
+  u64 reset() { return v_.exchange(0, std::memory_order_relaxed); }
 
   [[nodiscard]] u64 load() const { return v_.load(std::memory_order_relaxed); }
   operator u64() const { return load(); }  // NOLINT(google-explicit-constructor)

@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/inspect.hpp"
+
 namespace gh {
 namespace {
 
@@ -103,6 +105,76 @@ TEST(ConcurrentGroupHashMapWide, WideKeysWork) {
 
 TEST(ConcurrentGroupHashMap, RejectsNonPowerOfTwoShards) {
   EXPECT_DEATH(ConcurrentGroupHashMap(6, {}), "power of two");
+}
+
+// Regression: the shard split used to floor-divide initial_cells, so a
+// request not divisible by the shard count silently lost capacity (e.g.
+// 1000 cells / 16 shards -> 62 per shard = 992 total). The ceiling divide
+// must guarantee the summed capacity covers the request.
+TEST(ConcurrentGroupHashMap, ShardCapacityRoundsUpNotDown) {
+  for (const usize shards : {2u, 4u, 8u, 16u}) {
+    for (const u64 requested : {100ull, 1000ull, 4097ull, 10000ull}) {
+      ConcurrentGroupHashMap map(shards, {.initial_cells = requested});
+      EXPECT_GE(map.capacity(), requested)
+          << shards << " shards, " << requested << " cells requested";
+    }
+  }
+}
+
+TEST(ConcurrentGroupHashMap, PessimisticModeMatchesSemantics) {
+  ConcurrentGroupHashMap map(4, {.initial_cells = 1024}, LockMode::kPessimistic);
+  EXPECT_EQ(map.lock_mode(), LockMode::kPessimistic);
+  for (u64 k = 1; k <= 500; ++k) map.put(k, k * 7);
+  for (u64 k = 1; k <= 500; ++k) EXPECT_EQ(*map.get(k), k * 7);
+  EXPECT_FALSE(map.get(501).has_value());
+  // The optimistic machinery is bypassed entirely.
+  EXPECT_EQ(map.contention().read_retries.load(), 0u);
+  EXPECT_EQ(map.contention().read_fallbacks.load(), 0u);
+}
+
+TEST(ConcurrentGroupHashMap, UncontendedReadsNeverRetry) {
+  ConcurrentGroupHashMap map(4, {.initial_cells = 1024});
+  for (u64 k = 1; k <= 200; ++k) map.put(k, k);
+  for (u64 k = 1; k <= 200; ++k) EXPECT_EQ(*map.get(k), k);
+  const LockContention total = map.contention();
+  EXPECT_EQ(total.read_retries.load(), 0u);
+  EXPECT_EQ(total.read_fallbacks.load(), 0u);
+}
+
+TEST(ConcurrentGroupHashMap, ReadsSurviveExpansion) {
+  // Tiny shards force repeated expansion while a reader hammers existing
+  // keys: views must be republished and stale ones stay dereferenceable.
+  ConcurrentGroupHashMap map(2, {.initial_cells = 128});
+  for (u64 k = 1; k <= 64; ++k) map.put(k, k * 11);
+  std::atomic<bool> stop{false};
+  std::atomic<u64> read_errors{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (u64 k = 1; k <= 64; ++k) {
+        const auto v = map.get(k);
+        if (!v.has_value() || *v != k * 11) read_errors.fetch_add(1);
+      }
+    }
+  });
+  for (u64 k = 65; k <= 20000; ++k) map.put(k, k * 11);
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(read_errors.load(), 0u);
+  for (u64 k = 1; k <= 20000; ++k) ASSERT_EQ(*map.get(k), k * 11) << k;
+}
+
+TEST(ConcurrentGroupHashMap, InspectShardsAggregates) {
+  ConcurrentGroupHashMap map(4, {.initial_cells = 2048});
+  for (u64 k = 1; k <= 1000; ++k) map.put(k, k);
+  auto report = inspect_shards(map);
+  ASSERT_EQ(report.shards.size(), 4u);
+  EXPECT_EQ(report.total_occupied, 1000u);
+  EXPECT_EQ(report.total_torn_cells, 0u);
+  EXPECT_GE(report.total_capacity, 2048u);
+  EXPECT_TRUE(report.clean());
+  u64 summed = 0;
+  for (const auto& s : report.shards) summed += s.table.scanned_occupied;
+  EXPECT_EQ(summed, 1000u);
 }
 
 }  // namespace

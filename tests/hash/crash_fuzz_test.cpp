@@ -29,6 +29,7 @@ struct FuzzCase {
   Scheme scheme;
   bool with_wal;
   u64 seed;
+  bool wide = false;  ///< 32-byte cells (Key128 + tag commit protocol)
 };
 
 std::string case_name(const ::testing::TestParamInfo<FuzzCase>& info) {
@@ -37,6 +38,7 @@ std::string case_name(const ::testing::TestParamInfo<FuzzCase>& info) {
     if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
   }
   name += info.param.with_wal ? "_L" : "";
+  name += info.param.wide ? "_W" : "";
   name += "_s" + std::to_string(info.param.seed);
   return name;
 }
@@ -50,6 +52,7 @@ class CrashFuzz : public ::testing::TestWithParam<FuzzCase> {
     cfg.group_size = 16;
     cfg.with_wal = GetParam().with_wal;
     cfg.wal_records = 256;
+    cfg.wide_cells = GetParam().wide;
     return cfg;
   }
 
@@ -179,9 +182,19 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(FuzzCase{Scheme::kGroup, false, 1}, FuzzCase{Scheme::kGroup, false, 2},
                       FuzzCase{Scheme::kGroup, false, 3},
                       FuzzCase{Scheme::kGroup2H, false, 1},
+                      FuzzCase{Scheme::kGroup2H, false, 2},
+                      FuzzCase{Scheme::kGroup2H, false, 3},
+                      FuzzCase{Scheme::kGroup2H, true, 1},
                       FuzzCase{Scheme::kGroup, true, 1},
                       FuzzCase{Scheme::kLinear, true, 1}, FuzzCase{Scheme::kLinear, true, 2},
-                      FuzzCase{Scheme::kPfht, true, 1}, FuzzCase{Scheme::kPath, true, 1}),
+                      FuzzCase{Scheme::kPfht, true, 1}, FuzzCase{Scheme::kPath, true, 1},
+                      // Wide (Key128) cells: the tag-based commit word has
+                      // its own torn-state space; fuzz it on both group
+                      // variants (these feed the string map's Cell32 path).
+                      FuzzCase{Scheme::kGroup, false, 1, true},
+                      FuzzCase{Scheme::kGroup, false, 2, true},
+                      FuzzCase{Scheme::kGroup2H, false, 1, true},
+                      FuzzCase{Scheme::kGroup2H, false, 2, true}),
     case_name);
 
 }  // namespace
