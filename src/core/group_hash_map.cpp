@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/map_format.hpp"
+#include "nvm/fault_fs.hpp"
 #include "util/assert.hpp"
 
 namespace gh {
@@ -14,6 +15,10 @@ constexpr u64 kMapMagic = map_format::kMagic;
 constexpr u64 kMapVersion = map_format::kVersion;
 constexpr u64 kStateClean = map_format::kStateClean;
 constexpr u64 kStateDirty = map_format::kStateDirty;
+
+/// Suffix of the temp file expand() builds before the rename publish. A
+/// crash mid-publish can leave it behind; open() reclaims it.
+constexpr const char* kExpandSuffix = ".expand";
 
 u64 pow2_at_least(u64 v) {
   u64 p = 1;
@@ -69,7 +74,13 @@ void BasicGroupHashMap<Cell>::init_region(nvm::NvmRegion region, const MapOption
     if (sb->cell_size != sizeof(Cell)) {
       throw std::runtime_error("map was created with a different key width");
     }
-    GH_CHECK(region_.size() >= sb->table_offset + sb->table_bytes);
+    // Validate the published geometry before trusting it: a torn or
+    // forged superblock must fail the open, not index out of bounds.
+    if (sb->table_offset < kTableOffset || sb->table_bytes == 0 ||
+        sb->table_bytes > region_.size() ||
+        sb->table_offset > region_.size() - sb->table_bytes) {
+      throw std::runtime_error("GroupHashMap superblock is corrupt (table bounds)");
+    }
     table_.emplace(
         Table::attach(*pm_, region_.bytes().subspan(sb->table_offset, sb->table_bytes)));
     if (sb->state == kStateDirty) {
@@ -89,8 +100,16 @@ BasicGroupHashMap<Cell> BasicGroupHashMap<Cell>::create(const std::string& path,
   const u64 total_cells = pow2_at_least(std::max<u64>(options.initial_cells, 16));
   const usize table_bytes = Table::required_bytes(
       {.level_cells = total_cells / 2, .group_size = 1});
+  // A stale temp file from a crashed expand() of a previous map at this
+  // path must not survive into the new map's lifetime.
+  nvm::reclaim_orphan(path + kExpandSuffix);
   map.init_region(nvm::NvmRegion::create_file(path, kTableOffset + table_bytes), options,
                   /*fresh=*/true);
+  // Make the creation itself durable: the file's directory entry is not
+  // guaranteed to survive a power failure until its parent is fsynced.
+  if (!nvm::FaultFs::sync_dir(nvm::parent_dir(path))) {
+    throw std::runtime_error("failed to fsync parent directory of " + path);
+  }
   return map;
 }
 
@@ -112,6 +131,10 @@ BasicGroupHashMap<Cell> BasicGroupHashMap<Cell>::open(const std::string& path,
   BasicGroupHashMap map;
   map.path_ = path;
   map.options_ = options;
+  // A crashed expand() can leave a stale temp file behind. It is never
+  // the authoritative copy (only the rename publishes it), so reclaim it
+  // before trusting anything at `path`.
+  if (nvm::reclaim_orphan(path + kExpandSuffix)) map.orphans_reclaimed_++;
   map.init_region(nvm::NvmRegion::open_file(path), options, /*fresh=*/false);
   return map;
 }
@@ -133,6 +156,16 @@ void BasicGroupHashMap<Cell>::close() {
   if (!region_.valid() || closed_) return;
   mark_state(kStateClean);
   region_.sync();
+  closed_ = true;
+}
+
+template <class Cell>
+void BasicGroupHashMap<Cell>::abandon() {
+  if (!region_.valid() || closed_) return;
+  // No mark_state: the superblock stays dirty, exactly like a crash.
+  table_.reset();
+  region_ = nvm::NvmRegion();
+  retired_regions_.clear();
   closed_ = true;
 }
 
@@ -204,7 +237,7 @@ void BasicGroupHashMap<Cell>::expand() {
         .zero_memory = false};
     const usize table_bytes = Table::required_bytes(params);
     const bool file_backed = region_.file_backed();
-    const std::string tmp_path = path_ + ".expand";
+    const std::string tmp_path = path_ + kExpandSuffix;
     nvm::NvmRegion new_region =
         file_backed ? nvm::NvmRegion::create_file(tmp_path, kTableOffset + table_bytes)
                     : nvm::NvmRegion::create_anonymous(kTableOffset + table_bytes);
@@ -217,7 +250,7 @@ void BasicGroupHashMap<Cell>::expand() {
     if (!refill_ok) {
       // Pathological grouping in the bigger table; double again.
       new_total *= 2;
-      if (file_backed) std::remove(tmp_path.c_str());
+      if (file_backed) nvm::FaultFs::remove(tmp_path);
       continue;
     }
     // Publish the new table: superblock, sync, then atomically replace the
@@ -235,10 +268,11 @@ void BasicGroupHashMap<Cell>::expand() {
       pm_->persist(sb, sizeof(Superblock));
     }
     if (file_backed) {
-      new_region.sync();
-      if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
-        throw std::runtime_error("failed to publish expanded map file");
-      }
+      // write-back → rename → fsync(parent): the shared durable publish
+      // protocol (src/nvm/fault_fs.hpp). Unlinks the temp file before
+      // throwing on failure; a SimulatedCrash propagates untouched.
+      nvm::publish_region_file(new_region, tmp_path, path_,
+                               "failed to publish expanded map file");
     }
     // Preserve operation statistics across the rebuild.
     new_table.stats() = table().stats();

@@ -137,6 +137,16 @@ class BasicGroupHashMap {
   /// explicitly makes shutdown errors observable.
   void close();
 
+  /// Test hook: drop the mapping WITHOUT marking the map clean, exactly
+  /// as a crash would. A file-backed map abandoned this way reopens
+  /// through the recovery path (mmap writes are in the page cache, so the
+  /// file holds everything stored before the "crash").
+  void abandon();
+
+  /// Stale `.expand` temp files (from a crashed publish) that open()
+  /// reclaimed before trusting the map file.
+  [[nodiscard]] u64 orphans_reclaimed_on_open() const { return orphans_reclaimed_; }
+
  private:
   struct Superblock;
 
@@ -157,6 +167,7 @@ class BasicGroupHashMap {
   std::unique_ptr<nvm::DirectPM> pm_;
   std::optional<Table> table_;
   MapMetrics metrics_;
+  u64 orphans_reclaimed_ = 0;
   bool recovered_on_open_ = false;
   bool closed_ = false;
 };

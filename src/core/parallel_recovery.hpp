@@ -23,6 +23,10 @@ namespace gh {
 struct ParallelRecoveryResult {
   hash::RecoveryReport report;
   u32 threads_used = 0;
+  /// Merged NVM traffic of every worker policy (scrub stores, flushes,
+  /// fences, injected latency). Also folded into the table's own policy
+  /// stats, so recovery cost accounting matches the sequential path.
+  nvm::PersistStats persist;
 };
 
 /// Recover `table` using up to `threads` workers (0 = hardware
@@ -35,21 +39,27 @@ ParallelRecoveryResult parallel_recover(
   const u64 level_cells = table.level_cells();
   threads = static_cast<u32>(std::min<u64>(threads, std::max<u64>(1, level_cells / 1024)));
   if (threads <= 1) {
-    ParallelRecoveryResult r{table.recover(), 1};
+    // Sequential fallback: traffic lands directly in the table's own
+    // policy (as recover() always does), so `persist` stays zero here.
+    ParallelRecoveryResult r;
+    r.report = table.recover();
+    r.threads_used = 1;
     return r;
   }
 
   const nvm::PersistConfig config = table.pm().config();
   std::vector<hash::RecoveryReport> slices(threads);
+  std::vector<nvm::PersistStats> worker_stats(threads);
   std::vector<std::thread> workers;
   workers.reserve(threads);
   const u64 chunk = (level_cells + threads - 1) / threads;
   for (u32 t = 0; t < threads; ++t) {
-    workers.emplace_back([&table, &slices, config, t, chunk, level_cells] {
+    workers.emplace_back([&table, &slices, &worker_stats, config, t, chunk, level_cells] {
       const u64 begin = t * chunk;
       const u64 end = std::min(level_cells, begin + chunk);
       nvm::DirectPM worker_pm(config);
       if (begin < end) slices[t] = table.recover_slice(begin, end, worker_pm);
+      worker_stats[t] = worker_pm.stats();
     });
   }
   for (auto& w : workers) w.join();
@@ -61,6 +71,11 @@ ParallelRecoveryResult parallel_recover(
     result.report.cells_scrubbed += s.cells_scrubbed;
     result.report.recovered_count += s.recovered_count;
   }
+  for (const auto& s : worker_stats) result.persist += s;
+  // Fold worker traffic into the table's own policy so the map-level
+  // metrics see the same flush/fence totals the sequential recover()
+  // would have produced (plus the count publish below).
+  table.pm().stats() += result.persist;
   table.set_recovered_count(result.report.recovered_count);
   return result;
 }

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "nvm/fault_fs.hpp"
 #include "trace/md5.hpp"
 #include "util/assert.hpp"
 
@@ -15,6 +16,11 @@ constexpr u64 kVersion = 1;
 constexpr u64 kStateClean = 0x636c65616eull;
 constexpr u64 kStateDirty = 0x6469727479ull;
 constexpr usize kSuperblockBytes = 4096;
+
+/// Suffix of the temp file rebuild() (compaction) builds before the
+/// rename publish. A crash mid-publish can leave it behind; open()
+/// reclaims it.
+constexpr const char* kCompactSuffix = ".compact";
 
 /// Arena record layout: value (u64) | key_len (u64) | key bytes.
 constexpr usize kRecordHeaderBytes = 2 * sizeof(u64);
@@ -84,7 +90,16 @@ void PersistentStringMap::init_region(nvm::NvmRegion region,
     Superblock* sb = superblock();
     if (sb->magic != kMagic) throw std::runtime_error("not a PersistentStringMap file");
     if (sb->version != kVersion) throw std::runtime_error("unsupported string-map version");
-    GH_CHECK(region_.size() >= sb->table_offset + sb->table_bytes);
+    // Validate the published geometry before trusting it: a torn or
+    // forged superblock must fail the open, not index out of bounds.
+    if (sb->arena_offset < kSuperblockBytes || sb->arena_bytes == 0 ||
+        sb->arena_bytes > region_.size() ||
+        sb->arena_offset > region_.size() - sb->arena_bytes ||
+        sb->table_offset < sb->arena_offset + sb->arena_bytes || sb->table_bytes == 0 ||
+        sb->table_bytes > region_.size() ||
+        sb->table_offset > region_.size() - sb->table_bytes) {
+      throw std::runtime_error("PersistentStringMap superblock is corrupt (layout bounds)");
+    }
     arena_.emplace(*pm_, region_.bytes().subspan(sb->arena_offset, sb->arena_bytes),
                    /*format=*/false);
     table_.emplace(
@@ -108,9 +123,17 @@ PersistentStringMap PersistentStringMap::create(const std::string& path,
       Arena::required_bytes(std::max<usize>(cells * options.arena_bytes_per_cell, 4096));
   const usize table_bytes =
       Table::required_bytes({.level_cells = cells / 2, .group_size = 1});
+  // A stale temp file from a crashed compaction of a previous map at
+  // this path must not survive into the new map's lifetime.
+  nvm::reclaim_orphan(path + kCompactSuffix);
   map.init_region(
       nvm::NvmRegion::create_file(path, kSuperblockBytes + arena_bytes + table_bytes),
       options, /*fresh=*/true);
+  // Make the creation itself durable: the file's directory entry is not
+  // guaranteed to survive a power failure until its parent is fsynced.
+  if (!nvm::FaultFs::sync_dir(nvm::parent_dir(path))) {
+    throw std::runtime_error("failed to fsync parent directory of " + path);
+  }
   return map;
 }
 
@@ -133,6 +156,10 @@ PersistentStringMap PersistentStringMap::open(const std::string& path,
   PersistentStringMap map;
   map.path_ = path;
   map.options_ = options;
+  // A crashed compaction can leave a stale temp file behind. It is never
+  // the authoritative copy (only the rename publishes it), so reclaim it
+  // before trusting anything at `path`.
+  if (nvm::reclaim_orphan(path + kCompactSuffix)) map.orphans_reclaimed_++;
   map.init_region(nvm::NvmRegion::open_file(path), options, /*fresh=*/false);
   return map;
 }
@@ -284,7 +311,7 @@ void PersistentStringMap::rebuild(u64 new_cells, usize new_arena_data_bytes) {
   const usize total = kSuperblockBytes + arena_bytes + table_bytes;
 
   const bool file_backed = region_.file_backed();
-  const std::string tmp_path = path_ + ".compact";
+  const std::string tmp_path = path_ + kCompactSuffix;
   nvm::NvmRegion new_region = file_backed ? nvm::NvmRegion::create_file(tmp_path, total)
                                           : nvm::NvmRegion::create_anonymous(total);
   Arena new_arena(*pm_, new_region.bytes().subspan(kSuperblockBytes, arena_bytes),
@@ -321,10 +348,11 @@ void PersistentStringMap::rebuild(u64 new_cells, usize new_arena_data_bytes) {
     pm_->persist(sb, sizeof(Superblock));
   }
   if (file_backed) {
-    new_region.sync();
-    if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
-      throw std::runtime_error("failed to publish compacted map file");
-    }
+    // write-back → rename → fsync(parent): the shared durable publish
+    // protocol (src/nvm/fault_fs.hpp). Unlinks the temp file before
+    // throwing on failure; a SimulatedCrash propagates untouched.
+    nvm::publish_region_file(new_region, tmp_path, path_,
+                             "failed to publish compacted map file");
   }
   table_.emplace(std::move(new_table));
   arena_.emplace(std::move(new_arena));

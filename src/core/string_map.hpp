@@ -139,6 +139,10 @@ class PersistentStringMap {
   /// Regions retired by compaction while retain_retired_regions is set.
   [[nodiscard]] usize retired_region_count() const { return retired_regions_.size(); }
 
+  /// Stale `.compact` temp files (from a crashed publish) that open()
+  /// reclaimed before trusting the map file.
+  [[nodiscard]] u64 orphans_reclaimed_on_open() const { return orphans_reclaimed_; }
+
  private:
 
   struct Superblock;
@@ -170,6 +174,7 @@ class PersistentStringMap {
   std::optional<Arena> arena_;
   u64 compactions_ = 0;
   u64 recoveries_ = 0;
+  u64 orphans_reclaimed_ = 0;
   bool recovered_on_open_ = false;
   bool closed_ = false;
 };

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "nvm/fault_fs.hpp"
 #include "util/assert.hpp"
 
 namespace gh::nvm {
@@ -37,6 +38,7 @@ NvmRegion NvmRegion::create_anonymous(usize bytes) {
 }
 
 NvmRegion NvmRegion::create_file(const std::string& path, usize bytes) {
+  FaultFs::notify_create(path);  // fault-injection step boundary
   const usize size = page_round(bytes);
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) throw_errno("open(" + path + ")");
@@ -95,6 +97,7 @@ NvmRegion::~NvmRegion() {
 
 void NvmRegion::sync() {
   if (data_ != nullptr && fd_ >= 0) {
+    FaultFs::notify_sync(path_);  // fault-injection step boundary
     GH_CHECK(::msync(data_, size_, MS_SYNC) == 0);
   }
 }

@@ -83,6 +83,59 @@ TEST_F(ParallelRecoveryTest, SmallTablesFallBackToSequential) {
   EXPECT_EQ(r.report.recovered_count, 1u);
 }
 
+// Regression: worker DirectPMs used to be dropped on join, silently
+// discarding the scrub traffic — parallel recovery looked free in the
+// flush/fence accounting while sequential recovery did not.
+TEST_F(ParallelRecoveryTest, PersistAccountingMatchesSequential) {
+  // Two identically-built tables: recover one sequentially and one in
+  // parallel, and require identical NVM-traffic deltas.
+  const Table::Params p{.level_cells = 1 << 13, .group_size = 64};
+  nvm::NvmRegion region_seq = nvm::NvmRegion::create_anonymous(Table::required_bytes(p));
+  nvm::NvmRegion region_par = nvm::NvmRegion::create_anonymous(Table::required_bytes(p));
+  nvm::DirectPM pm_seq{nvm::PersistConfig::counting_only()};
+  nvm::DirectPM pm_par{nvm::PersistConfig::counting_only()};
+  Table seq(pm_seq, region_seq.bytes().first(Table::required_bytes(p)), p, true);
+  Table par(pm_par, region_par.bytes().first(Table::required_bytes(p)), p, true);
+  for (const auto& [table, region] : {std::pair{&seq, &region_seq}, {&par, &region_par}}) {
+    Xoshiro256 rng(11);
+    while (table->load_factor() < 0.4) {
+      table->insert(rng.next_below(1ull << 40) + 1, rng.next());
+    }
+    auto* cells = reinterpret_cast<hash::Cell16*>(region->data() + 64);
+    usize forged = 0;
+    for (usize i = 0; forged < 23; ++i) {
+      if (!cells[i].occupied() && !cells[i].payload_dirty()) {
+        cells[i].value = 0xbad0000 + i;
+        ++forged;
+      }
+    }
+  }
+
+  const nvm::PersistStats seq_before = pm_seq.stats();
+  const auto seq_report = seq.recover();
+  const nvm::PersistStats par_before = pm_par.stats();
+  const auto par_result = parallel_recover(par, 4);
+  ASSERT_GT(par_result.threads_used, 1u);
+  ASSERT_EQ(par_result.report.cells_scrubbed, seq_report.cells_scrubbed);
+
+  // The merged worker traffic is visible in the result...
+  EXPECT_GT(par_result.persist.persist_calls.load(), 0u);
+  EXPECT_GE(par_result.persist.persist_calls.load(),
+            par_result.report.cells_scrubbed);
+  // ...and folded into the table's own policy, making the end-to-end
+  // deltas identical to the sequential path.
+  EXPECT_EQ(pm_par.stats().persist_calls - par_before.persist_calls,
+            pm_seq.stats().persist_calls - seq_before.persist_calls);
+  EXPECT_EQ(pm_par.stats().lines_flushed - par_before.lines_flushed,
+            pm_seq.stats().lines_flushed - seq_before.lines_flushed);
+  EXPECT_EQ(pm_par.stats().stores - par_before.stores,
+            pm_seq.stats().stores - seq_before.stores);
+  EXPECT_EQ(pm_par.stats().bytes_written - par_before.bytes_written,
+            pm_seq.stats().bytes_written - seq_before.bytes_written);
+  EXPECT_EQ(pm_par.stats().fences - par_before.fences,
+            pm_seq.stats().fences - seq_before.fences);
+}
+
 TEST_F(ParallelRecoveryTest, ThreadCountVariantsAgree) {
   for (const u32 threads : {2u, 3u, 5u, 8u}) {
     auto& t = init(1 << 13);

@@ -1,0 +1,420 @@
+// Crash-at-every-publish-step recovery for the whole-file rebuild paths.
+//
+// expand() (GroupHashMap) and compact() (PersistentStringMap) publish a
+// rebuilt map with: tmp create → write-back (msync) → rename →
+// fsync(parent dir). Those steps live in the filesystem, outside the
+// ShadowPM crash simulator, so this suite drives them through FaultFs
+// (src/nvm/fault_fs.hpp) instead:
+//
+//   1. a record run traces every filesystem step the operation performs;
+//   2. one trial per step boundary replays the identical operation and
+//      crashes (SimulatedCrash) before that step, leaving exactly the
+//      directory state a power failure there would leave;
+//   3. the map is reopened and must equal a sequential oracle, with zero
+//      leaked temp files.
+//
+// A crash before the write-back additionally gets a "torn temp file"
+// variant: the temp file's content is overwritten with garbage (a real
+// power failure there loses the page-cache writes), and open() must
+// still reclaim it and trust only the published file. Injected *step
+// failures* (syscall errors, process survives) exercise the cleanup
+// paths: a failed rename must unlink the temp file before throwing and
+// leave the map fully usable.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/group_hash_map.hpp"
+#include "core/string_map.hpp"
+#include "nvm/fault_fs.hpp"
+
+namespace gh {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+void write_junk_file(const std::string& path, usize bytes = 4096) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good());
+  for (usize i = 0; i < bytes; ++i) out.put(static_cast<char>(0xCB));
+}
+
+/// Overwrite an existing file's content with garbage, preserving its
+/// size: the directory state of a crash that lost the write-back.
+void corrupt_file(const std::string& path) {
+  const auto size = fs::file_size(path);
+  std::ofstream out(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(out.good());
+  for (uintmax_t i = 0; i < size; ++i) out.put(static_cast<char>(0xCB));
+}
+
+// ---------------------------------------------------------------------------
+// GroupHashMap::expand()
+
+constexpr u64 kExpandKeys = 300;  // forces several expansions from 64 cells
+u64 gh_key(u64 i) { return 2 * i + 1; }
+u64 gh_value(u64 i) { return i * 31 + 7; }
+
+MapOptions small_map_options() {
+  return {.initial_cells = 64, .group_size = 8, .flush_latency_ns = 0};
+}
+
+/// Runs the deterministic expand workload under `policy`. Returns the
+/// number of puts committed before a SimulatedCrash (kExpandKeys when
+/// none fired).
+u64 run_expand_workload(const std::string& path, nvm::CrashScheduleFs& policy) {
+  auto map = GroupHashMap::create(path, small_map_options());
+  const nvm::ScopedFsPolicy installed(&policy);
+  u64 committed = 0;
+  for (u64 i = 0; i < kExpandKeys; ++i) {
+    try {
+      map.put(gh_key(i), gh_value(i));
+    } catch (const nvm::SimulatedCrash&) {
+      map.abandon();
+      return committed;
+    }
+    committed = i + 1;
+  }
+  map.abandon();
+  return committed;
+}
+
+TEST(PublishCrash, ExpandCrashAtEveryStepRecoversToOracle) {
+  const std::string path = temp_path("gh_publish_crash_expand.gh");
+  const std::string tmp = path + ".expand";
+  fs::remove(path);
+  fs::remove(tmp);
+
+  // Record run: trace the full schedule, no crashes.
+  nvm::CrashScheduleFs recorder;
+  ASSERT_EQ(run_expand_workload(path, recorder), kExpandKeys);
+  const auto schedule = recorder.trace;
+  ASSERT_GE(schedule.size(), 4u) << "workload must trigger at least one expansion";
+  ASSERT_EQ(schedule.size() % 4, 0u);
+  for (usize i = 0; i < schedule.size(); i += 4) {
+    // Each expansion is exactly the durable publish protocol, in order.
+    EXPECT_EQ(schedule[i + 0].op, nvm::FsOp::kCreate);
+    EXPECT_EQ(schedule[i + 1].op, nvm::FsOp::kSyncData);
+    EXPECT_EQ(schedule[i + 2].op, nvm::FsOp::kRename);
+    EXPECT_EQ(schedule[i + 3].op, nvm::FsOp::kSyncDir);
+    EXPECT_EQ(schedule[i + 0].path, tmp);
+    EXPECT_EQ(schedule[i + 2].path, tmp);
+    EXPECT_EQ(schedule[i + 2].path2, path);
+  }
+
+  // One trial per step boundary; crash-before-kSyncData additionally
+  // runs a torn-temp-file variant.
+  for (usize k = 0; k < schedule.size(); ++k) {
+    const bool torn_variant_too = schedule[k].op == nvm::FsOp::kSyncData;
+    for (const bool torn : {false, true}) {
+      if (torn && !torn_variant_too) continue;
+      SCOPED_TRACE("crash before step " + std::to_string(k) + " (" +
+                   nvm::to_string(schedule[k].op) + (torn ? ", torn tmp)" : ")"));
+      fs::remove(path);
+      fs::remove(tmp);
+
+      nvm::CrashScheduleFs policy;
+      policy.crash_at = k;
+      const u64 committed = run_expand_workload(path, policy);
+      ASSERT_LT(committed, kExpandKeys) << "schedule replay must crash";
+      if (torn) {
+        ASSERT_TRUE(fs::exists(tmp));
+        corrupt_file(tmp);
+      }
+
+      auto map = GroupHashMap::open(path);
+      EXPECT_FALSE(fs::exists(tmp)) << "open() must reclaim the orphan";
+      EXPECT_TRUE(map.recovered_on_open());
+      EXPECT_EQ(map.size(), committed);
+      for (u64 i = 0; i < committed; ++i) {
+        const auto got = map.get(gh_key(i));
+        ASSERT_TRUE(got.has_value()) << "key " << i;
+        EXPECT_EQ(*got, gh_value(i)) << "key " << i;
+      }
+      EXPECT_FALSE(map.get(gh_key(committed)).has_value())
+          << "the interrupted put must not have half-landed";
+
+      // The reopened map must keep working, including further expansions.
+      for (u64 i = committed; i < kExpandKeys; ++i) map.put(gh_key(i), gh_value(i));
+      EXPECT_EQ(map.size(), kExpandKeys);
+      map.close();
+    }
+  }
+  fs::remove(path);
+}
+
+TEST(PublishCrash, ExpandRenameFailureCleansTempAndKeepsMapUsable) {
+  const std::string path = temp_path("gh_publish_fail_expand.gh");
+  const std::string tmp = path + ".expand";
+  fs::remove(path);
+  fs::remove(tmp);
+
+  nvm::CrashScheduleFs recorder;
+  ASSERT_EQ(run_expand_workload(path, recorder), kExpandKeys);
+  usize first_rename = 0;
+  while (recorder.trace[first_rename].op != nvm::FsOp::kRename) first_rename++;
+
+  fs::remove(path);
+  fs::remove(tmp);
+  auto map = GroupHashMap::create(path, small_map_options());
+  nvm::CrashScheduleFs policy;
+  policy.fail_at = first_rename;
+  u64 committed = 0;
+  bool threw = false;
+  {
+    const nvm::ScopedFsPolicy installed(&policy);
+    for (u64 i = 0; i < kExpandKeys; ++i) {
+      try {
+        map.put(gh_key(i), gh_value(i));
+        committed = i + 1;
+      } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("publish expanded"), std::string::npos)
+            << e.what();
+        threw = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(threw);
+  EXPECT_FALSE(fs::exists(tmp)) << "failed publish must not leak the temp file";
+
+  // The process survived: the map still runs on the old table and the
+  // failed put can simply be retried now that the fault is gone.
+  for (u64 i = 0; i < committed; ++i) EXPECT_EQ(*map.get(gh_key(i)), gh_value(i));
+  for (u64 i = committed; i < kExpandKeys; ++i) map.put(gh_key(i), gh_value(i));
+  EXPECT_EQ(map.size(), kExpandKeys);
+  map.close();
+  fs::remove(path);
+}
+
+TEST(PublishCrash, OpenReclaimsStaleExpandOrphan) {
+  const std::string path = temp_path("gh_orphan_expand.gh");
+  const std::string tmp = path + ".expand";
+  fs::remove(path);
+  fs::remove(tmp);
+  {
+    auto map = GroupHashMap::create(path, small_map_options());
+    for (u64 i = 0; i < 20; ++i) map.put(gh_key(i), gh_value(i));
+    map.close();
+  }
+  write_junk_file(tmp);
+  {
+    auto map = GroupHashMap::open(path);
+    EXPECT_EQ(map.orphans_reclaimed_on_open(), 1u);
+    EXPECT_FALSE(fs::exists(tmp));
+    EXPECT_EQ(map.size(), 20u);
+    for (u64 i = 0; i < 20; ++i) EXPECT_EQ(*map.get(gh_key(i)), gh_value(i));
+    map.close();
+  }
+  // create() over the same path also clears a stale orphan.
+  write_junk_file(tmp);
+  {
+    auto map = GroupHashMap::create(path, small_map_options());
+    EXPECT_FALSE(fs::exists(tmp));
+    map.close();
+  }
+  fs::remove(path);
+}
+
+TEST(PublishCrash, CrashDuringOrphanReclaimIsIdempotent) {
+  const std::string path = temp_path("gh_orphan_crash.gh");
+  const std::string tmp = path + ".expand";
+  fs::remove(path);
+  fs::remove(tmp);
+  {
+    auto map = GroupHashMap::create(path, small_map_options());
+    map.put(gh_key(1), gh_value(1));
+    map.close();
+  }
+  write_junk_file(tmp);
+  {
+    nvm::CrashScheduleFs policy;
+    policy.crash_at = 0;  // the kRemove of the orphan
+    const nvm::ScopedFsPolicy installed(&policy);
+    EXPECT_THROW((void)GroupHashMap::open(path), nvm::SimulatedCrash);
+  }
+  EXPECT_TRUE(fs::exists(tmp)) << "crash before the unlink leaves the orphan";
+  auto map = GroupHashMap::open(path);
+  EXPECT_FALSE(fs::exists(tmp));
+  EXPECT_EQ(*map.get(gh_key(1)), gh_value(1));
+  map.close();
+  fs::remove(path);
+}
+
+TEST(PublishCrash, CorruptSuperblockIsRejectedNotTrusted) {
+  const std::string path = temp_path("gh_corrupt_sb.gh");
+  fs::remove(path);
+  {
+    auto map = GroupHashMap::create(path, small_map_options());
+    map.put(gh_key(1), gh_value(1));
+    map.close();
+  }
+  // Forge table bounds that point past the mapped file. The magic and
+  // version stay valid, so only the geometry validation can catch it.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    const u64 huge = 1ull << 40;
+    f.seekp(5 * sizeof(u64));  // Superblock::table_bytes
+    f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  }
+  EXPECT_THROW((void)GroupHashMap::open(path), std::runtime_error);
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// PersistentStringMap::compact()
+
+StringMapOptions small_string_options() {
+  return {.initial_cells = 64, .group_size = 8, .flush_latency_ns = 0};
+}
+
+std::string sm_key(u64 i) { return "key-" + std::to_string(i); }
+
+/// Builds the deterministic pre-compaction state: 40 keys live, 20
+/// erased (arena garbage for the compaction to reclaim).
+std::map<std::string, u64> build_string_map(PersistentStringMap& map) {
+  std::map<std::string, u64> oracle;
+  for (u64 i = 0; i < 60; ++i) {
+    map.put(sm_key(i), i * 13 + 1);
+    oracle[sm_key(i)] = i * 13 + 1;
+  }
+  for (u64 i = 0; i < 60; i += 3) {
+    map.erase(sm_key(i));
+    oracle.erase(sm_key(i));
+  }
+  return oracle;
+}
+
+void verify_string_map(PersistentStringMap& map, const std::map<std::string, u64>& oracle) {
+  EXPECT_EQ(map.size(), oracle.size());
+  for (const auto& [key, value] : oracle) {
+    const auto got = map.get(key);
+    ASSERT_TRUE(got.has_value()) << key;
+    EXPECT_EQ(*got, value) << key;
+  }
+}
+
+TEST(PublishCrash, CompactCrashAtEveryStepRecoversToOracle) {
+  const std::string path = temp_path("gh_publish_crash_compact.gh");
+  const std::string tmp = path + ".compact";
+  fs::remove(path);
+  fs::remove(tmp);
+
+  // Record run: a compaction is exactly one durable publish.
+  nvm::CrashScheduleFs recorder;
+  {
+    auto map = PersistentStringMap::create(path, small_string_options());
+    build_string_map(map);
+    const nvm::ScopedFsPolicy installed(&recorder);
+    map.compact();
+    map.abandon();
+  }
+  const auto schedule = recorder.trace;
+  ASSERT_EQ(schedule.size(), 4u);
+  EXPECT_EQ(schedule[0].op, nvm::FsOp::kCreate);
+  EXPECT_EQ(schedule[1].op, nvm::FsOp::kSyncData);
+  EXPECT_EQ(schedule[2].op, nvm::FsOp::kRename);
+  EXPECT_EQ(schedule[3].op, nvm::FsOp::kSyncDir);
+  EXPECT_EQ(schedule[2].path, tmp);
+  EXPECT_EQ(schedule[2].path2, path);
+
+  for (usize k = 0; k < schedule.size(); ++k) {
+    const bool torn_variant_too = schedule[k].op == nvm::FsOp::kSyncData;
+    for (const bool torn : {false, true}) {
+      if (torn && !torn_variant_too) continue;
+      SCOPED_TRACE("crash before step " + std::to_string(k) + " (" +
+                   nvm::to_string(schedule[k].op) + (torn ? ", torn tmp)" : ")"));
+      fs::remove(path);
+      fs::remove(tmp);
+
+      std::map<std::string, u64> oracle;
+      {
+        auto map = PersistentStringMap::create(path, small_string_options());
+        oracle = build_string_map(map);
+        nvm::CrashScheduleFs policy;
+        policy.crash_at = k;
+        const nvm::ScopedFsPolicy installed(&policy);
+        EXPECT_THROW(map.compact(), nvm::SimulatedCrash);
+        map.abandon();
+      }
+      if (torn) {
+        ASSERT_TRUE(fs::exists(tmp));
+        corrupt_file(tmp);
+      }
+
+      auto map = PersistentStringMap::open(path, small_string_options());
+      EXPECT_FALSE(fs::exists(tmp)) << "open() must reclaim the orphan";
+      EXPECT_TRUE(map.recovered_on_open());
+      verify_string_map(map, oracle);
+
+      // The reopened map keeps working — including a clean compaction.
+      map.compact();
+      verify_string_map(map, oracle);
+      EXPECT_FALSE(fs::exists(tmp));
+      map.close();
+    }
+  }
+  fs::remove(path);
+}
+
+TEST(PublishCrash, CompactRenameFailureCleansTempAndKeepsMapUsable) {
+  const std::string path = temp_path("gh_publish_fail_compact.gh");
+  const std::string tmp = path + ".compact";
+  fs::remove(path);
+  fs::remove(tmp);
+
+  auto map = PersistentStringMap::create(path, small_string_options());
+  const auto oracle = build_string_map(map);
+  {
+    nvm::CrashScheduleFs policy;
+    policy.fail_at = 2;  // the kRename step of the single publish
+    const nvm::ScopedFsPolicy installed(&policy);
+    try {
+      map.compact();
+      FAIL() << "compact() must surface the rename failure";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("publish compacted"), std::string::npos)
+          << e.what();
+    }
+  }
+  EXPECT_FALSE(fs::exists(tmp)) << "failed publish must not leak the temp file";
+  verify_string_map(map, oracle);
+  map.compact();  // fault gone: the retry succeeds
+  verify_string_map(map, oracle);
+  map.close();
+  fs::remove(path);
+}
+
+TEST(PublishCrash, StringMapOpenReclaimsStaleCompactOrphan) {
+  const std::string path = temp_path("gh_orphan_compact.gh");
+  const std::string tmp = path + ".compact";
+  fs::remove(path);
+  fs::remove(tmp);
+  std::map<std::string, u64> oracle;
+  {
+    auto map = PersistentStringMap::create(path, small_string_options());
+    oracle = build_string_map(map);
+    map.close();
+  }
+  write_junk_file(tmp);
+  {
+    auto map = PersistentStringMap::open(path, small_string_options());
+    EXPECT_EQ(map.orphans_reclaimed_on_open(), 1u);
+    EXPECT_FALSE(fs::exists(tmp));
+    verify_string_map(map, oracle);
+    map.close();
+  }
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace gh

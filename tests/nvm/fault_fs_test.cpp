@@ -1,0 +1,159 @@
+#include "nvm/fault_fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "nvm/region.hpp"
+
+namespace gh::nvm {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return (stdfs::temp_directory_path() / name).string();
+}
+
+void touch(const std::string& path, const std::string& content = "x") {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+}
+
+TEST(FaultFs, ParentDir) {
+  EXPECT_EQ(parent_dir("/a/b/c.gh"), "/a/b");
+  EXPECT_EQ(parent_dir("/c.gh"), "/");
+  EXPECT_EQ(parent_dir("c.gh"), ".");
+}
+
+TEST(FaultFs, StraightThroughWithoutPolicy) {
+  ASSERT_EQ(FaultFs::installed(), nullptr);
+  const std::string a = temp_path("faultfs_a");
+  const std::string b = temp_path("faultfs_b");
+  stdfs::remove(a);
+  stdfs::remove(b);
+  touch(a);
+  EXPECT_TRUE(FaultFs::rename(a, b));
+  EXPECT_FALSE(stdfs::exists(a));
+  EXPECT_TRUE(stdfs::exists(b));
+  EXPECT_TRUE(FaultFs::sync_dir(parent_dir(b)));
+  EXPECT_TRUE(FaultFs::remove(b));
+  EXPECT_FALSE(stdfs::exists(b));
+  EXPECT_FALSE(FaultFs::remove(b));  // already gone
+}
+
+TEST(FaultFs, PolicySeesStepsInOrderAndScopedInstallResets) {
+  const std::string a = temp_path("faultfs_steps_a");
+  const std::string b = temp_path("faultfs_steps_b");
+  stdfs::remove(a);
+  stdfs::remove(b);
+  touch(a);
+  CrashScheduleFs policy;
+  {
+    const ScopedFsPolicy installed(&policy);
+    ASSERT_EQ(FaultFs::installed(), &policy);
+    EXPECT_TRUE(FaultFs::rename(a, b));
+    EXPECT_TRUE(FaultFs::sync_dir(parent_dir(b)));
+    EXPECT_TRUE(FaultFs::remove(b));
+  }
+  EXPECT_EQ(FaultFs::installed(), nullptr);
+  ASSERT_EQ(policy.trace.size(), 3u);
+  EXPECT_EQ(policy.trace[0].op, FsOp::kRename);
+  EXPECT_EQ(policy.trace[0].path, a);
+  EXPECT_EQ(policy.trace[0].path2, b);
+  EXPECT_EQ(policy.trace[1].op, FsOp::kSyncDir);
+  EXPECT_EQ(policy.trace[2].op, FsOp::kRemove);
+  EXPECT_EQ(policy.trace[2].path, b);
+}
+
+TEST(FaultFs, FailAtSkipsTheOperation) {
+  const std::string a = temp_path("faultfs_fail_a");
+  const std::string b = temp_path("faultfs_fail_b");
+  stdfs::remove(a);
+  stdfs::remove(b);
+  touch(a);
+  CrashScheduleFs policy;
+  policy.fail_at = 0;
+  const ScopedFsPolicy installed(&policy);
+  EXPECT_FALSE(FaultFs::rename(a, b));
+  EXPECT_TRUE(stdfs::exists(a)) << "a failed rename must not move the file";
+  EXPECT_FALSE(stdfs::exists(b));
+  EXPECT_TRUE(FaultFs::rename(a, b));  // step 1: proceeds
+  stdfs::remove(b);
+}
+
+TEST(FaultFs, CrashAtThrowsBeforeTheOperation) {
+  const std::string a = temp_path("faultfs_crash_a");
+  stdfs::remove(a);
+  touch(a);
+  CrashScheduleFs policy;
+  policy.crash_at = 0;
+  const ScopedFsPolicy installed(&policy);
+  EXPECT_THROW((void)FaultFs::remove(a), SimulatedCrash);
+  EXPECT_TRUE(stdfs::exists(a)) << "the interrupted operation must not execute";
+  EXPECT_TRUE(FaultFs::remove(a));  // step 1: proceeds
+}
+
+TEST(FaultFs, RegionCreateAndSyncAreObserved) {
+  const std::string path = temp_path("faultfs_region.bin");
+  stdfs::remove(path);
+  CrashScheduleFs policy;
+  {
+    const ScopedFsPolicy installed(&policy);
+    NvmRegion region = NvmRegion::create_file(path, 4096);
+    std::memset(region.data(), 0x5A, 16);
+    region.sync();
+  }
+  ASSERT_EQ(policy.trace.size(), 2u);
+  EXPECT_EQ(policy.trace[0].op, FsOp::kCreate);
+  EXPECT_EQ(policy.trace[0].path, path);
+  EXPECT_EQ(policy.trace[1].op, FsOp::kSyncData);
+  EXPECT_EQ(policy.trace[1].path, path);
+  stdfs::remove(path);
+}
+
+TEST(FaultFs, PublishRegionFileHappyPath) {
+  const std::string tmp = temp_path("faultfs_pub.tmp");
+  const std::string final_path = temp_path("faultfs_pub.bin");
+  stdfs::remove(tmp);
+  stdfs::remove(final_path);
+  NvmRegion region = NvmRegion::create_file(tmp, 4096);
+  std::memset(region.data(), 0x7E, 64);
+  publish_region_file(region, tmp, final_path, "test publish");
+  EXPECT_FALSE(stdfs::exists(tmp));
+  ASSERT_TRUE(stdfs::exists(final_path));
+  std::ifstream in(final_path, std::ios::binary);
+  char c = 0;
+  in.get(c);
+  EXPECT_EQ(static_cast<unsigned char>(c), 0x7E);
+  stdfs::remove(final_path);
+}
+
+TEST(FaultFs, PublishRegionFileUnlinksTempOnRenameFailure) {
+  const std::string tmp = temp_path("faultfs_pubfail.tmp");
+  const std::string final_path = temp_path("faultfs_pubfail.bin");
+  stdfs::remove(tmp);
+  stdfs::remove(final_path);
+  NvmRegion region = NvmRegion::create_file(tmp, 4096);
+  CrashScheduleFs policy;
+  policy.fail_at = 1;  // steps under publish: 0=kSyncData, 1=kRename
+  const ScopedFsPolicy installed(&policy);
+  EXPECT_THROW(publish_region_file(region, tmp, final_path, "test publish"),
+               std::runtime_error);
+  EXPECT_FALSE(stdfs::exists(tmp)) << "failed publish must unlink the temp file";
+  EXPECT_FALSE(stdfs::exists(final_path));
+}
+
+TEST(FaultFs, ReclaimOrphan) {
+  const std::string path = temp_path("faultfs_orphan");
+  stdfs::remove(path);
+  EXPECT_FALSE(reclaim_orphan(path));
+  touch(path);
+  EXPECT_TRUE(reclaim_orphan(path));
+  EXPECT_FALSE(stdfs::exists(path));
+}
+
+}  // namespace
+}  // namespace gh::nvm
