@@ -20,6 +20,10 @@ constexpr u64 kStateDirty = map_format::kStateDirty;
 /// crash mid-publish can leave it behind; open() reclaims it.
 constexpr const char* kExpandSuffix = ".expand";
 
+/// Cap of the exponential expansion backoff, counted in placement-failure
+/// events absorbed between retries.
+constexpr u64 kMaxExpandBackoff = 64;
+
 u64 pow2_at_least(u64 v) {
   u64 p = 1;
   while (p < v) p <<= 1;
@@ -52,7 +56,8 @@ void BasicGroupHashMap<Cell>::init_region(nvm::NvmRegion region, const MapOption
             std::min<u64>(pow2_at_least(options.group_size), total_cells / 2)),
         .seed = options.hash_seed,
         // A fresh file (ftruncate) or anonymous mapping is already zero.
-        .zero_memory = false};
+        .zero_memory = false,
+        .group_crc = options.checksum_groups};
     const usize table_bytes = Table::required_bytes(params);
     GH_CHECK(region_.size() >= kTableOffset + table_bytes);
     table_.emplace(*pm_, region_.bytes().subspan(kTableOffset, table_bytes), params,
@@ -66,6 +71,7 @@ void BasicGroupHashMap<Cell>::init_region(nvm::NvmRegion region, const MapOption
     pm_->store_u64(&sb->table_bytes, table_bytes);
     pm_->store_u64(&sb->group_size, params.group_size);
     pm_->store_u64(&sb->seed, params.seed);
+    pm_->store_u64(&sb->crc, map_format::superblock_crc(*sb));
     pm_->persist(sb, sizeof(Superblock));
   } else {
     Superblock* sb = superblock();
@@ -74,8 +80,14 @@ void BasicGroupHashMap<Cell>::init_region(nvm::NvmRegion region, const MapOption
     if (sb->cell_size != sizeof(Cell)) {
       throw std::runtime_error("map was created with a different key width");
     }
-    // Validate the published geometry before trusting it: a torn or
-    // forged superblock must fail the open, not index out of bounds.
+    // The geometry must checksum before it is trusted: a bit-rot hit on
+    // the superblock fails the open with a typed message instead of
+    // mapping the table at forged bounds.
+    if (sb->crc != map_format::superblock_crc(*sb)) {
+      throw std::runtime_error("GroupHashMap superblock is corrupt (checksum mismatch)");
+    }
+    // Bounds validation stays as belt and braces (a *consistently*
+    // re-checksummed forgery still must not index out of range).
     if (sb->table_offset < kTableOffset || sb->table_bytes == 0 ||
         sb->table_bytes > region_.size() ||
         sb->table_offset > region_.size() - sb->table_bytes) {
@@ -86,6 +98,13 @@ void BasicGroupHashMap<Cell>::init_region(nvm::NvmRegion region, const MapOption
     if (sb->state == kStateDirty) {
       recover_now();
       recovered_on_open_ = true;
+    } else if (options.verify_on_open && table_->checksums_enabled()) {
+      // Clean shutdown: the group checksums are authoritative, so verify
+      // everything at rest before serving. (After a recovery they were
+      // just rebuilt over whatever the media holds — nothing to verify.)
+      open_scrub_ = table_->scrub_groups(
+          0, table_->num_groups(), [this](const hash::LostCell& c) { report_loss(c); },
+          options.scrub_mode);
     }
     mark_state(kStateDirty);
   }
@@ -99,7 +118,10 @@ BasicGroupHashMap<Cell> BasicGroupHashMap<Cell>::create(const std::string& path,
   map.options_ = options;
   const u64 total_cells = pow2_at_least(std::max<u64>(options.initial_cells, 16));
   const usize table_bytes = Table::required_bytes(
-      {.level_cells = total_cells / 2, .group_size = 1});
+      {.level_cells = total_cells / 2,
+       .group_size = static_cast<u32>(
+           std::min<u64>(pow2_at_least(options.group_size), total_cells / 2)),
+       .group_crc = options.checksum_groups});
   // A stale temp file from a crashed expand() of a previous map at this
   // path must not survive into the new map's lifetime.
   nvm::reclaim_orphan(path + kExpandSuffix);
@@ -119,7 +141,10 @@ BasicGroupHashMap<Cell> BasicGroupHashMap<Cell>::create_in_memory(const MapOptio
   map.options_ = options;
   const u64 total_cells = pow2_at_least(std::max<u64>(options.initial_cells, 16));
   const usize table_bytes = Table::required_bytes(
-      {.level_cells = total_cells / 2, .group_size = 1});
+      {.level_cells = total_cells / 2,
+       .group_size = static_cast<u32>(
+           std::min<u64>(pow2_at_least(options.group_size), total_cells / 2)),
+       .group_crc = options.checksum_groups});
   map.init_region(nvm::NvmRegion::create_anonymous(kTableOffset + table_bytes), options,
                   /*fresh=*/true);
   return map;
@@ -175,7 +200,10 @@ void BasicGroupHashMap<Cell>::put(const key_type& key, u64 value) {
   if (table().update(key, value)) return;
   while (!table().insert(key, value)) {
     if (!options_.auto_expand) throw std::runtime_error("GroupHashMap is full");
-    expand();
+    if (!try_expand()) {
+      throw MapDegradedError("GroupHashMap insert deferred: expansion failing (" +
+                             last_expand_error_ + "); will retry with backoff");
+    }
   }
 }
 
@@ -201,7 +229,10 @@ u64 BasicGroupHashMap<Cell>::increment(const key_type& key, u64 delta) {
   }
   while (!table().insert(key, delta)) {
     if (!options_.auto_expand) throw std::runtime_error("GroupHashMap is full");
-    expand();
+    if (!try_expand()) {
+      throw MapDegradedError("GroupHashMap insert deferred: expansion failing (" +
+                             last_expand_error_ + "); will retry with backoff");
+    }
   }
   return delta;
 }
@@ -220,6 +251,61 @@ hash::RecoveryReport BasicGroupHashMap<Cell>::recover_now() {
 }
 
 template <class Cell>
+void BasicGroupHashMap<Cell>::report_loss(const hash::LostCell& cell) {
+  if (options_.on_lost_cell) options_.on_lost_cell(cell);
+}
+
+template <class Cell>
+hash::ScrubReport BasicGroupHashMap<Cell>::scrub(u64 max_groups) {
+  hash::ScrubReport report;
+  const u64 ngroups = table().num_groups();
+  if (ngroups == 0 || !table().checksums_enabled()) return report;
+  // Wrap-around cursor: each call resumes where the last one stopped, so
+  // a periodic scrub(k) tick eventually covers the whole table.
+  u64 remaining = std::min(max_groups, ngroups);
+  while (remaining > 0) {
+    if (scrub_cursor_ >= ngroups) scrub_cursor_ = 0;
+    const u64 chunk = std::min(remaining, ngroups - scrub_cursor_);
+    report += table().scrub_groups(
+        scrub_cursor_, chunk, [this](const hash::LostCell& c) { report_loss(c); },
+        options_.scrub_mode);
+    scrub_cursor_ = (scrub_cursor_ + chunk) % ngroups;
+    remaining -= chunk;
+  }
+  return report;
+}
+
+template <class Cell>
+bool BasicGroupHashMap<Cell>::try_expand() {
+  if (expand_cooldown_ > 0) {
+    // Still backing off: absorb this placement failure without retrying.
+    expand_cooldown_--;
+    return false;
+  }
+  try {
+    expand();
+  } catch (const nvm::SimulatedCrash&) {
+    throw;  // a simulated power failure must freeze the world, not degrade
+  } catch (const std::exception& e) {
+    metrics_.expand_failures++;
+    expand_pending_ = true;
+    last_expand_error_ = e.what();
+    // The first failure keeps cooldown at zero — a transient fault (one
+    // full disk scan, a single ENOSPC blip) costs exactly one retried
+    // expansion. Only consecutive failures open a backoff window, and it
+    // doubles up to the cap from there.
+    expand_cooldown_ = expand_backoff_;
+    expand_backoff_ =
+        expand_backoff_ == 0 ? 1 : std::min<u64>(expand_backoff_ * 2, kMaxExpandBackoff);
+    return false;
+  }
+  expand_pending_ = false;
+  expand_backoff_ = 0;
+  expand_cooldown_ = 0;
+  return true;
+}
+
+template <class Cell>
 const MapMetrics& BasicGroupHashMap<Cell>::metrics() {
   metrics_.table = table().stats();
   metrics_.persist = pm_->stats();
@@ -234,7 +320,11 @@ void BasicGroupHashMap<Cell>::expand() {
         .level_cells = new_total / 2,
         .group_size = static_cast<u32>(std::min<u64>(table().group_size(), new_total / 2)),
         .seed = table().seed(),
-        .zero_memory = false};
+        .zero_memory = false,
+        // The rebuild inherits the image's integrity setting. Rebuilding
+        // into fresh memory also clears any quarantine: cells re-inserted
+        // here land on trusted media with freshly maintained checksums.
+        .group_crc = table().checksums_enabled()};
     const usize table_bytes = Table::required_bytes(params);
     const bool file_backed = region_.file_backed();
     const std::string tmp_path = path_ + kExpandSuffix;
@@ -265,6 +355,7 @@ void BasicGroupHashMap<Cell>::expand() {
       pm_->store_u64(&sb->table_bytes, table_bytes);
       pm_->store_u64(&sb->group_size, params.group_size);
       pm_->store_u64(&sb->seed, params.seed);
+      pm_->store_u64(&sb->crc, map_format::superblock_crc(*sb));
       pm_->persist(sb, sizeof(Superblock));
     }
     if (file_backed) {
@@ -282,6 +373,7 @@ void BasicGroupHashMap<Cell>::expand() {
     }
     region_ = std::move(new_region);
     metrics_.expansions++;
+    scrub_cursor_ = 0;  // group numbering changed with the geometry
     return;
   }
 }

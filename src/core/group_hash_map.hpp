@@ -21,12 +21,14 @@
 //     GroupHashMapWide (128-bit keys, e.g. content fingerprints).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/errors.hpp"
 #include "hash/cells.hpp"
 #include "hash/group_hashing.hpp"
 #include "nvm/direct_pm.hpp"
@@ -53,6 +55,23 @@ struct MapOptions {
   /// validation then discards the result. Doubling bounds the total
   /// retired footprint below the live table's size.
   bool retain_retired_regions = false;
+  /// Maintain per-group CRC32C checksums in the table (and a checksummed
+  /// superblock), so at-rest corruption is detected instead of served.
+  /// Costs one extra 8-byte flush per mutation; bench/ablation_integrity
+  /// measures it. The setting is baked into the file at create() time —
+  /// open() follows whatever the image says.
+  bool checksum_groups = true;
+  /// Verify every group checksum when open()ing a cleanly closed map.
+  /// Groups that fail are quarantined and their cells reported through
+  /// on_lost_cell; open_scrub_report() summarises what was found. (A
+  /// dirty open runs recovery instead, which rebuilds the checksums.)
+  bool verify_on_open = true;
+  /// What scrub/verification does with the occupied cells of a group
+  /// whose checksum fails (see hash::ScrubMode).
+  hash::ScrubMode scrub_mode = hash::ScrubMode::kDropGroup;
+  /// Invoked for every cell a scrub pass drops or salvages — the hook an
+  /// application uses to re-ingest lost keys from an upstream source.
+  std::function<void(const hash::LostCell&)> on_lost_cell = nullptr;
 };
 
 struct MapMetrics {
@@ -60,6 +79,7 @@ struct MapMetrics {
   nvm::PersistStats persist;
   u64 expansions = 0;
   u64 recoveries = 0;
+  u64 expand_failures = 0;  ///< expansion attempts that failed (e.g. ENOSPC)
 };
 
 template <class Cell>
@@ -85,7 +105,11 @@ class BasicGroupHashMap {
   ~BasicGroupHashMap();
 
   /// Insert or update. May expand the map; throws std::runtime_error when
-  /// the map is full and auto_expand is off.
+  /// the map is full and auto_expand is off. When the key cannot be
+  /// placed and expansion is currently failing (ENOSPC, allocation
+  /// failure), throws MapDegradedError instead — the map keeps serving at
+  /// elevated load factor and retries the expansion with capped
+  /// exponential backoff on subsequent placement failures.
   void put(const key_type& key, u64 value);
 
   [[nodiscard]] std::optional<u64> get(const key_type& key);
@@ -133,6 +157,25 @@ class BasicGroupHashMap {
   /// Force an Algorithm-4 recovery pass (normally done by open()).
   hash::RecoveryReport recover_now();
 
+  /// Incremental integrity pass: verify the checksums of up to
+  /// `max_groups` groups, resuming where the previous call stopped and
+  /// wrapping around — call it from a background maintenance tick to
+  /// bound per-call latency. Groups that fail are quarantined and their
+  /// cells reported through MapOptions::on_lost_cell. No-op (empty
+  /// report) when the map was created without checksum_groups.
+  hash::ScrubReport scrub(u64 max_groups = ~0ull);
+
+  /// True while an expansion is owed but failing (see put()). Cleared by
+  /// the insert whose retried expansion succeeds.
+  [[nodiscard]] bool expand_pending() const { return expand_pending_; }
+  [[nodiscard]] bool degraded() const { return expand_pending_; }
+  [[nodiscard]] const std::string& last_expand_error() const { return last_expand_error_; }
+
+  /// What open()-time verification found on a cleanly closed map (all
+  /// zeros when recovery ran instead, or verification is disabled).
+  [[nodiscard]] const hash::ScrubReport& open_scrub_report() const { return open_scrub_; }
+  [[nodiscard]] bool corruption_detected_on_open() const { return !open_scrub_.clean(); }
+
   /// Mark the map clean and sync it. Called by the destructor; calling it
   /// explicitly makes shutdown errors observable.
   void close();
@@ -157,6 +200,11 @@ class BasicGroupHashMap {
   Superblock* superblock();
   void mark_state(u64 state);
   void expand();
+  /// Expand, degrading gracefully: a failure (other than SimulatedCrash)
+  /// records the pending-expand state, arms the backoff, and returns
+  /// false instead of throwing.
+  bool try_expand();
+  void report_loss(const hash::LostCell& cell);
   void init_region(nvm::NvmRegion region, const MapOptions& options, bool fresh);
 
   std::string path_;
@@ -167,7 +215,13 @@ class BasicGroupHashMap {
   std::unique_ptr<nvm::DirectPM> pm_;
   std::optional<Table> table_;
   MapMetrics metrics_;
+  hash::ScrubReport open_scrub_;
+  std::string last_expand_error_;
+  u64 scrub_cursor_ = 0;
+  u64 expand_backoff_ = 0;   ///< current backoff window (placement-failure events)
+  u64 expand_cooldown_ = 0;  ///< failures to absorb before the next retry
   u64 orphans_reclaimed_ = 0;
+  bool expand_pending_ = false;
   bool recovered_on_open_ = false;
   bool closed_ = false;
 };

@@ -25,12 +25,14 @@ MapFileInfo read_map_file_info(const std::string& path) {
   info.table_offset = sb->table_offset;
   info.table_bytes = sb->table_bytes;
   info.group_size = sb->group_size;
+  info.superblock_crc_ok = sb->crc == map_format::superblock_crc(*sb);
   // The table header layout is cell-size independent; Cell16's suffices
   // for the geometry fields.
-  using Header = hash::GroupHashTable<hash::Cell16, nvm::DirectPM>::Header;
-  const auto* th = reinterpret_cast<const Header*>(region.data() + sb->table_offset);
+  using Table = hash::GroupHashTable<hash::Cell16, nvm::DirectPM>;
+  const auto* th = reinterpret_cast<const Table::Header*>(region.data() + sb->table_offset);
   info.level_cells = th->level_cells;
   info.count = th->count;
+  info.group_checksums = (th->flags & Table::kFlagGroupCrc) != 0;
   return info;
 }
 

@@ -28,9 +28,21 @@ struct TableInspection {
   std::vector<u64> group_level2_occupancy;  ///< items per level-2 group
   u64 max_group_occupancy = 0;
   u64 full_groups = 0;  ///< groups with no level-2 space left
+  // Media-integrity view (group hashing with per-group checksums).
+  bool checksums_enabled = false;
+  u64 checksum_mismatches = 0;  ///< groups failing a fresh read-only re-derivation
+  u64 quarantined_groups = 0;   ///< (level, group) pairs currently fenced off
+  // Lifetime integrity counters carried over from the table's stats.
+  u64 groups_scrubbed = 0;
+  u64 cells_scrubbed = 0;
+  u64 crc_mismatch_events = 0;
+  u64 cells_lost = 0;
+  u64 media_errors = 0;
 
   [[nodiscard]] bool count_consistent() const { return count_field == scanned_occupied; }
-  [[nodiscard]] bool clean() const { return count_consistent() && torn_cells == 0; }
+  [[nodiscard]] bool clean() const {
+    return count_consistent() && torn_cells == 0 && checksum_mismatches == 0;
+  }
   [[nodiscard]] double load_factor() const {
     return capacity ? static_cast<double>(scanned_occupied) / static_cast<double>(capacity)
                     : 0.0;
@@ -66,6 +78,21 @@ TableInspection inspect(const hash::GroupHashTable<Cell, PM>& table) {
     r.max_group_occupancy = std::max(r.max_group_occupancy, occ);
     if (occ == r.group_size) r.full_groups++;
   }
+  r.checksums_enabled = table.checksums_enabled();
+  if (r.checksums_enabled) {
+    for (u64 g = 0; g < table.num_groups(); ++g) {
+      for (u32 level = 0; level < 2; ++level) {
+        if (!table.verify_group_checksum(level, g)) r.checksum_mismatches++;
+        if (table.group_quarantined(level, g)) r.quarantined_groups++;
+      }
+    }
+  }
+  const auto& stats = table.stats();
+  r.groups_scrubbed = stats.groups_scrubbed;
+  r.cells_scrubbed = stats.cells_scrubbed;
+  r.crc_mismatch_events = stats.crc_mismatches;
+  r.cells_lost = stats.cells_lost;
+  r.media_errors = stats.media_errors;
   return r;
 }
 
@@ -85,6 +112,11 @@ struct ConcurrentMapInspection {
   u64 total_capacity = 0;
   u64 total_occupied = 0;
   u64 total_torn_cells = 0;
+  u64 total_checksum_mismatches = 0;
+  u64 total_quarantined_groups = 0;
+  u64 total_cells_scrubbed = 0;
+  u64 total_cells_lost = 0;
+  u64 total_media_errors = 0;
 
   [[nodiscard]] bool clean() const {
     for (const auto& s : shards) {
@@ -113,6 +145,11 @@ ConcurrentMapInspection inspect_shards(ConcurrentMap& map) {
     r.total_capacity += si.table.capacity;
     r.total_occupied += si.table.scanned_occupied;
     r.total_torn_cells += si.table.torn_cells;
+    r.total_checksum_mismatches += si.table.checksum_mismatches;
+    r.total_quarantined_groups += si.table.quarantined_groups;
+    r.total_cells_scrubbed += si.table.cells_scrubbed;
+    r.total_cells_lost += si.table.cells_lost;
+    r.total_media_errors += si.table.media_errors;
     r.shards.push_back(std::move(si));
   }
   return r;
@@ -128,6 +165,8 @@ struct MapFileInfo {
   u64 group_size = 0;
   u64 level_cells = 0;
   u64 count = 0;
+  bool superblock_crc_ok = false;  ///< geometry checksum verified
+  bool group_checksums = false;    ///< table carries per-group checksums
 };
 
 /// Throws std::runtime_error when the file is not a GroupHashMap.

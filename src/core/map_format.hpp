@@ -5,14 +5,22 @@
 // Layout:
 //   [0, 4096)   Superblock (magic, version, clean/dirty state, geometry)
 //   [4096, ...) GroupHashTable (its own 64-byte header + two cell levels)
+//
+// The superblock carries a CRC32C over its geometry fields so a bit-rot
+// hit on the metadata page fails the open with a typed error instead of
+// mapping the table at forged bounds. The mutable `state` word (flipped
+// clean/dirty by an 8-byte atomic store on every open/close) is excluded
+// from the checksum; it is self-validating — only the two known
+// enumerator values are accepted.
 #pragma once
 
+#include "util/crc32c.hpp"
 #include "util/types.hpp"
 
 namespace gh::map_format {
 
 inline constexpr u64 kMagic = 0x47484d4150303031ull;  // "GHMAP001"
-inline constexpr u64 kVersion = 1;
+inline constexpr u64 kVersion = 2;                    // v2: + superblock/group checksums
 inline constexpr u64 kStateClean = 0x636c65616eull;  // "clean"
 inline constexpr u64 kStateDirty = 0x6469727479ull;  // "dirty"
 inline constexpr usize kTableOffset = 4096;          // superblock page
@@ -26,6 +34,21 @@ struct Superblock {
   u64 table_bytes;
   u64 group_size;
   u64 seed;
+  u64 crc;  ///< CRC32C of the geometry fields above (state excluded)
 };
+
+/// Checksum of every immutable superblock field. Recomputed when a
+/// rebuild (expand) publishes new geometry; verified before the geometry
+/// is trusted on open().
+inline u32 superblock_crc(const Superblock& sb) {
+  u32 c = crc32c_update(~0u, &sb.magic, sizeof(u64));
+  c = crc32c_update(c, &sb.version, sizeof(u64));
+  c = crc32c_update(c, &sb.cell_size, sizeof(u64));
+  c = crc32c_update(c, &sb.table_offset, sizeof(u64));
+  c = crc32c_update(c, &sb.table_bytes, sizeof(u64));
+  c = crc32c_update(c, &sb.group_size, sizeof(u64));
+  c = crc32c_update(c, &sb.seed, sizeof(u64));
+  return ~c;
+}
 
 }  // namespace gh::map_format

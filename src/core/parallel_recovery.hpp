@@ -52,7 +52,11 @@ ParallelRecoveryResult parallel_recover(
   std::vector<nvm::PersistStats> worker_stats(threads);
   std::vector<std::thread> workers;
   workers.reserve(threads);
-  const u64 chunk = (level_cells + threads - 1) / threads;
+  // Slices must be group-aligned when checksums are enabled: each slice
+  // rebuilds the checksums of exactly the groups it owns, so a group may
+  // not straddle two workers.
+  u64 chunk = (level_cells + threads - 1) / threads;
+  if (table.checksums_enabled()) chunk = round_up(chunk, table.group_size());
   for (u32 t = 0; t < threads; ++t) {
     workers.emplace_back([&table, &slices, &worker_stats, config, t, chunk, level_cells] {
       const u64 begin = t * chunk;
@@ -70,6 +74,7 @@ ParallelRecoveryResult parallel_recover(
     result.report.cells_scanned += s.cells_scanned;
     result.report.cells_scrubbed += s.cells_scrubbed;
     result.report.recovered_count += s.recovered_count;
+    result.report.media_errors += s.media_errors;
   }
   for (const auto& s : worker_stats) result.persist += s;
   // Fold worker traffic into the table's own policy so the map-level

@@ -7,12 +7,13 @@
 #include "nvm/fault_fs.hpp"
 #include "trace/md5.hpp"
 #include "util/assert.hpp"
+#include "util/crc32c.hpp"
 
 namespace gh {
 namespace {
 
 constexpr u64 kMagic = 0x4748534d41503031ull;  // "GHSMAP01"
-constexpr u64 kVersion = 1;
+constexpr u64 kVersion = 2;  // v2: + superblock/group checksums
 constexpr u64 kStateClean = 0x636c65616eull;
 constexpr u64 kStateDirty = 0x6469727479ull;
 constexpr usize kSuperblockBytes = 4096;
@@ -25,6 +26,10 @@ constexpr const char* kCompactSuffix = ".compact";
 /// Arena record layout: value (u64) | key_len (u64) | key bytes.
 constexpr usize kRecordHeaderBytes = 2 * sizeof(u64);
 
+/// Cap of the exponential compaction backoff, counted in placement-
+/// failure events absorbed between retries.
+constexpr u64 kMaxCompactBackoff = 64;
+
 u64 pow2_at_least(u64 v) {
   u64 p = 1;
   while (p < v) p <<= 1;
@@ -36,12 +41,26 @@ u64 pow2_at_least(u64 v) {
 struct PersistentStringMap::Superblock {
   u64 magic;
   u64 version;
-  u64 state;
+  u64 state;  ///< excluded from the checksum; 8-byte atomically flipped
   u64 arena_offset;
   u64 arena_bytes;
   u64 table_offset;
   u64 table_bytes;
   u64 seed;
+  u64 crc;  ///< CRC32C of the geometry fields above (state excluded)
+
+  /// Checksum of every immutable field; verified before the geometry is
+  /// trusted on open(), recomputed when a rebuild publishes new bounds.
+  [[nodiscard]] u32 compute_crc() const {
+    u32 c = crc32c_update(~0u, &magic, sizeof(u64));
+    c = crc32c_update(c, &version, sizeof(u64));
+    c = crc32c_update(c, &arena_offset, sizeof(u64));
+    c = crc32c_update(c, &arena_bytes, sizeof(u64));
+    c = crc32c_update(c, &table_offset, sizeof(u64));
+    c = crc32c_update(c, &table_bytes, sizeof(u64));
+    c = crc32c_update(c, &seed, sizeof(u64));
+    return ~c;
+  }
 };
 
 Key128 PersistentStringMap::fingerprint(std::string_view key) {
@@ -68,7 +87,8 @@ void PersistentStringMap::init_region(nvm::NvmRegion region,
     const typename Table::Params params{
         .level_cells = cells / 2,
         .group_size =
-            static_cast<u32>(std::min<u64>(pow2_at_least(options.group_size), cells / 2))};
+            static_cast<u32>(std::min<u64>(pow2_at_least(options.group_size), cells / 2)),
+        .group_crc = options.checksum_groups};
     const usize table_bytes = Table::required_bytes(params);
     GH_CHECK(region_.size() >= kSuperblockBytes + arena_bytes + table_bytes);
     arena_.emplace(*pm_, region_.bytes().subspan(kSuperblockBytes, arena_bytes),
@@ -85,11 +105,17 @@ void PersistentStringMap::init_region(nvm::NvmRegion region,
     pm_->store_u64(&sb->table_offset, kSuperblockBytes + arena_bytes);
     pm_->store_u64(&sb->table_bytes, table_bytes);
     pm_->store_u64(&sb->seed, params.seed);
+    pm_->store_u64(&sb->crc, sb->compute_crc());
     pm_->persist(sb, sizeof(Superblock));
   } else {
     Superblock* sb = superblock();
     if (sb->magic != kMagic) throw std::runtime_error("not a PersistentStringMap file");
     if (sb->version != kVersion) throw std::runtime_error("unsupported string-map version");
+    // The geometry must checksum before it is trusted: a bit-rot hit on
+    // the superblock fails the open instead of forging layout bounds.
+    if (sb->crc != sb->compute_crc()) {
+      throw std::runtime_error("PersistentStringMap superblock is corrupt (checksum mismatch)");
+    }
     // Validate the published geometry before trusting it: a torn or
     // forged superblock must fail the open, not index out of bounds.
     if (sb->arena_offset < kSuperblockBytes || sb->arena_bytes == 0 ||
@@ -121,8 +147,11 @@ PersistentStringMap PersistentStringMap::create(const std::string& path,
   const u64 cells = pow2_at_least(std::max<u64>(options.initial_cells, 16));
   const usize arena_bytes =
       Arena::required_bytes(std::max<usize>(cells * options.arena_bytes_per_cell, 4096));
-  const usize table_bytes =
-      Table::required_bytes({.level_cells = cells / 2, .group_size = 1});
+  const usize table_bytes = Table::required_bytes(
+      {.level_cells = cells / 2,
+       .group_size =
+           static_cast<u32>(std::min<u64>(pow2_at_least(options.group_size), cells / 2)),
+       .group_crc = options.checksum_groups});
   // A stale temp file from a crashed compaction of a previous map at
   // this path must not survive into the new map's lifetime.
   nvm::reclaim_orphan(path + kCompactSuffix);
@@ -143,8 +172,11 @@ PersistentStringMap PersistentStringMap::create_in_memory(const StringMapOptions
   const u64 cells = pow2_at_least(std::max<u64>(options.initial_cells, 16));
   const usize arena_bytes =
       Arena::required_bytes(std::max<usize>(cells * options.arena_bytes_per_cell, 4096));
-  const usize table_bytes =
-      Table::required_bytes({.level_cells = cells / 2, .group_size = 1});
+  const usize table_bytes = Table::required_bytes(
+      {.level_cells = cells / 2,
+       .group_size =
+           static_cast<u32>(std::min<u64>(pow2_at_least(options.group_size), cells / 2)),
+       .group_crc = options.checksum_groups});
   map.init_region(
       nvm::NvmRegion::create_anonymous(kSuperblockBytes + arena_bytes + table_bytes),
       options, /*fresh=*/true);
@@ -245,17 +277,48 @@ void PersistentStringMap::put(std::string_view key, u64 value) {
       // reclaims (the arena has no way to un-append atomically).
     }
     if (!options_.auto_compact) throw std::runtime_error("PersistentStringMap is full");
-    if (attempt == 0) {
-      compact();  // reclaim garbage first; often enough
-    } else {
-      // Same-size compaction was not enough (e.g. one over-full group
-      // re-hashes identically); force a doubling.
-      const StringMapStats s = stats();
-      rebuild(pow2_at_least(s.table_capacity * 2),
-              std::max<usize>(s.arena_live * 2 + 4096, s.arena_capacity));
-      compactions_++;
+    const bool ok =
+        attempt == 0 ? try_rebuild([this] { compact(); })  // reclaim garbage first
+                     : try_rebuild([this] {
+                         // Same-size compaction was not enough (e.g. one
+                         // over-full group re-hashes identically); force a
+                         // doubling.
+                         const StringMapStats s = stats();
+                         rebuild(pow2_at_least(s.table_capacity * 2),
+                                 std::max<usize>(s.arena_live * 2 + 4096, s.arena_capacity));
+                         compactions_++;
+                       });
+    if (!ok) {
+      throw MapDegradedError("PersistentStringMap insert deferred: compaction failing (" +
+                             last_compact_error_ + "); will retry with backoff");
     }
   }
+}
+
+template <class Fn>
+bool PersistentStringMap::try_rebuild(Fn&& fn) {
+  if (compact_cooldown_ > 0) {
+    // Still backing off: absorb this placement failure without retrying.
+    compact_cooldown_--;
+    return false;
+  }
+  try {
+    fn();
+  } catch (const nvm::SimulatedCrash&) {
+    throw;  // a simulated power failure must freeze the world, not degrade
+  } catch (const std::exception& e) {
+    compact_failures_++;
+    compact_pending_ = true;
+    last_compact_error_ = e.what();
+    compact_backoff_ =
+        compact_backoff_ == 0 ? 1 : std::min<u64>(compact_backoff_ * 2, kMaxCompactBackoff);
+    compact_cooldown_ = compact_backoff_;
+    return false;
+  }
+  compact_pending_ = false;
+  compact_backoff_ = 0;
+  compact_cooldown_ = 0;
+  return true;
 }
 
 std::optional<u64> PersistentStringMap::get(std::string_view key) {
@@ -287,6 +350,7 @@ StringMapStats PersistentStringMap::stats() const {
   });
   s.compactions = compactions_;
   s.recoveries = recoveries_;
+  s.compact_failures = compact_failures_;
   return s;
 }
 
@@ -306,7 +370,8 @@ void PersistentStringMap::rebuild(u64 new_cells, usize new_arena_data_bytes) {
       .level_cells = new_cells / 2,
       .group_size =
           static_cast<u32>(std::min<u64>(table().group_size(), new_cells / 2)),
-      .seed = table().seed()};
+      .seed = table().seed(),
+      .group_crc = table().checksums_enabled()};
   const usize table_bytes = Table::required_bytes(params);
   const usize total = kSuperblockBytes + arena_bytes + table_bytes;
 
@@ -345,6 +410,7 @@ void PersistentStringMap::rebuild(u64 new_cells, usize new_arena_data_bytes) {
     pm_->store_u64(&sb->table_offset, kSuperblockBytes + arena_bytes);
     pm_->store_u64(&sb->table_bytes, table_bytes);
     pm_->store_u64(&sb->seed, params.seed);
+    pm_->store_u64(&sb->crc, sb->compute_crc());
     pm_->persist(sb, sizeof(Superblock));
   }
   if (file_backed) {

@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/errors.hpp"
 #include "hash/cells.hpp"
 #include "hash/group_hashing.hpp"
 #include "nvm/arena.hpp"
@@ -52,6 +53,9 @@ struct StringMapOptions {
   /// mapped (stale) memory; its seqlock validation then discards the
   /// result.
   bool retain_retired_regions = false;
+  /// Maintain per-group CRC32C checksums in the index table (and a
+  /// checksummed superblock). Baked into the file at create() time.
+  bool checksum_groups = true;
 };
 
 struct StringMapStats {
@@ -62,6 +66,7 @@ struct StringMapStats {
   u64 arena_live = 0;  ///< bytes reachable from the table (rest is garbage)
   u64 compactions = 0;
   u64 recoveries = 0;
+  u64 compact_failures = 0;  ///< compaction attempts that failed (e.g. ENOSPC)
 };
 
 class PersistentStringMap {
@@ -80,7 +85,11 @@ class PersistentStringMap {
 
   /// Insert or update. Throws std::runtime_error on a detected
   /// fingerprint collision (probability ~2^-128) and when full with
-  /// auto_compact disabled.
+  /// auto_compact disabled. When the key cannot be placed and the
+  /// compaction rebuild is currently failing (ENOSPC, allocation
+  /// failure), throws MapDegradedError — the map keeps serving and
+  /// retries the rebuild with capped exponential backoff on subsequent
+  /// placement failures.
   void put(std::string_view key, u64 value);
 
   [[nodiscard]] std::optional<u64> get(std::string_view key);
@@ -105,6 +114,12 @@ class PersistentStringMap {
   /// table/arena to fit current contents with headroom. Called
   /// automatically by put() when space runs out (auto_compact).
   void compact();
+
+  /// True while a compaction is owed but failing (see put()). Cleared by
+  /// the put whose retried rebuild succeeds.
+  [[nodiscard]] bool compact_pending() const { return compact_pending_; }
+  [[nodiscard]] bool degraded() const { return compact_pending_; }
+  [[nodiscard]] const std::string& last_compact_error() const { return last_compact_error_; }
 
   void close();
 
@@ -164,6 +179,11 @@ class PersistentStringMap {
   /// Appends a (value, key) record; nullopt when the arena is full.
   std::optional<u64> append_record(std::string_view key, u64 value);
   void rebuild(u64 new_cells, usize new_arena_bytes);
+  /// Run `fn` (a compaction/rebuild), degrading gracefully: a failure
+  /// (other than SimulatedCrash) records the pending state, arms the
+  /// backoff, and returns false instead of throwing.
+  template <class Fn>
+  bool try_rebuild(Fn&& fn);
 
   std::string path_;
   StringMapOptions options_;
@@ -174,7 +194,12 @@ class PersistentStringMap {
   std::optional<Arena> arena_;
   u64 compactions_ = 0;
   u64 recoveries_ = 0;
+  u64 compact_failures_ = 0;
+  u64 compact_backoff_ = 0;   ///< current backoff window (placement-failure events)
+  u64 compact_cooldown_ = 0;  ///< failures to absorb before the next retry
+  std::string last_compact_error_;
   u64 orphans_reclaimed_ = 0;
+  bool compact_pending_ = false;
   bool recovered_on_open_ = false;
   bool closed_ = false;
 };

@@ -13,6 +13,7 @@
 // fills levels until the budget is met.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -49,6 +50,7 @@ struct TableConfig {
   u64 seed1 = kDefaultSeed1;
   u64 seed2 = kDefaultSeed2;
   bool zero_memory = false;
+  bool group_crc = false;  ///< group hashing only: per-group checksums
 
   [[nodiscard]] std::string display_name() const {
     std::string n = scheme_name(scheme);
@@ -68,6 +70,15 @@ class AnyTable {
   virtual std::optional<u64> find(const Key128& key) = 0;
   virtual bool erase(const Key128& key) = 0;
   virtual RecoveryReport recover() = 0;
+  /// Incremental integrity pass over up to `max_groups` checksummed
+  /// groups, resuming at an internal wrap-around cursor; lost/salvaged
+  /// cells are reported through `on_loss` (may be empty). Schemes without
+  /// per-group checksums — every scheme except group hashing created with
+  /// group_crc, including group hashing without it — return an empty
+  /// report.
+  virtual ScrubReport scrub(u64 max_groups,
+                            const std::function<void(const LostCell&)>& on_loss) = 0;
+  ScrubReport scrub(u64 max_groups = ~u64{0}) { return scrub(max_groups, {}); }
   [[nodiscard]] virtual u64 count() const = 0;
   [[nodiscard]] virtual u64 capacity() const = 0;
   [[nodiscard]] virtual TableStats& stats() = 0;

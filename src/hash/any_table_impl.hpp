@@ -39,6 +39,35 @@ class TableAdapter final : public AnyTable<PM> {
   std::optional<u64> find(const Key128& key) override { return table_.find(narrow(key)); }
   bool erase(const Key128& key) override { return table_.erase(narrow(key)); }
   RecoveryReport recover() override { return table_.recover(); }
+
+  ScrubReport scrub(u64 max_groups,
+                    const std::function<void(const LostCell&)>& on_loss) override {
+    // Same optional-feature pattern as attach_wal: schemes without
+    // scrub support report an empty (clean) pass.
+    if constexpr (requires(Table& t) {
+                    t.num_groups();
+                    t.scrub_groups(u64{}, u64{}, [](const LostCell&) {});
+                  }) {
+      ScrubReport report;
+      const u64 ngroups = table_.num_groups();
+      if (ngroups == 0) return report;
+      u64 remaining = std::min(max_groups, ngroups);
+      const auto forward = [&](const LostCell& c) {
+        if (on_loss) on_loss(c);
+      };
+      while (remaining > 0) {
+        if (scrub_cursor_ >= ngroups) scrub_cursor_ = 0;
+        const u64 chunk = std::min(remaining, ngroups - scrub_cursor_);
+        report += table_.scrub_groups(scrub_cursor_, chunk, forward);
+        scrub_cursor_ = (scrub_cursor_ + chunk) % ngroups;
+        remaining -= chunk;
+      }
+      return report;
+    } else {
+      (void)on_loss;
+      return ScrubReport{};
+    }
+  }
   u64 count() const override { return table_.count(); }
   u64 capacity() const override { return table_.capacity(); }
   TableStats& stats() override { return table_.stats(); }
@@ -59,6 +88,7 @@ class TableAdapter final : public AnyTable<PM> {
   std::string name_;
   Table table_;
   std::unique_ptr<UndoLog<PM>> wal_;
+  u64 scrub_cursor_ = 0;
 };
 
 /// Per-scheme layout parameters derived from the shared cell budget.
@@ -102,7 +132,8 @@ std::unique_ptr<AnyTable<PM>> make_table_cell(PM& pm, std::span<std::byte> mem,
       typename Table::Params p{.level_cells = total / 2,
                                .group_size = clamped_group_size(cfg),
                                .seed = cfg.seed1,
-                               .zero_memory = cfg.zero_memory};
+                               .zero_memory = cfg.zero_memory,
+                               .group_crc = cfg.group_crc};
       const usize bytes = Table::required_bytes(p);
       GH_CHECK(mem.size() >= bytes);
       return finish(Table(pm, mem.first(bytes), p, format), bytes);

@@ -17,7 +17,8 @@ usize required_bytes_cell(const TableConfig& cfg) {
     case Scheme::kGroup: {
       using Table = GroupHashTable<Cell, SizingPM>;
       bytes = Table::required_bytes({.level_cells = total / 2,
-                                     .group_size = detail::clamped_group_size(cfg)});
+                                     .group_size = detail::clamped_group_size(cfg),
+                                     .group_crc = cfg.group_crc});
       break;
     }
     case Scheme::kLinear: {

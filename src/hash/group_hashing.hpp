@@ -19,18 +19,47 @@
 // cells.hpp); the persistent `count` is atomically updated afterwards,
 // and recovery (§3.5, Algorithm 4) rescans the table to scrub torn
 // payloads and recompute `count`.
+//
+// Media integrity (optional, Params::group_crc): the commit-word protocol
+// defends against *crashes*, not against the media itself lying — bit rot
+// flips stored bits silently, and poisoned lines fault on read. When
+// enabled, each (level, group) keeps a CRC32C-derived checksum in an
+// array appended after tab2:
+//
+//   [Header][tab1][tab2][crc level 1][crc level 2]   (one u64 per group)
+//
+// The group checksum is the XOR of per-cell digests, where a cell's
+// digest is 0 for an all-zero cell and otherwise CRC32C seeded with the
+// cell's global index (so two cells swapping contents is detected).
+// XOR-of-digests makes maintenance O(cell) per mutation: XOR out the old
+// digest, XOR in the new one, 8-byte atomic store of the checksum word.
+// The checksum update is NOT failure-atomic with the cell commit — after
+// a crash the checksums of in-flight groups are legitimately stale, which
+// is why recover()/recover_slice() REBUILD them while clean-state opens
+// and scrub passes VERIFY them.
+//
+// scrub_groups() is the incremental verification pass: it re-derives a
+// window of group checksums, quarantines groups that fail (or whose reads
+// hit poisoned media), drops-and-reports or salvages-and-reports every
+// occupied cell of a failed group, and re-seals the group's checksum.
+// Quarantined groups take no new inserts — the table degrades toward its
+// expansion trigger instead of re-trusting bad media.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "hash/cells.hpp"
 #include "hash/hash_functions.hpp"
 #include "hash/table_stats.hpp"
 #include "hash/wal.hpp"
+#include "nvm/media_error.hpp"
 #include "util/assert.hpp"
 #include "util/counters.hpp"
+#include "util/crc32c.hpp"
 #include "util/types.hpp"
 
 namespace gh::hash {
@@ -47,6 +76,23 @@ enum class CountMode {
   kRecoveryOnly,
 };
 
+/// What scrub_groups() does with the occupied cells of a group whose
+/// checksum fails verification. Either way every affected cell is
+/// REPORTED via the callback — corruption is never handled silently.
+enum class ScrubMode {
+  /// Drop every occupied cell of the failed group. A flipped value bit is
+  /// per-cell undetectable (the group checksum localises corruption to
+  /// the group, not the cell), so retaining any cell risks serving a
+  /// wrong value; detected loss is strictly better than a silent lie.
+  kDropGroup,
+  /// Retain cells whose key still hashes to this location (the flipped
+  /// bits are then overwhelmingly likely in some *other* cell of the
+  /// group); drop the rest. Retained cells are reported with
+  /// salvaged=true so the application knows which keys to re-verify
+  /// upstream.
+  kSalvage,
+};
+
 template <class Cell, class PM>
 class GroupHashTable {
  public:
@@ -60,9 +106,13 @@ class GroupHashTable {
     /// zero, so benches skip this; formatting a reused file needs it.
     bool zero_memory = false;
     CountMode count_mode = CountMode::kEager;
+    /// Maintain per-group checksums (see file comment). Adds one 8-byte
+    /// atomic store + flush per mutation and 16 bytes per group of space.
+    bool group_crc = false;
   };
 
   static constexpr u64 kMagic = 0x4748544742303031ull;  // "GHTGB001"
+  static constexpr u64 kFlagGroupCrc = 1ull << 0;
 
   struct Header {
     u64 magic;
@@ -71,12 +121,15 @@ class GroupHashTable {
     u64 count;  ///< occupied cells; 8-byte atomically maintained
     u64 seed;
     u64 cell_size;
-    u64 reserved[2];
+    u64 flags;  ///< kFlagGroupCrc — feature bits baked into the image
+    u64 reserved;
   };
   static_assert(sizeof(Header) == 64);
 
   static usize required_bytes(const Params& p) {
-    return sizeof(Header) + 2 * p.level_cells * sizeof(Cell);
+    usize bytes = sizeof(Header) + 2 * p.level_cells * sizeof(Cell);
+    if (p.group_crc) bytes += 2 * (p.level_cells / p.group_size) * sizeof(u64);
+    return bytes;
   }
 
   /// Create (format=true) or attach to (format=false) a table in `mem`.
@@ -89,6 +142,7 @@ class GroupHashTable {
     header_ = reinterpret_cast<Header*>(mem.data());
     tab1_ = reinterpret_cast<Cell*>(mem.data() + sizeof(Header));
     tab2_ = tab1_ + p.level_cells;
+    bool crc_on = p.group_crc;
     if (format) {
       if (p.zero_memory) {
         pm.fill(tab1_, 0, 2 * p.level_cells * sizeof(Cell));
@@ -100,18 +154,34 @@ class GroupHashTable {
       pm.store_u64(&header_->count, 0);
       pm.store_u64(&header_->seed, p.seed);
       pm.store_u64(&header_->cell_size, sizeof(Cell));
+      pm.store_u64(&header_->flags, crc_on ? kFlagGroupCrc : 0);
+      pm.store_u64(&header_->reserved, 0);
       pm.persist(header_, sizeof(Header));
     } else {
       GH_CHECK_MSG(header_->magic == kMagic, "not a group-hashing table");
       GH_CHECK(header_->cell_size == sizeof(Cell));
       GH_CHECK(header_->level_cells == p.level_cells);
       hash_ = SeededHash(header_->seed);
+      // The image, not the caller, decides whether checksums exist.
+      crc_on = (header_->flags & kFlagGroupCrc) != 0;
     }
     level_cells_ = header_->level_cells;
     mask_ = level_cells_ - 1;
     group_size_ = static_cast<u32>(header_->group_size);
     count_mode_ = p.count_mode;
     volatile_count_ = header_->count;
+    if (crc_on) {
+      const usize crc_bytes = 2 * num_groups() * sizeof(u64);
+      GH_CHECK(mem.size() >= sizeof(Header) + 2 * level_cells_ * sizeof(Cell) + crc_bytes);
+      crc_ = reinterpret_cast<u64*>(tab2_ + level_cells_);
+      if (format) {
+        // An all-zero cell's digest is 0, so a freshly formatted group's
+        // checksum is simply 0 — zero the array and the invariant holds.
+        pm.fill(crc_, 0, crc_bytes);
+        pm.persist(crc_, crc_bytes);
+      }
+      quarantined_.assign(2 * num_groups(), 0);
+    }
   }
 
   /// Attach to an existing table, taking parameters from its header.
@@ -121,7 +191,8 @@ class GroupHashTable {
     GH_CHECK_MSG(h->magic == kMagic, "not a group-hashing table");
     Params p{.level_cells = h->level_cells,
              .group_size = static_cast<u32>(h->group_size),
-             .seed = h->seed};
+             .seed = h->seed,
+             .group_crc = (h->flags & kFlagGroupCrc) != 0};
     return GroupHashTable(pm, mem, p, /*format=*/false);
   }
 
@@ -132,23 +203,28 @@ class GroupHashTable {
   /// Algorithm 1. Precondition: `key` is not already present (the paper's
   /// insert does not check; use the core-API upsert for checked inserts).
   /// Returns false when the level-1 cell and its whole matched level-2
-  /// group are full — the signal to expand the table.
+  /// group are full — the signal to expand the table. Quarantined groups
+  /// accept no new cells, so corruption shows up as earlier expansion
+  /// pressure rather than data written to distrusted media.
   bool insert(key_type key, u64 value) {
     stats_.inserts++;
     if (wal_) wal_->begin();
     const u64 k = hash_(key) & mask_;
+    const u64 g = k / group_size_;
     Cell* c1 = probe(&tab1_[k]);
-    if (!c1->occupied()) {
+    if (!c1->occupied() && !is_quarantined(0, g)) {
       commit_insert(c1, key, value);
       return true;
     }
-    const u64 j = k - k % group_size_;
-    for (u32 i = 0; i < group_size_; ++i) {
-      Cell* c2 = probe(&tab2_[j + i]);
-      stats_.level2_probes++;
-      if (!c2->occupied()) {
-        commit_insert(c2, key, value);
-        return true;
+    if (!is_quarantined(1, g)) {
+      const u64 j = k - k % group_size_;
+      for (u32 i = 0; i < group_size_; ++i) {
+        Cell* c2 = probe(&tab2_[j + i]);
+        stats_.level2_probes++;
+        if (!c2->occupied()) {
+          commit_insert(c2, key, value);
+          return true;
+        }
       }
     }
     stats_.insert_failures++;
@@ -187,8 +263,10 @@ class GroupHashTable {
   bool update(key_type key, u64 value) {
     Cell* c = find_cell(key);
     if (c == nullptr) return false;
+    const u32 old_digest = crc_ ? cell_digest(c) : 0;
     pm_->atomic_store_u64(&c->value, value);
     pm_->persist(&c->value, sizeof(u64));
+    if (crc_) apply_digest_delta(c, old_digest);
     return true;
   }
 
@@ -205,7 +283,9 @@ class GroupHashTable {
       wal_->log_cell(c, sizeof(Cell));
       wal_->log_cell(&header_->count, sizeof(u64));
     }
+    const u32 old_digest = crc_ ? cell_digest(c) : 0;
     c->retract(*pm_);
+    if (crc_) apply_digest_delta(c, old_digest);
     bump_count(-1);
     stats_.erase_hits++;
     if (wal_) wal_->commit();
@@ -214,15 +294,28 @@ class GroupHashTable {
 
   /// Algorithm 4: full-scan recovery. Scrubs the payload of every
   /// unoccupied cell that still holds bytes (a torn insert or the tail of
-  /// a committed delete) and recomputes `count`.
+  /// a committed delete) and recomputes `count`. A poisoned cell is
+  /// scrubbed too (the stores heal/remap the line) and its contents
+  /// counted as lost — recovery completes instead of aborting the open.
+  /// When checksums are enabled they are REBUILT afterwards: in-flight
+  /// operations legitimately leave them stale across a crash.
   RecoveryReport recover() {
     RecoveryReport report;
     if (wal_) report.wal_records_rolled_back = wal_->recover();
     u64 count = 0;
     for (u64 i = 0; i < level_cells_; ++i) {
       for (Cell* c : {&tab1_[i], &tab2_[i]}) {
-        pm_->touch_read(c, sizeof(Cell));
         report.cells_scanned++;
+        try {
+          pm_->touch_read(c, sizeof(Cell));
+        } catch (const nvm::MediaError&) {
+          report.media_errors++;
+          stats_.media_errors++;
+          stats_.cells_lost++;  // occupancy unknowable — conservative
+          c->scrub(*pm_);
+          report.cells_scrubbed++;
+          continue;
+        }
         if (!c->occupied()) {
           if (c->payload_dirty()) {
             c->scrub(*pm_);
@@ -237,6 +330,7 @@ class GroupHashTable {
     pm_->persist(&header_->count, sizeof(u64));
     volatile_count_ = count;
     report.recovered_count = count;
+    if (crc_) rebuild_checksums_range(0, level_cells_, *pm_);
     return report;
   }
 
@@ -244,14 +338,29 @@ class GroupHashTable {
   /// levels, scrubbing through `pm` (callers running slices on separate
   /// threads pass one persistence policy per thread). Does NOT update the
   /// header count — the caller aggregates slice counts and publishes once.
-  /// See core/parallel_recovery.hpp.
+  /// When checksums are enabled, [begin, end) must be group-aligned so the
+  /// slice can rebuild the checksums of exactly the groups it owns (see
+  /// core/parallel_recovery.hpp, which rounds its chunk size).
   template <class SlicePM>
   RecoveryReport recover_slice(u64 begin, u64 end, SlicePM& pm) {
+    if (crc_) {
+      GH_CHECK_MSG(begin % group_size_ == 0 && (end % group_size_ == 0 || end == level_cells_),
+                   "checksummed recovery slices must be group-aligned");
+    }
     RecoveryReport report;
     for (u64 i = begin; i < end; ++i) {
       for (Cell* c : {&tab1_[i], &tab2_[i]}) {
-        pm.touch_read(c, sizeof(Cell));
         report.cells_scanned++;
+        try {
+          pm.touch_read(c, sizeof(Cell));
+        } catch (const nvm::MediaError&) {
+          report.media_errors++;
+          stats_.media_errors++;
+          stats_.cells_lost++;
+          c->scrub(pm);
+          report.cells_scrubbed++;
+          continue;
+        }
         if (!c->occupied()) {
           if (c->payload_dirty()) {
             c->scrub(pm);
@@ -262,6 +371,7 @@ class GroupHashTable {
         }
       }
     }
+    if (crc_) rebuild_checksums_range(begin, end, pm);
     return report;
   }
 
@@ -271,6 +381,31 @@ class GroupHashTable {
     pm_->store_u64(&header_->count, count);
     pm_->persist(&header_->count, sizeof(u64));
     volatile_count_ = count;
+  }
+
+  /// Incremental integrity pass: verify the checksums of groups
+  /// [first_group, first_group + max_groups) — clamped, not wrapped — on
+  /// both levels. A group that fails (digest mismatch or poisoned read)
+  /// is quarantined: every occupied cell is dropped (or salvaged, per
+  /// `mode`) and reported through `on_loss(const LostCell&)`, torn
+  /// payloads are scrubbed, the checksum is re-sealed over what remains,
+  /// and the group stops accepting new inserts. No-op when checksums are
+  /// disabled. Never throws for faults inside the table — MediaError is
+  /// contained and counted.
+  template <class Fn>
+  ScrubReport scrub_groups(u64 first_group, u64 max_groups, Fn&& on_loss,
+                           ScrubMode mode = ScrubMode::kDropGroup) {
+    ScrubReport report;
+    if (!crc_) return report;
+    const u64 ngroups = num_groups();
+    if (first_group >= ngroups) return report;
+    const u64 n = std::min(max_groups, ngroups - first_group);
+    for (u64 g = first_group; g < first_group + n; ++g) {
+      for (u32 level = 0; level < 2; ++level) {
+        scrub_one_group(level, g, report, on_loss, mode);
+      }
+    }
+    return report;
   }
 
   /// Visit every occupied cell (used by the core API's expansion rebuild).
@@ -295,8 +430,33 @@ class GroupHashTable {
   }
   [[nodiscard]] u32 group_size() const { return group_size_; }
   [[nodiscard]] u64 level_cells() const { return level_cells_; }
+  [[nodiscard]] u64 num_groups() const { return level_cells_ / group_size_; }
   [[nodiscard]] u64 seed() const { return header_->seed; }
+  [[nodiscard]] bool checksums_enabled() const { return crc_ != nullptr; }
+  /// Stored checksum word of (level 0/1, group) — inspection tooling.
+  [[nodiscard]] u64 group_checksum(u32 level, u64 g) const {
+    GH_DCHECK(crc_ != nullptr && level < 2 && g < num_groups());
+    return crc_[level * num_groups() + g];
+  }
+  [[nodiscard]] bool group_quarantined(u32 level, u64 g) const { return is_quarantined(level, g); }
+  /// Read-only re-derivation of one group's checksum (inspection/fsck):
+  /// no quarantine, no counters, no scrubbing, no media-read hooks.
+  [[nodiscard]] bool verify_group_checksum(u32 level, u64 g) const {
+    GH_DCHECK(crc_ != nullptr && level < 2 && g < num_groups());
+    const Cell* base = (level == 0 ? tab1_ : tab2_) + g * group_size_;
+    u64 digest = 0;
+    for (u32 i = 0; i < group_size_; ++i) digest ^= cell_digest(base + i);
+    return digest == crc_[level * num_groups() + g];
+  }
+  /// Number of (level, group) pairs currently quarantined.
+  [[nodiscard]] u64 quarantined_groups() const {
+    if (!any_quarantined_) return 0;
+    u64 n = 0;
+    for (const u8 q : quarantined_) n += q;
+    return n;
+  }
   [[nodiscard]] TableStats& stats() { return stats_; }
+  [[nodiscard]] const TableStats& stats() const { return stats_; }
   [[nodiscard]] PM& pm() { return *pm_; }
 
  private:
@@ -322,7 +482,9 @@ class GroupHashTable {
       wal_->log_cell(c, sizeof(Cell));
       wal_->log_cell(&header_->count, sizeof(u64));
     }
+    const u32 old_digest = crc_ ? cell_digest(c) : 0;
     c->publish(*pm_, key, value);
+    if (crc_) apply_digest_delta(c, old_digest);
     bump_count(+1);
     if (wal_) wal_->commit();
   }
@@ -359,11 +521,169 @@ class GroupHashTable {
     return nullptr;
   }
 
+  // --- integrity machinery ---------------------------------------------------
+
+  /// Global cell index: tab1 cells are [0, level_cells), tab2 cells
+  /// [level_cells, 2*level_cells) — the two levels are contiguous.
+  [[nodiscard]] u64 global_index(const Cell* c) const { return static_cast<u64>(c - tab1_); }
+
+  /// Digest of one cell, seeded with its global index so content swapped
+  /// between cells still changes the group XOR. All-zero cells digest to
+  /// 0, making an empty group's checksum 0 without any formatting pass.
+  [[nodiscard]] u32 cell_digest(const Cell* c) const {
+    const auto* words = reinterpret_cast<const u64*>(c);
+    constexpr usize kWords = sizeof(Cell) / sizeof(u64);
+    u64 any = 0;
+    for (usize i = 0; i < kWords; ++i) any |= words[i];
+    if (any == 0) return 0;
+    return crc32c_seeded(global_index(c), c, sizeof(Cell));
+  }
+
+  [[nodiscard]] u64* crc_slot(u32 level, u64 g) const { return &crc_[level * num_groups() + g]; }
+
+  /// XOR the digest delta of a just-mutated cell into its group checksum.
+  /// 8-byte atomic store: readers of the checksum word never see a torn
+  /// value, and a crash between cell commit and checksum store only
+  /// leaves the checksum stale — recovery rebuilds all of them.
+  void apply_digest_delta(const Cell* c, u32 old_digest) {
+    const u64 gi = global_index(c);
+    const u32 level = gi < level_cells_ ? 0 : 1;
+    u64* slot = crc_slot(level, (gi % level_cells_) / group_size_);
+    pm_->atomic_store_u64(slot, *slot ^ old_digest ^ cell_digest(c));
+    pm_->persist(slot, sizeof(u64));
+  }
+
+  /// Recompute and store the checksums of the groups covering cell
+  /// indices [begin, end) of BOTH levels (used by recovery).
+  template <class AnyPM>
+  void rebuild_checksums_range(u64 begin, u64 end, AnyPM& pm) {
+    const u64 first_group = begin / group_size_;
+    const u64 last_group = (end + group_size_ - 1) / group_size_;
+    for (u64 g = first_group; g < last_group; ++g) {
+      for (u32 level = 0; level < 2; ++level) {
+        Cell* base = (level == 0 ? tab1_ : tab2_) + g * group_size_;
+        u64 digest = 0;
+        for (u32 i = 0; i < group_size_; ++i) digest ^= cell_digest(base + i);
+        pm.atomic_store_u64(crc_slot(level, g), digest);
+      }
+      pm.persist(crc_slot(0, g), sizeof(u64));
+      pm.persist(crc_slot(1, g), sizeof(u64));
+    }
+  }
+
+  [[nodiscard]] bool is_quarantined(u32 level, u64 g) const {
+    return any_quarantined_ && quarantined_[level * num_groups() + g] != 0;
+  }
+
+  /// Does `key` hash back to this cell (level 0) / this group (level 1)?
+  [[nodiscard]] bool location_consistent(u32 level, u64 cell_index, key_type key) const {
+    const u64 k = hash_(key) & mask_;
+    return level == 0 ? k == cell_index : k / group_size_ == cell_index / group_size_;
+  }
+
+  template <class Fn>
+  void scrub_one_group(u32 level, u64 g, ScrubReport& report, Fn&& on_loss, ScrubMode mode) {
+    Cell* base = (level == 0 ? tab1_ : tab2_) + g * group_size_;
+    report.groups_checked++;
+    stats_.groups_scrubbed++;
+    // Verification pass: re-derive the group digest. A poisoned read
+    // aborts straight into containment.
+    u64 digest = 0;
+    bool media_fault = false;
+    for (u32 i = 0; i < group_size_ && !media_fault; ++i) {
+      report.cells_scanned++;
+      try {
+        pm_->touch_read(base + i, sizeof(Cell));
+        digest ^= cell_digest(base + i);
+      } catch (const nvm::MediaError&) {
+        media_fault = true;
+      }
+    }
+    if (!media_fault && digest == *crc_slot(level, g)) return;
+    if (media_fault) {
+      report.media_errors++;
+      stats_.media_errors++;
+    } else {
+      report.crc_mismatches++;
+      stats_.crc_mismatches++;
+    }
+    // Containment pass: visit every cell again, reporting and dropping
+    // (or salvaging) occupied ones. Stores heal poisoned lines, so the
+    // group is physically reusable afterwards even though it stays
+    // quarantined for placement.
+    i64 dropped = 0;
+    u64 new_digest = 0;
+    for (u32 i = 0; i < group_size_; ++i) {
+      Cell* c = base + i;
+      const u64 cell_index = g * group_size_ + i;
+      bool readable = true;
+      try {
+        pm_->touch_read(c, sizeof(Cell));
+      } catch (const nvm::MediaError&) {
+        readable = false;
+      }
+      if (!readable) {
+        on_loss(LostCell{.level = level + 1,
+                         .group = g,
+                         .cell_index = cell_index,
+                         .readable = false});
+        report.cells_lost++;
+        stats_.cells_lost++;
+        c->scrub(*pm_);
+        report.cells_scrubbed++;
+        stats_.cells_scrubbed++;
+        // Occupancy was unknowable, so `count` may drift here; the next
+        // recovery recomputes it from the scan.
+        continue;
+      }
+      if (!c->occupied()) {
+        if (c->payload_dirty()) {
+          c->scrub(*pm_);
+          report.cells_scrubbed++;
+          stats_.cells_scrubbed++;
+        }
+        continue;
+      }
+      const bool consistent = location_consistent(level, cell_index, c->key());
+      const bool salvage = mode == ScrubMode::kSalvage && consistent;
+      on_loss(LostCell{.level = level + 1,
+                       .group = g,
+                       .cell_index = cell_index,
+                       .key = to_key128(c->key()),
+                       .value = c->value,
+                       .readable = true,
+                       .location_consistent = consistent,
+                       .salvaged = salvage});
+      if (salvage) {
+        new_digest ^= cell_digest(c);
+        continue;
+      }
+      report.cells_lost++;
+      stats_.cells_lost++;
+      c->scrub(*pm_);
+      report.cells_scrubbed++;
+      stats_.cells_scrubbed++;
+      dropped++;
+    }
+    if (dropped > 0) bump_count(-dropped);
+    // Re-seal the checksum over what remains, then fence the group off.
+    pm_->atomic_store_u64(crc_slot(level, g), new_digest);
+    pm_->persist(crc_slot(level, g), sizeof(u64));
+    quarantined_[level * num_groups() + g] = 1;
+    any_quarantined_ = true;
+    report.groups_quarantined++;
+    stats_.groups_quarantined++;
+  }
+
+  static Key128 to_key128(u64 k) { return Key128{k, 0}; }
+  static Key128 to_key128(Key128 k) { return k; }
+
   PM* pm_;
   SeededHash hash_;
   Header* header_ = nullptr;
   Cell* tab1_ = nullptr;
   Cell* tab2_ = nullptr;
+  u64* crc_ = nullptr;  ///< [level 1 groups][level 2 groups], one u64 each
   u64 level_cells_ = 0;
   u64 mask_ = 0;
   u32 group_size_ = 0;
@@ -371,6 +691,8 @@ class GroupHashTable {
   AtomicCounter volatile_count_;  ///< exact; shared by concurrent wrappers
   UndoLog<PM>* wal_ = nullptr;
   TableStats stats_;
+  std::vector<u8> quarantined_;  ///< volatile containment state, 1 byte per (level, group)
+  bool any_quarantined_ = false;
 };
 
 }  // namespace gh::hash

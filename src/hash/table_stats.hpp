@@ -18,6 +18,57 @@ struct RecoveryReport {
   u64 cells_scrubbed = 0;
   u64 recovered_count = 0;
   u64 wal_records_rolled_back = 0;
+  u64 media_errors = 0;  ///< poisoned cells hit (scrubbed/healed, contents lost)
+};
+
+/// Result of an incremental integrity pass (scrub_groups): per-group
+/// checksum verification over a window of groups, with quarantine of the
+/// groups that fail. See hash/group_hashing.hpp.
+struct ScrubReport {
+  u64 groups_checked = 0;     ///< (level, group) pairs whose checksum was verified
+  u64 cells_scanned = 0;
+  u64 crc_mismatches = 0;     ///< group checksums that failed verification
+  u64 groups_quarantined = 0; ///< groups quarantined by this pass
+  u64 cells_lost = 0;         ///< occupied cells dropped from failed groups
+  u64 cells_scrubbed = 0;     ///< torn/dropped payloads wiped
+  u64 media_errors = 0;       ///< poisoned-line reads encountered (typed, contained)
+
+  ScrubReport& operator+=(const ScrubReport& o) {
+    groups_checked += o.groups_checked;
+    cells_scanned += o.cells_scanned;
+    crc_mismatches += o.crc_mismatches;
+    groups_quarantined += o.groups_quarantined;
+    cells_lost += o.cells_lost;
+    cells_scrubbed += o.cells_scrubbed;
+    media_errors += o.media_errors;
+    return *this;
+  }
+
+  /// True when the scanned window showed no corruption of any kind.
+  [[nodiscard]] bool clean() const {
+    return crc_mismatches == 0 && cells_lost == 0 && media_errors == 0;
+  }
+};
+
+/// One cell reported by scrub_groups when its group fails verification.
+/// Key-normalized (Cell16 keys zero-extended to Key128) so the callback
+/// signature is the same for every cell layout — the type-erased AnyTable
+/// and the map layer forward it unchanged.
+struct LostCell {
+  u32 level = 0;       ///< 1 or 2
+  u64 group = 0;       ///< group number within the level
+  u64 cell_index = 0;  ///< cell index within the level
+  Key128 key{};        ///< as read from media (zero when !readable)
+  u64 value = 0;       ///< as read from media (zero when !readable)
+  /// False when the cell itself sat on poisoned media — contents unknown.
+  bool readable = true;
+  /// True when the key still hashes back to this cell/group — the
+  /// commit-word and key bits are self-consistent with the location.
+  bool location_consistent = false;
+  /// True when the cell was retained in place (ScrubMode::kSalvage);
+  /// false when it was dropped and scrubbed. Salvaged cells are reported
+  /// so nothing corrupt is ever served *silently*.
+  bool salvaged = false;
 };
 
 /// Counters use RelaxedCounter so the concurrent wrappers can share a
@@ -35,6 +86,13 @@ struct TableStats {
   RelaxedCounter displacements;     ///< PFHT: cuckoo moves
   RelaxedCounter stash_probes;      ///< PFHT: stash cells examined
   RelaxedCounter backward_shifts;   ///< linear probing: cells moved on delete
+  // Integrity counters (group hashing with per-group checksums).
+  RelaxedCounter groups_scrubbed;     ///< (level, group) checksum verifications run
+  RelaxedCounter cells_scrubbed;      ///< payloads wiped by recovery/scrub passes
+  RelaxedCounter crc_mismatches;      ///< group checksum failures detected
+  RelaxedCounter groups_quarantined;  ///< groups quarantined after a failure
+  RelaxedCounter cells_lost;          ///< occupied cells dropped as unrecoverable
+  RelaxedCounter media_errors;        ///< poisoned-line reads surfaced as MediaError
 
   void clear() { *this = TableStats{}; }
 
@@ -46,7 +104,12 @@ struct TableStats {
            " l2probes=" + std::to_string(level2_probes) +
            " displacements=" + std::to_string(displacements) +
            " stash_probes=" + std::to_string(stash_probes) +
-           " shifts=" + std::to_string(backward_shifts);
+           " shifts=" + std::to_string(backward_shifts) +
+           " scrubbed=" + std::to_string(groups_scrubbed) + "g/" +
+           std::to_string(cells_scrubbed) + "c crc_mismatches=" +
+           std::to_string(crc_mismatches) + " quarantined=" +
+           std::to_string(groups_quarantined) + " lost=" + std::to_string(cells_lost) +
+           " media_errors=" + std::to_string(media_errors);
   }
 };
 

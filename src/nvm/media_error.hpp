@@ -1,0 +1,111 @@
+// MediaError + SIGBUS-to-exception translation for mmap-backed NVM.
+//
+// Real persistent memory can develop *uncorrectable* errors: the DIMM
+// poisons the affected cacheline and a load from it machine-checks. On
+// Linux DAX mappings this surfaces as SIGBUS (with BUS_MCEERR_AR), which
+// by default aborts the whole process — one bad line takes down a server
+// that could have kept serving every other key. The same signal fires for
+// the mundane mmap hazard of reading past a truncated file's last page.
+//
+// This header turns both into a typed, catchable error:
+//
+//   nvm::with_media_guard(region.bytes(), [&] { ... reads ... });
+//
+// runs the callback with a thread-local SIGBUS trampoline armed for the
+// given address range. A SIGBUS whose faulting address falls inside the
+// range longjmps out of the handler and rethrows as MediaError carrying
+// the offset; a SIGBUS anywhere else (a genuine unrelated bug) re-raises
+// with the default disposition so it still crashes loudly.
+//
+// The simulated counterpart is CorruptingPM (corrupting_pm.hpp), whose
+// poisoned lines throw MediaError directly from the persistence-policy
+// read hook — same type, so recovery/scrub code handles emulated and real
+// media faults identically.
+#pragma once
+
+#include <csetjmp>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "util/types.hpp"
+
+namespace gh::nvm {
+
+/// A read hit uncorrectable (poisoned) media. `offset` is the byte offset
+/// of the faulting address within the guarded/tracked region.
+class MediaError : public std::runtime_error {
+ public:
+  MediaError(usize offset, const std::string& what)
+      : std::runtime_error(what), offset_(offset) {}
+
+  [[nodiscard]] usize offset() const { return offset_; }
+
+ private:
+  usize offset_;
+};
+
+namespace detail {
+
+/// Thread-local SIGBUS trampoline state. The process-wide handler (see
+/// media_guard.cpp) consults the calling thread's top guard; nesting is
+/// supported so a guarded scrub can call guarded helpers.
+struct SigbusGuardState {
+  const std::byte* begin = nullptr;
+  usize size = 0;
+  sigjmp_buf jump;
+  SigbusGuardState* outer = nullptr;
+  volatile usize fault_offset = 0;
+};
+
+SigbusGuardState*& current_sigbus_guard();
+
+/// Install the process-wide SIGBUS handler (idempotent, thread-safe) and
+/// push/pop a guard frame. Used by with_media_guard below.
+void push_sigbus_guard(SigbusGuardState* state);
+void pop_sigbus_guard(SigbusGuardState* state);
+
+}  // namespace detail
+
+/// Run `fn` with SIGBUS faults inside `range` translated to MediaError.
+/// Explicit push/pop on every exit path — no RAII object lives across the
+/// sigsetjmp, because siglongjmp re-enters the frame without running (or
+/// tracking) destructors.
+template <class Fn>
+auto with_media_guard(std::span<const std::byte> range, Fn&& fn) {
+  detail::SigbusGuardState state;
+  state.begin = range.data();
+  state.size = range.size();
+  detail::push_sigbus_guard(&state);
+  // sigsetjmp with savemask=1: the handler longjmps with SIGBUS blocked,
+  // and the restored mask re-enables it for subsequent faults.
+  if (sigsetjmp(state.jump, 1) != 0) {
+    const usize offset = state.fault_offset;
+    detail::pop_sigbus_guard(&state);
+    throw MediaError(offset, "uncorrectable media error (SIGBUS) at region offset " +
+                                 std::to_string(offset));
+  }
+  if constexpr (std::is_void_v<decltype(fn())>) {
+    try {
+      fn();
+    } catch (...) {
+      detail::pop_sigbus_guard(&state);
+      throw;
+    }
+    detail::pop_sigbus_guard(&state);
+  } else {
+    try {
+      auto result = fn();
+      detail::pop_sigbus_guard(&state);
+      return result;
+    } catch (...) {
+      detail::pop_sigbus_guard(&state);
+      throw;
+    }
+  }
+}
+
+}  // namespace gh::nvm

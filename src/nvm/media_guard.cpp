@@ -1,0 +1,69 @@
+#include "nvm/media_error.hpp"
+
+#include <signal.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "util/assert.hpp"
+
+namespace gh::nvm::detail {
+namespace {
+
+struct sigaction g_previous_action;
+
+/// Async-signal-safe: only reads the calling thread's guard stack and
+/// either longjmps (guarded fault) or restores the previous disposition
+/// and re-raises (unguarded fault — crash loudly, as without the guard).
+void sigbus_handler(int signo, siginfo_t* info, void* /*ucontext*/) {
+  SigbusGuardState* guard = current_sigbus_guard();
+  const auto* addr = static_cast<const std::byte*>(info->si_addr);
+  for (; guard != nullptr; guard = guard->outer) {
+    if (addr >= guard->begin && addr < guard->begin + guard->size) {
+      guard->fault_offset = static_cast<usize>(addr - guard->begin);
+      // The longjmp may skip nested inner frames whose ranges did not
+      // cover the fault; unwind them here (a plain thread-local pointer
+      // write — async-signal-safe) so the landing frame is the top.
+      current_sigbus_guard() = guard;
+      siglongjmp(guard->jump, 1);
+    }
+  }
+  // Not ours: fall through to the previous disposition. Re-raising with
+  // the handler restored reproduces the default fatal behaviour (or the
+  // embedding application's own handler).
+  ::sigaction(signo, &g_previous_action, nullptr);
+  ::raise(signo);
+}
+
+void install_handler_once() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa{};
+    sa.sa_sigaction = sigbus_handler;
+    sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+    sigemptyset(&sa.sa_mask);
+    GH_CHECK(::sigaction(SIGBUS, &sa, &g_previous_action) == 0);
+  });
+}
+
+}  // namespace
+
+SigbusGuardState*& current_sigbus_guard() {
+  thread_local SigbusGuardState* top = nullptr;
+  return top;
+}
+
+void push_sigbus_guard(SigbusGuardState* state) {
+  install_handler_once();
+  SigbusGuardState*& top = current_sigbus_guard();
+  state->outer = top;
+  top = state;
+}
+
+void pop_sigbus_guard(SigbusGuardState* state) {
+  SigbusGuardState*& top = current_sigbus_guard();
+  GH_CHECK_MSG(top == state, "media guard pop out of order");
+  top = state->outer;
+}
+
+}  // namespace gh::nvm::detail

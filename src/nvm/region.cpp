@@ -25,6 +25,29 @@ usize page_round(usize bytes) {
   return round_up(bytes, page);
 }
 
+/// Closes the owned fd on every exit path unless release()d into an
+/// NvmRegion. Preserves errno across the ::close() so the error that
+/// started the unwinding — not the close's — is what throw_errno reports.
+class FdGuard {
+ public:
+  explicit FdGuard(int fd) : fd_(fd) {}
+  ~FdGuard() {
+    if (fd_ >= 0) {
+      const int saved = errno;
+      ::close(fd_);
+      errno = saved;
+    }
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  int release() { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_;
+};
+
 }  // namespace
 
 NvmRegion::NvmRegion(std::byte* data, usize size, int fd, std::string path)
@@ -40,36 +63,28 @@ NvmRegion NvmRegion::create_anonymous(usize bytes) {
 NvmRegion NvmRegion::create_file(const std::string& path, usize bytes) {
   FaultFs::notify_create(path);  // fault-injection step boundary
   const usize size = page_round(bytes);
-  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) throw_errno("open(" + path + ")");
-  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
-    ::close(fd);
+  FdGuard fd(::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644));
+  if (fd.get() < 0) throw_errno("open(" + path + ")");
+  if (::ftruncate(fd.get(), static_cast<off_t>(size)) != 0) {
     throw_errno("ftruncate(" + path + ")");
   }
-  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
-  if (p == MAP_FAILED) {
-    ::close(fd);
-    throw_errno("mmap(" + path + ")");
-  }
-  return NvmRegion(static_cast<std::byte*>(p), size, fd, path);
+  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd.get(), 0);
+  if (p == MAP_FAILED) throw_errno("mmap(" + path + ")");
+  return NvmRegion(static_cast<std::byte*>(p), size, fd.release(), path);
 }
 
 NvmRegion NvmRegion::open_file(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDWR);
-  if (fd < 0) throw_errno("open(" + path + ")");
+  FdGuard fd(::open(path.c_str(), O_RDWR));
+  if (fd.get() < 0) throw_errno("open(" + path + ")");
   struct stat st{};
-  if (::fstat(fd, &st) != 0) {
-    ::close(fd);
+  if (::fstat(fd.get(), &st) != 0) {
     throw_errno("fstat(" + path + ")");
   }
   const usize size = static_cast<usize>(st.st_size);
   GH_CHECK_MSG(size > 0, "cannot map an empty NVM file");
-  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
-  if (p == MAP_FAILED) {
-    ::close(fd);
-    throw_errno("mmap(" + path + ")");
-  }
-  return NvmRegion(static_cast<std::byte*>(p), size, fd, path);
+  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd.get(), 0);
+  if (p == MAP_FAILED) throw_errno("mmap(" + path + ")");
+  return NvmRegion(static_cast<std::byte*>(p), size, fd.release(), path);
 }
 
 NvmRegion::NvmRegion(NvmRegion&& other) noexcept

@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "core/group_hash_map.hpp"
+#include "core/map_format.hpp"
 #include "hash/cells.hpp"
 #include "nvm/direct_pm.hpp"
 #include "nvm/region.hpp"
@@ -112,7 +113,8 @@ TEST(MapFileInfoTest, ReadsSuperblockWithoutRecovery) {
   const MapFileInfo clean = read_map_file_info(path);
   EXPECT_TRUE(clean.clean);
   EXPECT_EQ(clean.count, 10u);
-  EXPECT_EQ(clean.version, 1u);
+  EXPECT_EQ(clean.version, map_format::kVersion);
+  EXPECT_TRUE(clean.superblock_crc_ok);
   std::filesystem::remove(path);
 }
 

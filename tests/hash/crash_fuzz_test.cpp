@@ -30,6 +30,7 @@ struct FuzzCase {
   bool with_wal;
   u64 seed;
   bool wide = false;  ///< 32-byte cells (Key128 + tag commit protocol)
+  bool crc = false;   ///< per-group checksums (rebuilt by recovery)
 };
 
 std::string case_name(const ::testing::TestParamInfo<FuzzCase>& info) {
@@ -39,6 +40,7 @@ std::string case_name(const ::testing::TestParamInfo<FuzzCase>& info) {
   }
   name += info.param.with_wal ? "_L" : "";
   name += info.param.wide ? "_W" : "";
+  name += info.param.crc ? "_C" : "";
   name += "_s" + std::to_string(info.param.seed);
   return name;
 }
@@ -53,6 +55,7 @@ class CrashFuzz : public ::testing::TestWithParam<FuzzCase> {
     cfg.with_wal = GetParam().with_wal;
     cfg.wal_records = 256;
     cfg.wide_cells = GetParam().wide;
+    cfg.group_crc = GetParam().crc;
     return cfg;
   }
 
@@ -115,7 +118,12 @@ TEST_P(CrashFuzz, RandomCrashPointsRecoverToOracleState) {
   const u64 total_events = timeline.op_end_events.back();
 
   Xoshiro256 rng(GetParam().seed * 1337 + 11);
-  constexpr int kCrashes = 25;
+  constexpr int kCrashes = 12;
+  // One crash point leaves a whole SPACE of post-crash images: any subset
+  // of the unflushed lines may have been evicted (persisted) before the
+  // power died. Sweep several eviction seeds per crash point so a scheme
+  // that only survives one lucky eviction order cannot pass.
+  constexpr u64 kEvictionSeeds = 8;
   for (int trial = 0; trial < kCrashes; ++trial) {
     const u64 crash_at = first_event + rng.next_below(total_events - first_event);
     std::fill(mem.begin(), mem.end(), std::byte{0});
@@ -133,47 +141,62 @@ TEST_P(CrashFuzz, RandomCrashPointsRecoverToOracleState) {
     const trace::TraceOp* inflight =
         r.ops_completed < ops.ops.size() ? &ops.ops[r.ops_completed] : nullptr;
 
-    const auto image =
-        pm.materialize_crash_image(CrashMode::kRandomEviction, crash_at * 97 + trial);
-    pm.reset_to_image(image);
-    auto table = make_table(pm, mem, config(), /*format=*/false);
-    const auto report = table->recover();
+    // Materialize every eviction variant BEFORE the first reset: replaying
+    // an image and recovering on it mutates the shadow state the images
+    // are derived from.
+    std::vector<std::vector<std::byte>> images;
+    images.reserve(kEvictionSeeds);
+    for (u64 ev = 0; ev < kEvictionSeeds; ++ev) {
+      images.push_back(pm.materialize_crash_image(CrashMode::kRandomEviction,
+                                                  crash_at * 97 + trial * 131 + ev));
+    }
 
-    u64 present = 0;
-    for (const auto& [k, v] : oracle) {
-      if (inflight != nullptr && inflight->key.lo == k) continue;  // checked below
-      const auto found = table->find(Key128{k, 0});
-      ASSERT_TRUE(found.has_value())
-          << "lost committed key " << k << " (crash at " << crash_at << ")";
-      EXPECT_EQ(*found, v);
-      present++;
-    }
-    if (inflight != nullptr) {
-      const u64 k = inflight->key.lo;
-      const auto found = table->find(Key128{k, 0});
-      const auto it = oracle.find(k);
-      switch (inflight->type) {
-        case trace::OpType::kInsert:
-          // Absent, or fully inserted with the op's value.
-          if (found.has_value()) EXPECT_EQ(*found, inflight->value);
-          break;
-        case trace::OpType::kDelete:
-          // Still present with the pre-op value, or gone.
-          if (found.has_value()) {
-            ASSERT_NE(it, oracle.end());
-            EXPECT_EQ(*found, it->second);
-          }
-          break;
-        case trace::OpType::kQuery:
-          // Queries mutate nothing: the key must be exactly as committed.
-          ASSERT_EQ(found.has_value(), it != oracle.end());
-          if (found.has_value()) EXPECT_EQ(*found, it->second);
-          break;
+    for (u64 ev = 0; ev < kEvictionSeeds; ++ev) {
+      SCOPED_TRACE("crash at " + std::to_string(crash_at) + ", eviction seed " +
+                   std::to_string(ev));
+      pm.reset_to_image(images[ev]);
+      auto table = make_table(pm, mem, config(), /*format=*/false);
+      const auto report = table->recover();
+
+      u64 present = 0;
+      for (const auto& [k, v] : oracle) {
+        if (inflight != nullptr && inflight->key.lo == k) continue;  // checked below
+        const auto found = table->find(Key128{k, 0});
+        ASSERT_TRUE(found.has_value()) << "lost committed key " << k;
+        EXPECT_EQ(*found, v);
+        present++;
       }
-      present += found.has_value() ? 1 : 0;
+      if (inflight != nullptr) {
+        const u64 k = inflight->key.lo;
+        const auto found = table->find(Key128{k, 0});
+        const auto it = oracle.find(k);
+        switch (inflight->type) {
+          case trace::OpType::kInsert:
+            // Absent, or fully inserted with the op's value.
+            if (found.has_value()) {
+              EXPECT_EQ(*found, inflight->value);
+            }
+            break;
+          case trace::OpType::kDelete:
+            // Still present with the pre-op value, or gone.
+            if (found.has_value()) {
+              ASSERT_NE(it, oracle.end());
+              EXPECT_EQ(*found, it->second);
+            }
+            break;
+          case trace::OpType::kQuery:
+            // Queries mutate nothing: the key must be exactly as committed.
+            ASSERT_EQ(found.has_value(), it != oracle.end());
+            if (found.has_value()) {
+              EXPECT_EQ(*found, it->second);
+            }
+            break;
+        }
+        present += found.has_value() ? 1 : 0;
+      }
+      EXPECT_EQ(table->count(), present) << "count mismatch";
+      EXPECT_EQ(report.recovered_count, present);
     }
-    EXPECT_EQ(table->count(), present) << "count mismatch (crash at " << crash_at << ")";
-    EXPECT_EQ(report.recovered_count, present);
   }
 }
 
@@ -194,7 +217,14 @@ INSTANTIATE_TEST_SUITE_P(
                       FuzzCase{Scheme::kGroup, false, 1, true},
                       FuzzCase{Scheme::kGroup, false, 2, true},
                       FuzzCase{Scheme::kGroup2H, false, 1, true},
-                      FuzzCase{Scheme::kGroup2H, false, 2, true}),
+                      FuzzCase{Scheme::kGroup2H, false, 2, true},
+                      // Per-group checksums: the checksum store is NOT
+                      // failure-atomic with the cell commit, so recovery
+                      // must rebuild a consistent state from every
+                      // crash point × eviction order.
+                      FuzzCase{Scheme::kGroup, false, 1, false, true},
+                      FuzzCase{Scheme::kGroup, false, 2, false, true},
+                      FuzzCase{Scheme::kGroup, false, 1, true, true}),
     case_name);
 
 }  // namespace

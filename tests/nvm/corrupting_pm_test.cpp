@@ -1,0 +1,113 @@
+#include "nvm/corrupting_pm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "nvm/media_error.hpp"
+#include "util/types.hpp"
+
+namespace gh::nvm {
+namespace {
+
+struct CorruptingPmTest : ::testing::Test {
+  std::array<std::byte, 4096> buf{};
+  CorruptingPM pm{{buf.data(), buf.size()}};
+};
+
+TEST_F(CorruptingPmTest, FlipRandomBitsIsDeterministicAndReported) {
+  std::array<std::byte, 4096> shadow{};
+  const auto offsets = pm.flip_random_bits(1234, 16);
+  ASSERT_EQ(offsets.size(), 16u);
+  EXPECT_EQ(pm.bits_flipped(), 16u);
+  // Every reported offset differs from the pristine shadow; nothing else
+  // does (offsets may repeat — a double flip restores the byte).
+  for (usize i = 0; i < buf.size(); ++i) {
+    const bool reported =
+        std::find(offsets.begin(), offsets.end(), i) != offsets.end();
+    if (!reported) {
+      EXPECT_EQ(buf[i], shadow[i]) << "unreported flip at " << i;
+    }
+  }
+  // Same seed on a fresh span reproduces the exact offsets.
+  std::array<std::byte, 4096> buf2{};
+  CorruptingPM pm2({buf2.data(), buf2.size()});
+  EXPECT_EQ(pm2.flip_random_bits(1234, 16), offsets);
+}
+
+TEST_F(CorruptingPmTest, FlipBitTargetsExactBit) {
+  pm.flip_bit(100, 3);
+  EXPECT_EQ(buf[100], std::byte{0x08});
+  pm.flip_bit(100, 3);
+  EXPECT_EQ(buf[100], std::byte{0x00});
+}
+
+TEST_F(CorruptingPmTest, ArmedTearTruncatesNextMultiWordCopy) {
+  std::array<unsigned char, 64> src;
+  src.fill(0xab);
+  pm.arm_tear(2);  // only the first two 8-byte units reach media
+  pm.copy(buf.data(), src.data(), src.size());
+  EXPECT_EQ(pm.tears_injected(), 1u);
+  for (usize i = 0; i < 16; ++i) EXPECT_EQ(buf[i], std::byte{0xab}) << i;
+  for (usize i = 16; i < 64; ++i) EXPECT_EQ(buf[i], std::byte{0x00}) << i;
+  // One-shot: the next copy lands whole.
+  pm.copy(buf.data(), src.data(), src.size());
+  for (usize i = 0; i < 64; ++i) EXPECT_EQ(buf[i], std::byte{0xab}) << i;
+  EXPECT_EQ(pm.tears_injected(), 1u);
+}
+
+TEST_F(CorruptingPmTest, TearDoesNotAffectAtomicStores) {
+  pm.arm_tear(0);
+  u64 word = 0;
+  pm.atomic_store_u64(&word, 0xdeadbeef);  // at/below the atomic unit: never torn
+  EXPECT_EQ(word, 0xdeadbeefu);
+  EXPECT_EQ(pm.tears_injected(), 0u);
+}
+
+TEST_F(CorruptingPmTest, PoisonedLineThrowsOnReadAndHealsOnWrite) {
+  pm.poison_line(130);  // poisons the line [128, 192)
+  EXPECT_TRUE(pm.line_poisoned(128));
+  EXPECT_TRUE(pm.line_poisoned(191));
+  EXPECT_FALSE(pm.line_poisoned(192));
+
+  EXPECT_NO_THROW(pm.touch_read(buf.data(), 64));  // line 0: clean
+  try {
+    pm.touch_read(buf.data() + 160, 8);
+    FAIL() << "poisoned read did not throw";
+  } catch (const MediaError& e) {
+    EXPECT_EQ(e.offset(), 128u);  // line-aligned fault offset
+  }
+  // A read spanning into the poisoned line faults too.
+  EXPECT_THROW(pm.touch_read(buf.data() + 120, 16), MediaError);
+  EXPECT_EQ(pm.poison_reads(), 2u);
+
+  // Clear-on-write: storing anywhere on the line heals it.
+  pm.store_u64(reinterpret_cast<u64*>(buf.data() + 136), 7);
+  EXPECT_FALSE(pm.line_poisoned(130));
+  EXPECT_NO_THROW(pm.touch_read(buf.data() + 160, 8));
+}
+
+TEST_F(CorruptingPmTest, ReadsOutsideTrackedSpanNeverFault) {
+  pm.poison_line(0);
+  std::array<std::byte, 64> elsewhere{};
+  EXPECT_NO_THROW(pm.touch_read(elsewhere.data(), elsewhere.size()));
+}
+
+TEST_F(CorruptingPmTest, StatsAccumulateLikeAnyPolicy) {
+  u64 word = 0;
+  pm.store_u64(&word, 1);
+  pm.atomic_store_u64(&word, 2);
+  pm.persist(&word, sizeof(word));
+  pm.fence();
+  EXPECT_EQ(pm.stats().stores, 1u);
+  EXPECT_EQ(pm.stats().atomic_stores, 1u);
+  EXPECT_EQ(pm.stats().persist_calls, 1u);
+  EXPECT_GE(pm.stats().fences, 2u);  // persist implies a fence
+  EXPECT_EQ(pm.stats().bytes_written, 16u);
+}
+
+}  // namespace
+}  // namespace gh::nvm

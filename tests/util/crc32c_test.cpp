@@ -1,0 +1,94 @@
+#include "util/crc32c.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace gh {
+namespace {
+
+// Known-answer vectors from RFC 3720 (iSCSI, CRC32C appendix B.4) plus
+// the classic "123456789" check value. These pin the polynomial and the
+// bit order — a wrong table or a wrong reflection fails all of them.
+TEST(Crc32c, Rfc3720Vectors) {
+  std::array<unsigned char, 32> buf{};
+  buf.fill(0x00);
+  EXPECT_EQ(crc32c(buf.data(), buf.size()), 0x8a9136aau);
+  buf.fill(0xff);
+  EXPECT_EQ(crc32c(buf.data(), buf.size()), 0x62a8ab43u);
+  for (usize i = 0; i < buf.size(); ++i) buf[i] = static_cast<unsigned char>(i);
+  EXPECT_EQ(crc32c(buf.data(), buf.size()), 0x46dd794eu);
+  for (usize i = 0; i < buf.size(); ++i) buf[i] = static_cast<unsigned char>(31 - i);
+  EXPECT_EQ(crc32c(buf.data(), buf.size()), 0x113fdb5cu);
+}
+
+TEST(Crc32c, CheckValue) {
+  const char* s = "123456789";
+  EXPECT_EQ(crc32c(s, 9), 0xe3069283u);
+}
+
+TEST(Crc32c, StreamingMatchesOneShot) {
+  Xoshiro256 rng(7);
+  std::vector<unsigned char> data(1031);
+  for (auto& b : data) b = static_cast<unsigned char>(rng.next_below(256));
+  const u32 whole = crc32c(data.data(), data.size());
+  for (const usize split : {usize{0}, usize{1}, usize{7}, usize{512}, data.size()}) {
+    u32 c = crc32c_update(~0u, data.data(), split);
+    c = crc32c_update(c, data.data() + split, data.size() - split);
+    EXPECT_EQ(~c, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, SeededSeparatesIdenticalPayloads) {
+  const u64 payload[2] = {0x1234, 0x5678};
+  // Same bytes under different seeds (cell indices) must digest apart —
+  // this is what makes swapped cells detectable in the group XOR.
+  EXPECT_NE(crc32c_seeded(0, payload, sizeof(payload)),
+            crc32c_seeded(1, payload, sizeof(payload)));
+}
+
+TEST(Crc32c, AnyBitFlipChangesDigest) {
+  std::array<unsigned char, 16> cell{};
+  cell[3] = 0xab;
+  const u32 base = crc32c_seeded(42, cell.data(), cell.size());
+  for (usize byte = 0; byte < cell.size(); ++byte) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      auto flipped = cell;
+      flipped[byte] ^= static_cast<unsigned char>(1u << bit);
+      EXPECT_NE(crc32c_seeded(42, flipped.data(), flipped.size()), base)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+// The group-checksum construction: digest(group) = XOR over cells of the
+// per-cell seeded CRC. Incremental maintenance (XOR out old, XOR in new)
+// must land exactly where a full recomputation does.
+TEST(Crc32c, XorOfCellDigestsIsIncrementallyMaintainable) {
+  constexpr usize kCells = 8;
+  constexpr usize kCellBytes = 16;
+  Xoshiro256 rng(99);
+  std::array<std::array<unsigned char, kCellBytes>, kCells> cells{};
+  auto full_digest = [&] {
+    u64 d = 0;
+    for (usize i = 0; i < kCells; ++i) d ^= crc32c_seeded(i, cells[i].data(), kCellBytes);
+    return d;
+  };
+  u64 digest = full_digest();
+  for (int step = 0; step < 100; ++step) {
+    const usize i = static_cast<usize>(rng.next_below(kCells));
+    const u64 old = crc32c_seeded(i, cells[i].data(), kCellBytes);
+    cells[i][rng.next_below(kCellBytes)] =
+        static_cast<unsigned char>(rng.next_below(256));
+    digest ^= old ^ crc32c_seeded(i, cells[i].data(), kCellBytes);
+    ASSERT_EQ(digest, full_digest()) << "diverged at step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace gh
