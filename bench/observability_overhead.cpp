@@ -1,0 +1,155 @@
+// Observability overhead — the acceptance gate for the obs layer.
+//
+// Two questions:
+//   1. primitive cost: what does one hook cost in isolation (rdtsc pair,
+//      histogram record, striped counter add)?
+//   2. end-to-end cost: insert/query throughput on a GroupHashMap at the
+//      paper's 300 ns flush model, with per-op latency recording ON vs
+//      OFF (MapOptions::record_latency). Target: ≤ 2% regression with
+//      recording on; a GH_OBS_OFF build compiles every hook away and
+//      must measure ~0%.
+//
+// Flags: --keys=N (default 200k), --reps=N primitive loop count.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/group_hash_map.hpp"
+#include "obs/metrics.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gh;
+using bench::do_not_optimize;
+
+double ns_per_iter(u64 reps, const std::function<void()>& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
+         static_cast<double>(reps);
+}
+
+struct MapRun {
+  double insert_ns = 0;
+  double query_ns = 0;
+};
+
+MapRun run_map(u64 keys, u64 flush_ns, bool record_latency, u32 sample_shift) {
+  auto map = BasicGroupHashMap<hash::Cell16>::create_in_memory(
+      {.initial_cells = 4 * keys, .flush_latency_ns = flush_ns,
+       .record_latency = record_latency, .latency_sample_shift = sample_shift});
+  MapRun r;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (u64 k = 1; k <= keys; ++k) map.put(k, k);
+    const auto t1 = std::chrono::steady_clock::now();
+    r.insert_ns = static_cast<double>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
+                  static_cast<double>(keys);
+  }
+  {
+    u64 hits = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (u64 k = 1; k <= keys; ++k) hits += map.get(k).has_value();
+    const auto t1 = std::chrono::steady_clock::now();
+    do_not_optimize(hits);
+    r.query_ns = static_cast<double>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
+                 static_cast<double>(keys);
+  }
+  return r;
+}
+
+// The insert path is dominated by the calibrated 300 ns flush spin, whose
+// run-to-run variance (VM scheduling, frequency) is larger than the hook
+// cost being measured. Best-of-N is the standard noise-robust estimator:
+// the minimum over rounds converges on the true cost floor.
+MapRun best_of(int rounds, u64 keys, u64 flush_ns, bool record_latency,
+               u32 sample_shift) {
+  MapRun best = run_map(keys, flush_ns, record_latency, sample_shift);
+  for (int i = 1; i < rounds; ++i) {
+    const MapRun r = run_map(keys, flush_ns, record_latency, sample_shift);
+    best.insert_ns = std::min(best.insert_ns, r.insert_ns);
+    best.query_ns = std::min(best.query_ns, r.query_ns);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto env = bench::BenchEnv::from_env();
+  const u64 keys = cli.get_u64("keys", 200'000);
+  const u64 reps = cli.get_u64("reps", 2'000'000);
+
+  bench::print_banner("observability overhead (obs layer acceptance)",
+                      "repo extension: metrics registry + op tracing", env);
+  std::printf("obs hooks compiled: %s\n\n", obs::kEnabled ? "ON" : "OFF (GH_OBS_OFF)");
+
+  // --- primitive costs ------------------------------------------------------
+  {
+    TablePrinter t({"primitive", "ns/op"});
+    u64 sink = 0;
+    t.add_row({"rdtsc pair (op_start+op_finish timing)",
+               format_double(ns_per_iter(reps, [&] {
+                 for (u64 i = 0; i < reps; ++i) sink += obs::now_ticks() - obs::now_ticks();
+               }), 2)});
+    obs::LatencyHistogram hist;
+    t.add_row({"LatencyHistogram::record",
+               format_double(ns_per_iter(reps, [&] {
+                 for (u64 i = 0; i < reps; ++i) hist.record(i & 0xffff);
+               }), 2)});
+    obs::StripedCounter counter;
+    t.add_row({"StripedCounter::add",
+               format_double(ns_per_iter(reps, [&] {
+                 for (u64 i = 0; i < reps; ++i) counter.add(1);
+               }), 2)});
+    do_not_optimize(sink);
+    do_not_optimize(hist);
+    t.print(std::cout);
+  }
+
+  // --- end-to-end map overhead ---------------------------------------------
+  std::printf("\nGroupHashMap, %s keys, flush latency %llu ns:\n",
+              format_count(keys).c_str(),
+              static_cast<unsigned long long>(env.flush_latency_ns));
+  // Warm-up run (page faults, allocator) discarded.
+  run_map(keys / 4, env.flush_latency_ns, true, obs::kDefaultSampleShift);
+  const int rounds = static_cast<int>(cli.get_u64("rounds", 3));
+  const MapRun off = best_of(rounds, keys, env.flush_latency_ns,
+                             /*record_latency=*/false, obs::kDefaultSampleShift);
+  const MapRun on = best_of(rounds, keys, env.flush_latency_ns,
+                            /*record_latency=*/true, obs::kDefaultSampleShift);
+  const MapRun every = best_of(rounds, keys, env.flush_latency_ns,
+                               /*record_latency=*/true, /*sample_shift=*/0);
+
+  TablePrinter t({"config", "insert ns/op", "query ns/op"});
+  t.add_row({"record_latency=off", format_double(off.insert_ns, 1),
+             format_double(off.query_ns, 1)});
+  t.add_row({"on, sampled 1/64 (default)", format_double(on.insert_ns, 1),
+             format_double(on.query_ns, 1)});
+  t.add_row({"on, every op (shift=0)", format_double(every.insert_ns, 1),
+             format_double(every.query_ns, 1)});
+  const double insert_pct = off.insert_ns > 0
+                                ? 100.0 * (on.insert_ns - off.insert_ns) / off.insert_ns
+                                : 0;
+  const double query_pct = off.query_ns > 0
+                               ? 100.0 * (on.query_ns - off.query_ns) / off.query_ns
+                               : 0;
+  t.add_row({"overhead", format_double(insert_pct, 2) + "%",
+             format_double(query_pct, 2) + "%"});
+  t.print(std::cout);
+  std::printf("\nacceptance: insert overhead %s 2%% target%s\n",
+              insert_pct <= 2.0 ? "within" : "ABOVE",
+              obs::kEnabled ? "" : " (hooks compiled out; expect ~0%)");
+  return 0;
+}

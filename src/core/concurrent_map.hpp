@@ -131,7 +131,33 @@ class BasicConcurrentGroupHashMap {
   /// Shard a key routes to (tests target one shard's lock with this).
   [[nodiscard]] usize shard_index(const key_type& key) const { return shard_of(key); }
 
-  /// Contention counters of one shard / aggregated over all shards.
+  /// One unified stats sample over all shards: the aggregate persist /
+  /// table-op / scrub / contention / lifecycle counters, merged per-op
+  /// latency histograms, and a per-shard brief. Each shard is sampled
+  /// under its seqlock's read side, so a concurrent expansion cannot tear
+  /// the view and the carried-over counters survive intact.
+  [[nodiscard]] obs::Snapshot snapshot() {
+    obs::Snapshot total;
+    total.source = sizeof(Cell) == 16 ? "ConcurrentGroupHashMap" : "ConcurrentGroupHashMapWide";
+    total.shards = shards_.size();
+    obs::OpRecorder merged;
+    for (usize i = 0; i < shards_.size(); ++i) {
+      ShardState& sh = *shards_[i];
+      SeqLockReadGuard guard(sh.lock);
+      obs::Snapshot s = sh.map.snapshot();
+      s.contention = obs::ContentionSnapshot::from(sh.contention);
+      total.per_shard.push_back(obs::ShardBrief{i, s.size, s.capacity, s.contention,
+                                                s.lifecycle.expansions,
+                                                s.lifecycle.degraded});
+      total.absorb(s);
+      merged.merge(sh.map.op_recorder());
+    }
+    total.latency = obs::OpLatencySnapshot::from(merged);
+    return total;
+  }
+
+  /// DEPRECATED: contention counters of one shard / aggregated over all
+  /// shards — the same numbers snapshot().contention / .per_shard report.
   [[nodiscard]] const LockContention& shard_contention(usize s) const {
     return shards_[s]->contention;
   }

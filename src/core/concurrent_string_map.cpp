@@ -149,4 +149,24 @@ LockContention ConcurrentStringMap::contention() const {
   return total;
 }
 
+obs::Snapshot ConcurrentStringMap::snapshot() {
+  obs::Snapshot total;
+  total.source = "ConcurrentStringMap";
+  total.shards = shards_.size();
+  obs::OpRecorder merged;
+  for (usize i = 0; i < shards_.size(); ++i) {
+    ShardState& sh = *shards_[i];
+    SeqLockReadGuard guard(sh.lock);
+    obs::Snapshot s = sh.map.snapshot();
+    s.contention = obs::ContentionSnapshot::from(sh.contention);
+    total.per_shard.push_back(obs::ShardBrief{i, s.size, s.capacity, s.contention,
+                                              s.lifecycle.compactions,
+                                              s.lifecycle.degraded});
+    total.absorb(s);
+    merged.merge(sh.map.op_recorder());
+  }
+  total.latency = obs::OpLatencySnapshot::from(merged);
+  return total;
+}
+
 }  // namespace gh

@@ -67,6 +67,15 @@ class ConcurrentStringMap {
   [[nodiscard]] LockMode lock_mode() const { return mode_; }
   [[nodiscard]] usize shard_index(std::string_view key) const { return shard_of(key); }
 
+  /// One unified stats sample over all shards (see
+  /// BasicConcurrentGroupHashMap::snapshot): aggregate counters, merged
+  /// per-op latency histograms, and a per-shard brief. Each shard is
+  /// sampled under its seqlock's read side, so a concurrent compaction
+  /// cannot tear the view.
+  [[nodiscard]] obs::Snapshot snapshot();
+
+  /// DEPRECATED: the same numbers snapshot().contention / .per_shard
+  /// report.
   [[nodiscard]] const LockContention& shard_contention(usize s) const {
     return shards_[s]->contention;
   }

@@ -34,6 +34,7 @@
 #include "hash/group_hashing.hpp"
 #include "nvm/direct_pm.hpp"
 #include "nvm/region.hpp"
+#include "obs/snapshot.hpp"
 #include "util/assert.hpp"
 #include "util/seqlock.hpp"
 #include "util/types.hpp"
@@ -138,6 +139,25 @@ class BasicConcurrentGroupHashTable {
   [[nodiscard]] usize lock_stripes() const { return stripes_.size(); }
   [[nodiscard]] LockMode lock_mode() const { return mode_; }
 
+  /// Unified stats sample: the table's persist/op/integrity counters plus
+  /// stripe contention summed into one obs::Snapshot. Safe against
+  /// concurrent writers (all fields are sampled from relaxed counters; the
+  /// table itself never moves at this layer).
+  [[nodiscard]] obs::Snapshot snapshot() {
+    obs::Snapshot s;
+    s.source = sizeof(Cell) == 16 ? "ConcurrentGroupHashTable" : "ConcurrentGroupHashTableWide";
+    s.size = table_->count();
+    s.capacity = table_->capacity();
+    s.load_factor = table_->load_factor();
+    s.shards = stripes_.size();
+    s.persist = obs::PersistSnapshot::from(pm_.stats());
+    s.table = obs::TableOpSnapshot::from(table_->stats());
+    s.scrub = obs::ScrubSnapshot::from(table_->stats(), hash::ScrubReport{});
+    s.contention = obs::ContentionSnapshot::from(contention());
+    return s;
+  }
+
+  /// DEPRECATED: the same numbers snapshot().contention reports.
   [[nodiscard]] const LockContention& stripe_contention(usize i) const {
     return stripes_[i].contention;
   }

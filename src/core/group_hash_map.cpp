@@ -48,6 +48,14 @@ void BasicGroupHashMap<Cell>::init_region(nvm::NvmRegion region, const MapOption
     pm_ = std::make_unique<nvm::DirectPM>(
         nvm::PersistConfig{.flush_latency_ns = options.flush_latency_ns});
   }
+  if (!recorder_) {
+    recorder_ = std::make_unique<obs::OpRecorder>();
+    obs_reg_ = obs::Registration(
+        std::string(sizeof(Cell) == 16 ? "GroupHashMap" : "GroupHashMapWide") +
+            (path_.empty() ? "(mem)" : ":" + path_),
+        recorder_.get());
+  }
+  gate_.set_shift(options.latency_sample_shift);
   if (fresh) {
     const u64 total_cells = pow2_at_least(std::max<u64>(options.initial_cells, 16));
     typename Table::Params params{
@@ -192,12 +200,23 @@ void BasicGroupHashMap<Cell>::abandon() {
   region_ = nvm::NvmRegion();
   retired_regions_.clear();
   closed_ = true;
+  // Observability resets coherently with the simulated crash: every read
+  // surface (metrics(), snapshot(), op_recorder()) now reports zeros, the
+  // same blank slate the recovering open() starts from.
+  metrics_ = MapMetrics{};
+  pm_->stats() = nvm::PersistStats{};
+  if (recorder_) recorder_->reset();
 }
 
 template <class Cell>
 void BasicGroupHashMap<Cell>::put(const key_type& key, u64 value) {
   GH_CHECK_MSG(!closed_, "map is closed");
-  if (table().update(key, value)) return;
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
+  if (table().update(key, value)) {
+    op_finish(obs::OpKind::kInsert, trace_key(key), t0, l0);
+    return;
+  }
   while (!table().insert(key, value)) {
     if (!options_.auto_expand) throw std::runtime_error("GroupHashMap is full");
     if (!try_expand()) {
@@ -205,26 +224,34 @@ void BasicGroupHashMap<Cell>::put(const key_type& key, u64 value) {
                              last_expand_error_ + "); will retry with backoff");
     }
   }
+  op_finish(obs::OpKind::kInsert, trace_key(key), t0, l0);
 }
 
 template <class Cell>
 std::optional<u64> BasicGroupHashMap<Cell>::get(const key_type& key) {
-  return table().find(key);
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
+  auto r = table().find(key);
+  op_finish(obs::OpKind::kFind, trace_key(key), t0, l0);
+  return r;
 }
 
 template <class Cell>
 bool BasicGroupHashMap<Cell>::contains(const key_type& key) {
-  return table().find(key).has_value();
+  return get(key).has_value();
 }
 
 template <class Cell>
 u64 BasicGroupHashMap<Cell>::increment(const key_type& key, u64 delta) {
   GH_CHECK_MSG(!closed_, "map is closed");
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
   // One probe: find the cell, bump its value in place; fall back to an
   // insert when the key is new.
   if (const auto current = table().find(key)) {
     const u64 next = *current + delta;
     GH_CHECK(table().update(key, next));
+    op_finish(obs::OpKind::kInsert, trace_key(key), t0, l0);
     return next;
   }
   while (!table().insert(key, delta)) {
@@ -234,19 +261,27 @@ u64 BasicGroupHashMap<Cell>::increment(const key_type& key, u64 delta) {
                              last_expand_error_ + "); will retry with backoff");
     }
   }
+  op_finish(obs::OpKind::kInsert, trace_key(key), t0, l0);
   return delta;
 }
 
 template <class Cell>
 bool BasicGroupHashMap<Cell>::erase(const key_type& key) {
   GH_CHECK_MSG(!closed_, "map is closed");
-  return table().erase(key);
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
+  const bool hit = table().erase(key);
+  op_finish(obs::OpKind::kErase, trace_key(key), t0, l0);
+  return hit;
 }
 
 template <class Cell>
 hash::RecoveryReport BasicGroupHashMap<Cell>::recover_now() {
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
   const auto report = table().recover();
   metrics_.recoveries++;
+  op_finish(obs::OpKind::kRecover, 0, t0, l0);
   return report;
 }
 
@@ -257,6 +292,8 @@ void BasicGroupHashMap<Cell>::report_loss(const hash::LostCell& cell) {
 
 template <class Cell>
 hash::ScrubReport BasicGroupHashMap<Cell>::scrub(u64 max_groups) {
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
   hash::ScrubReport report;
   const u64 ngroups = table().num_groups();
   if (ngroups == 0 || !table().checksums_enabled()) return report;
@@ -272,6 +309,7 @@ hash::ScrubReport BasicGroupHashMap<Cell>::scrub(u64 max_groups) {
     scrub_cursor_ = (scrub_cursor_ + chunk) % ngroups;
     remaining -= chunk;
   }
+  op_finish(obs::OpKind::kScrub, 0, t0, l0);
   return report;
 }
 
@@ -307,13 +345,42 @@ bool BasicGroupHashMap<Cell>::try_expand() {
 
 template <class Cell>
 const MapMetrics& BasicGroupHashMap<Cell>::metrics() {
-  metrics_.table = table().stats();
-  metrics_.persist = pm_->stats();
+  // After abandon() the table is gone; serve the (reset) stored sample
+  // instead of dereferencing it.
+  if (table_) metrics_.table = table().stats();
+  if (pm_) metrics_.persist = pm_->stats();
   return metrics_;
 }
 
 template <class Cell>
+obs::Snapshot BasicGroupHashMap<Cell>::snapshot() {
+  obs::Snapshot s;
+  s.source = sizeof(Cell) == 16 ? "GroupHashMap" : "GroupHashMapWide";
+  if (table_) {
+    s.size = table().count();
+    s.capacity = table().capacity();
+    s.load_factor = table().load_factor();
+    s.table = obs::TableOpSnapshot::from(table().stats());
+    s.scrub = obs::ScrubSnapshot::from(table().stats(), open_scrub_);
+  } else {
+    // Abandoned (simulated crash): counters were reset coherently there.
+    s.table = obs::TableOpSnapshot::from(metrics_.table);
+    s.scrub = obs::ScrubSnapshot::from(metrics_.table, open_scrub_);
+  }
+  if (pm_) s.persist = obs::PersistSnapshot::from(pm_->stats());
+  s.lifecycle.expansions = metrics_.expansions;
+  s.lifecycle.expand_failures = metrics_.expand_failures;
+  s.lifecycle.recoveries = metrics_.recoveries;
+  s.lifecycle.orphans_reclaimed = orphans_reclaimed_;
+  s.lifecycle.degraded = expand_pending_;
+  if (recorder_) s.latency = obs::OpLatencySnapshot::from(*recorder_);
+  return s;
+}
+
+template <class Cell>
 void BasicGroupHashMap<Cell>::expand() {
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
   u64 new_total = 2 * table().capacity();
   for (;;) {
     typename Table::Params params{
@@ -374,6 +441,7 @@ void BasicGroupHashMap<Cell>::expand() {
     region_ = std::move(new_region);
     metrics_.expansions++;
     scrub_cursor_ = 0;  // group numbering changed with the geometry
+    op_finish(obs::OpKind::kExpand, 0, t0, l0);
     return;
   }
 }

@@ -26,6 +26,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/errors.hpp"
@@ -33,6 +34,7 @@
 #include "hash/group_hashing.hpp"
 #include "nvm/direct_pm.hpp"
 #include "nvm/region.hpp"
+#include "obs/snapshot.hpp"
 #include "util/types.hpp"
 
 namespace gh {
@@ -72,8 +74,16 @@ struct MapOptions {
   /// Invoked for every cell a scrub pass drops or salvages — the hook an
   /// application uses to re-ingest lost keys from an upstream source.
   std::function<void(const hash::LostCell&)> on_lost_cell = nullptr;
+  /// Record per-op latency histograms (see obs/metrics.hpp). Always off
+  /// when built with GH_OBS_OFF.
+  bool record_latency = true;
+  /// Time 1 in 2^shift ops (0 = every op). See obs::kDefaultSampleShift
+  /// for why timing every op is expensive on virtualized TSCs.
+  u32 latency_sample_shift = obs::kDefaultSampleShift;
 };
 
+/// DEPRECATED back-compat view — read snapshot() instead, which adds
+/// scrub, latency and lifecycle data in one sampled struct.
 struct MapMetrics {
   hash::TableStats table;
   nvm::PersistStats persist;
@@ -142,8 +152,22 @@ class BasicGroupHashMap {
   [[nodiscard]] u64 capacity() const { return table().capacity(); }
   [[nodiscard]] double load_factor() const { return table().load_factor(); }
   [[nodiscard]] bool recovered_on_open() const { return recovered_on_open_; }
+  /// DEPRECATED: thin alias over the same counters snapshot() reads; kept
+  /// for one release. Safe (returns the frozen/zeroed sample) after
+  /// abandon().
   [[nodiscard]] const MapMetrics& metrics();
   [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// The unified stats sample (obs/snapshot.hpp): persist + table-op +
+  /// scrub + lifecycle + per-op latency in one plain-value struct. Safe
+  /// to call at any point of the lifecycle, including after abandon()
+  /// (all counters read zero then — abandon resets them, simulating the
+  /// crash of the process that owned them).
+  [[nodiscard]] obs::Snapshot snapshot();
+
+  /// This map's per-op latency recorder (histograms fed by put/get/erase
+  /// timers). Used by the concurrent wrappers to merge shard latencies.
+  [[nodiscard]] const obs::OpRecorder& op_recorder() const { return *recorder_; }
 
   /// Direct access to the underlying table, for the concurrent wrappers
   /// (optimistic read-view snapshots) and inspection tooling. The
@@ -207,6 +231,38 @@ class BasicGroupHashMap {
   void report_loss(const hash::LostCell& cell);
   void init_region(nvm::NvmRegion region, const MapOptions& options, bool fresh);
 
+  // Per-op observability edges (see any_table_impl.hpp for the pattern).
+  // A nonzero t0 means "this op is timed": latency recording is sampled
+  // through the SampleGate; an installed trace hook times every op.
+  [[nodiscard]] u64 op_start() {
+    if constexpr (!obs::kEnabled) return 0;
+    const bool sampled = options_.record_latency && gate_.admit();
+    if (!sampled && !obs::trace_hook_installed()) return 0;
+    return obs::now_ticks();
+  }
+  [[nodiscard]] u64 lines_before() const {
+    if (!obs::trace_hook_installed()) return 0;
+    return pm_->stats().lines_flushed.load();
+  }
+  void op_finish(obs::OpKind kind, u64 key_hash, u64 t0, u64 l0) {
+    if constexpr (!obs::kEnabled) return;
+    u64 dt = 0;
+    if (t0 != 0) {
+      dt = obs::now_ticks() - t0;
+      if (options_.record_latency) recorder_->record(kind, dt);
+    }
+    if (obs::trace_hook_installed()) {
+      obs::trace_op(kind, key_hash, dt, pm_->stats().lines_flushed.load() - l0);
+    }
+  }
+  static u64 trace_key(const key_type& key) {
+    if constexpr (std::is_same_v<key_type, u64>) {
+      return key;
+    } else {
+      return key.lo;
+    }
+  }
+
   std::string path_;
   MapOptions options_;
   nvm::NvmRegion region_;
@@ -214,6 +270,10 @@ class BasicGroupHashMap {
   // Heap-allocated so the table's pointer to it stays valid across moves.
   std::unique_ptr<nvm::DirectPM> pm_;
   std::optional<Table> table_;
+  // Heap-allocated like pm_: the registry holds its address across moves.
+  std::unique_ptr<obs::OpRecorder> recorder_;
+  obs::SampleGate gate_;
+  obs::Registration obs_reg_;
   MapMetrics metrics_;
   hash::ScrubReport open_scrub_;
   std::string last_expand_error_;

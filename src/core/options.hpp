@@ -1,0 +1,280 @@
+// gh::Options — ONE validated, builder-style configuration surface for
+// every map/table in the library.
+//
+// Before this layer each structure grew its own knob struct — MapOptions,
+// StringMapOptions, hash::TableConfig — with overlapping fields under
+// slightly different names (hash_seed vs seed1, checksum_groups vs
+// group_crc) and no validation beyond assertions deep inside the layout
+// code. Options unifies them:
+//
+//   auto map = gh::GroupHashMap::create_in_memory(
+//       gh::Options().initial_cells(1 << 20).emulate_nvm().checksum_groups(false));
+//
+// Design notes:
+//   * Options is deliberately NOT an aggregate: the legacy structs are
+//     initialized with designated initializers ({.initial_cells = ...})
+//     all over the tests, and keeping Options non-aggregate means brace
+//     lists can only ever match the legacy structs — no overload
+//     ambiguity, no silent meaning change.
+//   * Factories "take it" through implicit conversion: operator
+//     MapOptions/StringMapOptions/TableConfig run validate() and then
+//     translate the shared knobs, so every existing create/open/make_table
+//     signature accepts an Options without a new overload.
+//   * validate() throws std::invalid_argument with a named-knob message —
+//     at configuration time, not as a GH_CHECK abort after the region is
+//     mapped.
+//
+// The legacy structs remain as thin back-compat carriers (they are the
+// on-the-wire parameter types); new code should build an Options.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "core/group_hash_map.hpp"
+#include "core/string_map.hpp"
+#include "hash/any_table.hpp"
+#include "util/types.hpp"
+
+namespace gh {
+
+class Options {
+ public:
+  Options() = default;
+
+  // --- capacity & geometry ------------------------------------------------
+  Options& initial_cells(u64 v) { initial_cells_ = v; return *this; }
+  Options& group_size(u32 v) { group_size_ = v; return *this; }
+  Options& hash_seed(u64 v) { seed1_ = v; return *this; }
+  Options& second_seed(u64 v) { seed2_ = v; return *this; }
+
+  // --- NVM latency model --------------------------------------------------
+  Options& flush_latency_ns(u64 v) { flush_latency_ns_ = v; return *this; }
+  /// The paper's methodology: 300 ns added after each cacheline flush.
+  Options& emulate_nvm() { return flush_latency_ns(300); }
+
+  // --- growth & maintenance -----------------------------------------------
+  /// Grow when full: expansion for the integer maps, compaction+doubling
+  /// for the string map.
+  Options& auto_grow(bool v) { auto_grow_ = v; return *this; }
+  Options& retain_retired_regions(bool v) { retain_retired_ = v; return *this; }
+
+  // --- integrity & quarantine policy ---------------------------------------
+  Options& checksum_groups(bool v) { checksum_groups_ = v; return *this; }
+  Options& verify_on_open(bool v) { verify_on_open_ = v; return *this; }
+  Options& scrub_mode(hash::ScrubMode m) { scrub_mode_ = m; return *this; }
+  Options& on_lost_cell(std::function<void(const hash::LostCell&)> fn) {
+    on_lost_cell_ = std::move(fn);
+    return *this;
+  }
+
+  // --- observability sinks -------------------------------------------------
+  /// Per-op latency histograms (obs/metrics.hpp); on by default, no-op
+  /// under GH_OBS_OFF builds.
+  Options& record_latency(bool v) { record_latency_ = v; return *this; }
+  /// Time 1 in 2^shift ops (0 = every op; default obs::kDefaultSampleShift).
+  Options& latency_sample_shift(u32 v) { latency_sample_shift_ = v; return *this; }
+
+  // --- string-map sizing ---------------------------------------------------
+  Options& arena_bytes_per_cell(usize v) { arena_bytes_per_cell_ = v; return *this; }
+
+  // --- table-factory knobs (hash::make_table) ------------------------------
+  Options& scheme(hash::Scheme s) { scheme_ = s; return *this; }
+  Options& wide_cells(bool v) { wide_cells_ = v; return *this; }
+  Options& with_wal(bool v, u32 records = 4096) {
+    with_wal_ = v;
+    wal_records_ = records;
+    return *this;
+  }
+  Options& reserved_levels(u32 v) { reserved_levels_ = v; return *this; }
+  Options& zero_memory(bool v) { zero_memory_ = v; return *this; }
+
+  // --- getters (same names, nullary) ---------------------------------------
+  [[nodiscard]] u64 initial_cells() const { return initial_cells_; }
+  [[nodiscard]] u32 group_size() const { return group_size_; }
+  [[nodiscard]] u64 hash_seed() const { return seed1_; }
+  [[nodiscard]] u64 second_seed() const { return seed2_; }
+  [[nodiscard]] u64 flush_latency_ns() const { return flush_latency_ns_; }
+  [[nodiscard]] bool auto_grow() const { return auto_grow_; }
+  [[nodiscard]] bool retain_retired_regions() const { return retain_retired_; }
+  [[nodiscard]] bool checksum_groups() const { return checksum_groups_; }
+  [[nodiscard]] bool verify_on_open() const { return verify_on_open_; }
+  [[nodiscard]] hash::ScrubMode scrub_mode() const { return scrub_mode_; }
+  [[nodiscard]] bool record_latency() const { return record_latency_; }
+  [[nodiscard]] u32 latency_sample_shift() const { return latency_sample_shift_; }
+  [[nodiscard]] usize arena_bytes_per_cell() const { return arena_bytes_per_cell_; }
+  [[nodiscard]] hash::Scheme scheme() const { return scheme_; }
+  [[nodiscard]] bool wide_cells() const { return wide_cells_; }
+  [[nodiscard]] bool with_wal() const { return with_wal_; }
+  [[nodiscard]] u32 wal_records() const { return wal_records_; }
+  [[nodiscard]] u32 reserved_levels() const { return reserved_levels_; }
+  [[nodiscard]] bool zero_memory() const { return zero_memory_; }
+
+  /// Reject contradictory or out-of-range knobs with a named-knob
+  /// std::invalid_argument. Run by every conversion (so a bad Options can
+  /// never reach region allocation) and callable directly.
+  void validate() const {
+    if (initial_cells_ == 0) {
+      throw std::invalid_argument("Options: initial_cells must be nonzero");
+    }
+    if (group_size_ == 0 || (group_size_ & (group_size_ - 1)) != 0) {
+      throw std::invalid_argument("Options: group_size must be a nonzero power of two");
+    }
+    if (arena_bytes_per_cell_ == 0) {
+      throw std::invalid_argument("Options: arena_bytes_per_cell must be nonzero");
+    }
+    if (with_wal_ && wal_records_ == 0) {
+      throw std::invalid_argument("Options: with_wal requires wal_records > 0");
+    }
+    if (flush_latency_ns_ > 10'000'000) {
+      throw std::invalid_argument(
+          "Options: flush_latency_ns > 10ms is not a plausible media latency");
+    }
+    if (reserved_levels_ == 0) {
+      throw std::invalid_argument("Options: reserved_levels must be nonzero");
+    }
+    if (latency_sample_shift_ > 32) {
+      throw std::invalid_argument(
+          "Options: latency_sample_shift > 32 samples essentially nothing");
+    }
+  }
+
+  // --- conversions to the legacy knob structs ------------------------------
+  [[nodiscard]] MapOptions to_map_options() const {
+    validate();
+    MapOptions o;
+    o.initial_cells = initial_cells_;
+    o.group_size = group_size_;
+    o.hash_seed = seed1_;
+    o.flush_latency_ns = flush_latency_ns_;
+    o.auto_expand = auto_grow_;
+    o.retain_retired_regions = retain_retired_;
+    o.checksum_groups = checksum_groups_;
+    o.verify_on_open = verify_on_open_;
+    o.scrub_mode = scrub_mode_;
+    o.on_lost_cell = on_lost_cell_;
+    o.record_latency = record_latency_;
+    o.latency_sample_shift = latency_sample_shift_;
+    return o;
+  }
+
+  [[nodiscard]] StringMapOptions to_string_map_options() const {
+    validate();
+    StringMapOptions o;
+    o.initial_cells = initial_cells_;
+    o.group_size = group_size_;
+    o.arena_bytes_per_cell = arena_bytes_per_cell_;
+    o.flush_latency_ns = flush_latency_ns_;
+    o.auto_compact = auto_grow_;
+    o.retain_retired_regions = retain_retired_;
+    o.checksum_groups = checksum_groups_;
+    o.record_latency = record_latency_;
+    o.latency_sample_shift = latency_sample_shift_;
+    return o;
+  }
+
+  [[nodiscard]] hash::TableConfig to_table_config() const {
+    validate();
+    hash::TableConfig c;
+    c.scheme = scheme_;
+    u32 log2 = 4;
+    while ((1ull << log2) < initial_cells_) ++log2;
+    c.total_cells_log2 = log2;
+    c.group_size = group_size_;
+    c.reserved_levels = reserved_levels_;
+    c.wide_cells = wide_cells_;
+    c.with_wal = with_wal_;
+    c.wal_records = wal_records_;
+    c.seed1 = seed1_;
+    c.seed2 = seed2_;
+    c.zero_memory = zero_memory_;
+    c.group_crc = checksum_groups_ && scheme_ == hash::Scheme::kGroup;
+    c.record_latency = record_latency_;
+    c.latency_sample_shift = latency_sample_shift_;
+    return c;
+  }
+
+  // Implicit: lets every existing factory (GroupHashMap::create,
+  // PersistentStringMap::open, hash::make_table, the concurrent wrapper
+  // constructors) accept an Options without adding overloads — and
+  // without perturbing the brace-initialized legacy call sites, since a
+  // braced list can never select these user-defined conversions.
+  operator MapOptions() const { return to_map_options(); }                // NOLINT
+  operator StringMapOptions() const { return to_string_map_options(); }  // NOLINT
+  operator hash::TableConfig() const { return to_table_config(); }       // NOLINT
+
+  // --- lifting a legacy struct into the unified surface --------------------
+  static Options from(const MapOptions& o) {
+    Options b;
+    b.initial_cells_ = o.initial_cells;
+    b.group_size_ = o.group_size;
+    b.seed1_ = o.hash_seed;
+    b.flush_latency_ns_ = o.flush_latency_ns;
+    b.auto_grow_ = o.auto_expand;
+    b.retain_retired_ = o.retain_retired_regions;
+    b.checksum_groups_ = o.checksum_groups;
+    b.verify_on_open_ = o.verify_on_open;
+    b.scrub_mode_ = o.scrub_mode;
+    b.on_lost_cell_ = o.on_lost_cell;
+    b.record_latency_ = o.record_latency;
+    b.latency_sample_shift_ = o.latency_sample_shift;
+    return b;
+  }
+
+  static Options from(const StringMapOptions& o) {
+    Options b;
+    b.initial_cells_ = o.initial_cells;
+    b.group_size_ = o.group_size;
+    b.arena_bytes_per_cell_ = o.arena_bytes_per_cell;
+    b.flush_latency_ns_ = o.flush_latency_ns;
+    b.auto_grow_ = o.auto_compact;
+    b.retain_retired_ = o.retain_retired_regions;
+    b.checksum_groups_ = o.checksum_groups;
+    b.record_latency_ = o.record_latency;
+    b.latency_sample_shift_ = o.latency_sample_shift;
+    return b;
+  }
+
+  static Options from(const hash::TableConfig& c) {
+    Options b;
+    b.scheme_ = c.scheme;
+    b.initial_cells_ = 1ull << c.total_cells_log2;
+    b.group_size_ = c.group_size;
+    b.reserved_levels_ = c.reserved_levels;
+    b.wide_cells_ = c.wide_cells;
+    b.with_wal_ = c.with_wal;
+    b.wal_records_ = c.wal_records;
+    b.seed1_ = c.seed1;
+    b.seed2_ = c.seed2;
+    b.zero_memory_ = c.zero_memory;
+    b.checksum_groups_ = c.group_crc;
+    b.record_latency_ = c.record_latency;
+    b.latency_sample_shift_ = c.latency_sample_shift;
+    return b;
+  }
+
+ private:
+  u64 initial_cells_ = 1ull << 16;
+  u32 group_size_ = 256;
+  u64 seed1_ = hash::kDefaultSeed1;
+  u64 seed2_ = hash::kDefaultSeed2;
+  u64 flush_latency_ns_ = 0;
+  bool auto_grow_ = true;
+  bool retain_retired_ = false;
+  bool checksum_groups_ = true;
+  bool verify_on_open_ = true;
+  hash::ScrubMode scrub_mode_ = hash::ScrubMode::kDropGroup;
+  std::function<void(const hash::LostCell&)> on_lost_cell_;
+  bool record_latency_ = true;
+  u32 latency_sample_shift_ = obs::kDefaultSampleShift;
+  usize arena_bytes_per_cell_ = 48;
+  hash::Scheme scheme_ = hash::Scheme::kGroup;
+  bool wide_cells_ = false;
+  bool with_wal_ = false;
+  u32 wal_records_ = 4096;
+  u32 reserved_levels_ = 20;
+  bool zero_memory_ = false;
+};
+
+}  // namespace gh

@@ -80,6 +80,13 @@ void PersistentStringMap::init_region(nvm::NvmRegion region,
     pm_ = std::make_unique<nvm::DirectPM>(
         nvm::PersistConfig{.flush_latency_ns = options.flush_latency_ns});
   }
+  if (!recorder_) {
+    recorder_ = std::make_unique<obs::OpRecorder>();
+    obs_reg_ = obs::Registration(
+        "PersistentStringMap" + (path_.empty() ? std::string("(mem)") : ":" + path_),
+        recorder_.get());
+  }
+  gate_.set_shift(options.latency_sample_shift);
   if (fresh) {
     const u64 cells = pow2_at_least(std::max<u64>(options.initial_cells, 16));
     const usize arena_bytes =
@@ -131,8 +138,10 @@ void PersistentStringMap::init_region(nvm::NvmRegion region,
     table_.emplace(
         Table::attach(*pm_, region_.bytes().subspan(sb->table_offset, sb->table_bytes)));
     if (sb->state == kStateDirty) {
+      const u64 t0 = op_start();
       table_->recover();
       recoveries_++;
+      op_finish(obs::OpKind::kRecover, 0, t0, 0);
       recovered_on_open_ = true;
     }
     mark_state(kStateDirty);
@@ -221,6 +230,14 @@ void PersistentStringMap::abandon() {
   region_ = nvm::NvmRegion();
   retired_regions_.clear();
   closed_ = true;
+  // Observability resets coherently with the simulated crash: every read
+  // surface (stats(), snapshot(), op_recorder()) now reports zeros, the
+  // same blank slate the recovering open() starts from.
+  compactions_ = 0;
+  recoveries_ = 0;
+  compact_failures_ = 0;
+  pm_->stats() = nvm::PersistStats{};
+  if (recorder_) recorder_->reset();
 }
 
 PersistentStringMap::ReadSnapshot PersistentStringMap::read_snapshot() const {
@@ -257,22 +274,31 @@ std::optional<u64> PersistentStringMap::append_record(std::string_view key, u64 
 
 void PersistentStringMap::put(std::string_view key, u64 value) {
   GH_CHECK_MSG(!closed_, "map is closed");
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
   const Key128 fp = fingerprint(key);
   if (const auto offset = table().find(fp)) {
     const Record rec = load_record(*offset);
     if (rec.key != key) {
       throw std::runtime_error("fingerprint collision between distinct keys");
     }
-    if (rec.value == value) return;
+    if (rec.value == value) {
+      op_finish(obs::OpKind::kInsert, fp.lo, t0, l0);
+      return;
+    }
     // In-place 8-byte atomic update of the record's value word.
     auto* value_word = const_cast<std::byte*>(arena().read(*offset, sizeof(u64)).data());
     pm_->atomic_store_u64(reinterpret_cast<u64*>(value_word), value);
     pm_->persist(value_word, sizeof(u64));
+    op_finish(obs::OpKind::kInsert, fp.lo, t0, l0);
     return;
   }
   for (u32 attempt = 0;; ++attempt) {
     if (const auto offset = append_record(key, value)) {
-      if (table().insert(fp, *offset)) return;
+      if (table().insert(fp, *offset)) {
+        op_finish(obs::OpKind::kInsert, fp.lo, t0, l0);
+        return;
+      }
       // Table full: the appended record becomes garbage the compaction
       // reclaims (the arena has no way to un-append atomically).
     }
@@ -322,12 +348,19 @@ bool PersistentStringMap::try_rebuild(Fn&& fn) {
 }
 
 std::optional<u64> PersistentStringMap::get(std::string_view key) {
-  const auto offset = table().find(fingerprint(key));
-  if (!offset) return std::nullopt;
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
+  const Key128 fp = fingerprint(key);
+  const auto offset = table().find(fp);
+  if (!offset) {
+    op_finish(obs::OpKind::kFind, fp.lo, t0, l0);
+    return std::nullopt;
+  }
   const Record rec = load_record(*offset);
   if (rec.key != key) {
     throw std::runtime_error("fingerprint collision between distinct keys");
   }
+  op_finish(obs::OpKind::kFind, fp.lo, t0, l0);
   return rec.value;
 }
 
@@ -335,11 +368,19 @@ bool PersistentStringMap::contains(std::string_view key) { return get(key).has_v
 
 bool PersistentStringMap::erase(std::string_view key) {
   GH_CHECK_MSG(!closed_, "map is closed");
-  return table().erase(fingerprint(key));
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
+  const Key128 fp = fingerprint(key);
+  const bool hit = table().erase(fp);
+  op_finish(obs::OpKind::kErase, fp.lo, t0, l0);
+  return hit;
 }
 
 StringMapStats PersistentStringMap::stats() const {
   StringMapStats s;
+  // After abandon() the table/arena are gone and every counter was reset;
+  // report the same zeros instead of dereferencing them.
+  if (!table_) return s;
   s.items = table().count();
   s.table_capacity = table().capacity();
   s.arena_used = arena().head();
@@ -355,6 +396,8 @@ StringMapStats PersistentStringMap::stats() const {
 }
 
 void PersistentStringMap::compact() {
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
   // Size the new region for current contents with headroom.
   const StringMapStats s = stats();
   const u64 new_cells =
@@ -362,6 +405,27 @@ void PersistentStringMap::compact() {
   const usize new_arena = std::max<usize>(s.arena_live * 2 + 4096, s.arena_capacity);
   rebuild(new_cells, new_arena);
   compactions_++;
+  op_finish(obs::OpKind::kCompact, 0, t0, l0);
+}
+
+obs::Snapshot PersistentStringMap::snapshot() {
+  obs::Snapshot s;
+  s.source = "PersistentStringMap";
+  if (table_) {
+    s.size = table().count();
+    s.capacity = table().capacity();
+    s.load_factor = table().load_factor();
+    s.table = obs::TableOpSnapshot::from(table().stats());
+    s.scrub = obs::ScrubSnapshot::from(table().stats(), hash::ScrubReport{});
+  }
+  if (pm_) s.persist = obs::PersistSnapshot::from(pm_->stats());
+  s.lifecycle.compactions = compactions_;
+  s.lifecycle.compact_failures = compact_failures_;
+  s.lifecycle.recoveries = recoveries_;
+  s.lifecycle.orphans_reclaimed = orphans_reclaimed_;
+  s.lifecycle.degraded = compact_pending_;
+  if (recorder_) s.latency = obs::OpLatencySnapshot::from(*recorder_);
+  return s;
 }
 
 void PersistentStringMap::rebuild(u64 new_cells, usize new_arena_data_bytes) {
@@ -420,6 +484,9 @@ void PersistentStringMap::rebuild(u64 new_cells, usize new_arena_data_bytes) {
     nvm::publish_region_file(new_region, tmp_path, path_,
                              "failed to publish compacted map file");
   }
+  // Preserve operation statistics across the rebuild (the counters are
+  // the map's lifetime story, not the region's).
+  new_table.stats() = table().stats();
   table_.emplace(std::move(new_table));
   arena_.emplace(std::move(new_arena));
   if (options_.retain_retired_regions) {

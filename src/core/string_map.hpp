@@ -35,6 +35,7 @@
 #include "nvm/arena.hpp"
 #include "nvm/direct_pm.hpp"
 #include "nvm/region.hpp"
+#include "obs/snapshot.hpp"
 #include "util/types.hpp"
 
 namespace gh {
@@ -56,8 +57,15 @@ struct StringMapOptions {
   /// Maintain per-group CRC32C checksums in the index table (and a
   /// checksummed superblock). Baked into the file at create() time.
   bool checksum_groups = true;
+  /// Record per-op latency histograms (see obs/metrics.hpp). Always off
+  /// when built with GH_OBS_OFF.
+  bool record_latency = true;
+  /// Time 1 in 2^shift ops (0 = every op). See obs::kDefaultSampleShift.
+  u32 latency_sample_shift = obs::kDefaultSampleShift;
 };
 
+/// DEPRECATED back-compat view — read snapshot() instead, which adds
+/// persist, scrub, latency and lifecycle data in one sampled struct.
 struct StringMapStats {
   u64 items = 0;
   u64 table_capacity = 0;
@@ -108,7 +116,19 @@ class PersistentStringMap {
   [[nodiscard]] u64 size() const { return table().count(); }
   [[nodiscard]] bool empty() const { return size() == 0; }
   [[nodiscard]] bool recovered_on_open() const { return recovered_on_open_; }
+  /// DEPRECATED: thin alias over the same counters snapshot() reads; kept
+  /// for one release. Safe (returns zeros) after abandon().
   [[nodiscard]] StringMapStats stats() const;
+
+  /// The unified stats sample (obs/snapshot.hpp). Safe to call at any
+  /// point of the lifecycle, including after abandon() (all counters
+  /// read zero then — abandon resets them coherently, simulating the
+  /// crash of the process that owned them).
+  [[nodiscard]] obs::Snapshot snapshot();
+
+  /// This map's per-op latency recorder (histograms fed by put/get/erase
+  /// timers). Used by the concurrent wrappers to merge shard latencies.
+  [[nodiscard]] const obs::OpRecorder& op_recorder() const { return *recorder_; }
 
   /// Rebuild into a fresh region: drops orphaned arena records and grows
   /// table/arena to fit current contents with headroom. Called
@@ -185,6 +205,31 @@ class PersistentStringMap {
   template <class Fn>
   bool try_rebuild(Fn&& fn);
 
+  // Per-op observability edges (see any_table_impl.hpp for the pattern).
+  // A nonzero t0 means "this op is timed": latency recording is sampled
+  // through the SampleGate; an installed trace hook times every op.
+  [[nodiscard]] u64 op_start() {
+    if constexpr (!obs::kEnabled) return 0;
+    const bool sampled = options_.record_latency && gate_.admit();
+    if (!sampled && !obs::trace_hook_installed()) return 0;
+    return obs::now_ticks();
+  }
+  [[nodiscard]] u64 lines_before() const {
+    if (!obs::trace_hook_installed()) return 0;
+    return pm_->stats().lines_flushed.load();
+  }
+  void op_finish(obs::OpKind kind, u64 key_hash, u64 t0, u64 l0) {
+    if constexpr (!obs::kEnabled) return;
+    u64 dt = 0;
+    if (t0 != 0) {
+      dt = obs::now_ticks() - t0;
+      if (options_.record_latency) recorder_->record(kind, dt);
+    }
+    if (obs::trace_hook_installed()) {
+      obs::trace_op(kind, key_hash, dt, pm_->stats().lines_flushed.load() - l0);
+    }
+  }
+
   std::string path_;
   StringMapOptions options_;
   nvm::NvmRegion region_;
@@ -192,6 +237,10 @@ class PersistentStringMap {
   std::unique_ptr<nvm::DirectPM> pm_;
   std::optional<Table> table_;
   std::optional<Arena> arena_;
+  // Heap-allocated like pm_: the registry holds its address across moves.
+  std::unique_ptr<obs::OpRecorder> recorder_;
+  obs::SampleGate gate_;
+  obs::Registration obs_reg_;
   u64 compactions_ = 0;
   u64 recoveries_ = 0;
   u64 compact_failures_ = 0;

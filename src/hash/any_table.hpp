@@ -21,6 +21,7 @@
 
 #include "hash/group_hashing.hpp"
 #include "hash/table_stats.hpp"
+#include "obs/snapshot.hpp"
 #include "util/types.hpp"
 
 namespace gh::hash {
@@ -51,6 +52,12 @@ struct TableConfig {
   u64 seed2 = kDefaultSeed2;
   bool zero_memory = false;
   bool group_crc = false;  ///< group hashing only: per-group checksums
+  /// Record per-op latency histograms. Leave on unless benchmarking the
+  /// instrumentation itself; ignored (always off) when the build compiles
+  /// observability out via GH_OBS_OFF.
+  bool record_latency = true;
+  /// Time 1 in 2^shift ops (0 = every op). See obs::kDefaultSampleShift.
+  u32 latency_sample_shift = obs::kDefaultSampleShift;
 
   [[nodiscard]] std::string display_name() const {
     std::string n = scheme_name(scheme);
@@ -83,6 +90,16 @@ class AnyTable {
   [[nodiscard]] virtual u64 capacity() const = 0;
   [[nodiscard]] virtual TableStats& stats() = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Unified stats sample: persist + table-op + scrub + latency data in
+  /// one obs::Snapshot (the single read API; see obs/snapshot.hpp).
+  [[nodiscard]] virtual obs::Snapshot snapshot() = 0;
+  /// The table's per-op latency recorder, for owners that aggregate or
+  /// carry histograms across an expansion.
+  [[nodiscard]] virtual obs::OpRecorder& recorder() = 0;
+  /// Runtime toggle for the latency timers (cheaper than rebuilding with
+  /// GH_OBS_OFF; used by bench/observability_overhead for in-binary A/B).
+  virtual void set_record_latency(bool on) = 0;
 
   [[nodiscard]] double load_factor() const {
     return static_cast<double>(count()) / static_cast<double>(capacity());

@@ -22,8 +22,14 @@ namespace gh::hash::detail {
 template <class Table, class PM>
 class TableAdapter final : public AnyTable<PM> {
  public:
-  TableAdapter(std::string name, Table table, std::unique_ptr<UndoLog<PM>> wal)
-      : name_(std::move(name)), table_(std::move(table)), wal_(std::move(wal)) {
+  TableAdapter(std::string name, PM& pm, Table table, std::unique_ptr<UndoLog<PM>> wal,
+               bool record_latency, u32 latency_sample_shift)
+      : name_(std::move(name)),
+        pm_(&pm),
+        table_(std::move(table)),
+        wal_(std::move(wal)),
+        record_latency_(record_latency) {
+    gate_.set_shift(latency_sample_shift);
     if (wal_) {
       // Schemes outside the paper's comparison (chained, 2-choice) have no
       // logging hook; a WAL configured for them is simply unused.
@@ -34,14 +40,45 @@ class TableAdapter final : public AnyTable<PM> {
   }
 
   bool insert(const Key128& key, u64 value) override {
-    return table_.insert(narrow(key), value);
+    const u64 t0 = op_start();
+    const u64 l0 = lines_before();
+    const bool ok = table_.insert(narrow(key), value);
+    op_finish(obs::OpKind::kInsert, key.lo, t0, l0);
+    return ok;
   }
-  std::optional<u64> find(const Key128& key) override { return table_.find(narrow(key)); }
-  bool erase(const Key128& key) override { return table_.erase(narrow(key)); }
-  RecoveryReport recover() override { return table_.recover(); }
+  std::optional<u64> find(const Key128& key) override {
+    const u64 t0 = op_start();
+    const u64 l0 = lines_before();
+    auto r = table_.find(narrow(key));
+    op_finish(obs::OpKind::kFind, key.lo, t0, l0);
+    return r;
+  }
+  bool erase(const Key128& key) override {
+    const u64 t0 = op_start();
+    const u64 l0 = lines_before();
+    const bool ok = table_.erase(narrow(key));
+    op_finish(obs::OpKind::kErase, key.lo, t0, l0);
+    return ok;
+  }
+  RecoveryReport recover() override {
+    const u64 t0 = op_start();
+    const u64 l0 = lines_before();
+    RecoveryReport r = table_.recover();
+    op_finish(obs::OpKind::kRecover, 0, t0, l0);
+    return r;
+  }
 
   ScrubReport scrub(u64 max_groups,
                     const std::function<void(const LostCell&)>& on_loss) override {
+    const u64 t0 = op_start();
+    const u64 l0 = lines_before();
+    ScrubReport report = scrub_impl(max_groups, on_loss);
+    op_finish(obs::OpKind::kScrub, 0, t0, l0);
+    return report;
+  }
+
+  ScrubReport scrub_impl(u64 max_groups,
+                         const std::function<void(const LostCell&)>& on_loss) {
     // Same optional-feature pattern as attach_wal: schemes without
     // scrub support report an empty (clean) pass.
     if constexpr (requires(Table& t) {
@@ -73,6 +110,23 @@ class TableAdapter final : public AnyTable<PM> {
   TableStats& stats() override { return table_.stats(); }
   std::string name() const override { return name_; }
 
+  obs::Snapshot snapshot() override {
+    obs::Snapshot s;
+    s.source = name_;
+    s.size = table_.count();
+    s.capacity = table_.capacity();
+    s.load_factor =
+        s.capacity ? static_cast<double>(s.size) / static_cast<double>(s.capacity) : 0;
+    s.persist = obs::PersistSnapshot::from(pm_->stats());
+    s.table = obs::TableOpSnapshot::from(table_.stats());
+    s.scrub = obs::ScrubSnapshot::from(table_.stats(), ScrubReport{});
+    s.latency = obs::OpLatencySnapshot::from(recorder_);
+    return s;
+  }
+
+  obs::OpRecorder& recorder() override { return recorder_; }
+  void set_record_latency(bool on) override { record_latency_ = on && obs::kEnabled; }
+
   [[nodiscard]] Table& inner() { return table_; }
 
  private:
@@ -85,10 +139,43 @@ class TableAdapter final : public AnyTable<PM> {
     }
   }
 
+  // Timing edges. op_start/op_finish are the ONLY per-op overhead:
+  // nothing (constant-folded) under GH_OBS_OFF, a gate check for
+  // unsampled ops, two rdtsc reads for the 1-in-2^shift sampled ops (an
+  // installed trace hook times every op). The lines-flushed delta for
+  // tracing is read only while a trace hook is actually installed.
+  [[nodiscard]] u64 op_start() {
+    if constexpr (!obs::kEnabled) return 0;
+    const bool sampled = record_latency_ && gate_.admit();
+    if (!sampled && !obs::trace_hook_installed()) return 0;
+    return obs::now_ticks();
+  }
+
+  [[nodiscard]] u64 lines_before() const {
+    if (!obs::trace_hook_installed()) return 0;
+    return pm_->stats().lines_flushed.load();
+  }
+
+  void op_finish(obs::OpKind kind, u64 key_hash, u64 t0, u64 l0) {
+    if constexpr (!obs::kEnabled) return;
+    u64 dt = 0;
+    if (t0 != 0) {
+      dt = obs::now_ticks() - t0;
+      if (record_latency_) recorder_.record(kind, dt);
+    }
+    if (obs::trace_hook_installed()) {
+      obs::trace_op(kind, key_hash, dt, pm_->stats().lines_flushed.load() - l0);
+    }
+  }
+
   std::string name_;
+  PM* pm_;
   Table table_;
   std::unique_ptr<UndoLog<PM>> wal_;
   u64 scrub_cursor_ = 0;
+  bool record_latency_ = true;
+  obs::SampleGate gate_;
+  obs::OpRecorder recorder_;
 };
 
 /// Per-scheme layout parameters derived from the shared cell budget.
@@ -122,8 +209,10 @@ std::unique_ptr<AnyTable<PM>> make_table_cell(PM& pm, std::span<std::byte> mem,
       wal = std::make_unique<UndoLog<PM>>(pm, mem.subspan(table_bytes, wal_bytes),
                                           mem.first(table_bytes), cfg.wal_records, format);
     }
-    return std::make_unique<TableAdapter<Table, PM>>(cfg.display_name(), std::move(table),
-                                                     std::move(wal));
+    return std::make_unique<TableAdapter<Table, PM>>(cfg.display_name(), pm,
+                                                     std::move(table), std::move(wal),
+                                                     cfg.record_latency,
+                                                     cfg.latency_sample_shift);
   };
 
   switch (cfg.scheme) {

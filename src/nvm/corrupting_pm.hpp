@@ -38,6 +38,7 @@
 
 #include "nvm/media_error.hpp"
 #include "nvm/persist.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
@@ -84,11 +85,17 @@ class CorruptingPM {
 
   void persist(const void* addr, usize n) {
     stats_.persist_calls++;
-    stats_.lines_flushed += lines_spanned(addr, n);
+    const u64 lines = lines_spanned(addr, n);
+    stats_.lines_flushed += lines;
     stats_.fences++;
+    obs::on_pm_persist(lines);
+    obs::on_pm_fence();
   }
 
-  void fence() { stats_.fences++; }
+  void fence() {
+    stats_.fences++;
+    obs::on_pm_fence();
+  }
 
   /// The read hook every scheme's probe() goes through: a poisoned line
   /// in [addr, addr+n) surfaces as a typed MediaError, exactly like the

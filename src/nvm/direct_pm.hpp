@@ -27,6 +27,7 @@
 #include <cstring>
 
 #include "nvm/persist.hpp"
+#include "obs/metrics.hpp"
 #include "util/clock.hpp"
 #include "util/types.hpp"
 
@@ -82,12 +83,14 @@ class DirectPM {
       }
     }
     stats_.lines_flushed += lines;
+    obs::on_pm_persist(lines);
     fence();
   }
 
   void fence() {
     store_fence();
     stats_.fences++;
+    obs::on_pm_fence();
   }
 
   void touch_read(const void*, usize) {}

@@ -1,4 +1,5 @@
 #include "nvm/shadow_pm.hpp"
+#include "obs/metrics.hpp"
 
 #include <bit>
 #include <cstring>
@@ -72,6 +73,8 @@ void ShadowPM::persist(const void* addr, usize n) {
   stats_.persist_calls++;
   if (n == 0) {
     stats_.fences++;
+    obs::on_pm_persist(0);
+    obs::on_pm_fence();
     return;
   }
   // clflush granularity: persist the *whole* cachelines covering the range.
@@ -85,13 +88,17 @@ void ShadowPM::persist(const void* addr, usize n) {
   for (usize w = off / kAtomicUnit; w < (off + len) / kAtomicUnit; ++w) {
     dirty_[w / 64] &= ~(1ull << (w % 64));
   }
-  stats_.lines_flushed += lines_spanned(addr, n);
+  const u64 lines = lines_spanned(addr, n);
+  stats_.lines_flushed += lines;
   stats_.fences++;
+  obs::on_pm_persist(lines);
+  obs::on_pm_fence();
 }
 
 void ShadowPM::fence() {
   bump_event();
   stats_.fences++;
+  obs::on_pm_fence();
 }
 
 std::vector<std::byte> ShadowPM::materialize_crash_image(CrashMode mode, u64 seed) const {

@@ -10,6 +10,7 @@
 
 #include "cachesim/cache_sim.hpp"
 #include "nvm/persist.hpp"
+#include "obs/metrics.hpp"
 #include "util/types.hpp"
 
 namespace gh::nvm {
@@ -58,11 +59,17 @@ class TracingPM {
       sim_->clflush(addr, n);
     }
     stats_.persist_calls++;
-    stats_.lines_flushed += lines_spanned(addr, n);
+    const u64 lines = lines_spanned(addr, n);
+    stats_.lines_flushed += lines;
     stats_.fences++;
+    obs::on_pm_persist(lines);
+    obs::on_pm_fence();
   }
 
-  void fence() { stats_.fences++; }
+  void fence() {
+    stats_.fences++;
+    obs::on_pm_fence();
+  }
 
   void touch_read(const void* addr, usize n) { sim_->read(addr, n); }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "nvm/persist.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/types.hpp"
 
@@ -72,11 +73,16 @@ class WearPM {
         bump_wear(line);
       }
       stats_.lines_flushed += lines;
+      obs::on_pm_persist(lines);
     }
     stats_.fences++;
+    obs::on_pm_fence();
   }
 
-  void fence() { stats_.fences++; }
+  void fence() {
+    stats_.fences++;
+    obs::on_pm_fence();
+  }
   void touch_read(const void*, usize) {}
 
   [[nodiscard]] PersistStats& stats() { return stats_; }

@@ -1,0 +1,513 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace gh::obs {
+namespace {
+
+// --------------------------------------------------------------------------
+// JSON writer helpers (no library dependency; output is ASCII).
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+/// Tiny JSON object/array builder: tracks comma placement.
+class Json {
+ public:
+  explicit Json(std::string& out) : out_(out) {}
+
+  Json& begin_obj() {
+    comma();
+    out_ += '{';
+    fresh_ = true;
+    return *this;
+  }
+  Json& end_obj() {
+    out_ += '}';
+    fresh_ = false;
+    return *this;
+  }
+  Json& begin_arr() {
+    comma();
+    out_ += '[';
+    fresh_ = true;
+    return *this;
+  }
+  Json& end_arr() {
+    out_ += ']';
+    fresh_ = false;
+    return *this;
+  }
+  Json& key(std::string_view k) {
+    comma();
+    append_escaped(out_, k);
+    out_ += ':';
+    fresh_ = true;
+    return *this;
+  }
+  Json& value(u64 v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  Json& value(double v) {
+    comma();
+    append_double(out_, v);
+    return *this;
+  }
+  Json& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  Json& value(std::string_view v) {
+    comma();
+    append_escaped(out_, v);
+    return *this;
+  }
+  Json& field(std::string_view k, u64 v) { return key(k).value(v); }
+  Json& field(std::string_view k, double v) { return key(k).value(v); }
+  Json& field(std::string_view k, bool v) { return key(k).value(v); }
+  Json& field(std::string_view k, std::string_view v) { return key(k).value(v); }
+  // Without this, a string literal converts to bool (standard conversion)
+  // before string_view (user-defined) and serializes as true/false.
+  Json& field(std::string_view k, const char* v) {
+    return key(k).value(std::string_view(v));
+  }
+
+ private:
+  void comma() {
+    if (!fresh_) out_ += ',';
+    fresh_ = false;
+  }
+
+  std::string& out_;
+  bool fresh_ = true;
+};
+
+void write_histogram(Json& j, std::string_view name, const HistogramSnapshot& h) {
+  j.key(name).begin_obj();
+  j.field("count", h.count)
+      .field("sum_ns", h.sum_ns)
+      .field("max_ns", h.max_ns)
+      .field("mean_ns", h.mean_ns)
+      .field("p50_ns", h.p50_ns)
+      .field("p95_ns", h.p95_ns)
+      .field("p99_ns", h.p99_ns);
+  j.end_obj();
+}
+
+void write_latency(Json& j, const OpLatencySnapshot& lat) {
+  j.key("latency").begin_obj();
+  write_histogram(j, "insert", lat.insert);
+  write_histogram(j, "find", lat.find);
+  write_histogram(j, "erase", lat.erase);
+  write_histogram(j, "expand", lat.expand);
+  write_histogram(j, "scrub", lat.scrub);
+  write_histogram(j, "recover", lat.recover);
+  write_histogram(j, "compact", lat.compact);
+  j.end_obj();
+}
+
+// --------------------------------------------------------------------------
+// Prometheus helpers.
+
+void prom_line(std::string& out, std::string_view prefix, std::string_view name,
+               std::string_view labels, double v) {
+  out += prefix;
+  out += name;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+  out += '\n';
+}
+
+void prom_counter(std::string& out, std::string_view prefix, std::string_view name,
+                  std::string_view labels, u64 v) {
+  out += "# TYPE ";
+  out += prefix;
+  out += name;
+  out += " counter\n";
+  prom_line(out, prefix, name, labels, static_cast<double>(v));
+}
+
+void prom_histogram(std::string& out, std::string_view prefix, std::string_view base,
+                    std::string_view labels, const HistogramSnapshot& h) {
+  out += "# TYPE ";
+  out += prefix;
+  out += base;
+  out += " summary\n";
+  const std::string lp(labels);
+  const auto with_q = [&](const char* q) {
+    return lp.empty() ? std::string("quantile=\"") + q + "\""
+                      : lp + ",quantile=\"" + q + "\"";
+  };
+  prom_line(out, prefix, base, with_q("0.5"), h.p50_ns);
+  prom_line(out, prefix, base, with_q("0.95"), h.p95_ns);
+  prom_line(out, prefix, base, with_q("0.99"), h.p99_ns);
+  prom_line(out, prefix, std::string(base) + "_count", lp, static_cast<double>(h.count));
+  prom_line(out, prefix, std::string(base) + "_sum", lp, static_cast<double>(h.sum_ns));
+  prom_line(out, prefix, std::string(base) + "_max", lp, static_cast<double>(h.max_ns));
+}
+
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string export_json(const Snapshot& s) {
+  std::string out;
+  out.reserve(2048);
+  Json j(out);
+  j.begin_obj();
+  j.field("schema", kSnapshotSchema)
+      .field("version", u64{s.version})
+      .field("source", s.source)
+      .field("size", s.size)
+      .field("capacity", s.capacity)
+      .field("load_factor", s.load_factor)
+      .field("shards", u64{s.shards});
+  j.key("persist").begin_obj();
+  j.field("stores", s.persist.stores)
+      .field("bytes_written", s.persist.bytes_written)
+      .field("atomic_stores", s.persist.atomic_stores)
+      .field("persist_calls", s.persist.persist_calls)
+      .field("lines_flushed", s.persist.lines_flushed)
+      .field("fences", s.persist.fences)
+      .field("delay_ns", s.persist.delay_ns);
+  j.end_obj();
+  j.key("ops").begin_obj();
+  j.field("inserts", s.table.inserts)
+      .field("insert_failures", s.table.insert_failures)
+      .field("queries", s.table.queries)
+      .field("query_hits", s.table.query_hits)
+      .field("erases", s.table.erases)
+      .field("erase_hits", s.table.erase_hits)
+      .field("probes", s.table.probes)
+      .field("level2_probes", s.table.level2_probes)
+      .field("displacements", s.table.displacements)
+      .field("stash_probes", s.table.stash_probes)
+      .field("backward_shifts", s.table.backward_shifts);
+  j.end_obj();
+  j.key("scrub").begin_obj();
+  j.field("groups_scrubbed", s.scrub.groups_scrubbed)
+      .field("cells_scrubbed", s.scrub.cells_scrubbed)
+      .field("crc_mismatches", s.scrub.crc_mismatches)
+      .field("groups_quarantined", s.scrub.groups_quarantined)
+      .field("cells_lost", s.scrub.cells_lost)
+      .field("media_errors", s.scrub.media_errors)
+      .field("open_groups_checked", s.scrub.open_groups_checked)
+      .field("open_crc_mismatches", s.scrub.open_crc_mismatches)
+      .field("open_cells_lost", s.scrub.open_cells_lost);
+  j.end_obj();
+  j.key("contention").begin_obj();
+  j.field("read_retries", s.contention.read_retries)
+      .field("read_fallbacks", s.contention.read_fallbacks)
+      .field("writer_waits", s.contention.writer_waits);
+  j.end_obj();
+  j.key("lifecycle").begin_obj();
+  j.field("expansions", s.lifecycle.expansions)
+      .field("expand_failures", s.lifecycle.expand_failures)
+      .field("compactions", s.lifecycle.compactions)
+      .field("compact_failures", s.lifecycle.compact_failures)
+      .field("recoveries", s.lifecycle.recoveries)
+      .field("orphans_reclaimed", s.lifecycle.orphans_reclaimed)
+      .field("degraded", s.lifecycle.degraded);
+  j.end_obj();
+  write_latency(j, s.latency);
+  j.key("per_shard").begin_arr();
+  for (const ShardBrief& sh : s.per_shard) {
+    j.begin_obj();
+    j.field("shard", u64{sh.shard})
+        .field("size", sh.size)
+        .field("capacity", sh.capacity)
+        .field("read_retries", sh.contention.read_retries)
+        .field("read_fallbacks", sh.contention.read_fallbacks)
+        .field("writer_waits", sh.contention.writer_waits)
+        .field("expansions", sh.expansions)
+        .field("degraded", sh.degraded);
+    j.end_obj();
+  }
+  j.end_arr();
+  j.end_obj();
+  return out;
+}
+
+std::string export_json(const MetricsRegistry::RegistrySnapshot& r) {
+  std::string out;
+  out.reserve(1024);
+  Json j(out);
+  j.begin_obj();
+  j.field("schema", kMetricsSchema).field("version", u64{r.version});
+  j.key("counters").begin_obj();
+  for (const auto& c : r.counters) j.field(c.name, c.value);
+  j.end_obj();
+  j.key("histograms").begin_obj();
+  for (const auto& h : r.histograms) write_histogram(j, h.name, h.hist);
+  j.end_obj();
+  j.key("recorders").begin_arr();
+  for (const auto& rec : r.recorders) {
+    j.begin_obj();
+    j.field("name", rec.name);
+    j.key("ops").begin_obj();
+    for (usize k = 0; k < kOpKinds; ++k) {
+      write_histogram(j, op_kind_name(static_cast<OpKind>(k)), rec.ops[k]);
+    }
+    j.end_obj();
+    j.end_obj();
+  }
+  j.end_arr();
+  j.end_obj();
+  return out;
+}
+
+std::string export_registry_json() {
+  return export_json(MetricsRegistry::global().collect());
+}
+
+std::string export_prometheus(const Snapshot& s, std::string_view prefix) {
+  std::string out;
+  out.reserve(2048);
+  std::string labels = "source=\"" + s.source + "\"";
+  prom_counter(out, prefix, "size", labels, s.size);
+  prom_counter(out, prefix, "capacity", labels, s.capacity);
+  prom_counter(out, prefix, "inserts_total", labels, s.table.inserts);
+  prom_counter(out, prefix, "insert_failures_total", labels, s.table.insert_failures);
+  prom_counter(out, prefix, "queries_total", labels, s.table.queries);
+  prom_counter(out, prefix, "erases_total", labels, s.table.erases);
+  prom_counter(out, prefix, "probes_total", labels, s.table.probes);
+  prom_counter(out, prefix, "persist_calls_total", labels, s.persist.persist_calls);
+  prom_counter(out, prefix, "lines_flushed_total", labels, s.persist.lines_flushed);
+  prom_counter(out, prefix, "fences_total", labels, s.persist.fences);
+  prom_counter(out, prefix, "bytes_written_total", labels, s.persist.bytes_written);
+  prom_counter(out, prefix, "scrub_groups_total", labels, s.scrub.groups_scrubbed);
+  prom_counter(out, prefix, "crc_mismatches_total", labels, s.scrub.crc_mismatches);
+  prom_counter(out, prefix, "cells_lost_total", labels, s.scrub.cells_lost);
+  prom_counter(out, prefix, "read_retries_total", labels, s.contention.read_retries);
+  prom_counter(out, prefix, "read_fallbacks_total", labels, s.contention.read_fallbacks);
+  prom_counter(out, prefix, "writer_waits_total", labels, s.contention.writer_waits);
+  prom_counter(out, prefix, "expansions_total", labels, s.lifecycle.expansions);
+  prom_counter(out, prefix, "recoveries_total", labels, s.lifecycle.recoveries);
+  for (usize k = 0; k < kOpKinds; ++k) {
+    const auto kind = static_cast<OpKind>(k);
+    prom_histogram(out, prefix,
+                   std::string("op_") + op_kind_name(kind) + "_latency_ns", labels,
+                   s.latency.of(kind));
+  }
+  return out;
+}
+
+std::string export_prometheus(const MetricsRegistry::RegistrySnapshot& r,
+                              std::string_view prefix) {
+  std::string out;
+  out.reserve(1024);
+  for (const auto& c : r.counters) {
+    // Registry counter names are already fully qualified (gh_…_total);
+    // don't double-prefix those.
+    std::string name = sanitize_metric_name(c.name);
+    if (name.rfind(prefix, 0) == 0) name.erase(0, prefix.size());
+    prom_counter(out, prefix, name, "", c.value);
+  }
+  for (const auto& h : r.histograms) {
+    prom_histogram(out, prefix, sanitize_metric_name(h.name), "", h.hist);
+  }
+  for (const auto& rec : r.recorders) {
+    const std::string labels = "source=\"" + rec.name + "\"";
+    for (usize k = 0; k < kOpKinds; ++k) {
+      prom_histogram(out, prefix,
+                     std::string("op_") + op_kind_name(static_cast<OpKind>(k)) +
+                         "_latency_ns",
+                     labels, rec.ops[k]);
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Minimal JSON structural validator.
+
+namespace {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : s_(text) {}
+
+  bool run(std::string* error) {
+    skip_ws();
+    const bool ok = value() && (skip_ws(), pos_ == s_.size());
+    if (!ok && error != nullptr) {
+      *error = err_.empty() ? "trailing characters at offset " + std::to_string(pos_)
+                            : err_ + " at offset " + std::to_string(pos_);
+    }
+    return ok;
+  }
+
+ private:
+  bool fail(const char* what) {
+    if (err_.empty()) err_ = what;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return fail("bad literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool string() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return fail("bad escape");
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const usize start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+                                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                                s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected number");
+    return true;
+  }
+
+  bool value() {
+    if (++depth_ > 64) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end");
+    bool ok = false;
+    switch (s_[pos_]) {
+      case '{': ok = object(); break;
+      case '[': ok = array(); break;
+      case '"': ok = string(); break;
+      case 't': ok = literal("true"); break;
+      case 'f': ok = literal("false"); break;
+      case 'n': ok = literal("null"); break;
+      default: ok = number();
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      if (!value()) return false;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view s_;
+  usize pos_ = 0;
+  int depth_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+bool validate_json(std::string_view text, std::string* error) {
+  return JsonChecker(text).run(error);
+}
+
+}  // namespace gh::obs

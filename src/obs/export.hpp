@@ -1,0 +1,49 @@
+// Versioned text serializers for the observability layer.
+//
+//   * export_json(Snapshot)          — {"schema":"gh.obs.snapshot.v1",…}
+//   * export_json(RegistrySnapshot)  — {"schema":"gh.obs.metrics.v1",…}
+//   * export_prometheus(…)           — Prometheus text exposition format
+//     (counters as *_total, histograms as summary-style quantile lines)
+//   * validate_json(…)               — minimal structural JSON check used
+//     by the schema round-trip tests and the gh_stats self-test.
+//
+// The schema string embeds the version; adding fields is
+// backwards-compatible, renaming or removing one bumps the version.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+
+namespace gh::obs {
+
+inline constexpr const char* kSnapshotSchema = "gh.obs.snapshot.v1";
+inline constexpr const char* kMetricsSchema = "gh.obs.metrics.v1";
+
+/// One map/table snapshot as a JSON object.
+[[nodiscard]] std::string export_json(const Snapshot& snapshot);
+
+/// The process-wide registry as a JSON object.
+[[nodiscard]] std::string export_json(const MetricsRegistry::RegistrySnapshot& registry);
+
+/// Convenience: collect + export the global registry.
+[[nodiscard]] std::string export_registry_json();
+
+/// One map/table snapshot in Prometheus text format. Metric names get
+/// `prefix` (default "gh_") and a source label.
+[[nodiscard]] std::string export_prometheus(const Snapshot& snapshot,
+                                            std::string_view prefix = "gh_");
+
+/// The process-wide registry in Prometheus text format.
+[[nodiscard]] std::string export_prometheus(
+    const MetricsRegistry::RegistrySnapshot& registry, std::string_view prefix = "gh_");
+
+/// Structural JSON validation (objects, arrays, strings, numbers, bools,
+/// null; UTF-8 passthrough). Returns false and sets `error` (if given)
+/// on the first syntax violation. Small by design — this is a schema
+/// smoke check, not a parser for untrusted input.
+[[nodiscard]] bool validate_json(std::string_view text, std::string* error = nullptr);
+
+}  // namespace gh::obs

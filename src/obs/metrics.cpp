@@ -1,0 +1,182 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/clock.hpp"
+
+namespace gh::obs {
+
+u64 now_ticks_slow() {
+  if constexpr (!kEnabled) return 0;
+  return now_ns();
+}
+
+double ticks_per_ns() {
+#if defined(__x86_64__) || defined(_M_X64)
+  // Reuse the spin-wait calibration (util/clock.cpp): cycles per ns.
+  static const double tpn = [] {
+    const double ghz = tsc_ghz();
+    return ghz > 0 ? ghz : 1.0;
+  }();
+  return tpn;
+#else
+  return 1.0;  // now_ticks_slow already returns nanoseconds
+#endif
+}
+
+double LatencyHistogram::bucket_midpoint(usize bucket) {
+  if (bucket < kSub) return static_cast<double>(bucket);
+  const usize block = bucket >> kSubBits;
+  const usize sub = bucket & (kSub - 1);
+  const usize exp = block + kSubBits - 1;
+  const double low = static_cast<double>(u64{1} << exp) +
+                     static_cast<double>(sub) * static_cast<double>(u64{1} << (exp - kSubBits));
+  const double width = static_cast<double>(u64{1} << (exp - kSubBits));
+  return low + width / 2.0;
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  // One relaxed pass over the buckets; each bucket only grows, so the
+  // derived count is monotone across successive snapshots and the view
+  // is never torn below bucket granularity.
+  std::array<u64, kBuckets> counts;
+  u64 total = 0;
+  for (usize i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  HistogramSnapshot s;
+  s.count = total;
+  const double tpn = ticks_per_ns();
+  s.sum_ns = static_cast<u64>(
+      static_cast<double>(sum_.load(std::memory_order_relaxed)) / tpn);
+  s.max_ns = static_cast<u64>(
+      static_cast<double>(max_.load(std::memory_order_relaxed)) / tpn);
+  if (total == 0) return s;
+  s.mean_ns = static_cast<double>(s.sum_ns) / static_cast<double>(total);
+  const auto percentile = [&](double q) {
+    const double target = q / 100.0 * static_cast<double>(total);
+    u64 cumulative = 0;
+    for (usize i = 0; i < kBuckets; ++i) {
+      cumulative += counts[i];
+      if (static_cast<double>(cumulative) >= target) return bucket_midpoint(i) / tpn;
+    }
+    return bucket_midpoint(kBuckets - 1) / tpn;
+  };
+  s.p50_ns = percentile(50);
+  s.p95_ns = percentile(95);
+  s.p99_ns = percentile(99);
+  return s;
+}
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInsert: return "insert";
+    case OpKind::kFind: return "find";
+    case OpKind::kErase: return "erase";
+    case OpKind::kExpand: return "expand";
+    case OpKind::kScrub: return "scrub";
+    case OpKind::kRecover: return "recover";
+    case OpKind::kCompact: return "compact";
+  }
+  return "unknown";
+}
+
+namespace detail {
+std::atomic<const TraceHook*> g_trace_hook{nullptr};
+}  // namespace detail
+
+void set_trace_hook(TraceFn fn, void* ctx) {
+  // Hooks live in a small static pool so a cleared hook never dangles
+  // under a racing trace_op (install/clear is rare; slots are reused
+  // round-robin and never freed).
+  static detail::TraceHook pool[4];
+  static std::atomic<usize> next{0};
+  if (fn == nullptr) {
+    detail::g_trace_hook.store(nullptr, std::memory_order_release);
+    return;
+  }
+  detail::TraceHook& slot = pool[next.fetch_add(1, std::memory_order_relaxed) % 4];
+  slot.fn = fn;
+  slot.ctx = ctx;
+  detail::g_trace_hook.store(&slot, std::memory_order_release);
+}
+
+PmEvents& pm_events() {
+  static PmEvents events;
+  return events;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+StripedCounter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (NamedCounter& c : counters_) {
+    if (c.name == name) return c.counter;
+  }
+  counters_.emplace_back();
+  counters_.back().name = std::string(name);
+  return counters_.back().counter;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (NamedHistogram& h : histograms_) {
+    if (h.name == name) return h.histogram;
+  }
+  histograms_.emplace_back();
+  histograms_.back().name = std::string(name);
+  return histograms_.back().histogram;
+}
+
+u64 MetricsRegistry::attach(std::string name, const OpRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const u64 id = next_id_++;
+  recorders_.push_back(AttachedRecorder{id, std::move(name), recorder});
+  return id;
+}
+
+void MetricsRegistry::detach(u64 id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recorders_.erase(
+      std::remove_if(recorders_.begin(), recorders_.end(),
+                     [&](const AttachedRecorder& r) { return r.id == id; }),
+      recorders_.end());
+}
+
+MetricsRegistry::RegistrySnapshot MetricsRegistry::collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  // The process-wide PM event counters are always part of the view.
+  const PmEvents& pm = pm_events();
+  snap.counters.push_back({"gh_pm_persist_calls_total", pm.persist_calls.load()});
+  snap.counters.push_back({"gh_pm_lines_flushed_total", pm.lines_flushed.load()});
+  snap.counters.push_back({"gh_pm_fences_total", pm.fences.load()});
+  for (const NamedCounter& c : counters_) {
+    snap.counters.push_back({c.name, c.counter.load()});
+  }
+  for (const NamedHistogram& h : histograms_) {
+    snap.histograms.push_back({h.name, h.histogram.snapshot()});
+  }
+  for (const AttachedRecorder& r : recorders_) {
+    RecorderSample sample;
+    sample.name = r.name;
+    for (usize k = 0; k < kOpKinds; ++k) {
+      sample.ops[k] = r.recorder->of(static_cast<OpKind>(k)).snapshot();
+    }
+    snap.recorders.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pm_events().reset();
+  for (NamedCounter& c : counters_) c.counter.reset();
+  for (NamedHistogram& h : histograms_) h.histogram.reset();
+}
+
+}  // namespace gh::obs

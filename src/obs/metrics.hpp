@@ -1,0 +1,450 @@
+// Unified observability layer — process-wide metrics registry, lock-free
+// counters and log₂-bucketed latency histograms, and optional per-op
+// trace hooks.
+//
+// Design constraints (this is hot-path instrumentation):
+//   * recording is wait-free and lock-prefix-free: histograms and striped
+//     counters use relaxed load-add-store (the RelaxedCounter discipline
+//     of util/counters.hpp) — under true concurrency increments may be
+//     lost, but values are always defined and never decrease;
+//   * timestamps are raw TSC ticks (one rdtsc per edge, no serialization,
+//     no syscall); ticks convert to nanoseconds only at snapshot/export
+//     time via the calibrated clock in util/clock.hpp;
+//   * per-shard/per-map state is sharded by construction (each map owns
+//     its OpRecorder; the process-global PM event counters are striped by
+//     thread), so no cacheline is contended across writers;
+//   * compiling with GH_OBS_OFF reduces every hook — record(), add(),
+//     now_ticks(), trace_op() — to a no-op with zero residue on the hot
+//     path. The registry/export surface stays linkable (it reports
+//     zeros), so callers never need #ifdefs.
+//
+// Registration (MetricsRegistry::global()) takes a mutex; it happens at
+// map construction, never per operation.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gh::obs {
+
+#ifdef GH_OBS_OFF
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Schema version stamped into every exported snapshot/registry dump.
+inline constexpr u32 kSchemaVersion = 1;
+
+// ---------------------------------------------------------------------------
+// Clock: raw TSC ticks on the hot path, ns conversion at snapshot time.
+
+/// Raw monotonic tick counter (rdtsc on x86; steady clock ns elsewhere).
+/// Always 0 when GH_OBS_OFF so the hook costs nothing.
+u64 now_ticks_slow();
+
+inline u64 now_ticks() {
+  if constexpr (!kEnabled) return 0;
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_ia32_rdtsc();
+#else
+  return now_ticks_slow();
+#endif
+}
+
+/// Ticks per nanosecond (1.0 when ticks already are ns). First call may
+/// spend ~20 ms calibrating; cached afterwards. Never called on hot paths.
+double ticks_per_ns();
+
+/// Default latency-sampling shift: time 1 in 2^6 ops. Reading the TSC is
+/// far from free — on virtualized hosts each rdtsc also acts as a
+/// speculation barrier, serializing the probe loads it brackets (measured
+/// ~300 ns per DRAM-speed op, dwarfing the op itself). Sampling keeps the
+/// percentile estimates (latency is recorded for every 64th op, which is
+/// unbiased for a steady workload) while amortizing that cost to ~2% of
+/// one op. Set the shift to 0 (MapOptions/TableConfig/Options
+/// latency_sample_shift) to time every op; exact op COUNTS always come
+/// from TableStats — histogram counts are sampled ops by design.
+inline constexpr u32 kDefaultSampleShift = 6;
+
+/// Per-structure admission gate for sampled timing. Deliberately plain
+/// (non-atomic): each map is single-writer per the repo's thread model
+/// (the concurrent wrappers serialize mutations per shard), and a rare
+/// torn increment merely perturbs which op gets sampled.
+class SampleGate {
+ public:
+  void set_shift(u32 shift) { mask_ = (u64{1} << (shift < 63 ? shift : 63)) - 1; }
+  /// True when this op should be timed. Always advances the sequence.
+  bool admit() { return (seq_++ & mask_) == 0; }
+
+ private:
+  u64 seq_ = 0;
+  u64 mask_ = (u64{1} << kDefaultSampleShift) - 1;
+};
+
+/// Convert a tick delta to nanoseconds (snapshot/export-time only).
+inline u64 ticks_to_ns(u64 ticks) {
+  const double tpn = ticks_per_ns();
+  return tpn > 0 ? static_cast<u64>(static_cast<double>(ticks) / tpn) : ticks;
+}
+
+// ---------------------------------------------------------------------------
+// Counters.
+
+/// Process-wide hot counter, striped across cachelines by thread so
+/// concurrent writers never bounce a line. Loads sum the stripes.
+class StripedCounter {
+ public:
+  static constexpr usize kStripes = 8;
+
+  void add(u64 d) {
+    if constexpr (!kEnabled) return;
+    auto& v = stripes_[stripe_index()].v;
+    v.store(v.load(std::memory_order_relaxed) + d, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] u64 load() const {
+    u64 total = 0;
+    for (const Stripe& s : stripes_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() {
+    for (Stripe& s : stripes_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kCachelineSize) Stripe {
+    std::atomic<u64> v{0};
+  };
+
+  static usize stripe_index() {
+    // One stripe per thread (mod kStripes), assigned round-robin on first
+    // use; threads never migrate stripes, so per-thread updates stay in
+    // one L1 line.
+    static std::atomic<usize> next{0};
+    static thread_local const usize idx =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return idx;
+  }
+
+  std::array<Stripe, kStripes> stripes_{};
+};
+
+// ---------------------------------------------------------------------------
+// Latency histogram.
+
+/// Snapshot-time view of one histogram, in nanoseconds.
+struct HistogramSnapshot {
+  u64 count = 0;
+  u64 sum_ns = 0;
+  u64 max_ns = 0;
+  double mean_ns = 0;
+  double p50_ns = 0;
+  double p95_ns = 0;
+  double p99_ns = 0;
+};
+
+/// Log₂-bucketed latency histogram (64 power-of-two ranges × 8 linear
+/// sub-buckets ⇒ ≤ ~6% relative error on percentiles). record() is a
+/// handful of relaxed loads/stores on one 4 KB array; values are raw
+/// ticks, converted to ns by snapshot().
+class LatencyHistogram {
+ public:
+  static constexpr usize kSubBits = 3;
+  static constexpr usize kSub = 1u << kSubBits;
+  static constexpr usize kBuckets = (64 - kSubBits + 1) * kSub;
+
+  void record(u64 ticks) {
+    if constexpr (!kEnabled) return;
+    auto& b = buckets_[bucket_for(ticks)];
+    b.store(b.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+    sum_.store(sum_.load(std::memory_order_relaxed) + ticks, std::memory_order_relaxed);
+    u64 prev = max_.load(std::memory_order_relaxed);
+    while (ticks > prev &&
+           !max_.compare_exchange_weak(prev, ticks, std::memory_order_relaxed)) {
+    }
+  }
+
+  void reset() {
+    if constexpr (!kEnabled) return;
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Derived count (sum of buckets). Monotone across successive calls:
+  /// each bucket only ever grows.
+  [[nodiscard]] u64 count() const {
+    u64 total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Consistent point-in-time view with tick→ns conversion applied.
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// Add `o`'s sampled counts into this histogram (snapshot-time
+  /// aggregation across shards; not a hot-path call).
+  void merge(const LatencyHistogram& o) {
+    if constexpr (!kEnabled) return;
+    for (usize i = 0; i < kBuckets; ++i) {
+      const u64 d = o.buckets_[i].load(std::memory_order_relaxed);
+      if (d != 0) {
+        auto& b = buckets_[i];
+        b.store(b.load(std::memory_order_relaxed) + d, std::memory_order_relaxed);
+      }
+    }
+    sum_.store(sum_.load(std::memory_order_relaxed) +
+                   o.sum_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    const u64 omax = o.max_.load(std::memory_order_relaxed);
+    if (omax > max_.load(std::memory_order_relaxed)) {
+      max_.store(omax, std::memory_order_relaxed);
+    }
+  }
+
+  static usize bucket_for(u64 v) {
+    if (v < kSub) return static_cast<usize>(v);
+    usize msb = 63 - static_cast<usize>(__builtin_clzll(v));
+    return ((msb - kSubBits + 1) << kSubBits) |
+           static_cast<usize>((v >> (msb - kSubBits)) & (kSub - 1));
+  }
+
+  /// Midpoint (in ticks) of a bucket, for percentile interpolation.
+  static double bucket_midpoint(usize bucket);
+
+ private:
+  std::array<std::atomic<u64>, kBuckets> buckets_{};
+  std::atomic<u64> sum_{0};
+  std::atomic<u64> max_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Per-op trace hook.
+
+/// Operation kinds traced/timed across the stack.
+enum class OpKind : u8 {
+  kInsert = 0,
+  kFind,
+  kErase,
+  kExpand,
+  kScrub,
+  kRecover,
+  kCompact,
+};
+inline constexpr usize kOpKinds = 7;
+
+const char* op_kind_name(OpKind kind);
+
+/// One traced operation. `ns` is wall time; `lines_flushed` is the NVM
+/// lines the op flushed (approximate when the PM is shared by threads).
+struct OpTrace {
+  OpKind kind = OpKind::kInsert;
+  u64 key_hash = 0;
+  u64 ns = 0;
+  u64 lines_flushed = 0;
+};
+
+using TraceFn = void (*)(void* ctx, const OpTrace& op);
+
+namespace detail {
+struct TraceHook {
+  TraceFn fn = nullptr;
+  void* ctx = nullptr;
+};
+extern std::atomic<const TraceHook*> g_trace_hook;
+}  // namespace detail
+
+/// Install (or, with nullptr, clear) the process-wide per-op trace hook.
+/// The hook must be callable from any thread; keep it cheap. Not
+/// intended for concurrent install/uninstall races with in-flight ops —
+/// install at startup, clear at shutdown (tests serialize around it).
+void set_trace_hook(TraceFn fn, void* ctx);
+
+[[nodiscard]] inline bool trace_hook_installed() {
+  if constexpr (!kEnabled) return false;
+  return detail::g_trace_hook.load(std::memory_order_relaxed) != nullptr;
+}
+
+inline void trace_op(OpKind kind, u64 key_hash, u64 ticks, u64 lines_flushed) {
+  if constexpr (!kEnabled) return;
+  const detail::TraceHook* h = detail::g_trace_hook.load(std::memory_order_acquire);
+  if (h != nullptr && h->fn != nullptr) {
+    h->fn(h->ctx, OpTrace{kind, key_hash, ticks_to_ns(ticks), lines_flushed});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OpRecorder: one structure's per-op latency histograms.
+
+/// The latency side of a map/table's observability: one histogram per op
+/// kind. Owned via unique_ptr by each map (stable address across moves)
+/// and attached to the global registry under the map's name.
+class OpRecorder {
+ public:
+  [[nodiscard]] LatencyHistogram& of(OpKind kind) {
+    return histograms_[static_cast<usize>(kind)];
+  }
+  [[nodiscard]] const LatencyHistogram& of(OpKind kind) const {
+    return histograms_[static_cast<usize>(kind)];
+  }
+
+  void record(OpKind kind, u64 ticks) { of(kind).record(ticks); }
+
+  void reset() {
+    for (auto& h : histograms_) h.reset();
+  }
+
+  /// Snapshot-time aggregation (e.g. across the shards of a concurrent
+  /// map): adds `o`'s counts into this recorder.
+  void merge(const OpRecorder& o) {
+    for (usize k = 0; k < kOpKinds; ++k) histograms_[k].merge(o.histograms_[k]);
+  }
+
+ private:
+  std::array<LatencyHistogram, kOpKinds> histograms_;
+};
+
+// ---------------------------------------------------------------------------
+// Process-wide PM event counters (all persistence policies feed these).
+
+/// Aggregate NVM-traffic events across every PM instance in the process,
+/// striped by thread. The per-instance PersistStats remain the exact
+/// per-structure view; these answer "what is this *process* doing to the
+/// media right now" without walking instances.
+struct PmEvents {
+  StripedCounter persist_calls;
+  StripedCounter lines_flushed;
+  StripedCounter fences;
+
+  void reset() {
+    persist_calls.reset();
+    lines_flushed.reset();
+    fences.reset();
+  }
+};
+
+PmEvents& pm_events();
+
+/// Hook called by every persistence policy's persist(). Inline and
+/// branch-free; compiles out under GH_OBS_OFF.
+inline void on_pm_persist(u64 lines) {
+  if constexpr (!kEnabled) return;
+  PmEvents& e = pm_events();
+  e.persist_calls.add(1);
+  e.lines_flushed.add(lines);
+}
+
+inline void on_pm_fence() {
+  if constexpr (!kEnabled) return;
+  pm_events().fences.add(1);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry.
+
+/// Process-wide registry of named counters/histograms plus the
+/// OpRecorders of live maps/tables. Registration locks a mutex; reads of
+/// registered metrics are lock-free. collect() walks everything under
+/// the registration lock (attach/detach excluded, increments not).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  /// Named process counter; same name returns the same counter.
+  StripedCounter& counter(std::string_view name);
+  /// Named process histogram; same name returns the same histogram.
+  LatencyHistogram& histogram(std::string_view name);
+
+  /// Attach a live OpRecorder under `name` (duplicate names allowed —
+  /// e.g. the shards of one concurrent map). Returns an id for detach().
+  u64 attach(std::string name, const OpRecorder* recorder);
+  void detach(u64 id);
+
+  struct CounterSample {
+    std::string name;
+    u64 value = 0;
+  };
+  struct HistogramSample {
+    std::string name;
+    HistogramSnapshot hist;
+  };
+  struct RecorderSample {
+    std::string name;
+    std::array<HistogramSnapshot, kOpKinds> ops;
+  };
+  struct RegistrySnapshot {
+    u32 version = kSchemaVersion;
+    std::vector<CounterSample> counters;
+    std::vector<HistogramSample> histograms;
+    std::vector<RecorderSample> recorders;
+  };
+
+  [[nodiscard]] RegistrySnapshot collect() const;
+
+  /// Tests only: zero every registered metric and the PM event counters
+  /// (attached recorders are left alone — their owners reset them).
+  void reset_all();
+
+ private:
+  struct Named {
+    std::string name;
+  };
+  struct NamedCounter : Named {
+    StripedCounter counter;
+  };
+  struct NamedHistogram : Named {
+    LatencyHistogram histogram;
+  };
+  struct AttachedRecorder {
+    u64 id = 0;
+    std::string name;
+    const OpRecorder* recorder = nullptr;
+  };
+
+  mutable std::mutex mu_;
+  std::deque<NamedCounter> counters_;
+  std::deque<NamedHistogram> histograms_;
+  std::vector<AttachedRecorder> recorders_;
+  u64 next_id_ = 1;
+};
+
+/// RAII attachment of an OpRecorder to the global registry. Movable so
+/// maps can hold one by value; detaches (once) on destruction.
+class Registration {
+ public:
+  Registration() = default;
+  Registration(std::string name, const OpRecorder* recorder)
+      : id_(MetricsRegistry::global().attach(std::move(name), recorder)) {}
+  Registration(Registration&& o) noexcept : id_(o.id_) { o.id_ = 0; }
+  Registration& operator=(Registration&& o) noexcept {
+    if (this != &o) {
+      release();
+      id_ = o.id_;
+      o.id_ = 0;
+    }
+    return *this;
+  }
+  Registration(const Registration&) = delete;
+  Registration& operator=(const Registration&) = delete;
+  ~Registration() { release(); }
+
+ private:
+  void release() {
+    if (id_ != 0) MetricsRegistry::global().detach(id_);
+    id_ = 0;
+  }
+
+  u64 id_ = 0;
+};
+
+}  // namespace gh::obs

@@ -1,0 +1,261 @@
+// obs::Snapshot — the ONE read API for map/table statistics.
+//
+// Before this layer the repo had three disjoint introspection surfaces:
+// nvm::PersistStats (NVM traffic), hash::TableStats + ScrubReport
+// (algorithmic work and integrity), and the concurrent wrappers'
+// LockContention counters via inspect_shards(). A caller answering "p99
+// insert latency, lines flushed per op, seqlock retry rate, scrub
+// progress" had to stitch all three together while the map ran.
+//
+// Snapshot collapses them: every map/table exposes `snapshot()`
+// returning this struct — persist, table-op, scrub, contention,
+// lifecycle and latency-histogram data in one sampled, plain-u64 (never
+// torn, safe to copy around) value. The old piecemeal getters
+// (GroupHashMap::metrics(), PersistentStringMap::stats(),
+// inspect_shards' contention fields) remain as thin back-compat aliases
+// for one release; new code should read snapshot()/export_json only.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hash/table_stats.hpp"
+#include "nvm/persist.hpp"
+#include "obs/metrics.hpp"
+#include "util/seqlock.hpp"
+#include "util/types.hpp"
+
+namespace gh::obs {
+
+/// Sampled copy of nvm::PersistStats (plain u64s).
+struct PersistSnapshot {
+  u64 stores = 0;
+  u64 bytes_written = 0;
+  u64 atomic_stores = 0;
+  u64 persist_calls = 0;
+  u64 lines_flushed = 0;
+  u64 fences = 0;
+  u64 delay_ns = 0;
+
+  static PersistSnapshot from(const nvm::PersistStats& s) {
+    return {s.stores.load(),        s.bytes_written.load(), s.atomic_stores.load(),
+            s.persist_calls.load(), s.lines_flushed.load(), s.fences.load(),
+            s.delay_ns.load()};
+  }
+
+  PersistSnapshot& operator+=(const PersistSnapshot& o) {
+    stores += o.stores;
+    bytes_written += o.bytes_written;
+    atomic_stores += o.atomic_stores;
+    persist_calls += o.persist_calls;
+    lines_flushed += o.lines_flushed;
+    fences += o.fences;
+    delay_ns += o.delay_ns;
+    return *this;
+  }
+};
+
+/// Sampled copy of hash::TableStats (plain u64s).
+struct TableOpSnapshot {
+  u64 inserts = 0;
+  u64 insert_failures = 0;
+  u64 queries = 0;
+  u64 query_hits = 0;
+  u64 erases = 0;
+  u64 erase_hits = 0;
+  u64 probes = 0;
+  u64 level2_probes = 0;
+  u64 displacements = 0;
+  u64 stash_probes = 0;
+  u64 backward_shifts = 0;
+
+  static TableOpSnapshot from(const hash::TableStats& s) {
+    return {s.inserts.load(),       s.insert_failures.load(), s.queries.load(),
+            s.query_hits.load(),    s.erases.load(),          s.erase_hits.load(),
+            s.probes.load(),        s.level2_probes.load(),   s.displacements.load(),
+            s.stash_probes.load(),  s.backward_shifts.load()};
+  }
+
+  TableOpSnapshot& operator+=(const TableOpSnapshot& o) {
+    inserts += o.inserts;
+    insert_failures += o.insert_failures;
+    queries += o.queries;
+    query_hits += o.query_hits;
+    erases += o.erases;
+    erase_hits += o.erase_hits;
+    probes += o.probes;
+    level2_probes += o.level2_probes;
+    displacements += o.displacements;
+    stash_probes += o.stash_probes;
+    backward_shifts += o.backward_shifts;
+    return *this;
+  }
+};
+
+/// Integrity view: lifetime scrub/quarantine counters (from TableStats)
+/// plus what open()-time verification found.
+struct ScrubSnapshot {
+  u64 groups_scrubbed = 0;
+  u64 cells_scrubbed = 0;
+  u64 crc_mismatches = 0;
+  u64 groups_quarantined = 0;
+  u64 cells_lost = 0;
+  u64 media_errors = 0;
+  // open()-time verification of a cleanly closed map (zero after a
+  // recovery open or when verification is off).
+  u64 open_groups_checked = 0;
+  u64 open_crc_mismatches = 0;
+  u64 open_cells_lost = 0;
+
+  static ScrubSnapshot from(const hash::TableStats& s, const hash::ScrubReport& open) {
+    ScrubSnapshot r;
+    r.groups_scrubbed = s.groups_scrubbed.load();
+    r.cells_scrubbed = s.cells_scrubbed.load();
+    r.crc_mismatches = s.crc_mismatches.load();
+    r.groups_quarantined = s.groups_quarantined.load();
+    r.cells_lost = s.cells_lost.load();
+    r.media_errors = s.media_errors.load();
+    r.open_groups_checked = open.groups_checked;
+    r.open_crc_mismatches = open.crc_mismatches;
+    r.open_cells_lost = open.cells_lost;
+    return r;
+  }
+
+  ScrubSnapshot& operator+=(const ScrubSnapshot& o) {
+    groups_scrubbed += o.groups_scrubbed;
+    cells_scrubbed += o.cells_scrubbed;
+    crc_mismatches += o.crc_mismatches;
+    groups_quarantined += o.groups_quarantined;
+    cells_lost += o.cells_lost;
+    media_errors += o.media_errors;
+    open_groups_checked += o.open_groups_checked;
+    open_crc_mismatches += o.open_crc_mismatches;
+    open_cells_lost += o.open_cells_lost;
+    return *this;
+  }
+};
+
+/// Sampled seqlock contention (from util/seqlock.hpp LockContention).
+struct ContentionSnapshot {
+  u64 read_retries = 0;
+  u64 read_fallbacks = 0;
+  u64 writer_waits = 0;
+
+  static ContentionSnapshot from(const LockContention& c) {
+    return {c.read_retries.load(), c.read_fallbacks.load(), c.writer_waits.load()};
+  }
+
+  ContentionSnapshot& operator+=(const ContentionSnapshot& o) {
+    read_retries += o.read_retries;
+    read_fallbacks += o.read_fallbacks;
+    writer_waits += o.writer_waits;
+    return *this;
+  }
+};
+
+/// Map lifecycle events (expansion/compaction/recovery machinery).
+struct LifecycleSnapshot {
+  u64 expansions = 0;
+  u64 expand_failures = 0;
+  u64 compactions = 0;
+  u64 compact_failures = 0;
+  u64 recoveries = 0;
+  u64 orphans_reclaimed = 0;
+  bool degraded = false;  ///< an expansion/compaction is owed but failing
+
+  LifecycleSnapshot& operator+=(const LifecycleSnapshot& o) {
+    expansions += o.expansions;
+    expand_failures += o.expand_failures;
+    compactions += o.compactions;
+    compact_failures += o.compact_failures;
+    recoveries += o.recoveries;
+    orphans_reclaimed += o.orphans_reclaimed;
+    degraded = degraded || o.degraded;
+    return *this;
+  }
+};
+
+/// Per-op latency histograms, sampled.
+struct OpLatencySnapshot {
+  HistogramSnapshot insert;
+  HistogramSnapshot find;
+  HistogramSnapshot erase;
+  HistogramSnapshot expand;
+  HistogramSnapshot scrub;
+  HistogramSnapshot recover;
+  HistogramSnapshot compact;
+
+  static OpLatencySnapshot from(const OpRecorder& rec) {
+    OpLatencySnapshot s;
+    s.insert = rec.of(OpKind::kInsert).snapshot();
+    s.find = rec.of(OpKind::kFind).snapshot();
+    s.erase = rec.of(OpKind::kErase).snapshot();
+    s.expand = rec.of(OpKind::kExpand).snapshot();
+    s.scrub = rec.of(OpKind::kScrub).snapshot();
+    s.recover = rec.of(OpKind::kRecover).snapshot();
+    s.compact = rec.of(OpKind::kCompact).snapshot();
+    return s;
+  }
+
+  [[nodiscard]] const HistogramSnapshot& of(OpKind kind) const {
+    switch (kind) {
+      case OpKind::kInsert: return insert;
+      case OpKind::kFind: return find;
+      case OpKind::kErase: return erase;
+      case OpKind::kExpand: return expand;
+      case OpKind::kScrub: return scrub;
+      case OpKind::kRecover: return recover;
+      case OpKind::kCompact: return compact;
+    }
+    return insert;
+  }
+};
+
+/// One shard of a concurrent map, in brief (the aggregate fields of the
+/// owning Snapshot already sum these).
+struct ShardBrief {
+  usize shard = 0;
+  u64 size = 0;
+  u64 capacity = 0;
+  ContentionSnapshot contention;
+  u64 expansions = 0;
+  bool degraded = false;
+};
+
+/// The unified stats view. All fields are plain sampled values — safe to
+/// copy, serialize (obs/export.hpp) or diff between two points in time.
+struct Snapshot {
+  u32 version = kSchemaVersion;
+  std::string source;  ///< "GroupHashMap", "ConcurrentStringMap", table name…
+  u64 size = 0;
+  u64 capacity = 0;
+  double load_factor = 0;
+  usize shards = 0;  ///< 0 for non-sharded structures
+
+  PersistSnapshot persist;
+  TableOpSnapshot table;
+  ScrubSnapshot scrub;
+  ContentionSnapshot contention;
+  LifecycleSnapshot lifecycle;
+  OpLatencySnapshot latency;
+
+  std::vector<ShardBrief> per_shard;  ///< concurrent wrappers only
+
+  /// Merge another structure's sample into this one (used by the
+  /// concurrent wrappers to aggregate shards). Histograms aggregate by
+  /// count/sum/max only — percentiles of a merged snapshot come from the
+  /// per-shard recorders, not from re-bucketing.
+  Snapshot& absorb(const Snapshot& o) {
+    size += o.size;
+    capacity += o.capacity;
+    load_factor = capacity ? static_cast<double>(size) / static_cast<double>(capacity) : 0;
+    persist += o.persist;
+    table += o.table;
+    scrub += o.scrub;
+    contention += o.contention;
+    lifecycle += o.lifecycle;
+    return *this;
+  }
+};
+
+}  // namespace gh::obs

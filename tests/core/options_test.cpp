@@ -1,0 +1,159 @@
+// gh::Options builder tests: validation throws std::invalid_argument at
+// configuration time, the conversions carry every shared knob into the
+// legacy structs, and the implicit conversions let every existing factory
+// accept an Options without new overloads.
+#include "core/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/group_hash_map.hpp"
+#include "core/string_map.hpp"
+#include "hash/any_table.hpp"
+
+namespace gh {
+namespace {
+
+TEST(OptionsBuilder, DefaultsValidate) {
+  EXPECT_NO_THROW(Options().validate());
+}
+
+TEST(OptionsBuilder, RejectsBadKnobsWithNamedMessages) {
+  EXPECT_THROW(Options().initial_cells(0).validate(), std::invalid_argument);
+  EXPECT_THROW(Options().group_size(0).validate(), std::invalid_argument);
+  EXPECT_THROW(Options().group_size(48).validate(), std::invalid_argument);  // not pow2
+  EXPECT_THROW(Options().arena_bytes_per_cell(0).validate(), std::invalid_argument);
+  EXPECT_THROW(Options().with_wal(true, 0).validate(), std::invalid_argument);
+  EXPECT_THROW(Options().flush_latency_ns(20'000'000).validate(), std::invalid_argument);
+  EXPECT_THROW(Options().reserved_levels(0).validate(), std::invalid_argument);
+  EXPECT_THROW(Options().latency_sample_shift(40).validate(), std::invalid_argument);
+  try {
+    Options().group_size(48).validate();
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("group_size"), std::string::npos);
+  }
+}
+
+TEST(OptionsBuilder, ConversionRunsValidation) {
+  EXPECT_THROW((void)Options().initial_cells(0).to_map_options(), std::invalid_argument);
+  EXPECT_THROW((void)Options().initial_cells(0).to_string_map_options(),
+               std::invalid_argument);
+  EXPECT_THROW((void)Options().initial_cells(0).to_table_config(), std::invalid_argument);
+}
+
+TEST(OptionsBuilder, CarriesKnobsIntoMapOptions) {
+  const MapOptions o = Options()
+                           .initial_cells(1 << 18)
+                           .group_size(128)
+                           .hash_seed(7)
+                           .emulate_nvm()
+                           .auto_grow(false)
+                           .retain_retired_regions(true)
+                           .checksum_groups(false)
+                           .verify_on_open(false)
+                           .record_latency(false)
+                           .latency_sample_shift(3)
+                           .to_map_options();
+  EXPECT_EQ(o.initial_cells, u64{1} << 18);
+  EXPECT_EQ(o.group_size, 128u);
+  EXPECT_EQ(o.hash_seed, 7u);
+  EXPECT_EQ(o.flush_latency_ns, 300u);  // emulate_nvm = the paper's model
+  EXPECT_FALSE(o.auto_expand);
+  EXPECT_TRUE(o.retain_retired_regions);
+  EXPECT_FALSE(o.checksum_groups);
+  EXPECT_FALSE(o.verify_on_open);
+  EXPECT_FALSE(o.record_latency);
+  EXPECT_EQ(o.latency_sample_shift, 3u);
+}
+
+TEST(OptionsBuilder, CarriesKnobsIntoStringMapOptions) {
+  const StringMapOptions o = Options()
+                                 .initial_cells(4096)
+                                 .arena_bytes_per_cell(64)
+                                 .auto_grow(false)
+                                 .checksum_groups(false)
+                                 .to_string_map_options();
+  EXPECT_EQ(o.initial_cells, 4096u);
+  EXPECT_EQ(o.arena_bytes_per_cell, 64u);
+  EXPECT_FALSE(o.auto_compact);
+  EXPECT_FALSE(o.checksum_groups);
+}
+
+TEST(OptionsBuilder, CarriesKnobsIntoTableConfig) {
+  const hash::TableConfig c = Options()
+                                  .scheme(hash::Scheme::kGroup)
+                                  .initial_cells(1 << 20)
+                                  .wide_cells(true)
+                                  .with_wal(true, 512)
+                                  .second_seed(99)
+                                  .to_table_config();
+  EXPECT_EQ(c.scheme, hash::Scheme::kGroup);
+  EXPECT_EQ(u64{1} << c.total_cells_log2, u64{1} << 20);
+  EXPECT_TRUE(c.wide_cells);
+  EXPECT_TRUE(c.with_wal);
+  EXPECT_EQ(c.wal_records, 512u);
+  EXPECT_EQ(c.seed2, 99u);
+  EXPECT_TRUE(c.group_crc);  // checksum default on + group scheme
+  // Non-group schemes never get group CRC.
+  EXPECT_FALSE(Options().scheme(hash::Scheme::kLinear).to_table_config().group_crc);
+}
+
+TEST(OptionsBuilder, ImplicitConversionAtFactories) {
+  // The whole point of the design: existing factory signatures accept an
+  // Options directly, no overloads added.
+  auto map = GroupHashMap::create_in_memory(
+      Options().initial_cells(1 << 10).checksum_groups(false));
+  map.put(1, 2);
+  EXPECT_EQ(map.get(1), std::optional<u64>(2));
+
+  auto smap = PersistentStringMap::create_in_memory(
+      Options().initial_cells(512).arena_bytes_per_cell(64));
+  smap.put("k", 9);
+  EXPECT_EQ(smap.get("k"), std::optional<u64>(9));
+
+  // And braced designated-init still selects the legacy aggregates.
+  auto legacy = GroupHashMap::create_in_memory({.initial_cells = 1 << 10});
+  legacy.put(5, 6);
+  EXPECT_EQ(legacy.get(5), std::optional<u64>(6));
+}
+
+TEST(OptionsBuilder, FromLegacyRoundTrips) {
+  MapOptions mo;
+  mo.initial_cells = 777;  // rounded by the map itself, not the builder
+  mo.group_size = 64;
+  mo.record_latency = false;
+  mo.latency_sample_shift = 2;
+  const MapOptions back = Options::from(mo).to_map_options();
+  EXPECT_EQ(back.initial_cells, mo.initial_cells);
+  EXPECT_EQ(back.group_size, mo.group_size);
+  EXPECT_EQ(back.record_latency, mo.record_latency);
+  EXPECT_EQ(back.latency_sample_shift, mo.latency_sample_shift);
+
+  StringMapOptions so;
+  so.arena_bytes_per_cell = 96;
+  so.auto_compact = false;
+  const StringMapOptions sback = Options::from(so).to_string_map_options();
+  EXPECT_EQ(sback.arena_bytes_per_cell, so.arena_bytes_per_cell);
+  EXPECT_EQ(sback.auto_compact, so.auto_compact);
+
+  hash::TableConfig tc;
+  tc.scheme = hash::Scheme::kGroup;
+  tc.total_cells_log2 = 14;
+  tc.wide_cells = true;
+  const hash::TableConfig tback = Options::from(tc).to_table_config();
+  EXPECT_EQ(tback.scheme, tc.scheme);
+  EXPECT_EQ(tback.total_cells_log2, tc.total_cells_log2);
+  EXPECT_EQ(tback.wide_cells, tc.wide_cells);
+}
+
+TEST(OptionsBuilder, GettersMirrorSetters) {
+  const Options o = Options().initial_cells(123).group_size(32).record_latency(false);
+  EXPECT_EQ(o.initial_cells(), 123u);
+  EXPECT_EQ(o.group_size(), 32u);
+  EXPECT_FALSE(o.record_latency());
+}
+
+}  // namespace
+}  // namespace gh

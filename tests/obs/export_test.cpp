@@ -1,0 +1,108 @@
+// obs/export.hpp tests: JSON round-trips through the structural
+// validator and carries the schema marker + required sections; the
+// Prometheus exposition carries the expected metric families.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+
+namespace gh::obs {
+namespace {
+
+Snapshot sample_snapshot() {
+  Snapshot s;
+  s.source = "TestMap";
+  s.size = 10;
+  s.capacity = 64;
+  s.load_factor = 10.0 / 64.0;
+  s.shards = 2;
+  s.persist.lines_flushed = 123;
+  s.persist.fences = 45;
+  s.table.inserts = 10;
+  s.table.queries = 7;
+  s.scrub.groups_scrubbed = 3;
+  s.contention.read_retries = 9;
+  s.lifecycle.expansions = 1;
+  s.lifecycle.degraded = true;
+  s.per_shard.push_back(ShardBrief{0, 5, 32, {1, 0, 0}, 1, false});
+  s.per_shard.push_back(ShardBrief{1, 5, 32, {8, 0, 0}, 0, true});
+  return s;
+}
+
+TEST(ExportJson, ValidatesAndCarriesSchema) {
+  const std::string json = export_json(sample_snapshot());
+  std::string error;
+  EXPECT_TRUE(validate_json(json, &error)) << error;
+  EXPECT_NE(json.find(kSnapshotSchema), std::string::npos);
+  for (const char* key : {"\"source\"", "\"persist\"", "\"ops\"", "\"scrub\"",
+                          "\"contention\"", "\"lifecycle\"", "\"latency\"",
+                          "\"per_shard\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Values survive: lines_flushed and the degraded flag.
+  EXPECT_NE(json.find("\"lines_flushed\":123"), std::string::npos);
+  EXPECT_NE(json.find("\"degraded\":true"), std::string::npos);
+}
+
+TEST(ExportJson, SourceStringIsEscaped) {
+  Snapshot s = sample_snapshot();
+  s.source = "weird\"name\\with\nescapes";
+  const std::string json = export_json(s);
+  std::string error;
+  EXPECT_TRUE(validate_json(json, &error)) << error;
+}
+
+TEST(ExportJson, RegistryDumpValidates) {
+  if (!kEnabled) GTEST_SKIP() << "GH_OBS_OFF build";
+  MetricsRegistry::global().counter("test.export.counter").add(7);
+  const std::string json = export_registry_json();
+  std::string error;
+  EXPECT_TRUE(validate_json(json, &error)) << error;
+  EXPECT_NE(json.find(kMetricsSchema), std::string::npos);
+  EXPECT_NE(json.find("test.export.counter"), std::string::npos);
+  MetricsRegistry::global().counter("test.export.counter").reset();
+}
+
+TEST(ExportPrometheus, CarriesMetricFamilies) {
+  const std::string prom = export_prometheus(sample_snapshot());
+  for (const char* family :
+       {"gh_size", "gh_inserts_total", "gh_lines_flushed_total", "gh_fences_total",
+        "gh_read_retries_total", "gh_expansions_total"}) {
+    EXPECT_NE(prom.find(family), std::string::npos) << family;
+  }
+  EXPECT_NE(prom.find("source=\"TestMap\""), std::string::npos);
+  // Exposition format: every non-comment line is "name{labels} value".
+  size_t pos = 0;
+  while (pos < prom.size()) {
+    size_t eol = prom.find('\n', pos);
+    if (eol == std::string::npos) eol = prom.size();
+    const std::string line = prom.substr(pos, eol - pos);
+    if (!line.empty() && line[0] != '#') {
+      EXPECT_NE(line.find(' '), std::string::npos) << line;
+      EXPECT_EQ(line.rfind("gh_", 0), 0u) << line;
+    }
+    pos = eol + 1;
+  }
+}
+
+TEST(ExportPrometheus, CustomPrefix) {
+  const std::string prom = export_prometheus(sample_snapshot(), "acme_");
+  EXPECT_NE(prom.find("acme_size"), std::string::npos);
+  EXPECT_EQ(prom.find("gh_size"), std::string::npos);
+}
+
+TEST(ValidateJson, RejectsMalformed) {
+  std::string error;
+  EXPECT_FALSE(validate_json("{\"a\":1", &error));
+  EXPECT_FALSE(validate_json("{\"a\":}", &error));
+  EXPECT_FALSE(validate_json("", &error));
+  EXPECT_FALSE(validate_json("{\"a\":1}}", &error));
+  EXPECT_TRUE(validate_json("{\"a\":[1,2,{\"b\":true}],\"c\":\"x\"}", &error)) << error;
+}
+
+}  // namespace
+}  // namespace gh::obs

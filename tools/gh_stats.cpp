@@ -1,0 +1,183 @@
+// gh_stats — attach to a GroupHashMap file and dump one unified
+// observability snapshot (the obs::Snapshot API this tool exists to
+// exercise end to end).
+//
+//   gh_stats <file.gh> [--format=json|prom|text] [--registry]
+//   gh_stats --selftest [--format=json|prom|text]
+//
+// --registry additionally dumps the process-wide MetricsRegistry (named
+// counters/histograms registered by every open map in this process).
+//
+// --selftest is the CI smoke path: build a temporary map, write through
+// it, close, reopen, snapshot, export, and validate the JSON against the
+// schema marker — exit 0 only if every step holds.
+//
+// Exit codes: 0 ok, 1 snapshot/schema check failed, 2 usage/IO error.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/group_hash_map.hpp"
+#include "core/inspect.hpp"
+#include "obs/export.hpp"
+#include "obs/snapshot.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+void print_histogram_row(const char* name, const gh::obs::HistogramSnapshot& h) {
+  if (h.count == 0) return;
+  std::printf("  %-8s count=%-10s p50=%-10s p95=%-10s p99=%-10s max=%s\n", name,
+              gh::format_count(h.count).c_str(), gh::format_ns(h.p50_ns).c_str(),
+              gh::format_ns(h.p95_ns).c_str(), gh::format_ns(h.p99_ns).c_str(),
+              gh::format_ns(static_cast<double>(h.max_ns)).c_str());
+}
+
+void print_text(const gh::obs::Snapshot& s) {
+  std::printf("source          %s (schema v%u)\n", s.source.c_str(), s.version);
+  std::printf("size            %s / %s cells (load %s)\n", gh::format_count(s.size).c_str(),
+              gh::format_count(s.capacity).c_str(),
+              gh::format_double(s.load_factor, 3).c_str());
+  std::printf("persist         stores=%s lines_flushed=%s fences=%s delay=%s\n",
+              gh::format_count(s.persist.stores).c_str(),
+              gh::format_count(s.persist.lines_flushed).c_str(),
+              gh::format_count(s.persist.fences).c_str(),
+              gh::format_ns(static_cast<double>(s.persist.delay_ns)).c_str());
+  std::printf("table ops       inserts=%s queries=%s erases=%s probes=%s\n",
+              gh::format_count(s.table.inserts).c_str(),
+              gh::format_count(s.table.queries).c_str(),
+              gh::format_count(s.table.erases).c_str(),
+              gh::format_count(s.table.probes).c_str());
+  std::printf("integrity       scrubbed=%s crc_mismatches=%s quarantined=%s lost=%s\n",
+              gh::format_count(s.scrub.groups_scrubbed).c_str(),
+              gh::format_count(s.scrub.crc_mismatches).c_str(),
+              gh::format_count(s.scrub.groups_quarantined).c_str(),
+              gh::format_count(s.scrub.cells_lost).c_str());
+  std::printf("lifecycle       expansions=%s compactions=%s recoveries=%s degraded=%s\n",
+              gh::format_count(s.lifecycle.expansions).c_str(),
+              gh::format_count(s.lifecycle.compactions).c_str(),
+              gh::format_count(s.lifecycle.recoveries).c_str(),
+              s.lifecycle.degraded ? "yes" : "no");
+  if (s.shards != 0) {
+    std::printf("contention      retries=%s fallbacks=%s writer_waits=%s (%zu shards)\n",
+                gh::format_count(s.contention.read_retries).c_str(),
+                gh::format_count(s.contention.read_fallbacks).c_str(),
+                gh::format_count(s.contention.writer_waits).c_str(), s.shards);
+  }
+  std::printf("latency\n");
+  print_histogram_row("insert", s.latency.insert);
+  print_histogram_row("find", s.latency.find);
+  print_histogram_row("erase", s.latency.erase);
+  print_histogram_row("expand", s.latency.expand);
+  print_histogram_row("scrub", s.latency.scrub);
+  print_histogram_row("recover", s.latency.recover);
+  print_histogram_row("compact", s.latency.compact);
+}
+
+int emit(const gh::obs::Snapshot& s, const std::string& format, bool registry) {
+  if (format == "json") {
+    const std::string text = gh::obs::export_json(s);
+    std::string error;
+    if (!gh::obs::validate_json(text, &error)) {
+      std::fprintf(stderr, "gh_stats: produced invalid JSON: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("%s\n", text.c_str());
+    if (registry) std::printf("%s\n", gh::obs::export_registry_json().c_str());
+  } else if (format == "prom") {
+    std::printf("%s", gh::obs::export_prometheus(s).c_str());
+    if (registry) {
+      std::printf("%s", gh::obs::export_prometheus(
+                            gh::obs::MetricsRegistry::global().collect()).c_str());
+    }
+  } else if (format == "text") {
+    print_text(s);
+    if (registry) std::printf("\n%s\n", gh::obs::export_registry_json().c_str());
+  } else {
+    std::fprintf(stderr, "gh_stats: unknown --format=%s (json|prom|text)\n",
+                 format.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+template <class Map>
+int dump(const std::string& path, const std::string& format, bool registry) {
+  Map map = Map::open(path);
+  return emit(map.snapshot(), format, registry);
+}
+
+/// CI smoke: create → write → close → reopen → snapshot → export →
+/// validate. Returns 0 only when the snapshot carries what the writes
+/// implied and the JSON passes the structural check.
+int selftest(const std::string& format) {
+  const std::string path = std::string(std::getenv("TMPDIR") ? std::getenv("TMPDIR") : "/tmp") +
+                           "/gh_stats_selftest.gh";
+  std::remove(path.c_str());
+  constexpr gh::u64 kKeys = 2000;
+  {
+    auto map = gh::GroupHashMap::create(path, {.initial_cells = 1 << 12});
+    for (gh::u64 k = 1; k <= kKeys; ++k) map.put(k, k * 3);
+    const gh::obs::Snapshot live = map.snapshot();
+    // Latency histograms are sampled (1 in 2^6 ops by default), so the
+    // count is ~kKeys/64 — just demand a nonzero sample set.
+    if (live.size != kKeys || live.persist.lines_flushed == 0 ||
+        (gh::obs::kEnabled && live.latency.insert.count == 0)) {
+      std::fprintf(stderr, "gh_stats: live snapshot inconsistent (size=%llu)\n",
+                   static_cast<unsigned long long>(live.size));
+      return 1;
+    }
+  }
+  auto map = gh::GroupHashMap::open(path);
+  const gh::obs::Snapshot s = map.snapshot();
+  if (s.size != kKeys) {
+    std::fprintf(stderr, "gh_stats: reopened snapshot lost keys\n");
+    return 1;
+  }
+  const std::string json = gh::obs::export_json(s);
+  std::string error;
+  if (!gh::obs::validate_json(json, &error)) {
+    std::fprintf(stderr, "gh_stats: selftest JSON invalid: %s\n", error.c_str());
+    return 1;
+  }
+  if (json.find(gh::obs::kSnapshotSchema) == std::string::npos ||
+      json.find("\"persist\"") == std::string::npos ||
+      json.find("\"latency\"") == std::string::npos) {
+    std::fprintf(stderr, "gh_stats: selftest JSON missing required keys\n%s\n", json.c_str());
+    return 1;
+  }
+  if (gh::obs::export_prometheus(s).find("gh_size") == std::string::npos) {
+    std::fprintf(stderr, "gh_stats: prometheus export missing gh_size\n");
+    return 1;
+  }
+  const int rc = emit(s, format, /*registry=*/false);
+  std::remove(path.c_str());
+  if (rc == 0) std::fprintf(stderr, "gh_stats: selftest OK (obs %s)\n",
+                            gh::obs::kEnabled ? "on" : "compiled out");
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const gh::Cli cli(argc, argv);
+  const std::string format = cli.get_or("format", "text");
+  try {
+    if (cli.has("selftest")) return selftest(format);
+    if (cli.positional().empty()) {
+      std::fprintf(stderr,
+                   "usage: gh_stats <file.gh> [--format=json|prom|text] [--registry]\n"
+                   "       gh_stats --selftest [--format=...]\n");
+      return 2;
+    }
+    const std::string& path = cli.positional().front();
+    const gh::MapFileInfo info = gh::read_map_file_info(path);
+    return info.cell_size == 16
+               ? dump<gh::GroupHashMap>(path, format, cli.has("registry"))
+               : dump<gh::GroupHashMapWide>(path, format, cli.has("registry"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gh_stats: %s\n", e.what());
+    return 2;
+  }
+}
