@@ -140,7 +140,6 @@ class BasicConcurrentGroupHashMap {
     obs::Snapshot total;
     total.source = sizeof(Cell) == 16 ? "ConcurrentGroupHashMap" : "ConcurrentGroupHashMapWide";
     total.shards = shards_.size();
-    obs::OpRecorder merged;
     for (usize i = 0; i < shards_.size(); ++i) {
       ShardState& sh = *shards_[i];
       SeqLockReadGuard guard(sh.lock);
@@ -150,9 +149,7 @@ class BasicConcurrentGroupHashMap {
                                                 s.lifecycle.expansions,
                                                 s.lifecycle.degraded});
       total.absorb(s);
-      merged.merge(sh.map.op_recorder());
     }
-    total.latency = obs::OpLatencySnapshot::from(merged);
     return total;
   }
 

@@ -153,7 +153,6 @@ obs::Snapshot ConcurrentStringMap::snapshot() {
   obs::Snapshot total;
   total.source = "ConcurrentStringMap";
   total.shards = shards_.size();
-  obs::OpRecorder merged;
   for (usize i = 0; i < shards_.size(); ++i) {
     ShardState& sh = *shards_[i];
     SeqLockReadGuard guard(sh.lock);
@@ -163,9 +162,7 @@ obs::Snapshot ConcurrentStringMap::snapshot() {
                                               s.lifecycle.compactions,
                                               s.lifecycle.degraded});
     total.absorb(s);
-    merged.merge(sh.map.op_recorder());
   }
-  total.latency = obs::OpLatencySnapshot::from(merged);
   return total;
 }
 

@@ -1,6 +1,7 @@
 #include "core/group_hash_map.hpp"
 
 #include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 
 #include "core/map_format.hpp"
@@ -19,6 +20,9 @@ constexpr u64 kStateDirty = map_format::kStateDirty;
 /// Suffix of the temp file expand() builds before the rename publish. A
 /// crash mid-publish can leave it behind; open() reclaims it.
 constexpr const char* kExpandSuffix = ".expand";
+
+/// Suffix of the flight-recorder sidecar (obs/flight_recorder.hpp).
+constexpr const char* kFlightSuffix = ".flight";
 
 /// Cap of the exponential expansion backoff, counted in placement-failure
 /// events absorbed between retries.
@@ -56,6 +60,9 @@ void BasicGroupHashMap<Cell>::init_region(nvm::NvmRegion region, const MapOption
         recorder_.get());
   }
   gate_.set_shift(options.latency_sample_shift);
+  // The flight sidecar comes up BEFORE recovery so the scan of the
+  // previous run's rings is available to the recovery report below.
+  init_flight(options, fresh);
   if (fresh) {
     const u64 total_cells = pow2_at_least(std::max<u64>(options.initial_cells, 16));
     typename Table::Params params{
@@ -104,7 +111,7 @@ void BasicGroupHashMap<Cell>::init_region(nvm::NvmRegion region, const MapOption
     table_.emplace(
         Table::attach(*pm_, region_.bytes().subspan(sb->table_offset, sb->table_bytes)));
     if (sb->state == kStateDirty) {
-      recover_now();
+      open_recovery_ = recover_now();
       recovered_on_open_ = true;
     } else if (options.verify_on_open && table_->checksums_enabled()) {
       // Clean shutdown: the group checksums are authoritative, so verify
@@ -116,6 +123,40 @@ void BasicGroupHashMap<Cell>::init_region(nvm::NvmRegion region, const MapOption
     }
     mark_state(kStateDirty);
   }
+}
+
+template <class Cell>
+void BasicGroupHashMap<Cell>::init_flight(const MapOptions& options, bool fresh) {
+  if constexpr (!obs::kEnabled) return;  // never create a sidecar when compiled out
+  if (options.flight_mode == obs::FlightMode::kOff) return;
+  const usize need = obs::flight_required_bytes();
+  if (path_.empty()) {
+    flight_region_ = nvm::NvmRegion::create_anonymous(need);
+  } else {
+    const std::string fpath = path_ + kFlightSuffix;
+    std::error_code ec;
+    if (!fresh && std::filesystem::exists(fpath, ec)) {
+      // Reopen: read the black box before it is consumed. Anything wrong
+      // with the sidecar (wrong geometry, corrupt header, truncation)
+      // only costs the forensics — it must never fail the map open.
+      flight_region_ = nvm::NvmRegion::open_file(fpath);
+      flight_scan_ = obs::scan_flight(flight_region_.bytes());
+      if (flight_region_.size() < need) {
+        flight_region_ = nvm::NvmRegion::create_file(fpath, need);
+      }
+    } else {
+      flight_region_ = nvm::NvmRegion::create_file(fpath, need);
+    }
+  }
+  // The recorder gets its own PM: same latency model as the data path,
+  // but black-box flushes never pollute the map's write-efficiency
+  // counters (lines_flushed per op is a headline metric of the paper).
+  flight_pm_ = std::make_unique<nvm::DirectPM>(
+      nvm::PersistConfig{.flush_latency_ns = options.flush_latency_ns});
+  flight_ = std::make_unique<obs::FlightRecorder>(
+      *flight_pm_, flight_region_.bytes());  // formats (consumes) the rings
+  flight_->set_mode(options.flight_mode);
+  flight_->set_sample_shift(options.flight_sample_shift);
 }
 
 template <class Cell>
@@ -189,6 +230,7 @@ void BasicGroupHashMap<Cell>::close() {
   if (!region_.valid() || closed_) return;
   mark_state(kStateClean);
   region_.sync();
+  if (flight_region_.valid() && flight_region_.file_backed()) flight_region_.sync();
   closed_ = true;
 }
 
@@ -199,12 +241,18 @@ void BasicGroupHashMap<Cell>::abandon() {
   table_.reset();
   region_ = nvm::NvmRegion();
   retired_regions_.clear();
+  // The flight sidecar is dropped the same way — no final sync, no
+  // cleanup. Its mmap'd writes are in the page cache, so the reopening
+  // process scans exactly what a crash would have left durable.
+  flight_.reset();
+  flight_region_ = nvm::NvmRegion();
   closed_ = true;
   // Observability resets coherently with the simulated crash: every read
   // surface (metrics(), snapshot(), op_recorder()) now reports zeros, the
   // same blank slate the recovering open() starts from.
   metrics_ = MapMetrics{};
   pm_->stats() = nvm::PersistStats{};
+  if (flight_pm_) flight_pm_->stats() = nvm::PersistStats{};
   if (recorder_) recorder_->reset();
 }
 
@@ -213,7 +261,9 @@ void BasicGroupHashMap<Cell>::put(const key_type& key, u64 value) {
   GH_CHECK_MSG(!closed_, "map is closed");
   const u64 t0 = op_start();
   const u64 l0 = lines_before();
+  const u64 f = flight_begin(obs::OpKind::kInsert, trace_key(key));
   if (table().update(key, value)) {
+    flight_end(f, obs::OpKind::kInsert, trace_key(key));
     op_finish(obs::OpKind::kInsert, trace_key(key), t0, l0);
     return;
   }
@@ -224,6 +274,7 @@ void BasicGroupHashMap<Cell>::put(const key_type& key, u64 value) {
                              last_expand_error_ + "); will retry with backoff");
     }
   }
+  flight_end(f, obs::OpKind::kInsert, trace_key(key));
   op_finish(obs::OpKind::kInsert, trace_key(key), t0, l0);
 }
 
@@ -231,7 +282,9 @@ template <class Cell>
 std::optional<u64> BasicGroupHashMap<Cell>::get(const key_type& key) {
   const u64 t0 = op_start();
   const u64 l0 = lines_before();
+  const u64 f = flight_begin(obs::OpKind::kFind, trace_key(key));
   auto r = table().find(key);
+  flight_end(f, obs::OpKind::kFind, trace_key(key));
   op_finish(obs::OpKind::kFind, trace_key(key), t0, l0);
   return r;
 }
@@ -246,11 +299,13 @@ u64 BasicGroupHashMap<Cell>::increment(const key_type& key, u64 delta) {
   GH_CHECK_MSG(!closed_, "map is closed");
   const u64 t0 = op_start();
   const u64 l0 = lines_before();
+  const u64 f = flight_begin(obs::OpKind::kInsert, trace_key(key));
   // One probe: find the cell, bump its value in place; fall back to an
   // insert when the key is new.
   if (const auto current = table().find(key)) {
     const u64 next = *current + delta;
     GH_CHECK(table().update(key, next));
+    flight_end(f, obs::OpKind::kInsert, trace_key(key));
     op_finish(obs::OpKind::kInsert, trace_key(key), t0, l0);
     return next;
   }
@@ -261,6 +316,7 @@ u64 BasicGroupHashMap<Cell>::increment(const key_type& key, u64 delta) {
                              last_expand_error_ + "); will retry with backoff");
     }
   }
+  flight_end(f, obs::OpKind::kInsert, trace_key(key));
   op_finish(obs::OpKind::kInsert, trace_key(key), t0, l0);
   return delta;
 }
@@ -270,7 +326,9 @@ bool BasicGroupHashMap<Cell>::erase(const key_type& key) {
   GH_CHECK_MSG(!closed_, "map is closed");
   const u64 t0 = op_start();
   const u64 l0 = lines_before();
+  const u64 f = flight_begin(obs::OpKind::kErase, trace_key(key));
   const bool hit = table().erase(key);
+  flight_end(f, obs::OpKind::kErase, trace_key(key));
   op_finish(obs::OpKind::kErase, trace_key(key), t0, l0);
   return hit;
 }
@@ -279,8 +337,13 @@ template <class Cell>
 hash::RecoveryReport BasicGroupHashMap<Cell>::recover_now() {
   const u64 t0 = op_start();
   const u64 l0 = lines_before();
-  const auto report = table().recover();
+  const u64 f = flight_begin_always(obs::OpKind::kRecover);
+  auto report = table().recover();
+  // Attach the black box's forensics: how many ops the previous run had
+  // in flight when it died (what this recovery is repairing after).
+  report.in_flight_ops = flight_scan_.in_flight.size();
   metrics_.recoveries++;
+  flight_end(f, obs::OpKind::kRecover);
   op_finish(obs::OpKind::kRecover, 0, t0, l0);
   return report;
 }
@@ -297,6 +360,7 @@ hash::ScrubReport BasicGroupHashMap<Cell>::scrub(u64 max_groups) {
   hash::ScrubReport report;
   const u64 ngroups = table().num_groups();
   if (ngroups == 0 || !table().checksums_enabled()) return report;
+  const u64 f = flight_begin_always(obs::OpKind::kScrub);
   // Wrap-around cursor: each call resumes where the last one stopped, so
   // a periodic scrub(k) tick eventually covers the whole table.
   u64 remaining = std::min(max_groups, ngroups);
@@ -309,6 +373,10 @@ hash::ScrubReport BasicGroupHashMap<Cell>::scrub(u64 max_groups) {
     scrub_cursor_ = (scrub_cursor_ + chunk) % ngroups;
     remaining -= chunk;
   }
+  if (report.groups_quarantined > 0) {
+    flight_event(obs::FlightEvent::kQuarantine, obs::OpKind::kScrub);
+  }
+  flight_end(f, obs::OpKind::kScrub);
   op_finish(obs::OpKind::kScrub, 0, t0, l0);
   return report;
 }
@@ -328,6 +396,9 @@ bool BasicGroupHashMap<Cell>::try_expand() {
     metrics_.expand_failures++;
     expand_pending_ = true;
     last_expand_error_ = e.what();
+    // Journal the degradation: after a crash the black box shows the map
+    // was limping, even if no expansion was mid-publish.
+    flight_event(obs::FlightEvent::kDegraded, obs::OpKind::kExpand);
     // The first failure keeps cooldown at zero — a transient fault (one
     // full disk scan, a single ENOSPC blip) costs exactly one retried
     // expansion. Only consecutive failures open a backoff window, and it
@@ -374,6 +445,15 @@ obs::Snapshot BasicGroupHashMap<Cell>::snapshot() {
   s.lifecycle.orphans_reclaimed = orphans_reclaimed_;
   s.lifecycle.degraded = expand_pending_;
   if (recorder_) s.latency = obs::OpLatencySnapshot::from(*recorder_);
+  s.flight.enabled = flight_ != nullptr;
+  if (flight_scan_.valid_header) {
+    s.flight.records_scanned = flight_scan_.records_valid;
+    s.flight.records_torn = flight_scan_.records_torn;
+    for (const obs::InFlightOp& op : flight_scan_.in_flight) {
+      s.flight.in_flight_on_open.push_back(
+          obs::FlightOpBrief{op.kind, op.phase, op.seqno, op.key_hash});
+    }
+  }
   return s;
 }
 
@@ -381,6 +461,7 @@ template <class Cell>
 void BasicGroupHashMap<Cell>::expand() {
   const u64 t0 = op_start();
   const u64 l0 = lines_before();
+  const u64 f = flight_begin_always(obs::OpKind::kExpand, table().capacity());
   u64 new_total = 2 * table().capacity();
   for (;;) {
     typename Table::Params params{
@@ -425,6 +506,10 @@ void BasicGroupHashMap<Cell>::expand() {
       pm_->store_u64(&sb->crc, map_format::superblock_crc(*sb));
       pm_->persist(sb, sizeof(Superblock));
     }
+    // Journal the publish step: if the rename protocol below crashes, the
+    // black box shows an expansion that reached `publish` but not
+    // `finish` — the exact op recovery is repairing after.
+    flight_mark(f, obs::OpKind::kExpand, new_total);
     if (file_backed) {
       // write-back → rename → fsync(parent): the shared durable publish
       // protocol (src/nvm/fault_fs.hpp). Unlinks the temp file before
@@ -441,6 +526,7 @@ void BasicGroupHashMap<Cell>::expand() {
     region_ = std::move(new_region);
     metrics_.expansions++;
     scrub_cursor_ = 0;  // group numbering changed with the geometry
+    flight_end(f, obs::OpKind::kExpand, new_total);
     op_finish(obs::OpKind::kExpand, 0, t0, l0);
     return;
   }

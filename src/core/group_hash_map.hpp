@@ -34,6 +34,7 @@
 #include "hash/group_hashing.hpp"
 #include "nvm/direct_pm.hpp"
 #include "nvm/region.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/snapshot.hpp"
 #include "util/types.hpp"
 
@@ -80,6 +81,15 @@ struct MapOptions {
   /// Time 1 in 2^shift ops (0 = every op). See obs::kDefaultSampleShift
   /// for why timing every op is expensive on virtualized TSCs.
   u32 latency_sample_shift = obs::kDefaultSampleShift;
+  /// Flight recorder (obs/flight_recorder.hpp): a crash-surviving ring
+  /// of op-event records in a `<path>.flight` sidecar (anonymous memory
+  /// for in-memory maps). kSampled journals 1 in 2^flight_sample_shift
+  /// data ops plus every lifecycle op; kFull journals everything; kOff
+  /// writes nothing and creates no sidecar. Always off (and no sidecar
+  /// is ever created) under GH_OBS_OFF.
+  obs::FlightMode flight_mode = obs::FlightMode::kSampled;
+  /// Journal 1 in 2^shift data ops in kSampled mode (0 = every op).
+  u32 flight_sample_shift = obs::kFlightSampleShift;
 };
 
 /// DEPRECATED back-compat view — read snapshot() instead, which adds
@@ -214,6 +224,20 @@ class BasicGroupHashMap {
   /// reclaimed before trusting the map file.
   [[nodiscard]] u64 orphans_reclaimed_on_open() const { return orphans_reclaimed_; }
 
+  /// What the open()-time scan of the `.flight` sidecar found: the ops
+  /// that were in flight when the previous process died, torn-record
+  /// counts, etc. Empty (valid_header = false) for a fresh map, with the
+  /// recorder off, or under GH_OBS_OFF. The sidecar is consumed by
+  /// open() — the scan is this run's only copy.
+  [[nodiscard]] const obs::FlightScan& flight_scan_on_open() const { return flight_scan_; }
+
+  /// The recovery report of the open()-time recovery pass (all zeros when
+  /// the map was closed cleanly). `in_flight_ops` carries the flight
+  /// recorder's forensics.
+  [[nodiscard]] const hash::RecoveryReport& open_recovery_report() const {
+    return open_recovery_;
+  }
+
  private:
   struct Superblock;
 
@@ -230,6 +254,33 @@ class BasicGroupHashMap {
   bool try_expand();
   void report_loss(const hash::LostCell& cell);
   void init_region(nvm::NvmRegion region, const MapOptions& options, bool fresh);
+  /// Open/format the `.flight` sidecar and stand up the recorder. Called
+  /// by init_region BEFORE recovery so the crash forensics of the
+  /// previous run are available to the recovery report. Never throws for
+  /// sidecar-content reasons: a corrupt sidecar is reformatted.
+  void init_flight(const MapOptions& options, bool fresh);
+
+  // Flight-recorder edges (no-ops when the recorder is off).
+  [[nodiscard]] u64 flight_begin(obs::OpKind kind, u64 key_hash) {
+    if constexpr (!obs::kEnabled) return 0;
+    return flight_ ? flight_->op_begin(kind, key_hash) : 0;
+  }
+  [[nodiscard]] u64 flight_begin_always(obs::OpKind kind, u64 key_hash = 0) {
+    if constexpr (!obs::kEnabled) return 0;
+    return flight_ ? flight_->op_begin_always(kind, key_hash) : 0;
+  }
+  void flight_mark(u64 token, obs::OpKind kind, u64 key_hash = 0) {
+    if constexpr (!obs::kEnabled) return;
+    if (flight_) flight_->op_mark(token, kind, key_hash);
+  }
+  void flight_end(u64 token, obs::OpKind kind, u64 key_hash = 0) {
+    if constexpr (!obs::kEnabled) return;
+    if (flight_) flight_->op_end(token, kind, key_hash);
+  }
+  void flight_event(obs::FlightEvent e, obs::OpKind kind) {
+    if constexpr (!obs::kEnabled) return;
+    if (flight_) flight_->event(e, kind);
+  }
 
   // Per-op observability edges (see any_table_impl.hpp for the pattern).
   // A nonzero t0 means "this op is timed": latency recording is sampled
@@ -274,6 +325,13 @@ class BasicGroupHashMap {
   std::unique_ptr<obs::OpRecorder> recorder_;
   obs::SampleGate gate_;
   obs::Registration obs_reg_;
+  // Flight recorder sidecar: its own PM (so black-box traffic never
+  // pollutes the map's write-efficiency counters) over its own region.
+  std::unique_ptr<nvm::DirectPM> flight_pm_;
+  nvm::NvmRegion flight_region_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  obs::FlightScan flight_scan_;
+  hash::RecoveryReport open_recovery_;
   MapMetrics metrics_;
   hash::ScrubReport open_scrub_;
   std::string last_expand_error_;

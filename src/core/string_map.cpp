@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
 
 #include "nvm/fault_fs.hpp"
@@ -22,6 +23,9 @@ constexpr usize kSuperblockBytes = 4096;
 /// rename publish. A crash mid-publish can leave it behind; open()
 /// reclaims it.
 constexpr const char* kCompactSuffix = ".compact";
+
+/// Suffix of the flight-recorder sidecar (obs/flight_recorder.hpp).
+constexpr const char* kFlightSuffix = ".flight";
 
 /// Arena record layout: value (u64) | key_len (u64) | key bytes.
 constexpr usize kRecordHeaderBytes = 2 * sizeof(u64);
@@ -87,6 +91,9 @@ void PersistentStringMap::init_region(nvm::NvmRegion region,
         recorder_.get());
   }
   gate_.set_shift(options.latency_sample_shift);
+  // The flight sidecar comes up BEFORE recovery so the scan of the
+  // previous run's rings is available to the recovery report below.
+  init_flight(options, fresh);
   if (fresh) {
     const u64 cells = pow2_at_least(std::max<u64>(options.initial_cells, 16));
     const usize arena_bytes =
@@ -139,13 +146,50 @@ void PersistentStringMap::init_region(nvm::NvmRegion region,
         Table::attach(*pm_, region_.bytes().subspan(sb->table_offset, sb->table_bytes)));
     if (sb->state == kStateDirty) {
       const u64 t0 = op_start();
-      table_->recover();
+      const u64 f = flight_begin_always(obs::OpKind::kRecover);
+      open_recovery_ = table_->recover();
+      // Attach the black box's forensics: how many ops the previous run
+      // had in flight when it died (what this recovery is repairing).
+      open_recovery_.in_flight_ops = flight_scan_.in_flight.size();
       recoveries_++;
+      flight_end(f, obs::OpKind::kRecover);
       op_finish(obs::OpKind::kRecover, 0, t0, 0);
       recovered_on_open_ = true;
     }
     mark_state(kStateDirty);
   }
+}
+
+void PersistentStringMap::init_flight(const StringMapOptions& options, bool fresh) {
+  if constexpr (!obs::kEnabled) return;  // never create a sidecar when compiled out
+  if (options.flight_mode == obs::FlightMode::kOff) return;
+  const usize need = obs::flight_required_bytes();
+  if (path_.empty()) {
+    flight_region_ = nvm::NvmRegion::create_anonymous(need);
+  } else {
+    const std::string fpath = path_ + kFlightSuffix;
+    std::error_code ec;
+    if (!fresh && std::filesystem::exists(fpath, ec)) {
+      // Reopen: read the black box before it is consumed. Anything wrong
+      // with the sidecar only costs the forensics — never the map open.
+      flight_region_ = nvm::NvmRegion::open_file(fpath);
+      flight_scan_ = obs::scan_flight(flight_region_.bytes());
+      if (flight_region_.size() < need) {
+        flight_region_ = nvm::NvmRegion::create_file(fpath, need);
+      }
+    } else {
+      flight_region_ = nvm::NvmRegion::create_file(fpath, need);
+    }
+  }
+  // The recorder gets its own PM: same latency model as the data path,
+  // but black-box flushes never pollute the map's write-efficiency
+  // counters (lines_flushed per op is a headline metric of the paper).
+  flight_pm_ = std::make_unique<nvm::DirectPM>(
+      nvm::PersistConfig{.flush_latency_ns = options.flush_latency_ns});
+  flight_ = std::make_unique<obs::FlightRecorder>(
+      *flight_pm_, flight_region_.bytes());  // formats (consumes) the rings
+  flight_->set_mode(options.flight_mode);
+  flight_->set_sample_shift(options.flight_sample_shift);
 }
 
 PersistentStringMap PersistentStringMap::create(const std::string& path,
@@ -219,6 +263,7 @@ void PersistentStringMap::close() {
   if (!region_.valid() || closed_) return;
   mark_state(kStateClean);
   region_.sync();
+  if (flight_region_.valid() && flight_region_.file_backed()) flight_region_.sync();
   closed_ = true;
 }
 
@@ -229,6 +274,11 @@ void PersistentStringMap::abandon() {
   arena_.reset();
   region_ = nvm::NvmRegion();
   retired_regions_.clear();
+  // The flight sidecar is dropped the same way — no final sync, no
+  // cleanup. Its mmap'd writes are in the page cache, so the reopening
+  // process scans exactly what a crash would have left durable.
+  flight_.reset();
+  flight_region_ = nvm::NvmRegion();
   closed_ = true;
   // Observability resets coherently with the simulated crash: every read
   // surface (stats(), snapshot(), op_recorder()) now reports zeros, the
@@ -237,6 +287,7 @@ void PersistentStringMap::abandon() {
   recoveries_ = 0;
   compact_failures_ = 0;
   pm_->stats() = nvm::PersistStats{};
+  if (flight_pm_) flight_pm_->stats() = nvm::PersistStats{};
   if (recorder_) recorder_->reset();
 }
 
@@ -277,12 +328,14 @@ void PersistentStringMap::put(std::string_view key, u64 value) {
   const u64 t0 = op_start();
   const u64 l0 = lines_before();
   const Key128 fp = fingerprint(key);
+  const u64 f = flight_begin(obs::OpKind::kInsert, fp.lo);
   if (const auto offset = table().find(fp)) {
     const Record rec = load_record(*offset);
     if (rec.key != key) {
       throw std::runtime_error("fingerprint collision between distinct keys");
     }
     if (rec.value == value) {
+      flight_end(f, obs::OpKind::kInsert, fp.lo);
       op_finish(obs::OpKind::kInsert, fp.lo, t0, l0);
       return;
     }
@@ -290,12 +343,14 @@ void PersistentStringMap::put(std::string_view key, u64 value) {
     auto* value_word = const_cast<std::byte*>(arena().read(*offset, sizeof(u64)).data());
     pm_->atomic_store_u64(reinterpret_cast<u64*>(value_word), value);
     pm_->persist(value_word, sizeof(u64));
+    flight_end(f, obs::OpKind::kInsert, fp.lo);
     op_finish(obs::OpKind::kInsert, fp.lo, t0, l0);
     return;
   }
   for (u32 attempt = 0;; ++attempt) {
     if (const auto offset = append_record(key, value)) {
       if (table().insert(fp, *offset)) {
+        flight_end(f, obs::OpKind::kInsert, fp.lo);
         op_finish(obs::OpKind::kInsert, fp.lo, t0, l0);
         return;
       }
@@ -333,6 +388,7 @@ bool PersistentStringMap::try_rebuild(Fn&& fn) {
   } catch (const nvm::SimulatedCrash&) {
     throw;  // a simulated power failure must freeze the world, not degrade
   } catch (const std::exception& e) {
+    flight_event(obs::FlightEvent::kDegraded, obs::OpKind::kCompact);
     compact_failures_++;
     compact_pending_ = true;
     last_compact_error_ = e.what();
@@ -351,8 +407,10 @@ std::optional<u64> PersistentStringMap::get(std::string_view key) {
   const u64 t0 = op_start();
   const u64 l0 = lines_before();
   const Key128 fp = fingerprint(key);
+  const u64 f = flight_begin(obs::OpKind::kFind, fp.lo);
   const auto offset = table().find(fp);
   if (!offset) {
+    flight_end(f, obs::OpKind::kFind, fp.lo);
     op_finish(obs::OpKind::kFind, fp.lo, t0, l0);
     return std::nullopt;
   }
@@ -360,6 +418,7 @@ std::optional<u64> PersistentStringMap::get(std::string_view key) {
   if (rec.key != key) {
     throw std::runtime_error("fingerprint collision between distinct keys");
   }
+  flight_end(f, obs::OpKind::kFind, fp.lo);
   op_finish(obs::OpKind::kFind, fp.lo, t0, l0);
   return rec.value;
 }
@@ -371,7 +430,9 @@ bool PersistentStringMap::erase(std::string_view key) {
   const u64 t0 = op_start();
   const u64 l0 = lines_before();
   const Key128 fp = fingerprint(key);
+  const u64 f = flight_begin(obs::OpKind::kErase, fp.lo);
   const bool hit = table().erase(fp);
+  flight_end(f, obs::OpKind::kErase, fp.lo);
   op_finish(obs::OpKind::kErase, fp.lo, t0, l0);
   return hit;
 }
@@ -425,10 +486,22 @@ obs::Snapshot PersistentStringMap::snapshot() {
   s.lifecycle.orphans_reclaimed = orphans_reclaimed_;
   s.lifecycle.degraded = compact_pending_;
   if (recorder_) s.latency = obs::OpLatencySnapshot::from(*recorder_);
+  s.flight.enabled = flight_ != nullptr;
+  if (flight_scan_.valid_header) {
+    s.flight.records_scanned = flight_scan_.records_valid;
+    s.flight.records_torn = flight_scan_.records_torn;
+    for (const auto& op : flight_scan_.in_flight) {
+      s.flight.in_flight_on_open.push_back(
+          obs::FlightOpBrief{op.kind, op.phase, op.seqno, op.key_hash});
+    }
+  }
   return s;
 }
 
 void PersistentStringMap::rebuild(u64 new_cells, usize new_arena_data_bytes) {
+  // Lifecycle ops always hit the flight recorder (no sampling): a crash
+  // mid-compaction is exactly what the black box exists to explain.
+  const u64 f = flight_begin_always(obs::OpKind::kCompact, new_cells);
   const usize arena_bytes = Arena::required_bytes(new_arena_data_bytes);
   const typename Table::Params params{
       .level_cells = new_cells / 2,
@@ -477,6 +550,9 @@ void PersistentStringMap::rebuild(u64 new_cells, usize new_arena_data_bytes) {
     pm_->store_u64(&sb->crc, sb->compute_crc());
     pm_->persist(sb, sizeof(Superblock));
   }
+  // Entering the publish window: a crash from here until the swap below
+  // leaves the op at phase kPublish in the black box.
+  flight_mark(f, obs::OpKind::kCompact, new_cells);
   if (file_backed) {
     // write-back → rename → fsync(parent): the shared durable publish
     // protocol (src/nvm/fault_fs.hpp). Unlinks the temp file before
@@ -493,6 +569,7 @@ void PersistentStringMap::rebuild(u64 new_cells, usize new_arena_data_bytes) {
     retired_regions_.push_back(std::move(region_));
   }
   region_ = std::move(new_region);
+  flight_end(f, obs::OpKind::kCompact, new_cells);
 }
 
 }  // namespace gh

@@ -35,6 +35,7 @@
 #include "nvm/arena.hpp"
 #include "nvm/direct_pm.hpp"
 #include "nvm/region.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/snapshot.hpp"
 #include "util/types.hpp"
 
@@ -62,6 +63,13 @@ struct StringMapOptions {
   bool record_latency = true;
   /// Time 1 in 2^shift ops (0 = every op). See obs::kDefaultSampleShift.
   u32 latency_sample_shift = obs::kDefaultSampleShift;
+  /// Flight recorder (obs/flight_recorder.hpp): crash-surviving op-event
+  /// rings in a `<path>.flight` sidecar (anonymous for in-memory maps).
+  /// See MapOptions::flight_mode for the mode semantics. Always off (no
+  /// sidecar) under GH_OBS_OFF.
+  obs::FlightMode flight_mode = obs::FlightMode::kSampled;
+  /// Journal 1 in 2^shift data ops in kSampled mode (0 = every op).
+  u32 flight_sample_shift = obs::kFlightSampleShift;
 };
 
 /// DEPRECATED back-compat view — read snapshot() instead, which adds
@@ -178,6 +186,17 @@ class PersistentStringMap {
   /// reclaimed before trusting the map file.
   [[nodiscard]] u64 orphans_reclaimed_on_open() const { return orphans_reclaimed_; }
 
+  /// What the open()-time scan of the `.flight` sidecar found (see
+  /// GroupHashMap::flight_scan_on_open for semantics).
+  [[nodiscard]] const obs::FlightScan& flight_scan_on_open() const { return flight_scan_; }
+
+  /// The recovery report of the open()-time recovery pass (all zeros
+  /// when the map was closed cleanly); `in_flight_ops` carries the
+  /// flight recorder's forensics.
+  [[nodiscard]] const hash::RecoveryReport& open_recovery_report() const {
+    return open_recovery_;
+  }
+
  private:
 
   struct Superblock;
@@ -195,6 +214,30 @@ class PersistentStringMap {
   Superblock* superblock();
   void mark_state(u64 state);
   void init_region(nvm::NvmRegion region, const StringMapOptions& options, bool fresh);
+  /// Open/format the `.flight` sidecar (see GroupHashMap::init_flight).
+  void init_flight(const StringMapOptions& options, bool fresh);
+
+  // Flight-recorder edges (no-ops when the recorder is off).
+  [[nodiscard]] u64 flight_begin(obs::OpKind kind, u64 key_hash) {
+    if constexpr (!obs::kEnabled) return 0;
+    return flight_ ? flight_->op_begin(kind, key_hash) : 0;
+  }
+  [[nodiscard]] u64 flight_begin_always(obs::OpKind kind, u64 key_hash = 0) {
+    if constexpr (!obs::kEnabled) return 0;
+    return flight_ ? flight_->op_begin_always(kind, key_hash) : 0;
+  }
+  void flight_mark(u64 token, obs::OpKind kind, u64 key_hash = 0) {
+    if constexpr (!obs::kEnabled) return;
+    if (flight_) flight_->op_mark(token, kind, key_hash);
+  }
+  void flight_end(u64 token, obs::OpKind kind, u64 key_hash = 0) {
+    if constexpr (!obs::kEnabled) return;
+    if (flight_) flight_->op_end(token, kind, key_hash);
+  }
+  void flight_event(obs::FlightEvent e, obs::OpKind kind) {
+    if constexpr (!obs::kEnabled) return;
+    if (flight_) flight_->event(e, kind);
+  }
   Record load_record(u64 offset) const;
   /// Appends a (value, key) record; nullopt when the arena is full.
   std::optional<u64> append_record(std::string_view key, u64 value);
@@ -241,6 +284,13 @@ class PersistentStringMap {
   std::unique_ptr<obs::OpRecorder> recorder_;
   obs::SampleGate gate_;
   obs::Registration obs_reg_;
+  // Flight recorder sidecar: its own PM (black-box traffic never
+  // pollutes the map's write-efficiency counters) over its own region.
+  std::unique_ptr<nvm::DirectPM> flight_pm_;
+  nvm::NvmRegion flight_region_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  obs::FlightScan flight_scan_;
+  hash::RecoveryReport open_recovery_;
   u64 compactions_ = 0;
   u64 recoveries_ = 0;
   u64 compact_failures_ = 0;

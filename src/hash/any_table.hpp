@@ -24,6 +24,11 @@
 #include "obs/snapshot.hpp"
 #include "util/types.hpp"
 
+namespace gh::obs {
+template <class PM>
+class BasicFlightRecorder;  // obs/flight_recorder.hpp
+}
+
 namespace gh::hash {
 
 enum class Scheme {
@@ -100,6 +105,13 @@ class AnyTable {
   /// Runtime toggle for the latency timers (cheaper than rebuilding with
   /// GH_OBS_OFF; used by bench/observability_overhead for in-binary A/B).
   virtual void set_record_latency(bool on) = 0;
+
+  /// Attach a flight recorder (obs/flight_recorder.hpp) that the table
+  /// threads op start/finish records through. Non-owning — the caller
+  /// keeps the recorder (and its PM region) alive for the table's
+  /// lifetime; pass nullptr to detach. Default-off so existing callers
+  /// (and their crash-event schedules) are unperturbed.
+  virtual void attach_flight(obs::BasicFlightRecorder<PM>* flight) = 0;
 
   [[nodiscard]] double load_factor() const {
     return static_cast<double>(count()) / static_cast<double>(capacity());

@@ -15,6 +15,7 @@
 #include "hash/pfht.hpp"
 #include "hash/two_choice.hpp"
 #include "hash/wal.hpp"
+#include "obs/flight_recorder.hpp"
 #include "util/assert.hpp"
 
 namespace gh::hash::detail {
@@ -42,28 +43,36 @@ class TableAdapter final : public AnyTable<PM> {
   bool insert(const Key128& key, u64 value) override {
     const u64 t0 = op_start();
     const u64 l0 = lines_before();
+    const u64 f = (obs::kEnabled && flight_) ? flight_->op_begin(obs::OpKind::kInsert, key.lo) : 0;
     const bool ok = table_.insert(narrow(key), value);
+    if (obs::kEnabled && flight_) flight_->op_end(f, obs::OpKind::kInsert, key.lo);
     op_finish(obs::OpKind::kInsert, key.lo, t0, l0);
     return ok;
   }
   std::optional<u64> find(const Key128& key) override {
     const u64 t0 = op_start();
     const u64 l0 = lines_before();
+    const u64 f = (obs::kEnabled && flight_) ? flight_->op_begin(obs::OpKind::kFind, key.lo) : 0;
     auto r = table_.find(narrow(key));
+    if (obs::kEnabled && flight_) flight_->op_end(f, obs::OpKind::kFind, key.lo);
     op_finish(obs::OpKind::kFind, key.lo, t0, l0);
     return r;
   }
   bool erase(const Key128& key) override {
     const u64 t0 = op_start();
     const u64 l0 = lines_before();
+    const u64 f = (obs::kEnabled && flight_) ? flight_->op_begin(obs::OpKind::kErase, key.lo) : 0;
     const bool ok = table_.erase(narrow(key));
+    if (obs::kEnabled && flight_) flight_->op_end(f, obs::OpKind::kErase, key.lo);
     op_finish(obs::OpKind::kErase, key.lo, t0, l0);
     return ok;
   }
   RecoveryReport recover() override {
     const u64 t0 = op_start();
     const u64 l0 = lines_before();
+    const u64 f = (obs::kEnabled && flight_) ? flight_->op_begin_always(obs::OpKind::kRecover) : 0;
     RecoveryReport r = table_.recover();
+    if (obs::kEnabled && flight_) flight_->op_end(f, obs::OpKind::kRecover);
     op_finish(obs::OpKind::kRecover, 0, t0, l0);
     return r;
   }
@@ -72,7 +81,9 @@ class TableAdapter final : public AnyTable<PM> {
                     const std::function<void(const LostCell&)>& on_loss) override {
     const u64 t0 = op_start();
     const u64 l0 = lines_before();
+    const u64 f = (obs::kEnabled && flight_) ? flight_->op_begin_always(obs::OpKind::kScrub) : 0;
     ScrubReport report = scrub_impl(max_groups, on_loss);
+    if (obs::kEnabled && flight_) flight_->op_end(f, obs::OpKind::kScrub);
     op_finish(obs::OpKind::kScrub, 0, t0, l0);
     return report;
   }
@@ -126,6 +137,7 @@ class TableAdapter final : public AnyTable<PM> {
 
   obs::OpRecorder& recorder() override { return recorder_; }
   void set_record_latency(bool on) override { record_latency_ = on && obs::kEnabled; }
+  void attach_flight(obs::BasicFlightRecorder<PM>* flight) override { flight_ = flight; }
 
   [[nodiscard]] Table& inner() { return table_; }
 
@@ -171,6 +183,8 @@ class TableAdapter final : public AnyTable<PM> {
   std::string name_;
   PM* pm_;
   Table table_;
+  /// Optional black box (attach_flight); non-owning, null by default.
+  obs::BasicFlightRecorder<PM>* flight_ = nullptr;
   std::unique_ptr<UndoLog<PM>> wal_;
   u64 scrub_cursor_ = 0;
   bool record_latency_ = true;

@@ -19,6 +19,11 @@ struct RecoveryReport {
   u64 recovered_count = 0;
   u64 wal_records_rolled_back = 0;
   u64 media_errors = 0;  ///< poisoned cells hit (scrubbed/healed, contents lost)
+  /// Ops the flight recorder (obs/flight_recorder.hpp) shows as in
+  /// flight at the crash this recovery is repairing. Filled by the map
+  /// layers (the raw table has no flight sidecar of its own); 0 when the
+  /// recorder is off.
+  u64 in_flight_ops = 0;
 };
 
 /// Result of an incremental integrity pass (scrub_groups): per-group

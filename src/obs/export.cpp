@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace gh::obs {
 namespace {
@@ -125,6 +126,13 @@ void write_histogram(Json& j, std::string_view name, const HistogramSnapshot& h)
       .field("p50_ns", h.p50_ns)
       .field("p95_ns", h.p95_ns)
       .field("p99_ns", h.p99_ns);
+  // Sparse (bucket index, count) pairs; validate_json cross-checks their
+  // sum against "count" so a truncated/mutated export fails validation.
+  j.key("buckets").begin_arr();
+  for (const auto& [bucket, count] : h.buckets) {
+    j.begin_arr().value(u64{bucket}).value(count).end_arr();
+  }
+  j.end_arr();
   j.end_obj();
 }
 
@@ -143,6 +151,33 @@ void write_latency(Json& j, const OpLatencySnapshot& lat) {
 // --------------------------------------------------------------------------
 // Prometheus helpers.
 
+/// Escape a label value per the exposition format: backslash, double
+/// quote and newline must be escaped inside the quoted value or a
+/// hostile source string (e.g. a map path) breaks the line structure.
+std::string prom_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void prom_help(std::string& out, std::string_view prefix, std::string_view name,
+               std::string_view help) {
+  out += "# HELP ";
+  out += prefix;
+  out += name;
+  out += ' ';
+  out += help;
+  out += '\n';
+}
+
 void prom_line(std::string& out, std::string_view prefix, std::string_view name,
                std::string_view labels, double v) {
   out += prefix;
@@ -160,7 +195,9 @@ void prom_line(std::string& out, std::string_view prefix, std::string_view name,
 }
 
 void prom_counter(std::string& out, std::string_view prefix, std::string_view name,
-                  std::string_view labels, u64 v) {
+                  std::string_view labels, u64 v,
+                  std::string_view help = "gh observability counter") {
+  prom_help(out, prefix, name, help);
   out += "# TYPE ";
   out += prefix;
   out += name;
@@ -169,7 +206,9 @@ void prom_counter(std::string& out, std::string_view prefix, std::string_view na
 }
 
 void prom_histogram(std::string& out, std::string_view prefix, std::string_view base,
-                    std::string_view labels, const HistogramSnapshot& h) {
+                    std::string_view labels, const HistogramSnapshot& h,
+                    std::string_view help = "per-operation latency summary (ns)") {
+  prom_help(out, prefix, base, help);
   out += "# TYPE ";
   out += prefix;
   out += base;
@@ -258,6 +297,21 @@ std::string export_json(const Snapshot& s) {
       .field("degraded", s.lifecycle.degraded);
   j.end_obj();
   write_latency(j, s.latency);
+  j.key("flight").begin_obj();
+  j.field("enabled", s.flight.enabled)
+      .field("records_scanned", s.flight.records_scanned)
+      .field("records_torn", s.flight.records_torn);
+  j.key("in_flight").begin_arr();
+  for (const FlightOpBrief& op : s.flight.in_flight_on_open) {
+    j.begin_obj();
+    j.field("kind", op_kind_name(op.kind))
+        .field("phase", flight_phase_name(op.phase))
+        .field("seqno", op.seqno)
+        .field("key_hash", op.key_hash);
+    j.end_obj();
+  }
+  j.end_arr();
+  j.end_obj();
   j.key("per_shard").begin_arr();
   for (const ShardBrief& sh : s.per_shard) {
     j.begin_obj();
@@ -311,26 +365,48 @@ std::string export_registry_json() {
 std::string export_prometheus(const Snapshot& s, std::string_view prefix) {
   std::string out;
   out.reserve(2048);
-  std::string labels = "source=\"" + s.source + "\"";
-  prom_counter(out, prefix, "size", labels, s.size);
-  prom_counter(out, prefix, "capacity", labels, s.capacity);
-  prom_counter(out, prefix, "inserts_total", labels, s.table.inserts);
-  prom_counter(out, prefix, "insert_failures_total", labels, s.table.insert_failures);
-  prom_counter(out, prefix, "queries_total", labels, s.table.queries);
-  prom_counter(out, prefix, "erases_total", labels, s.table.erases);
-  prom_counter(out, prefix, "probes_total", labels, s.table.probes);
-  prom_counter(out, prefix, "persist_calls_total", labels, s.persist.persist_calls);
-  prom_counter(out, prefix, "lines_flushed_total", labels, s.persist.lines_flushed);
-  prom_counter(out, prefix, "fences_total", labels, s.persist.fences);
-  prom_counter(out, prefix, "bytes_written_total", labels, s.persist.bytes_written);
-  prom_counter(out, prefix, "scrub_groups_total", labels, s.scrub.groups_scrubbed);
-  prom_counter(out, prefix, "crc_mismatches_total", labels, s.scrub.crc_mismatches);
-  prom_counter(out, prefix, "cells_lost_total", labels, s.scrub.cells_lost);
-  prom_counter(out, prefix, "read_retries_total", labels, s.contention.read_retries);
-  prom_counter(out, prefix, "read_fallbacks_total", labels, s.contention.read_fallbacks);
-  prom_counter(out, prefix, "writer_waits_total", labels, s.contention.writer_waits);
-  prom_counter(out, prefix, "expansions_total", labels, s.lifecycle.expansions);
-  prom_counter(out, prefix, "recoveries_total", labels, s.lifecycle.recoveries);
+  std::string labels = "source=\"" + prom_label_value(s.source) + "\"";
+  prom_counter(out, prefix, "size", labels, s.size, "live keys in the table");
+  prom_counter(out, prefix, "capacity", labels, s.capacity, "total cell capacity");
+  prom_counter(out, prefix, "inserts_total", labels, s.table.inserts,
+               "insert operations attempted");
+  prom_counter(out, prefix, "insert_failures_total", labels, s.table.insert_failures,
+               "inserts that found no free cell");
+  prom_counter(out, prefix, "queries_total", labels, s.table.queries,
+               "find operations attempted");
+  prom_counter(out, prefix, "erases_total", labels, s.table.erases,
+               "erase operations attempted");
+  prom_counter(out, prefix, "probes_total", labels, s.table.probes,
+               "cells examined across all operations");
+  prom_counter(out, prefix, "persist_calls_total", labels, s.persist.persist_calls,
+               "persist() calls issued to the PM policy");
+  prom_counter(out, prefix, "lines_flushed_total", labels, s.persist.lines_flushed,
+               "cache lines flushed to NVM");
+  prom_counter(out, prefix, "fences_total", labels, s.persist.fences,
+               "store fences issued");
+  prom_counter(out, prefix, "bytes_written_total", labels, s.persist.bytes_written,
+               "bytes written through the PM policy");
+  prom_counter(out, prefix, "scrub_groups_total", labels, s.scrub.groups_scrubbed,
+               "group checksum verifications run");
+  prom_counter(out, prefix, "crc_mismatches_total", labels, s.scrub.crc_mismatches,
+               "group checksum failures detected");
+  prom_counter(out, prefix, "cells_lost_total", labels, s.scrub.cells_lost,
+               "occupied cells dropped as unrecoverable");
+  prom_counter(out, prefix, "read_retries_total", labels, s.contention.read_retries,
+               "optimistic read retries");
+  prom_counter(out, prefix, "read_fallbacks_total", labels, s.contention.read_fallbacks,
+               "optimistic reads that fell back to the lock");
+  prom_counter(out, prefix, "writer_waits_total", labels, s.contention.writer_waits,
+               "writer lock acquisitions that waited");
+  prom_counter(out, prefix, "expansions_total", labels, s.lifecycle.expansions,
+               "table expansions completed");
+  prom_counter(out, prefix, "recoveries_total", labels, s.lifecycle.recoveries,
+               "crash recovery passes run");
+  prom_counter(out, prefix, "flight_in_flight_on_open_total", labels,
+               s.flight.in_flight_on_open.size(),
+               "ops the flight recorder showed in flight at the last crash");
+  prom_counter(out, prefix, "flight_records_torn_total", labels, s.flight.records_torn,
+               "torn flight records found on open (protocol violation)");
   for (usize k = 0; k < kOpKinds; ++k) {
     const auto kind = static_cast<OpKind>(k);
     prom_histogram(out, prefix,
@@ -355,7 +431,7 @@ std::string export_prometheus(const MetricsRegistry::RegistrySnapshot& r,
     prom_histogram(out, prefix, sanitize_metric_name(h.name), "", h.hist);
   }
   for (const auto& rec : r.recorders) {
-    const std::string labels = "source=\"" + rec.name + "\"";
+    const std::string labels = "source=\"" + prom_label_value(rec.name) + "\"";
     for (usize k = 0; k < kOpKinds; ++k) {
       prom_histogram(out, prefix,
                      std::string("op_") + op_kind_name(static_cast<OpKind>(k)) +
@@ -370,6 +446,22 @@ std::string export_prometheus(const MetricsRegistry::RegistrySnapshot& r,
 // Minimal JSON structural validator.
 
 namespace {
+
+/// Top-level keys a "gh.obs.snapshot.v1" document may carry. Additions
+/// here must ship with the exporter change that writes them; anything
+/// else is a mutated/forged document and fails validation.
+constexpr std::string_view kSnapshotTopLevelKeys[] = {
+    "schema",     "version",   "source",  "size",   "capacity",
+    "load_factor", "shards",   "persist", "ops",    "scrub",
+    "contention", "lifecycle", "latency", "flight", "per_shard",
+};
+
+bool known_snapshot_key(std::string_view key) {
+  for (const std::string_view k : kSnapshotTopLevelKeys) {
+    if (k == key) return true;
+  }
+  return false;
+}
 
 class JsonChecker {
  public:
@@ -401,12 +493,13 @@ class JsonChecker {
   bool literal(std::string_view lit) {
     if (s_.substr(pos_, lit.size()) != lit) return fail("bad literal");
     pos_ += lit.size();
+    last_ = Last::kOther;
     return true;
   }
 
   bool string() {
     if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected string");
-    ++pos_;
+    const usize start = ++pos_;
     while (pos_ < s_.size() && s_[pos_] != '"') {
       if (s_[pos_] == '\\') {
         ++pos_;
@@ -415,7 +508,11 @@ class JsonChecker {
       ++pos_;
     }
     if (pos_ >= s_.size()) return fail("unterminated string");
+    // Raw (escapes unprocessed) — only compared against escape-free
+    // schema constants and key names.
+    last_string_ = s_.substr(start, pos_ - start);
     ++pos_;  // closing quote
+    last_ = Last::kString;
     return true;
   }
 
@@ -428,6 +525,8 @@ class JsonChecker {
       ++pos_;
     }
     if (pos_ == start) return fail("expected number");
+    last_number_ = std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(), nullptr);
+    last_ = Last::kNumber;
     return true;
   }
 
@@ -449,9 +548,52 @@ class JsonChecker {
     return ok;
   }
 
+  /// Sum the count halves of a validated "buckets" value — an array of
+  /// [bucket, count] pairs. Structure other than pairs-of-numbers fails.
+  bool sum_buckets(std::string_view text, double* out) {
+    JsonChecker inner(text);
+    inner.skip_ws();
+    if (inner.pos_ >= text.size() || text[inner.pos_] != '[') return false;
+    ++inner.pos_;
+    inner.skip_ws();
+    double sum = 0;
+    if (inner.pos_ < text.size() && text[inner.pos_] == ']') {
+      *out = 0;
+      return true;
+    }
+    for (;;) {
+      inner.skip_ws();
+      if (inner.pos_ >= text.size() || text[inner.pos_] != '[') return false;
+      ++inner.pos_;
+      inner.skip_ws();
+      if (!inner.number()) return false;
+      inner.skip_ws();
+      if (inner.pos_ >= text.size() || text[inner.pos_] != ',') return false;
+      ++inner.pos_;
+      inner.skip_ws();
+      if (!inner.number()) return false;
+      sum += inner.last_number_;
+      inner.skip_ws();
+      if (inner.pos_ >= text.size() || text[inner.pos_] != ']') return false;
+      ++inner.pos_;
+      inner.skip_ws();
+      if (inner.pos_ < text.size() && text[inner.pos_] == ',') {
+        ++inner.pos_;
+        continue;
+      }
+      break;
+    }
+    *out = sum;
+    return true;
+  }
+
   bool object() {
     ++pos_;  // '{'
     skip_ws();
+    const bool top_level = depth_ == 1;
+    bool has_count = false, has_buckets = false;
+    double count = 0, bucket_sum = 0;
+    bool buckets_well_formed = true;
     if (pos_ < s_.size() && s_[pos_] == '}') {
       ++pos_;
       return true;
@@ -459,10 +601,24 @@ class JsonChecker {
     for (;;) {
       skip_ws();
       if (!string()) return false;
+      const std::string key(last_string_);
       skip_ws();
       if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
       ++pos_;
+      const usize value_start = (skip_ws(), pos_);
       if (!value()) return false;
+      if (top_level && key == "schema" && last_ == Last::kString) {
+        schema_ = last_string_;
+      }
+      if (top_level && !known_snapshot_key(key)) top_level_unknown_ = true;
+      if (key == "count" && last_ == Last::kNumber) {
+        has_count = true;
+        count = last_number_;
+      } else if (key == "buckets") {
+        has_buckets = true;
+        buckets_well_formed =
+            sum_buckets(s_.substr(value_start, pos_ - value_start), &bucket_sum);
+      }
       skip_ws();
       if (pos_ < s_.size() && s_[pos_] == ',') {
         ++pos_;
@@ -470,10 +626,23 @@ class JsonChecker {
       }
       if (pos_ < s_.size() && s_[pos_] == '}') {
         ++pos_;
-        return true;
+        break;
       }
       return fail("expected ',' or '}'");
     }
+    // A histogram object must be internally consistent: the sparse
+    // buckets account for every sample "count" claims.
+    if (has_count && has_buckets) {
+      if (!buckets_well_formed) return fail("malformed histogram buckets");
+      if (count != bucket_sum) return fail("histogram bucket counts do not sum to count");
+    }
+    // Only enforce the key whitelist for documents that claim to be
+    // snapshots — foreign JSON still gets the plain structural check.
+    if (top_level && schema_ == kSnapshotSchema && top_level_unknown_) {
+      return fail("unknown top-level key in snapshot document");
+    }
+    last_ = Last::kOther;
+    return true;
   }
 
   bool array() {
@@ -481,6 +650,7 @@ class JsonChecker {
     skip_ws();
     if (pos_ < s_.size() && s_[pos_] == ']') {
       ++pos_;
+      last_ = Last::kOther;
       return true;
     }
     for (;;) {
@@ -492,16 +662,24 @@ class JsonChecker {
       }
       if (pos_ < s_.size() && s_[pos_] == ']') {
         ++pos_;
+        last_ = Last::kOther;
         return true;
       }
       return fail("expected ',' or ']'");
     }
   }
 
+  enum class Last { kNone, kNumber, kString, kOther };
+
   std::string_view s_;
   usize pos_ = 0;
   int depth_ = 0;
   std::string err_;
+  Last last_ = Last::kNone;
+  double last_number_ = 0;
+  std::string_view last_string_;
+  std::string_view schema_;
+  bool top_level_unknown_ = false;
 };
 
 }  // namespace

@@ -1,0 +1,212 @@
+// Offline side of the flight recorder: scan raw sidecar bytes, group
+// records into ops, and render text / Chrome-trace timelines. This file
+// deliberately has no nvm dependency — it reads plain bytes, so gh_stats
+// can post-mortem a `.flight` file without opening the map (and even in
+// a GH_OBS_OFF build).
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "util/format.hpp"
+
+namespace gh::obs {
+
+const char* flight_event_name(FlightEvent e) {
+  switch (e) {
+    case FlightEvent::kQuarantine: return "quarantine";
+    case FlightEvent::kDegraded: return "degraded";
+  }
+  return "unknown";
+}
+
+FlightScan scan_flight(std::span<const std::byte> bytes) {
+  FlightScan scan;
+  if (bytes.size() < kFlightHeaderBytes) return scan;
+  FlightHeader h;
+  std::memcpy(&h, bytes.data(), sizeof(h));
+  if (h.magic != kFlightMagic || h.version != kFlightVersion) return scan;
+  if (h.crc != h.compute_crc()) return scan;
+  if (h.record_bytes != sizeof(FlightRecord) || h.ring_count == 0 ||
+      h.slots_per_ring == 0) {
+    return scan;
+  }
+  const u64 total_slots = h.ring_count * h.slots_per_ring;
+  if (bytes.size() < kFlightHeaderBytes + total_slots * sizeof(FlightRecord)) {
+    return scan;
+  }
+  scan.valid_header = true;
+  scan.ring_count = h.ring_count;
+  scan.slots_per_ring = h.slots_per_ring;
+  for (u64 s = 0; s < total_slots; ++s) {
+    FlightRecord rec;
+    std::memcpy(&rec, bytes.data() + kFlightHeaderBytes + s * sizeof(FlightRecord),
+                sizeof(rec));
+    ++scan.slots_scanned;
+    if (rec.commit == 0) {
+      ++scan.records_empty;
+      continue;
+    }
+    const u64 magic = rec.commit >> 48;
+    const u16 checksum = static_cast<u16>(rec.commit >> 32);
+    const u32 ring = static_cast<u32>((rec.commit >> 16) & 0xffff);
+    const u8 phase = static_cast<u8>(rec.commit >> 8);
+    const u8 kind = static_cast<u8>(rec.commit);
+    if (magic != kFlightCommitMagic ||
+        checksum != flight_checksum(rec.key_hash, rec.seqno, rec.tsc) ||
+        kind >= kOpKinds || phase > static_cast<u8>(FlightPhase::kEvent) ||
+        ring != s / h.slots_per_ring) {
+      ++scan.records_torn;
+      continue;
+    }
+    ++scan.records_valid;
+    scan.records.push_back(FlightRecordView{ring, static_cast<OpKind>(kind),
+                                            static_cast<FlightPhase>(phase),
+                                            rec.key_hash, rec.seqno, rec.tsc});
+  }
+  std::sort(scan.records.begin(), scan.records.end(),
+            [](const FlightRecordView& a, const FlightRecordView& b) {
+              return a.seqno != b.seqno ? a.seqno < b.seqno : a.phase < b.phase;
+            });
+  // Group by op id: in flight = reached start/publish, never finished.
+  // kEvent records are standalone facts, never in flight. Note the ring
+  // may have overwritten an old op's start while keeping its finish (or
+  // vice versa) — requiring a start/publish record makes the scan
+  // conservative: it only names ops it can positively place mid-flight.
+  std::map<u64, InFlightOp> open_ops;
+  for (const FlightRecordView& r : scan.records) {
+    if (r.phase == FlightPhase::kEvent) continue;
+    if (r.phase == FlightPhase::kFinish) {
+      open_ops.erase(r.seqno);
+      continue;
+    }
+    auto [it, inserted] = open_ops.try_emplace(
+        r.seqno, InFlightOp{r.kind, r.phase, r.ring, r.key_hash, r.seqno, r.tsc});
+    if (!inserted && r.phase > it->second.phase) {
+      it->second.phase = r.phase;
+      it->second.tsc = r.tsc;
+      it->second.key_hash = r.key_hash;
+    }
+  }
+  scan.in_flight.reserve(open_ops.size());
+  for (const auto& [seqno, op] : open_ops) scan.in_flight.push_back(op);
+  return scan;
+}
+
+std::string flight_timeline_text(const FlightScan& scan) {
+  std::string out;
+  if (!scan.valid_header) {
+    return "flight: no valid header (not a flight sidecar, or truncated)\n";
+  }
+  out += "flight: " + std::to_string(scan.ring_count) + " rings x " +
+         std::to_string(scan.slots_per_ring) + " slots, " +
+         std::to_string(scan.records_valid) + " records (" +
+         std::to_string(scan.records_torn) + " torn, " +
+         std::to_string(scan.records_empty) + " empty)\n";
+  if (!scan.in_flight.empty()) {
+    out += "in flight at crash:\n";
+    for (const InFlightOp& op : scan.in_flight) {
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  op#%llu %s reached %s (ring %u, key_hash=0x%llx)\n",
+                    static_cast<unsigned long long>(op.seqno), op_kind_name(op.kind),
+                    flight_phase_name(op.phase), op.ring,
+                    static_cast<unsigned long long>(op.key_hash));
+      out += line;
+    }
+  } else {
+    out += "in flight at crash: none\n";
+  }
+  if (scan.records.empty()) return out;
+  const u64 t0 = std::min_element(scan.records.begin(), scan.records.end(),
+                                  [](const FlightRecordView& a,
+                                     const FlightRecordView& b) {
+                                    return a.tsc < b.tsc;
+                                  })
+                     ->tsc;
+  const double tpn = ticks_per_ns();
+  out += "timeline (us since first record):\n";
+  for (const FlightRecordView& r : scan.records) {
+    const double us =
+        static_cast<double>(r.tsc - std::min(t0, r.tsc)) / (tpn > 0 ? tpn : 1) / 1000.0;
+    char line[160];
+    if (r.phase == FlightPhase::kEvent) {
+      std::snprintf(line, sizeof(line), "  %12.3f  ring%u  op#%llu  %-8s EVENT %s\n",
+                    us, r.ring, static_cast<unsigned long long>(r.seqno),
+                    op_kind_name(r.kind),
+                    flight_event_name(static_cast<FlightEvent>(r.key_hash)));
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  %12.3f  ring%u  op#%llu  %-8s %-8s key_hash=0x%llx\n", us,
+                    r.ring, static_cast<unsigned long long>(r.seqno),
+                    op_kind_name(r.kind), flight_phase_name(r.phase),
+                    static_cast<unsigned long long>(r.key_hash));
+    }
+    out += line;
+  }
+  return out;
+}
+
+std::string flight_trace_json(const FlightScan& scan) {
+  // Chrome trace-event format: {"traceEvents":[...]} with "X" complete
+  // events for start→finish pairs, "i" instants for unpaired records and
+  // lifecycle events. Timestamps are microseconds from the first record.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  if (scan.valid_header && !scan.records.empty()) {
+    u64 t0 = scan.records.front().tsc;
+    for (const FlightRecordView& r : scan.records) t0 = std::min(t0, r.tsc);
+    const double tpn = ticks_per_ns();
+    const auto us_of = [&](u64 tsc) {
+      return static_cast<double>(tsc - std::min(t0, tsc)) / (tpn > 0 ? tpn : 1) /
+             1000.0;
+    };
+    const auto append = [&](const std::string& ev) {
+      if (!first) out += ',';
+      first = false;
+      out += ev;
+    };
+    // Pair start records with their finish per op id; paired starts are
+    // folded into the "X" complete event emitted at the finish.
+    std::map<u64, const FlightRecordView*> starts;
+    for (const FlightRecordView& r : scan.records) {
+      if (r.phase == FlightPhase::kStart) starts.emplace(r.seqno, &r);
+    }
+    char buf[256];
+    for (const FlightRecordView& r : scan.records) {
+      const double us = us_of(r.tsc);
+      const auto start_it = starts.find(r.seqno);
+      const bool paired = start_it != starts.end();
+      if (r.phase == FlightPhase::kStart && paired) continue;  // emitted at finish
+      if (r.phase == FlightPhase::kFinish && paired) {
+        const double b = us_of(start_it->second->tsc);
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                      "\"pid\":1,\"tid\":%u,\"args\":{\"op\":%llu,\"key_hash\":"
+                      "\"0x%llx\"}}",
+                      op_kind_name(r.kind), b, std::max(us - b, 0.001), r.ring,
+                      static_cast<unsigned long long>(r.seqno),
+                      static_cast<unsigned long long>(r.key_hash));
+        append(buf);
+        continue;
+      }
+      // Everything else — publish marks, lifecycle events, and edges
+      // whose partner was overwritten by the ring — becomes an instant.
+      const char* suffix = r.phase == FlightPhase::kEvent
+                               ? flight_event_name(static_cast<FlightEvent>(r.key_hash))
+                               : flight_phase_name(r.phase);
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s:%s\",\"ph\":\"i\",\"ts\":%.3f,\"s\":\"t\","
+                    "\"pid\":1,\"tid\":%u,\"args\":{\"op\":%llu}}",
+                    op_kind_name(r.kind), suffix, us, r.ring,
+                    static_cast<unsigned long long>(r.seqno));
+      append(buf);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace gh::obs

@@ -35,37 +35,80 @@ double LatencyHistogram::bucket_midpoint(usize bucket) {
   return low + width / 2.0;
 }
 
+namespace {
+
+// Recompute mean/p50/p95/p99 of a snapshot from its sparse tick-domain
+// bucket list (shared by LatencyHistogram::snapshot and
+// HistogramSnapshot::merge so a merged aggregate and a union histogram
+// derive identical statistics).
+void finalize_histogram(HistogramSnapshot& s) {
+  if (s.count == 0) {
+    s.mean_ns = s.p50_ns = s.p95_ns = s.p99_ns = 0;
+    return;
+  }
+  const double tpn = ticks_per_ns();
+  s.mean_ns = static_cast<double>(s.sum_ns) / static_cast<double>(s.count);
+  const auto percentile = [&](double q) {
+    const double target = q / 100.0 * static_cast<double>(s.count);
+    u64 cumulative = 0;
+    for (const auto& [bucket, n] : s.buckets) {
+      cumulative += n;
+      if (static_cast<double>(cumulative) >= target) {
+        return LatencyHistogram::bucket_midpoint(bucket) / tpn;
+      }
+    }
+    return LatencyHistogram::bucket_midpoint(s.buckets.back().first) / tpn;
+  };
+  s.p50_ns = percentile(50);
+  s.p95_ns = percentile(95);
+  s.p99_ns = percentile(99);
+}
+
+}  // namespace
+
+void HistogramSnapshot::merge(const HistogramSnapshot& o) {
+  count += o.count;
+  sum_ns += o.sum_ns;
+  max_ns = std::max(max_ns, o.max_ns);
+  // Two-pointer merge of the sorted sparse bucket lists.
+  std::vector<std::pair<u32, u64>> merged;
+  merged.reserve(buckets.size() + o.buckets.size());
+  usize i = 0;
+  usize j = 0;
+  while (i < buckets.size() || j < o.buckets.size()) {
+    if (j >= o.buckets.size() ||
+        (i < buckets.size() && buckets[i].first < o.buckets[j].first)) {
+      merged.push_back(buckets[i++]);
+    } else if (i >= buckets.size() || o.buckets[j].first < buckets[i].first) {
+      merged.push_back(o.buckets[j++]);
+    } else {
+      merged.emplace_back(buckets[i].first, buckets[i].second + o.buckets[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  buckets = std::move(merged);
+  finalize_histogram(*this);
+}
+
 HistogramSnapshot LatencyHistogram::snapshot() const {
   // One relaxed pass over the buckets; each bucket only grows, so the
   // derived count is monotone across successive snapshots and the view
   // is never torn below bucket granularity.
-  std::array<u64, kBuckets> counts;
-  u64 total = 0;
-  for (usize i = 0; i < kBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
-  }
   HistogramSnapshot s;
-  s.count = total;
+  for (usize i = 0; i < kBuckets; ++i) {
+    const u64 n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) {
+      s.buckets.emplace_back(static_cast<u32>(i), n);
+      s.count += n;
+    }
+  }
   const double tpn = ticks_per_ns();
   s.sum_ns = static_cast<u64>(
       static_cast<double>(sum_.load(std::memory_order_relaxed)) / tpn);
   s.max_ns = static_cast<u64>(
       static_cast<double>(max_.load(std::memory_order_relaxed)) / tpn);
-  if (total == 0) return s;
-  s.mean_ns = static_cast<double>(s.sum_ns) / static_cast<double>(total);
-  const auto percentile = [&](double q) {
-    const double target = q / 100.0 * static_cast<double>(total);
-    u64 cumulative = 0;
-    for (usize i = 0; i < kBuckets; ++i) {
-      cumulative += counts[i];
-      if (static_cast<double>(cumulative) >= target) return bucket_midpoint(i) / tpn;
-    }
-    return bucket_midpoint(kBuckets - 1) / tpn;
-  };
-  s.p50_ns = percentile(50);
-  s.p95_ns = percentile(95);
-  s.p99_ns = percentile(99);
+  finalize_histogram(s);
   return s;
 }
 
@@ -78,6 +121,16 @@ const char* op_kind_name(OpKind kind) {
     case OpKind::kScrub: return "scrub";
     case OpKind::kRecover: return "recover";
     case OpKind::kCompact: return "compact";
+  }
+  return "unknown";
+}
+
+const char* flight_phase_name(FlightPhase phase) {
+  switch (phase) {
+    case FlightPhase::kStart: return "start";
+    case FlightPhase::kPublish: return "publish";
+    case FlightPhase::kFinish: return "finish";
+    case FlightPhase::kEvent: return "event";
   }
   return "unknown";
 }

@@ -29,6 +29,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/types.hpp"
@@ -151,6 +152,17 @@ struct HistogramSnapshot {
   double p50_ns = 0;
   double p95_ns = 0;
   double p99_ns = 0;
+  /// Sparse non-empty buckets as (tick-domain bucket index, count) pairs,
+  /// ascending by index. Carrying the raw distribution is what lets
+  /// merge() recompute exact percentiles for an aggregate: merged
+  /// mean/p50/p95/p99 equal those of one histogram holding the union of
+  /// samples, not a lossy average of per-shard percentiles.
+  std::vector<std::pair<u32, u64>> buckets;
+
+  /// Fold `o` into this snapshot: counts/sums/max add, bucket lists
+  /// merge, and the derived statistics are recomputed from the merged
+  /// distribution.
+  void merge(const HistogramSnapshot& o);
 };
 
 /// Log₂-bucketed latency histogram (64 power-of-two ranges × 8 linear
@@ -244,6 +256,38 @@ enum class OpKind : u8 {
 inline constexpr usize kOpKinds = 7;
 
 const char* op_kind_name(OpKind kind);
+
+/// Phase tag carried by flight-recorder records (obs/flight_recorder.hpp).
+/// kStart/kFinish bracket an op; kPublish marks the irreversible publish
+/// step inside expand/compact (the paper's 8-byte commit); kEvent tags a
+/// standalone lifecycle fact (quarantine, degradation) that is never
+/// "in flight".
+enum class FlightPhase : u8 {
+  kStart = 0,
+  kPublish = 1,
+  kFinish = 2,
+  kEvent = 3,
+};
+
+const char* flight_phase_name(FlightPhase phase);
+
+/// Flight-recorder fidelity. kSampled records 1 in 2^shift data ops plus
+/// every lifecycle op (expand/compact/scrub/recover); kFull records
+/// everything; kOff writes nothing and allocates no sidecar.
+enum class FlightMode : u8 {
+  kOff = 0,
+  kSampled = 1,
+  kFull = 2,
+};
+
+/// Default flight sampling shift: 1 in 2^7 data ops. The wrapped-ring
+/// emit protocol costs up to three cacheline flushes per record (see
+/// flight_recorder.hpp); at the paper's 300 ns flush model that is
+/// ~1.8 µs per sampled op edge pair, so 1/128 keeps the recorder inside
+/// the obs layer's ≤2% insert-overhead budget. Lifecycle ops bypass the
+/// gate — they are rare and are exactly the records crash forensics
+/// needs.
+inline constexpr u32 kFlightSampleShift = 7;
 
 /// One traced operation. `ns` is wall time; `lines_flushed` is the NVM
 /// lines the op flushed (approximate when the PM is shared by threads).

@@ -209,6 +209,48 @@ struct OpLatencySnapshot {
     }
     return insert;
   }
+
+  /// Fold another structure's sampled histograms into this one. Because
+  /// HistogramSnapshot carries its sparse bucket distribution, the
+  /// merged percentiles equal those of the union of samples.
+  void merge(const OpLatencySnapshot& o) {
+    insert.merge(o.insert);
+    find.merge(o.find);
+    erase.merge(o.erase);
+    expand.merge(o.expand);
+    scrub.merge(o.scrub);
+    recover.merge(o.recover);
+    compact.merge(o.compact);
+  }
+};
+
+/// One op the flight recorder shows as in flight at the last crash
+/// (reconstructed by the reopen-time sidecar scan).
+struct FlightOpBrief {
+  OpKind kind = OpKind::kInsert;
+  FlightPhase phase = FlightPhase::kStart;
+  u64 seqno = 0;
+  u64 key_hash = 0;
+};
+
+/// Flight-recorder forensics (obs/flight_recorder.hpp): what the
+/// reopen-time scan of the `.flight` sidecar found. All zero when the
+/// recorder is off (FlightMode::kOff or GH_OBS_OFF) or the map was
+/// created fresh.
+struct FlightSnapshot {
+  bool enabled = false;       ///< a recorder is live on this structure
+  u64 records_scanned = 0;    ///< valid records found by the open() scan
+  u64 records_torn = 0;       ///< protocol violations (must stay 0)
+  std::vector<FlightOpBrief> in_flight_on_open;
+
+  FlightSnapshot& operator+=(const FlightSnapshot& o) {
+    enabled = enabled || o.enabled;
+    records_scanned += o.records_scanned;
+    records_torn += o.records_torn;
+    in_flight_on_open.insert(in_flight_on_open.end(), o.in_flight_on_open.begin(),
+                             o.in_flight_on_open.end());
+    return *this;
+  }
 };
 
 /// One shard of a concurrent map, in brief (the aggregate fields of the
@@ -238,13 +280,14 @@ struct Snapshot {
   ContentionSnapshot contention;
   LifecycleSnapshot lifecycle;
   OpLatencySnapshot latency;
+  FlightSnapshot flight;
 
   std::vector<ShardBrief> per_shard;  ///< concurrent wrappers only
 
   /// Merge another structure's sample into this one (used by the
-  /// concurrent wrappers to aggregate shards). Histograms aggregate by
-  /// count/sum/max only — percentiles of a merged snapshot come from the
-  /// per-shard recorders, not from re-bucketing.
+  /// concurrent wrappers to aggregate shards). Latency histograms merge
+  /// their sparse bucket distributions, so the aggregate's percentiles
+  /// equal those of a single histogram holding the union of samples.
   Snapshot& absorb(const Snapshot& o) {
     size += o.size;
     capacity += o.capacity;
@@ -254,6 +297,8 @@ struct Snapshot {
     scrub += o.scrub;
     contention += o.contention;
     lifecycle += o.lifecycle;
+    latency.merge(o.latency);
+    flight += o.flight;
     return *this;
   }
 };

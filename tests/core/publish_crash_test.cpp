@@ -31,6 +31,7 @@
 #include "core/group_hash_map.hpp"
 #include "core/string_map.hpp"
 #include "nvm/fault_fs.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace gh {
 namespace {
@@ -39,6 +40,31 @@ namespace fs = std::filesystem;
 
 std::string temp_path(const std::string& name) {
   return (fs::temp_directory_path() / name).string();
+}
+
+/// Forensics half of every crash trial: the reopened map's flight scan
+/// must name the exact lifecycle op that was mid-publish. The rebuild
+/// paths emit their start record before the tmp-file create (publish
+/// step 0) and their publish mark right before the msync — so a crash
+/// before step k of the 4-step schedule {create, syncdata, rename,
+/// syncdir} strands the op at kStart for k % 4 == 0 and at kPublish for
+/// every later step.
+template <class Map>
+void expect_in_flight(const Map& map, obs::OpKind kind, usize k) {
+  if (!obs::kEnabled) return;
+  const obs::FlightScan& scan = map.flight_scan_on_open();
+  ASSERT_TRUE(scan.valid_header);
+  EXPECT_EQ(scan.records_torn, 0u);
+  const obs::InFlightOp* found = nullptr;
+  for (const obs::InFlightOp& op : scan.in_flight) {
+    if (op.kind == kind) found = &op;
+  }
+  ASSERT_NE(found, nullptr) << "recorder must name the " << obs::op_kind_name(kind)
+                            << " that died mid-publish";
+  EXPECT_EQ(found->phase, k % 4 == 0 ? obs::FlightPhase::kStart
+                                     : obs::FlightPhase::kPublish)
+      << "crash before publish step " << k;
+  EXPECT_GE(map.open_recovery_report().in_flight_ops, 1u);
 }
 
 void write_junk_file(const std::string& path, usize bytes = 4096) {
@@ -133,6 +159,7 @@ TEST(PublishCrash, ExpandCrashAtEveryStepRecoversToOracle) {
       auto map = GroupHashMap::open(path);
       EXPECT_FALSE(fs::exists(tmp)) << "open() must reclaim the orphan";
       EXPECT_TRUE(map.recovered_on_open());
+      expect_in_flight(map, obs::OpKind::kExpand, k);
       EXPECT_EQ(map.size(), committed);
       for (u64 i = 0; i < committed; ++i) {
         const auto got = map.get(gh_key(i));
@@ -149,6 +176,7 @@ TEST(PublishCrash, ExpandCrashAtEveryStepRecoversToOracle) {
     }
   }
   fs::remove(path);
+  fs::remove(path + ".flight");
 }
 
 TEST(PublishCrash, ExpandRenameFailureCleansTempAndKeepsMapUsable) {
@@ -354,6 +382,7 @@ TEST(PublishCrash, CompactCrashAtEveryStepRecoversToOracle) {
       auto map = PersistentStringMap::open(path, small_string_options());
       EXPECT_FALSE(fs::exists(tmp)) << "open() must reclaim the orphan";
       EXPECT_TRUE(map.recovered_on_open());
+      expect_in_flight(map, obs::OpKind::kCompact, k);
       verify_string_map(map, oracle);
 
       // The reopened map keeps working — including a clean compaction.
@@ -364,6 +393,7 @@ TEST(PublishCrash, CompactCrashAtEveryStepRecoversToOracle) {
     }
   }
   fs::remove(path);
+  fs::remove(path + ".flight");
 }
 
 TEST(PublishCrash, CompactRenameFailureCleansTempAndKeepsMapUsable) {

@@ -7,6 +7,12 @@
 // equal the oracle state as of the last completed operation, with the
 // single in-flight operation allowed to be either fully applied or fully
 // absent.
+//
+// A flight recorder (obs/flight_recorder.hpp) rides along in full-
+// fidelity mode over a sidecar sub-span of the same ShadowPM, sized to
+// wrap several times, so every crash point × eviction image also checks
+// the recorder's own commit-word protocol: a scanned image may hold old,
+// new or empty slots, but NEVER a torn record.
 #include <gtest/gtest.h>
 
 #include <unordered_map>
@@ -14,6 +20,7 @@
 #include "hash/any_table.hpp"
 #include "nvm/region.hpp"
 #include "nvm/shadow_pm.hpp"
+#include "obs/flight_recorder.hpp"
 #include "trace/trace_file.hpp"
 #include "trace/workload.hpp"
 #include "util/rng.hpp"
@@ -72,10 +79,20 @@ class CrashFuzz : public ::testing::TestWithParam<FuzzCase> {
     usize ops_completed = 0;
   };
 
-  RunResult run(ShadowPM& pm, std::span<std::byte> mem, const trace::OpTrace& ops,
-                u64 crash_at) {
+  /// Small flight geometry (1 ring × 64 slots) so the ~160 records of a
+  /// full workload wrap the ring and exercise slot invalidation.
+  static constexpr u32 kFlightRings = 1;
+  static constexpr u32 kFlightSlots = 64;
+
+  RunResult run(ShadowPM& pm, std::span<std::byte> mem, std::span<std::byte> flight_mem,
+                const trace::OpTrace& ops, u64 crash_at) {
     pm.crash_at_event(ShadowPM::no_crash());
     auto table = make_table(pm, mem, config(), /*format=*/true);
+    // Full fidelity: every op leaves records, so every crash point lands
+    // near in-progress flight writes.
+    obs::BasicFlightRecorder<ShadowPM> flight(pm, flight_mem, kFlightRings, kFlightSlots);
+    flight.set_mode(obs::FlightMode::kFull);
+    table->attach_flight(&flight);
     pm.crash_at_event(crash_at);
     RunResult r;
     try {
@@ -105,12 +122,17 @@ class CrashFuzz : public ::testing::TestWithParam<FuzzCase> {
 TEST_P(CrashFuzz, RandomCrashPointsRecoverToOracleState) {
   const trace::OpTrace ops = make_ops();
   const usize bytes = table_required_bytes(config());
-  nvm::NvmRegion region = nvm::NvmRegion::create_anonymous(round_up(bytes, 4096));
-  auto mem = region.bytes().first(round_up(bytes, 8));
+  const usize table_span = round_up(bytes, 4096);
+  const usize flight_bytes = obs::flight_required_bytes(kFlightRings, kFlightSlots);
+  nvm::NvmRegion region =
+      nvm::NvmRegion::create_anonymous(table_span + round_up(flight_bytes, 4096));
+  auto all = region.bytes();
+  auto mem = all.first(round_up(bytes, 8));
+  auto flight_mem = all.subspan(table_span, flight_bytes);
 
   // Dry run: learn the event timeline.
-  ShadowPM dry(mem);
-  const RunResult timeline = run(dry, mem, ops, ShadowPM::no_crash());
+  ShadowPM dry(all);
+  const RunResult timeline = run(dry, mem, flight_mem, ops, ShadowPM::no_crash());
   ASSERT_FALSE(timeline.crashed);
   ASSERT_EQ(timeline.ops_completed, ops.ops.size());
   EXPECT_EQ(dry.dirty_word_count(), 0u);
@@ -126,9 +148,9 @@ TEST_P(CrashFuzz, RandomCrashPointsRecoverToOracleState) {
   constexpr u64 kEvictionSeeds = 8;
   for (int trial = 0; trial < kCrashes; ++trial) {
     const u64 crash_at = first_event + rng.next_below(total_events - first_event);
-    std::fill(mem.begin(), mem.end(), std::byte{0});
-    ShadowPM pm(mem);
-    const RunResult r = run(pm, mem, ops, crash_at);
+    std::fill(all.begin(), all.end(), std::byte{0});
+    ShadowPM pm(all);
+    const RunResult r = run(pm, mem, flight_mem, ops, crash_at);
     if (!r.crashed) continue;  // crash point fell into formatting; skip
 
     // Oracle: state after the last completed op; the next op is in flight.
@@ -155,6 +177,14 @@ TEST_P(CrashFuzz, RandomCrashPointsRecoverToOracleState) {
       SCOPED_TRACE("crash at " + std::to_string(crash_at) + ", eviction seed " +
                    std::to_string(ev));
       pm.reset_to_image(images[ev]);
+      // The crash image's flight sidecar must obey the commit-word
+      // protocol: slots are old, new or empty — never torn.
+      if (obs::kEnabled) {
+        const obs::FlightScan fscan = obs::scan_flight(flight_mem);
+        ASSERT_TRUE(fscan.valid_header);
+        EXPECT_EQ(fscan.records_torn, 0u)
+            << "flight commit-word protocol yielded a torn record";
+      }
       auto table = make_table(pm, mem, config(), /*format=*/false);
       const auto report = table->recover();
 

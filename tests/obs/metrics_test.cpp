@@ -73,6 +73,66 @@ TEST(LatencyHistogram, MergeAddsCounts) {
   EXPECT_GE(a.snapshot().max_ns, b.snapshot().max_ns);
 }
 
+/// Two disjoint sample sets (tight cluster + heavy tail) whose union has
+/// percentiles neither part has on its own — the shape a sharded map's
+/// aggregate must reproduce exactly.
+void record_part_a(LatencyHistogram& h) {
+  for (u64 v = 100; v < 200; ++v) h.record(v);
+}
+void record_part_b(LatencyHistogram& h) {
+  for (u64 v = 0; v < 10; ++v) h.record(50'000 + v * 1000);
+}
+
+TEST(HistogramSnapshotMerge, EqualsHistogramOfUnion) {
+  if (!kEnabled) GTEST_SKIP() << "GH_OBS_OFF build";
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram both;
+  record_part_a(a);
+  record_part_a(both);
+  record_part_b(b);
+  record_part_b(both);
+
+  HistogramSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  const HistogramSnapshot uni = both.snapshot();
+
+  // merge() folds the sparse bucket lists and re-derives the statistics
+  // through the same finalize path snapshot() uses, so the aggregate is
+  // EXACTLY the union histogram — not an approximation of it.
+  EXPECT_EQ(merged.count, uni.count);
+  EXPECT_EQ(merged.sum_ns, uni.sum_ns);
+  EXPECT_EQ(merged.max_ns, uni.max_ns);
+  EXPECT_EQ(merged.buckets, uni.buckets);
+  EXPECT_DOUBLE_EQ(merged.mean_ns, uni.mean_ns);
+  EXPECT_DOUBLE_EQ(merged.p50_ns, uni.p50_ns);
+  EXPECT_DOUBLE_EQ(merged.p95_ns, uni.p95_ns);
+  EXPECT_DOUBLE_EQ(merged.p99_ns, uni.p99_ns);
+  // The union's tail statistics come from part B alone: p99 and max land
+  // in the 50µs+ cluster even though A has 10× the samples.
+  EXPECT_GT(uni.p99_ns, a.snapshot().p99_ns * 10);
+}
+
+TEST(HistogramSnapshotMerge, EmptyIsIdentityBothWays) {
+  if (!kEnabled) GTEST_SKIP() << "GH_OBS_OFF build";
+  LatencyHistogram h;
+  record_part_a(h);
+  const HistogramSnapshot base = h.snapshot();
+
+  HistogramSnapshot lhs = base;
+  lhs.merge(HistogramSnapshot{});
+  EXPECT_EQ(lhs.count, base.count);
+  EXPECT_EQ(lhs.buckets, base.buckets);
+  EXPECT_DOUBLE_EQ(lhs.p99_ns, base.p99_ns);
+
+  HistogramSnapshot rhs;
+  rhs.merge(base);
+  EXPECT_EQ(rhs.count, base.count);
+  EXPECT_EQ(rhs.buckets, base.buckets);
+  EXPECT_DOUBLE_EQ(rhs.p50_ns, base.p50_ns);
+  EXPECT_EQ(rhs.max_ns, base.max_ns);
+}
+
 TEST(StripedCounter, AddAndLoadAcrossThreads) {
   if (!kEnabled) GTEST_SKIP() << "GH_OBS_OFF build";
   StripedCounter c;

@@ -3,23 +3,33 @@
 // exercise end to end).
 //
 //   gh_stats <file.gh> [--format=json|prom|text] [--registry]
-//   gh_stats --selftest [--format=json|prom|text]
+//   gh_stats --flight <file.flight> [--trace=out.json]
+//   gh_stats --selftest [--format=json|prom|text] [--keep]
 //
 // --registry additionally dumps the process-wide MetricsRegistry (named
 // counters/histograms registered by every open map in this process).
 //
+// --flight scans a flight-recorder sidecar offline (no map open): prints
+// the crash-forensics timeline, and with --trace=<out> also writes a
+// Chrome trace-event JSON (chrome://tracing, Perfetto) of the records.
+//
 // --selftest is the CI smoke path: build a temporary map, write through
 // it, close, reopen, snapshot, export, and validate the JSON against the
-// schema marker — exit 0 only if every step holds.
+// schema marker — exit 0 only if every step holds. --keep leaves the
+// temporary map (and its .flight sidecar) behind for follow-up steps.
 //
 // Exit codes: 0 ok, 1 snapshot/schema check failed, 2 usage/IO error.
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/group_hash_map.hpp"
 #include "core/inspect.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/snapshot.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
@@ -108,16 +118,52 @@ int dump(const std::string& path, const std::string& format, bool registry) {
   return emit(map.snapshot(), format, registry);
 }
 
+/// Offline flight-sidecar scan: timeline to stdout, optional Chrome
+/// trace JSON to `trace_path`. Works without opening (or consuming) the
+/// map the sidecar belongs to.
+int dump_flight(const std::string& path, const std::string& trace_path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "gh_stats: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  const gh::obs::FlightScan scan = gh::obs::scan_flight(
+      std::span<const std::byte>(reinterpret_cast<const std::byte*>(raw.data()),
+                                 raw.size()));
+  if (!scan.valid_header) {
+    std::fprintf(stderr, "gh_stats: %s is not a valid flight sidecar\n", path.c_str());
+    return 1;
+  }
+  std::printf("%s", gh::obs::flight_timeline_text(scan).c_str());
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "gh_stats: cannot write %s\n", trace_path.c_str());
+      return 2;
+    }
+    out << gh::obs::flight_trace_json(scan);
+    std::fprintf(stderr, "gh_stats: wrote trace to %s\n", trace_path.c_str());
+  }
+  return 0;
+}
+
 /// CI smoke: create → write → close → reopen → snapshot → export →
 /// validate. Returns 0 only when the snapshot carries what the writes
 /// implied and the JSON passes the structural check.
-int selftest(const std::string& format) {
+int selftest(const std::string& format, bool keep) {
   const std::string path = std::string(std::getenv("TMPDIR") ? std::getenv("TMPDIR") : "/tmp") +
                            "/gh_stats_selftest.gh";
+  const std::string flight_path = path + ".flight";
   std::remove(path.c_str());
+  std::remove(flight_path.c_str());
   constexpr gh::u64 kKeys = 2000;
   {
-    auto map = gh::GroupHashMap::create(path, {.initial_cells = 1 << 12});
+    // kFull flight mode: every op leaves a record, so the sidecar scan
+    // below is deterministic regardless of the sampling shift.
+    auto map = gh::GroupHashMap::create(
+        path, {.initial_cells = 1 << 12, .flight_mode = gh::obs::FlightMode::kFull});
     for (gh::u64 k = 1; k <= kKeys; ++k) map.put(k, k * 3);
     const gh::obs::Snapshot live = map.snapshot();
     // Latency histograms are sampled (1 in 2^6 ops by default), so the
@@ -151,8 +197,34 @@ int selftest(const std::string& format) {
     std::fprintf(stderr, "gh_stats: prometheus export missing gh_size\n");
     return 1;
   }
+  // Flight sidecar invariants: present with a valid header and no torn
+  // records when observability is compiled in; never created under
+  // GH_OBS_OFF (the CI obs-off lane asserts the same from the outside).
+  std::error_code ec;
+  if (std::filesystem::exists(flight_path, ec) != gh::obs::kEnabled) {
+    std::fprintf(stderr, "gh_stats: flight sidecar %s unexpectedly %s\n",
+                 flight_path.c_str(), gh::obs::kEnabled ? "missing" : "present");
+    return 1;
+  }
+  if (gh::obs::kEnabled) {
+    // Touch the reopened map so the fresh rings carry records, then scan
+    // the sidecar offline through the same path `--flight` uses.
+    for (gh::u64 k = 1; k <= 64; ++k) map.put(k, k);
+    if (dump_flight(flight_path, "") != 0) {
+      std::fprintf(stderr, "gh_stats: flight sidecar scan failed\n");
+      return 1;
+    }
+    if (!s.flight.enabled) {
+      std::fprintf(stderr, "gh_stats: snapshot flight section disabled\n");
+      return 1;
+    }
+  }
   const int rc = emit(s, format, /*registry=*/false);
-  std::remove(path.c_str());
+  if (!keep) {
+    map.close();
+    std::remove(path.c_str());
+    std::remove(flight_path.c_str());
+  }
   if (rc == 0) std::fprintf(stderr, "gh_stats: selftest OK (obs %s)\n",
                             gh::obs::kEnabled ? "on" : "compiled out");
   return rc;
@@ -164,11 +236,26 @@ int main(int argc, char** argv) {
   const gh::Cli cli(argc, argv);
   const std::string format = cli.get_or("format", "text");
   try {
-    if (cli.has("selftest")) return selftest(format);
+    if (cli.has("selftest")) return selftest(format, cli.has("keep"));
+    if (cli.has("flight")) {
+      // Accept both --flight=<file> and `--flight <file>` (positional).
+      // A bare --flight parses as the flag sentinel "1"; the file is then
+      // the first positional argument.
+      std::string fpath = cli.get_or("flight", "");
+      if (fpath.empty() || fpath == "1") {
+        fpath = cli.positional().empty() ? "" : cli.positional().front();
+      }
+      if (fpath.empty()) {
+        std::fprintf(stderr, "usage: gh_stats --flight <file.flight> [--trace=out.json]\n");
+        return 2;
+      }
+      return dump_flight(fpath, cli.get_or("trace", ""));
+    }
     if (cli.positional().empty()) {
       std::fprintf(stderr,
                    "usage: gh_stats <file.gh> [--format=json|prom|text] [--registry]\n"
-                   "       gh_stats --selftest [--format=...]\n");
+                   "       gh_stats --flight <file.flight> [--trace=out.json]\n"
+                   "       gh_stats --selftest [--format=...] [--keep]\n");
       return 2;
     }
     const std::string& path = cli.positional().front();
