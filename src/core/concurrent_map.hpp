@@ -27,6 +27,7 @@
 #include <atomic>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/group_hash_map.hpp"
@@ -103,6 +104,78 @@ class BasicConcurrentGroupHashMap {
     ShardState& sh = shard(key);
     SeqLockWriteGuard guard(sh.lock, &sh.contention);
     return sh.map.erase(key);
+  }
+
+  /// Batched lookup: keys are bucketed by shard; each shard's sub-batch
+  /// resolves under ONE optimistic epoch validation (all its tag scans
+  /// and cell reads together — the same one-epoch argument as a single
+  /// optimistic_find), retrying and finally falling back to the shard
+  /// lock plus the map's prefetching get_batch. out[i] receives the
+  /// result for keys[i].
+  void get_batch(std::span<const key_type> keys, std::span<std::optional<u64>> out) {
+    GH_CHECK_MSG(keys.size() == out.size(), "get_batch spans must have equal size");
+    if (keys.empty()) return;
+    std::vector<std::vector<u32>> buckets = bucket_by_shard(keys);
+    std::vector<key_type> sub_keys;
+    std::vector<std::optional<u64>> sub_out;
+    for (usize s = 0; s < shards_.size(); ++s) {
+      if (buckets[s].empty()) continue;
+      sub_keys.clear();
+      for (const u32 i : buckets[s]) sub_keys.push_back(keys[i]);
+      sub_out.assign(sub_keys.size(), std::nullopt);
+      shard_get_batch(*shards_[s], sub_keys, sub_out);
+      for (usize w = 0; w < buckets[s].size(); ++w) out[buckets[s][w]] = sub_out[w];
+    }
+  }
+
+  /// Batched insert-or-update: each shard's sub-batch runs under one
+  /// write-lock acquisition through the shard map's fence-coalescing
+  /// put_batch. A key always routes to the same shard and in-shard order
+  /// follows batch order, so duplicate keys keep sequential last-wins
+  /// semantics.
+  void put_batch(std::span<const key_type> keys, std::span<const u64> values) {
+    GH_CHECK_MSG(keys.size() == values.size(), "put_batch spans must have equal size");
+    if (keys.empty()) return;
+    std::vector<std::vector<u32>> buckets = bucket_by_shard(keys);
+    std::vector<key_type> sub_keys;
+    std::vector<u64> sub_vals;
+    for (usize s = 0; s < shards_.size(); ++s) {
+      if (buckets[s].empty()) continue;
+      sub_keys.clear();
+      sub_vals.clear();
+      for (const u32 i : buckets[s]) {
+        sub_keys.push_back(keys[i]);
+        sub_vals.push_back(values[i]);
+      }
+      ShardState& sh = *shards_[s];
+      SeqLockWriteGuard guard(sh.lock, &sh.contention);
+      sh.map.put_batch(sub_keys, sub_vals);
+      sh.republish_view_if_moved();
+    }
+  }
+
+  /// Batched erase with per-shard fence coalescing. When `hits` is
+  /// non-empty it must be keys.size() long; hits[i] is set to 1 if
+  /// keys[i] was present.
+  void erase_batch(std::span<const key_type> keys, std::span<u8> hits = {}) {
+    GH_CHECK_MSG(hits.empty() || hits.size() == keys.size(),
+                 "erase_batch hits span must match keys");
+    if (keys.empty()) return;
+    std::vector<std::vector<u32>> buckets = bucket_by_shard(keys);
+    std::vector<key_type> sub_keys;
+    std::vector<u8> sub_hits;
+    for (usize s = 0; s < shards_.size(); ++s) {
+      if (buckets[s].empty()) continue;
+      sub_keys.clear();
+      for (const u32 i : buckets[s]) sub_keys.push_back(keys[i]);
+      if (!hits.empty()) sub_hits.assign(sub_keys.size(), 0);
+      ShardState& sh = *shards_[s];
+      SeqLockWriteGuard guard(sh.lock, &sh.contention);
+      sh.map.erase_batch(sub_keys, hits.empty() ? std::span<u8>{} : std::span<u8>(sub_hits));
+      if (!hits.empty()) {
+        for (usize w = 0; w < buckets[s].size(); ++w) hits[buckets[s][w]] = sub_hits[w];
+      }
+    }
   }
 
   [[nodiscard]] u64 size() {
@@ -206,6 +279,47 @@ class BasicConcurrentGroupHashMap {
   };
 
   ShardState& shard(const key_type& key) { return *shards_[shard_of(key)]; }
+
+  [[nodiscard]] std::vector<std::vector<u32>> bucket_by_shard(
+      std::span<const key_type> keys) const {
+    std::vector<std::vector<u32>> buckets(shards_.size());
+    for (usize i = 0; i < keys.size(); ++i) {
+      buckets[shard_of(keys[i])].push_back(static_cast<u32>(i));
+    }
+    return buckets;
+  }
+
+  /// One shard's share of get_batch: the whole sub-batch probes under a
+  /// single epoch check. Validation failure retries the sub-batch, then
+  /// falls back to the lock (where the shard map's prefetching find_batch
+  /// still applies).
+  void shard_get_batch(ShardState& sh, std::span<const key_type> keys,
+                       std::span<std::optional<u64>> out) {
+    if (mode_ == LockMode::kOptimistic) {
+      u64 retries = 0;
+      for (u32 attempt = 0; attempt < max_optimistic_attempts_; ++attempt) {
+        const u64 epoch = sh.lock.read_begin();
+        if (!SeqLock::epoch_stable(epoch)) {
+          ++retries;
+          cpu_relax();
+          continue;
+        }
+        const ReadView* view = sh.view.load(std::memory_order_acquire);
+        for (usize i = 0; i < keys.size(); ++i) {
+          out[i] = core::optimistic_find(*view, keys[i]);
+        }
+        if (sh.lock.read_validate(epoch)) {
+          if (retries != 0) sh.contention.read_retries += retries;
+          return;
+        }
+        ++retries;
+      }
+      sh.contention.read_retries += retries;
+      sh.contention.read_fallbacks += 1;
+    }
+    SeqLockReadGuard guard(sh.lock);
+    sh.map.get_batch(keys, out);
+  }
 
   [[nodiscard]] usize shard_of(const key_type& key) const {
     // Shard routing must be independent of the in-table hash; use a

@@ -63,9 +63,15 @@ usize ConcurrentStringMap::shard_of(std::string_view key) const {
 
 bool ConcurrentStringMap::optimistic_probe(const Snapshot& snap, std::string_view key,
                                            const Key128& fp, std::optional<u64>& out) {
-  const core::TableReadView<hash::Cell32> view{snap.tab1, snap.tab2, snap.mask,
-                                               snap.group_size,
-                                               hash::SeededHash(snap.seed)};
+  core::TableReadView<hash::Cell32> view;
+  view.tab1 = snap.tab1;
+  view.tab2 = snap.tab2;
+  view.mask = snap.mask;
+  view.group_size = snap.group_size;
+  view.hash = hash::SeededHash(snap.seed);
+  view.tags = snap.tags;
+  view.tags1 = snap.tags1;
+  view.tags2 = snap.tags2;
   const auto offset = core::optimistic_find(view, fp);
   if (!offset.has_value()) {
     out = std::nullopt;  // absent (trustworthy iff the epoch validates)
@@ -119,6 +125,68 @@ std::optional<u64> ConcurrentStringMap::get(std::string_view key) {
   }
   SeqLockReadGuard guard(sh.lock);
   return sh.map.get(key);
+}
+
+void ConcurrentStringMap::get_batch(std::span<const std::string_view> keys,
+                                    std::span<std::optional<u64>> out) {
+  GH_CHECK_MSG(keys.size() == out.size(), "get_batch spans must have equal size");
+  if (keys.empty()) return;
+  std::vector<std::vector<u32>> buckets(shards_.size());
+  for (usize i = 0; i < keys.size(); ++i) {
+    buckets[shard_of(keys[i])].push_back(static_cast<u32>(i));
+  }
+  std::vector<std::string_view> sub_keys;
+  std::vector<Key128> sub_fps;
+  std::vector<std::optional<u64>> sub_out;
+  for (usize s = 0; s < shards_.size(); ++s) {
+    if (buckets[s].empty()) continue;
+    ShardState& sh = *shards_[s];
+    sub_keys.clear();
+    bool optimistic_eligible = mode_ == LockMode::kOptimistic;
+    for (const u32 i : buckets[s]) {
+      sub_keys.push_back(keys[i]);
+      if (keys[i].size() > kMaxOptimisticKeyBytes) optimistic_eligible = false;
+    }
+    sub_out.assign(sub_keys.size(), std::nullopt);
+    bool resolved = false;
+    if (optimistic_eligible) {
+      sub_fps.clear();
+      for (const auto k : sub_keys) sub_fps.push_back(PersistentStringMap::fingerprint(k));
+      u64 retries = 0;
+      for (u32 attempt = 0; attempt < max_optimistic_attempts_; ++attempt) {
+        const u64 epoch = sh.lock.read_begin();
+        if (!SeqLock::epoch_stable(epoch)) {
+          ++retries;
+          cpu_relax();
+          continue;
+        }
+        const Snapshot* snap = sh.snapshot.load(std::memory_order_acquire);
+        bool conclusive = true;
+        for (usize w = 0; w < sub_keys.size() && conclusive; ++w) {
+          conclusive = optimistic_probe(*snap, sub_keys[w], sub_fps[w], sub_out[w]);
+        }
+        if (sh.lock.read_validate(epoch) && conclusive) {
+          if (retries != 0) sh.contention.read_retries += retries;
+          resolved = true;
+          break;
+        }
+        if (conclusive) {
+          ++retries;
+        } else {
+          break;  // genuine anomaly: let the locked path re-check and report
+        }
+      }
+      if (!resolved) {
+        sh.contention.read_retries += retries;
+        sh.contention.read_fallbacks += 1;
+      }
+    }
+    if (!resolved) {
+      SeqLockReadGuard guard(sh.lock);
+      sh.map.get_batch(sub_keys, sub_out);
+    }
+    for (usize w = 0; w < buckets[s].size(); ++w) out[buckets[s][w]] = sub_out[w];
+  }
 }
 
 void ConcurrentStringMap::put(std::string_view key, u64 value) {

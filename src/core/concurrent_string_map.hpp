@@ -28,6 +28,7 @@
 #include <atomic>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -61,6 +62,14 @@ class ConcurrentStringMap {
   [[nodiscard]] std::optional<u64> get(std::string_view key);
   [[nodiscard]] bool contains(std::string_view key) { return get(key).has_value(); }
   bool erase(std::string_view key);
+
+  /// Batched lookup: keys are bucketed by shard; each shard's sub-batch
+  /// probes lock-free under ONE epoch validation, falling back to the
+  /// shard lock (and the shard map's prefetching get_batch) on epoch
+  /// churn, an oversized key, or a probe anomaly. out[i] receives the
+  /// result for keys[i].
+  void get_batch(std::span<const std::string_view> keys,
+                 std::span<std::optional<u64>> out);
 
   [[nodiscard]] u64 size();
   [[nodiscard]] usize shard_count() const { return shards_.size(); }

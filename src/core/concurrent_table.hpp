@@ -27,6 +27,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/optimistic_read.hpp"
@@ -110,6 +111,25 @@ class BasicConcurrentGroupHashTable {
     }
     SeqLockReadGuard guard(st.lock);
     return table_->find(key);
+  }
+
+  /// Batched lookup: software-prefetches each upcoming key's level-1 cell
+  /// and group tag bytes through the immutable view (safe without any
+  /// lock — prefetching never reads), then resolves each key with its own
+  /// stripe-validated find(); keys in one batch generally span many
+  /// stripes, so a single shared epoch does not exist at this layer.
+  void find_batch(std::span<const key_type> keys, std::span<std::optional<u64>> out) {
+    GH_CHECK_MSG(keys.size() == out.size(), "find_batch spans must have equal size");
+    constexpr usize kLookahead = 8;
+    for (usize i = 0; i < keys.size(); ++i) {
+      if (i + kLookahead < keys.size()) {
+        const u64 h = hash_(keys[i + kLookahead]);
+        const u64 k = h & view_.mask;
+        __builtin_prefetch(&view_.tab1[k]);
+        __builtin_prefetch(view_.tags2 + (k - k % view_.group_size));
+      }
+      out[i] = find(keys[i]);
+    }
   }
 
   bool update(const key_type& key, u64 value) {

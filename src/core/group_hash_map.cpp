@@ -279,6 +279,57 @@ void BasicGroupHashMap<Cell>::put(const key_type& key, u64 value) {
 }
 
 template <class Cell>
+void BasicGroupHashMap<Cell>::get_batch(std::span<const key_type> keys,
+                                        std::span<std::optional<u64>> out) {
+  if (keys.empty()) return;
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
+  const u64 f = flight_begin(obs::OpKind::kFind, trace_key(keys[0]));
+  table().find_batch(keys, out);
+  flight_end(f, obs::OpKind::kFind, trace_key(keys[0]));
+  op_finish(obs::OpKind::kFind, trace_key(keys[0]), t0, l0);
+}
+
+template <class Cell>
+void BasicGroupHashMap<Cell>::put_batch(std::span<const key_type> keys,
+                                        std::span<const u64> values) {
+  GH_CHECK_MSG(!closed_, "map is closed");
+  GH_CHECK_MSG(keys.size() == values.size(), "put_batch spans must have equal size");
+  if (keys.empty()) return;
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
+  const u64 f = flight_begin(obs::OpKind::kInsert, trace_key(keys[0]));
+  // upsert_batch applies a strict prefix and returns its length; a short
+  // return means a placement failed, so expand (with put()'s failure
+  // semantics) and resubmit the remainder.
+  usize done = 0;
+  while (done < keys.size()) {
+    done += table().upsert_batch(keys.subspan(done), values.subspan(done));
+    if (done == keys.size()) break;
+    if (!options_.auto_expand) throw std::runtime_error("GroupHashMap is full");
+    if (!try_expand()) {
+      throw MapDegradedError("GroupHashMap insert deferred: expansion failing (" +
+                             last_expand_error_ + "); will retry with backoff");
+    }
+  }
+  flight_end(f, obs::OpKind::kInsert, trace_key(keys[0]));
+  op_finish(obs::OpKind::kInsert, trace_key(keys[0]), t0, l0);
+}
+
+template <class Cell>
+void BasicGroupHashMap<Cell>::erase_batch(std::span<const key_type> keys,
+                                          std::span<u8> hits) {
+  GH_CHECK_MSG(!closed_, "map is closed");
+  if (keys.empty()) return;
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
+  const u64 f = flight_begin(obs::OpKind::kErase, trace_key(keys[0]));
+  table().erase_batch(keys, hits);
+  flight_end(f, obs::OpKind::kErase, trace_key(keys[0]));
+  op_finish(obs::OpKind::kErase, trace_key(keys[0]), t0, l0);
+}
+
+template <class Cell>
 std::optional<u64> BasicGroupHashMap<Cell>::get(const key_type& key) {
   const u64 t0 = op_start();
   const u64 l0 = lines_before();

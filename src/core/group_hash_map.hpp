@@ -144,12 +144,29 @@ class BasicGroupHashMap {
   /// Batched lookup with software prefetching (see
   /// hash::GroupHashTable::find_batch). out[i] receives the result for
   /// keys[i].
-  void get_batch(std::span<const key_type> keys, std::span<std::optional<u64>> out) {
-    table().find_batch(keys, out);
-  }
+  void get_batch(std::span<const key_type> keys, std::span<std::optional<u64>> out);
+
+  /// Batched insert-or-update with coalesced persist fences (see
+  /// hash::GroupHashTable::upsert_batch): within a window, payload
+  /// flushes share one fence and commit flushes share another, so the
+  /// fence cost amortises across keys while each cell still commits with
+  /// its own 8-byte atomic store. Keys are applied strictly in order;
+  /// duplicate keys within the batch behave as sequential puts (last one
+  /// wins). Expansion (and its failure modes) matches put(): throws
+  /// std::runtime_error when full with auto_expand off, MapDegradedError
+  /// when expansion is failing — keys before the failing one are already
+  /// durably applied.
+  void put_batch(std::span<const key_type> keys, std::span<const u64> values);
 
   /// Removes the key; returns whether it was present.
   bool erase(const key_type& key);
+
+  /// Batched erase with coalesced persist fences (see
+  /// hash::GroupHashTable::erase_batch). When `hits` is non-empty it must
+  /// be keys.size() long; hits[i] is set to 1 if keys[i] was present.
+  /// Duplicate keys within the batch behave sequentially (the second
+  /// erase of a key misses).
+  void erase_batch(std::span<const key_type> keys, std::span<u8> hits = {});
 
   /// Visit all (key, value) pairs.
   template <class Fn>

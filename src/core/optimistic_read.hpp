@@ -24,14 +24,24 @@
 //
 // All loads are atomic, so this path is clean under ThreadSanitizer by
 // construction rather than by suppression.
+// Fingerprint-tag filtering on this path scans the group's DRAM tag
+// bytes with per-byte relaxed atomic loads (NOT the SIMD sweep — mixed
+// plain/atomic accesses of bytes a writer is mutating would race; the
+// seqlock epoch validation is what makes the filtered result trustworthy:
+// a writer racing with the scan holds the write lock, so validation fails
+// and the probe retries). The view holds shared ownership of the tag
+// block, so a retired view's tags outlive the expansion that replaced
+// the table, exactly like the retained region.
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <optional>
 
 #include "hash/cells.hpp"
 #include "hash/group_hashing.hpp"
 #include "hash/hash_functions.hpp"
+#include "hash/tag_probe.hpp"
 #include "util/types.hpp"
 
 namespace gh::core {
@@ -50,6 +60,9 @@ struct TableReadView {
   u64 mask = 0;
   u32 group_size = 1;
   hash::SeededHash hash{0};
+  std::shared_ptr<const u8[]> tags;  ///< keeps the DRAM tag block alive
+  const u8* tags1 = nullptr;
+  const u8* tags2 = nullptr;
 
   template <class PM>
   [[nodiscard]] static TableReadView of(const hash::GroupHashTable<Cell, PM>& table) {
@@ -59,6 +72,9 @@ struct TableReadView {
     v.mask = table.level_cells() - 1;
     v.group_size = table.group_size();
     v.hash = hash::SeededHash(table.seed());
+    v.tags = table.tags_shared();
+    v.tags1 = v.tags.get();
+    v.tags2 = v.tags1 + table.level_cells();
     return v;
   }
 };
@@ -81,15 +97,24 @@ struct TableReadView {
   return atomic_load_acquire(cell.value);
 }
 
-/// Algorithm 2 over a view. The result is only meaningful if the caller's
-/// subsequent epoch validation succeeds.
+/// Algorithm 2 over a view, tag-filtered. The tag scan and the cell reads
+/// happen under ONE epoch check (the caller validates after this
+/// returns): a validated probe implies no writer touched the shard, so
+/// the tag⟺cell invariant held for the whole scan and the filter cannot
+/// have produced a false negative. The result is only meaningful if that
+/// validation succeeds.
 template <class Cell>
 [[nodiscard]] std::optional<u64> optimistic_find(const TableReadView<Cell>& view,
                                                  const typename Cell::key_type& key) {
-  const u64 k = view.hash(key) & view.mask;
-  if (const auto hit = optimistic_read_cell(view.tab1[k], key)) return hit;
+  const u64 h = view.hash(key);
+  const u64 k = h & view.mask;
+  const u8 tag = hash::tag_of_hash(h);
+  if (hash::tag_load_relaxed(view.tags1 + k) == tag) {
+    if (const auto hit = optimistic_read_cell(view.tab1[k], key)) return hit;
+  }
   const u64 j = k - k % view.group_size;
   for (u32 i = 0; i < view.group_size; ++i) {
+    if (hash::tag_load_relaxed(view.tags2 + j + i) != tag) continue;
     if (const auto hit = optimistic_read_cell(view.tab2[j + i], key)) return hit;
   }
   return std::nullopt;

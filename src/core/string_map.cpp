@@ -1,5 +1,6 @@
 #include "core/string_map.hpp"
 
+#include <array>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -300,6 +301,9 @@ PersistentStringMap::ReadSnapshot PersistentStringMap::read_snapshot() const {
   s.seed = table().seed();
   s.arena_data = arena().data();
   s.arena_capacity = arena().capacity();
+  s.tags = table().tags_shared();
+  s.tags1 = s.tags.get();
+  s.tags2 = s.tags1 + table().level_cells();
   return s;
 }
 
@@ -401,6 +405,184 @@ bool PersistentStringMap::try_rebuild(Fn&& fn) {
   compact_backoff_ = 0;
   compact_cooldown_ = 0;
   return true;
+}
+
+void PersistentStringMap::get_batch(std::span<const std::string_view> keys,
+                                    std::span<std::optional<u64>> out) {
+  GH_CHECK_MSG(keys.size() == out.size(), "get_batch spans must have equal size");
+  if (keys.empty()) return;
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
+  std::vector<Key128> fps(keys.size());
+  for (usize i = 0; i < keys.size(); ++i) fps[i] = fingerprint(keys[i]);
+  const u64 f = flight_begin(obs::OpKind::kFind, fps[0].lo);
+  table().find_batch(fps, out);
+  // Verify key bytes, prefetching a few records ahead so the arena loads
+  // overlap the byte compares.
+  constexpr usize kLookahead = 4;
+  for (usize i = 0; i < keys.size(); ++i) {
+    if (i + kLookahead < keys.size() && out[i + kLookahead]) {
+      __builtin_prefetch(arena().read(*out[i + kLookahead], kRecordHeaderBytes).data());
+    }
+    if (!out[i]) continue;
+    const Record rec = load_record(*out[i]);
+    if (rec.key != keys[i]) {
+      throw std::runtime_error("fingerprint collision between distinct keys");
+    }
+    out[i] = rec.value;
+  }
+  flight_end(f, obs::OpKind::kFind, fps[0].lo);
+  op_finish(obs::OpKind::kFind, fps[0].lo, t0, l0);
+}
+
+void PersistentStringMap::put_batch(std::span<const std::string_view> keys,
+                                    std::span<const u64> values) {
+  GH_CHECK_MSG(!closed_, "map is closed");
+  GH_CHECK_MSG(keys.size() == values.size(), "put_batch spans must have equal size");
+  if (keys.empty()) return;
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
+  std::vector<Key128> fps(keys.size());
+  for (usize i = 0; i < keys.size(); ++i) fps[i] = fingerprint(keys[i]);
+  const u64 f = flight_begin(obs::OpKind::kInsert, fps[0].lo);
+
+  // Windowed two-phase protocol mirroring the table's: per window, one
+  // prefetching find_batch sweep splits keys into updates (in-place
+  // 8-byte value overwrites, flushed now, fenced once) and news (records
+  // appended now, cells inserted through the table's fence-coalesced
+  // insert_batch). A duplicate of a record appended earlier in the same
+  // window updates that record in place — it is not yet reachable from
+  // the table, so this is last-wins exactly like sequential puts;
+  // duplicates across windows land on the committed cell via find_batch.
+  constexpr usize kWindow = Table::kBatchWindow;
+  struct Pending {
+    usize idx;   ///< index into keys (first occurrence)
+    u64 offset;  ///< appended record
+    u64 latest;  ///< latest value stored into the record
+  };
+  std::array<std::optional<u64>, kWindow> found;
+  std::vector<Pending> news;
+  std::vector<Key128> new_fps;
+  std::vector<u64> new_offsets;
+  news.reserve(kWindow);
+
+  usize i = 0;
+  u32 grow_attempt = 0;
+  while (i < keys.size()) {
+    const usize n = std::min<usize>(kWindow, keys.size() - i);
+    table().find_batch(std::span(fps).subspan(i, n), std::span(found.data(), n));
+    news.clear();
+    bool flushed_updates = false;
+    bool arena_full = false;
+    usize consumed = 0;
+    for (usize w = 0; w < n; ++w) {
+      const usize idx = i + w;
+      if (found[w]) {
+        const Record rec = load_record(*found[w]);
+        if (rec.key != keys[idx]) {
+          throw std::runtime_error("fingerprint collision between distinct keys");
+        }
+        if (rec.value != values[idx]) {
+          auto* value_word =
+              const_cast<std::byte*>(arena().read(*found[w], sizeof(u64)).data());
+          pm_->atomic_store_u64(reinterpret_cast<u64*>(value_word), values[idx]);
+          pm_->flush(value_word, sizeof(u64));
+          flushed_updates = true;
+        }
+        consumed++;
+        continue;
+      }
+      Pending* dup = nullptr;
+      for (auto& p : news) {
+        if (fps[p.idx] == fps[idx]) {
+          dup = &p;
+          break;
+        }
+      }
+      if (dup) {
+        if (keys[dup->idx] != keys[idx]) {
+          throw std::runtime_error("fingerprint collision between distinct keys");
+        }
+        auto* value_word =
+            const_cast<std::byte*>(arena().read(dup->offset, sizeof(u64)).data());
+        pm_->atomic_store_u64(reinterpret_cast<u64*>(value_word), values[idx]);
+        pm_->flush(value_word, sizeof(u64));
+        flushed_updates = true;
+        dup->latest = values[idx];
+        consumed++;
+        continue;
+      }
+      const auto offset = append_record(keys[idx], values[idx]);
+      if (!offset) {
+        arena_full = true;
+        break;
+      }
+      news.push_back({idx, *offset, values[idx]});
+      consumed++;
+    }
+    // Durability point of the window. The in-place updates need one
+    // fence; the new records' flushes are covered by insert_batch's own
+    // pre-commit fence, so cells never commit before their records are
+    // durable.
+    if (flushed_updates) pm_->fence();
+    usize inserted = 0;
+    if (!news.empty()) {
+      new_fps.clear();
+      new_offsets.clear();
+      for (const auto& p : news) {
+        new_fps.push_back(fps[p.idx]);
+        new_offsets.push_back(p.offset);
+      }
+      inserted = table().insert_batch(new_fps, new_offsets);
+    }
+    if (inserted < news.size() || arena_full) {
+      // Out of table or arena space. Records appended for the
+      // not-yet-inserted keys are unreachable and will be reclaimed as
+      // garbage by the rebuild; re-apply those keys through put() (at
+      // their latest in-batch value), which runs put()'s own
+      // compact-then-double escalation.
+      if (!options_.auto_compact) throw std::runtime_error("PersistentStringMap is full");
+      for (usize u = inserted; u < news.size(); ++u) {
+        put(keys[news[u].idx], news[u].latest);
+      }
+      if (arena_full) {
+        const bool ok =
+            grow_attempt == 0
+                ? try_rebuild([this] { compact(); })
+                : try_rebuild([this] {
+                    const StringMapStats s = stats();
+                    rebuild(pow2_at_least(s.table_capacity * 2),
+                            std::max<usize>(s.arena_live * 2 + 4096, s.arena_capacity));
+                    compactions_++;
+                  });
+        grow_attempt++;
+        if (!ok) {
+          throw MapDegradedError(
+              "PersistentStringMap insert deferred: compaction failing (" +
+              last_compact_error_ + "); will retry with backoff");
+        }
+      }
+    } else {
+      grow_attempt = 0;
+    }
+    i += consumed;
+  }
+  flight_end(f, obs::OpKind::kInsert, fps[0].lo);
+  op_finish(obs::OpKind::kInsert, fps[0].lo, t0, l0);
+}
+
+void PersistentStringMap::erase_batch(std::span<const std::string_view> keys,
+                                      std::span<u8> hits) {
+  GH_CHECK_MSG(!closed_, "map is closed");
+  if (keys.empty()) return;
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
+  std::vector<Key128> fps(keys.size());
+  for (usize i = 0; i < keys.size(); ++i) fps[i] = fingerprint(keys[i]);
+  const u64 f = flight_begin(obs::OpKind::kErase, fps[0].lo);
+  table().erase_batch(fps, hits);
+  flight_end(f, obs::OpKind::kErase, fps[0].lo);
+  op_finish(obs::OpKind::kErase, fps[0].lo, t0, l0);
 }
 
 std::optional<u64> PersistentStringMap::get(std::string_view key) {

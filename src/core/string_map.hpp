@@ -25,6 +25,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -112,6 +113,31 @@ class PersistentStringMap {
   [[nodiscard]] bool contains(std::string_view key);
   bool erase(std::string_view key);
 
+  /// Batched lookup: fingerprints every key, resolves offsets with the
+  /// index table's prefetching find_batch, then verifies each hit's
+  /// stored key bytes (collision detection identical to get()). out[i]
+  /// receives the result for keys[i].
+  void get_batch(std::span<const std::string_view> keys,
+                 std::span<std::optional<u64>> out);
+
+  /// Batched insert-or-update with coalesced persist fences: per window,
+  /// existing keys get in-place 8-byte value overwrites sharing one
+  /// fence, new keys append their records and insert their cells through
+  /// the table's fence-coalesced insert_batch. Duplicate keys within the
+  /// batch behave as sequential puts (last one wins). Space handling
+  /// matches put() — compaction, then forced doubling, MapDegradedError
+  /// while the rebuild is failing. Keys are applied in order, so on a
+  /// throw every key before the failing one is already durably applied
+  /// (and, because updates coalesce per window, in-place updates staged
+  /// in the failing window may be applied too).
+  void put_batch(std::span<const std::string_view> keys, std::span<const u64> values);
+
+  /// Batched erase with coalesced fences (see
+  /// hash::GroupHashTable::erase_batch). When `hits` is non-empty it must
+  /// be keys.size() long; hits[i] is set to 1 if keys[i] was present.
+  /// Duplicate keys within the batch behave sequentially.
+  void erase_batch(std::span<const std::string_view> keys, std::span<u8> hits = {});
+
   /// Visit every (key, value). Key views are valid only during the call.
   template <class Fn>
   void for_each(Fn&& fn) const {
@@ -124,6 +150,9 @@ class PersistentStringMap {
   [[nodiscard]] u64 size() const { return table().count(); }
   [[nodiscard]] bool empty() const { return size() == 0; }
   [[nodiscard]] bool recovered_on_open() const { return recovered_on_open_; }
+  /// Test hook: full-rescan check of the index table's fingerprint-tag
+  /// invariant (see hash::GroupHashTable::verify_tags).
+  [[nodiscard]] bool debug_verify_tags() const { return table().verify_tags(); }
   /// DEPRECATED: thin alias over the same counters snapshot() reads; kept
   /// for one release. Safe (returns zeros) after abandon().
   [[nodiscard]] StringMapStats stats() const;
@@ -176,6 +205,12 @@ class PersistentStringMap {
     u64 seed = 0;
     const std::byte* arena_data = nullptr;
     u64 arena_capacity = 0;
+    /// DRAM fingerprint-tag block (hash/tag_probe.hpp). Shared ownership:
+    /// a snapshot retired by compaction keeps its (stale) tags alive for
+    /// in-flight optimistic readers, exactly like the retained region.
+    std::shared_ptr<const u8[]> tags;
+    const u8* tags1 = nullptr;
+    const u8* tags2 = nullptr;
   };
   [[nodiscard]] ReadSnapshot read_snapshot() const;
 

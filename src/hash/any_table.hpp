@@ -81,6 +81,36 @@ class AnyTable {
   virtual bool insert(const Key128& key, u64 value) = 0;
   virtual std::optional<u64> find(const Key128& key) = 0;
   virtual bool erase(const Key128& key) = 0;
+
+  /// Batched lookup; out[i] receives the result for keys[i]. The default
+  /// is a scalar loop; schemes with a native batched probe (group
+  /// hashing's prefetching find_batch) override it.
+  virtual void find_batch(std::span<const Key128> keys,
+                          std::span<std::optional<u64>> out) {
+    for (usize i = 0; i < keys.size(); ++i) out[i] = find(keys[i]);
+  }
+
+  /// Batched insert. Applies a strict prefix of the keys in order and
+  /// returns its length (keys.size() unless the table filled up).
+  /// Schemes with fence-coalescing batch support override the default
+  /// scalar loop.
+  virtual usize insert_batch(std::span<const Key128> keys, std::span<const u64> values) {
+    for (usize i = 0; i < keys.size(); ++i) {
+      if (!insert(keys[i], values[i])) return i;
+    }
+    return keys.size();
+  }
+
+  /// Batched erase. When `hits` is non-empty it must be keys.size() long;
+  /// hits[i] is set to 1 if keys[i] was present. Duplicate keys within
+  /// the batch behave sequentially.
+  virtual void erase_batch(std::span<const Key128> keys, std::span<u8> hits = {}) {
+    for (usize i = 0; i < keys.size(); ++i) {
+      const bool hit = erase(keys[i]);
+      if (!hits.empty()) hits[i] = hit ? 1 : 0;
+    }
+  }
+
   virtual RecoveryReport recover() = 0;
   /// Incremental integrity pass over up to `max_groups` checksummed
   /// groups, resuming at an internal wrap-around cursor; lost/salvaged

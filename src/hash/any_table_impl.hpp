@@ -1,6 +1,8 @@
 // Implementation of the AnyTable factory (included by any_table.hpp).
 #pragma once
 
+#include <array>
+#include <concepts>
 #include <type_traits>
 #include <utility>
 
@@ -67,6 +69,87 @@ class TableAdapter final : public AnyTable<PM> {
     op_finish(obs::OpKind::kErase, key.lo, t0, l0);
     return ok;
   }
+  // Batched ops: dispatch to the scheme's native fence-coalescing /
+  // prefetching batch entry points when it has them (group hashing);
+  // otherwise fall back to the base class's scalar loops. Narrow-cell
+  // tables take Key128 input through stack windows of u64 keys.
+  void find_batch(std::span<const Key128> keys,
+                  std::span<std::optional<u64>> out) override {
+    using K = typename Table::key_type;
+    if constexpr (requires(Table& t, std::span<const K> k,
+                           std::span<std::optional<u64>> o) { t.find_batch(k, o); }) {
+      const u64 t0 = op_start();
+      const u64 l0 = lines_before();
+      if constexpr (std::is_same_v<K, Key128>) {
+        table_.find_batch(keys, out);
+      } else {
+        std::array<K, kNarrowChunk> buf;
+        for (usize i = 0; i < keys.size();) {
+          const usize n = std::min(kNarrowChunk, keys.size() - i);
+          for (usize w = 0; w < n; ++w) buf[w] = narrow(keys[i + w]);
+          table_.find_batch(std::span<const K>(buf.data(), n), out.subspan(i, n));
+          i += n;
+        }
+      }
+      op_finish(obs::OpKind::kFind, keys.empty() ? 0 : keys[0].lo, t0, l0);
+    } else {
+      AnyTable<PM>::find_batch(keys, out);
+    }
+  }
+
+  usize insert_batch(std::span<const Key128> keys, std::span<const u64> values) override {
+    using K = typename Table::key_type;
+    if constexpr (requires(Table& t, std::span<const K> k, std::span<const u64> v) {
+                    { t.insert_batch(k, v) } -> std::convertible_to<usize>;
+                  }) {
+      const u64 t0 = op_start();
+      const u64 l0 = lines_before();
+      usize done = 0;
+      if constexpr (std::is_same_v<K, Key128>) {
+        done = table_.insert_batch(keys, values);
+      } else {
+        std::array<K, kNarrowChunk> buf;
+        while (done < keys.size()) {
+          const usize n = std::min(kNarrowChunk, keys.size() - done);
+          for (usize w = 0; w < n; ++w) buf[w] = narrow(keys[done + w]);
+          const usize got = table_.insert_batch(std::span<const K>(buf.data(), n),
+                                                values.subspan(done, n));
+          done += got;
+          if (got < n) break;
+        }
+      }
+      op_finish(obs::OpKind::kInsert, keys.empty() ? 0 : keys[0].lo, t0, l0);
+      return done;
+    } else {
+      return AnyTable<PM>::insert_batch(keys, values);
+    }
+  }
+
+  void erase_batch(std::span<const Key128> keys, std::span<u8> hits = {}) override {
+    using K = typename Table::key_type;
+    if constexpr (requires(Table& t, std::span<const K> k, std::span<u8> h) {
+                    t.erase_batch(k, h);
+                  }) {
+      const u64 t0 = op_start();
+      const u64 l0 = lines_before();
+      if constexpr (std::is_same_v<K, Key128>) {
+        table_.erase_batch(keys, hits);
+      } else {
+        std::array<K, kNarrowChunk> buf;
+        for (usize i = 0; i < keys.size();) {
+          const usize n = std::min(kNarrowChunk, keys.size() - i);
+          for (usize w = 0; w < n; ++w) buf[w] = narrow(keys[i + w]);
+          table_.erase_batch(std::span<const K>(buf.data(), n),
+                             hits.empty() ? std::span<u8>{} : hits.subspan(i, n));
+          i += n;
+        }
+      }
+      op_finish(obs::OpKind::kErase, keys.empty() ? 0 : keys[0].lo, t0, l0);
+    } else {
+      AnyTable<PM>::erase_batch(keys, hits);
+    }
+  }
+
   RecoveryReport recover() override {
     const u64 t0 = op_start();
     const u64 l0 = lines_before();
@@ -142,6 +225,9 @@ class TableAdapter final : public AnyTable<PM> {
   [[nodiscard]] Table& inner() { return table_; }
 
  private:
+  /// Stack-window size for narrowing Key128 batches to u64 keys.
+  static constexpr usize kNarrowChunk = 256;
+
   static typename Table::key_type narrow(const Key128& key) {
     if constexpr (std::is_same_v<typename Table::key_type, u64>) {
       GH_DCHECK(key.hi == 0 && key.lo <= Cell16::kMaxKey);

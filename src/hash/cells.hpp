@@ -85,6 +85,56 @@ struct Cell16 {
     pm.store_u64(&value, 0);
     pm.persist(this, kSize);
   }
+
+  // --- batched (fence-coalesced) protocol ----------------------------------
+  // publish() split in two so a window of inserts shares two fences:
+  //   stage_payload × n → fence → commit_staged × n → fence
+  // The per-cell ordering invariant is identical to publish(): the commit
+  // word can only become durable after the window's payload fence, so any
+  // committed cell found by recovery has a durable payload.
+
+  /// Phase 1: write the payload and flush its line, no fence.
+  template <class PM>
+  void stage_payload(PM& pm, key_type, u64 v) {
+    pm.store_u64(&value, v);
+    pm.flush(&value, sizeof(value));
+  }
+
+  /// Re-stage the value of a cell staged earlier in the same window
+  /// (duplicate key inside one batch; the commit word is still unset).
+  template <class PM>
+  void stage_value(PM& pm, u64 v) {
+    pm.store_u64(&value, v);
+    pm.flush(&value, sizeof(value));
+  }
+
+  /// Phase 2 (after the window's payload fence): atomically set the
+  /// commit word and flush it; the caller fences once per window.
+  template <class PM>
+  void commit_staged(PM& pm, key_type k) {
+    GH_DCHECK(k <= kMaxKey);
+    pm.atomic_store_u64(&word0, k | kOccupiedBit);
+    pm.flush(&word0, sizeof(word0));
+  }
+
+  // retract() split the same way for batched erase:
+  //   retract_commit × n → fence → retract_wipe × n → fence
+  // Mandatory order for this layout: word0 carries the key, so a wipe
+  // must never reach media while the old commit word could still be live.
+
+  /// Phase 1: atomically clear the commit word and flush, no fence.
+  template <class PM>
+  void retract_commit(PM& pm) {
+    pm.atomic_store_u64(&word0, 0);
+    pm.flush(&word0, sizeof(word0));
+  }
+
+  /// Phase 2 (after the clears' fence): wipe the payload and flush.
+  template <class PM>
+  void retract_wipe(PM& pm) {
+    pm.store_u64(&value, 0);
+    pm.flush(&value, sizeof(value));
+  }
 };
 static_assert(sizeof(Cell16) == Cell16::kSize);
 
@@ -141,6 +191,42 @@ struct Cell32 {
     pm.store_u64(&key_hi, 0);
     pm.store_u64(&value, 0);
     pm.persist(this, kSize);
+  }
+
+  // --- batched (fence-coalesced) protocol — see Cell16 for the shape ------
+
+  template <class PM>
+  void stage_payload(PM& pm, const Key128& k, u64 v) {
+    pm.store_u64(&key_lo, k.lo);
+    pm.store_u64(&key_hi, k.hi);
+    pm.store_u64(&value, v);
+    pm.flush(&key_lo, 3 * sizeof(u64));
+  }
+
+  template <class PM>
+  void stage_value(PM& pm, u64 v) {
+    pm.store_u64(&value, v);
+    pm.flush(&value, sizeof(value));
+  }
+
+  template <class PM>
+  void commit_staged(PM& pm, const Key128& k) {
+    pm.atomic_store_u64(&meta, kOccupiedBit | tag_of(k));
+    pm.flush(&meta, sizeof(meta));
+  }
+
+  template <class PM>
+  void retract_commit(PM& pm) {
+    pm.atomic_store_u64(&meta, 0);
+    pm.flush(&meta, sizeof(meta));
+  }
+
+  template <class PM>
+  void retract_wipe(PM& pm) {
+    pm.store_u64(&key_lo, 0);
+    pm.store_u64(&key_hi, 0);
+    pm.store_u64(&value, 0);
+    pm.flush(&key_lo, 3 * sizeof(u64));
   }
 };
 static_assert(sizeof(Cell32) == Cell32::kSize);

@@ -44,10 +44,17 @@
 // occupied cell of a failed group, and re-seals the group's checksum.
 // Quarantined groups take no new inserts — the table degrades toward its
 // expansion trigger instead of re-trusting bad media.
+// Fingerprint tags (hash/tag_probe.hpp): every cell additionally has a
+// 1-byte DRAM-only tag — 0 when the cell is unoccupied, tag_of_hash(h)
+// of its key's hash otherwise. Probe loops scan a group's 256 tag bytes
+// with SIMD equality compares and only dereference tag-matching cells;
+// the array is rebuilt from the cells on attach/recovery, so the PM
+// image and the commit-word crash discipline are completely untouched.
 #pragma once
 
 #include <algorithm>
 #include <array>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -55,6 +62,7 @@
 #include "hash/cells.hpp"
 #include "hash/hash_functions.hpp"
 #include "hash/table_stats.hpp"
+#include "hash/tag_probe.hpp"
 #include "hash/wal.hpp"
 #include "nvm/media_error.hpp"
 #include "util/assert.hpp"
@@ -170,6 +178,14 @@ class GroupHashTable {
     group_size_ = static_cast<u32>(header_->group_size);
     count_mode_ = p.count_mode;
     volatile_count_ = header_->count;
+    // DRAM fingerprint tags, one byte per cell of both levels. Held via
+    // shared_ptr: retired optimistic read views (core/optimistic_read.hpp)
+    // keep the old array alive across an expansion the same way retired
+    // regions are retained.
+    tags_ = std::shared_ptr<u8[]>(new u8[2 * level_cells_]());
+    tags1_ = tags_.get();
+    tags2_ = tags1_ + level_cells_;
+    if (!format) rebuild_tags(0, level_cells_);
     if (crc_on) {
       const usize crc_bytes = 2 * num_groups() * sizeof(u64);
       GH_CHECK(mem.size() >= sizeof(Header) + 2 * level_cells_ * sizeof(Cell) + crc_bytes);
@@ -209,22 +225,32 @@ class GroupHashTable {
   bool insert(key_type key, u64 value) {
     stats_.inserts++;
     if (wal_) wal_->begin();
-    const u64 k = hash_(key) & mask_;
+    const u64 h = hash_(key);
+    const u64 k = h & mask_;
     const u64 g = k / group_size_;
-    Cell* c1 = probe(&tab1_[k]);
-    if (!c1->occupied() && !is_quarantined(0, g)) {
-      commit_insert(c1, key, value);
+    const u8 tag = tag_of_hash(h);
+    // The tag array knows where the empty cells are (tag 0) without
+    // touching PM: the level-1 slot is one byte, the level-2 scan is a
+    // SIMD sweep for 0 over the group's tags.
+    if (tags1_[k] == 0 && !is_quarantined(0, g)) {
+      Cell* c1 = probe(&tab1_[k]);
+      GH_DCHECK(!c1->occupied());
+      commit_insert(c1, key, value, tag);
       return true;
     }
     if (!is_quarantined(1, g)) {
       const u64 j = k - k % group_size_;
-      for (u32 i = 0; i < group_size_; ++i) {
+      Cell* free_cell = nullptr;
+      for_each_tag_match(tags2_ + j, group_size_, /*tag=*/0, [&](u32 i) {
         Cell* c2 = probe(&tab2_[j + i]);
         stats_.level2_probes++;
-        if (!c2->occupied()) {
-          commit_insert(c2, key, value);
-          return true;
-        }
+        GH_DCHECK(!c2->occupied());
+        free_cell = c2;
+        return true;
+      });
+      if (free_cell != nullptr) {
+        commit_insert(free_cell, key, value, tag);
+        return true;
       }
     }
     stats_.insert_failures++;
@@ -235,25 +261,39 @@ class GroupHashTable {
   /// Algorithm 2. (We additionally require the bitmap to be set on
   /// level-2 matches — the paper's pseudo-code compares only the key,
   /// which would mis-match a key of all-zero bits.)
-  std::optional<u64> find(key_type key) { return find_at(key, hash_(key) & mask_); }
+  std::optional<u64> find(key_type key) { return find_at(key, hash_(key)); }
 
   /// Batched lookup with software prefetching: hashes a window of keys,
-  /// issues prefetches for all their level-1 cells, then resolves the
-  /// lookups — overlapping the memory latency of independent probes the
-  /// way out-of-order hardware cannot across separate find() calls.
-  /// Writes out[i] for keys[i]; behaviourally identical to per-key find().
+  /// issues prefetches for each key's level-1 cell and its level-2
+  /// group's TAG lines (the filter makes the 256-byte tag block — not
+  /// the 4 KB cell group — the hot read set), then resolves the lookups,
+  /// overlapping the memory latency of independent probes the way
+  /// out-of-order hardware cannot across separate find() calls. The
+  /// prefetch stage is independent of SIMD dispatch, so GH_NO_SIMD /
+  /// non-x86 builds keep the batching win. Writes out[i] for keys[i];
+  /// behaviourally identical to per-key find().
   void find_batch(std::span<const key_type> keys, std::span<std::optional<u64>> out) {
     GH_CHECK(out.size() >= keys.size());
+    stats_.batch_ops++;
+    stats_.batch_keys += keys.size();
     constexpr usize kWindow = 16;
-    std::array<u64, kWindow> slots{};
+    // Tag lines per group, capped at 4 (256 tags) for jumbo group sizes.
+    const u64 tag_lines = std::min<u64>((group_size_ + kCachelineSize - 1) / kCachelineSize, 4);
+    std::array<u64, kWindow> hashes{};
     for (usize base = 0; base < keys.size(); base += kWindow) {
       const usize n = std::min(kWindow, keys.size() - base);
       for (usize i = 0; i < n; ++i) {
-        slots[i] = hash_(keys[base + i]) & mask_;
-        __builtin_prefetch(&tab1_[slots[i]], /*rw=*/0, /*locality=*/1);
+        hashes[i] = hash_(keys[base + i]);
+        const u64 k = hashes[i] & mask_;
+        const u64 j = k - k % group_size_;
+        __builtin_prefetch(&tab1_[k], /*rw=*/0, /*locality=*/1);
+        for (u64 line = 0; line < tag_lines; ++line) {
+          __builtin_prefetch(tags2_ + j + line * kCachelineSize, /*rw=*/0, /*locality=*/1);
+        }
       }
+      stats_.prefetches_issued += n * (1 + tag_lines);
       for (usize i = 0; i < n; ++i) {
-        out[base + i] = find_at(keys[base + i], slots[i]);
+        out[base + i] = find_at(keys[base + i], hashes[i]);
       }
     }
   }
@@ -285,11 +325,96 @@ class GroupHashTable {
     }
     const u32 old_digest = crc_ ? cell_digest(c) : 0;
     c->retract(*pm_);
+    tag_store(tag_slot(c), 0);
     if (crc_) apply_digest_delta(c, old_digest);
     bump_count(-1);
     stats_.erase_hits++;
     if (wal_) wal_->commit();
     return true;
+  }
+
+  // --- batched mutation (fence-coalesced) ----------------------------------
+  //
+  // put/erase over a batch share persist fences across windows of
+  // kBatchWindow keys while keeping the per-cell 8-byte-commit discipline
+  // intact (see cells.hpp: the two-phase stage→fence→commit→fence /
+  // clear→fence→wipe→fence splits). Checksum deltas and the eager count
+  // are also coalesced to one store+fence per window; after a crash they
+  // are stale by at most a window, which recovery repairs the same way it
+  // repairs per-op staleness. Keys are applied strictly in order, so on
+  // a placement failure the return value is an exact prefix length — the
+  // map layer expands and resubmits the remainder.
+
+  static constexpr usize kBatchWindow = 32;
+
+  /// Update-or-insert each (keys[i], values[i]). Returns the number of
+  /// leading keys fully applied; < keys.size() means key [return] found
+  /// both its level-1 cell and level-2 group full (or quarantined).
+  usize upsert_batch(std::span<const key_type> keys, std::span<const u64> values) {
+    return put_batch_impl<true>(keys, values);
+  }
+
+  /// Pure batched insert (precondition: keys not already present —
+  /// duplicates *within* the batch are allowed and coalesce to the last
+  /// value, matching sequential insert-or-update semantics at the map
+  /// layer). Skips the existing-key lookup upsert_batch does.
+  usize insert_batch(std::span<const key_type> keys, std::span<const u64> values) {
+    return put_batch_impl<false>(keys, values);
+  }
+
+  /// Batched erase. hits[i] (when a buffer is supplied) is 1 if keys[i]
+  /// was present. Returns the number of keys erased. Duplicate keys in
+  /// one batch behave sequentially: the first occurrence erases, the
+  /// rest miss.
+  usize erase_batch(std::span<const key_type> keys, std::span<u8> hits) {
+    GH_CHECK(hits.empty() || hits.size() >= keys.size());
+    stats_.batch_ops++;
+    stats_.batch_keys += keys.size();
+    if (wal_) {  // WAL ablation builds have per-op logging; keep them scalar
+      usize erased = 0;
+      for (usize i = 0; i < keys.size(); ++i) {
+        const bool hit = erase(keys[i]);
+        if (!hits.empty()) hits[i] = hit ? 1 : 0;
+        erased += hit ? 1 : 0;
+      }
+      return erased;
+    }
+    usize erased = 0;
+    std::array<Cell*, kBatchWindow> victims{};
+    std::array<u32, kBatchWindow> old_digests{};
+    CrcDeltaWindow deltas;
+    for (usize base = 0; base < keys.size(); base += kBatchWindow) {
+      const usize n = std::min(kBatchWindow, keys.size() - base);
+      usize nvictims = 0;
+      for (usize i = 0; i < n; ++i) {
+        stats_.erases++;
+        Cell* c = find_cell(keys[base + i]);
+        if (!hits.empty()) hits[base + i] = c != nullptr ? 1 : 0;
+        if (c == nullptr) continue;
+        // Phase 1: atomic commit-word clear + flush. The cleared word is
+        // immediately visible, so a duplicate key later in the window
+        // misses — sequential semantics.
+        old_digests[nvictims] = crc_ ? cell_digest(c) : 0;
+        c->retract_commit(*pm_);
+        tag_store(tag_slot(c), 0);
+        victims[nvictims++] = c;
+        stats_.erase_hits++;
+      }
+      if (nvictims == 0) continue;
+      pm_->fence();  // clears durable before any wipe store issues
+      for (usize v = 0; v < nvictims; ++v) victims[v]->retract_wipe(*pm_);
+      pm_->fence();
+      if (crc_) {
+        for (usize v = 0; v < nvictims; ++v) {
+          // Final cell content is all-zero (digest 0): delta = old digest.
+          deltas.add(crc_slot_of(victims[v]), old_digests[v]);
+        }
+        deltas.apply(*pm_);
+      }
+      bump_count(-static_cast<i64>(nvictims));
+      erased += nvictims;
+    }
+    return erased;
   }
 
   /// Algorithm 4: full-scan recovery. Scrubs the payload of every
@@ -331,6 +456,7 @@ class GroupHashTable {
     volatile_count_ = count;
     report.recovered_count = count;
     if (crc_) rebuild_checksums_range(0, level_cells_, *pm_);
+    rebuild_tags(0, level_cells_);
     return report;
   }
 
@@ -372,6 +498,7 @@ class GroupHashTable {
       }
     }
     if (crc_) rebuild_checksums_range(begin, end, pm);
+    rebuild_tags(begin, end);
     return report;
   }
 
@@ -459,6 +586,29 @@ class GroupHashTable {
   [[nodiscard]] const TableStats& stats() const { return stats_; }
   [[nodiscard]] PM& pm() { return *pm_; }
 
+  // --- fingerprint-tag access (read views + tests) -------------------------
+
+  /// Shared ownership of the DRAM tag block ([level 1][level 2], one byte
+  /// per cell). Read views copy this so retired views survive expansion.
+  [[nodiscard]] std::shared_ptr<const u8[]> tags_shared() const { return tags_; }
+
+  /// Test/debug: tag byte of (level 0/1, cell index).
+  [[nodiscard]] u8 debug_tag(u32 level, u64 i) const {
+    GH_DCHECK(level < 2 && i < level_cells_);
+    return (level == 0 ? tags1_ : tags2_)[i];
+  }
+
+  /// Test hook: full-rescan check of the tag invariant — tag[i] is 0 for
+  /// an unoccupied cell and tag_of_hash(hash(key)) for an occupied one.
+  [[nodiscard]] bool verify_tags() const {
+    for (u64 i = 0; i < level_cells_; ++i) {
+      const u8 want1 = tab1_[i].occupied() ? tag_of_hash(hash_(tab1_[i].key())) : 0;
+      const u8 want2 = tab2_[i].occupied() ? tag_of_hash(hash_(tab2_[i].key())) : 0;
+      if (tags1_[i] != want1 || tags2_[i] != want2) return false;
+    }
+    return true;
+  }
+
  private:
   Cell* probe(Cell* c) {
     pm_->touch_read(c, sizeof(Cell));
@@ -477,48 +627,259 @@ class GroupHashTable {
     }
   }
 
-  void commit_insert(Cell* c, key_type key, u64 value) {
+  void commit_insert(Cell* c, key_type key, u64 value, u8 tag) {
     if (wal_) {
       wal_->log_cell(c, sizeof(Cell));
       wal_->log_cell(&header_->count, sizeof(u64));
     }
     const u32 old_digest = crc_ ? cell_digest(c) : 0;
     c->publish(*pm_, key, value);
+    tag_store(tag_slot(c), tag);
     if (crc_) apply_digest_delta(c, old_digest);
     bump_count(+1);
     if (wal_) wal_->commit();
   }
 
-  std::optional<u64> find_at(key_type key, u64 k) {
+  /// Tag-filtered probe (Algorithm 2 + fingerprint filter): only cells
+  /// whose tag byte matches tag_of_hash(h) get a full key compare.
+  std::optional<u64> find_at(key_type key, u64 h) {
     stats_.queries++;
-    const Cell* c1 = probe(&tab1_[k]);
-    if (c1->matches(key)) {
-      stats_.query_hits++;
-      return c1->value;
+    const u64 k = h & mask_;
+    const u8 tag = tag_of_hash(h);
+    if (tags1_[k] == tag) {
+      const Cell* c1 = probe(&tab1_[k]);
+      stats_.tag_probes++;
+      if (c1->matches(key)) {
+        stats_.query_hits++;
+        return c1->value;
+      }
+      stats_.tag_false_positives++;
+    } else {
+      stats_.tag_skips++;
     }
     const u64 j = k - k % group_size_;
-    for (u32 i = 0; i < group_size_; ++i) {
+    std::optional<u64> result;
+    u32 probed = 0;
+    u32 scanned = group_size_;  // overwritten with hit position on a hit
+    for_each_tag_match(tags2_ + j, group_size_, tag, [&](u32 i) {
       const Cell* c2 = probe(&tab2_[j + i]);
       stats_.level2_probes++;
+      probed++;
       if (c2->matches(key)) {
-        stats_.query_hits++;
-        return c2->value;
+        result = c2->value;
+        scanned = i + 1;
+        return true;
       }
+      return false;
+    });
+    stats_.tag_probes += probed;
+    stats_.tag_skips += scanned - probed;
+    if (result) {
+      stats_.tag_false_positives += probed - 1;
+      stats_.query_hits++;
+      return result;
     }
+    stats_.tag_false_positives += probed;
     return std::nullopt;
   }
 
-  Cell* find_cell(key_type key) {
-    const u64 k = hash_(key) & mask_;
-    Cell* c1 = probe(&tab1_[k]);
-    if (c1->matches(key)) return c1;
+  Cell* find_cell(key_type key) { return find_cell_at(key, hash_(key)); }
+
+  Cell* find_cell_at(key_type key, u64 h) {
+    const u64 k = h & mask_;
+    const u8 tag = tag_of_hash(h);
+    if (tags1_[k] == tag) {
+      Cell* c1 = probe(&tab1_[k]);
+      if (c1->matches(key)) return c1;
+    }
     const u64 j = k - k % group_size_;
-    for (u32 i = 0; i < group_size_; ++i) {
+    Cell* found = nullptr;
+    for_each_tag_match(tags2_ + j, group_size_, tag, [&](u32 i) {
       Cell* c2 = probe(&tab2_[j + i]);
       stats_.level2_probes++;
-      if (c2->matches(key)) return c2;
+      if (c2->matches(key)) {
+        found = c2;
+        return true;
+      }
+      return false;
+    });
+    return found;
+  }
+
+  // --- fingerprint-tag machinery -------------------------------------------
+
+  /// Tag byte of a cell: levels are contiguous in both arrays, so the
+  /// cell's global index is also its tag index.
+  [[nodiscard]] u8* tag_slot(const Cell* c) { return tags_.get() + global_index(c); }
+
+  /// Recompute the tags of cell indices [begin, end) of BOTH levels from
+  /// the cells (attach/recovery; also per-group after scrub containment).
+  void rebuild_tags(u64 begin, u64 end) {
+    for (u64 i = begin; i < end; ++i) {
+      tag_store(tags1_ + i, tab1_[i].occupied() ? tag_of_hash(hash_(tab1_[i].key())) : 0);
+      tag_store(tags2_ + i, tab2_[i].occupied() ? tag_of_hash(hash_(tab2_[i].key())) : 0);
     }
-    return nullptr;
+  }
+
+  // --- batched-mutation machinery ------------------------------------------
+
+  /// Per-window accumulator of group-checksum deltas: XORs of per-cell
+  /// digest changes, folded per slot and applied with one store+flush
+  /// each and a single fence.
+  struct CrcDeltaWindow {
+    std::array<u64*, 2 * kBatchWindow> slots{};
+    std::array<u64, 2 * kBatchWindow> deltas{};
+    usize n = 0;
+
+    void add(u64* slot, u64 delta) {
+      for (usize i = 0; i < n; ++i) {
+        if (slots[i] == slot) {
+          deltas[i] ^= delta;
+          return;
+        }
+      }
+      slots[n] = slot;
+      deltas[n] = delta;
+      n++;
+    }
+
+    void apply(PM& pm) {
+      if (n == 0) return;
+      for (usize i = 0; i < n; ++i) {
+        pm.atomic_store_u64(slots[i], *slots[i] ^ deltas[i]);
+        pm.flush(slots[i], sizeof(u64));
+      }
+      pm.fence();
+      n = 0;
+    }
+  };
+
+  [[nodiscard]] u64* crc_slot_of(const Cell* c) const {
+    const u64 gi = global_index(c);
+    const u32 level = gi < level_cells_ ? 0 : 1;
+    return crc_slot(level, (gi % level_cells_) / group_size_);
+  }
+
+  /// The shared core of upsert_batch/insert_batch. Processes keys in
+  /// windows; within a window:
+  ///   phase 1 — updates and payload staging (stores + flushes, commit
+  ///             words untouched, so staged cells are invisible to finds)
+  ///   fence   — staged payloads + in-place updates durable
+  ///   phase 2 — atomic commit words + flushes
+  ///   fence   — commits durable
+  ///   tail    — coalesced checksum deltas (store+flush each, one fence)
+  ///             and ONE count bump for the window
+  /// Any commit word that reaches media implies the phase-1 fence
+  /// retired, so the per-cell crash discipline is exactly publish()'s.
+  template <bool kCheckExisting>
+  usize put_batch_impl(std::span<const key_type> keys, std::span<const u64> values) {
+    GH_CHECK(values.size() >= keys.size());
+    stats_.batch_ops++;
+    stats_.batch_keys += keys.size();
+    if (wal_) {  // WAL ablation builds log per op; keep them scalar
+      for (usize i = 0; i < keys.size(); ++i) {
+        if (kCheckExisting && update(keys[i], values[i])) continue;
+        if (!insert(keys[i], values[i])) return i;
+      }
+      return keys.size();
+    }
+    struct Staged {
+      Cell* cell;
+      key_type key;
+      u8 tag;
+      u32 old_digest;
+    };
+    std::array<Staged, kBatchWindow> staged{};
+    CrcDeltaWindow deltas;
+    usize done = 0;
+    while (done < keys.size()) {
+      const usize n = std::min(kBatchWindow, keys.size() - done);
+      usize nstaged = 0;
+      usize updates = 0;
+      usize consumed = 0;  // leading keys of this window fully handled
+      bool full = false;
+      for (usize i = 0; i < n; ++i) {
+        const key_type key = keys[done + i];
+        const u64 value = values[done + i];
+        const u64 h = hash_(key);
+        const u64 k = h & mask_;
+        const u8 tag = tag_of_hash(h);
+        // Duplicate of a cell staged in this window? Its commit word is
+        // still unset (invisible to find_cell), so check the stage list.
+        Staged* dup = nullptr;
+        for (usize s = 0; s < nstaged; ++s) {
+          if (staged[s].key == key) {
+            dup = &staged[s];
+            break;
+          }
+        }
+        if (dup != nullptr) {
+          dup->cell->stage_value(*pm_, value);
+          consumed++;
+          continue;
+        }
+        if (kCheckExisting) {
+          if (Cell* c = find_cell_at(key, h)) {
+            // In-place update, fence deferred to the window tail. The
+            // delta is computed now — the cell content is already final.
+            const u32 old_digest = crc_ ? cell_digest(c) : 0;
+            pm_->atomic_store_u64(&c->value, value);
+            pm_->flush(&c->value, sizeof(u64));
+            if (crc_) deltas.add(crc_slot_of(c), old_digest ^ cell_digest(c));
+            updates++;
+            consumed++;
+            continue;
+          }
+        }
+        stats_.inserts++;
+        const u64 g = k / group_size_;
+        Cell* target = nullptr;
+        if (tags1_[k] == 0 && !is_quarantined(0, g)) {
+          target = probe(&tab1_[k]);
+          GH_DCHECK(!target->occupied());
+        } else if (!is_quarantined(1, g)) {
+          const u64 j = k - k % group_size_;
+          for_each_tag_match(tags2_ + j, group_size_, /*tag=*/0, [&](u32 idx) {
+            Cell* c2 = probe(&tab2_[j + idx]);
+            stats_.level2_probes++;
+            GH_DCHECK(!c2->occupied());
+            target = c2;
+            return true;
+          });
+        }
+        if (target == nullptr) {
+          stats_.insert_failures++;
+          full = true;
+          break;
+        }
+        const u32 old_digest = crc_ ? cell_digest(target) : 0;
+        target->stage_payload(*pm_, key, value);
+        // Set the tag NOW so this window's later empty-slot scans skip
+        // the staged cell (its commit word still reads unoccupied).
+        tag_store(tag_slot(target), tag);
+        staged[nstaged++] = Staged{target, key, tag, old_digest};
+        consumed++;
+      }
+      // Window tail: finalize everything staged, even on a full stop.
+      if (updates + nstaged > 0) pm_->fence();  // phase-1 stores durable
+      if (nstaged > 0) {
+        for (usize s = 0; s < nstaged; ++s) {
+          staged[s].cell->commit_staged(*pm_, staged[s].key);
+        }
+        pm_->fence();  // commit words durable
+        if (crc_) {
+          for (usize s = 0; s < nstaged; ++s) {
+            deltas.add(crc_slot_of(staged[s].cell),
+                       staged[s].old_digest ^ cell_digest(staged[s].cell));
+          }
+        }
+        bump_count(+static_cast<i64>(nstaged));
+      }
+      if (crc_) deltas.apply(*pm_);
+      done += consumed;
+      if (full) break;
+    }
+    return done;
   }
 
   // --- integrity machinery ---------------------------------------------------
@@ -666,6 +1027,15 @@ class GroupHashTable {
       dropped++;
     }
     if (dropped > 0) bump_count(-dropped);
+    // Containment scrubbed/dropped cells in place: re-derive the group's
+    // tags so the DRAM filter matches the cells again.
+    const u64 tag_begin = g * group_size_;
+    u8* group_tags = (level == 0 ? tags1_ : tags2_) + tag_begin;
+    Cell* group_cells = (level == 0 ? tab1_ : tab2_) + tag_begin;
+    for (u32 i = 0; i < group_size_; ++i) {
+      tag_store(group_tags + i,
+                group_cells[i].occupied() ? tag_of_hash(hash_(group_cells[i].key())) : 0);
+    }
     // Re-seal the checksum over what remains, then fence the group off.
     pm_->atomic_store_u64(crc_slot(level, g), new_digest);
     pm_->persist(crc_slot(level, g), sizeof(u64));
@@ -683,6 +1053,9 @@ class GroupHashTable {
   Header* header_ = nullptr;
   Cell* tab1_ = nullptr;
   Cell* tab2_ = nullptr;
+  std::shared_ptr<u8[]> tags_;  ///< DRAM fingerprint tags, 2*level_cells bytes
+  u8* tags1_ = nullptr;         ///< = tags_.get()
+  u8* tags2_ = nullptr;         ///< = tags_.get() + level_cells_
   u64* crc_ = nullptr;  ///< [level 1 groups][level 2 groups], one u64 each
   u64 level_cells_ = 0;
   u64 mask_ = 0;

@@ -91,6 +91,14 @@ struct TableStats {
   RelaxedCounter displacements;     ///< PFHT: cuckoo moves
   RelaxedCounter stash_probes;      ///< PFHT: stash cells examined
   RelaxedCounter backward_shifts;   ///< linear probing: cells moved on delete
+  // Fingerprint-tag filter (group hashing; hash/tag_probe.hpp).
+  RelaxedCounter tag_probes;           ///< tag-matched cells whose full key was compared
+  RelaxedCounter tag_skips;            ///< cells skipped without a key compare
+  RelaxedCounter tag_false_positives;  ///< tag matched but the key did not
+  // Batched multi-op API.
+  RelaxedCounter batch_ops;            ///< *_batch calls
+  RelaxedCounter batch_keys;           ///< keys submitted across all *_batch calls
+  RelaxedCounter prefetches_issued;    ///< software prefetches issued by find_batch
   // Integrity counters (group hashing with per-group checksums).
   RelaxedCounter groups_scrubbed;     ///< (level, group) checksum verifications run
   RelaxedCounter cells_scrubbed;      ///< payloads wiped by recovery/scrub passes
@@ -110,6 +118,11 @@ struct TableStats {
            " displacements=" + std::to_string(displacements) +
            " stash_probes=" + std::to_string(stash_probes) +
            " shifts=" + std::to_string(backward_shifts) +
+           " tag_probes=" + std::to_string(tag_probes) + "(" +
+           std::to_string(tag_false_positives) + " fp) tag_skips=" +
+           std::to_string(tag_skips) + " batch=" + std::to_string(batch_ops) + "ops/" +
+           std::to_string(batch_keys) + "keys prefetches=" +
+           std::to_string(prefetches_issued) +
            " scrubbed=" + std::to_string(groups_scrubbed) + "g/" +
            std::to_string(cells_scrubbed) + "c crc_mismatches=" +
            std::to_string(crc_mismatches) + " quarantined=" +

@@ -1,0 +1,145 @@
+// Fingerprint-tag probing (Dash-style, PAPERS.md).
+//
+// Group hashing probes up to group_size (default 256) level-2 cells per
+// lookup, each a full 8/16-byte key compare against PM-resident cells.
+// This header adds the filtering layer in front of those compares: a
+// DRAM-only array of 1-byte tags, one per cell, derived from the key
+// hash. A probe first scans the group's tags — 256 contiguous bytes, 4
+// cachelines — with SSE2/AVX2 equality compares and only dereferences
+// the cells whose tag matches. With a 7-bit fingerprint the expected
+// number of false-positive cell touches per miss is group_size/128 ≈ 2.
+//
+// The tag array is volatile by design: it is rebuilt from the cells on
+// open/recovery, so the PM format (and the paper's 8-byte-commit crash
+// discipline) is untouched. Invariant outside a mutation critical
+// section: tag[i] == 0  ⟺  cell i unoccupied; otherwise tag[i] ==
+// tag_of_hash(hash(cell key)). Tag 0 never collides with a live key's
+// tag because tag_of_hash forces the top bit.
+//
+// Dispatch is at runtime (AVX2 when the CPU has it, else SSE2 — baseline
+// on x86-64), with a portable scalar fallback compiled when GH_NO_SIMD
+// is defined or the target is not x86-64. force_simd_level() caps the
+// level for SIMD-vs-scalar equivalence tests.
+#pragma once
+
+#include <atomic>
+#include <bit>
+
+#include "util/types.hpp"
+
+#if defined(__x86_64__) && !defined(GH_NO_SIMD)
+#include <immintrin.h>
+#define GH_TAG_SIMD_X86 1
+#else
+#define GH_TAG_SIMD_X86 0
+#endif
+
+namespace gh::hash {
+
+/// 1-byte fingerprint of a key hash. Uses the TOP hash bits — the low
+/// bits pick the bucket (k = h & mask), so reusing them would make every
+/// key in a level-1 slot share a tag. The forced top bit keeps occupied
+/// tags disjoint from the empty marker 0.
+[[nodiscard]] constexpr u8 tag_of_hash(u64 h) {
+  return static_cast<u8>(0x80u | (h >> 57));
+}
+
+enum class SimdLevel : u8 { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+namespace detail {
+inline std::atomic<u8>& simd_cap() {
+  static std::atomic<u8> cap{static_cast<u8>(SimdLevel::kAvx2)};
+  return cap;
+}
+}  // namespace detail
+
+/// What the hardware supports (cached after the first call).
+[[nodiscard]] inline SimdLevel detected_simd_level() {
+#if GH_TAG_SIMD_X86
+  static const SimdLevel lvl =
+      __builtin_cpu_supports("avx2") ? SimdLevel::kAvx2 : SimdLevel::kSse2;
+  return lvl;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+/// Test hook: cap the dispatch level (e.g. kScalar to run the portable
+/// path on a machine with AVX2). Affects every table in the process.
+inline void force_simd_level(SimdLevel cap) {
+  detail::simd_cap().store(static_cast<u8>(cap), std::memory_order_relaxed);
+}
+
+/// The level probe loops actually use: min(detected, forced cap).
+[[nodiscard]] inline SimdLevel active_simd_level() {
+  const u8 cap = detail::simd_cap().load(std::memory_order_relaxed);
+  const u8 det = static_cast<u8>(detected_simd_level());
+  return static_cast<SimdLevel>(det < cap ? det : cap);
+}
+
+#if GH_TAG_SIMD_X86
+/// Bitmask of positions in tags[0..16) equal to `tag` (SSE2, baseline).
+[[nodiscard]] inline u32 tag_match_mask16(const u8* tags, u8 tag) {
+  const __m128i probe = _mm_set1_epi8(static_cast<char>(tag));
+  const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(tags));
+  return static_cast<u32>(_mm_movemask_epi8(_mm_cmpeq_epi8(v, probe)));
+}
+
+/// Bitmask of positions in tags[0..32) equal to `tag` (AVX2 via target
+/// attribute — safe to compile without -mavx2; only called after the
+/// runtime dispatch check).
+[[nodiscard]] __attribute__((target("avx2"))) inline u32 tag_match_mask32(const u8* tags,
+                                                                          u8 tag) {
+  const __m256i probe = _mm256_set1_epi8(static_cast<char>(tag));
+  const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tags));
+  return static_cast<u32>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(v, probe)));
+}
+#endif
+
+/// Visit the indices i in [0, n) with tags[i] == tag, in ascending order.
+/// `visit(i)` returns true to stop early (key found). Loads are plain —
+/// callers must hold the structure quiescent (single-threaded, or under
+/// the shard/stripe write lock, or a lock-held read). The optimistic
+/// seqlock read path must NOT use this; it scans with per-byte atomic
+/// loads instead (core/optimistic_read.hpp).
+template <class Visit>
+inline void for_each_tag_match(const u8* tags, u32 n, u8 tag, Visit&& visit) {
+  u32 i = 0;
+#if GH_TAG_SIMD_X86
+  const SimdLevel lvl = active_simd_level();
+  if (lvl == SimdLevel::kAvx2) {
+    for (; i + 32 <= n; i += 32) {
+      u32 m = tag_match_mask32(tags + i, tag);
+      while (m != 0) {
+        if (visit(i + static_cast<u32>(std::countr_zero(m)))) return;
+        m &= m - 1;
+      }
+    }
+  }
+  if (lvl >= SimdLevel::kSse2) {
+    for (; i + 16 <= n; i += 16) {
+      u32 m = tag_match_mask16(tags + i, tag);
+      while (m != 0) {
+        if (visit(i + static_cast<u32>(std::countr_zero(m)))) return;
+        m &= m - 1;
+      }
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    if (tags[i] == tag && visit(i)) return;
+  }
+}
+
+/// Atomic tag accessors. Writers store release so the optimistic readers'
+/// relaxed loads never race (both sides atomic); lock-held readers may
+/// keep using plain/SIMD loads, which the locks already order.
+inline void tag_store(u8* slot, u8 v) {
+  std::atomic_ref<u8>(*slot).store(v, std::memory_order_release);
+}
+
+[[nodiscard]] inline u8 tag_load_relaxed(const u8* slot) {
+  return std::atomic_ref<const u8>(*slot).load(std::memory_order_relaxed);
+}
+
+}  // namespace gh::hash

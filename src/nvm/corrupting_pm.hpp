@@ -92,6 +92,13 @@ class CorruptingPM {
     obs::on_pm_fence();
   }
 
+  /// Unfenced flush: counts line traffic only (no data motion to model).
+  void flush(const void* addr, usize n) {
+    const u64 lines = lines_spanned(addr, n);
+    stats_.lines_flushed += lines;
+    obs::on_pm_persist(lines);
+  }
+
   void fence() {
     stats_.fences++;
     obs::on_pm_fence();

@@ -14,6 +14,7 @@
 //   void   copy(void* dst, const void* src, usize n);
 //   void   fill(void* dst, unsigned char byte, usize n);
 //   void   persist(const void* addr, usize n);  // flush lines + fence
+//   void   flush(const void* addr, usize n);    // flush lines, NO fence
 //   void   fence();
 //   void   touch_read(const void* addr, usize n);  // read-side hook
 //   PersistStats& stats();
@@ -73,6 +74,15 @@ class DirectPM {
 
   void persist(const void* addr, usize n) {
     stats_.persist_calls++;
+    flush(addr, n);
+    fence();
+  }
+
+  /// Flush the cachelines covering [addr, addr+n) WITHOUT the trailing
+  /// fence. The batched mutation paths issue many flushes and a single
+  /// fence() per window (clflushopt... + one sfence); durability is only
+  /// guaranteed once that fence retires.
+  void flush(const void* addr, usize n) {
     const u64 lines = lines_spanned(addr, n);
     const std::byte* line = line_begin(addr);
     for (u64 i = 0; i < lines; ++i, line += kCachelineSize) {
@@ -84,7 +94,6 @@ class DirectPM {
     }
     stats_.lines_flushed += lines;
     obs::on_pm_persist(lines);
-    fence();
   }
 
   void fence() {

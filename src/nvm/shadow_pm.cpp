@@ -1,6 +1,7 @@
 #include "nvm/shadow_pm.hpp"
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -71,6 +72,7 @@ void ShadowPM::fill(void* dst, unsigned char byte, usize n) {
 void ShadowPM::persist(const void* addr, usize n) {
   bump_event();
   stats_.persist_calls++;
+  commit_pending();  // persist() contains a fence: earlier flushes retire too
   if (n == 0) {
     stats_.fences++;
     obs::on_pm_persist(0);
@@ -95,10 +97,55 @@ void ShadowPM::persist(const void* addr, usize n) {
   obs::on_pm_fence();
 }
 
+void ShadowPM::flush(const void* addr, usize n) {
+  bump_event();
+  if (n == 0) {
+    obs::on_pm_persist(0);
+    return;
+  }
+  // An unfenced clflushopt gives no durability guarantee yet: snapshot the
+  // lines' current contents and hold them pending. The covered words keep
+  // their dirty bits, so materialize_crash_image can still evict the
+  // (identical or newer) live words — strictly adversarial.
+  const std::byte* begin = line_begin(addr);
+  const std::byte* end = line_begin(static_cast<const std::byte*>(addr) + n - 1) + kCachelineSize;
+  if (begin < live_.data()) begin = live_.data();
+  if (end > live_.data() + live_.size()) end = live_.data() + live_.size();
+  for (const std::byte* p = begin; p < end; p += kCachelineSize) {
+    PendingLine line;
+    line.offset = static_cast<usize>(p - live_.data());
+    line.len = std::min<usize>(kCachelineSize, static_cast<usize>(end - p));
+    std::memcpy(line.data.data(), p, line.len);
+    pending_.push_back(line);
+  }
+  const u64 lines = lines_spanned(addr, n);
+  stats_.lines_flushed += lines;
+  obs::on_pm_persist(lines);
+}
+
 void ShadowPM::fence() {
   bump_event();
+  commit_pending();
   stats_.fences++;
   obs::on_pm_fence();
+}
+
+void ShadowPM::commit_pending() {
+  // Applied in flush order, so a line flushed twice lands on its later
+  // snapshot. A word's dirty bit is cleared only if the live word still
+  // equals the snapshot being committed — a store issued after the flush
+  // re-dirtied it and remains subject to arbitrary eviction.
+  for (const PendingLine& line : pending_) {
+    std::memcpy(shadow_.data() + line.offset, line.data.data(), line.len);
+    for (usize w = line.offset / kAtomicUnit; w < (line.offset + line.len) / kAtomicUnit; ++w) {
+      u64 live_word = 0;
+      u64 snap_word = 0;
+      std::memcpy(&live_word, live_.data() + w * kAtomicUnit, kAtomicUnit);
+      std::memcpy(&snap_word, line.data.data() + (w * kAtomicUnit - line.offset), kAtomicUnit);
+      if (live_word == snap_word) dirty_[w / 64] &= ~(1ull << (w % 64));
+    }
+  }
+  pending_.clear();
 }
 
 std::vector<std::byte> ShadowPM::materialize_crash_image(CrashMode mode, u64 seed) const {
@@ -123,6 +170,7 @@ void ShadowPM::reset_to_image(std::span<const std::byte> image) {
   std::memcpy(live_.data(), image.data(), image.size());
   shadow_.assign(image.begin(), image.end());
   std::fill(dirty_.begin(), dirty_.end(), 0);
+  pending_.clear();  // a reboot loses in-flight (unfenced) flushes
   crash_event_ = no_crash();
 }
 

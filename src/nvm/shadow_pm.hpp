@@ -16,6 +16,7 @@
 // This is strictly more adversarial than cutting power on real hardware.
 #pragma once
 
+#include <array>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -50,6 +51,7 @@ class ShadowPM {
   void copy(void* dst, const void* src, usize n);
   void fill(void* dst, unsigned char byte, usize n);
   void persist(const void* addr, usize n);
+  void flush(const void* addr, usize n);
   void fence();
   void touch_read(const void*, usize) {}
   [[nodiscard]] PersistStats& stats() { return stats_; }
@@ -80,13 +82,24 @@ class ShadowPM {
   [[nodiscard]] u64 dirty_word_count() const;
 
  private:
+  /// One flushed-but-unfenced cacheline: the snapshot flush() took of its
+  /// contents. It only becomes durable (copied to shadow) when a later
+  /// fence()/persist() retires — a bare clflushopt guarantees nothing.
+  struct PendingLine {
+    usize offset = 0;  ///< live-span offset
+    usize len = 0;     ///< bytes snapshotted (≤ one line; clamped at span edges)
+    std::array<std::byte, kCachelineSize> data{};
+  };
+
   void bump_event();
   void mark_dirty(const void* addr, usize n);
+  void commit_pending();
   [[nodiscard]] usize word_index(const void* addr) const;
 
   std::span<std::byte> live_;
   std::vector<std::byte> shadow_;
   std::vector<u64> dirty_;  // bitmap, one bit per 8-byte word
+  std::vector<PendingLine> pending_;  ///< flushed, awaiting a fence
   u64 events_ = 0;
   u64 crash_event_ = no_crash();
   PersistStats stats_;

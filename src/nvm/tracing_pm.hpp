@@ -66,6 +66,20 @@ class TracingPM {
     obs::on_pm_fence();
   }
 
+  /// Unfenced flush: same cache-simulator effect as persist() (the line
+  /// leaves the cache either way) but the fence is the caller's, once per
+  /// batch window.
+  void flush(const void* addr, usize n) {
+    if (flush_keeps_line_cached(flush_instruction_)) {
+      sim_->clwb(addr, n);
+    } else {
+      sim_->clflush(addr, n);
+    }
+    const u64 lines = lines_spanned(addr, n);
+    stats_.lines_flushed += lines;
+    obs::on_pm_persist(lines);
+  }
+
   void fence() {
     stats_.fences++;
     obs::on_pm_fence();

@@ -79,6 +79,19 @@ class WearPM {
     obs::on_pm_fence();
   }
 
+  /// Unfenced flush: the write-back (and so the wear event) happens at
+  /// flush time; only the ordering fence is deferred to the caller.
+  void flush(const void* addr, usize n) {
+    if (n == 0) return;
+    const std::byte* line = line_begin(addr);
+    const u64 lines = lines_spanned(addr, n);
+    for (u64 i = 0; i < lines; ++i, line += kCachelineSize) {
+      bump_wear(line);
+    }
+    stats_.lines_flushed += lines;
+    obs::on_pm_persist(lines);
+  }
+
   void fence() {
     stats_.fences++;
     obs::on_pm_fence();

@@ -269,7 +269,13 @@ std::string export_json(const Snapshot& s) {
       .field("level2_probes", s.table.level2_probes)
       .field("displacements", s.table.displacements)
       .field("stash_probes", s.table.stash_probes)
-      .field("backward_shifts", s.table.backward_shifts);
+      .field("backward_shifts", s.table.backward_shifts)
+      .field("tag_probes", s.table.tag_probes)
+      .field("tag_skips", s.table.tag_skips)
+      .field("tag_false_positives", s.table.tag_false_positives)
+      .field("batch_ops", s.table.batch_ops)
+      .field("batch_keys", s.table.batch_keys)
+      .field("prefetches_issued", s.table.prefetches_issued);
   j.end_obj();
   j.key("scrub").begin_obj();
   j.field("groups_scrubbed", s.scrub.groups_scrubbed)
@@ -378,6 +384,18 @@ std::string export_prometheus(const Snapshot& s, std::string_view prefix) {
                "erase operations attempted");
   prom_counter(out, prefix, "probes_total", labels, s.table.probes,
                "cells examined across all operations");
+  prom_counter(out, prefix, "tag_probes_total", labels, s.table.tag_probes,
+               "tag-matched cells whose full key was compared");
+  prom_counter(out, prefix, "tag_skips_total", labels, s.table.tag_skips,
+               "cells skipped by the fingerprint-tag filter");
+  prom_counter(out, prefix, "tag_false_positives_total", labels, s.table.tag_false_positives,
+               "tag matches whose key compare missed");
+  prom_counter(out, prefix, "batch_ops_total", labels, s.table.batch_ops,
+               "batched multi-op calls");
+  prom_counter(out, prefix, "batch_keys_total", labels, s.table.batch_keys,
+               "keys submitted through batched multi-op calls");
+  prom_counter(out, prefix, "prefetches_issued_total", labels, s.table.prefetches_issued,
+               "software prefetches issued by batched lookups");
   prom_counter(out, prefix, "persist_calls_total", labels, s.persist.persist_calls,
                "persist() calls issued to the PM policy");
   prom_counter(out, prefix, "lines_flushed_total", labels, s.persist.lines_flushed,

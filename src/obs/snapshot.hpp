@@ -68,12 +68,20 @@ struct TableOpSnapshot {
   u64 displacements = 0;
   u64 stash_probes = 0;
   u64 backward_shifts = 0;
+  u64 tag_probes = 0;
+  u64 tag_skips = 0;
+  u64 tag_false_positives = 0;
+  u64 batch_ops = 0;
+  u64 batch_keys = 0;
+  u64 prefetches_issued = 0;
 
   static TableOpSnapshot from(const hash::TableStats& s) {
     return {s.inserts.load(),       s.insert_failures.load(), s.queries.load(),
             s.query_hits.load(),    s.erases.load(),          s.erase_hits.load(),
             s.probes.load(),        s.level2_probes.load(),   s.displacements.load(),
-            s.stash_probes.load(),  s.backward_shifts.load()};
+            s.stash_probes.load(),  s.backward_shifts.load(), s.tag_probes.load(),
+            s.tag_skips.load(),     s.tag_false_positives.load(), s.batch_ops.load(),
+            s.batch_keys.load(),    s.prefetches_issued.load()};
   }
 
   TableOpSnapshot& operator+=(const TableOpSnapshot& o) {
@@ -88,6 +96,12 @@ struct TableOpSnapshot {
     displacements += o.displacements;
     stash_probes += o.stash_probes;
     backward_shifts += o.backward_shifts;
+    tag_probes += o.tag_probes;
+    tag_skips += o.tag_skips;
+    tag_false_positives += o.tag_false_positives;
+    batch_ops += o.batch_ops;
+    batch_keys += o.batch_keys;
+    prefetches_issued += o.prefetches_issued;
     return *this;
   }
 };

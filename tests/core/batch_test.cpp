@@ -1,0 +1,670 @@
+// Batched multi-op API — the PR-6 test gate.
+//
+// Four claims are under test, each with its own section:
+//
+//   1. Differential equivalence: every *_batch entry point produces
+//      byte-identical results to the scalar loop it replaces, across
+//      random op mixes, duplicate keys inside one batch, batch sizes
+//      1..257, auto-expansion, fixed-capacity exhaustion and string-map
+//      compaction. The oracle is a second map driven scalar plus a
+//      std::unordered_map.
+//   2. SIMD/scalar equivalence: forcing the tag-probe dispatch to every
+//      supported level (hash::force_simd_level) changes nothing
+//      observable. Under GH_NO_SIMD only the scalar level exists and the
+//      same assertions run.
+//   3. Observability: get_batch issues software prefetches on EVERY
+//      build (including GH_NO_SIMD — prefetching is independent of the
+//      sweep instruction set), visible as stats counters.
+//   4. Tag coherence: the DRAM fingerprint array matches a full cell
+//      rescan (GroupHashTable::verify_tags) after every mutation phase,
+//      expansion, scrub, recovery — and after reopening a crash image
+//      taken at EVERY persistence event of a mixed scalar+batched
+//      workload, under random cacheline eviction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/concurrent_map.hpp"
+#include "core/concurrent_string_map.hpp"
+#include "core/concurrent_table.hpp"
+#include "core/group_hash_map.hpp"
+#include "core/string_map.hpp"
+#include "hash/any_table.hpp"
+#include "hash/tag_probe.hpp"
+#include "nvm/direct_pm.hpp"
+#include "nvm/region.hpp"
+#include "nvm/shadow_pm.hpp"
+#include "util/rng.hpp"
+
+namespace gh {
+namespace {
+
+/// Cell16 keys: bit 63 must be clear (bitmap bit), zero is reserved.
+u64 make_key(Xoshiro256& rng) { return (rng.next() >> 1) | 1; }
+
+// ---------------------------------------------------------------------------
+// Deterministic batch semantics
+// ---------------------------------------------------------------------------
+
+TEST(Batch, GetBatchMatchesScalarGet) {
+  auto map = GroupHashMap::create_in_memory({.initial_cells = 1 << 12});
+  Xoshiro256 rng(1);
+  std::vector<u64> keys;
+  for (int i = 0; i < 1000; ++i) {
+    keys.push_back(make_key(rng));
+    map.put(keys.back(), keys.back() ^ 0xabcd);
+  }
+  // Mix of hits and misses, shuffled.
+  std::vector<u64> probes = keys;
+  for (int i = 0; i < 1000; ++i) probes.push_back(make_key(rng));
+  for (usize i = probes.size() - 1; i > 0; --i) {
+    std::swap(probes[i], probes[rng.next_below(i + 1)]);
+  }
+  std::vector<std::optional<u64>> out(probes.size());
+  map.get_batch(probes, out);
+  for (usize i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(out[i], map.get(probes[i])) << "i=" << i;
+  }
+}
+
+TEST(Batch, PutBatchDuplicateKeysLastWins) {
+  auto map = GroupHashMap::create_in_memory({.initial_cells = 1 << 10});
+  // 100 writes to 3 keys in one batch — crosses the 32-key fence window,
+  // so dups hit both the staged-in-window path and the committed-in-an-
+  // earlier-window (update) path.
+  std::vector<u64> keys, values;
+  for (u64 i = 0; i < 100; ++i) {
+    keys.push_back(1 + (i % 3));
+    values.push_back(1000 + i);
+  }
+  map.put_batch(keys, values);
+  EXPECT_EQ(map.size(), 3u);
+  // Last write per key: i=99 -> key 1, i=98 -> key 3, i=97 -> key 2.
+  EXPECT_EQ(map.get(1), std::optional<u64>(1000 + 99));
+  EXPECT_EQ(map.get(2), std::optional<u64>(1000 + 97));
+  EXPECT_EQ(map.get(3), std::optional<u64>(1000 + 98));
+  EXPECT_TRUE(map.raw_table().verify_tags());
+}
+
+TEST(Batch, EraseBatchDuplicatesBehaveSequentially) {
+  auto map = GroupHashMap::create_in_memory({.initial_cells = 1 << 10});
+  map.put(10, 1);
+  map.put(20, 2);
+  const std::vector<u64> keys{10, 10, 30, 20, 20};
+  std::vector<u8> hits(keys.size(), 0xee);
+  map.erase_batch(keys, hits);
+  EXPECT_EQ(hits, (std::vector<u8>{1, 0, 0, 1, 0}));
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.raw_table().verify_tags());
+}
+
+TEST(Batch, EmptyAndSingletonBatches) {
+  auto map = GroupHashMap::create_in_memory({.initial_cells = 1 << 10});
+  map.put_batch({}, {});
+  map.get_batch({}, {});
+  map.erase_batch({});
+  EXPECT_EQ(map.size(), 0u);
+  const u64 k = 42;
+  const u64 v = 7;
+  map.put_batch(std::span(&k, 1), std::span(&v, 1));
+  std::optional<u64> out;
+  map.get_batch(std::span(&k, 1), std::span(&out, 1));
+  EXPECT_EQ(out, std::optional<u64>(7));
+  u8 hit = 0;
+  map.erase_batch(std::span(&k, 1), std::span(&hit, 1));
+  EXPECT_EQ(hit, 1);
+  EXPECT_EQ(map.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Observability: prefetches and batch counters advance on every build
+// ---------------------------------------------------------------------------
+
+TEST(Batch, PrefetchAndBatchCountersAdvance) {
+  auto map = GroupHashMap::create_in_memory({.initial_cells = 1 << 12});
+  Xoshiro256 rng(2);
+  std::vector<u64> keys(512);
+  for (u64& k : keys) k = make_key(rng);
+  std::vector<u64> values(keys.size(), 1);
+  map.put_batch(keys, values);
+
+  const auto before = map.snapshot();
+  std::vector<std::optional<u64>> out(keys.size());
+  map.get_batch(keys, out);
+  const auto after = map.snapshot();
+
+  // get_batch prefetches each key's level-1 cell line — at least one per
+  // key, MORE with the level-2 tag lines. This must hold under GH_NO_SIMD
+  // too: prefetching is the batching win, independent of the sweep ISA.
+  EXPECT_GE(after.table.prefetches_issued - before.table.prefetches_issued, keys.size());
+  EXPECT_EQ(after.table.batch_ops - before.table.batch_ops, 1u);
+  EXPECT_EQ(after.table.batch_keys - before.table.batch_keys, keys.size());
+
+  // Negative lookups drive the tag filter: most cells are skipped without
+  // a key compare.
+  std::vector<u64> misses(512);
+  for (u64& k : misses) k = make_key(rng);
+  map.get_batch(misses, out);
+  const auto miss_stats = map.snapshot();
+  EXPECT_GT(miss_stats.table.tag_skips, after.table.tag_skips);
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: batch APIs vs scalar oracle
+// ---------------------------------------------------------------------------
+
+class BatchFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(BatchFuzz, MixedOpsMatchScalarOracle) {
+  const u64 seed = GetParam();
+  // Small groups + small table force level-2 pressure and expansions.
+  const MapOptions opts{.initial_cells = 1 << 10, .group_size = 64};
+  auto batch_map = GroupHashMap::create_in_memory(opts);
+  auto scalar_map = GroupHashMap::create_in_memory(opts);
+  std::unordered_map<u64, u64> oracle;
+
+  Xoshiro256 rng(seed);
+  std::vector<u64> universe(512);
+  for (u64& k : universe) k = make_key(rng);
+
+  for (int round = 0; round < 40; ++round) {
+    const usize n = 1 + static_cast<usize>(rng.next_below(257));
+    std::vector<u64> keys(n);
+    for (u64& k : keys) k = universe[rng.next_below(universe.size())];
+    switch (rng.next_below(3)) {
+      case 0: {  // put
+        std::vector<u64> values(n);
+        for (u64& v : values) v = rng.next();
+        batch_map.put_batch(keys, values);
+        for (usize i = 0; i < n; ++i) {
+          scalar_map.put(keys[i], values[i]);
+          oracle[keys[i]] = values[i];
+        }
+        break;
+      }
+      case 1: {  // get
+        std::vector<std::optional<u64>> out(n);
+        batch_map.get_batch(keys, out);
+        for (usize i = 0; i < n; ++i) {
+          ASSERT_EQ(out[i], scalar_map.get(keys[i])) << "round " << round << " i " << i;
+          const auto it = oracle.find(keys[i]);
+          ASSERT_EQ(out[i], it == oracle.end() ? std::nullopt : std::optional<u64>(it->second));
+        }
+        break;
+      }
+      case 2: {  // erase
+        std::vector<u8> hits(n, 0xee);
+        batch_map.erase_batch(keys, hits);
+        for (usize i = 0; i < n; ++i) {
+          ASSERT_EQ(hits[i] != 0, scalar_map.erase(keys[i])) << "round " << round << " i " << i;
+          ASSERT_EQ(hits[i] != 0, oracle.erase(keys[i]) > 0);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(batch_map.size(), scalar_map.size()) << "round " << round;
+    ASSERT_EQ(batch_map.size(), oracle.size()) << "round " << round;
+  }
+
+  // Full-content comparison and the tag invariant on both maps.
+  batch_map.for_each([&](u64 k, u64 v) {
+    const auto it = oracle.find(k);
+    ASSERT_NE(it, oracle.end()) << k;
+    EXPECT_EQ(it->second, v) << k;
+  });
+  EXPECT_TRUE(batch_map.raw_table().verify_tags());
+  EXPECT_TRUE(scalar_map.raw_table().verify_tags());
+}
+
+TEST_P(BatchFuzz, FixedCapacityExhaustsAtSamePrefix) {
+  const u64 seed = GetParam();
+  const MapOptions opts{
+      .initial_cells = 256, .group_size = 64, .auto_expand = false};
+  auto batch_map = GroupHashMap::create_in_memory(opts);
+  auto scalar_map = GroupHashMap::create_in_memory(opts);
+
+  Xoshiro256 rng(seed * 31 + 7);
+  bool batch_threw = false;
+  bool scalar_threw = false;
+  for (int round = 0; round < 64 && !batch_threw; ++round) {
+    const usize n = 1 + static_cast<usize>(rng.next_below(64));
+    std::vector<u64> keys(n), values(n);
+    for (usize i = 0; i < n; ++i) {
+      keys[i] = make_key(rng);
+      values[i] = rng.next();
+    }
+    try {
+      batch_map.put_batch(keys, values);
+    } catch (const std::runtime_error&) {
+      batch_threw = true;
+    }
+    try {
+      for (usize i = 0; i < n; ++i) scalar_map.put(keys[i], values[i]);
+    } catch (const std::runtime_error&) {
+      scalar_threw = true;
+    }
+    // Strict in-order semantics: both stop at the SAME failing key, so
+    // the durable prefixes are identical.
+    ASSERT_EQ(batch_threw, scalar_threw) << "round " << round;
+    ASSERT_EQ(batch_map.size(), scalar_map.size()) << "round " << round;
+  }
+  ASSERT_TRUE(batch_threw) << "capacity never exhausted — test ineffective";
+  batch_map.for_each([&](u64 k, u64 v) {
+    EXPECT_EQ(scalar_map.get(k), std::optional<u64>(v)) << k;
+  });
+  EXPECT_TRUE(batch_map.raw_table().verify_tags());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchFuzz, ::testing::Range<u64>(1, 9));
+
+// ---------------------------------------------------------------------------
+// String map: batched ops over the record arena (with compaction)
+// ---------------------------------------------------------------------------
+
+TEST(StringBatch, DuplicateKeysAndUpdatesInOneBatch) {
+  auto map = PersistentStringMap::create_in_memory({.initial_cells = 1 << 10});
+  map.put("pre", 1);
+  const std::vector<std::string_view> keys{"a", "b", "a", "pre", "a"};
+  const std::vector<u64> values{10, 20, 11, 2, 12};
+  map.put_batch(keys, values);
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.get("a"), std::optional<u64>(12));
+  EXPECT_EQ(map.get("b"), std::optional<u64>(20));
+  EXPECT_EQ(map.get("pre"), std::optional<u64>(2));
+
+  std::vector<std::optional<u64>> out(4);
+  const std::vector<std::string_view> probes{"a", "missing", "b", "pre"};
+  map.get_batch(probes, out);
+  EXPECT_EQ(out[0], std::optional<u64>(12));
+  EXPECT_EQ(out[1], std::nullopt);
+  EXPECT_EQ(out[2], std::optional<u64>(20));
+  EXPECT_EQ(out[3], std::optional<u64>(2));
+
+  std::vector<u8> hits(3, 0xee);
+  map.erase_batch(std::vector<std::string_view>{"a", "a", "b"}, hits);
+  EXPECT_EQ(hits, (std::vector<u8>{1, 0, 1}));
+  EXPECT_EQ(map.size(), 1u);
+}
+
+class StringBatchFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(StringBatchFuzz, MixedOpsMatchScalarOracle) {
+  // Tiny table + arena so put_batch regularly crosses compactions and
+  // growth rebuilds mid-run (the re-apply-unconsumed-records path).
+  const StringMapOptions opts{.initial_cells = 256, .group_size = 64};
+  auto batch_map = PersistentStringMap::create_in_memory(opts);
+  auto scalar_map = PersistentStringMap::create_in_memory(opts);
+
+  Xoshiro256 rng(GetParam() * 977 + 3);
+  std::vector<std::string> universe;
+  for (int i = 0; i < 400; ++i) {
+    std::string k = "key-" + std::to_string(i);
+    if (i % 17 == 0) k += std::string(40, 'x');  // some long keys
+    universe.push_back(std::move(k));
+  }
+
+  for (int round = 0; round < 25; ++round) {
+    const usize n = 1 + static_cast<usize>(rng.next_below(129));
+    std::vector<std::string_view> keys(n);
+    for (auto& k : keys) k = universe[rng.next_below(universe.size())];
+    switch (rng.next_below(3)) {
+      case 0: {
+        std::vector<u64> values(n);
+        for (u64& v : values) v = rng.next();
+        batch_map.put_batch(keys, values);
+        for (usize i = 0; i < n; ++i) scalar_map.put(keys[i], values[i]);
+        break;
+      }
+      case 1: {
+        std::vector<std::optional<u64>> out(n);
+        batch_map.get_batch(keys, out);
+        for (usize i = 0; i < n; ++i) {
+          ASSERT_EQ(out[i], scalar_map.get(keys[i])) << "round " << round << " i " << i;
+        }
+        break;
+      }
+      case 2: {
+        std::vector<u8> hits(n, 0xee);
+        batch_map.erase_batch(keys, hits);
+        for (usize i = 0; i < n; ++i) {
+          ASSERT_EQ(hits[i] != 0, scalar_map.erase(keys[i])) << "round " << round << " i " << i;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(batch_map.size(), scalar_map.size()) << "round " << round;
+  }
+  EXPECT_TRUE(batch_map.debug_verify_tags());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StringBatchFuzz, ::testing::Range<u64>(1, 5));
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch equivalence
+// ---------------------------------------------------------------------------
+
+/// Restores the dispatch cap even when an assertion fails mid-test.
+struct SimdCapGuard {
+  ~SimdCapGuard() { hash::force_simd_level(hash::SimdLevel::kAvx2); }
+};
+
+TEST(SimdEquivalence, EveryLevelAgreesOnLookupsAndMutations) {
+  SimdCapGuard guard;
+  auto map = GroupHashMap::create_in_memory({.initial_cells = 1 << 13, .group_size = 64});
+  Xoshiro256 rng(11);
+  std::vector<u64> keys(3000), misses(1000);
+  for (u64& k : keys) k = make_key(rng);
+  for (u64& k : misses) k = make_key(rng);
+  for (const u64 k : keys) map.put(k, k * 3);
+
+  // Baseline: the portable scalar sweep.
+  hash::force_simd_level(hash::SimdLevel::kScalar);
+  ASSERT_EQ(hash::active_simd_level(), hash::SimdLevel::kScalar);
+  std::vector<std::optional<u64>> baseline(keys.size()), miss_base(misses.size());
+  map.get_batch(keys, baseline);
+  map.get_batch(misses, miss_base);
+  ASSERT_TRUE(map.raw_table().verify_tags());
+
+  for (const auto level : {hash::SimdLevel::kSse2, hash::SimdLevel::kAvx2}) {
+    if (static_cast<int>(level) > static_cast<int>(hash::detected_simd_level())) continue;
+    hash::force_simd_level(level);
+    ASSERT_EQ(hash::active_simd_level(), level);
+    std::vector<std::optional<u64>> out(keys.size());
+    map.get_batch(keys, out);
+    EXPECT_EQ(out, baseline) << "level " << static_cast<int>(level);
+    for (usize i = 0; i < keys.size(); ++i) {
+      ASSERT_EQ(map.get(keys[i]), baseline[i]) << "level " << static_cast<int>(level);
+    }
+    std::vector<std::optional<u64>> mout(misses.size());
+    map.get_batch(misses, mout);
+    EXPECT_EQ(mout, miss_base) << "level " << static_cast<int>(level);
+    EXPECT_TRUE(map.raw_table().verify_tags());
+  }
+
+  // Mutate under the scalar sweep, read back under the widest one — the
+  // tag array is ISA-independent state.
+  hash::force_simd_level(hash::SimdLevel::kScalar);
+  for (usize i = 0; i < keys.size(); i += 2) map.erase(keys[i]);
+  hash::force_simd_level(hash::SimdLevel::kAvx2);
+  for (usize i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(map.get(keys[i]).has_value(), i % 2 == 1) << i;
+  }
+  EXPECT_TRUE(map.raw_table().verify_tags());
+}
+
+// ---------------------------------------------------------------------------
+// Tag coherence through the map lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(Tags, CoherentThroughOpsExpansionScrubAndRecovery) {
+  auto map = GroupHashMap::create_in_memory(
+      {.initial_cells = 256, .group_size = 64, .checksum_groups = true});
+  Xoshiro256 rng(17);
+  std::vector<u64> keys(2000);
+  for (u64& k : keys) k = make_key(rng);
+
+  // Inserts force several expansion rebuilds (256 cells -> thousands).
+  const u64 expansions0 = map.snapshot().lifecycle.expansions;
+  std::vector<u64> values(keys.size(), 5);
+  map.put_batch(keys, values);
+  EXPECT_GT(map.snapshot().lifecycle.expansions, expansions0);
+  ASSERT_TRUE(map.raw_table().verify_tags()) << "after batched inserts + expansion";
+
+  for (usize i = 0; i < keys.size(); i += 2) map.erase(keys[i]);
+  ASSERT_TRUE(map.raw_table().verify_tags()) << "after erases";
+
+  for (usize i = 1; i < keys.size(); i += 2) map.put(keys[i], 6);
+  ASSERT_TRUE(map.raw_table().verify_tags()) << "after updates";
+
+  const auto scrubbed = map.scrub();
+  EXPECT_EQ(scrubbed.crc_mismatches, 0u);
+  ASSERT_TRUE(map.raw_table().verify_tags()) << "after scrub";
+
+  map.recover_now();
+  ASSERT_TRUE(map.raw_table().verify_tags()) << "after recovery";
+  for (usize i = 1; i < keys.size(); i += 2) {
+    ASSERT_EQ(map.get(keys[i]), std::optional<u64>(6));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AnyTable dispatch: native batch vs the base-class scalar fallback
+// ---------------------------------------------------------------------------
+
+class AnyTableBatch : public ::testing::TestWithParam<std::tuple<hash::Scheme, bool>> {};
+
+TEST_P(AnyTableBatch, BatchEntryPointsMatchScalarSemantics) {
+  const auto [scheme, wide] = GetParam();
+  hash::TableConfig cfg;
+  cfg.scheme = scheme;
+  cfg.total_cells_log2 = 12;
+  cfg.wide_cells = wide;
+  nvm::DirectPM pm(nvm::PersistConfig::counting_only());
+  nvm::NvmRegion region = nvm::NvmRegion::create_anonymous(hash::table_required_bytes(cfg));
+  auto table = hash::make_table(pm, region.bytes().first(hash::table_required_bytes(cfg)),
+                                cfg, /*format=*/true);
+  ASSERT_NE(table, nullptr);
+
+  // 600 distinct keys: larger than the adapter's 256-key narrowing chunk,
+  // so narrow tables cross chunk boundaries.
+  std::vector<Key128> keys;
+  std::vector<u64> values;
+  for (u64 i = 1; i <= 600; ++i) {
+    keys.push_back(Key128{i * 977, wide ? i * 31 : 0});
+    values.push_back(i);
+  }
+  const usize inserted = table->insert_batch(keys, values);
+  ASSERT_EQ(inserted, keys.size()) << table->name() << " at ~7% load";
+  EXPECT_EQ(table->count(), keys.size());
+
+  std::vector<std::optional<u64>> out(keys.size());
+  table->find_batch(keys, out);
+  for (usize i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(out[i], table->find(keys[i])) << table->name() << " i=" << i;
+    ASSERT_EQ(out[i], std::optional<u64>(values[i]));
+  }
+
+  // Erase with duplicates: sequential semantics through either path.
+  std::vector<Key128> doomed{keys[0], keys[0], keys[1],
+                                   Key128{~0ull >> 2, 0}};
+  std::vector<u8> hits(doomed.size(), 0xee);
+  table->erase_batch(doomed, hits);
+  EXPECT_EQ(hits, (std::vector<u8>{1, 0, 1, 0})) << table->name();
+  EXPECT_EQ(table->count(), keys.size() - 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, AnyTableBatch,
+    ::testing::Combine(::testing::Values(hash::Scheme::kGroup, hash::Scheme::kLinear,
+                                         hash::Scheme::kLevel),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      std::string name = hash::scheme_name(std::get<0>(info.param));
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name + (std::get<1>(info.param) ? "_wide" : "_narrow");
+    });
+
+// ---------------------------------------------------------------------------
+// Concurrent wrappers (single-threaded semantics; races are covered by the
+// concurrency-label torture suites)
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrentBatch, ShardedMapMatchesScalar) {
+  ConcurrentGroupHashMap cmap(/*shards=*/4, {.initial_cells = 1 << 12});
+  Xoshiro256 rng(23);
+  std::vector<u64> keys(3000), values(3000);
+  for (usize i = 0; i < keys.size(); ++i) {
+    keys[i] = make_key(rng);
+    values[i] = rng.next();
+  }
+  cmap.put_batch(keys, values);
+  EXPECT_EQ(cmap.size(), keys.size());
+
+  std::vector<u64> probes = keys;
+  for (int i = 0; i < 1000; ++i) probes.push_back(make_key(rng));
+  std::vector<std::optional<u64>> out(probes.size());
+  cmap.get_batch(probes, out);
+  for (usize i = 0; i < probes.size(); ++i) {
+    ASSERT_EQ(out[i], cmap.get(probes[i])) << i;
+  }
+
+  std::vector<u64> doomed(keys.begin(), keys.begin() + 1500);
+  doomed.push_back(keys[0]);  // already-erased duplicate -> miss
+  std::vector<u8> hits(doomed.size(), 0xee);
+  cmap.erase_batch(doomed, hits);
+  for (usize i = 0; i < 1500; ++i) ASSERT_EQ(hits[i], 1) << i;
+  EXPECT_EQ(hits.back(), 0);
+  EXPECT_EQ(cmap.size(), keys.size() - 1500);
+}
+
+TEST(ConcurrentBatch, StripedTableFindBatchMatchesFind) {
+  ConcurrentGroupHashTable t({.total_cells = 1 << 14, .group_size = 64});
+  Xoshiro256 rng(29);
+  std::vector<u64> keys(2000);
+  for (u64& k : keys) k = make_key(rng);
+  for (const u64 k : keys) t.put(k, k + 1);
+  std::vector<u64> probes = keys;
+  for (int i = 0; i < 500; ++i) probes.push_back(make_key(rng));
+  std::vector<std::optional<u64>> out(probes.size());
+  t.find_batch(probes, out);
+  for (usize i = 0; i < probes.size(); ++i) {
+    ASSERT_EQ(out[i], t.find(probes[i])) << i;
+  }
+}
+
+TEST(ConcurrentBatch, StringMapGetBatchMatchesGet) {
+  ConcurrentStringMap map({.shards = 4});
+  for (u64 k = 0; k < 800; ++k) map.put("key-" + std::to_string(k), k);
+  std::vector<std::string> storage;
+  for (u64 k = 0; k < 1000; ++k) storage.push_back("key-" + std::to_string(k));
+  storage.push_back(std::string(300, 'z'));  // oversized -> locked path
+  std::vector<std::string_view> probes(storage.begin(), storage.end());
+  std::vector<std::optional<u64>> out(probes.size());
+  map.get_batch(probes, out);
+  for (usize i = 0; i < probes.size(); ++i) {
+    ASSERT_EQ(out[i], map.get(probes[i])) << probes[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash coherence: tags rebuilt from a crash image match a full rescan
+// ---------------------------------------------------------------------------
+
+class TagCrash : public ::testing::Test {
+ protected:
+  using Table = hash::GroupHashTable<hash::Cell16, nvm::ShadowPM>;
+
+  static constexpr hash::GroupHashTable<hash::Cell16, nvm::ShadowPM>::Params kParams{
+      .level_cells = 64, .group_size = 16, .zero_memory = true};
+
+  /// Mixed scalar + batched workload. Throws SimulatedCrash when the PM
+  /// crash trigger fires mid-script.
+  static void run_script(Table& t) {
+    std::vector<u64> keys, values;
+    for (u64 i = 1; i <= 40; ++i) {
+      keys.push_back(i * 0x9e3779b97f4a7c15ull >> 1 | 1);
+      values.push_back(i);
+    }
+    // Scalar warm-up, then batched upsert (covers both windows of 32),
+    // scalar + batched erase, and batched re-insert over the holes.
+    for (usize i = 0; i < 8; ++i) t.insert(keys[i], values[i]);
+    t.upsert_batch(std::span(keys).subspan(8), std::span(values).subspan(8));
+    t.erase(keys[0]);
+    t.erase_batch(std::span(keys).subspan(1, 11), {});
+    t.upsert_batch(std::span(keys).first(6), std::span(values).first(6));
+  }
+
+  static bool tags_match_after_reopen(nvm::ShadowPM& pm, std::span<std::byte> mem,
+                                      bool recover) {
+    Table reopened = Table::attach(pm, mem);
+    // attach() alone must already rebuild the DRAM tags from the cells...
+    if (!reopened.verify_tags()) return false;
+    // ...and recovery (which scrubs torn payloads) must keep them in sync.
+    if (recover) {
+      reopened.recover();
+      if (!reopened.verify_tags()) return false;
+    }
+    return true;
+  }
+};
+
+TEST_F(TagCrash, ReopenRebuildsTagsAtEveryCrashPoint) {
+  nvm::NvmRegion region = nvm::NvmRegion::create_anonymous(Table::required_bytes(kParams));
+  const std::span<std::byte> mem = region.bytes().first(Table::required_bytes(kParams));
+  nvm::ShadowPM pm(mem);
+
+  // Dry run to learn the event horizon. Formatting emits events too, and
+  // every crash run re-formats — so count only the script's own events.
+  u64 script_events = 0;
+  {
+    Table t(pm, mem, kParams, /*format=*/true);
+    const u64 base = pm.event_count();
+    run_script(t);
+    script_events = pm.event_count() - base;
+  }
+  ASSERT_GT(script_events, 100u) << "script too small to be interesting";
+
+  for (u64 crash_at = 1; crash_at < script_events; ++crash_at) {
+    pm.crash_at_event(nvm::ShadowPM::no_crash());
+    Table t(pm, mem, kParams, /*format=*/true);
+    pm.crash_at_event(pm.event_count() + crash_at);
+    bool crashed = false;
+    try {
+      run_script(t);
+    } catch (const nvm::SimulatedCrash&) {
+      crashed = true;
+    }
+    pm.crash_at_event(nvm::ShadowPM::no_crash());
+    ASSERT_TRUE(crashed) << "crash_at " << crash_at;
+
+    // The fence-honest image: only explicitly persisted data survives.
+    const auto image = pm.materialize_crash_image(nvm::CrashMode::kNothingEvicted, 0);
+    pm.reset_to_image(image);
+    ASSERT_TRUE(tags_match_after_reopen(pm, mem, /*recover=*/true))
+        << "crash_at " << crash_at;
+  }
+}
+
+TEST_F(TagCrash, ReopenRebuildsTagsUnderRandomEviction) {
+  nvm::NvmRegion region = nvm::NvmRegion::create_anonymous(Table::required_bytes(kParams));
+  const std::span<std::byte> mem = region.bytes().first(Table::required_bytes(kParams));
+  nvm::ShadowPM pm(mem);
+  u64 script_events = 0;
+  {
+    Table t(pm, mem, kParams, /*format=*/true);
+    const u64 base = pm.event_count();
+    run_script(t);
+    script_events = pm.event_count() - base;
+  }
+
+  Xoshiro256 rng(41);
+  for (int trial = 0; trial < 60; ++trial) {
+    const u64 crash_at = 1 + rng.next_below(script_events - 1);
+    pm.crash_at_event(nvm::ShadowPM::no_crash());
+    Table t(pm, mem, kParams, /*format=*/true);
+    pm.crash_at_event(pm.event_count() + crash_at);
+    try {
+      run_script(t);
+    } catch (const nvm::SimulatedCrash&) {
+    }
+    pm.crash_at_event(nvm::ShadowPM::no_crash());
+
+    for (const u64 evict_seed : {1ull, 2ull, 3ull}) {
+      const auto image =
+          pm.materialize_crash_image(nvm::CrashMode::kRandomEviction, evict_seed);
+      pm.reset_to_image(image);
+      ASSERT_TRUE(tags_match_after_reopen(pm, mem, /*recover=*/true))
+          << "crash_at " << crash_at << " evict_seed " << evict_seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gh
