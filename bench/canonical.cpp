@@ -14,6 +14,8 @@
 //   fences per op, scalar vs batched put      — the §3.3 coalescing win
 //   concurrent_get_xN                         — read scaling, 1/2/4 threads
 //   recovery                                  — Algorithm 4 wall time
+//   service_ycsbc                             — sharded front-end QPS, p99,
+//                                               batched-vs-naive ingest ratio
 //
 // --smoke shrinks everything for the CI fast lane (numbers still emitted,
 // ratios still sane); --out=<path> overrides the JSON destination.
@@ -25,6 +27,8 @@
 #include "core/concurrent_map.hpp"
 #include "core/group_hash_map.hpp"
 #include "hash/tag_probe.hpp"
+#include "service/service.hpp"
+#include "service/ycsb_driver.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -54,7 +58,7 @@ int main(int argc, char** argv) {
   const u64 nkeys = cli.get_u64("keys", smoke ? (1u << 14) : (1u << 20));
   const usize batch = static_cast<usize>(cli.get_u64("batch", 256));
   const u64 seed = 42;  // pinned: the trajectory only means something on fixed inputs
-  const std::string out_path = cli.get_or("out", "BENCH_PR6.json");
+  const std::string out_path = cli.get_or("out", "BENCH_PR7.json");
 
   BenchEnv env = BenchEnv::from_env();
   env.seed = seed;
@@ -193,6 +197,37 @@ int main(int argc, char** argv) {
          static_cast<double>(
              std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count()) /
              1000.0});
+  }
+
+  // --- service front-end (YCSB-C through the sharded ingest path) ---
+  {
+    service::ServiceOptions sopts;
+    sopts.shards = 4;
+    service::DriverOptions dopts;
+    dopts.clients = 4;
+    dopts.batch = 64;
+    dopts.keys = smoke ? (1u << 13) : (1u << 16);
+    dopts.ops_per_client = smoke ? 20'000 : 200'000;
+    dopts.seed = seed;
+    dopts.mix = service::mix_for("c");
+    u64 scells = 64;
+    while (scells < dopts.keys * 2 / sopts.shards) scells <<= 1;
+    sopts.map_options.initial_cells = scells;
+    sopts.map_options.flush_latency_ns = 0;
+
+    const auto run_service = [&](bool naive) {
+      sopts.naive = naive;
+      service::ShardServer server(sopts);
+      const service::DriverReport r = service::run_ycsb(server, dopts);
+      server.stop();
+      return r;
+    };
+    const service::DriverReport batched = run_service(false);
+    const service::DriverReport naive = run_service(true);
+    metrics.push_back({"service_ycsbc_qps", batched.qps, "higher"});
+    metrics.push_back({"service_ycsbc_get_p99_ns", batched.latency.find.p99_ns});
+    metrics.push_back(
+        {"service_batch_speedup", naive.qps > 0 ? batched.qps / naive.qps : 0, "higher"});
   }
 
   // --- report ---

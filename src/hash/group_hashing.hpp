@@ -616,6 +616,70 @@ class GroupHashTable {
     return c;
   }
 
+  /// Level-2 group scan shared by find_at/find_cell_at: DRAM byte-tag
+  /// sweep, then — when the cell layout has an in-cell 16-bit tag — the
+  /// dispatched commit-word filter over the byte-tag survivors, then full
+  /// key compares on what little is left. `probed` returns the number of
+  /// cells dereferenced, `scanned` the tag bytes consumed (hit position
+  /// + 1, or the whole group on a miss) — the same accounting the
+  /// historical per-candidate scalar loop produced.
+  Cell* scan_group(key_type key, u64 j, u8 tag, u32& probed, u32& scanned) {
+    Cell* found = nullptr;
+    probed = 0;
+    scanned = group_size_;
+    if constexpr (kInCellTag) {
+      // Chunked two-stage filter: collect byte-tag candidates, narrow by
+      // one vector compare of their commit words (bitmap | 16-bit tag),
+      // key-compare only the survivors. A false full-key compare now
+      // needs a byte-tag AND an in-cell-tag collision to coincide.
+      const u64 expect = Cell::kOccupiedBit | Cell::tag_of(key);
+      const u64* words = reinterpret_cast<const u64*>(&tab2_[j]);
+      constexpr u32 kChunk = 32;
+      std::array<u32, kChunk> cand;
+      u32 nc = 0;
+      // `swept` is where the byte sweep stopped — on a hit the skipped-byte
+      // count is swept - probed, and every candidate position is < swept,
+      // so probed can never exceed it.
+      auto drain = [&](u32 swept) {
+        probed += nc;
+        stats_.level2_probes += nc;
+        for (u32 s = 0; s < nc; ++s) probe(&tab2_[j + cand[s]]);
+        const u32 kept =
+            filter_in_cell_tags(words, sizeof(Cell) / sizeof(u64), cand.data(), nc, expect);
+        for (u32 s = 0; s < kept && found == nullptr; ++s) {
+          Cell* c2 = &tab2_[j + cand[s]];
+          if (c2->matches(key)) {
+            found = c2;
+            scanned = swept;
+          }
+        }
+        nc = 0;
+      };
+      for_each_tag_match(tags2_ + j, group_size_, tag, [&](u32 i) {
+        cand[nc++] = i;
+        if (nc == kChunk) {
+          drain(i + 1);
+          return found != nullptr;
+        }
+        return false;
+      });
+      if (found == nullptr && nc > 0) drain(group_size_);
+    } else {
+      for_each_tag_match(tags2_ + j, group_size_, tag, [&](u32 i) {
+        Cell* c2 = probe(&tab2_[j + i]);
+        stats_.level2_probes++;
+        probed++;
+        if (c2->matches(key)) {
+          found = c2;
+          scanned = i + 1;
+          return true;
+        }
+        return false;
+      });
+    }
+    return found;
+  }
+
   void bump_count(i64 delta) {
     if (count_mode_ == CountMode::kEager) {
       pm_->atomic_store_u64(&header_->count, header_->count + static_cast<u64>(delta));
@@ -658,26 +722,15 @@ class GroupHashTable {
       stats_.tag_skips++;
     }
     const u64 j = k - k % group_size_;
-    std::optional<u64> result;
     u32 probed = 0;
-    u32 scanned = group_size_;  // overwritten with hit position on a hit
-    for_each_tag_match(tags2_ + j, group_size_, tag, [&](u32 i) {
-      const Cell* c2 = probe(&tab2_[j + i]);
-      stats_.level2_probes++;
-      probed++;
-      if (c2->matches(key)) {
-        result = c2->value;
-        scanned = i + 1;
-        return true;
-      }
-      return false;
-    });
+    u32 scanned = group_size_;
+    Cell* c2 = scan_group(key, j, tag, probed, scanned);
     stats_.tag_probes += probed;
     stats_.tag_skips += scanned - probed;
-    if (result) {
+    if (c2 != nullptr) {
       stats_.tag_false_positives += probed - 1;
       stats_.query_hits++;
-      return result;
+      return c2->value;
     }
     stats_.tag_false_positives += probed;
     return std::nullopt;
@@ -692,19 +745,16 @@ class GroupHashTable {
       Cell* c1 = probe(&tab1_[k]);
       if (c1->matches(key)) return c1;
     }
-    const u64 j = k - k % group_size_;
-    Cell* found = nullptr;
-    for_each_tag_match(tags2_ + j, group_size_, tag, [&](u32 i) {
-      Cell* c2 = probe(&tab2_[j + i]);
-      stats_.level2_probes++;
-      if (c2->matches(key)) {
-        found = c2;
-        return true;
-      }
-      return false;
-    });
-    return found;
+    u32 probed = 0;
+    u32 scanned = 0;
+    return scan_group(key, k - k % group_size_, tag, probed, scanned);
   }
+
+  /// True for cell layouts that carry a 16-bit key tag inside the commit
+  /// word (Cell32); those get a second, dispatched filter stage between
+  /// the DRAM byte-tag sweep and the full key compare.
+  static constexpr bool kInCellTag =
+      requires(const typename Cell::key_type& k) { Cell::tag_of(k); };
 
   // --- fingerprint-tag machinery -------------------------------------------
 

@@ -131,6 +131,95 @@ inline void for_each_tag_match(const u8* tags, u32 n, u8 tag, Visit&& visit) {
   }
 }
 
+// --- second-stage filter: 16-bit in-cell tags (Cell32) ---------------------
+//
+// 32-byte cells carry a 16-bit key tag inside their 64-bit commit word
+// (bitmap(63) | tag(15..0)). The DRAM byte-tag sweep above leaves ~2
+// candidates per group; before paying a full 16-byte key compare per
+// candidate, this stage compares the candidates' commit words against the
+// probe key's expected word in one vector compare. Only candidates whose
+// in-cell tag ALSO matches get the key compare — a byte-tag collision
+// (1/128) and an in-cell-tag collision (1/65536) must now coincide for a
+// false full compare.
+
+namespace detail {
+#if GH_TAG_SIMD_X86
+/// AVX2: gather 4 candidate commit words (cells are `stride_words` u64s
+/// apart; the commit word is word 0) and compare all 4 at once.
+__attribute__((target("avx2"))) inline u32 in_cell_filter_avx2(const u64* cell_words,
+                                                               u32 stride_words, u32* idxs,
+                                                               u32 count, u64 expect) {
+  u32 out = 0;
+  u32 i = 0;
+  const __m256i want = _mm256_set1_epi64x(static_cast<long long>(expect));
+  for (; i + 4 <= count; i += 4) {
+    const __m256i vidx =
+        _mm256_set_epi64x(static_cast<long long>(idxs[i + 3]) * stride_words,
+                          static_cast<long long>(idxs[i + 2]) * stride_words,
+                          static_cast<long long>(idxs[i + 1]) * stride_words,
+                          static_cast<long long>(idxs[i + 0]) * stride_words);
+    const __m256i v =
+        _mm256_i64gather_epi64(reinterpret_cast<const long long*>(cell_words), vidx,
+                               /*scale=*/8);
+    u32 m = static_cast<u32>(_mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(v, want))));
+    while (m != 0) {
+      idxs[out++] = idxs[i + static_cast<u32>(std::countr_zero(m))];
+      m &= m - 1;
+    }
+  }
+  for (; i < count; ++i) {
+    if (cell_words[static_cast<u64>(idxs[i]) * stride_words] == expect) idxs[out++] = idxs[i];
+  }
+  return out;
+}
+
+/// SSE2 (baseline): pack 2 candidate commit words and compare pairwise.
+/// SSE2 has no 64-bit equality, so require both 32-bit halves equal.
+inline u32 in_cell_filter_sse2(const u64* cell_words, u32 stride_words, u32* idxs, u32 count,
+                               u64 expect) {
+  u32 out = 0;
+  u32 i = 0;
+  const __m128i want = _mm_set1_epi64x(static_cast<long long>(expect));
+  for (; i + 2 <= count; i += 2) {
+    const __m128i v =
+        _mm_set_epi64x(static_cast<long long>(cell_words[static_cast<u64>(idxs[i + 1]) * stride_words]),
+                       static_cast<long long>(cell_words[static_cast<u64>(idxs[i]) * stride_words]));
+    const u32 m = static_cast<u32>(_mm_movemask_epi8(_mm_cmpeq_epi32(v, want)));
+    if ((m & 0x00ffu) == 0x00ffu) idxs[out++] = idxs[i];
+    if ((m & 0xff00u) == 0xff00u) idxs[out++] = idxs[i + 1];
+  }
+  for (; i < count; ++i) {
+    if (cell_words[static_cast<u64>(idxs[i]) * stride_words] == expect) idxs[out++] = idxs[i];
+  }
+  return out;
+}
+#endif
+}  // namespace detail
+
+/// Keep only the candidates whose in-cell 64-bit commit word equals
+/// `expect`. `cell_words` is the group's first cell viewed as u64s;
+/// candidate i's commit word is cell_words[idxs[i] * stride_words].
+/// Compacts `idxs` in place preserving order and returns the surviving
+/// count. Dispatched like for_each_tag_match, same quiescence contract
+/// (NOT for the optimistic seqlock read path).
+[[nodiscard]] inline u32 filter_in_cell_tags(const u64* cell_words, u32 stride_words, u32* idxs,
+                                             u32 count, u64 expect) {
+#if GH_TAG_SIMD_X86
+  const SimdLevel lvl = active_simd_level();
+  if (lvl == SimdLevel::kAvx2) {
+    return detail::in_cell_filter_avx2(cell_words, stride_words, idxs, count, expect);
+  }
+  if (lvl == SimdLevel::kSse2) {
+    return detail::in_cell_filter_sse2(cell_words, stride_words, idxs, count, expect);
+  }
+#endif
+  u32 out = 0;
+  for (u32 i = 0; i < count; ++i) {
+    if (cell_words[static_cast<u64>(idxs[i]) * stride_words] == expect) idxs[out++] = idxs[i];
+  }
+  return out;
+}
+
 /// Atomic tag accessors. Writers store release so the optimistic readers'
 /// relaxed loads never race (both sides atomic); lock-held readers may
 /// keep using plain/SIMD loads, which the locks already order.

@@ -125,7 +125,8 @@ void write_histogram(Json& j, std::string_view name, const HistogramSnapshot& h)
       .field("mean_ns", h.mean_ns)
       .field("p50_ns", h.p50_ns)
       .field("p95_ns", h.p95_ns)
-      .field("p99_ns", h.p99_ns);
+      .field("p99_ns", h.p99_ns)
+      .field("p999_ns", h.p999_ns);
   // Sparse (bucket index, count) pairs; validate_json cross-checks their
   // sum against "count" so a truncated/mutated export fails validation.
   j.key("buckets").begin_arr();
@@ -221,6 +222,7 @@ void prom_histogram(std::string& out, std::string_view prefix, std::string_view 
   prom_line(out, prefix, base, with_q("0.5"), h.p50_ns);
   prom_line(out, prefix, base, with_q("0.95"), h.p95_ns);
   prom_line(out, prefix, base, with_q("0.99"), h.p99_ns);
+  prom_line(out, prefix, base, with_q("0.999"), h.p999_ns);
   prom_line(out, prefix, std::string(base) + "_count", lp, static_cast<double>(h.count));
   prom_line(out, prefix, std::string(base) + "_sum", lp, static_cast<double>(h.sum_ns));
   prom_line(out, prefix, std::string(base) + "_max", lp, static_cast<double>(h.max_ns));

@@ -37,13 +37,13 @@ double LatencyHistogram::bucket_midpoint(usize bucket) {
 
 namespace {
 
-// Recompute mean/p50/p95/p99 of a snapshot from its sparse tick-domain
+// Recompute mean/p50/p95/p99/p999 of a snapshot from its sparse tick-domain
 // bucket list (shared by LatencyHistogram::snapshot and
 // HistogramSnapshot::merge so a merged aggregate and a union histogram
 // derive identical statistics).
 void finalize_histogram(HistogramSnapshot& s) {
   if (s.count == 0) {
-    s.mean_ns = s.p50_ns = s.p95_ns = s.p99_ns = 0;
+    s.mean_ns = s.p50_ns = s.p95_ns = s.p99_ns = s.p999_ns = 0;
     return;
   }
   const double tpn = ticks_per_ns();
@@ -62,6 +62,7 @@ void finalize_histogram(HistogramSnapshot& s) {
   s.p50_ns = percentile(50);
   s.p95_ns = percentile(95);
   s.p99_ns = percentile(99);
+  s.p999_ns = percentile(99.9);
 }
 
 }  // namespace

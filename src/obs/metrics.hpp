@@ -152,10 +152,11 @@ struct HistogramSnapshot {
   double p50_ns = 0;
   double p95_ns = 0;
   double p99_ns = 0;
+  double p999_ns = 0;
   /// Sparse non-empty buckets as (tick-domain bucket index, count) pairs,
   /// ascending by index. Carrying the raw distribution is what lets
   /// merge() recompute exact percentiles for an aggregate: merged
-  /// mean/p50/p95/p99 equal those of one histogram holding the union of
+  /// mean/p50/p95/p99/p999 equal those of one histogram holding the union of
   /// samples, not a lossy average of per-shard percentiles.
   std::vector<std::pair<u32, u64>> buckets;
 

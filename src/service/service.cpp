@@ -1,0 +1,374 @@
+#include "service/service.hpp"
+
+#include <exception>
+#include <stdexcept>
+
+#include "core/errors.hpp"
+#include "hash/hash_functions.hpp"
+#include "nvm/fault_fs.hpp"
+#include "util/assert.hpp"
+
+namespace gh::service {
+
+namespace {
+
+/// Same seed the concurrent wrappers use for shard routing, so the
+/// service's shard for a key matches ConcurrentGroupHashMap's.
+constexpr u64 kShardSeed = 0xc3a5c85c97cb3127ull;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(_M_X64)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+inline obs::OpKind op_kind(Op op) {
+  switch (op) {
+    case Op::kGet: return obs::OpKind::kFind;
+    case Op::kPut: return obs::OpKind::kInsert;
+    case Op::kErase: return obs::OpKind::kErase;
+  }
+  return obs::OpKind::kFind;
+}
+
+}  // namespace
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kPending: return "pending";
+    case Status::kOk: return "ok";
+    case Status::kNotFound: return "not_found";
+    case Status::kDegraded: return "degraded";
+    case Status::kShardDown: return "shard_down";
+  }
+  return "?";
+}
+
+u32 ShardServer::shard_of(u64 key, u32 shards) {
+  return static_cast<u32>(hash::SeededHash(kShardSeed)(key)) & (shards - 1);
+}
+
+ShardServer::ShardServer(const ServiceOptions& options) : options_(options) {
+  GH_CHECK_MSG(options_.batch_window >= 1,
+               "batch_window must be >= 1 (a zero window would never drain the ring)");
+  u32 n = 1;
+  while (n < options_.shards) n <<= 1;
+  nshards_ = n;
+  shards_.reserve(nshards_);
+  for (u32 s = 0; s < nshards_; ++s) {
+    shards_.push_back(std::make_unique<Shard>(options_.ring_capacity));
+    Shard& shard = *shards_.back();
+    if (options_.data_dir.empty()) {
+      shard.map = std::make_unique<GroupHashMap>(
+          GroupHashMap::create_in_memory(options_.map_options));
+    } else {
+      const std::string path =
+          options_.data_dir + "/shard" + std::to_string(s) + ".gh";
+      shard.map =
+          std::make_unique<GroupHashMap>(GroupHashMap::create(path, options_.map_options));
+    }
+  }
+  running_.store(true, std::memory_order_release);
+  for (u32 s = 0; s < nshards_; ++s) {
+    Shard& shard = *shards_[s];
+    shard.worker = std::thread([this, &shard] { worker_loop(shard); });
+  }
+}
+
+ShardServer::~ShardServer() { stop(); }
+
+bool ShardServer::shard_down(u32 shard) const {
+  return shards_[shard]->dead.load(std::memory_order_acquire);
+}
+
+void ShardServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    shard->doorbell.fetch_add(1, std::memory_order_release);
+    shard->doorbell.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ShardServer::push_item(Shard& shard, const WorkItem& item) {
+  // Bounded ring = bounded memory; a full ring is backpressure, and the
+  // producer spins until the worker frees a slot. A dead shard keeps
+  // draining (answering kShardDown), so this spin always terminates.
+  u32 spins = 0;
+  while (!shard.ring.try_push(item)) {
+    if (++spins < 64) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  shard.doorbell.fetch_add(1, std::memory_order_release);
+  shard.doorbell.notify_one();
+}
+
+void ShardServer::execute(Batch& batch) {
+  GH_CHECK(running());
+  const u32 n = static_cast<u32>(batch.requests.size());
+  batch.responses_.assign(n, Response{});
+  if (n == 0) return;
+
+  // Counting sort the request indices by shard: one pass to count, one
+  // to scatter. offsets_ keeps the fence posts so each shard's slice of
+  // order_ is contiguous and in caller order.
+  batch.offsets_.assign(nshards_ + 1, 0);
+  batch.order_.resize(n);
+  for (u32 i = 0; i < n; ++i) {
+    batch.offsets_[shard_of(batch.requests[i].key, nshards_) + 1]++;
+  }
+  for (u32 s = 0; s < nshards_; ++s) batch.offsets_[s + 1] += batch.offsets_[s];
+  std::vector<u32> cursor(batch.offsets_.begin(), batch.offsets_.end() - 1);
+  for (u32 i = 0; i < n; ++i) {
+    batch.order_[cursor[shard_of(batch.requests[i].key, nshards_)]++] = i;
+  }
+
+  const u64 t0 = obs::now_ticks();
+
+  if (options_.naive) {
+    // Baseline transport: one work item (and one scalar map call) per
+    // request — what a request-per-message server would do.
+    batch.pending_.store(n, std::memory_order_release);
+    for (u32 s = 0; s < nshards_; ++s) {
+      for (u32 i = batch.offsets_[s]; i < batch.offsets_[s + 1]; ++i) {
+        push_item(*shards_[s], WorkItem{&batch, i, 1});
+      }
+    }
+  } else {
+    u32 touched = 0;
+    for (u32 s = 0; s < nshards_; ++s) {
+      touched += batch.offsets_[s + 1] > batch.offsets_[s];
+    }
+    batch.pending_.store(touched, std::memory_order_release);
+    for (u32 s = 0; s < nshards_; ++s) {
+      const u32 begin = batch.offsets_[s];
+      const u32 count = batch.offsets_[s + 1] - begin;
+      if (count > 0) push_item(*shards_[s], WorkItem{&batch, begin, count});
+    }
+  }
+
+  for (u32 p = batch.pending_.load(std::memory_order_acquire); p != 0;
+       p = batch.pending_.load(std::memory_order_acquire)) {
+    batch.pending_.wait(p, std::memory_order_acquire);
+  }
+
+  const u64 dt = obs::now_ticks() - t0;
+  for (u32 i = 0; i < n; ++i) recorder_.record(op_kind(batch.requests[i].op), dt);
+}
+
+void ShardServer::complete(Batch* batch) {
+  if (batch->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    batch->pending_.notify_all();
+  }
+}
+
+void ShardServer::answer_item(const WorkItem& item, Status status) {
+  for (u32 i = 0; i < item.count; ++i) {
+    const u32 r = item.batch->order_[item.begin + i];
+    item.batch->responses_[r] = Response{status, 0};
+  }
+}
+
+void ShardServer::kill_shard(Shard& shard) {
+  // A SimulatedCrash froze this shard's map mid-operation. Treat the
+  // worker as power-failed: drop the mappings without flushing (exactly
+  // what abandon() models) and answer kShardDown from here on. The ring
+  // keeps draining so clients never wedge on a dead shard.
+  shard.dead.store(true, std::memory_order_release);
+  shard.map->abandon();
+}
+
+void ShardServer::worker_loop(Shard& shard) {
+  for (;;) {
+    const u64 seen = shard.doorbell.load(std::memory_order_acquire);
+    shard.visit.clear();
+    WorkItem w;
+    while (shard.visit.size() < options_.batch_window && shard.ring.try_pop(w)) {
+      shard.visit.push_back(w);
+    }
+    if (shard.visit.empty()) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        // stop() rings every doorbell after flipping the flag and
+        // execute() refuses new batches, so an empty ring here is final.
+        return;
+      }
+      shard.doorbell.wait(seen, std::memory_order_acquire);
+      continue;
+    }
+    if (shard.dead.load(std::memory_order_relaxed)) {
+      for (const WorkItem& item : shard.visit) {
+        answer_item(item, Status::kShardDown);
+        complete(item.batch);
+      }
+      continue;
+    }
+    if (options_.naive) {
+      serve_visit_naive(shard);
+    } else {
+      serve_visit(shard);
+    }
+    for (const WorkItem& item : shard.visit) complete(item.batch);
+  }
+}
+
+void ShardServer::serve_visit(Shard& shard) {
+  // Bucket every request of the visit — across client batches — by kind,
+  // then execute ONE map batch call per kind. This is the ingest
+  // batching window: the map-level fast path prefetches tag lines across
+  // the whole get set and coalesces fences across the whole put set.
+  shard.get_keys.clear();
+  shard.get_slots.clear();
+  shard.put_keys.clear();
+  shard.put_vals.clear();
+  shard.put_slots.clear();
+  shard.erase_keys.clear();
+  shard.erase_slots.clear();
+
+  for (const WorkItem& item : shard.visit) {
+    for (u32 i = 0; i < item.count; ++i) {
+      const u32 r = item.batch->order_[item.begin + i];
+      const Request& rq = item.batch->requests[r];
+      switch (rq.op) {
+        case Op::kGet:
+          shard.get_keys.push_back(rq.key);
+          shard.get_slots.push_back(SlotRef{item.batch, r});
+          break;
+        case Op::kPut:
+          shard.put_keys.push_back(rq.key);
+          shard.put_vals.push_back(rq.value);
+          shard.put_slots.push_back(SlotRef{item.batch, r});
+          break;
+        case Op::kErase:
+          shard.erase_keys.push_back(rq.key);
+          shard.erase_slots.push_back(SlotRef{item.batch, r});
+          break;
+      }
+    }
+  }
+
+  if (!shard.get_keys.empty()) {
+    shard.get_out.assign(shard.get_keys.size(), std::nullopt);
+    try {
+      shard.map->get_batch(shard.get_keys, shard.get_out);
+      for (usize i = 0; i < shard.get_slots.size(); ++i) {
+        const SlotRef slot = shard.get_slots[i];
+        slot.batch->responses_[slot.req] =
+            shard.get_out[i] ? Response{Status::kOk, *shard.get_out[i]}
+                             : Response{Status::kNotFound, 0};
+      }
+    } catch (const nvm::SimulatedCrash&) {
+      kill_shard(shard);
+    }
+  }
+
+  if (!shard.dead.load(std::memory_order_relaxed) && !shard.put_keys.empty()) {
+    try {
+      shard.map->put_batch(shard.put_keys, shard.put_vals);
+      for (const SlotRef& slot : shard.put_slots) {
+        slot.batch->responses_[slot.req] = Response{Status::kOk, 0};
+      }
+    } catch (const MapDegradedError&) {
+      // The shard stays up: reads are unaffected and the map retries its
+      // rebuild with backoff. A prefix of the window may have landed, so
+      // kDegraded means "retry later" (at-least-once), never data loss.
+      for (const SlotRef& slot : shard.put_slots) {
+        slot.batch->responses_[slot.req] = Response{Status::kDegraded, 0};
+      }
+    } catch (const nvm::SimulatedCrash&) {
+      kill_shard(shard);
+    }
+  }
+
+  if (!shard.dead.load(std::memory_order_relaxed) && !shard.erase_keys.empty()) {
+    shard.erase_hits.assign(shard.erase_keys.size(), 0);
+    try {
+      shard.map->erase_batch(shard.erase_keys, shard.erase_hits);
+      for (usize i = 0; i < shard.erase_slots.size(); ++i) {
+        const SlotRef slot = shard.erase_slots[i];
+        slot.batch->responses_[slot.req] =
+            Response{shard.erase_hits[i] ? Status::kOk : Status::kNotFound, 0};
+      }
+    } catch (const nvm::SimulatedCrash&) {
+      kill_shard(shard);
+    }
+  }
+
+  if (shard.dead.load(std::memory_order_relaxed)) {
+    // The crash interrupted this visit: every response still kPending —
+    // including ops "before" the dying call whose scatter-back never ran
+    // — answers kShardDown.
+    for (const WorkItem& item : shard.visit) {
+      for (u32 i = 0; i < item.count; ++i) {
+        const u32 r = item.batch->order_[item.begin + i];
+        if (item.batch->responses_[r].status == Status::kPending) {
+          item.batch->responses_[r] = Response{Status::kShardDown, 0};
+        }
+      }
+    }
+  }
+}
+
+void ShardServer::serve_visit_naive(Shard& shard) {
+  for (const WorkItem& item : shard.visit) {
+    for (u32 i = 0; i < item.count; ++i) {
+      const u32 r = item.batch->order_[item.begin + i];
+      const Request& rq = item.batch->requests[r];
+      Response& resp = item.batch->responses_[r];
+      if (shard.dead.load(std::memory_order_relaxed)) {
+        resp = Response{Status::kShardDown, 0};
+        continue;
+      }
+      try {
+        switch (rq.op) {
+          case Op::kGet: {
+            const auto v = shard.map->get(rq.key);
+            resp = v ? Response{Status::kOk, *v} : Response{Status::kNotFound, 0};
+            break;
+          }
+          case Op::kPut:
+            shard.map->put(rq.key, rq.value);
+            resp = Response{Status::kOk, 0};
+            break;
+          case Op::kErase:
+            resp = Response{shard.map->erase(rq.key) ? Status::kOk : Status::kNotFound, 0};
+            break;
+        }
+      } catch (const MapDegradedError&) {
+        resp = Response{Status::kDegraded, 0};
+      } catch (const nvm::SimulatedCrash&) {
+        kill_shard(shard);
+        resp = Response{Status::kShardDown, 0};
+      }
+    }
+  }
+}
+
+obs::Snapshot ShardServer::snapshot() {
+  GH_CHECK(!running());
+  obs::Snapshot agg;
+  agg.source = "ShardServer";
+  agg.shards = nshards_;
+  for (u32 s = 0; s < nshards_; ++s) {
+    obs::Snapshot shard_snap = shards_[s]->map->snapshot();
+    agg.absorb(shard_snap);
+    obs::ShardBrief brief;
+    brief.shard = s;
+    brief.size = shard_snap.size;
+    brief.capacity = shard_snap.capacity;
+    brief.expansions = shard_snap.lifecycle.expansions;
+    brief.degraded = shard_snap.lifecycle.degraded ||
+                     shards_[s]->dead.load(std::memory_order_acquire);
+    agg.per_shard.push_back(brief);
+  }
+  return agg;
+}
+
+}  // namespace gh::service

@@ -1,0 +1,124 @@
+#include "service/ycsb_driver.hpp"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "trace/zipf.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace gh::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The shared keyspace: pinned by the seed so preload and every client
+/// agree on key identity without sharing mutable state.
+std::vector<u64> make_keys(const DriverOptions& opts) {
+  Xoshiro256 rng(opts.seed);
+  std::vector<u64> keys(opts.keys);
+  for (u64 i = 0; i < opts.keys; ++i) keys[i] = (rng.next() >> 1) | 1;
+  return keys;
+}
+
+}  // namespace
+
+Mix mix_for(const std::string& workload) {
+  if (workload == "a") return Mix{"A (50r/50u)", 0.50};
+  if (workload == "b") return Mix{"B (95r/5u)", 0.95};
+  return Mix{"C (100r)", 1.0};
+}
+
+void preload(ShardServer& server, const DriverOptions& opts) {
+  const std::vector<u64> keys = make_keys(opts);
+  Batch batch;
+  for (u64 i = 0; i < opts.keys;) {
+    batch.clear();
+    for (u32 b = 0; b < opts.batch && i < opts.keys; ++b, ++i) {
+      batch.requests.push_back(Request{Op::kPut, keys[i], i + 1});
+    }
+    server.execute(batch);
+    for (const Response& r : batch.responses()) GH_CHECK(r.status == Status::kOk);
+  }
+}
+
+DriverReport run_ycsb(ShardServer& server, const DriverOptions& opts) {
+  preload(server, opts);
+  server.reset_request_stats();
+
+  const std::vector<u64> keys = make_keys(opts);
+  const trace::ZipfSampler zipf(keys.size(), opts.zipf_theta);
+
+  DriverReport report;
+  std::atomic<u64> ops{0}, ok{0}, not_found{0}, degraded{0}, shard_down{0};
+
+  const auto t0 = Clock::now();
+  const auto deadline =
+      t0 + std::chrono::nanoseconds(static_cast<u64>(opts.seconds * 1e9));
+
+  std::vector<std::thread> clients;
+  clients.reserve(opts.clients);
+  for (u32 c = 0; c < opts.clients; ++c) {
+    clients.emplace_back([&, c] {
+      Xoshiro256 rng(opts.seed ^ (0x9e3779b97f4a7c15ull * (c + 1)));
+      Batch batch;
+      u64 local_ops = 0, local_ok = 0, local_nf = 0, local_deg = 0, local_down = 0;
+      u64 budget = opts.ops_per_client;
+      for (;;) {
+        if (opts.ops_per_client > 0) {
+          if (budget == 0) break;
+        } else if (Clock::now() >= deadline) {
+          break;
+        }
+        batch.clear();
+        const u32 n = opts.ops_per_client > 0
+                          ? static_cast<u32>(std::min<u64>(opts.batch, budget))
+                          : opts.batch;
+        for (u32 i = 0; i < n; ++i) {
+          const u64 key = keys[zipf.sample(rng)];
+          if (rng.next_double() < opts.mix.read) {
+            batch.requests.push_back(Request{Op::kGet, key, 0});
+          } else {
+            batch.requests.push_back(Request{Op::kPut, key, rng.next()});
+          }
+        }
+        server.execute(batch);
+        for (const Response& r : batch.responses()) {
+          switch (r.status) {
+            case Status::kOk: local_ok++; break;
+            case Status::kNotFound: local_nf++; break;
+            case Status::kDegraded: local_deg++; break;
+            case Status::kShardDown: local_down++; break;
+            case Status::kPending: break;
+          }
+        }
+        local_ops += n;
+        if (opts.ops_per_client > 0) budget -= n;
+      }
+      ops += local_ops;
+      ok += local_ok;
+      not_found += local_nf;
+      degraded += local_deg;
+      shard_down += local_down;
+    });
+  }
+  for (auto& t : clients) t.join();
+  const auto t1 = Clock::now();
+
+  report.ops = ops.load();
+  report.seconds =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
+      1e9;
+  report.qps = report.seconds > 0 ? static_cast<double>(report.ops) / report.seconds : 0;
+  report.ok = ok.load();
+  report.not_found = not_found.load();
+  report.degraded = degraded.load();
+  report.shard_down = shard_down.load();
+  report.latency = obs::OpLatencySnapshot::from(server.request_recorder());
+  return report;
+}
+
+}  // namespace gh::service

@@ -1,0 +1,58 @@
+// Multi-threaded YCSB-style workload driver for the ShardServer.
+//
+// The standard core-workload shapes over a Zipf(0.99)-popular keyspace:
+//   A: 50% read / 50% update   B: 95% read / 5% update   C: 100% read
+// Each client thread owns one Batch and round-trips it through
+// ShardServer::execute(); the driver preloads the keyspace, resets the
+// server's request histograms so the report covers only the measured
+// phase, and aggregates QPS plus p50/p99/p999 from the service-level
+// obs recorder. Shared by tools/gh_serve and bench/service_ycsb so the
+// CLI and the bench report identical numbers for identical flags.
+#pragma once
+
+#include <string>
+
+#include "obs/snapshot.hpp"
+#include "service/service.hpp"
+
+namespace gh::service {
+
+struct Mix {
+  const char* name;
+  double read = 1.0;  ///< remainder of each batch slot is an update (put)
+};
+
+[[nodiscard]] Mix mix_for(const std::string& workload);  // "a" | "b" | "c"
+
+struct DriverOptions {
+  u32 clients = 4;
+  u32 batch = 64;          ///< requests per client round-trip
+  u64 keys = 1u << 16;     ///< preloaded keyspace size
+  u64 ops_per_client = 0;  ///< fixed-op run when nonzero…
+  double seconds = 0;      ///< …else run until this wall-clock deadline
+  double zipf_theta = 0.99;
+  u64 seed = 42;
+  Mix mix{"C (100r)", 1.0};
+};
+
+struct DriverReport {
+  u64 ops = 0;
+  double seconds = 0;
+  double qps = 0;
+  u64 ok = 0;
+  u64 not_found = 0;
+  u64 degraded = 0;
+  u64 shard_down = 0;
+  /// End-to-end batch round-trip latency per op kind (get=find,
+  /// put=insert), measured by the clients' execute() calls.
+  obs::OpLatencySnapshot latency;
+};
+
+/// Preload `opts.keys` keys through the server (batched puts).
+void preload(ShardServer& server, const DriverOptions& opts);
+
+/// Run the measured phase (preload first). The server's request stats
+/// are reset at the start of the measured phase.
+[[nodiscard]] DriverReport run_ycsb(ShardServer& server, const DriverOptions& opts);
+
+}  // namespace gh::service

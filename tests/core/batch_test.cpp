@@ -35,6 +35,7 @@
 #include "core/group_hash_map.hpp"
 #include "core/string_map.hpp"
 #include "hash/any_table.hpp"
+#include "hash/cells.hpp"
 #include "hash/tag_probe.hpp"
 #include "nvm/direct_pm.hpp"
 #include "nvm/region.hpp"
@@ -397,6 +398,89 @@ TEST(SimdEquivalence, EveryLevelAgreesOnLookupsAndMutations) {
   EXPECT_TRUE(map.raw_table().verify_tags());
 }
 
+// The in-cell 16-bit tag filter (Cell32's commit word, second stage behind
+// the DRAM byte-tag sweep) against a plain scalar reference, at every
+// dispatch level the machine supports. Under GH_NO_SIMD only kScalar
+// exists and the reference check still gates the portable leg.
+TEST(SimdEquivalence, InCellTagFilterMatchesScalarReference) {
+  SimdCapGuard guard;
+  constexpr u32 kStrideWords = sizeof(hash::Cell32) / sizeof(u64);
+  Xoshiro256 rng(29);
+  for (int round = 0; round < 200; ++round) {
+    // Simulated group: 256 cells; commit words drawn from a tiny alphabet
+    // so expect-collisions are common.
+    std::vector<u64> words(256 * kStrideWords);
+    for (u64& w : words) w = rng.next();
+    const u64 expect = hash::Cell32::kOccupiedBit | (rng.next() & 0xffff);
+    for (usize c = 0; c < 256; ++c) {
+      if (rng.next_below(3) == 0) words[c * kStrideWords] = expect;
+    }
+    // Random candidate list (sorted unique positions, like a byte-tag sweep
+    // output), sized to cross the 4-wide AVX2 and 2-wide SSE2 loops.
+    std::vector<u32> cand;
+    for (u32 i = 0; i < 256; ++i) {
+      if (rng.next_below(4) == 0) cand.push_back(i);
+    }
+    std::vector<u32> want;
+    for (const u32 i : cand) {
+      if (words[static_cast<u64>(i) * kStrideWords] == expect) want.push_back(i);
+    }
+    for (const auto level :
+         {hash::SimdLevel::kScalar, hash::SimdLevel::kSse2, hash::SimdLevel::kAvx2}) {
+      if (static_cast<int>(level) > static_cast<int>(hash::detected_simd_level())) continue;
+      hash::force_simd_level(level);
+      std::vector<u32> idxs = cand;
+      const u32 kept = hash::filter_in_cell_tags(words.data(), kStrideWords, idxs.data(),
+                                                 static_cast<u32>(idxs.size()), expect);
+      idxs.resize(kept);
+      ASSERT_EQ(idxs, want) << "round " << round << " level " << static_cast<int>(level);
+    }
+  }
+}
+
+// Same shape as EveryLevelAgreesOnLookupsAndMutations but over the string
+// map, whose Cell32 probe path runs byte-tag sweep -> in-cell 16-bit tag
+// filter -> key compare. A small group and many keys force multi-candidate
+// groups so the filter actually rejects.
+TEST(SimdEquivalence, StringMapInCellTagEveryLevelAgrees) {
+  SimdCapGuard guard;
+  auto map = PersistentStringMap::create_in_memory({.initial_cells = 1 << 12, .group_size = 64});
+  std::vector<std::string> keys, misses;
+  for (int i = 0; i < 2000; ++i) keys.push_back("k" + std::to_string(i));
+  for (int i = 0; i < 800; ++i) misses.push_back("m" + std::to_string(i));
+  for (usize i = 0; i < keys.size(); ++i) map.put(keys[i], i * 7 + 1);
+
+  hash::force_simd_level(hash::SimdLevel::kScalar);
+  std::vector<std::optional<u64>> baseline(keys.size()), miss_base(misses.size());
+  std::vector<std::string_view> key_views(keys.begin(), keys.end());
+  std::vector<std::string_view> miss_views(misses.begin(), misses.end());
+  map.get_batch(key_views, baseline);
+  map.get_batch(miss_views, miss_base);
+  for (usize i = 0; i < keys.size(); ++i) ASSERT_EQ(baseline[i], std::optional<u64>(i * 7 + 1));
+
+  for (const auto level : {hash::SimdLevel::kSse2, hash::SimdLevel::kAvx2}) {
+    if (static_cast<int>(level) > static_cast<int>(hash::detected_simd_level())) continue;
+    hash::force_simd_level(level);
+    std::vector<std::optional<u64>> out(keys.size()), mout(misses.size());
+    map.get_batch(key_views, out);
+    map.get_batch(miss_views, mout);
+    EXPECT_EQ(out, baseline) << "level " << static_cast<int>(level);
+    EXPECT_EQ(mout, miss_base) << "level " << static_cast<int>(level);
+    for (usize i = 0; i < keys.size(); i += 97) {
+      ASSERT_EQ(map.get(keys[i]), baseline[i]) << "level " << static_cast<int>(level);
+    }
+  }
+
+  // Erase under scalar, verify under the widest available level.
+  hash::force_simd_level(hash::SimdLevel::kScalar);
+  for (usize i = 0; i < keys.size(); i += 2) ASSERT_TRUE(map.erase(keys[i]));
+  hash::force_simd_level(hash::SimdLevel::kAvx2);
+  for (usize i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(map.get(keys[i]).has_value(), i % 2 == 1) << i;
+  }
+  EXPECT_TRUE(map.debug_verify_tags());
+}
+
 // ---------------------------------------------------------------------------
 // Tag coherence through the map lifecycle
 // ---------------------------------------------------------------------------
@@ -522,6 +606,101 @@ TEST(ConcurrentBatch, ShardedMapMatchesScalar) {
   for (usize i = 0; i < 1500; ++i) ASSERT_EQ(hits[i], 1) << i;
   EXPECT_EQ(hits.back(), 0);
   EXPECT_EQ(cmap.size(), keys.size() - 1500);
+}
+
+// Scatter-back audit regression: the sharded wrapper buckets caller
+// indices by shard, runs one sub-batch per shard, and scatters results
+// back — results must land in caller order with the single-shard maps'
+// sequential last-wins semantics, for duplicate-heavy batches and for
+// both the populated and the empty `hits` span. Differential against a
+// twin map driven by the scalar loop, on BOTH read legs (optimistic
+// sub-batch and attempt-budget-0 lock fallback).
+TEST(ConcurrentBatch, ScatterBackMatchesScalarLoopUnderDuplicates) {
+  for (const u32 attempts : {ConcurrentGroupHashMap::kMaxOptimisticAttempts, 0u}) {
+    ConcurrentGroupHashMap batch_map(/*shards=*/4, {.initial_cells = 1 << 10});
+    ConcurrentGroupHashMap scalar_map(/*shards=*/4, {.initial_cells = 1 << 10});
+    batch_map.set_max_optimistic_attempts(attempts);
+    Xoshiro256 rng(31 + attempts);
+    // A tiny key universe makes every batch duplicate-heavy.
+    std::vector<u64> universe(37);
+    for (u64& k : universe) k = make_key(rng);
+    for (int round = 0; round < 80; ++round) {
+      const usize n = 1 + static_cast<usize>(rng.next_below(97));
+      std::vector<u64> keys(n);
+      for (u64& k : keys) k = universe[rng.next_below(universe.size())];
+      switch (rng.next_below(4)) {
+        case 0: {  // put_batch vs scalar puts: last occurrence must win
+          std::vector<u64> values(n);
+          for (u64& v : values) v = rng.next();
+          batch_map.put_batch(keys, values);
+          for (usize i = 0; i < n; ++i) scalar_map.put(keys[i], values[i]);
+          break;
+        }
+        case 1: {  // get_batch vs scalar gets: caller-order scatter-back
+          std::vector<std::optional<u64>> out(n, std::optional<u64>(0xdead));
+          batch_map.get_batch(keys, out);
+          for (usize i = 0; i < n; ++i) {
+            ASSERT_EQ(out[i], scalar_map.get(keys[i])) << "round " << round << " i " << i;
+          }
+          break;
+        }
+        case 2: {  // erase_batch hits: per-occurrence sequential semantics
+          std::vector<u8> hits(n, 0xee);
+          batch_map.erase_batch(keys, hits);
+          for (usize i = 0; i < n; ++i) {
+            ASSERT_EQ(hits[i] != 0, scalar_map.erase(keys[i]))
+                << "round " << round << " i " << i;
+          }
+          break;
+        }
+        case 3: {  // erase_batch with an EMPTY hits span
+          batch_map.erase_batch(keys);
+          for (usize i = 0; i < n; ++i) scalar_map.erase(keys[i]);
+          break;
+        }
+      }
+      ASSERT_EQ(batch_map.size(), scalar_map.size()) << "round " << round;
+    }
+    std::vector<std::optional<u64>> got(universe.size());
+    batch_map.get_batch(universe, got);
+    for (usize i = 0; i < universe.size(); ++i) {
+      ASSERT_EQ(got[i], scalar_map.get(universe[i])) << "attempts " << attempts << " i " << i;
+    }
+  }
+}
+
+// The same scatter-back contract over 32-byte cells (Key128), which also
+// routes the concurrent probes through the in-cell 16-bit tag filter.
+TEST(ConcurrentBatch, WideCellScatterBackMatchesScalarLoop) {
+  ConcurrentGroupHashMapWide batch_map(/*shards=*/4, {.initial_cells = 1 << 10});
+  ConcurrentGroupHashMapWide scalar_map(/*shards=*/4, {.initial_cells = 1 << 10});
+  Xoshiro256 rng(41);
+  std::vector<Key128> universe(29);
+  for (Key128& k : universe) k = Key128{rng.next() | 1, rng.next()};
+  for (int round = 0; round < 40; ++round) {
+    const usize n = 1 + static_cast<usize>(rng.next_below(65));
+    std::vector<Key128> keys(n);
+    for (Key128& k : keys) k = universe[rng.next_below(universe.size())];
+    if (round % 3 == 0) {
+      std::vector<u64> values(n);
+      for (u64& v : values) v = rng.next();
+      batch_map.put_batch(keys, values);
+      for (usize i = 0; i < n; ++i) scalar_map.put(keys[i], values[i]);
+    } else if (round % 3 == 1) {
+      std::vector<std::optional<u64>> out(n);
+      batch_map.get_batch(keys, out);
+      for (usize i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], scalar_map.get(keys[i])) << "round " << round << " i " << i;
+      }
+    } else {
+      std::vector<u8> hits(n, 0xee);
+      batch_map.erase_batch(keys, hits);
+      for (usize i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i] != 0, scalar_map.erase(keys[i])) << "round " << round << " i " << i;
+      }
+    }
+    ASSERT_EQ(batch_map.size(), scalar_map.size()) << "round " << round;
+  }
 }
 
 TEST(ConcurrentBatch, StripedTableFindBatchMatchesFind) {

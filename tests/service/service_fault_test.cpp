@@ -1,0 +1,234 @@
+// Service-level fault injection (satellite of the sharded front-end).
+//
+// Kill one shard's worker mid-batch with a FaultFs SimulatedCrash fired
+// inside that shard's expansion publish, and hold the server to the
+// degradation contract:
+//   * the dying visit answers kShardDown (never wedges the ingest ring),
+//   * later requests routed to the dead shard answer kShardDown fast,
+//   * every other shard keeps serving kOk,
+//   * the server stops cleanly,
+//   * reopening the dead shard's file runs recovery and the flight
+//     recorder names the dying expand as in flight at the crash.
+// A second suite swaps the crash for syscall-style failures (kFail on
+// the expansion temp file): the shard must DEGRADE per the PR 3
+// MapDegradedError contract — puts answer kDegraded, reads stay kOk,
+// nothing dies.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/group_hash_map.hpp"
+#include "nvm/fault_fs.hpp"
+#include "service/service.hpp"
+#include "util/rng.hpp"
+
+namespace gh::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string make_data_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+ServiceOptions fault_service_options(const std::string& data_dir) {
+  ServiceOptions o;
+  o.shards = 4;
+  o.data_dir = data_dir;
+  // Tiny shards so the first few hundred puts force an expansion.
+  o.map_options.initial_cells = 64;
+  o.map_options.group_size = 8;
+  o.map_options.flush_latency_ns = 0;
+  return o;
+}
+
+/// Crash (simulated power failure) at the Nth filesystem step whose path
+/// mentions `needle`. Thread-safe: workers of every shard call on_step
+/// concurrently, only the matching shard's steps count.
+struct PathCrashFs : nvm::FsPolicy {
+  std::string needle;
+  usize crash_after = 0;
+  std::atomic<usize> seen{0};
+
+  Decision on_step(const nvm::FsStep& step) override {
+    if (step.path.find(needle) != std::string::npos ||
+        step.path2.find(needle) != std::string::npos) {
+      if (seen.fetch_add(1, std::memory_order_relaxed) == crash_after) {
+        throw nvm::SimulatedCrash{};
+      }
+    }
+    return Decision::kProceed;
+  }
+};
+
+/// Fail (syscall error, not crash) every step touching an expansion temp
+/// file, starving expand() the way ENOSPC would.
+struct ExpandFailFs : nvm::FsPolicy {
+  Decision on_step(const nvm::FsStep& step) override {
+    if (step.path.find(".expand") != std::string::npos ||
+        step.path2.find(".expand") != std::string::npos) {
+      return Decision::kFail;
+    }
+    return Decision::kProceed;
+  }
+};
+
+/// Drive distinct-key puts until `predicate(status_counts)` or the key
+/// budget runs out. Returns every (key, status) answered.
+struct PumpResult {
+  u64 ok = 0;
+  u64 degraded = 0;
+  u64 shard_down = 0;
+  std::vector<u64> ok_keys;
+};
+
+template <typename StopFn>
+PumpResult pump_puts(ShardServer& server, u64 first_key, u64 max_keys, StopFn stop) {
+  PumpResult r;
+  Batch batch;
+  u64 key = first_key;
+  const u64 last = first_key + max_keys;
+  while (key < last) {
+    batch.clear();
+    for (u32 i = 0; i < 32 && key < last; ++i, ++key) {
+      batch.requests.push_back(Request{Op::kPut, key, key * 3});
+    }
+    server.execute(batch);
+    const auto responses = batch.responses();
+    for (usize i = 0; i < responses.size(); ++i) {
+      switch (responses[i].status) {
+        case Status::kOk:
+          r.ok++;
+          r.ok_keys.push_back(batch.requests[i].key);
+          break;
+        case Status::kDegraded: r.degraded++; break;
+        case Status::kShardDown: r.shard_down++; break;
+        default: break;
+      }
+    }
+    if (stop(r)) break;
+  }
+  return r;
+}
+
+TEST(ServiceFault, WorkerCrashMidBatchAnswersShardDownAndNeverWedges) {
+  const std::string dir = make_data_dir("gh_service_fault_crash");
+  const std::string victim_file = "shard1.gh";
+  constexpr u32 kVictim = 1;
+
+  std::string victim_path;
+  {
+    ShardServer server(fault_service_options(dir));
+
+    // Crash shard 1's worker at the FIRST filesystem step of its first
+    // expansion (the tmp-file create of the publish protocol). Installed
+    // after construction so the initial shard-file creates pass.
+    PathCrashFs policy;
+    policy.needle = victim_file;
+    const nvm::ScopedFsPolicy installed(&policy);
+
+    const PumpResult crash_phase = pump_puts(
+        server, /*first_key=*/1, /*max_keys=*/100'000,
+        [](const PumpResult& r) { return r.shard_down > 0; });
+    ASSERT_GT(crash_phase.shard_down, 0u)
+        << "expansion crash never fired (ok=" << crash_phase.ok << ")";
+    EXPECT_TRUE(server.shard_down(kVictim));
+
+    // The ring must keep draining: requests to the dead shard answer
+    // kShardDown, every other shard still serves.
+    Batch batch;
+    u64 live_ok = 0, dead_down = 0;
+    for (u64 key = 200'000; key < 201'000; ++key) {
+      batch.clear();
+      batch.requests.push_back(Request{Op::kPut, key, key});
+      server.execute(batch);
+      const Status s = batch.responses()[0].status;
+      if (ShardServer::shard_of(key, server.shards()) == kVictim) {
+        EXPECT_EQ(s, Status::kShardDown);
+        dead_down++;
+      } else {
+        EXPECT_EQ(s, Status::kOk);
+        live_ok++;
+      }
+    }
+    EXPECT_GT(live_ok, 0u);
+    EXPECT_GT(dead_down, 0u);
+
+    // Keys that were acknowledged on live shards still read back.
+    for (const u64 key : crash_phase.ok_keys) {
+      if (ShardServer::shard_of(key, server.shards()) == kVictim) continue;
+      batch.clear();
+      batch.requests.push_back(Request{Op::kGet, key, 0});
+      server.execute(batch);
+      ASSERT_EQ(batch.responses()[0].status, Status::kOk);
+    }
+
+    server.stop();  // clean teardown with a dead shard
+    victim_path = dir + "/" + victim_file;
+  }
+
+  // Reopen the dead shard's file: recovery must succeed, and the flight
+  // recorder must name the dying expand as in flight at the crash.
+  ASSERT_TRUE(fs::exists(victim_path));
+  MapOptions reopen_opts;
+  reopen_opts.initial_cells = 64;
+  reopen_opts.group_size = 8;
+  auto reopened = GroupHashMap::open(victim_path, reopen_opts);
+  if constexpr (obs::kEnabled) {
+    const auto& scan = reopened.flight_scan_on_open();
+    EXPECT_EQ(scan.records_torn, 0u);
+    bool expand_in_flight = false;
+    for (const auto& op : scan.in_flight) {
+      expand_in_flight |= op.kind == obs::OpKind::kExpand;
+    }
+    EXPECT_TRUE(expand_in_flight)
+        << "flight recorder does not name the dying expand ("
+        << scan.in_flight.size() << " in-flight ops)";
+    EXPECT_GT(reopened.open_recovery_report().in_flight_ops, 0u);
+  }
+  // The reopened shard is serviceable.
+  reopened.put(123456, 654321);
+  EXPECT_EQ(reopened.get(123456).value_or(0), 654321u);
+  reopened.close();
+  fs::remove_all(dir);
+}
+
+TEST(ServiceFault, ExpandFailureDegradesPutsButKeepsServing) {
+  const std::string dir = make_data_dir("gh_service_fault_degraded");
+  ShardServer server(fault_service_options(dir));
+
+  ExpandFailFs policy;
+  const nvm::ScopedFsPolicy installed(&policy);
+
+  const PumpResult r = pump_puts(
+      server, /*first_key=*/1, /*max_keys=*/100'000,
+      [](const PumpResult& res) { return res.degraded > 0; });
+  ASSERT_GT(r.degraded, 0u) << "no put ever hit the degraded path";
+  EXPECT_EQ(r.shard_down, 0u);
+  for (u32 s = 0; s < server.shards(); ++s) EXPECT_FALSE(server.shard_down(s));
+
+  // The degradation contract: reads of acknowledged keys stay kOk.
+  Batch batch;
+  for (const u64 key : r.ok_keys) {
+    batch.clear();
+    batch.requests.push_back(Request{Op::kGet, key, 0});
+    server.execute(batch);
+    ASSERT_EQ(batch.responses()[0].status, Status::kOk);
+    ASSERT_EQ(batch.responses()[0].value, key * 3);
+  }
+
+  server.stop();
+  const obs::Snapshot snap = server.snapshot();
+  EXPECT_TRUE(snap.lifecycle.degraded);
+  EXPECT_GT(snap.lifecycle.expand_failures, 0u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace gh::service

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Regression tests for tools/bench_check (the perf-trajectory gate).
+
+The gate sits in CI's fast lane, so its failure modes matter as much as
+its detections: a missing or unreadable baseline must *skip* (exit 0,
+with a clear note) rather than traceback, and non-finite metric values
+must be excluded from the comparison rather than poisoning it — while a
+genuine >threshold regression in a finite metric still fails the run.
+
+Run directly or via ctest; the bench_check path comes from the
+BENCH_CHECK env var (default: tools/bench_check relative to the repo
+root, two directories up from this file).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+BENCH_CHECK = Path(
+    os.environ.get(
+        "BENCH_CHECK", Path(__file__).resolve().parents[2] / "tools" / "bench_check"
+    )
+)
+
+
+def write_bench(root: Path, pr: int, metrics: dict, raw: str = None) -> Path:
+    path = root / f"BENCH_PR{pr}.json"
+    if raw is not None:
+        path.write_text(raw)
+        return path
+    doc = {
+        "bench": "canonical",
+        "version": 1,
+        "config": {"keys": 1000, "batch": 32, "seed": 42, "smoke": False},
+        "metrics": metrics,
+    }
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def run_gate(root: Path, *extra: str):
+    proc = subprocess.run(
+        [sys.executable, str(BENCH_CHECK), f"--dir={root}", *extra],
+        capture_output=True,
+        text=True,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+class BenchCheckTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self._tmp.name)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    # --- missing / first-run baselines --------------------------------------
+
+    def test_empty_dir_skips(self):
+        rc, out = run_gate(self.root)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("no baseline, skipping", out)
+
+    def test_first_pinned_run_skips(self):
+        write_bench(self.root, 7, {"qps": {"value": 100.0, "direction": "higher"}})
+        rc, out = run_gate(self.root)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("no baseline, skipping", out)
+
+    def test_missing_current_file_skips(self):
+        rc, out = run_gate(self.root, f"--current={self.root / 'BENCH_PR7.json'}")
+        self.assertEqual(rc, 0, out)
+        self.assertIn("nothing to gate", out)
+
+    def test_corrupt_predecessor_skips(self):
+        write_bench(self.root, 6, {}, raw="{not json")
+        write_bench(self.root, 7, {"qps": {"value": 100.0, "direction": "higher"}})
+        rc, out = run_gate(self.root)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("no baseline, skipping", out)
+
+    def test_metricless_predecessor_skips(self):
+        write_bench(self.root, 6, {}, raw=json.dumps({"bench": "canonical"}))
+        write_bench(self.root, 7, {"qps": {"value": 100.0, "direction": "higher"}})
+        rc, out = run_gate(self.root)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("no baseline, skipping", out)
+
+    def test_corrupt_current_fails_with_message(self):
+        write_bench(self.root, 6, {"qps": {"value": 100.0, "direction": "higher"}})
+        write_bench(self.root, 7, {}, raw="}{")
+        rc, out = run_gate(self.root)
+        self.assertNotEqual(rc, 0)
+        self.assertIn("unreadable", out)
+        self.assertNotIn("Traceback", out)
+
+    # --- non-finite metric values -------------------------------------------
+
+    def test_nan_and_inf_values_are_skipped_not_failed(self):
+        # json.load parses NaN/Infinity natively — exactly what a bench
+        # emitting a 0/0 ratio produces.
+        write_bench(
+            self.root,
+            6,
+            {
+                "nan_metric": {"value": float("nan"), "direction": "lower"},
+                "inf_metric": {"value": 1.0, "direction": "lower"},
+                "good": {"value": 100.0, "direction": "lower"},
+            },
+        )
+        write_bench(
+            self.root,
+            7,
+            {
+                "nan_metric": {"value": 5.0, "direction": "lower"},
+                "inf_metric": {"value": float("inf"), "direction": "lower"},
+                "good": {"value": 101.0, "direction": "lower"},
+            },
+        )
+        rc, out = run_gate(self.root)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("skip  nan_metric", out)
+        self.assertIn("skip  inf_metric", out)
+        self.assertIn("ok    good", out)
+
+    def test_non_finite_does_not_mask_a_real_regression(self):
+        write_bench(
+            self.root,
+            6,
+            {
+                "nan_metric": {"value": float("nan"), "direction": "lower"},
+                "latency": {"value": 100.0, "direction": "lower"},
+            },
+        )
+        write_bench(
+            self.root,
+            7,
+            {
+                "nan_metric": {"value": float("nan"), "direction": "lower"},
+                "latency": {"value": 150.0, "direction": "lower"},
+            },
+        )
+        rc, out = run_gate(self.root)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("FAIL", out)
+        self.assertIn("latency", out)
+
+    def test_non_numeric_value_is_skipped(self):
+        write_bench(self.root, 6, {"qps": {"value": "fast", "direction": "higher"}})
+        write_bench(self.root, 7, {"qps": {"value": 100.0, "direction": "higher"}})
+        rc, out = run_gate(self.root)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("skip  qps", out)
+
+    # --- the gate still gates -----------------------------------------------
+
+    def test_regression_still_fails(self):
+        write_bench(self.root, 6, {"qps": {"value": 100.0, "direction": "higher"}})
+        write_bench(self.root, 7, {"qps": {"value": 80.0, "direction": "higher"}})
+        rc, out = run_gate(self.root)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("FAIL", out)
+
+    def test_improvement_passes(self):
+        write_bench(self.root, 6, {"qps": {"value": 100.0, "direction": "higher"}})
+        write_bench(self.root, 7, {"qps": {"value": 130.0, "direction": "higher"}})
+        rc, out = run_gate(self.root)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("no regressions", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,94 @@
+// gh_serve — run the sharded KV service and drive a YCSB burst at it.
+//
+// One hermetic process: N shard workers behind their ingest rings, M
+// client threads round-tripping request batches. Prints aggregate QPS
+// and p50/p99/p999 end-to-end latency per op kind from the service-level
+// obs histograms, then the per-shard roll-up. The CI fast lane runs a
+// 2-second YCSB-C burst of this and checks the reported p99 is nonzero.
+//
+//   gh_serve [--shards=4] [--clients=4] [--workload=a|b|c] [--seconds=2]
+//            [--ops=N per client, overrides --seconds] [--keys=65536]
+//            [--batch=64] [--window=64] [--ring=1024] [--naive]
+//            [--data_dir=PATH] [--zipf=0.99] [--seed=42]
+#include <iostream>
+#include <string>
+
+#include "core/group_hash_map.hpp"
+#include "service/service.hpp"
+#include "service/ycsb_driver.hpp"
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gh;
+  const Cli cli(argc, argv);
+
+  service::ServiceOptions sopts;
+  sopts.shards = static_cast<u32>(cli.get_u64("shards", 4));
+  sopts.ring_capacity = static_cast<u32>(cli.get_u64("ring", 1024));
+  sopts.batch_window = static_cast<u32>(cli.get_u64("window", 64));
+  sopts.naive = cli.has("naive");
+  sopts.data_dir = cli.get_or("data_dir", "");
+  GH_CHECK_MSG(sopts.shards >= 1, "--shards must be >= 1");
+  GH_CHECK_MSG(sopts.batch_window >= 1, "--window must be >= 1");
+
+  service::DriverOptions dopts;
+  dopts.clients = static_cast<u32>(cli.get_u64("clients", 4));
+  dopts.batch = static_cast<u32>(cli.get_u64("batch", 64));
+  dopts.keys = cli.get_u64("keys", 1u << 16);
+  GH_CHECK_MSG(dopts.clients >= 1, "--clients must be >= 1");
+  GH_CHECK_MSG(dopts.batch >= 1, "--batch must be >= 1");
+  GH_CHECK_MSG(dopts.keys >= 1, "--keys must be >= 1");
+  dopts.ops_per_client = cli.get_u64("ops", 0);
+  dopts.seconds = dopts.ops_per_client > 0
+                      ? 0
+                      : static_cast<double>(cli.get_u64("seconds", 2));
+  dopts.seed = cli.get_u64("seed", 42);
+  const std::string workload = cli.get_or("workload", "c");
+  dopts.mix = service::mix_for(workload);
+  dopts.zipf_theta = std::stod(cli.get_or("zipf", "0.99"));
+
+  u64 cells = 64;
+  while (cells < dopts.keys * 2 / sopts.shards) cells <<= 1;
+  sopts.map_options.initial_cells = cells;
+  sopts.map_options.flush_latency_ns = 0;
+
+  std::cout << "gh_serve: " << sopts.shards << " shards, " << dopts.clients
+            << " clients, YCSB-" << dopts.mix.name << ", batch " << dopts.batch
+            << ", " << format_count(dopts.keys) << " keys"
+            << (sopts.naive ? ", NAIVE one-op-per-request" : ", batched ingest")
+            << "\n";
+
+  service::ShardServer server(sopts);
+  const service::DriverReport r = service::run_ycsb(server, dopts);
+
+  std::cout << "aggregate: qps=" << format_double(r.qps, 0) << " ops="
+            << r.ops << " secs=" << format_double(r.seconds, 3)
+            << " ok=" << r.ok << " not_found=" << r.not_found
+            << " degraded=" << r.degraded << " shard_down=" << r.shard_down << "\n";
+
+  const auto show = [](const char* name, const obs::HistogramSnapshot& h) {
+    if (h.count == 0) return;
+    std::cout << "latency[" << name << "]: count=" << h.count
+              << " p50=" << format_double(h.p50_ns, 0)
+              << " p99=" << format_double(h.p99_ns, 0)
+              << " p999=" << format_double(h.p999_ns, 0) << " (ns)\n";
+  };
+  show("get", r.latency.find);
+  show("put", r.latency.insert);
+  show("erase", r.latency.erase);
+
+  server.stop();
+  const obs::Snapshot snap = server.snapshot();
+  std::cout << "shards: size=" << snap.size << " capacity=" << snap.capacity
+            << " load=" << format_double(snap.load_factor, 3)
+            << " expansions=" << snap.lifecycle.expansions
+            << " fences=" << snap.persist.fences << "\n";
+  for (const auto& b : snap.per_shard) {
+    std::cout << "  shard" << b.shard << ": size=" << b.size
+              << " expansions=" << b.expansions
+              << (b.degraded ? " DEGRADED" : "") << "\n";
+  }
+  return 0;
+}
