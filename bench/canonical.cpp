@@ -58,13 +58,32 @@ int main(int argc, char** argv) {
   const u64 nkeys = cli.get_u64("keys", smoke ? (1u << 14) : (1u << 20));
   const usize batch = static_cast<usize>(cli.get_u64("batch", 256));
   const u64 seed = 42;  // pinned: the trajectory only means something on fixed inputs
-  const std::string out_path = cli.get_or("out", "BENCH_PR7.json");
+  const std::string out_path = cli.get_or("out", "BENCH_PR8.json");
 
   BenchEnv env = BenchEnv::from_env();
   env.seed = seed;
   print_banner("Canonical perf trajectory", "pinned-seed harness gating every PR", env);
+
+  // Machine-speed calibration: a fixed dependent-chain LCG loop whose ns/iter
+  // tracks how fast this box runs serial integer work *right now*. Emitted in
+  // the JSON config so tools/bench_check can rescale absolute-time metrics
+  // between runs recorded under different machine conditions (shared CI cores
+  // drift 10-30% run to run) instead of flagging the drift as a regression.
+  double calibration_ns = 0;
+  {
+    constexpr u64 kCalIters = 1u << 25;
+    u64 acc = 0x9e3779b97f4a7c15ull;
+    const auto c0 = Clock::now();
+    for (u64 i = 0; i < kCalIters; ++i)
+      acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+    const auto c1 = Clock::now();
+    do_not_optimize(acc);
+    calibration_ns = ns_per_op(c0, c1, kCalIters);
+  }
+
   std::cout << "keys " << nkeys << (smoke ? " (smoke)" : "") << ", batch " << batch
-            << ", simd level " << static_cast<int>(hash::active_simd_level()) << "\n\n";
+            << ", simd level " << static_cast<int>(hash::active_simd_level())
+            << ", calibration " << calibration_ns << " ns/iter\n\n";
 
   MapOptions opts;
   u64 cells = 64;
@@ -199,6 +218,39 @@ int main(int argc, char** argv) {
              1000.0});
   }
 
+  // --- resize stall: blocking expand vs online incremental migration ---
+  // Insert into a deliberately undersized map and time every put
+  // individually; the worst single op IS the resize story. Blocking
+  // expand() pays a full format+rehash inside one unlucky put; the
+  // online path amortizes the rehash across help-along steps, so its
+  // worst op is bounded by migrate_groups_per_op (plus one target
+  // format at start).
+  {
+    const u64 rkeys = smoke ? (1u << 14) : (1u << 18);
+    MapOptions ropts;
+    ropts.initial_cells = 1024;
+    ropts.flush_latency_ns = 0;
+    const auto worst_put_us = [&](bool online) {
+      ropts.online_resize = online;
+      auto rmap = GroupHashMap::create_in_memory(ropts);
+      double worst_ns = 0;
+      for (u64 i = 0; i < rkeys; ++i) {
+        const auto p0 = Clock::now();
+        rmap.put(keys[i], values[i]);
+        const auto p1 = Clock::now();
+        worst_ns = std::max(worst_ns, ns_per_op(p0, p1, 1));
+      }
+      GH_CHECK(rmap.size() == rkeys);
+      return worst_ns / 1000.0;
+    };
+    const double blocking_us = worst_put_us(false);
+    const double online_us = worst_put_us(true);
+    metrics.push_back({"resize_max_stall_blocking_us", blocking_us});
+    metrics.push_back({"resize_max_stall_us", online_us});
+    metrics.push_back(
+        {"resize_stall_improvement", online_us > 0 ? blocking_us / online_us : 0, "higher"});
+  }
+
   // --- service front-end (YCSB-C through the sharded ingest path) ---
   {
     service::ServiceOptions sopts;
@@ -228,6 +280,22 @@ int main(int argc, char** argv) {
     metrics.push_back({"service_ycsbc_get_p99_ns", batched.latency.find.p99_ns});
     metrics.push_back(
         {"service_batch_speedup", naive.qps > 0 ? batched.qps / naive.qps : 0, "higher"});
+
+    // Forced mid-run resize: same driver, YCSB-B, but shards start 64
+    // cells deep with online resize on — every shard migrates several
+    // times while serving. The pinned p99 is the tail clients actually
+    // see during a resize, the number the tentpole exists to protect.
+    sopts.naive = false;
+    sopts.map_options.initial_cells = 64;
+    sopts.map_options.online_resize = true;
+    dopts.mix = service::mix_for("b");
+    service::ShardServer resize_server(sopts);
+    const service::DriverReport under_resize = service::run_ycsb(resize_server, dopts);
+    resize_server.stop();
+    const obs::Snapshot resize_snap = resize_server.snapshot();
+    GH_CHECK(resize_snap.migration.started > 0);  // the run must actually resize
+    metrics.push_back({"service_resize_ycsbb_qps", under_resize.qps, "higher"});
+    metrics.push_back({"service_resize_ycsbb_get_p99_ns", under_resize.latency.find.p99_ns});
   }
 
   // --- report ---
@@ -241,7 +309,8 @@ int main(int argc, char** argv) {
   json << "{\n  \"bench\": \"canonical\",\n  \"version\": 1,\n";
   json << "  \"config\": {\"keys\": " << nkeys << ", \"batch\": " << batch
        << ", \"seed\": " << seed << ", \"smoke\": " << (smoke ? "true" : "false")
-       << ", \"simd_level\": " << static_cast<int>(hash::active_simd_level()) << "},\n";
+       << ", \"simd_level\": " << static_cast<int>(hash::active_simd_level())
+       << ", \"calibration_ns\": " << calibration_ns << "},\n";
   json << "  \"metrics\": {\n";
   for (usize i = 0; i < metrics.size(); ++i) {
     json << "    \"" << metrics[i].name << "\": {\"value\": "

@@ -6,7 +6,10 @@
 // service obs histograms. YCSB-C additionally runs the NAIVE
 // one-op-per-request baseline so the batched-ingest win (grouped shard
 // visits → one find_batch per visit, PR 6's prefetch + fence-coalescing
-// path) shows up as a speedup ratio on the same machine and seed.
+// path) shows up as a speedup ratio on the same machine and seed. A last
+// YCSB-B run starts the shards 64 cells deep with online resize on, so
+// the tail columns show what clients see while every shard migrates
+// incrementally mid-run.
 //
 //   service_ycsb [--shards=4] [--clients=4] [--ops=100000 per client]
 //                [--keys=65536] [--batch=64] [--seed from GH_SEED]
@@ -86,7 +89,29 @@ int main(int argc, char** argv) {
                  format_ns(naive.report.latency.find.p999_ns)});
     }
   }
-  t.print(std::cout);
+  // Forced mid-run resize: undersized shards with online resize on, so
+  // every shard migrates repeatedly while serving YCSB-B. The row's p99
+  // is the tail clients see DURING incremental migrations — with the
+  // blocking expand this column would carry the whole rehash.
+  {
+    service::ServiceOptions ropts = sopts;
+    ropts.naive = false;
+    ropts.map_options.initial_cells = 64;
+    ropts.map_options.online_resize = true;
+    dopts.mix = service::mix_for("b");
+    const RunResult resized = run(ropts, dopts);
+    t.add_row({"ycsb-b+resize", "batched",
+               format_double(resized.report.qps / 1000.0, 1) + " kops/s",
+               format_ns(resized.report.latency.find.p50_ns),
+               format_ns(resized.report.latency.find.p99_ns),
+               format_ns(resized.report.latency.find.p999_ns)});
+    t.print(std::cout);
+    const obs::MigrationSnapshot& mig = resized.snapshot.migration;
+    std::cout << "\nresize run: " << mig.started << " migrations started, " << mig.completed
+              << " completed, " << mig.emergency_expands << " emergency merges, "
+              << mig.help_steps << " help-along steps, " << mig.bg_steps
+              << " idle-drain steps\n";
+  }
   if (ycsbc_naive > 0) {
     std::cout << "\nYCSB-C batched ingest speedup over naive: "
               << format_double(ycsbc_batched / ycsbc_naive, 2) << "x\n";

@@ -103,7 +103,12 @@ class BasicConcurrentGroupHashMap {
   bool erase(const key_type& key) {
     ShardState& sh = shard(key);
     SeqLockWriteGuard guard(sh.lock, &sh.contention);
-    return sh.map.erase(key);
+    // Help-along migration means ANY mutating op can restructure the
+    // shard (start, drain, or finalize a resize), so every write path
+    // republishes, not just put.
+    const bool hit = sh.map.erase(key);
+    sh.republish_view_if_moved();
+    return hit;
   }
 
   /// Batched lookup: keys are bucketed by shard; each shard's sub-batch
@@ -172,6 +177,7 @@ class BasicConcurrentGroupHashMap {
       ShardState& sh = *shards_[s];
       SeqLockWriteGuard guard(sh.lock, &sh.contention);
       sh.map.erase_batch(sub_keys, hits.empty() ? std::span<u8>{} : std::span<u8>(sub_hits));
+      sh.republish_view_if_moved();
       if (!hits.empty()) {
         for (usize w = 0; w < buckets[s].size(); ++w) hits[buckets[s][w]] = sub_hits[w];
       }
@@ -259,14 +265,22 @@ class BasicConcurrentGroupHashMap {
       views.push_back(std::move(initial));
     }
 
-    /// After a mutation: if expansion replaced the table, publish a fresh
-    /// view. Old views are retired, not freed — a racing reader may still
-    /// hold one. Called with the shard seqlock held exclusively.
+    /// After a mutation: if the probe geometry changed (expansion, or an
+    /// online-resize start/drain/finalize — tracked by the map's
+    /// structure_version), publish a fresh view: dual (target + old
+    /// table) while a migration runs, single otherwise. Old views are
+    /// retired, not freed — a racing reader may still hold one, and the
+    /// map's retained regions keep the cells it points at mapped. Called
+    /// with the shard seqlock held exclusively.
     void republish_view_if_moved() {
+      const u64 version = map.structure_version();
+      if (version == published_version) return;
       const Table& table = map.raw_table();
-      const ReadView* current = view.load(std::memory_order_relaxed);
-      if (current->tab1 == &table.level1_cell(0)) return;
-      auto fresh = std::make_unique<ReadView>(ReadView::of(table));
+      auto fresh = std::make_unique<ReadView>(
+          map.migration_table() ? ReadView::dual(*map.migration_table(), table)
+                                : ReadView::of(table));
+      fresh->version = version;
+      published_version = version;
       view.store(fresh.get(), std::memory_order_release);
       views.push_back(std::move(fresh));
     }
@@ -276,6 +290,7 @@ class BasicConcurrentGroupHashMap {
     std::atomic<const ReadView*> view{nullptr};
     std::vector<std::unique_ptr<ReadView>> views;  ///< current + retired
     LockContention contention;
+    u64 published_version = 0;  ///< map.structure_version() of `view`
   };
 
   ShardState& shard(const key_type& key) { return *shards_[shard_of(key)]; }

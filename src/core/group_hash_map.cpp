@@ -1,10 +1,13 @@
 #include "core/group_hash_map.hpp"
 
+#include <cstddef>
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
+#include <vector>
 
 #include "core/map_format.hpp"
+#include "nvm/crash_point.hpp"
 #include "nvm/fault_fs.hpp"
 #include "util/assert.hpp"
 
@@ -24,14 +27,42 @@ constexpr const char* kExpandSuffix = ".expand";
 /// Suffix of the flight-recorder sidecar (obs/flight_recorder.hpp).
 constexpr const char* kFlightSuffix = ".flight";
 
+/// Suffix of the online-resize migration target. Unlike `.expand` it can
+/// hold the only copy of already-drained groups, so it is reclaimed only
+/// when the superblock's migration cursor says no migration is armed.
+constexpr const char* kMigrateSuffix = ".migrate";
+
 /// Cap of the exponential expansion backoff, counted in placement-failure
 /// events absorbed between retries.
 constexpr u64 kMaxExpandBackoff = 64;
+
+/// Journal the migration cursor to the flight ring every this many
+/// groups: the newest surviving record names the resume point without a
+/// ring slot per group.
+constexpr u64 kMigrateMarkStride = 32;
 
 u64 pow2_at_least(u64 v) {
   u64 p = 1;
   while (p < v) p <<= 1;
   return p;
+}
+
+/// The shared superblock write sequence for a freshly formatted region
+/// (create, expand target, migration target). State starts dirty; the
+/// migration word starts disarmed.
+void write_superblock_fields(nvm::DirectPM& pm, map_format::Superblock* sb, u64 cell_size,
+                             usize table_bytes, u32 group_size, u64 seed) {
+  pm.store_u64(&sb->magic, kMapMagic);
+  pm.store_u64(&sb->version, kMapVersion);
+  pm.store_u64(&sb->state, kStateDirty);
+  pm.store_u64(&sb->cell_size, cell_size);
+  pm.store_u64(&sb->table_offset, kTableOffset);
+  pm.store_u64(&sb->table_bytes, table_bytes);
+  pm.store_u64(&sb->group_size, group_size);
+  pm.store_u64(&sb->seed, seed);
+  pm.store_u64(&sb->migration, 0);
+  pm.store_u64(&sb->crc, map_format::superblock_crc(*sb));
+  pm.persist(sb, sizeof(map_format::Superblock));
 }
 
 }  // namespace
@@ -77,17 +108,8 @@ void BasicGroupHashMap<Cell>::init_region(nvm::NvmRegion region, const MapOption
     GH_CHECK(region_.size() >= kTableOffset + table_bytes);
     table_.emplace(*pm_, region_.bytes().subspan(kTableOffset, table_bytes), params,
                    /*format=*/true);
-    Superblock* sb = superblock();
-    pm_->store_u64(&sb->magic, kMapMagic);
-    pm_->store_u64(&sb->version, kMapVersion);
-    pm_->store_u64(&sb->state, kStateDirty);
-    pm_->store_u64(&sb->cell_size, sizeof(Cell));
-    pm_->store_u64(&sb->table_offset, kTableOffset);
-    pm_->store_u64(&sb->table_bytes, table_bytes);
-    pm_->store_u64(&sb->group_size, params.group_size);
-    pm_->store_u64(&sb->seed, params.seed);
-    pm_->store_u64(&sb->crc, map_format::superblock_crc(*sb));
-    pm_->persist(sb, sizeof(Superblock));
+    write_superblock_fields(*pm_, superblock(), sizeof(Cell), table_bytes,
+                            params.group_size, params.seed);
   } else {
     Superblock* sb = superblock();
     if (sb->magic != kMapMagic) throw std::runtime_error("not a GroupHashMap file");
@@ -122,6 +144,22 @@ void BasicGroupHashMap<Cell>::init_region(nvm::NvmRegion region, const MapOption
           options.scrub_mode);
     }
     mark_state(kStateDirty);
+    // An interrupted online resize leaves a durable cursor. The split
+    // image (old table + `.migrate` target) must be reattached before
+    // any op runs — whatever this open's online_resize option says.
+    // The cursor word self-checksums (it sits outside superblock_crc so
+    // it can be advanced with lone 8-byte stores): a word that neither
+    // reads disarmed nor checks out is corruption, not a crash state.
+    if (!map_format::migration_word_valid(superblock()->migration)) {
+      throw std::runtime_error("GroupHashMap migration cursor is corrupt");
+    }
+    if (map_format::migration_word_active(superblock()->migration)) {
+      resume_migration();
+    } else if (!path_.empty()) {
+      // No migration armed: a `.migrate` file here lost the race with
+      // the cursor arm (crashed start) — never authoritative, reclaim.
+      if (nvm::reclaim_orphan(path_ + kMigrateSuffix)) orphans_reclaimed_++;
+    }
   }
 }
 
@@ -171,9 +209,12 @@ BasicGroupHashMap<Cell> BasicGroupHashMap<Cell>::create(const std::string& path,
        .group_size = static_cast<u32>(
            std::min<u64>(pow2_at_least(options.group_size), total_cells / 2)),
        .group_crc = options.checksum_groups});
-  // A stale temp file from a crashed expand() of a previous map at this
-  // path must not survive into the new map's lifetime.
+  // Stale temp files from a crashed expand()/migration of a previous map
+  // at this path must not survive into the new map's lifetime. (create
+  // truncates the main file, so the old cursor that could have made the
+  // `.migrate` target authoritative dies with it.)
   nvm::reclaim_orphan(path + kExpandSuffix);
+  nvm::reclaim_orphan(path + kMigrateSuffix);
   map.init_region(nvm::NvmRegion::create_file(path, kTableOffset + table_bytes), options,
                   /*fresh=*/true);
   // Make the creation itself durable: the file's directory entry is not
@@ -228,6 +269,14 @@ void BasicGroupHashMap<Cell>::mark_state(u64 state) {
 template <class Cell>
 void BasicGroupHashMap<Cell>::close() {
   if (!region_.valid() || closed_) return;
+  if (mig_table_) {
+    // Clean shutdown mid-migration keeps the split image: both files
+    // marked clean, cursor armed — the next open() resumes the drain.
+    auto* msb = reinterpret_cast<Superblock*>(mig_region_.data());
+    pm_->atomic_store_u64(&msb->state, kStateClean);
+    pm_->persist(&msb->state, sizeof(u64));
+    mig_region_.sync();
+  }
   mark_state(kStateClean);
   region_.sync();
   if (flight_region_.valid() && flight_region_.file_backed()) flight_region_.sync();
@@ -241,6 +290,11 @@ void BasicGroupHashMap<Cell>::abandon() {
   table_.reset();
   region_ = nvm::NvmRegion();
   retired_regions_.clear();
+  // Same for the migration target: no final sync, no cursor change —
+  // the reopening process resumes from whatever the cursor said.
+  clear_migration_state();
+  migrations_started_ = migrations_completed_ = migrations_resumed_ = 0;
+  emergency_expands_ = help_steps_ = bg_steps_ = keys_migrated_ = 0;
   // The flight sidecar is dropped the same way — no final sync, no
   // cleanup. Its mmap'd writes are in the page cache, so the reopening
   // process scans exactly what a crash would have left durable.
@@ -257,25 +311,41 @@ void BasicGroupHashMap<Cell>::abandon() {
 }
 
 template <class Cell>
-void BasicGroupHashMap<Cell>::put(const key_type& key, u64 value) {
-  GH_CHECK_MSG(!closed_, "map is closed");
-  const u64 t0 = op_start();
-  const u64 l0 = lines_before();
-  const u64 f = flight_begin(obs::OpKind::kInsert, trace_key(key));
-  if (table().update(key, value)) {
-    flight_end(f, obs::OpKind::kInsert, trace_key(key));
-    op_finish(obs::OpKind::kInsert, trace_key(key), t0, l0);
-    return;
-  }
-  while (!table().insert(key, value)) {
+void BasicGroupHashMap<Cell>::put_value(const key_type& key, u64 value) {
+  for (;;) {
+    if (!mig_table_) {
+      if (table().update(key, value)) return;
+      if (table().insert(key, value)) return;
+    } else {
+      // New-table-first: readers probe the migration target before the
+      // old table, so the latest value must land (or already live) there.
+      if (mig_table_->update(key, value)) return;
+      if (mig_table_->insert(key, value)) {
+        // Drop the now-stale old copy, if any. A crash in between leaves
+        // a benign duplicate: new-first reads mask it, and re-migration
+        // (or the emergency merge) dedups it.
+        table().erase(key);
+        return;
+      }
+    }
     if (!options_.auto_expand) throw std::runtime_error("GroupHashMap is full");
     if (!try_expand()) {
       throw MapDegradedError("GroupHashMap insert deferred: expansion failing (" +
                              last_expand_error_ + "); will retry with backoff");
     }
   }
+}
+
+template <class Cell>
+void BasicGroupHashMap<Cell>::put(const key_type& key, u64 value) {
+  GH_CHECK_MSG(!closed_, "map is closed");
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
+  const u64 f = flight_begin(obs::OpKind::kInsert, trace_key(key));
+  put_value(key, value);
   flight_end(f, obs::OpKind::kInsert, trace_key(key));
   op_finish(obs::OpKind::kInsert, trace_key(key), t0, l0);
+  help_migrate();
 }
 
 template <class Cell>
@@ -285,7 +355,26 @@ void BasicGroupHashMap<Cell>::get_batch(std::span<const key_type> keys,
   const u64 t0 = op_start();
   const u64 l0 = lines_before();
   const u64 f = flight_begin(obs::OpKind::kFind, trace_key(keys[0]));
-  table().find_batch(keys, out);
+  if (!mig_table_) {
+    table().find_batch(keys, out);
+  } else {
+    // New-then-old, batched: probe the migration target first, then
+    // re-probe only the misses against the old table.
+    mig_table_->find_batch(keys, out);
+    std::vector<key_type> miss_keys;
+    std::vector<usize> miss_idx;
+    for (usize i = 0; i < keys.size(); ++i) {
+      if (!out[i]) {
+        miss_keys.push_back(keys[i]);
+        miss_idx.push_back(i);
+      }
+    }
+    if (!miss_keys.empty()) {
+      std::vector<std::optional<u64>> miss_out(miss_keys.size());
+      table().find_batch(miss_keys, miss_out);
+      for (usize j = 0; j < miss_idx.size(); ++j) out[miss_idx[j]] = miss_out[j];
+    }
+  }
   flight_end(f, obs::OpKind::kFind, trace_key(keys[0]));
   op_finish(obs::OpKind::kFind, trace_key(keys[0]), t0, l0);
 }
@@ -301,9 +390,16 @@ void BasicGroupHashMap<Cell>::put_batch(std::span<const key_type> keys,
   const u64 f = flight_begin(obs::OpKind::kInsert, trace_key(keys[0]));
   // upsert_batch applies a strict prefix and returns its length; a short
   // return means a placement failed, so expand (with put()'s failure
-  // semantics) and resubmit the remainder.
+  // semantics) and resubmit the remainder. While a migration runs the
+  // coalesced-fence fast path cannot span two tables, so the remainder
+  // degrades to per-key routing — still strictly in order.
   usize done = 0;
   while (done < keys.size()) {
+    if (mig_table_) {
+      put_value(keys[done], values[done]);
+      ++done;
+      continue;
+    }
     done += table().upsert_batch(keys.subspan(done), values.subspan(done));
     if (done == keys.size()) break;
     if (!options_.auto_expand) throw std::runtime_error("GroupHashMap is full");
@@ -314,6 +410,7 @@ void BasicGroupHashMap<Cell>::put_batch(std::span<const key_type> keys,
   }
   flight_end(f, obs::OpKind::kInsert, trace_key(keys[0]));
   op_finish(obs::OpKind::kInsert, trace_key(keys[0]), t0, l0);
+  help_migrate();
 }
 
 template <class Cell>
@@ -324,9 +421,21 @@ void BasicGroupHashMap<Cell>::erase_batch(std::span<const key_type> keys,
   const u64 t0 = op_start();
   const u64 l0 = lines_before();
   const u64 f = flight_begin(obs::OpKind::kErase, trace_key(keys[0]));
-  table().erase_batch(keys, hits);
+  if (!mig_table_) {
+    table().erase_batch(keys, hits);
+  } else {
+    // Old table first (see erase() for the crash-window argument), then
+    // the migration target; a hit in either counts.
+    table().erase_batch(keys, hits);
+    std::vector<u8> mig_hits(keys.size(), 0);
+    mig_table_->erase_batch(keys, mig_hits);
+    if (!hits.empty()) {
+      for (usize i = 0; i < keys.size(); ++i) hits[i] = hits[i] | mig_hits[i];
+    }
+  }
   flight_end(f, obs::OpKind::kErase, trace_key(keys[0]));
   op_finish(obs::OpKind::kErase, trace_key(keys[0]), t0, l0);
+  help_migrate();
 }
 
 template <class Cell>
@@ -334,7 +443,12 @@ std::optional<u64> BasicGroupHashMap<Cell>::get(const key_type& key) {
   const u64 t0 = op_start();
   const u64 l0 = lines_before();
   const u64 f = flight_begin(obs::OpKind::kFind, trace_key(key));
-  auto r = table().find(key);
+  // New-then-old while a migration runs: a key's latest committed value
+  // is either only in the target (fresh write / migrated) or only a
+  // benign duplicate's authoritative copy — the target always wins.
+  std::optional<u64> r;
+  if (mig_table_) r = mig_table_->find(key);
+  if (!r) r = table().find(key);
   flight_end(f, obs::OpKind::kFind, trace_key(key));
   op_finish(obs::OpKind::kFind, trace_key(key), t0, l0);
   return r;
@@ -352,24 +466,28 @@ u64 BasicGroupHashMap<Cell>::increment(const key_type& key, u64 delta) {
   const u64 l0 = lines_before();
   const u64 f = flight_begin(obs::OpKind::kInsert, trace_key(key));
   // One probe: find the cell, bump its value in place; fall back to an
-  // insert when the key is new.
-  if (const auto current = table().find(key)) {
-    const u64 next = *current + delta;
-    GH_CHECK(table().update(key, next));
-    flight_end(f, obs::OpKind::kInsert, trace_key(key));
-    op_finish(obs::OpKind::kInsert, trace_key(key), t0, l0);
-    return next;
-  }
-  while (!table().insert(key, delta)) {
-    if (!options_.auto_expand) throw std::runtime_error("GroupHashMap is full");
-    if (!try_expand()) {
-      throw MapDegradedError("GroupHashMap insert deferred: expansion failing (" +
-                             last_expand_error_ + "); will retry with backoff");
+  // insert when the key is new. During a migration the in-place bump is
+  // only safe in the target (old-table cells can hold stale losers), so
+  // an old-table hit is read there but written new-table-first.
+  u64 next = delta;
+  if (mig_table_) {
+    if (const auto current = mig_table_->find(key)) {
+      next = *current + delta;
+      GH_CHECK(mig_table_->update(key, next));
+    } else {
+      if (const auto old = table().find(key)) next = *old + delta;
+      put_value(key, next);
     }
+  } else if (const auto current = table().find(key)) {
+    next = *current + delta;
+    GH_CHECK(table().update(key, next));
+  } else {
+    put_value(key, delta);
   }
   flight_end(f, obs::OpKind::kInsert, trace_key(key));
   op_finish(obs::OpKind::kInsert, trace_key(key), t0, l0);
-  return delta;
+  help_migrate();
+  return next;
 }
 
 template <class Cell>
@@ -378,9 +496,14 @@ bool BasicGroupHashMap<Cell>::erase(const key_type& key) {
   const u64 t0 = op_start();
   const u64 l0 = lines_before();
   const u64 f = flight_begin(obs::OpKind::kErase, trace_key(key));
-  const bool hit = table().erase(key);
+  // Old-table copy first: a crash between the two erases then reads as
+  // "the erase did not land" (the target still serves the latest value),
+  // never as a resurrected stale old copy.
+  bool hit = table().erase(key);
+  if (mig_table_) hit = mig_table_->erase(key) || hit;
   flight_end(f, obs::OpKind::kErase, trace_key(key));
   op_finish(obs::OpKind::kErase, trace_key(key), t0, l0);
+  help_migrate();
   return hit;
 }
 
@@ -440,7 +563,15 @@ bool BasicGroupHashMap<Cell>::try_expand() {
     return false;
   }
   try {
-    expand();
+    if (mig_table_) {
+      // A placement failed while a resize is already migrating: there is
+      // no second target to start, so merge both tables now (blocking).
+      emergency_expand();
+    } else if (options_.online_resize) {
+      start_migration();
+    } else {
+      expand();
+    }
   } catch (const nvm::SimulatedCrash&) {
     throw;  // a simulated power failure must freeze the world, not degrade
   } catch (const std::exception& e) {
@@ -479,10 +610,11 @@ obs::Snapshot BasicGroupHashMap<Cell>::snapshot() {
   obs::Snapshot s;
   s.source = sizeof(Cell) == 16 ? "GroupHashMap" : "GroupHashMapWide";
   if (table_) {
-    s.size = table().count();
-    s.capacity = table().capacity();
-    s.load_factor = table().load_factor();
+    s.size = size();
+    s.capacity = capacity();
+    s.load_factor = load_factor();
     s.table = obs::TableOpSnapshot::from(table().stats());
+    if (mig_table_) s.table += obs::TableOpSnapshot::from(mig_table_->stats());
     s.scrub = obs::ScrubSnapshot::from(table().stats(), open_scrub_);
   } else {
     // Abandoned (simulated crash): counters were reset coherently there.
@@ -495,6 +627,19 @@ obs::Snapshot BasicGroupHashMap<Cell>::snapshot() {
   s.lifecycle.recoveries = metrics_.recoveries;
   s.lifecycle.orphans_reclaimed = orphans_reclaimed_;
   s.lifecycle.degraded = expand_pending_;
+  s.lifecycle.expand_backoff = expand_backoff_;
+  s.lifecycle.expand_cooldown = expand_cooldown_;
+  s.migration.active = mig_table_ ? 1 : 0;
+  s.migration.cursor = mig_cursor_;
+  s.migration.total_groups = mig_total_groups_;
+  s.migration.groups_migrated = help_steps_ + bg_steps_;
+  s.migration.keys_migrated = keys_migrated_;
+  s.migration.started = migrations_started_;
+  s.migration.completed = migrations_completed_;
+  s.migration.resumed = migrations_resumed_;
+  s.migration.emergency_expands = emergency_expands_;
+  s.migration.help_steps = help_steps_;
+  s.migration.bg_steps = bg_steps_;
   if (recorder_) s.latency = obs::OpLatencySnapshot::from(*recorder_);
   s.flight.enabled = flight_ != nullptr;
   if (flight_scan_.valid_header) {
@@ -544,19 +689,8 @@ void BasicGroupHashMap<Cell>::expand() {
     }
     // Publish the new table: superblock, sync, then atomically replace the
     // old file. The mapping of the new file survives the rename.
-    {
-      auto* sb = reinterpret_cast<Superblock*>(new_region.data());
-      pm_->store_u64(&sb->magic, kMapMagic);
-      pm_->store_u64(&sb->version, kMapVersion);
-      pm_->store_u64(&sb->state, kStateDirty);
-      pm_->store_u64(&sb->cell_size, sizeof(Cell));
-      pm_->store_u64(&sb->table_offset, kTableOffset);
-      pm_->store_u64(&sb->table_bytes, table_bytes);
-      pm_->store_u64(&sb->group_size, params.group_size);
-      pm_->store_u64(&sb->seed, params.seed);
-      pm_->store_u64(&sb->crc, map_format::superblock_crc(*sb));
-      pm_->persist(sb, sizeof(Superblock));
-    }
+    write_superblock_fields(*pm_, reinterpret_cast<Superblock*>(new_region.data()),
+                            sizeof(Cell), table_bytes, params.group_size, params.seed);
     // Journal the publish step: if the rename protocol below crashes, the
     // black box shows an expansion that reached `publish` but not
     // `finish` — the exact op recovery is repairing after.
@@ -576,11 +710,389 @@ void BasicGroupHashMap<Cell>::expand() {
     }
     region_ = std::move(new_region);
     metrics_.expansions++;
+    structure_version_++;
     scrub_cursor_ = 0;  // group numbering changed with the geometry
     flight_end(f, obs::OpKind::kExpand, new_total);
     op_finish(obs::OpKind::kExpand, 0, t0, l0);
     return;
   }
+}
+
+// --- Online resize: the incremental migration state machine ----------------
+//
+// Phases (each durably ordered by an fsync/rename or an 8-byte committed
+// store, and each named in the flight recorder):
+//
+//   start      create + format `<path>.migrate` (own superblock, dirty)
+//   published  target durable (msync + parent-dir fsync), cursor armed
+//   cursor=g   groups [0,g) drained: copied into the target and erased
+//              from the old table, cursor advanced with one committed
+//              8-byte store per group
+//   finalize   cursor == num_groups, old table empty: target synced and
+//              renamed over `path` (the expand() publish protocol)
+//   retire     old region unmapped; the target is the map
+//
+// Crash anywhere: the cursor word in the old superblock names the resume
+// point; duplicates from a group interrupted between copy and erase are
+// masked by new-table-first reads and skipped by the idempotent re-copy.
+
+template <class Cell>
+void BasicGroupHashMap<Cell>::set_migration_word(u64 word) {
+  Superblock* sb = superblock();
+  pm_->atomic_store_u64(&sb->migration, word);
+  pm_->persist(&sb->migration, sizeof(u64));
+  // The cursor is the resume point after a power failure — push it to the
+  // file (one-page msync), not just through the NVM persist model.
+  region_.sync_range(offsetof(map_format::Superblock, migration), sizeof(u64));
+}
+
+template <class Cell>
+void BasicGroupHashMap<Cell>::clear_migration_state() {
+  mig_table_.reset();
+  mig_region_ = nvm::NvmRegion();
+  mig_cursor_ = 0;
+  mig_total_groups_ = 0;
+  mig_flight_token_ = 0;
+  mig_marked_cursor_ = 0;
+}
+
+template <class Cell>
+void BasicGroupHashMap<Cell>::start_migration() {
+  GH_CHECK(!mig_table_);
+  mig_flight_token_ = flight_begin_always(
+      obs::OpKind::kMigrate,
+      obs::encode_migration_mark(obs::MigrationPhase::kStart, 0));
+  const u64 new_total = 2 * table().capacity();
+  typename Table::Params params{
+      .level_cells = new_total / 2,
+      .group_size = static_cast<u32>(std::min<u64>(table().group_size(), new_total / 2)),
+      .seed = table().seed(),
+      .zero_memory = false,
+      .group_crc = table().checksums_enabled()};
+  const usize table_bytes = Table::required_bytes(params);
+  const bool file_backed = region_.file_backed();
+  const std::string mig_path = path_ + kMigrateSuffix;
+  nvm::NvmRegion mig_region =
+      file_backed ? nvm::NvmRegion::create_file(mig_path, kTableOffset + table_bytes)
+                  : nvm::NvmRegion::create_anonymous(kTableOffset + table_bytes);
+  Table mig_table(*pm_, mig_region.bytes().subspan(kTableOffset, table_bytes), params,
+                  /*format=*/true);
+  write_superblock_fields(*pm_,
+                          reinterpret_cast<Superblock*>(mig_region.data()), sizeof(Cell),
+                          table_bytes, params.group_size, params.seed);
+  nvm::crash_point("migrate.start.formatted");
+  if (file_backed) {
+    // The target must be durable (content and directory entry) before the
+    // cursor can point at it: an armed cursor whose target is missing is
+    // unrecoverable by design, so this ordering is load-bearing.
+    mig_region.sync();
+    if (!nvm::FaultFs::sync_dir(nvm::parent_dir(path_))) {
+      throw std::runtime_error("failed to fsync parent directory of " + mig_path);
+    }
+  }
+  mig_region_ = std::move(mig_region);
+  mig_table_.emplace(std::move(mig_table));
+  mig_cursor_ = 0;
+  mig_marked_cursor_ = 0;
+  mig_total_groups_ = table().num_groups();
+  set_migration_word(map_format::encode_migration_word(0));
+  nvm::crash_point("migrate.cursor.armed");
+  flight_mark(mig_flight_token_, obs::OpKind::kMigrate,
+              obs::encode_migration_mark(obs::MigrationPhase::kPublished, 0));
+  migrations_started_++;
+  structure_version_++;
+}
+
+template <class Cell>
+bool BasicGroupHashMap<Cell>::migrate_one_group(u64 g) {
+  std::vector<key_type> keys;
+  std::vector<u64> values;
+  table().for_each_in_group(g, [&](const key_type& k, u64 v) {
+    keys.push_back(k);
+    values.push_back(v);
+  });
+  if (keys.empty()) return true;
+  // Re-migration after a crash must not clobber values written to the
+  // target since the copy (target values are the authoritative ones), so
+  // only keys the target does not hold yet are moved.
+  std::vector<std::optional<u64>> present(keys.size());
+  mig_table_->find_batch(keys, present);
+  std::vector<key_type> move_keys;
+  std::vector<u64> move_values;
+  move_keys.reserve(keys.size());
+  move_values.reserve(keys.size());
+  for (usize i = 0; i < keys.size(); ++i) {
+    if (!present[i]) {
+      move_keys.push_back(keys[i]);
+      move_values.push_back(values[i]);
+    }
+  }
+  if (mig_table_->insert_batch(move_keys, move_values) < move_keys.size()) {
+    // The double-sized target cannot place this group's keys
+    // (pathological grouping). The copied-but-not-erased prefix is a
+    // benign duplicate set: new-first reads mask it and the emergency
+    // merge dedups it.
+    return false;
+  }
+  nvm::crash_point("migrate.group.copied");
+  table().erase_batch(keys, {});
+  nvm::crash_point("migrate.group.erased");
+  keys_migrated_ += keys.size();
+  return true;
+}
+
+template <class Cell>
+u64 BasicGroupHashMap<Cell>::do_migrate(u64 max_groups) {
+  u64 done = 0;
+  while (mig_table_ && done < max_groups && mig_cursor_ < mig_total_groups_) {
+    if (!migrate_one_group(mig_cursor_)) {
+      // Target full: fall back to the blocking merge, with try_expand's
+      // backoff semantics — a failing merge leaves the migration armed
+      // and retries later instead of wedging the drain loop.
+      if (!try_expand()) break;
+      continue;  // migration is gone; the loop condition exits
+    }
+    mig_cursor_++;
+    done++;
+    set_migration_word(map_format::encode_migration_word(static_cast<u32>(mig_cursor_)));
+    nvm::crash_point("migrate.cursor.advanced");
+    if (mig_cursor_ - mig_marked_cursor_ >= kMigrateMarkStride ||
+        mig_cursor_ == mig_total_groups_) {
+      flight_mark(mig_flight_token_, obs::OpKind::kMigrate,
+                  obs::encode_migration_mark(obs::MigrationPhase::kCursor, mig_cursor_));
+      mig_marked_cursor_ = mig_cursor_;
+    }
+  }
+  if (mig_table_ && mig_cursor_ >= mig_total_groups_) {
+    if (expand_cooldown_ > 0) {
+      // A previously failed finalize armed the backoff; absorb.
+      expand_cooldown_--;
+    } else {
+      try {
+        finalize_migration();
+        expand_pending_ = false;
+        expand_backoff_ = 0;
+        expand_cooldown_ = 0;
+      } catch (const nvm::SimulatedCrash&) {
+        throw;
+      } catch (const std::exception& e) {
+        // Same degrade-don't-wedge contract as try_expand: the drain is
+        // complete, only the rename publish is owed — keep serving from
+        // the split image and retry with capped backoff.
+        metrics_.expand_failures++;
+        expand_pending_ = true;
+        last_expand_error_ = e.what();
+        flight_event(obs::FlightEvent::kDegraded, obs::OpKind::kMigrate);
+        expand_cooldown_ = expand_backoff_;
+        expand_backoff_ = expand_backoff_ == 0
+                              ? 1
+                              : std::min<u64>(expand_backoff_ * 2, kMaxExpandBackoff);
+      }
+    }
+  }
+  return done;
+}
+
+template <class Cell>
+void BasicGroupHashMap<Cell>::help_migrate() {
+  if (!mig_table_ || options_.migrate_groups_per_op == 0) return;
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
+  help_steps_ += do_migrate(options_.migrate_groups_per_op);
+  op_finish(obs::OpKind::kMigrate, 0, t0, l0);
+}
+
+template <class Cell>
+u64 BasicGroupHashMap<Cell>::migrate_step(u64 max_groups) {
+  GH_CHECK_MSG(!closed_, "map is closed");
+  if (!mig_table_ || max_groups == 0) return 0;
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
+  const u64 n = do_migrate(max_groups);
+  bg_steps_ += n;
+  op_finish(obs::OpKind::kMigrate, 0, t0, l0);
+  return n;
+}
+
+template <class Cell>
+void BasicGroupHashMap<Cell>::finalize_migration() {
+  GH_CHECK(mig_table_);
+  GH_CHECK_MSG(table().count() == 0, "finalize with undrained old table");
+  flight_mark(mig_flight_token_, obs::OpKind::kMigrate,
+              obs::encode_migration_mark(obs::MigrationPhase::kFinalize, mig_cursor_));
+  nvm::crash_point("migrate.finalize");
+  if (region_.file_backed()) {
+    // The expand() publish protocol — but spelled out instead of using
+    // publish_region_file, because its failure cleanup unlinks the temp
+    // file and the `.migrate` target holds the only copy of the data.
+    // On failure the split image stays intact and the caller retries.
+    mig_region_.sync();
+    nvm::crash_point("migrate.finalize.synced");
+    if (!nvm::FaultFs::rename(path_ + kMigrateSuffix, path_)) {
+      throw std::runtime_error("failed to publish migrated map file " + path_);
+    }
+    nvm::crash_point("migrate.finalize.renamed");
+    if (!nvm::FaultFs::sync_dir(nvm::parent_dir(path_))) {
+      throw std::runtime_error("failed to fsync parent directory of " + path_);
+    }
+  }
+  // Preserve operation statistics across the rebuild (the expand()
+  // convention: the pre-resize history wins over the target's own
+  // migration-time counters).
+  mig_table_->stats() = table().stats();
+  table_.emplace(std::move(*mig_table_));
+  if (options_.retain_retired_regions) {
+    retired_regions_.push_back(std::move(region_));
+  }
+  region_ = std::move(mig_region_);
+  flight_end(mig_flight_token_, obs::OpKind::kMigrate,
+             obs::encode_migration_mark(obs::MigrationPhase::kRetire, mig_cursor_));
+  clear_migration_state();
+  nvm::crash_point("migrate.retired");
+  migrations_completed_++;
+  structure_version_++;
+  scrub_cursor_ = 0;  // group numbering changed with the geometry
+}
+
+template <class Cell>
+void BasicGroupHashMap<Cell>::emergency_expand() {
+  GH_CHECK(mig_table_);
+  const u64 t0 = op_start();
+  const u64 l0 = lines_before();
+  flight_mark(mig_flight_token_, obs::OpKind::kMigrate,
+              obs::encode_migration_mark(obs::MigrationPhase::kEmergency, mig_cursor_));
+  nvm::crash_point("migrate.emergency");
+  u64 new_total = 2 * mig_table_->capacity();
+  for (;;) {
+    typename Table::Params params{
+        .level_cells = new_total / 2,
+        .group_size = static_cast<u32>(std::min<u64>(table().group_size(), new_total / 2)),
+        .seed = table().seed(),
+        .zero_memory = false,
+        .group_crc = table().checksums_enabled()};
+    const usize table_bytes = Table::required_bytes(params);
+    const bool file_backed = region_.file_backed();
+    const std::string tmp_path = path_ + kExpandSuffix;
+    nvm::NvmRegion new_region =
+        file_backed ? nvm::NvmRegion::create_file(tmp_path, kTableOffset + table_bytes)
+                    : nvm::NvmRegion::create_anonymous(kTableOffset + table_bytes);
+    Table new_table(*pm_, new_region.bytes().subspan(kTableOffset, table_bytes), params,
+                    /*format=*/true);
+    bool refill_ok = true;
+    mig_table_->for_each([&](const key_type& k, u64 v) {
+      if (refill_ok && !new_table.insert(k, v)) refill_ok = false;
+    });
+    // Old-table cells lose to their migrated copies: a group interrupted
+    // between copy and erase holds stale duplicates, and the target's
+    // value is the authoritative one.
+    table().for_each([&](const key_type& k, u64 v) {
+      if (refill_ok && !new_table.find(k) && !new_table.insert(k, v)) refill_ok = false;
+    });
+    if (!refill_ok) {
+      new_total *= 2;
+      if (file_backed) nvm::FaultFs::remove(tmp_path);
+      continue;
+    }
+    write_superblock_fields(*pm_, reinterpret_cast<Superblock*>(new_region.data()),
+                            sizeof(Cell), table_bytes, params.group_size, params.seed);
+    if (file_backed) {
+      // Publishing the merged file disarms the cursor (the new
+      // superblock's word is zero), so a crash after the rename leaves
+      // the stale `.migrate` as a reclaimable orphan, not live data.
+      nvm::publish_region_file(new_region, tmp_path, path_,
+                               "failed to publish emergency-expanded map file");
+    }
+    nvm::crash_point("migrate.emergency.published");
+    new_table.stats() = table().stats();
+    table_.emplace(std::move(new_table));
+    if (options_.retain_retired_regions) {
+      retired_regions_.push_back(std::move(region_));
+      retired_regions_.push_back(std::move(mig_region_));
+    }
+    region_ = std::move(new_region);
+    flight_end(mig_flight_token_, obs::OpKind::kMigrate,
+               obs::encode_migration_mark(obs::MigrationPhase::kEmergency, mig_cursor_));
+    clear_migration_state();
+    if (region_.file_backed()) nvm::FaultFs::remove(path_ + kMigrateSuffix);
+    emergency_expands_++;
+    metrics_.expansions++;
+    structure_version_++;
+    scrub_cursor_ = 0;
+    op_finish(obs::OpKind::kExpand, 0, t0, l0);
+    return;
+  }
+}
+
+template <class Cell>
+void BasicGroupHashMap<Cell>::resume_migration() {
+  const u64 cursor = map_format::migration_word_cursor(superblock()->migration);
+  const std::string mig_path = path_ + kMigrateSuffix;
+  std::error_code ec;
+  if (!std::filesystem::exists(mig_path, ec)) {
+    // The cursor is only armed after the target's directory entry is
+    // fsynced, so a missing target means tampering or filesystem loss —
+    // groups below the cursor have no other copy. Refuse, don't guess.
+    throw std::runtime_error("GroupHashMap migration target missing: " + mig_path);
+  }
+  nvm::NvmRegion mig_region = nvm::NvmRegion::open_file(mig_path);
+  auto* msb = reinterpret_cast<Superblock*>(mig_region.data());
+  if (msb->magic != kMapMagic || msb->version != kMapVersion ||
+      msb->cell_size != sizeof(Cell) ||
+      msb->crc != map_format::superblock_crc(*msb)) {
+    throw std::runtime_error("GroupHashMap migration target is corrupt: " + mig_path);
+  }
+  if (msb->table_offset < kTableOffset || msb->table_bytes == 0 ||
+      msb->table_bytes > mig_region.size() ||
+      msb->table_offset > mig_region.size() - msb->table_bytes) {
+    throw std::runtime_error("GroupHashMap migration target is corrupt (table bounds)");
+  }
+  mig_region_ = std::move(mig_region);
+  msb = reinterpret_cast<Superblock*>(mig_region_.data());
+  mig_table_.emplace(Table::attach(
+      *pm_, mig_region_.bytes().subspan(msb->table_offset, msb->table_bytes)));
+  if (msb->state == kStateDirty) {
+    // The target died mid-write just like the main table would have;
+    // Algorithm-4 it back to consistency before reads trust it.
+    mig_table_->recover();
+    metrics_.recoveries++;
+  } else {
+    pm_->atomic_store_u64(&msb->state, kStateDirty);
+    pm_->persist(&msb->state, sizeof(u64));
+  }
+  mig_total_groups_ = table().num_groups();
+  mig_cursor_ = std::min(cursor, mig_total_groups_);
+  mig_marked_cursor_ = mig_cursor_;
+  migrations_resumed_++;
+  structure_version_++;
+  mig_flight_token_ = flight_begin_always(
+      obs::OpKind::kMigrate,
+      obs::encode_migration_mark(obs::MigrationPhase::kResume, mig_cursor_));
+  // A crash can land between the final cursor advance and the rename:
+  // the drain is already complete and only the finalize is owed.
+  if (mig_cursor_ >= mig_total_groups_) finalize_migration();
+}
+
+template <class Cell>
+bool BasicGroupHashMap<Cell>::debug_verify_tags() const {
+  if (table_ && !table().verify_tags()) return false;
+  return !mig_table_ || mig_table_->verify_tags();
+}
+
+template <class Cell>
+bool BasicGroupHashMap<Cell>::debug_verify_group_checksums() const {
+  const auto verify = [](const Table& t) {
+    if (!t.checksums_enabled()) return true;
+    for (u64 g = 0; g < t.num_groups(); ++g) {
+      for (u32 level = 0; level < 2; ++level) {
+        if (!t.group_quarantined(level, g) && !t.verify_group_checksum(level, g)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  if (table_ && !verify(table())) return false;
+  return !mig_table_ || verify(*mig_table_);
 }
 
 template class BasicGroupHashMap<hash::Cell16>;

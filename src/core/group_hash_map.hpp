@@ -90,6 +90,22 @@ struct MapOptions {
   obs::FlightMode flight_mode = obs::FlightMode::kSampled;
   /// Journal 1 in 2^shift data ops in kSampled mode (0 = every op).
   u32 flight_sample_shift = obs::kFlightSampleShift;
+  /// Resize incrementally instead of with one blocking rebuild. When an
+  /// insert needs capacity, a double-sized migration target is created
+  /// and published (`<path>.migrate`, own superblock), and groups are
+  /// rehashed into it a few at a time by the mutating ops themselves
+  /// ("help-along", bounded by migrate_groups_per_op) plus any explicit
+  /// migrate_step() calls from a maintenance tick. Reads probe new-then-
+  /// old while the migration runs. The migration cursor is durable (an
+  /// 8-byte self-checksummed word in the superblock), so a crash
+  /// mid-resize resumes where it stopped instead of restarting — and an
+  /// image with an interrupted migration always resumes on open(),
+  /// whatever this flag says. Off by default: blocking expand().
+  bool online_resize = false;
+  /// Groups each mutating op migrates while a migration is active (the
+  /// help-along bound — the knob trading per-op stall for migration
+  /// drain rate). 0 = ops never help; only migrate_step() advances.
+  u32 migrate_groups_per_op = 1;
 };
 
 /// DEPRECATED back-compat view — read snapshot() instead, which adds
@@ -168,16 +184,27 @@ class BasicGroupHashMap {
   /// erase of a key misses).
   void erase_batch(std::span<const key_type> keys, std::span<u8> hits = {});
 
-  /// Visit all (key, value) pairs.
+  /// Visit all (key, value) pairs. During an online resize the live set
+  /// is split across the migration target and the old table (disjoint:
+  /// a group's cells are erased from the old table only after they are
+  /// committed in the new one), so both are walked.
   template <class Fn>
   void for_each(Fn&& fn) const {
-    table().for_each(std::forward<Fn>(fn));
+    if (mig_table_) mig_table_->for_each(fn);
+    table().for_each(fn);
   }
 
-  [[nodiscard]] u64 size() const { return table().count(); }
+  [[nodiscard]] u64 size() const {
+    return table().count() + (mig_table_ ? mig_table_->count() : 0);
+  }
   [[nodiscard]] bool empty() const { return size() == 0; }
-  [[nodiscard]] u64 capacity() const { return table().capacity(); }
-  [[nodiscard]] double load_factor() const { return table().load_factor(); }
+  [[nodiscard]] u64 capacity() const {
+    return table().capacity() + (mig_table_ ? mig_table_->capacity() : 0);
+  }
+  [[nodiscard]] double load_factor() const {
+    const u64 cap = capacity();
+    return cap == 0 ? 0.0 : static_cast<double>(size()) / static_cast<double>(cap);
+  }
   [[nodiscard]] bool recovered_on_open() const { return recovered_on_open_; }
   /// DEPRECATED: thin alias over the same counters snapshot() reads; kept
   /// for one release. Safe (returns the frozen/zeroed sample) after
@@ -215,6 +242,38 @@ class BasicGroupHashMap {
   /// cells reported through MapOptions::on_lost_cell. No-op (empty
   /// report) when the map was created without checksum_groups.
   hash::ScrubReport scrub(u64 max_groups = ~0ull);
+
+  /// True while an online resize is draining groups into the new table.
+  [[nodiscard]] bool migration_active() const { return mig_table_.has_value(); }
+
+  /// Next source group the migration will drain (groups below it are
+  /// already moved and erased from the old table). Meaningful only while
+  /// migration_active().
+  [[nodiscard]] u64 migration_cursor() const { return mig_cursor_; }
+
+  /// The in-progress migration target table (nullptr when inactive) —
+  /// for the concurrent wrapper's dual-table read view and inspection.
+  [[nodiscard]] const Table* migration_table() const {
+    return mig_table_ ? &*mig_table_ : nullptr;
+  }
+
+  /// Advance an active migration by up to `max_groups` source groups,
+  /// finalizing (rename publish + old-region retire) when the cursor
+  /// reaches the end. Returns the number of groups drained; 0 when no
+  /// migration is active. This is the background-drain hook — the
+  /// service shard worker calls it on idle ticks so a resize completes
+  /// even without write traffic.
+  u64 migrate_step(u64 max_groups);
+
+  /// Bumped whenever the probe geometry changes: expansion, migration
+  /// start/finalize/emergency, compaction. The concurrent wrapper
+  /// compares it to decide when to republish its read view.
+  [[nodiscard]] u64 structure_version() const { return structure_version_; }
+
+  /// Test hooks: verify the DRAM fingerprint tags / per-group CRCs of
+  /// every live table (both of them mid-migration).
+  [[nodiscard]] bool debug_verify_tags() const;
+  [[nodiscard]] bool debug_verify_group_checksums() const;
 
   /// True while an expansion is owed but failing (see put()). Cleared by
   /// the insert whose retried expansion succeeds.
@@ -265,10 +324,47 @@ class BasicGroupHashMap {
   Superblock* superblock();
   void mark_state(u64 state);
   void expand();
-  /// Expand, degrading gracefully: a failure (other than SimulatedCrash)
-  /// records the pending-expand state, arms the backoff, and returns
-  /// false instead of throwing.
+  /// Grow capacity, degrading gracefully: a failure (other than
+  /// SimulatedCrash) records the pending-expand state, arms the backoff,
+  /// and returns false instead of throwing. Dispatches on the resize
+  /// mode: blocking expand() by default, start_migration() under
+  /// online_resize, and the blocking emergency merge when a placement
+  /// fails while a migration is already running.
   bool try_expand();
+  /// The scalar upsert core shared by put/put_batch/increment: routes
+  /// writes new-table-first during a migration so readers (which probe
+  /// new-then-old) always see the latest committed value.
+  void put_value(const key_type& key, u64 value);
+
+  // --- Online-resize state machine (see DESIGN.md, "Online resize") ---
+  /// Create + durably publish the `.migrate` target and arm the cursor.
+  void start_migration();
+  /// Rehash one source group into the target and erase it from the old
+  /// table. Idempotent (keys already present in the target are skipped),
+  /// so re-running the cursor group after a crash is safe. Returns false
+  /// when the target could not place a key — the caller must fall back
+  /// to the blocking emergency merge.
+  [[nodiscard]] bool migrate_one_group(u64 g);
+  /// Drain up to max_groups groups, advancing the durable cursor after
+  /// each, and finalize when the cursor reaches the end.
+  u64 do_migrate(u64 max_groups);
+  /// Help-along hook every mutating op calls while a migration runs.
+  void help_migrate();
+  /// Publish the fully drained target over `path_` (rename + dir fsync)
+  /// and retire the old region.
+  void finalize_migration();
+  /// Blocking escape hatch: merge old + target into one bigger table
+  /// (the target filled up mid-migration, or a second capacity miss hit
+  /// while migrating). Clears the migration state.
+  void emergency_expand();
+  /// open()-time continuation of an interrupted migration: attach (and
+  /// if dirty, recover) the `.migrate` target named by the durable
+  /// cursor, then keep draining incrementally.
+  void resume_migration();
+  /// 8-byte atomic advance of the self-checksummed cursor word in the
+  /// old superblock, persisted and (file-backed) msync'd.
+  void set_migration_word(u64 word);
+  void clear_migration_state();
   void report_loss(const hash::LostCell& cell);
   void init_region(nvm::NvmRegion region, const MapOptions& options, bool fresh);
   /// Open/format the `.flight` sidecar and stand up the recorder. Called
@@ -352,6 +448,23 @@ class BasicGroupHashMap {
   MapMetrics metrics_;
   hash::ScrubReport open_scrub_;
   std::string last_expand_error_;
+  // Online-resize state: the migration target table over its own region,
+  // plus the in-memory copy of the durable cursor. mig_table_ engaged ==
+  // migration active.
+  nvm::NvmRegion mig_region_;
+  std::optional<Table> mig_table_;
+  u64 mig_cursor_ = 0;
+  u64 mig_total_groups_ = 0;
+  u64 mig_flight_token_ = 0;
+  u64 mig_marked_cursor_ = 0;  ///< last cursor journaled to the flight ring
+  u64 structure_version_ = 0;
+  u64 migrations_started_ = 0;
+  u64 migrations_completed_ = 0;
+  u64 migrations_resumed_ = 0;
+  u64 emergency_expands_ = 0;
+  u64 help_steps_ = 0;     ///< groups drained by help-along writers
+  u64 bg_steps_ = 0;       ///< groups drained by explicit migrate_step()
+  u64 keys_migrated_ = 0;
   u64 scrub_cursor_ = 0;
   u64 expand_backoff_ = 0;   ///< current backoff window (placement-failure events)
   u64 expand_cooldown_ = 0;  ///< failures to absorb before the next retry

@@ -34,8 +34,46 @@ struct Superblock {
   u64 table_bytes;
   u64 group_size;
   u64 seed;
-  u64 crc;  ///< CRC32C of the geometry fields above (state excluded)
+  u64 crc;        ///< CRC32C of the geometry fields above (state excluded)
+  u64 migration;  ///< online-resize cursor word; 0 = no migration (see below)
 };
+
+// ---------------------------------------------------------------------------
+// Online-resize migration cursor.
+//
+// One 8-byte word, advanced with a single atomic store + persist per
+// migrated group (the paper's commit-word discipline — never torn):
+//
+//   bits [0,31)   cursor: index of the next source group to migrate
+//   bit  31       active flag
+//   bits [32,64)  CRC32C of the low 32 bits
+//
+// The word is NOT covered by superblock_crc (it mutates thousands of
+// times per resize); it is self-validating instead, like `state`. A zero
+// word means "no migration in progress" — which is also what every image
+// written before this field existed reads as, keeping format v2 intact.
+
+inline constexpr u32 kMigrationActiveBit = 0x8000'0000u;
+
+inline u64 encode_migration_word(u32 cursor_group) {
+  const u32 payload = kMigrationActiveBit | cursor_group;
+  const u32 check = ~crc32c_update(~0u, &payload, sizeof(payload));
+  return (static_cast<u64>(check) << 32) | payload;
+}
+
+/// True iff `word` is zero (inactive) or a well-formed active cursor.
+inline bool migration_word_valid(u64 word) {
+  if (word == 0) return true;
+  const u32 payload = static_cast<u32>(word);
+  const u32 check = ~crc32c_update(~0u, &payload, sizeof(payload));
+  return (payload & kMigrationActiveBit) != 0 && static_cast<u32>(word >> 32) == check;
+}
+
+inline bool migration_word_active(u64 word) { return word != 0; }
+
+inline u32 migration_word_cursor(u64 word) {
+  return static_cast<u32>(word) & ~kMigrationActiveBit;
+}
 
 /// Checksum of every immutable superblock field. Recomputed when a
 /// rebuild (expand) publishes new geometry; verified before the geometry

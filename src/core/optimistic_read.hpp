@@ -50,9 +50,10 @@ namespace gh::core {
   return std::atomic_ref<u64>(const_cast<u64&>(word)).load(std::memory_order_acquire);
 }
 
-/// Immutable probing snapshot of one GroupHashTable. Values, not
-/// references: a view stays usable (if stale) after the table object it
-/// was taken from is re-emplaced by expansion.
+/// Immutable probing snapshot of one GroupHashTable — or, during an
+/// online resize, of the pair (migration target, draining old table).
+/// Values, not references: a view stays usable (if stale) after the
+/// table object it was taken from is re-emplaced by expansion.
 template <class Cell>
 struct TableReadView {
   const Cell* tab1 = nullptr;
@@ -63,6 +64,21 @@ struct TableReadView {
   std::shared_ptr<const u8[]> tags;  ///< keeps the DRAM tag block alive
   const u8* tags1 = nullptr;
   const u8* tags2 = nullptr;
+  // Secondary probe set: the draining old table while a migration runs
+  // (null old_tab1 = single-table view). The primary set above is the
+  // migration target — reads are new-table-first, so a key duplicated by
+  // a crash between copy and erase resolves to its authoritative copy.
+  // Both tables share the hash seed (the resize preserves it), so one
+  // hash computation serves both probes.
+  const Cell* old_tab1 = nullptr;
+  const Cell* old_tab2 = nullptr;
+  u64 old_mask = 0;
+  u32 old_group_size = 1;
+  std::shared_ptr<const u8[]> old_tags;
+  const u8* old_tags1 = nullptr;
+  const u8* old_tags2 = nullptr;
+  /// structure_version() of the map this view was published for.
+  u64 version = 0;
 
   template <class PM>
   [[nodiscard]] static TableReadView of(const hash::GroupHashTable<Cell, PM>& table) {
@@ -75,6 +91,22 @@ struct TableReadView {
     v.tags = table.tags_shared();
     v.tags1 = v.tags.get();
     v.tags2 = v.tags1 + table.level_cells();
+    return v;
+  }
+
+  /// Dual-table view for an online resize: probe `primary` (the
+  /// migration target) first, then `old` on a miss.
+  template <class PM>
+  [[nodiscard]] static TableReadView dual(const hash::GroupHashTable<Cell, PM>& primary,
+                                          const hash::GroupHashTable<Cell, PM>& old) {
+    TableReadView v = of(primary);
+    v.old_tab1 = &old.level1_cell(0);
+    v.old_tab2 = &old.level2_cell(0);
+    v.old_mask = old.level_cells() - 1;
+    v.old_group_size = old.group_size();
+    v.old_tags = old.tags_shared();
+    v.old_tags1 = v.old_tags.get();
+    v.old_tags2 = v.old_tags1 + old.level_cells();
     return v;
   }
 };
@@ -97,27 +129,46 @@ struct TableReadView {
   return atomic_load_acquire(cell.value);
 }
 
+/// One table's share of Algorithm 2: tag-filtered probe of a level-1
+/// cell and its level-2 group through one probe-parameter set.
+template <class Cell>
+[[nodiscard]] std::optional<u64> optimistic_probe(const Cell* tab1, const Cell* tab2,
+                                                  u64 mask, u32 group_size,
+                                                  const u8* tags1, const u8* tags2, u64 h,
+                                                  const typename Cell::key_type& key) {
+  const u64 k = h & mask;
+  const u8 tag = hash::tag_of_hash(h);
+  if (hash::tag_load_relaxed(tags1 + k) == tag) {
+    if (const auto hit = optimistic_read_cell(tab1[k], key)) return hit;
+  }
+  const u64 j = k - k % group_size;
+  for (u32 i = 0; i < group_size; ++i) {
+    if (hash::tag_load_relaxed(tags2 + j + i) != tag) continue;
+    if (const auto hit = optimistic_read_cell(tab2[j + i], key)) return hit;
+  }
+  return std::nullopt;
+}
+
 /// Algorithm 2 over a view, tag-filtered. The tag scan and the cell reads
 /// happen under ONE epoch check (the caller validates after this
 /// returns): a validated probe implies no writer touched the shard, so
 /// the tag⟺cell invariant held for the whole scan and the filter cannot
 /// have produced a false negative. The result is only meaningful if that
-/// validation succeeds.
+/// validation succeeds. A dual view (mid-resize) probes the migration
+/// target first and the old table on a miss — one epoch covers both, so
+/// "miss in the target, then its group migrates, then hit stale in the
+/// old table" cannot validate.
 template <class Cell>
 [[nodiscard]] std::optional<u64> optimistic_find(const TableReadView<Cell>& view,
                                                  const typename Cell::key_type& key) {
   const u64 h = view.hash(key);
-  const u64 k = h & view.mask;
-  const u8 tag = hash::tag_of_hash(h);
-  if (hash::tag_load_relaxed(view.tags1 + k) == tag) {
-    if (const auto hit = optimistic_read_cell(view.tab1[k], key)) return hit;
+  if (const auto hit = optimistic_probe(view.tab1, view.tab2, view.mask, view.group_size,
+                                        view.tags1, view.tags2, h, key)) {
+    return hit;
   }
-  const u64 j = k - k % view.group_size;
-  for (u32 i = 0; i < view.group_size; ++i) {
-    if (hash::tag_load_relaxed(view.tags2 + j + i) != tag) continue;
-    if (const auto hit = optimistic_read_cell(view.tab2[j + i], key)) return hit;
-  }
-  return std::nullopt;
+  if (view.old_tab1 == nullptr) return std::nullopt;
+  return optimistic_probe(view.old_tab1, view.old_tab2, view.old_mask,
+                          view.old_group_size, view.old_tags1, view.old_tags2, h, key);
 }
 
 }  // namespace gh::core

@@ -544,6 +544,21 @@ class GroupHashTable {
     }
   }
 
+  /// Visit every occupied cell of source group `g` — its addressable
+  /// (level-1) cells and the collision (level-2) cells sharing the group
+  /// number. This is the unit online-resize migration moves: one call
+  /// collects exactly the keys the durable cursor word hands off.
+  template <class Fn>
+  void for_each_in_group(u64 g, Fn&& fn) const {
+    GH_DCHECK(g < num_groups());
+    const u64 begin = g * group_size_;
+    const u64 end = begin + group_size_;
+    for (u64 i = begin; i < end; ++i) {
+      if (tab1_[i].occupied()) fn(tab1_[i].key(), tab1_[i].value);
+      if (tab2_[i].occupied()) fn(tab2_[i].key(), tab2_[i].value);
+    }
+  }
+
   /// Read-only cell access for inspection tooling (gh_fsck, core/inspect).
   [[nodiscard]] const Cell& level1_cell(u64 i) const { return tab1_[i]; }
   [[nodiscard]] const Cell& level2_cell(u64 i) const { return tab2_[i]; }

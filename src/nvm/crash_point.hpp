@@ -1,0 +1,86 @@
+// Named crash-point registry: intra-operation fault injection for steps
+// that live between filesystem operations.
+//
+// FaultFs (fault_fs.hpp) can only crash at filesystem boundaries
+// (create/msync/rename/...). Online-resize migration does most of its
+// work *between* those boundaries — group copy, old-group erase, durable
+// cursor advance are all PM stores — so the migration code marks each of
+// those steps with a named point:
+//
+//   nvm::crash_point("migrate.group.copied");
+//
+// Tests install a CrashPointPolicy process-wide to enumerate the points
+// (TracePointPolicy) and then crash at the Nth occurrence of a given
+// point (CrashAtPointPolicy throws SimulatedCrash, the same exception the
+// FaultFs schedules use, so existing abandon()/reopen harnesses apply
+// unchanged). When no policy is installed — always, in production — a
+// point is one relaxed atomic load and a predicted-not-taken branch.
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nvm/fault_fs.hpp"
+
+namespace gh::nvm {
+
+/// Process-wide hook. on_point may throw (SimulatedCrash) to simulate a
+/// power failure at that step; it runs on whatever thread hit the point,
+/// so implementations must be thread-safe.
+struct CrashPointPolicy {
+  virtual ~CrashPointPolicy() = default;
+  virtual void on_point(const char* name) = 0;
+};
+
+namespace detail {
+inline std::atomic<CrashPointPolicy*>& crash_point_policy() {
+  static std::atomic<CrashPointPolicy*> policy{nullptr};
+  return policy;
+}
+}  // namespace detail
+
+/// Mark a named step. No-op (one relaxed load) unless a policy is armed.
+inline void crash_point(const char* name) {
+  CrashPointPolicy* p = detail::crash_point_policy().load(std::memory_order_relaxed);
+  if (p != nullptr) [[unlikely]] p->on_point(name);
+}
+
+/// RAII installer, mirroring ScopedFsPolicy. Nesting is not supported —
+/// the previous policy is restored on destruction.
+class ScopedCrashPoints {
+ public:
+  explicit ScopedCrashPoints(CrashPointPolicy* policy)
+      : previous_(detail::crash_point_policy().exchange(policy)) {}
+  ~ScopedCrashPoints() { detail::crash_point_policy().store(previous_); }
+  ScopedCrashPoints(const ScopedCrashPoints&) = delete;
+  ScopedCrashPoints& operator=(const ScopedCrashPoints&) = delete;
+
+ private:
+  CrashPointPolicy* previous_;
+};
+
+/// Record-run policy: appends every point name, in order.
+struct TracePointPolicy : CrashPointPolicy {
+  std::mutex mu;
+  std::vector<std::string> trace;
+  void on_point(const char* name) override {
+    const std::lock_guard<std::mutex> lock(mu);
+    trace.emplace_back(name);
+  }
+};
+
+/// Crash (SimulatedCrash) at the Nth occurrence of any point, counting
+/// every point hit — pairs with a TracePointPolicy record run the way
+/// CrashScheduleFs::crash_at pairs with its trace.
+struct CrashAtPointPolicy : CrashPointPolicy {
+  usize crash_at = 0;
+  std::atomic<usize> seen{0};
+  void on_point(const char* /*name*/) override {
+    if (seen.fetch_add(1, std::memory_order_relaxed) == crash_at) throw SimulatedCrash{};
+  }
+};
+
+}  // namespace gh::nvm

@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -115,6 +116,15 @@ void NvmRegion::sync() {
     FaultFs::notify_sync(path_);  // fault-injection step boundary
     GH_CHECK(::msync(data_, size_, MS_SYNC) == 0);
   }
+}
+
+void NvmRegion::sync_range(usize offset, usize len) {
+  if (data_ == nullptr || fd_ < 0 || len == 0 || offset >= size_) return;
+  FaultFs::notify_sync(path_);  // fault-injection step boundary
+  const auto page = static_cast<usize>(sysconf(_SC_PAGESIZE));
+  const usize begin = offset - (offset % page);  // msync demands page alignment
+  const usize end = std::min(size_, round_up(offset + len, page));
+  GH_CHECK(::msync(data_ + begin, end - begin, MS_SYNC) == 0);
 }
 
 }  // namespace gh::nvm

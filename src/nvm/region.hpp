@@ -47,6 +47,12 @@ class NvmRegion {
   /// closing a file-backed map flushes it through the page cache as well.
   void sync();
 
+  /// msync only [offset, offset+len) (page-aligned outward; clamped to the
+  /// mapping; file-backed only). Lets long-lived incremental writers —
+  /// online-resize migration formatting just a superblock page, or its
+  /// periodic background flushes — avoid a full-region msync stall.
+  void sync_range(usize offset, usize len);
+
  private:
   NvmRegion(std::byte* data, usize size, int fd, std::string path);
 

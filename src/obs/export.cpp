@@ -146,6 +146,7 @@ void write_latency(Json& j, const OpLatencySnapshot& lat) {
   write_histogram(j, "scrub", lat.scrub);
   write_histogram(j, "recover", lat.recover);
   write_histogram(j, "compact", lat.compact);
+  write_histogram(j, "migrate", lat.migrate);
   j.end_obj();
 }
 
@@ -302,7 +303,22 @@ std::string export_json(const Snapshot& s) {
       .field("compact_failures", s.lifecycle.compact_failures)
       .field("recoveries", s.lifecycle.recoveries)
       .field("orphans_reclaimed", s.lifecycle.orphans_reclaimed)
-      .field("degraded", s.lifecycle.degraded);
+      .field("degraded", s.lifecycle.degraded)
+      .field("expand_backoff", s.lifecycle.expand_backoff)
+      .field("expand_cooldown", s.lifecycle.expand_cooldown);
+  j.end_obj();
+  j.key("migration").begin_obj();
+  j.field("active", s.migration.active)
+      .field("cursor", s.migration.cursor)
+      .field("total_groups", s.migration.total_groups)
+      .field("groups_migrated", s.migration.groups_migrated)
+      .field("keys_migrated", s.migration.keys_migrated)
+      .field("started", s.migration.started)
+      .field("completed", s.migration.completed)
+      .field("resumed", s.migration.resumed)
+      .field("emergency_expands", s.migration.emergency_expands)
+      .field("help_steps", s.migration.help_steps)
+      .field("bg_steps", s.migration.bg_steps);
   j.end_obj();
   write_latency(j, s.latency);
   j.key("flight").begin_obj();
@@ -422,6 +438,22 @@ std::string export_prometheus(const Snapshot& s, std::string_view prefix) {
                "table expansions completed");
   prom_counter(out, prefix, "recoveries_total", labels, s.lifecycle.recoveries,
                "crash recovery passes run");
+  prom_counter(out, prefix, "expand_cooldown", labels, s.lifecycle.expand_cooldown,
+               "ops left before a pending expansion is retried (gauge)");
+  prom_counter(out, prefix, "migration_active", labels, s.migration.active,
+               "online-resize migrations currently in progress (gauge)");
+  prom_counter(out, prefix, "migration_cursor", labels, s.migration.cursor,
+               "next source group the active migration will move (gauge)");
+  prom_counter(out, prefix, "migration_groups_total", labels, s.migration.groups_migrated,
+               "source groups migrated by online resizes");
+  prom_counter(out, prefix, "migration_keys_total", labels, s.migration.keys_migrated,
+               "keys moved by online resizes");
+  prom_counter(out, prefix, "migrations_started_total", labels, s.migration.started,
+               "online-resize migrations started");
+  prom_counter(out, prefix, "migrations_completed_total", labels, s.migration.completed,
+               "online-resize migrations finalized");
+  prom_counter(out, prefix, "migrations_resumed_total", labels, s.migration.resumed,
+               "migrations resumed from a durable cursor on open");
   prom_counter(out, prefix, "flight_in_flight_on_open_total", labels,
                s.flight.in_flight_on_open.size(),
                "ops the flight recorder showed in flight at the last crash");
@@ -471,9 +503,10 @@ namespace {
 /// here must ship with the exporter change that writes them; anything
 /// else is a mutated/forged document and fails validation.
 constexpr std::string_view kSnapshotTopLevelKeys[] = {
-    "schema",     "version",   "source",  "size",   "capacity",
-    "load_factor", "shards",   "persist", "ops",    "scrub",
-    "contention", "lifecycle", "latency", "flight", "per_shard",
+    "schema",     "version",   "source",    "size",   "capacity",
+    "load_factor", "shards",   "persist",   "ops",    "scrub",
+    "contention", "lifecycle", "migration", "latency", "flight",
+    "per_shard",
 };
 
 bool known_snapshot_key(std::string_view key) {

@@ -109,11 +109,23 @@ std::string flight_timeline_text(const FlightScan& scan) {
     out += "in flight at crash:\n";
     for (const InFlightOp& op : scan.in_flight) {
       char line[160];
-      std::snprintf(line, sizeof(line),
-                    "  op#%llu %s reached %s (ring %u, key_hash=0x%llx)\n",
-                    static_cast<unsigned long long>(op.seqno), op_kind_name(op.kind),
-                    flight_phase_name(op.phase), op.ring,
-                    static_cast<unsigned long long>(op.key_hash));
+      if (op.kind == OpKind::kMigrate) {
+        // key_hash packs (migration phase << 56) | cursor: an interrupted
+        // online resize names its last durable step and where reopen will
+        // resume, straight from the newest surviving record.
+        std::snprintf(line, sizeof(line),
+                      "  op#%llu migrate reached %s, resume cursor=group %llu (ring %u)\n",
+                      static_cast<unsigned long long>(op.seqno),
+                      migration_phase_name(decode_migration_phase(op.key_hash)),
+                      static_cast<unsigned long long>(decode_migration_cursor(op.key_hash)),
+                      op.ring);
+      } else {
+        std::snprintf(line, sizeof(line),
+                      "  op#%llu %s reached %s (ring %u, key_hash=0x%llx)\n",
+                      static_cast<unsigned long long>(op.seqno), op_kind_name(op.kind),
+                      flight_phase_name(op.phase), op.ring,
+                      static_cast<unsigned long long>(op.key_hash));
+      }
       out += line;
     }
   } else {
@@ -137,6 +149,13 @@ std::string flight_timeline_text(const FlightScan& scan) {
                     us, r.ring, static_cast<unsigned long long>(r.seqno),
                     op_kind_name(r.kind),
                     flight_event_name(static_cast<FlightEvent>(r.key_hash)));
+    } else if (r.kind == OpKind::kMigrate) {
+      std::snprintf(line, sizeof(line),
+                    "  %12.3f  ring%u  op#%llu  migrate  %-8s phase=%s cursor=%llu\n",
+                    us, r.ring, static_cast<unsigned long long>(r.seqno),
+                    flight_phase_name(r.phase),
+                    migration_phase_name(decode_migration_phase(r.key_hash)),
+                    static_cast<unsigned long long>(decode_migration_cursor(r.key_hash)));
     } else {
       std::snprintf(line, sizeof(line),
                     "  %12.3f  ring%u  op#%llu  %-8s %-8s key_hash=0x%llx\n", us,
@@ -196,6 +215,8 @@ std::string flight_trace_json(const FlightScan& scan) {
       // whose partner was overwritten by the ring — becomes an instant.
       const char* suffix = r.phase == FlightPhase::kEvent
                                ? flight_event_name(static_cast<FlightEvent>(r.key_hash))
+                           : r.kind == OpKind::kMigrate
+                               ? migration_phase_name(decode_migration_phase(r.key_hash))
                                : flight_phase_name(r.phase);
       std::snprintf(buf, sizeof(buf),
                     "{\"name\":\"%s:%s\",\"ph\":\"i\",\"ts\":%.3f,\"s\":\"t\","

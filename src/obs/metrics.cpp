@@ -122,6 +122,21 @@ const char* op_kind_name(OpKind kind) {
     case OpKind::kScrub: return "scrub";
     case OpKind::kRecover: return "recover";
     case OpKind::kCompact: return "compact";
+    case OpKind::kMigrate: return "migrate";
+  }
+  return "unknown";
+}
+
+const char* migration_phase_name(MigrationPhase phase) {
+  switch (phase) {
+    case MigrationPhase::kNone: return "none";
+    case MigrationPhase::kStart: return "start";
+    case MigrationPhase::kPublished: return "published";
+    case MigrationPhase::kCursor: return "cursor";
+    case MigrationPhase::kFinalize: return "finalize";
+    case MigrationPhase::kRetire: return "retire";
+    case MigrationPhase::kResume: return "resume";
+    case MigrationPhase::kEmergency: return "emergency-expand";
   }
   return "unknown";
 }

@@ -253,10 +253,44 @@ enum class OpKind : u8 {
   kScrub,
   kRecover,
   kCompact,
+  kMigrate,  ///< online-resize incremental migration (one logical resize)
 };
-inline constexpr usize kOpKinds = 7;
+inline constexpr usize kOpKinds = 8;
 
 const char* op_kind_name(OpKind kind);
+
+// ---------------------------------------------------------------------------
+// Online-resize migration phases.
+//
+// A migration is one long-lived kMigrate flight op spanning thousands of
+// data ops. Each step packs its phase and the durable cursor into the
+// record's key_hash word — (phase << 56) | cursor — so an interrupted
+// resize is reconstructible from the newest surviving record alone:
+// `gh_stats --flight` decodes it back into a phase name + resume cursor.
+
+enum class MigrationPhase : u8 {
+  kNone = 0,
+  kStart = 1,      ///< target region created + formatted
+  kPublished = 2,  ///< cursor word activated in the source superblock
+  kCursor = 3,     ///< cursor advanced past another batch of groups
+  kFinalize = 4,   ///< final sync + rename of the target over the source
+  kRetire = 5,     ///< old region retired; migration complete
+  kResume = 6,     ///< reopen picked the migration up from the durable cursor
+  kEmergency = 7,  ///< fell back to a blocking merged expand
+};
+
+const char* migration_phase_name(MigrationPhase phase);
+
+inline u64 encode_migration_mark(MigrationPhase phase, u64 cursor) {
+  return (static_cast<u64>(phase) << 56) | (cursor & ((1ull << 56) - 1));
+}
+inline MigrationPhase decode_migration_phase(u64 key_hash) {
+  const u64 p = key_hash >> 56;
+  return p <= static_cast<u64>(MigrationPhase::kEmergency)
+             ? static_cast<MigrationPhase>(p)
+             : MigrationPhase::kNone;
+}
+inline u64 decode_migration_cursor(u64 key_hash) { return key_hash & ((1ull << 56) - 1); }
 
 /// Phase tag carried by flight-recorder records (obs/flight_recorder.hpp).
 /// kStart/kFinish bracket an op; kPublish marks the irreversible publish

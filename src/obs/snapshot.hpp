@@ -176,6 +176,13 @@ struct LifecycleSnapshot {
   u64 recoveries = 0;
   u64 orphans_reclaimed = 0;
   bool degraded = false;  ///< an expansion/compaction is owed but failing
+  // Pending-expand backoff state (PR 3's try_expand). Gauges, not
+  // counters: `expand_backoff` is the current cap (doubles per failure,
+  // 1..64) and `expand_cooldown` the ops left before the next retry —
+  // both 0 when no expansion is owed. Under absorb() they take the max
+  // across shards: "how badly is the worst shard backing off".
+  u64 expand_backoff = 0;
+  u64 expand_cooldown = 0;
 
   LifecycleSnapshot& operator+=(const LifecycleSnapshot& o) {
     expansions += o.expansions;
@@ -185,6 +192,40 @@ struct LifecycleSnapshot {
     recoveries += o.recoveries;
     orphans_reclaimed += o.orphans_reclaimed;
     degraded = degraded || o.degraded;
+    expand_backoff = expand_backoff > o.expand_backoff ? expand_backoff : o.expand_backoff;
+    expand_cooldown = expand_cooldown > o.expand_cooldown ? expand_cooldown : o.expand_cooldown;
+    return *this;
+  }
+};
+
+/// Online-resize migration state and counters. `active`/`cursor`/
+/// `total_groups` describe the in-progress migration (zero when none);
+/// the rest are lifetime counters.
+struct MigrationSnapshot {
+  u64 active = 0;        ///< migrations in progress (0/1 per map; summed)
+  u64 cursor = 0;        ///< next source group to migrate (active maps)
+  u64 total_groups = 0;  ///< source groups in the active migration
+  u64 groups_migrated = 0;
+  u64 keys_migrated = 0;
+  u64 started = 0;
+  u64 completed = 0;
+  u64 resumed = 0;            ///< migrations picked up from a durable cursor on open
+  u64 emergency_expands = 0;  ///< blocking merged-expand fallbacks
+  u64 help_steps = 0;         ///< bounded help-along steps taken by writers
+  u64 bg_steps = 0;           ///< background drain steps (service worker idle loop)
+
+  MigrationSnapshot& operator+=(const MigrationSnapshot& o) {
+    active += o.active;
+    cursor += o.cursor;
+    total_groups += o.total_groups;
+    groups_migrated += o.groups_migrated;
+    keys_migrated += o.keys_migrated;
+    started += o.started;
+    completed += o.completed;
+    resumed += o.resumed;
+    emergency_expands += o.emergency_expands;
+    help_steps += o.help_steps;
+    bg_steps += o.bg_steps;
     return *this;
   }
 };
@@ -198,6 +239,7 @@ struct OpLatencySnapshot {
   HistogramSnapshot scrub;
   HistogramSnapshot recover;
   HistogramSnapshot compact;
+  HistogramSnapshot migrate;
 
   static OpLatencySnapshot from(const OpRecorder& rec) {
     OpLatencySnapshot s;
@@ -208,6 +250,7 @@ struct OpLatencySnapshot {
     s.scrub = rec.of(OpKind::kScrub).snapshot();
     s.recover = rec.of(OpKind::kRecover).snapshot();
     s.compact = rec.of(OpKind::kCompact).snapshot();
+    s.migrate = rec.of(OpKind::kMigrate).snapshot();
     return s;
   }
 
@@ -220,6 +263,7 @@ struct OpLatencySnapshot {
       case OpKind::kScrub: return scrub;
       case OpKind::kRecover: return recover;
       case OpKind::kCompact: return compact;
+      case OpKind::kMigrate: return migrate;
     }
     return insert;
   }
@@ -235,6 +279,7 @@ struct OpLatencySnapshot {
     scrub.merge(o.scrub);
     recover.merge(o.recover);
     compact.merge(o.compact);
+    migrate.merge(o.migrate);
   }
 };
 
@@ -293,6 +338,7 @@ struct Snapshot {
   ScrubSnapshot scrub;
   ContentionSnapshot contention;
   LifecycleSnapshot lifecycle;
+  MigrationSnapshot migration;
   OpLatencySnapshot latency;
   FlightSnapshot flight;
 
@@ -311,6 +357,7 @@ struct Snapshot {
     scrub += o.scrub;
     contention += o.contention;
     lifecycle += o.lifecycle;
+    migration += o.migration;
     latency.merge(o.latency);
     flight += o.flight;
     return *this;

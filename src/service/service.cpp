@@ -186,8 +186,58 @@ void ShardServer::kill_shard(Shard& shard) {
   shard.map->abandon();
 }
 
+bool ShardServer::restart_shard(u32 shard_idx) {
+  GH_CHECK(shard_idx < nshards_);
+  Shard& shard = *shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(restart_mu_);
+  if (!running() || !shard.dead.load(std::memory_order_acquire)) return false;
+  // Reopen on the caller's thread: recovery (and resuming an interrupted
+  // migration) can take a while, and the worker must keep draining its
+  // ring — answering kShardDown — the whole time. File-backed shards
+  // reopen their file through the normal recovery path; in-memory shards
+  // lost their mappings with the "power failure" and come back empty.
+  std::unique_ptr<GroupHashMap> fresh;
+  try {
+    if (options_.data_dir.empty()) {
+      fresh = std::make_unique<GroupHashMap>(
+          GroupHashMap::create_in_memory(options_.map_options));
+    } else {
+      const std::string path =
+          options_.data_dir + "/shard" + std::to_string(shard_idx) + ".gh";
+      fresh =
+          std::make_unique<GroupHashMap>(GroupHashMap::open(path, options_.map_options));
+    }
+  } catch (...) {
+    return false;  // reopen failed; the shard stays down and the caller may retry
+  }
+  shard.pending_map = std::move(fresh);
+  shard.revive.store(true, std::memory_order_release);
+  shard.doorbell.fetch_add(1, std::memory_order_release);
+  shard.doorbell.notify_all();
+  // The worker installs the map at its loop top; wait for that so the
+  // caller's next batch cannot race the swap. If the server stops before
+  // the install, the worker exits without installing — bail out.
+  while (shard.revive.load(std::memory_order_acquire)) {
+    if (!running()) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
 void ShardServer::worker_loop(Shard& shard) {
+  // Idle-loop migration drain: groups retired per empty ring poll. Large
+  // enough that an idle shard finishes a resize in a few wakeups, small
+  // enough that a request arriving mid-burst waits at most one burst.
+  constexpr u64 kIdleMigrateGroups = 64;
   for (;;) {
+    if (shard.revive.load(std::memory_order_acquire)) {
+      // restart_shard parked a freshly reopened map; install it here so
+      // only the worker ever touches the live shard map.
+      shard.map = std::move(shard.pending_map);
+      shard.dead.store(false, std::memory_order_release);
+      shard.revive.store(false, std::memory_order_release);
+      shard.revive.notify_all();
+    }
     const u64 seen = shard.doorbell.load(std::memory_order_acquire);
     shard.visit.clear();
     WorkItem w;
@@ -199,6 +249,17 @@ void ShardServer::worker_loop(Shard& shard) {
         // stop() rings every doorbell after flipping the flag and
         // execute() refuses new batches, so an empty ring here is final.
         return;
+      }
+      if (!shard.dead.load(std::memory_order_relaxed) && shard.map->migration_active()) {
+        try {
+          // Re-poll the ring after every burst so background draining
+          // never starves a request by more than one burst. A zero-group
+          // step (finalize in degraded backoff) falls through to the
+          // doorbell wait instead of spinning on the cooldown.
+          if (shard.map->migrate_step(kIdleMigrateGroups) > 0) continue;
+        } catch (const nvm::SimulatedCrash&) {
+          kill_shard(shard);
+        }
       }
       shard.doorbell.wait(seen, std::memory_order_acquire);
       continue;

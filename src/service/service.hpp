@@ -37,7 +37,17 @@
 //     the rest of that visit and for every later request routed to the
 //     shard. The ingest ring keeps draining, so a dead shard never
 //     wedges clients, and the shard's file reopens through the normal
-//     recovery + flight-forensics path.
+//     recovery + flight-forensics path. A dead shard is not permanent:
+//     restart_shard() reopens the map (recovery — including resuming an
+//     interrupted online migration — runs on the caller's thread) and
+//     the worker installs it between visits, after which the shard
+//     serves again.
+//
+// Online resize: with map_options.online_resize set, a shard mid-resize
+// keeps serving — writers help migrate a bounded number of groups per
+// call, and the worker drains the tail from its idle loop (one
+// migrate_step() burst per empty ring poll), so the resize finishes even
+// on a read-only or idle shard without ever blocking a visit.
 //
 // Observability: execute() records end-to-end batch latency per request
 // into a service-level obs::OpRecorder (get→kFind, put→kInsert,
@@ -48,6 +58,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -217,6 +228,18 @@ class ShardServer {
   [[nodiscard]] bool shard_down(u32 shard) const;
   [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
 
+  /// Revive a kShardDown shard. The replacement map is opened on the
+  /// CALLER's thread (file-backed shards re-run recovery — and resume an
+  /// interrupted migration — right here; in-memory shards come back
+  /// empty, exactly the post-power-loss contract), handed to the worker
+  /// through `pending_map`, and installed by the worker at its loop top,
+  /// so the single-consumer ownership of the shard map never has two
+  /// threads touching it. Blocks until the worker has swapped the map in
+  /// and cleared `dead`. Returns false if the shard is not down, the
+  /// reopen itself fails (the shard stays dead), or the server stops
+  /// while waiting. Safe to call concurrently; calls are serialized.
+  bool restart_shard(u32 shard);
+
   /// Same seeded routing hash as the concurrent wrappers, so a key's
   /// shard is stable across the service and the embedded maps.
   [[nodiscard]] static u32 shard_of(u64 key, u32 shards);
@@ -247,6 +270,13 @@ class ShardServer {
     std::unique_ptr<GroupHashMap> map;
     std::thread worker;
 
+    // Revival handoff (restart_shard): the caller parks the reopened map
+    // in pending_map and raises revive; the worker installs it at loop
+    // top and lowers the flag. revive's release/acquire pair publishes
+    // the pending_map write to the worker.
+    std::unique_ptr<GroupHashMap> pending_map;
+    std::atomic<bool> revive{false};
+
     // Worker-local batching scratch, reused every visit.
     std::vector<WorkItem> visit;
     std::vector<u64> get_keys;
@@ -273,6 +303,7 @@ class ShardServer {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  std::mutex restart_mu_;  ///< serializes restart_shard callers
   obs::OpRecorder recorder_;
 };
 

@@ -1,0 +1,350 @@
+// Crash-at-every-step fuzz for the online-resize migration.
+//
+// The migration's durable steps live in two registries:
+//
+//   * named crash points (src/nvm/crash_point.hpp) — the PM-store steps
+//     between filesystem boundaries: target formatted, cursor armed,
+//     group copied, group erased, cursor advanced, finalize hand-off,
+//     retire, emergency merge;
+//   * FaultFs steps (src/nvm/fault_fs.hpp) — the filesystem boundaries
+//     themselves: target create/msync/dir-fsync, cursor-page msync,
+//     finalize rename.
+//
+// The sweep is the publish_crash_test recipe applied to both: one record
+// run traces every step a seeded mixed workload performs, then one trial
+// per step boundary replays the identical workload, crashes there
+// (SimulatedCrash → abandon(), exactly a power failure), reopens, and
+// compares against a sequential oracle. Acceptance is zero lost
+// committed ops: every op whose call returned before the crash must be
+// visible after reopen; the single in-flight op may have landed or not
+// (atomically — never torn). Reopening mid-migration must also leave
+// the fingerprint tags and per-group CRCs of BOTH tables coherent, and
+// the resumed drain must finish to a single table with the same
+// contents.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/group_hash_map.hpp"
+#include "core/map_format.hpp"
+#include "nvm/crash_point.hpp"
+#include "nvm/fault_fs.hpp"
+#include "util/rng.hpp"
+
+namespace gh {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+MapOptions migration_options() {
+  MapOptions o;
+  o.initial_cells = 64;  // several migrations within a few hundred keys
+  o.group_size = 8;
+  o.flush_latency_ns = 0;
+  o.online_resize = true;
+  o.migrate_groups_per_op = 1;
+  return o;
+}
+
+constexpr u64 kOpsPerSeed = 400;
+constexpr u64 kSeeds = 8;
+
+enum class WorkOp { kPut, kErase, kIncrement };
+
+struct WorkStep {
+  WorkOp op;
+  u64 key;
+  u64 value;
+};
+
+/// The seeded mixed workload, shared by record and replay runs: mostly
+/// inserts (so the map keeps outgrowing itself), a sprinkle of erases
+/// and increments against already-written keys.
+std::vector<WorkStep> make_workload(u64 seed) {
+  Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ull + 1);
+  std::vector<WorkStep> steps;
+  steps.reserve(kOpsPerSeed);
+  u64 next_key = 1;
+  for (u64 i = 0; i < kOpsPerSeed; ++i) {
+    const u64 roll = rng.next_below(10);
+    if (roll < 7 || next_key < 4) {
+      steps.push_back({WorkOp::kPut, next_key, rng.next() | 1});
+      ++next_key;
+    } else if (roll < 9) {
+      steps.push_back({WorkOp::kIncrement, 1 + rng.next_below(next_key - 1), 3});
+    } else {
+      steps.push_back({WorkOp::kErase, 1 + rng.next_below(next_key - 1), 0});
+    }
+  }
+  return steps;
+}
+
+void apply_to_oracle(std::map<u64, u64>& oracle, const WorkStep& s) {
+  switch (s.op) {
+    case WorkOp::kPut: oracle[s.key] = s.value; break;
+    case WorkOp::kErase: oracle.erase(s.key); break;
+    case WorkOp::kIncrement: oracle[s.key] += s.value; break;
+  }
+}
+
+struct RunResult {
+  std::map<u64, u64> oracle;        ///< committed ops only
+  std::optional<WorkStep> in_flight;  ///< the op the crash interrupted
+  bool crashed = false;
+};
+
+/// Replays the workload for `seed` against a fresh file map at `path`.
+/// Returns the committed-op oracle; when a crash fires, also which op
+/// was in flight.
+RunResult run_workload(const std::string& path, u64 seed) {
+  RunResult r;
+  std::optional<GroupHashMap> map;
+  try {
+    map.emplace(GroupHashMap::create(path, migration_options()));
+  } catch (const nvm::SimulatedCrash&) {
+    // Crash during create(): nothing was committed, nothing to verify.
+    r.crashed = true;
+    return r;
+  }
+  for (const WorkStep& s : make_workload(seed)) {
+    try {
+      switch (s.op) {
+        case WorkOp::kPut: map->put(s.key, s.value); break;
+        case WorkOp::kErase: map->erase(s.key); break;
+        case WorkOp::kIncrement: map->increment(s.key, s.value); break;
+      }
+    } catch (const nvm::SimulatedCrash&) {
+      r.in_flight = s;
+      r.crashed = true;
+      map->abandon();
+      return r;
+    }
+    apply_to_oracle(r.oracle, s);
+  }
+  map->abandon();  // keep the dirty image: reopen must run recovery
+  return r;
+}
+
+/// The acceptance check: the reopened map equals the oracle, except the
+/// in-flight op which may have (atomically) landed. Before the drain
+/// finishes, a group interrupted between copy and erase may hold its
+/// keys in BOTH tables — a benign duplicate (same value, masked by
+/// new-first reads) — so the exact-cardinality check only applies once
+/// `drained` collapses the image back to one table.
+void verify_against_oracle(GroupHashMap& map, const RunResult& r, bool drained) {
+  std::map<u64, u64> expected = r.oracle;
+  std::map<u64, u64> with_in_flight = r.oracle;
+  if (r.in_flight) apply_to_oracle(with_in_flight, *r.in_flight);
+  const u64 in_flight_key = r.in_flight ? r.in_flight->key : 0;
+
+  for (const auto& [k, v] : expected) {
+    if (r.in_flight && k == in_flight_key) continue;
+    const auto got = map.get(k);
+    ASSERT_TRUE(got.has_value()) << "lost committed key " << k;
+    EXPECT_EQ(*got, v) << "committed key " << k;
+  }
+  if (r.in_flight) {
+    // Either pre-op or post-op state for the interrupted key — only.
+    const auto got = map.get(in_flight_key);
+    const auto pre = expected.count(in_flight_key)
+                         ? std::optional<u64>(expected[in_flight_key])
+                         : std::nullopt;
+    const auto post = with_in_flight.count(in_flight_key)
+                          ? std::optional<u64>(with_in_flight[in_flight_key])
+                          : std::nullopt;
+    EXPECT_TRUE(got == pre || got == post)
+        << "in-flight key " << in_flight_key << " is torn: "
+        << (got ? std::to_string(*got) : "absent");
+  }
+  // No resurrected or invented keys either.
+  map.for_each([&](u64 k, u64 v) {
+    if (r.in_flight && k == in_flight_key) return;
+    auto it = expected.find(k);
+    if (it == expected.end()) {
+      ADD_FAILURE() << "unexpected key " << k << " after reopen";
+    } else {
+      EXPECT_EQ(v, it->second) << "key " << k;
+    }
+  });
+  if (drained) {
+    const u64 n = map.size();
+    EXPECT_TRUE(n == expected.size() || n == with_in_flight.size())
+        << "size " << n << " matches neither oracle (" << expected.size() << ") nor "
+        << "oracle+in-flight (" << with_in_flight.size() << ")";
+  }
+}
+
+void run_trial(const std::string& path, const RunResult& r) {
+  auto map = GroupHashMap::open(path, migration_options());
+  // Mid-migration integrity: tags and CRCs of both halves must verify
+  // before any further traffic.
+  EXPECT_TRUE(map.debug_verify_tags());
+  EXPECT_TRUE(map.debug_verify_group_checksums());
+  verify_against_oracle(map, r, /*drained=*/false);
+  // The resumed drain must finish and still hold the oracle.
+  while (map.migration_active()) {
+    ASSERT_GT(map.migrate_step(~0ull), 0u) << "resumed migration must progress";
+  }
+  EXPECT_FALSE(fs::exists(path + ".migrate"));
+  verify_against_oracle(map, r, /*drained=*/true);
+  map.close();
+}
+
+void remove_all(const std::string& path) {
+  fs::remove(path);
+  fs::remove(path + ".migrate");
+  fs::remove(path + ".expand");
+  fs::remove(path + ".flight");
+}
+
+TEST(MigrationCrash, CrashAtEveryCrashPointRecoversToOracle) {
+  const std::string path = temp_path("gh_migration_crash_points.gh");
+  for (u64 seed = 0; seed < kSeeds; ++seed) {
+    remove_all(path);
+    // Record run: count the PM-store crash points this seed hits.
+    nvm::TracePointPolicy tracer;
+    {
+      const nvm::ScopedCrashPoints installed(&tracer);
+      const RunResult full = run_workload(path, seed);
+      ASSERT_FALSE(full.crashed);
+    }
+    ASSERT_GT(tracer.trace.size(), 0u)
+        << "seed " << seed << " must exercise the migration machinery";
+    bool saw_finalize = false;
+    for (const std::string& p : tracer.trace) saw_finalize |= p == "migrate.retired";
+    ASSERT_TRUE(saw_finalize) << "seed " << seed << " must complete a migration";
+
+    for (usize k = 0; k < tracer.trace.size(); ++k) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + ", crash at point " +
+                   std::to_string(k) + " (" + tracer.trace[k] + ")");
+      remove_all(path);
+      nvm::CrashAtPointPolicy policy;
+      policy.crash_at = k;
+      RunResult r;
+      {
+        const nvm::ScopedCrashPoints installed(&policy);
+        r = run_workload(path, seed);
+      }
+      ASSERT_TRUE(r.crashed) << "replay must crash at the recorded point";
+      run_trial(path, r);
+    }
+  }
+  remove_all(path);
+}
+
+TEST(MigrationCrash, CrashAtEveryFsStepRecoversToOracle) {
+  // The filesystem half of the sweep: target publish, every cursor-page
+  // msync, the finalize rename + dir fsync. One seed is enough — the fs
+  // schedule is the same protocol at every occurrence; the per-seed
+  // variety above covers workload shapes.
+  const std::string path = temp_path("gh_migration_crash_fs.gh");
+  const u64 seed = 1;
+  remove_all(path);
+  nvm::CrashScheduleFs recorder;
+  {
+    const nvm::ScopedFsPolicy installed(&recorder);
+    const RunResult full = run_workload(path, seed);
+    ASSERT_FALSE(full.crashed);
+  }
+  ASSERT_GT(recorder.trace.size(), 0u);
+  bool saw_rename = false;
+  for (const auto& step : recorder.trace) {
+    saw_rename |= step.op == nvm::FsOp::kRename;
+  }
+  ASSERT_TRUE(saw_rename) << "the workload must reach a finalize rename";
+
+  // Step 0 is the create() of the map file itself — nothing to reopen —
+  // so the sweep starts at 1.
+  for (usize k = 1; k < recorder.trace.size(); ++k) {
+    SCOPED_TRACE("crash before fs step " + std::to_string(k) + " (" +
+                 nvm::to_string(recorder.trace[k].op) + " " + recorder.trace[k].path +
+                 ")");
+    remove_all(path);
+    nvm::CrashScheduleFs policy;
+    policy.crash_at = k;
+    RunResult r;
+    {
+      const nvm::ScopedFsPolicy installed(&policy);
+      r = run_workload(path, seed);
+    }
+    ASSERT_TRUE(r.crashed) << "replay must crash at the recorded step";
+    if (!r.in_flight && r.oracle.empty()) continue;  // died inside create()
+    run_trial(path, r);
+  }
+  remove_all(path);
+}
+
+TEST(MigrationCrash, TornMigrationTargetIsRejectedNotTrusted) {
+  // A crash right before the target's first msync can lose its
+  // superblock writes entirely: overwrite the .migrate file with garbage
+  // and the armed-cursor open must refuse to resume into it rather than
+  // serve junk.
+  const std::string path = temp_path("gh_migration_torn_target.gh");
+  remove_all(path);
+  {
+    auto map = GroupHashMap::create(path, migration_options());
+    u64 i = 1;
+    while (!map.migration_active() && i < 10'000) map.put(i, i), ++i;
+    ASSERT_TRUE(map.migration_active());
+    map.close();
+  }
+  {
+    std::ofstream out(path + ".migrate", std::ios::binary | std::ios::trunc);
+    for (int i = 0; i < 4096; ++i) out.put(static_cast<char>(0xCB));
+  }
+  EXPECT_THROW((void)GroupHashMap::open(path, migration_options()), std::runtime_error);
+  remove_all(path);
+}
+
+TEST(MigrationCrash, MissingMigrationTargetIsFatalNotSilent) {
+  // An armed cursor whose target file vanished is unrecoverable by
+  // design (the target held drained keys): open must throw, not quietly
+  // serve the partial old table.
+  const std::string path = temp_path("gh_migration_missing_target.gh");
+  remove_all(path);
+  {
+    auto map = GroupHashMap::create(path, migration_options());
+    u64 i = 1;
+    while (!map.migration_active() && i < 10'000) map.put(i, i), ++i;
+    ASSERT_TRUE(map.migration_active());
+    ASSERT_GT(map.migrate_step(1), 0u);  // some keys live only in the target
+    map.close();
+  }
+  fs::remove(path + ".migrate");
+  EXPECT_THROW((void)GroupHashMap::open(path, migration_options()), std::runtime_error);
+  remove_all(path);
+}
+
+TEST(MigrationCrash, CorruptCursorWordIsRejected) {
+  // The cursor word carries its own inverted CRC: a word that fails it
+  // is media corruption (8-byte stores never tear), and open must say so
+  // instead of resuming from a forged cursor.
+  const std::string path = temp_path("gh_migration_bad_cursor.gh");
+  remove_all(path);
+  {
+    auto map = GroupHashMap::create(path, migration_options());
+    map.put(1, 1);
+    map.close();
+  }
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    const u64 forged = 0x1234'5678'9abc'def0ull;  // active bit set, bad CRC
+    f.seekp(offsetof(map_format::Superblock, migration));
+    f.write(reinterpret_cast<const char*>(&forged), sizeof(forged));
+  }
+  EXPECT_THROW((void)GroupHashMap::open(path, migration_options()), std::runtime_error);
+  remove_all(path);
+}
+
+}  // namespace
+}  // namespace gh

@@ -1,0 +1,371 @@
+// Functional suite for the online non-blocking resize.
+//
+// With online_resize set, a placement failure no longer rebuilds the
+// whole table in one stall: a double-sized migration target is published
+// (`<path>.migrate`, own superblock) and the mutating ops themselves
+// drain groups into it a few at a time (the "help-along" bound), with
+// migrate_step() as the background tap. This suite covers the steady
+// state machinery — correctness of reads/writes against the split image,
+// the bounded help-along, the durable cursor's reopen-resume, integrity
+// invariants (fingerprint tags, per-group CRCs) mid-migration, and the
+// backoff surfacing regression (obs::Snapshot must show the current
+// expand backoff window). Crash-at-every-step coverage lives in
+// migration_crash_test.cpp.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/group_hash_map.hpp"
+#include "nvm/fault_fs.hpp"
+
+namespace gh {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+u64 key_of(u64 i) { return 3 * i + 1; }
+u64 value_of(u64 i) { return i * 17 + 5; }
+
+MapOptions online_options(u32 groups_per_op = 1) {
+  MapOptions o;
+  o.initial_cells = 64;
+  o.group_size = 8;
+  o.flush_latency_ns = 0;
+  o.online_resize = true;
+  o.migrate_groups_per_op = groups_per_op;
+  return o;
+}
+
+/// Drives puts until a migration is running, then stops. Returns the
+/// number of keys inserted (all of key_of/value_of(0..n-1)).
+u64 fill_until_migrating(GroupHashMap& map, u64 limit = 10'000) {
+  u64 i = 0;
+  while (!map.migration_active() && i < limit) {
+    map.put(key_of(i), value_of(i));
+    ++i;
+  }
+  return i;
+}
+
+TEST(Migration, ResizeCompletesIncrementallyAndKeepsEveryKey) {
+  auto map = GroupHashMap::create_in_memory(online_options());
+  constexpr u64 kKeys = 3000;  // forces several back-to-back migrations
+  for (u64 i = 0; i < kKeys; ++i) {
+    map.put(key_of(i), value_of(i));
+    // The split image must serve correct reads at every moment.
+    if (i % 97 == 0) {
+      const auto got = map.get(key_of(i / 2));
+      ASSERT_TRUE(got.has_value()) << i;
+      EXPECT_EQ(*got, value_of(i / 2));
+    }
+  }
+  // Drain whatever migration is still running so the end state is a
+  // single table again.
+  while (map.migration_active()) ASSERT_GT(map.migrate_step(~0ull), 0u);
+  EXPECT_EQ(map.size(), kKeys);
+  for (u64 i = 0; i < kKeys; ++i) {
+    const auto got = map.get(key_of(i));
+    ASSERT_TRUE(got.has_value()) << i;
+    EXPECT_EQ(*got, value_of(i)) << i;
+  }
+  const obs::Snapshot s = map.snapshot();
+  EXPECT_GE(s.migration.started, 1u);
+  EXPECT_EQ(s.migration.started, s.migration.completed);
+  EXPECT_EQ(s.migration.emergency_expands, 0u);
+  EXPECT_GT(s.migration.keys_migrated, 0u);
+  EXPECT_EQ(s.lifecycle.expansions, 0u) << "no blocking expand on the online path";
+  map.close();
+}
+
+TEST(Migration, HelpAlongIsBoundedPerOp) {
+  auto map = GroupHashMap::create_in_memory(online_options(/*groups_per_op=*/2));
+  const u64 inserted = fill_until_migrating(map);
+  ASSERT_TRUE(map.migration_active());
+  u64 i = inserted;
+  while (map.migration_active()) {
+    const u64 before = map.migration_cursor();
+    map.put(key_of(i), value_of(i));
+    ++i;
+    if (!map.migration_active()) break;  // this put finished the drain
+    EXPECT_LE(map.migration_cursor() - before, 2u)
+        << "a mutating op must not migrate more than migrate_groups_per_op groups";
+  }
+  for (u64 j = 0; j < i; ++j) ASSERT_EQ(map.get(key_of(j)), value_of(j)) << j;
+  map.close();
+}
+
+TEST(Migration, ZeroHelpAlongLeavesDrainToMigrateStep) {
+  auto map = GroupHashMap::create_in_memory(online_options(/*groups_per_op=*/0));
+  const u64 inserted = fill_until_migrating(map);
+  ASSERT_TRUE(map.migration_active());
+  const u64 cursor = map.migration_cursor();
+
+  // Ops do not help: the cursor must hold still across a write burst.
+  for (u64 i = 0; i < 32; ++i) map.put(key_of(inserted + i), value_of(inserted + i));
+  EXPECT_TRUE(map.migration_active());
+  EXPECT_EQ(map.migration_cursor(), cursor);
+
+  // Bounded background steps drain it completely.
+  u64 drained = 0;
+  while (map.migration_active()) {
+    const u64 n = map.migrate_step(4);
+    ASSERT_GT(n, 0u) << "an active migration must make progress";
+    EXPECT_LE(n, 4u);
+    drained += n;
+  }
+  EXPECT_GT(drained, 0u);
+  const obs::Snapshot s = map.snapshot();
+  EXPECT_EQ(s.migration.bg_steps, drained);
+  EXPECT_EQ(s.migration.help_steps, 0u);
+  for (u64 i = 0; i < inserted + 32; ++i) {
+    ASSERT_EQ(map.get(key_of(i)), value_of(i)) << i;
+  }
+  map.close();
+}
+
+TEST(Migration, SplitImageServesEveryOpKind) {
+  auto map = GroupHashMap::create_in_memory(online_options(/*groups_per_op=*/0));
+  const u64 inserted = fill_until_migrating(map);
+  ASSERT_TRUE(map.migration_active());
+  // Park the migration mid-drain so every op below runs against the
+  // split image.
+  ASSERT_GT(map.migrate_step(2), 0u);
+  ASSERT_TRUE(map.migration_active());
+
+  // get / contains / get_batch see both halves.
+  std::vector<u64> keys;
+  for (u64 i = 0; i < inserted; ++i) keys.push_back(key_of(i));
+  std::vector<std::optional<u64>> out(keys.size());
+  map.get_batch(keys, out);
+  for (u64 i = 0; i < inserted; ++i) {
+    ASSERT_TRUE(out[i].has_value()) << i;
+    EXPECT_EQ(*out[i], value_of(i));
+    EXPECT_TRUE(map.contains(key_of(i)));
+  }
+
+  // Updates land on whichever half holds the key and must not duplicate.
+  const u64 before = map.size();
+  for (u64 i = 0; i < inserted; ++i) map.put(key_of(i), value_of(i) + 1);
+  EXPECT_EQ(map.size(), before);
+  for (u64 i = 0; i < inserted; ++i) ASSERT_EQ(map.get(key_of(i)), value_of(i) + 1);
+
+  // increment reads through the split image too.
+  EXPECT_EQ(map.increment(key_of(0), 10), value_of(0) + 11);
+  EXPECT_EQ(map.increment(key_of(0), 10), value_of(0) + 21);
+
+  // erase / erase_batch hit both halves; erased keys stay gone.
+  EXPECT_TRUE(map.erase(key_of(1)));
+  EXPECT_FALSE(map.erase(key_of(1)));
+  EXPECT_FALSE(map.get(key_of(1)).has_value());
+  std::vector<u64> erase_keys{key_of(2), key_of(3), key_of(1)};
+  std::vector<u8> hits(erase_keys.size(), 0);
+  map.erase_batch(erase_keys, hits);
+  EXPECT_EQ(hits[0], 1);
+  EXPECT_EQ(hits[1], 1);
+  EXPECT_EQ(hits[2], 0);
+
+  // for_each walks the union exactly once per key.
+  std::map<u64, u64> walked;
+  map.for_each([&](u64 k, u64 v) {
+    const bool fresh = walked.emplace(k, v).second;
+    EXPECT_TRUE(fresh) << "duplicate key in for_each: " << k;
+  });
+  EXPECT_EQ(walked.size(), map.size());
+
+  while (map.migration_active()) map.migrate_step(~0ull);
+  EXPECT_FALSE(map.get(key_of(1)).has_value());
+  for (u64 i = 4; i < inserted; ++i) ASSERT_EQ(map.get(key_of(i)), value_of(i) + 1);
+  map.close();
+}
+
+TEST(Migration, IntegrityInvariantsHoldMidMigration) {
+  auto map = GroupHashMap::create_in_memory(online_options(/*groups_per_op=*/0));
+  const u64 inserted = fill_until_migrating(map);
+  ASSERT_TRUE(map.migration_active());
+  // Check at several cursor positions, including the endpoints.
+  do {
+    EXPECT_TRUE(map.debug_verify_tags())
+        << "DRAM fingerprint tags out of sync at cursor " << map.migration_cursor();
+    EXPECT_TRUE(map.debug_verify_group_checksums())
+        << "group CRC mismatch at cursor " << map.migration_cursor();
+  } while (map.migrate_step(1) > 0 && map.migration_active());
+  EXPECT_TRUE(map.debug_verify_tags());
+  EXPECT_TRUE(map.debug_verify_group_checksums());
+  for (u64 i = 0; i < inserted; ++i) ASSERT_EQ(map.get(key_of(i)), value_of(i));
+  map.close();
+}
+
+TEST(Migration, CleanCloseMidMigrationResumesOnOpen) {
+  const std::string path = temp_path("gh_migration_resume.gh");
+  const std::string mig = path + ".migrate";
+  fs::remove(path);
+  fs::remove(mig);
+
+  u64 inserted = 0;
+  u64 cursor = 0;
+  {
+    auto map = GroupHashMap::create(path, online_options(/*groups_per_op=*/0));
+    inserted = fill_until_migrating(map);
+    ASSERT_TRUE(map.migration_active());
+    ASSERT_GT(map.migrate_step(2), 0u);
+    ASSERT_TRUE(map.migration_active());
+    cursor = map.migration_cursor();
+    map.close();  // clean shutdown with the split image on disk
+  }
+  ASSERT_TRUE(fs::exists(mig));
+
+  {
+    auto map = GroupHashMap::open(path, online_options(/*groups_per_op=*/0));
+    ASSERT_TRUE(map.migration_active()) << "the durable cursor must resume the drain";
+    EXPECT_EQ(map.migration_cursor(), cursor) << "resume where the cursor points";
+    EXPECT_FALSE(map.recovered_on_open()) << "clean close, so no Algorithm-4 pass";
+    const obs::Snapshot s = map.snapshot();
+    EXPECT_EQ(s.migration.resumed, 1u);
+    for (u64 i = 0; i < inserted; ++i) ASSERT_EQ(map.get(key_of(i)), value_of(i)) << i;
+    while (map.migration_active()) map.migrate_step(~0ull);
+    EXPECT_FALSE(fs::exists(mig)) << "finalize renames the target over the map";
+    for (u64 i = 0; i < inserted; ++i) ASSERT_EQ(map.get(key_of(i)), value_of(i)) << i;
+    map.close();
+  }
+  // Third life: the finalized image is a plain single-table map.
+  {
+    auto map = GroupHashMap::open(path, online_options());
+    EXPECT_FALSE(map.migration_active());
+    EXPECT_EQ(map.size(), inserted);
+    map.close();
+  }
+  fs::remove(path);
+  fs::remove(path + ".flight");
+}
+
+TEST(Migration, ResumeHonorsDurableCursorWhateverTheFlagSays) {
+  // An image with an armed cursor resumes even when reopened with
+  // online_resize off — the split image is a fact of the file, not a
+  // runtime preference.
+  const std::string path = temp_path("gh_migration_resume_flagless.gh");
+  fs::remove(path);
+  fs::remove(path + ".migrate");
+  u64 inserted = 0;
+  {
+    auto map = GroupHashMap::create(path, online_options(/*groups_per_op=*/0));
+    inserted = fill_until_migrating(map);
+    ASSERT_GT(map.migrate_step(1), 0u);
+    ASSERT_TRUE(map.migration_active());
+    map.close();
+  }
+  MapOptions plain;
+  plain.initial_cells = 64;
+  plain.group_size = 8;
+  plain.flush_latency_ns = 0;
+  auto map = GroupHashMap::open(path, plain);
+  ASSERT_TRUE(map.migration_active());
+  while (map.migration_active()) map.migrate_step(~0ull);
+  for (u64 i = 0; i < inserted; ++i) ASSERT_EQ(map.get(key_of(i)), value_of(i)) << i;
+  map.close();
+  fs::remove(path);
+  fs::remove(path + ".flight");
+}
+
+/// Fails every filesystem step whose path contains `needle` — a
+/// persistent fault (full disk, bad directory), unlike
+/// CrashScheduleFs::fail_at's one-shot.
+struct PathFailFs : nvm::FsPolicy {
+  std::string needle;
+  Decision on_step(const nvm::FsStep& step) override {
+    if (step.path.find(needle) != std::string::npos) return Decision::kFail;
+    return Decision::kProceed;
+  }
+};
+
+TEST(Migration, ExpandBackoffSurfacesInSnapshot) {
+  // Satellite regression: obs::Snapshot must expose the try_expand
+  // backoff state (current window and ops left before the retry) so an
+  // operator can see a limping map without reading logs.
+  const std::string path = temp_path("gh_migration_backoff.gh");
+  fs::remove(path);
+  fs::remove(path + ".migrate");
+  auto map = GroupHashMap::create(path, online_options());
+  {
+    PathFailFs fail;
+    fail.needle = ".migrate";
+    const nvm::ScopedFsPolicy installed(&fail);
+    u64 degraded = 0;
+    u64 i = 0;
+    u64 unplaceable = 0;  // a key the full table rejected — rejects again
+    while (degraded < 2 && i < 10'000) {
+      try {
+        map.put(key_of(i), value_of(i));
+      } catch (const MapDegradedError&) {
+        ++degraded;
+        unplaceable = key_of(i);
+      }
+      ++i;
+    }
+    ASSERT_EQ(degraded, 2u) << "the failing target create must degrade puts";
+    EXPECT_TRUE(map.degraded());
+    const obs::Snapshot s = map.snapshot();
+    EXPECT_TRUE(s.lifecycle.degraded);
+    EXPECT_EQ(s.lifecycle.expand_failures, 2u);
+    // Failure 1 retries immediately (backoff 1, no window); the second
+    // consecutive failure doubles the window and opens it: cooldown 1.
+    EXPECT_EQ(s.lifecycle.expand_backoff, 2u);
+    EXPECT_EQ(s.lifecycle.expand_cooldown, 1u);
+    // The next placement failure is absorbed by the window (no
+    // expansion attempt): cooldown drains to 0, the cap stays.
+    try {
+      map.put(unplaceable, 1);
+      FAIL() << "put inside the backoff window must degrade";
+    } catch (const MapDegradedError&) {
+    }
+    const obs::Snapshot s2 = map.snapshot();
+    EXPECT_EQ(s2.lifecycle.expand_failures, 2u) << "absorbed, not retried";
+    EXPECT_EQ(s2.lifecycle.expand_backoff, 2u);
+    EXPECT_EQ(s2.lifecycle.expand_cooldown, 0u);
+  }
+  // Fault gone: the next placement failure retries and succeeds, and the
+  // backoff fields read zero again.
+  u64 j = 100'000;
+  while (!map.migration_active()) map.put(key_of(j), value_of(j)), ++j;
+  EXPECT_FALSE(map.degraded());
+  const obs::Snapshot after = map.snapshot();
+  EXPECT_EQ(after.lifecycle.expand_backoff, 0u);
+  EXPECT_EQ(after.lifecycle.expand_cooldown, 0u);
+  while (map.migration_active()) map.migrate_step(~0ull);
+  map.close();
+  fs::remove(path);
+  fs::remove(path + ".flight");
+}
+
+TEST(Migration, EmergencyExpandMergesSplitImageWhenTargetOverflows) {
+  // Force the pathological case: a migration is parked (no help-along)
+  // and writes keep landing until even the double-sized target cannot
+  // place one. try_expand must then fall back to the blocking merge of
+  // both halves and leave a single bigger table with every key.
+  auto map = GroupHashMap::create_in_memory(online_options(/*groups_per_op=*/0));
+  fill_until_migrating(map);
+  ASSERT_TRUE(map.migration_active());
+  u64 i = 200'000;
+  const u64 first = i;
+  while (map.migration_active() && i < first + 50'000) {
+    map.put(key_of(i), value_of(i));
+    ++i;
+  }
+  ASSERT_FALSE(map.migration_active()) << "overflowing the target must end the migration";
+  const obs::Snapshot s = map.snapshot();
+  EXPECT_GE(s.migration.emergency_expands, 1u);
+  for (u64 k = first; k < i; ++k) ASSERT_EQ(map.get(key_of(k)), value_of(k)) << k;
+  EXPECT_TRUE(map.debug_verify_tags());
+  EXPECT_TRUE(map.debug_verify_group_checksums());
+  map.close();
+}
+
+}  // namespace
+}  // namespace gh

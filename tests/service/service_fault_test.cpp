@@ -16,11 +16,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/group_hash_map.hpp"
+#include "nvm/crash_point.hpp"
 #include "nvm/fault_fs.hpp"
 #include "service/service.hpp"
 #include "util/rng.hpp"
@@ -196,6 +200,140 @@ TEST(ServiceFault, WorkerCrashMidBatchAnswersShardDownAndNeverWedges) {
   reopened.put(123456, 654321);
   EXPECT_EQ(reopened.get(123456).value_or(0), 654321u);
   reopened.close();
+  fs::remove_all(dir);
+}
+
+TEST(ServiceFault, RestartShardRevivesKilledShardAndServesCommittedData) {
+  const std::string dir = make_data_dir("gh_service_fault_restart");
+  constexpr u32 kVictim = 1;
+  ShardServer server(fault_service_options(dir));
+
+  // Phase 1: power-fail shard 1's worker inside its expansion publish.
+  PumpResult crash_phase;
+  {
+    PathCrashFs policy;
+    policy.needle = "shard1.gh";
+    const nvm::ScopedFsPolicy installed(&policy);
+    crash_phase = pump_puts(server, /*first_key=*/1, /*max_keys=*/100'000,
+                            [](const PumpResult& r) { return r.shard_down > 0; });
+  }
+  ASSERT_GT(crash_phase.shard_down, 0u);
+  ASSERT_TRUE(server.shard_down(kVictim));
+
+  // restart_shard is a no-op on a live shard.
+  u32 live = kVictim == 0 ? 1 : 0;
+  EXPECT_FALSE(server.restart_shard(live));
+
+  // Phase 2: revive. The fault is gone, so the reopen (recovery + orphan
+  // reclaim) succeeds and the worker swaps the fresh map in.
+  ASSERT_TRUE(server.restart_shard(kVictim));
+  EXPECT_FALSE(server.shard_down(kVictim));
+  EXPECT_FALSE(server.restart_shard(kVictim)) << "already revived";
+
+  // Every put acknowledged kOk before the crash — on ANY shard, including
+  // the victim — must still read back: the revival ran the normal
+  // recovery path over the shard's file, and committed ops survive a
+  // power failure by the paper's argument.
+  Batch batch;
+  for (const u64 key : crash_phase.ok_keys) {
+    batch.clear();
+    batch.requests.push_back(Request{Op::kGet, key, 0});
+    server.execute(batch);
+    ASSERT_EQ(batch.responses()[0].status, Status::kOk) << "lost committed key " << key;
+    ASSERT_EQ(batch.responses()[0].value, key * 3) << key;
+  }
+
+  // The revived shard takes new writes — and can expand again, now that
+  // the fault is gone.
+  const PumpResult after = pump_puts(server, /*first_key=*/500'000, /*max_keys=*/2'000,
+                                     [](const PumpResult&) { return false; });
+  EXPECT_EQ(after.shard_down, 0u);
+  EXPECT_EQ(after.degraded, 0u);
+  EXPECT_EQ(after.ok, 2'000u);
+
+  server.stop();
+  const obs::Snapshot snap = server.snapshot();
+  for (const auto& brief : snap.per_shard) EXPECT_FALSE(brief.degraded) << brief.shard;
+  fs::remove_all(dir);
+}
+
+TEST(ServiceFault, RestartShardResumesInterruptedMigration) {
+  // Kill a shard whose map is mid-online-resize (crash inside the
+  // .migrate machinery), then revive it: restart_shard's reopen must
+  // resume the migration from the durable cursor, and the shard's idle
+  // worker loop must drain it to completion in the background — no
+  // further traffic required.
+  const std::string dir = make_data_dir("gh_service_fault_restart_mig");
+  constexpr u32 kVictim = 1;
+  ServiceOptions opts = fault_service_options(dir);
+  opts.map_options.online_resize = true;
+  opts.map_options.migrate_groups_per_op = 1;
+  ShardServer server(opts);
+
+  // One-shot crash on the FIRST durable cursor advance anywhere in the
+  // process: the cursor is armed and at least one group has moved, so
+  // whichever shard's worker hits it dies provably mid-migration. One
+  // shot only — the policy stays installed while the surviving shards
+  // keep migrating, and they must not die too.
+  struct CursorCrashOnce : nvm::CrashPointPolicy {
+    std::atomic<bool> fired{false};
+    void on_point(const char* name) override {
+      if (std::string_view(name) != "migrate.cursor.advanced") return;
+      if (!fired.exchange(true)) throw nvm::SimulatedCrash{};
+    }
+  };
+
+  PumpResult crash_phase;
+  CursorCrashOnce policy;
+  {
+    const nvm::ScopedCrashPoints installed(&policy);
+    crash_phase = pump_puts(server, /*first_key=*/1, /*max_keys=*/100'000,
+                            [](const PumpResult& r) { return r.shard_down > 0; });
+  }
+  ASSERT_TRUE(policy.fired.load()) << "no shard ever advanced a migration cursor";
+  ASSERT_GT(crash_phase.shard_down, 0u) << "migration crash never fired";
+
+  // The crash lands on whichever shard migrated first.
+  u32 victim = kVictim;
+  for (u32 s = 0; s < 4; ++s) {
+    if (server.shard_down(s)) victim = s;
+  }
+  ASSERT_TRUE(server.shard_down(victim));
+  const std::string mig_file = dir + "/shard" + std::to_string(victim) + ".gh.migrate";
+  ASSERT_TRUE(fs::exists(mig_file)) << "crash point fired but no durable migration target";
+
+  ASSERT_TRUE(server.restart_shard(victim));
+  EXPECT_FALSE(server.shard_down(victim));
+
+  Batch batch;
+  for (const u64 key : crash_phase.ok_keys) {
+    batch.clear();
+    batch.requests.push_back(Request{Op::kGet, key, 0});
+    server.execute(batch);
+    ASSERT_EQ(batch.responses()[0].status, Status::kOk) << "lost committed key " << key;
+    ASSERT_EQ(batch.responses()[0].value, key * 3) << key;
+  }
+
+  // Idle drain: with no traffic at all, every worker's background
+  // migrate_step bursts must finish their shard's migration — resumed or
+  // not — and retire the .migrate targets.
+  const auto any_migrating = [&] {
+    for (u32 s = 0; s < 4; ++s) {
+      if (fs::exists(dir + "/shard" + std::to_string(s) + ".gh.migrate")) return true;
+    }
+    return false;
+  };
+  for (int spin = 0; spin < 10'000 && any_migrating(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(fs::exists(mig_file)) << "idle worker never drained the resumed migration";
+  EXPECT_FALSE(any_migrating()) << "an idle worker left its migration parked";
+
+  server.stop();
+  const obs::Snapshot snap = server.snapshot();
+  EXPECT_GE(snap.migration.resumed, 1u);
+  EXPECT_GT(snap.migration.bg_steps, 0u) << "drain must have run on the idle loop";
+  EXPECT_EQ(snap.migration.active, 0u);
   fs::remove_all(dir);
 }
 

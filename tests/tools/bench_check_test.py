@@ -27,15 +27,20 @@ BENCH_CHECK = Path(
 )
 
 
-def write_bench(root: Path, pr: int, metrics: dict, raw: str = None) -> Path:
+def write_bench(
+    root: Path, pr: int, metrics: dict, raw: str = None, config_extra: dict = None
+) -> Path:
     path = root / f"BENCH_PR{pr}.json"
     if raw is not None:
         path.write_text(raw)
         return path
+    config = {"keys": 1000, "batch": 32, "seed": 42, "smoke": False}
+    if config_extra:
+        config.update(config_extra)
     doc = {
         "bench": "canonical",
         "version": 1,
-        "config": {"keys": 1000, "batch": 32, "seed": 42, "smoke": False},
+        "config": config,
         "metrics": metrics,
     }
     path.write_text(json.dumps(doc))
@@ -172,6 +177,117 @@ class BenchCheckTest(unittest.TestCase):
         rc, out = run_gate(self.root)
         self.assertEqual(rc, 0, out)
         self.assertIn("no regressions", out)
+
+    # --- machine-speed drift rescaling --------------------------------------
+
+    def test_drift_rescales_timed_metric(self):
+        # Same code, box 25% slower: raw latency +20% must pass once the
+        # calibration ratio rescales it to -4%.
+        write_bench(
+            self.root,
+            6,
+            {"lat_ns_per_op": {"value": 100.0, "direction": "lower"}},
+            config_extra={"calibration_ns": 1.0},
+        )
+        write_bench(
+            self.root,
+            7,
+            {"lat_ns_per_op": {"value": 120.0, "direction": "lower"}},
+            config_extra={"calibration_ns": 1.25},
+        )
+        rc, out = run_gate(self.root)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("machine-speed drift 1.25x", out)
+        self.assertIn("rescaled", out)
+
+    def test_drift_rescales_qps_the_other_way(self):
+        # Inverse-time metric on a slower box: raw -15% QPS scales *up*.
+        write_bench(
+            self.root,
+            6,
+            {"serve_qps": {"value": 100.0, "direction": "higher"}},
+            config_extra={"calibration_ns": 1.0},
+        )
+        write_bench(
+            self.root,
+            7,
+            {"serve_qps": {"value": 85.0, "direction": "higher"}},
+            config_extra={"calibration_ns": 1.25},
+        )
+        rc, out = run_gate(self.root)
+        self.assertEqual(rc, 0, out)
+        self.assertIn("rescaled", out)
+
+    def test_drift_does_not_mask_real_regression(self):
+        # +50% raw on a 1.25x-slower box is still +20% real — must fail.
+        write_bench(
+            self.root,
+            6,
+            {"lat_ns_per_op": {"value": 100.0, "direction": "lower"}},
+            config_extra={"calibration_ns": 1.0},
+        )
+        write_bench(
+            self.root,
+            7,
+            {"lat_ns_per_op": {"value": 150.0, "direction": "lower"}},
+            config_extra={"calibration_ns": 1.25},
+        )
+        rc, out = run_gate(self.root)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("FAIL", out)
+
+    def test_dimensionless_metric_is_never_rescaled(self):
+        # A speedup ratio shrinking 20% is a real regression no matter how
+        # the machine drifted.
+        write_bench(
+            self.root,
+            6,
+            {"batch_speedup": {"value": 2.0, "direction": "higher"}},
+            config_extra={"calibration_ns": 1.0},
+        )
+        write_bench(
+            self.root,
+            7,
+            {"batch_speedup": {"value": 1.6, "direction": "higher"}},
+            config_extra={"calibration_ns": 1.25},
+        )
+        rc, out = run_gate(self.root)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("FAIL", out)
+        self.assertNotIn("rescaled", out)
+
+    def test_missing_baseline_calibration_gates_unrescaled(self):
+        # Transition case: the predecessor predates calibration — behave
+        # exactly like the pre-calibration gate.
+        write_bench(self.root, 6, {"lat_ns_per_op": {"value": 100.0, "direction": "lower"}})
+        write_bench(
+            self.root,
+            7,
+            {"lat_ns_per_op": {"value": 120.0, "direction": "lower"}},
+            config_extra={"calibration_ns": 1.25},
+        )
+        rc, out = run_gate(self.root)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("FAIL", out)
+        self.assertNotIn("rescaled", out)
+
+    def test_implausible_calibration_ratio_is_ignored(self):
+        write_bench(
+            self.root,
+            6,
+            {"lat_ns_per_op": {"value": 100.0, "direction": "lower"}},
+            config_extra={"calibration_ns": 1.0},
+        )
+        write_bench(
+            self.root,
+            7,
+            {"lat_ns_per_op": {"value": 120.0, "direction": "lower"}},
+            config_extra={"calibration_ns": 3.0},
+        )
+        rc, out = run_gate(self.root)
+        self.assertEqual(rc, 1, out)
+        self.assertIn("implausible", out)
+        self.assertIn("FAIL", out)
 
 
 if __name__ == "__main__":

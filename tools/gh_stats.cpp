@@ -69,6 +69,30 @@ void print_text(const gh::obs::Snapshot& s) {
               gh::format_count(s.lifecycle.compactions).c_str(),
               gh::format_count(s.lifecycle.recoveries).c_str(),
               s.lifecycle.degraded ? "yes" : "no");
+  if (s.lifecycle.expand_failures != 0 || s.lifecycle.expand_backoff != 0) {
+    std::printf("expand backoff  failures=%s backoff=%s cooldown=%s\n",
+                gh::format_count(s.lifecycle.expand_failures).c_str(),
+                gh::format_count(s.lifecycle.expand_backoff).c_str(),
+                gh::format_count(s.lifecycle.expand_cooldown).c_str());
+  }
+  if (s.migration.started != 0 || s.migration.completed != 0 || s.migration.resumed != 0 ||
+      s.migration.emergency_expands != 0 || s.migration.active != 0) {
+    std::printf("migration       started=%s completed=%s resumed=%s emergency=%s\n",
+                gh::format_count(s.migration.started).c_str(),
+                gh::format_count(s.migration.completed).c_str(),
+                gh::format_count(s.migration.resumed).c_str(),
+                gh::format_count(s.migration.emergency_expands).c_str());
+    std::printf("                groups=%s keys=%s help_steps=%s bg_steps=%s\n",
+                gh::format_count(s.migration.groups_migrated).c_str(),
+                gh::format_count(s.migration.keys_migrated).c_str(),
+                gh::format_count(s.migration.help_steps).c_str(),
+                gh::format_count(s.migration.bg_steps).c_str());
+    if (s.migration.active != 0) {
+      std::printf("                ACTIVE: cursor=%s / %s source groups\n",
+                  gh::format_count(s.migration.cursor).c_str(),
+                  gh::format_count(s.migration.total_groups).c_str());
+    }
+  }
   if (s.shards != 0) {
     std::printf("contention      retries=%s fallbacks=%s writer_waits=%s (%zu shards)\n",
                 gh::format_count(s.contention.read_retries).c_str(),
@@ -83,6 +107,7 @@ void print_text(const gh::obs::Snapshot& s) {
   print_histogram_row("scrub", s.latency.scrub);
   print_histogram_row("recover", s.latency.recover);
   print_histogram_row("compact", s.latency.compact);
+  print_histogram_row("migrate", s.latency.migrate);
 }
 
 int emit(const gh::obs::Snapshot& s, const std::string& format, bool registry) {
@@ -159,26 +184,69 @@ int selftest(const std::string& format, bool keep) {
   std::remove(path.c_str());
   std::remove(flight_path.c_str());
   constexpr gh::u64 kKeys = 2000;
+  gh::u64 total = kKeys;
   {
     // kFull flight mode: every op leaves a record, so the sidecar scan
-    // below is deterministic regardless of the sampling shift.
-    auto map = gh::GroupHashMap::create(
-        path, {.initial_cells = 1 << 12, .flight_mode = gh::obs::FlightMode::kFull});
+    // below is deterministic regardless of the sampling shift. Start the
+    // map 256 cells deep with online resize on: the 2000 puts force
+    // several incremental migrations, so the snapshot's migration
+    // section and the sidecar's migrate phase records are exercised by
+    // the same smoke run CI greps. Then put until a migration is live
+    // and close mid-drain: the reopen below must resume from the
+    // durable cursor, and the sidecar scan must name the parked
+    // migration and its cursor.
+    auto map = gh::GroupHashMap::create(path, {.initial_cells = 256,
+                                               .flight_mode = gh::obs::FlightMode::kFull,
+                                               .online_resize = true});
     for (gh::u64 k = 1; k <= kKeys; ++k) map.put(k, k * 3);
+    while (!map.migration_active()) {
+      ++total;
+      map.put(total, total * 3);
+    }
     const gh::obs::Snapshot live = map.snapshot();
     // Latency histograms are sampled (1 in 2^6 ops by default), so the
     // count is ~kKeys/64 — just demand a nonzero sample set.
-    if (live.size != kKeys || live.persist.lines_flushed == 0 ||
+    if (live.size != total || live.persist.lines_flushed == 0 ||
         (gh::obs::kEnabled && live.latency.insert.count == 0)) {
       std::fprintf(stderr, "gh_stats: live snapshot inconsistent (size=%llu)\n",
                    static_cast<unsigned long long>(live.size));
       return 1;
     }
+    if (live.migration.started == 0 || live.migration.active != 1) {
+      std::fprintf(stderr, "gh_stats: selftest never resized online\n");
+      return 1;
+    }
+  }
+  if (gh::obs::kEnabled) {
+    // Scan the sidecar BEFORE reopening (the reopen hands the rings to a
+    // fresh session): the timeline must carry the migrate phase records
+    // and the in-flight reconstruction must name the resume cursor of
+    // the migration we just parked.
+    std::ifstream fin(flight_path, std::ios::binary);
+    std::vector<char> raw((std::istreambuf_iterator<char>(fin)),
+                          std::istreambuf_iterator<char>());
+    const gh::obs::FlightScan scan = gh::obs::scan_flight(
+        std::span<const std::byte>(reinterpret_cast<const std::byte*>(raw.data()),
+                                   raw.size()));
+    const std::string timeline = gh::obs::flight_timeline_text(scan);
+    std::printf("%s", timeline.c_str());
+    if (!scan.valid_header || timeline.find("migrate") == std::string::npos ||
+        timeline.find("resume cursor") == std::string::npos) {
+      std::fprintf(stderr, "gh_stats: sidecar timeline missing the parked migration\n");
+      return 1;
+    }
   }
   auto map = gh::GroupHashMap::open(path);
+  // The open resumed the parked migration from its durable cursor; drain
+  // it the way a maintenance tick would.
+  while (map.migration_active()) map.migrate_step(64);
   const gh::obs::Snapshot s = map.snapshot();
-  if (s.size != kKeys) {
+  if (s.size != total) {
     std::fprintf(stderr, "gh_stats: reopened snapshot lost keys\n");
+    return 1;
+  }
+  if (s.migration.resumed != 1 || s.migration.completed != 1) {
+    std::fprintf(stderr, "gh_stats: reopen did not resume the parked migration\n");
     return 1;
   }
   const std::string json = gh::obs::export_json(s);
@@ -189,7 +257,8 @@ int selftest(const std::string& format, bool keep) {
   }
   if (json.find(gh::obs::kSnapshotSchema) == std::string::npos ||
       json.find("\"persist\"") == std::string::npos ||
-      json.find("\"latency\"") == std::string::npos) {
+      json.find("\"latency\"") == std::string::npos ||
+      json.find("\"migration\"") == std::string::npos) {
     std::fprintf(stderr, "gh_stats: selftest JSON missing required keys\n%s\n", json.c_str());
     return 1;
   }
