@@ -19,6 +19,7 @@
 //
 // --smoke shrinks everything for the CI fast lane (numbers still emitted,
 // ratios still sane); --out=<path> overrides the JSON destination.
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <thread>
@@ -27,6 +28,7 @@
 #include "core/concurrent_map.hpp"
 #include "core/group_hash_map.hpp"
 #include "hash/tag_probe.hpp"
+#include "obs/span.hpp"
 #include "service/service.hpp"
 #include "service/ycsb_driver.hpp"
 #include "util/rng.hpp"
@@ -58,7 +60,7 @@ int main(int argc, char** argv) {
   const u64 nkeys = cli.get_u64("keys", smoke ? (1u << 14) : (1u << 20));
   const usize batch = static_cast<usize>(cli.get_u64("batch", 256));
   const u64 seed = 42;  // pinned: the trajectory only means something on fixed inputs
-  const std::string out_path = cli.get_or("out", "BENCH_PR8.json");
+  const std::string out_path = cli.get_or("out", "BENCH_PR10.json");
 
   BenchEnv env = BenchEnv::from_env();
   env.seed = seed;
@@ -112,6 +114,31 @@ int main(int argc, char** argv) {
                                static_cast<double>(nkeys);
   metrics.push_back({"insert_ns_per_op", insert_ns});
   metrics.push_back({"insert_fences_per_op", insert_fences});
+
+  // --- sampled tracing overhead (same insert loop, thread trace installed
+  // on every 2^kTraceSampleShift-th op, the service's sampled admission
+  // rate). Clamped to a small floor: the honest value hovers near zero and
+  // a ratio diff against ~0 would flag pure noise as a regression.
+  {
+    auto tmap = GroupHashMap::create_in_memory(opts);
+    const u64 mask = (u64{1} << obs::kTraceSampleShift) - 1;
+    t0 = Clock::now();
+    for (u64 i = 0; i < nkeys; ++i) {
+      if ((i & mask) == 0) {
+        obs::set_thread_trace(obs::SpanCollector::global().next_trace_id(),
+                              /*parent_span=*/0, /*sampled=*/true);
+        tmap.put(keys[i], values[i]);
+        obs::clear_thread_trace();
+      } else {
+        tmap.put(keys[i], values[i]);
+      }
+    }
+    t1 = Clock::now();
+    const double traced_ns = ns_per_op(t0, t1, nkeys);
+    const double pct =
+        std::max(0.01, insert_ns > 0 ? 100.0 * (traced_ns - insert_ns) / insert_ns : 0.0);
+    metrics.push_back({"trace_sampled_overhead_pct", pct});
+  }
 
   u64 hits = 0;
   t0 = Clock::now();
@@ -278,8 +305,15 @@ int main(int argc, char** argv) {
     const service::DriverReport naive = run_service(true);
     metrics.push_back({"service_ycsbc_qps", batched.qps, "higher"});
     metrics.push_back({"service_ycsbc_get_p99_ns", batched.latency.find.p99_ns});
-    metrics.push_back(
-        {"service_batch_speedup", naive.qps > 0 ? batched.qps / naive.qps : 0, "higher"});
+    // The batched/naive speedup is printed for context but no longer
+    // pinned: an A/B of identical binaries across box states moved the
+    // ratio well past the gate threshold (the two service runs schedule
+    // independently, and a ratio cannot be rescaled by the serial
+    // calibration loop). Pinning the naive QPS absolutely keeps the
+    // same regression coverage — both legs gate, both rescale.
+    metrics.push_back({"service_naive_qps", naive.qps, "higher"});
+    std::cout << "service batched/naive speedup: "
+              << format_double(naive.qps > 0 ? batched.qps / naive.qps : 0, 2) << "x\n";
 
     // Forced mid-run resize: same driver, YCSB-B, but shards start 64
     // cells deep with online resize on — every shard migrates several

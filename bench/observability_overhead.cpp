@@ -20,6 +20,7 @@
 #include "bench_common.hpp"
 #include "core/group_hash_map.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/format.hpp"
 #include "util/rng.hpp"
 
@@ -43,15 +44,36 @@ struct MapRun {
 };
 
 MapRun run_map(u64 keys, u64 flush_ns, bool record_latency, u32 sample_shift,
-               obs::FlightMode flight = obs::FlightMode::kOff) {
+               obs::FlightMode flight = obs::FlightMode::kOff,
+               obs::TraceMode trace = obs::TraceMode::kOff) {
   auto map = BasicGroupHashMap<hash::Cell16>::create_in_memory(
       {.initial_cells = 4 * keys, .flush_latency_ns = flush_ns,
        .record_latency = record_latency, .latency_sample_shift = sample_shift,
        .flight_mode = flight});
+  // Tracing legs emulate what the service does per traced request:
+  // install a thread trace around the op so op_finish emits the op span
+  // plus its phase children. kSampled traces 1 op in 2^kTraceSampleShift,
+  // kFull every op.
+  const u64 trace_mask = trace == obs::TraceMode::kFull
+                             ? 0
+                             : (u64{1} << obs::kTraceSampleShift) - 1;
   MapRun r;
   {
     const auto t0 = std::chrono::steady_clock::now();
-    for (u64 k = 1; k <= keys; ++k) map.put(k, k);
+    if (trace == obs::TraceMode::kOff) {
+      for (u64 k = 1; k <= keys; ++k) map.put(k, k);
+    } else {
+      for (u64 k = 1; k <= keys; ++k) {
+        if ((k & trace_mask) == 0) {
+          const u64 tid = obs::SpanCollector::global().next_trace_id();
+          obs::set_thread_trace(tid, 0, true);
+          map.put(k, k);
+          obs::clear_thread_trace();
+        } else {
+          map.put(k, k);
+        }
+      }
+    }
     const auto t1 = std::chrono::steady_clock::now();
     r.insert_ns = static_cast<double>(
                       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
@@ -74,6 +96,7 @@ struct Leg {
   bool record_latency;
   u32 sample_shift;
   obs::FlightMode flight;
+  obs::TraceMode trace = obs::TraceMode::kOff;
   MapRun best{0, 0};
 };
 
@@ -87,8 +110,8 @@ void best_of_interleaved(std::vector<Leg>& legs, int rounds, u64 keys,
                          u64 flush_ns) {
   for (int i = 0; i < rounds; ++i) {
     for (Leg& leg : legs) {
-      const MapRun r =
-          run_map(keys, flush_ns, leg.record_latency, leg.sample_shift, leg.flight);
+      const MapRun r = run_map(keys, flush_ns, leg.record_latency, leg.sample_shift,
+                               leg.flight, leg.trace);
       if (i == 0) {
         leg.best = r;
       } else {
@@ -149,6 +172,12 @@ int main(int argc, char** argv) {
       {/*record_latency=*/true, /*sample_shift=*/0, obs::FlightMode::kOff},
       {/*record_latency=*/false, obs::kDefaultSampleShift, obs::FlightMode::kSampled},
       {/*record_latency=*/false, obs::kDefaultSampleShift, obs::FlightMode::kFull},
+      // Tracing legs ride on the default latency-on config (tracing in
+      // production runs on top of the always-on instruments).
+      {/*record_latency=*/true, obs::kDefaultSampleShift, obs::FlightMode::kOff,
+       obs::TraceMode::kSampled},
+      {/*record_latency=*/true, obs::kDefaultSampleShift, obs::FlightMode::kOff,
+       obs::TraceMode::kFull},
   };
   best_of_interleaved(legs, rounds, keys, env.flush_latency_ns);
   const MapRun& off = legs[0].best;
@@ -156,6 +185,8 @@ int main(int argc, char** argv) {
   const MapRun& every = legs[2].best;
   const MapRun& flight_sampled = legs[3].best;
   const MapRun& flight_full = legs[4].best;
+  const MapRun& trace_sampled = legs[5].best;
+  const MapRun& trace_full = legs[6].best;
 
   TablePrinter t({"config", "insert ns/op", "query ns/op"});
   t.add_row({"record_latency=off", format_double(off.insert_ns, 1),
@@ -168,6 +199,10 @@ int main(int argc, char** argv) {
              format_double(flight_sampled.query_ns, 1)});
   t.add_row({"flight recorder, every op", format_double(flight_full.insert_ns, 1),
              format_double(flight_full.query_ns, 1)});
+  t.add_row({"tracing, sampled 1/64", format_double(trace_sampled.insert_ns, 1),
+             format_double(trace_sampled.query_ns, 1)});
+  t.add_row({"tracing, every op (full)", format_double(trace_full.insert_ns, 1),
+             format_double(trace_full.query_ns, 1)});
   const double insert_pct = off.insert_ns > 0
                                 ? 100.0 * (on.insert_ns - off.insert_ns) / off.insert_ns
                                 : 0;
@@ -178,15 +213,25 @@ int main(int argc, char** argv) {
       off.insert_ns > 0
           ? 100.0 * (flight_sampled.insert_ns - off.insert_ns) / off.insert_ns
           : 0;
+  // Tracing rides on the latency-on leg, so its overhead is measured
+  // against that baseline, not the all-off one.
+  const double trace_pct =
+      on.insert_ns > 0
+          ? 100.0 * (trace_sampled.insert_ns - on.insert_ns) / on.insert_ns
+          : 0;
   t.add_row({"latency overhead", format_double(insert_pct, 2) + "%",
              format_double(query_pct, 2) + "%"});
   t.add_row({"flight overhead (sampled)", format_double(flight_pct, 2) + "%", "-"});
+  t.add_row({"tracing overhead (sampled)", format_double(trace_pct, 2) + "%", "-"});
   t.print(std::cout);
   std::printf("\nacceptance: insert overhead %s 2%% target%s\n",
               insert_pct <= 2.0 ? "within" : "ABOVE",
               obs::kEnabled ? "" : " (hooks compiled out; expect ~0%)");
   std::printf("acceptance: flight recorder (sampled) insert overhead %s 2%% target%s\n",
               flight_pct <= 2.0 ? "within" : "ABOVE",
+              obs::kEnabled ? "" : " (hooks compiled out; expect ~0%)");
+  std::printf("acceptance: tracing (sampled) insert overhead %s 2%% target%s\n",
+              trace_pct <= 2.0 ? "within" : "ABOVE",
               obs::kEnabled ? "" : " (hooks compiled out; expect ~0%)");
   return 0;
 }

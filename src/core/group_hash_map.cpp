@@ -90,6 +90,7 @@ void BasicGroupHashMap<Cell>::init_region(nvm::NvmRegion region, const MapOption
             (path_.empty() ? "(mem)" : ":" + path_),
         recorder_.get());
   }
+  if (!live_obs_) live_obs_ = std::make_unique<obs::LiveObs>();
   gate_.set_shift(options.latency_sample_shift);
   // The flight sidecar comes up BEFORE recovery so the scan of the
   // previous run's rings is available to the recovery report below.
@@ -344,8 +345,11 @@ void BasicGroupHashMap<Cell>::put(const key_type& key, u64 value) {
   const u64 f = flight_begin(obs::OpKind::kInsert, trace_key(key));
   put_value(key, value);
   flight_end(f, obs::OpKind::kInsert, trace_key(key));
-  op_finish(obs::OpKind::kInsert, trace_key(key), t0, l0);
+  // Help-along runs inside the timed window: the stall it causes is part
+  // of the latency a caller observes, and phase attribution books it
+  // under migrate_help.
   help_migrate();
+  op_finish(obs::OpKind::kInsert, trace_key(key), t0, l0);
 }
 
 template <class Cell>
@@ -409,8 +413,8 @@ void BasicGroupHashMap<Cell>::put_batch(std::span<const key_type> keys,
     }
   }
   flight_end(f, obs::OpKind::kInsert, trace_key(keys[0]));
-  op_finish(obs::OpKind::kInsert, trace_key(keys[0]), t0, l0);
   help_migrate();
+  op_finish(obs::OpKind::kInsert, trace_key(keys[0]), t0, l0);
 }
 
 template <class Cell>
@@ -434,8 +438,8 @@ void BasicGroupHashMap<Cell>::erase_batch(std::span<const key_type> keys,
     }
   }
   flight_end(f, obs::OpKind::kErase, trace_key(keys[0]));
-  op_finish(obs::OpKind::kErase, trace_key(keys[0]), t0, l0);
   help_migrate();
+  op_finish(obs::OpKind::kErase, trace_key(keys[0]), t0, l0);
 }
 
 template <class Cell>
@@ -485,8 +489,8 @@ u64 BasicGroupHashMap<Cell>::increment(const key_type& key, u64 delta) {
     put_value(key, delta);
   }
   flight_end(f, obs::OpKind::kInsert, trace_key(key));
-  op_finish(obs::OpKind::kInsert, trace_key(key), t0, l0);
   help_migrate();
+  op_finish(obs::OpKind::kInsert, trace_key(key), t0, l0);
   return next;
 }
 
@@ -502,8 +506,8 @@ bool BasicGroupHashMap<Cell>::erase(const key_type& key) {
   bool hit = table().erase(key);
   if (mig_table_) hit = mig_table_->erase(key) || hit;
   flight_end(f, obs::OpKind::kErase, trace_key(key));
-  op_finish(obs::OpKind::kErase, trace_key(key), t0, l0);
   help_migrate();
+  op_finish(obs::OpKind::kErase, trace_key(key), t0, l0);
   return hit;
 }
 
@@ -641,6 +645,7 @@ obs::Snapshot BasicGroupHashMap<Cell>::snapshot() {
   s.migration.help_steps = help_steps_;
   s.migration.bg_steps = bg_steps_;
   if (recorder_) s.latency = obs::OpLatencySnapshot::from(*recorder_);
+  if (live_obs_) s.phases = live_obs_->phases.snapshot();
   s.flight.enabled = flight_ != nullptr;
   if (flight_scan_.valid_header) {
     s.flight.records_scanned = flight_scan_.records_valid;
@@ -754,6 +759,7 @@ void BasicGroupHashMap<Cell>::clear_migration_state() {
   mig_total_groups_ = 0;
   mig_flight_token_ = 0;
   mig_marked_cursor_ = 0;
+  if (live_obs_) live_obs_->set_migration(0, 0, 0);
 }
 
 template <class Cell>
@@ -795,6 +801,7 @@ void BasicGroupHashMap<Cell>::start_migration() {
   mig_cursor_ = 0;
   mig_marked_cursor_ = 0;
   mig_total_groups_ = table().num_groups();
+  if (live_obs_) live_obs_->set_migration(1, 0, mig_total_groups_);
   set_migration_word(map_format::encode_migration_word(0));
   nvm::crash_point("migrate.cursor.armed");
   flight_mark(mig_flight_token_, obs::OpKind::kMigrate,
@@ -854,6 +861,7 @@ u64 BasicGroupHashMap<Cell>::do_migrate(u64 max_groups) {
     }
     mig_cursor_++;
     done++;
+    if (live_obs_) live_obs_->set_migration(1, mig_cursor_, mig_total_groups_);
     set_migration_word(map_format::encode_migration_word(static_cast<u32>(mig_cursor_)));
     nvm::crash_point("migrate.cursor.advanced");
     if (mig_cursor_ - mig_marked_cursor_ >= kMigrateMarkStride ||
@@ -896,6 +904,13 @@ u64 BasicGroupHashMap<Cell>::do_migrate(u64 max_groups) {
 template <class Cell>
 void BasicGroupHashMap<Cell>::help_migrate() {
   if (!mig_table_ || options_.migrate_groups_per_op == 0) return;
+  // When the enclosing data op is phase-collecting, the whole help
+  // bracket books under migrate_help (persist/fence inside it are
+  // suppressed — their time is part of the help stall, not of the op's
+  // own persistence). When it is not, the kMigrate op_start below may
+  // claim collection itself and the migration's persist/fence phases
+  // attribute to the kMigrate row.
+  obs::PhaseHelpScope help_scope;
   const u64 t0 = op_start();
   const u64 l0 = lines_before();
   help_steps_ += do_migrate(options_.migrate_groups_per_op);
@@ -1062,6 +1077,7 @@ void BasicGroupHashMap<Cell>::resume_migration() {
   mig_total_groups_ = table().num_groups();
   mig_cursor_ = std::min(cursor, mig_total_groups_);
   mig_marked_cursor_ = mig_cursor_;
+  if (live_obs_) live_obs_->set_migration(1, mig_cursor_, mig_total_groups_);
   migrations_resumed_++;
   structure_version_++;
   mig_flight_token_ = flight_begin_always(

@@ -36,6 +36,7 @@
 #include "nvm/region.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/snapshot.hpp"
+#include "obs/span.hpp"
 #include "util/types.hpp"
 
 namespace gh {
@@ -223,6 +224,12 @@ class BasicGroupHashMap {
   /// timers). Used by the concurrent wrappers to merge shard latencies.
   [[nodiscard]] const obs::OpRecorder& op_recorder() const { return *recorder_; }
 
+  /// Atomically-readable live view (phase attribution + migration
+  /// gauges): the ONLY map state another thread may poll while this
+  /// thread mutates the map (gh_serve's stats ticker). Everything else,
+  /// snapshot() included, is owner-thread-only.
+  [[nodiscard]] const obs::LiveObs* live_obs() const { return live_obs_.get(); }
+
   /// Direct access to the underlying table, for the concurrent wrappers
   /// (optimistic read-view snapshots) and inspection tooling. The
   /// reference is invalidated by expansion — callers synchronize.
@@ -397,12 +404,21 @@ class BasicGroupHashMap {
 
   // Per-op observability edges (see any_table_impl.hpp for the pattern).
   // A nonzero t0 means "this op is timed": latency recording is sampled
-  // through the SampleGate; an installed trace hook times every op.
+  // through the SampleGate; an installed trace hook or an active
+  // request trace (the service stamped this thread) times every op. A
+  // timed op also claims the thread's phase-collection scratch (unless
+  // an enclosing op, e.g. put → expand, already owns it); op_finish
+  // folds the scratch into live_obs_->phases and emits spans when the
+  // thread is inside a sampled trace.
   [[nodiscard]] u64 op_start() {
     if constexpr (!obs::kEnabled) return 0;
     const bool sampled = options_.record_latency && gate_.admit();
-    if (!sampled && !obs::trace_hook_installed()) return 0;
-    return obs::now_ticks();
+    if (!sampled && !obs::trace_hook_installed() && !obs::thread_trace_sampled()) {
+      return 0;
+    }
+    const u64 t0 = obs::now_ticks();
+    obs::phase_collect_begin(t0);
+    return t0;
   }
   [[nodiscard]] u64 lines_before() const {
     if (!obs::trace_hook_installed()) return 0;
@@ -414,6 +430,7 @@ class BasicGroupHashMap {
     if (t0 != 0) {
       dt = obs::now_ticks() - t0;
       if (options_.record_latency) recorder_->record(kind, dt);
+      if (live_obs_) obs::phase_collect_finish(live_obs_->phases, kind, t0, dt);
     }
     if (obs::trace_hook_installed()) {
       obs::trace_op(kind, key_hash, dt, pm_->stats().lines_flushed.load() - l0);
@@ -436,6 +453,10 @@ class BasicGroupHashMap {
   std::optional<Table> table_;
   // Heap-allocated like pm_: the registry holds its address across moves.
   std::unique_ptr<obs::OpRecorder> recorder_;
+  // Phase attribution + atomic migration-gauge mirrors: the fields a
+  // live reader (gh_serve's stats thread) may poll while the owning
+  // worker mutates the map. Heap-held so the map stays movable.
+  std::unique_ptr<obs::LiveObs> live_obs_;
   obs::SampleGate gate_;
   obs::Registration obs_reg_;
   // Flight recorder sidecar: its own PM (so black-box traffic never

@@ -29,6 +29,7 @@
 
 #include "nvm/persist.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/clock.hpp"
 #include "util/types.hpp"
 
@@ -83,6 +84,7 @@ class DirectPM {
   /// fence() per window (clflushopt... + one sfence); durability is only
   /// guaranteed once that fence retires.
   void flush(const void* addr, usize n) {
+    obs::PhasePersistScope persist_scope;
     const u64 lines = lines_spanned(addr, n);
     const std::byte* line = line_begin(addr);
     for (u64 i = 0; i < lines; ++i, line += kCachelineSize) {
@@ -97,6 +99,7 @@ class DirectPM {
   }
 
   void fence() {
+    obs::PhaseFenceScope fence_scope;
     store_fence();
     stats_.fences++;
     obs::on_pm_fence();

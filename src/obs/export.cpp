@@ -321,6 +321,26 @@ std::string export_json(const Snapshot& s) {
       .field("bg_steps", s.migration.bg_steps);
   j.end_obj();
   write_latency(j, s.latency);
+  // Per-phase attribution: one object per OpKind that saw samples.
+  j.key("phases").begin_obj();
+  for (usize k = 0; k < kOpKinds; ++k) {
+    const PhaseSnapshot::Row& r = s.phases.rows[k];
+    if (r.samples == 0 && r.op_ns == 0) continue;
+    j.key(op_kind_name(static_cast<OpKind>(k))).begin_obj();
+    j.field("samples", r.samples).field("op_ns", r.op_ns);
+    for (usize p = 0; p < kPhases; ++p) {
+      j.field(std::string(phase_name(static_cast<Phase>(p))) + "_ns", r.phase_ns[p]);
+    }
+    j.end_obj();
+  }
+  j.end_obj();
+  j.key("timeseries").begin_obj();
+  j.field("windows", s.timeseries.windows)
+      .field("interval_ms", s.timeseries.interval_ms)
+      .field("last_window_ms", s.timeseries.last_window_ms)
+      .field("last_qps", s.timeseries.last_qps)
+      .field("last_p99_ns", s.timeseries.last_p99_ns);
+  j.end_obj();
   j.key("flight").begin_obj();
   j.field("enabled", s.flight.enabled)
       .field("records_scanned", s.flight.records_scanned)
@@ -465,6 +485,26 @@ std::string export_prometheus(const Snapshot& s, std::string_view prefix) {
                    std::string("op_") + op_kind_name(kind) + "_latency_ns", labels,
                    s.latency.of(kind));
   }
+  bool phase_header_written = false;
+  for (usize k = 0; k < kOpKinds; ++k) {
+    const PhaseSnapshot::Row& r = s.phases.rows[k];
+    if (r.samples == 0 && r.op_ns == 0) continue;
+    if (!phase_header_written) {
+      prom_help(out, prefix, "phase_ns_total",
+                "attributed time per op kind and phase (sampled)");
+      out += "# TYPE ";
+      out += prefix;
+      out += "phase_ns_total counter\n";
+      phase_header_written = true;
+    }
+    const std::string op = op_kind_name(static_cast<OpKind>(k));
+    for (usize p = 0; p < kPhases; ++p) {
+      const std::string phase_labels = labels + ",op=\"" + op + "\",phase=\"" +
+                                       phase_name(static_cast<Phase>(p)) + "\"";
+      prom_line(out, prefix, "phase_ns_total", phase_labels,
+                static_cast<double>(r.phase_ns[p]));
+    }
+  }
   return out;
 }
 
@@ -505,8 +545,8 @@ namespace {
 constexpr std::string_view kSnapshotTopLevelKeys[] = {
     "schema",     "version",   "source",    "size",   "capacity",
     "load_factor", "shards",   "persist",   "ops",    "scrub",
-    "contention", "lifecycle", "migration", "latency", "flight",
-    "per_shard",
+    "contention", "lifecycle", "migration", "latency", "phases",
+    "timeseries", "flight",   "per_shard",
 };
 
 bool known_snapshot_key(std::string_view key) {

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <map>
 
+#include "obs/span.hpp"
 #include "util/format.hpp"
 
 namespace gh::obs {
@@ -168,66 +169,70 @@ std::string flight_timeline_text(const FlightScan& scan) {
   return out;
 }
 
-std::string flight_trace_json(const FlightScan& scan) {
-  // Chrome trace-event format: {"traceEvents":[...]} with "X" complete
-  // events for start→finish pairs, "i" instants for unpaired records and
-  // lifecycle events. Timestamps are microseconds from the first record.
-  std::string out = "{\"traceEvents\":[";
-  bool first = true;
-  if (scan.valid_header && !scan.records.empty()) {
-    u64 t0 = scan.records.front().tsc;
+void append_flight_trace_events(const FlightScan& scan, std::vector<TraceEvent>& out,
+                                u64 base_ticks) {
+  // "X" complete events for start→finish pairs, "i" instants for
+  // unpaired records and lifecycle events. Timestamps are microseconds
+  // from base_ticks (or the first record when base_ticks is 0).
+  if (!scan.valid_header || scan.records.empty()) return;
+  u64 t0 = base_ticks;
+  if (t0 == 0) {
+    t0 = scan.records.front().tsc;
     for (const FlightRecordView& r : scan.records) t0 = std::min(t0, r.tsc);
-    const double tpn = ticks_per_ns();
-    const auto us_of = [&](u64 tsc) {
-      return static_cast<double>(tsc - std::min(t0, tsc)) / (tpn > 0 ? tpn : 1) /
-             1000.0;
-    };
-    const auto append = [&](const std::string& ev) {
-      if (!first) out += ',';
-      first = false;
-      out += ev;
-    };
-    // Pair start records with their finish per op id; paired starts are
-    // folded into the "X" complete event emitted at the finish.
-    std::map<u64, const FlightRecordView*> starts;
-    for (const FlightRecordView& r : scan.records) {
-      if (r.phase == FlightPhase::kStart) starts.emplace(r.seqno, &r);
-    }
-    char buf[256];
-    for (const FlightRecordView& r : scan.records) {
-      const double us = us_of(r.tsc);
-      const auto start_it = starts.find(r.seqno);
-      const bool paired = start_it != starts.end();
-      if (r.phase == FlightPhase::kStart && paired) continue;  // emitted at finish
-      if (r.phase == FlightPhase::kFinish && paired) {
-        const double b = us_of(start_it->second->tsc);
-        std::snprintf(buf, sizeof(buf),
-                      "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
-                      "\"pid\":1,\"tid\":%u,\"args\":{\"op\":%llu,\"key_hash\":"
-                      "\"0x%llx\"}}",
-                      op_kind_name(r.kind), b, std::max(us - b, 0.001), r.ring,
-                      static_cast<unsigned long long>(r.seqno),
-                      static_cast<unsigned long long>(r.key_hash));
-        append(buf);
-        continue;
-      }
-      // Everything else — publish marks, lifecycle events, and edges
-      // whose partner was overwritten by the ring — becomes an instant.
-      const char* suffix = r.phase == FlightPhase::kEvent
-                               ? flight_event_name(static_cast<FlightEvent>(r.key_hash))
-                           : r.kind == OpKind::kMigrate
-                               ? migration_phase_name(decode_migration_phase(r.key_hash))
-                               : flight_phase_name(r.phase);
-      std::snprintf(buf, sizeof(buf),
-                    "{\"name\":\"%s:%s\",\"ph\":\"i\",\"ts\":%.3f,\"s\":\"t\","
-                    "\"pid\":1,\"tid\":%u,\"args\":{\"op\":%llu}}",
-                    op_kind_name(r.kind), suffix, us, r.ring,
-                    static_cast<unsigned long long>(r.seqno));
-      append(buf);
-    }
   }
-  out += "]}";
-  return out;
+  const double tpn = ticks_per_ns();
+  const auto us_of = [&](u64 tsc) {
+    return static_cast<double>(tsc - std::min(t0, tsc)) / (tpn > 0 ? tpn : 1) /
+           1000.0;
+  };
+  // Pair start records with their finish per op id; paired starts are
+  // folded into the "X" complete event emitted at the finish.
+  std::map<u64, const FlightRecordView*> starts;
+  for (const FlightRecordView& r : scan.records) {
+    if (r.phase == FlightPhase::kStart) starts.emplace(r.seqno, &r);
+  }
+  char buf[256];
+  for (const FlightRecordView& r : scan.records) {
+    const double us = us_of(r.tsc);
+    const auto start_it = starts.find(r.seqno);
+    const bool paired = start_it != starts.end();
+    if (r.phase == FlightPhase::kStart && paired) continue;  // emitted at finish
+    if (r.phase == FlightPhase::kFinish && paired) {
+      const double b = us_of(start_it->second->tsc);
+      std::snprintf(buf, sizeof(buf),
+                    "\"name\":\"%s\",\"ph\":\"X\",\"dur\":%.3f,"
+                    "\"pid\":1,\"tid\":%u,\"args\":{\"op\":%llu,\"key_hash\":"
+                    "\"0x%llx\"}",
+                    op_kind_name(r.kind), std::max(us - b, 0.001), r.ring,
+                    static_cast<unsigned long long>(r.seqno),
+                    static_cast<unsigned long long>(r.key_hash));
+      out.push_back(TraceEvent{b, buf});
+      continue;
+    }
+    // Everything else — publish marks, lifecycle events, and edges
+    // whose partner was overwritten by the ring — becomes an instant.
+    const char* suffix = r.phase == FlightPhase::kEvent
+                             ? flight_event_name(static_cast<FlightEvent>(r.key_hash))
+                         : r.kind == OpKind::kMigrate
+                             ? migration_phase_name(decode_migration_phase(r.key_hash))
+                             : flight_phase_name(r.phase);
+    std::snprintf(buf, sizeof(buf),
+                  "\"name\":\"%s:%s\",\"ph\":\"i\",\"s\":\"t\","
+                  "\"pid\":1,\"tid\":%u,\"args\":{\"op\":%llu}",
+                  op_kind_name(r.kind), suffix, r.ring,
+                  static_cast<unsigned long long>(r.seqno));
+    out.push_back(TraceEvent{us, buf});
+  }
+}
+
+std::string flight_trace_json(const FlightScan& scan) {
+  // Records iterate in seqno order but each ring's TSC base can skew,
+  // so events must be re-sorted on the shared time axis before
+  // rendering — Chrome's viewer silently drops events whose ts
+  // regresses (render_trace_json sorts).
+  std::vector<TraceEvent> events;
+  append_flight_trace_events(scan, events);
+  return render_trace_json(std::move(events));
 }
 
 }  // namespace gh::obs

@@ -186,8 +186,19 @@ std::string flight_timeline_text(const FlightScan& scan);
 
 /// Chrome trace-event JSON (chrome://tracing, Perfetto) of a scan:
 /// complete "X" events for start→finish pairs, instant events for
-/// unpaired records (gh_stats --flight --trace out.json).
+/// unpaired records (gh_stats --flight --trace out.json). Events are
+/// globally sorted by ts — per-ring TSC skew otherwise yields
+/// out-of-order events Chrome's viewer silently drops.
 std::string flight_trace_json(const FlightScan& scan);
+
+/// Append a scan's events to a shared list (obs/span.hpp TraceEvent)
+/// so gh_stats can merge flight and span sources into one sorted trace.
+/// `base_ticks` anchors the µs axis (0 = the scan's own first record);
+/// a merged view passes the min over every source so both sit on one
+/// axis (flight records and spans share the TSC domain).
+struct TraceEvent;
+void append_flight_trace_events(const FlightScan& scan, std::vector<TraceEvent>& out,
+                                u64 base_ticks = 0);
 
 // ---------------------------------------------------------------------------
 // Recorder (emit path).

@@ -127,6 +127,17 @@ const char* op_kind_name(OpKind kind) {
   return "unknown";
 }
 
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kRingWait: return "ring_wait";
+    case Phase::kProbe: return "probe";
+    case Phase::kPersist: return "persist";
+    case Phase::kFence: return "fence";
+    case Phase::kMigrateHelp: return "migrate_help";
+  }
+  return "unknown";
+}
+
 const char* migration_phase_name(MigrationPhase phase) {
   switch (phase) {
     case MigrationPhase::kNone: return "none";

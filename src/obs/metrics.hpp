@@ -259,6 +259,25 @@ inline constexpr usize kOpKinds = 8;
 
 const char* op_kind_name(OpKind kind);
 
+/// Where a request's time went — the attribution axes of the `phases`
+/// snapshot section and the per-request span tree (obs/span.hpp).
+/// kRingWait is service-level (enqueue → worker pop); the rest bracket
+/// map-level work: kPersist/kFence are time inside the PM policy's
+/// flush/fence, kMigrateHelp is the help-along stall a mutating op pays
+/// while an online resize drains, and kProbe is the residual (hashing,
+/// tag probes, cell compares) so the five phases of one sampled op sum
+/// exactly to its attributed time.
+enum class Phase : u8 {
+  kRingWait = 0,
+  kProbe = 1,
+  kPersist = 2,
+  kFence = 3,
+  kMigrateHelp = 4,
+};
+inline constexpr usize kPhases = 5;
+
+const char* phase_name(Phase phase);
+
 // ---------------------------------------------------------------------------
 // Online-resize migration phases.
 //

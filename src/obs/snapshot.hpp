@@ -16,6 +16,7 @@
 // for one release; new code should read snapshot()/export_json only.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -283,6 +284,76 @@ struct OpLatencySnapshot {
   }
 };
 
+/// Per-phase latency attribution (obs/span.hpp PhaseAccum, converted to
+/// the ns domain). One row per OpKind; for every sampled op
+///   phase_ns[kProbe] + [kPersist] + [kFence] + [kMigrateHelp] == op_ns
+/// exactly (probe is the residual), and the service layer adds ring
+/// wait to both phase_ns[kRingWait] and op_ns, so phase shares
+/// (phase_ns / op_ns) always partition the attributed time. All fields
+/// are counters: absorb() sums them, so shards merge like the latency
+/// histograms (merge == union) and double-absorbing scales every row
+/// uniformly without changing any share.
+struct PhaseSnapshot {
+  struct Row {
+    u64 samples = 0;  ///< map-level sampled ops contributing
+    u64 op_ns = 0;    ///< total attributed time
+    std::array<u64, kPhases> phase_ns{};
+
+    Row& operator+=(const Row& o) {
+      samples += o.samples;
+      op_ns += o.op_ns;
+      for (usize p = 0; p < kPhases; ++p) phase_ns[p] += o.phase_ns[p];
+      return *this;
+    }
+  };
+
+  std::array<Row, kOpKinds> rows{};
+
+  [[nodiscard]] const Row& of(OpKind kind) const { return rows[static_cast<usize>(kind)]; }
+
+  /// Share of kind's attributed time spent in phase (0 when unsampled).
+  [[nodiscard]] double share(OpKind kind, Phase phase) const {
+    const Row& r = of(kind);
+    if (r.op_ns == 0) return 0;
+    return static_cast<double>(r.phase_ns[static_cast<usize>(phase)]) /
+           static_cast<double>(r.op_ns);
+  }
+
+  [[nodiscard]] u64 total_op_ns() const {
+    u64 t = 0;
+    for (const Row& r : rows) t += r.op_ns;
+    return t;
+  }
+
+  PhaseSnapshot& operator+=(const PhaseSnapshot& o) {
+    for (usize k = 0; k < kOpKinds; ++k) rows[k] += o.rows[k];
+    return *this;
+  }
+};
+
+/// Last-window gauges from the time-series aggregator
+/// (obs/timeseries.hpp). These are GAUGES, not counters: only the
+/// top-level aggregator that owns the TimeSeries fills them in, and
+/// absorb() merges by max, so absorbing the same shard snapshot twice
+/// (or absorbing shard snapshots that never saw a ticker) cannot
+/// double-count them.
+struct TimeseriesGauges {
+  u64 windows = 0;        ///< windows currently buffered
+  u64 interval_ms = 0;    ///< nominal tick interval
+  u64 last_window_ms = 0; ///< caller-clock end of the newest window
+  double last_qps = 0;
+  double last_p99_ns = 0;
+
+  TimeseriesGauges& operator+=(const TimeseriesGauges& o) {
+    windows = windows > o.windows ? windows : o.windows;
+    interval_ms = interval_ms > o.interval_ms ? interval_ms : o.interval_ms;
+    last_window_ms = last_window_ms > o.last_window_ms ? last_window_ms : o.last_window_ms;
+    last_qps = last_qps > o.last_qps ? last_qps : o.last_qps;
+    last_p99_ns = last_p99_ns > o.last_p99_ns ? last_p99_ns : o.last_p99_ns;
+    return *this;
+  }
+};
+
 /// One op the flight recorder shows as in flight at the last crash
 /// (reconstructed by the reopen-time sidecar scan).
 struct FlightOpBrief {
@@ -340,6 +411,8 @@ struct Snapshot {
   LifecycleSnapshot lifecycle;
   MigrationSnapshot migration;
   OpLatencySnapshot latency;
+  PhaseSnapshot phases;
+  TimeseriesGauges timeseries;
   FlightSnapshot flight;
 
   std::vector<ShardBrief> per_shard;  ///< concurrent wrappers only
@@ -359,6 +432,8 @@ struct Snapshot {
     lifecycle += o.lifecycle;
     migration += o.migration;
     latency.merge(o.latency);
+    phases += o.phases;      // counters: sums, shares invariant
+    timeseries += o.timeseries;  // gauges: max-merge, idempotent
     flight += o.flight;
     return *this;
   }

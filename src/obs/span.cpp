@@ -1,0 +1,325 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace gh::obs {
+
+const char* trace_mode_name(TraceMode m) {
+  switch (m) {
+    case TraceMode::kOff: return "off";
+    case TraceMode::kSampled: return "sampled";
+    case TraceMode::kFull: return "full";
+  }
+  return "off";
+}
+
+TraceMode trace_mode_from(std::string_view name) {
+  if (name == "sampled") return TraceMode::kSampled;
+  if (name == "full") return TraceMode::kFull;
+  return TraceMode::kOff;
+}
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kRequest: return "request";
+    case SpanKind::kRingWait: return "ring_wait";
+    case SpanKind::kShardVisit: return "shard_visit";
+    case SpanKind::kOpInsert: return "insert";
+    case SpanKind::kOpFind: return "find";
+    case SpanKind::kOpErase: return "erase";
+    case SpanKind::kOpMigrate: return "migrate";
+    case SpanKind::kOpOther: return "lifecycle";
+    case SpanKind::kPhaseProbe: return "probe";
+    case SpanKind::kPhasePersist: return "persist";
+    case SpanKind::kPhaseFence: return "fence";
+    case SpanKind::kPhaseMigrateHelp: return "migrate_help";
+    case SpanKind::kWake: return "wake";
+  }
+  return "unknown";
+}
+
+SpanKind span_kind_for_op(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInsert: return SpanKind::kOpInsert;
+    case OpKind::kFind: return SpanKind::kOpFind;
+    case OpKind::kErase: return SpanKind::kOpErase;
+    case OpKind::kMigrate: return SpanKind::kOpMigrate;
+    case OpKind::kExpand:
+    case OpKind::kScrub:
+    case OpKind::kRecover:
+    case OpKind::kCompact: return SpanKind::kOpOther;
+  }
+  return SpanKind::kOpOther;
+}
+
+// ---------------------------------------------------------------------------
+// SpanRing / SpanCollector.
+
+SpanRing::SpanRing(u32 capacity) { buf_.resize(capacity == 0 ? 1 : capacity); }
+
+void SpanRing::emit(const SpanRecord& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == buf_.size()) dropped_.fetch_add(1, std::memory_order_relaxed);
+  buf_[head_] = r;
+  head_ = (head_ + 1) % static_cast<u32>(buf_.size());
+  if (count_ < buf_.size()) ++count_;
+}
+
+void SpanRing::drain(std::vector<SpanRecord>& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const u32 cap = static_cast<u32>(buf_.size());
+  u32 idx = (head_ + cap - count_) % cap;
+  for (u32 i = 0; i < count_; ++i) {
+    out.push_back(buf_[idx]);
+    idx = (idx + 1) % cap;
+  }
+  count_ = 0;
+}
+
+SpanCollector& SpanCollector::global() {
+  static SpanCollector collector;
+  return collector;
+}
+
+SpanRing& SpanCollector::ring_for_this_thread() {
+  thread_local SpanRing* ring = nullptr;
+  if (ring == nullptr) {
+    auto owned = std::make_shared<SpanRing>(ring_capacity_.load(std::memory_order_relaxed));
+    ring = owned.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    rings_.push_back(std::move(owned));
+    any_ring_.store(true, std::memory_order_relaxed);
+  }
+  return *ring;
+}
+
+std::vector<SpanRecord> SpanCollector::drain_all() {
+  std::vector<std::shared_ptr<SpanRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings = rings_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& r : rings) r->drain(out);
+  return out;
+}
+
+u64 SpanCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  u64 total = 0;
+  for (const auto& r : rings_) total += r->dropped();
+  return total;
+}
+
+bool SpanCollector::any_ring() const { return any_ring_.load(std::memory_order_relaxed); }
+
+void SpanCollector::set_ring_capacity(u32 capacity) {
+  ring_capacity_.store(capacity == 0 ? 1 : capacity, std::memory_order_relaxed);
+}
+
+namespace {
+
+u32 this_thread_index() {
+  static std::atomic<u32> next{0};
+  thread_local const u32 idx = next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+}  // namespace
+
+u32 emit_span(SpanKind kind, u64 trace_id, u32 parent, u64 t_start, u64 t_end,
+              u8 shard) {
+  if constexpr (!kEnabled) return 0;
+  const u32 id = SpanCollector::global().next_span_id();
+  emit_span_with_id(kind, trace_id, id, parent, t_start, t_end, shard);
+  return id;
+}
+
+void emit_span_with_id(SpanKind kind, u64 trace_id, u32 span_id, u32 parent,
+                       u64 t_start, u64 t_end, u8 shard) {
+  if constexpr (!kEnabled) return;
+  SpanRecord r;
+  r.trace_id = trace_id;
+  r.t_start = t_start;
+  r.t_end = t_end >= t_start ? t_end : t_start;
+  r.span_id = span_id;
+  r.parent_id = parent;
+  r.tid = this_thread_index();
+  r.kind = static_cast<u8>(kind);
+  r.shard = shard;
+  SpanCollector::global().ring_for_this_thread().emit(r);
+}
+
+// ---------------------------------------------------------------------------
+// Thread trace context & phase finalization.
+
+void set_thread_trace(u64 trace_id, u32 parent_span, bool sampled) {
+  if constexpr (!kEnabled) return;
+  detail::t_trace.trace_id = trace_id;
+  detail::t_trace.parent = parent_span;
+  detail::t_trace.sampled = sampled;
+}
+
+void clear_thread_trace() {
+  if constexpr (!kEnabled) return;
+  detail::t_trace = ThreadTrace{};
+}
+
+PhaseSnapshot PhaseAccum::snapshot() const {
+  PhaseSnapshot s;
+  if constexpr (!kEnabled) return s;
+  const double tpn = ticks_per_ns();
+  for (usize k = 0; k < kOpKinds; ++k) {
+    const Row& r = rows_[k];
+    PhaseSnapshot::Row& out = s.rows[k];
+    out.samples = r.samples.load(std::memory_order_relaxed);
+    out.op_ns = static_cast<u64>(
+        static_cast<double>(r.op_ticks.load(std::memory_order_relaxed)) / tpn);
+    for (usize p = 0; p < kPhases; ++p) {
+      out.phase_ns[p] = static_cast<u64>(
+          static_cast<double>(r.ticks[p].load(std::memory_order_relaxed)) / tpn);
+    }
+  }
+  return s;
+}
+
+void PhaseAccum::reset() {
+  for (Row& r : rows_) {
+    r.samples.store(0, std::memory_order_relaxed);
+    r.op_ticks.store(0, std::memory_order_relaxed);
+    for (auto& t : r.ticks) t.store(0, std::memory_order_relaxed);
+  }
+}
+
+void phase_collect_finish(PhaseAccum& acc, OpKind kind, u64 t0, u64 dt_ticks,
+                          u8 shard) {
+  if constexpr (!kEnabled) return;
+  ThreadPhase& tp = detail::t_phase;
+  if (!tp.collecting || tp.owner_t0 != t0) return;
+  tp.collecting = false;
+  const u64 persist = tp.persist;
+  const u64 fence = tp.fence;
+  const u64 help = tp.help;
+  const u64 bracketed = persist + fence + help;
+  // The brackets each pay their own rdtsc pair, so their sum can edge
+  // past the op's measured dt by a few ticks; take the larger as the
+  // attributed total so probe (the residual) never underflows.
+  const u64 op_ticks = dt_ticks > bracketed ? dt_ticks : bracketed;
+  const u64 probe = op_ticks - bracketed;
+  const u64 phase_ticks[kPhases] = {0, probe, persist, fence, help};
+  acc.add(kind, op_ticks, phase_ticks);
+
+  const ThreadTrace& tt = detail::t_trace;
+  if (!tt.sampled || tt.trace_id == 0) return;
+  const u32 op_span = emit_span(span_kind_for_op(kind), tt.trace_id, tt.parent,
+                                t0, t0 + op_ticks, shard);
+  // Synthetic phase children: the real persist/fence intervals
+  // interleave with probing, but only the per-phase totals are kept, so
+  // render them as a sequential partition of the op span.
+  u64 cursor = t0;
+  const SpanKind kinds[kPhases] = {SpanKind::kRingWait, SpanKind::kPhaseProbe,
+                                   SpanKind::kPhasePersist, SpanKind::kPhaseFence,
+                                   SpanKind::kPhaseMigrateHelp};
+  for (usize p = 1; p < kPhases; ++p) {  // skip kRingWait: service-level
+    if (phase_ticks[p] == 0) continue;
+    emit_span(kinds[p], tt.trace_id, op_span, cursor, cursor + phase_ticks[p], shard);
+    cursor += phase_ticks[p];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event rendering.
+
+std::string render_trace_json(std::vector<TraceEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+  std::string out = "{\"traceEvents\":[\n";
+  char buf[64];
+  for (usize i = 0; i < events.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "{\"ts\":%.3f,", events[i].ts_us);
+    out += buf;
+    out += events[i].body;
+    out += i + 1 < events.size() ? "},\n" : "}\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+void append_span_trace_events(const std::vector<SpanRecord>& spans,
+                              double ticks_per_ns, u64 base_ticks,
+                              std::vector<TraceEvent>& out) {
+  const double tpn = ticks_per_ns > 0 ? ticks_per_ns : 1.0;
+  char buf[256];
+  for (const SpanRecord& s : spans) {
+    const u64 rel = s.t_start >= base_ticks ? s.t_start - base_ticks : 0;
+    const double ts_us = static_cast<double>(rel) / tpn / 1000.0;
+    const double dur_us = static_cast<double>(s.t_end - s.t_start) / tpn / 1000.0;
+    std::snprintf(buf, sizeof(buf),
+                  "\"name\":\"%s\",\"ph\":\"X\",\"dur\":%.3f,\"pid\":2,\"tid\":%u,"
+                  "\"args\":{\"trace_id\":%" PRIu64 ",\"span\":%u,\"parent\":%u,\"shard\":%u}",
+                  span_kind_name(static_cast<SpanKind>(s.kind)), dur_us, s.tid,
+                  s.trace_id, s.span_id, s.parent_id, s.shard);
+    out.push_back(TraceEvent{ts_us, buf});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Span file I/O.
+
+namespace {
+
+struct SpanFileHeader {
+  u64 magic = kSpanFileMagic;
+  u64 count = 0;
+  u64 base_ticks = 0;
+  double ticks_per_ns = 1.0;
+};
+
+}  // namespace
+
+bool write_spans_file(const std::string& path, const std::vector<SpanRecord>& spans,
+                      double tpn) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  SpanFileHeader h;
+  h.count = spans.size();
+  h.ticks_per_ns = tpn;
+  u64 base = ~u64{0};
+  for (const SpanRecord& s : spans) base = s.t_start < base ? s.t_start : base;
+  h.base_ticks = spans.empty() ? 0 : base;
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  if (!spans.empty()) {
+    out.write(reinterpret_cast<const char*>(spans.data()),
+              static_cast<std::streamsize>(spans.size() * sizeof(SpanRecord)));
+  }
+  return out.good();
+}
+
+SpanFile read_spans_file(const std::string& path) {
+  SpanFile f;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return f;
+  SpanFileHeader h;
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!in || h.magic != kSpanFileMagic) return f;
+  if (h.count > (1u << 28)) return f;  // implausible; refuse to allocate
+  f.spans.resize(h.count);
+  if (h.count != 0) {
+    in.read(reinterpret_cast<char*>(f.spans.data()),
+            static_cast<std::streamsize>(h.count * sizeof(SpanRecord)));
+    if (!in) {
+      f.spans.clear();
+      return f;
+    }
+  }
+  f.ticks_per_ns = h.ticks_per_ns > 0 ? h.ticks_per_ns : 1.0;
+  f.base_ticks = h.base_ticks;
+  f.valid = true;
+  return f;
+}
+
+}  // namespace gh::obs

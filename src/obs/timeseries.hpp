@@ -1,0 +1,95 @@
+// Windowed time-series aggregator: a ring of fixed-interval deltas
+// between successive cumulative obs::Snapshots.
+//
+// Every section of Snapshot is cumulative-since-start, which answers
+// "what happened" but not "what is happening". TimeSeries closes that
+// gap without touching the hot path: a single ticker thread calls
+// tick(snapshot, now_ms) at a fixed cadence, and each tick diffs the
+// new cumulative sample against the previous one into a TimeWindow —
+// ops/QPS, per-window p50/p99 (the sparse histogram buckets are
+// monotone, so bucket-wise subtraction yields the exact histogram of
+// just that window's samples), phase shares from the phases-section
+// deltas, and the migration-cursor/load-factor gauges at window end.
+// The last `max_windows` windows (default 60 ≈ one minute at 1 Hz)
+// live in an overwrite-oldest ring.
+//
+// Surfaces: export_timeseries_json ("gh.obs.timeseries.v1"),
+// Prometheus gauges for the newest window, and parse_timeseries_json —
+// the reader used by tools/gh_top and the round-trip tests.
+//
+// Threading: a mutex guards the ring; tick() and the exporters may be
+// called from different threads. The Snapshot handed to tick() is a
+// plain value, so the aggregator itself never races the structures
+// being observed.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/snapshot.hpp"
+
+namespace gh::obs {
+
+inline constexpr std::string_view kTimeseriesSchema = "gh.obs.timeseries.v1";
+
+/// One fixed-interval delta window.
+struct TimeWindow {
+  u64 t_ms = 0;    ///< caller-clock time at window end
+  u64 dur_ms = 0;  ///< window length
+  u64 ops = 0;     ///< latency-recorded ops completed in the window
+  double qps = 0;
+  double p50_ns = 0;  ///< percentile of ops in THIS window only
+  double p99_ns = 0;
+  std::array<double, kPhases> phase_share{};  ///< of attributed time in window
+  u64 mig_active = 0;  ///< gauges at window end
+  u64 mig_cursor = 0;
+  u64 mig_total = 0;
+  double load_factor = 0;
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(usize max_windows = 60, u64 interval_ms = 1000);
+
+  /// Fold in a cumulative sample. The first call only seeds the
+  /// baseline; every later call appends one window.
+  void tick(const Snapshot& cumulative, u64 now_ms);
+
+  /// Buffered windows, oldest first.
+  [[nodiscard]] std::vector<TimeWindow> windows() const;
+
+  /// Last-window gauges for Snapshot.timeseries (max-merged on absorb).
+  [[nodiscard]] TimeseriesGauges gauges() const;
+
+  [[nodiscard]] usize max_windows() const { return max_windows_; }
+  [[nodiscard]] u64 interval_ms() const { return interval_ms_; }
+
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  usize max_windows_;
+  u64 interval_ms_;
+  bool have_prev_ = false;
+  u64 prev_ms_ = 0;
+  OpLatencySnapshot prev_latency_;
+  PhaseSnapshot prev_phases_;
+  std::vector<TimeWindow> ring_;
+  usize head_ = 0;
+  usize count_ = 0;
+};
+
+/// {"schema":"gh.obs.timeseries.v1",...,"windows":[...]}
+std::string export_timeseries_json(const TimeSeries& ts);
+
+/// Prometheus gauges for the newest window (gh_window_*).
+std::string export_timeseries_prometheus(const TimeSeries& ts);
+
+/// Minimal reader for the JSON above (and for the "timeseries" value
+/// embedded in a gh_serve stats file). Returns false when no
+/// well-formed windows array is present.
+bool parse_timeseries_json(std::string_view text, std::vector<TimeWindow>* out);
+
+}  // namespace gh::obs

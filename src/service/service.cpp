@@ -60,6 +60,8 @@ ShardServer::ShardServer(const ServiceOptions& options) : options_(options) {
   for (u32 s = 0; s < nshards_; ++s) {
     shards_.push_back(std::make_unique<Shard>(options_.ring_capacity));
     Shard& shard = *shards_.back();
+    shard.index = s;
+    shard.ring_gate.set_shift(options_.map_options.latency_sample_shift);
     if (options_.data_dir.empty()) {
       shard.map = std::make_unique<GroupHashMap>(
           GroupHashMap::create_in_memory(options_.map_options));
@@ -133,13 +135,39 @@ void ShardServer::execute(Batch& batch) {
 
   const u64 t0 = obs::now_ticks();
 
+  // Trace admission, per batch at ingest: kFull traces everything,
+  // kSampled admits 1 in 2^shift batches off an atomic counter. A
+  // traced batch gets a trace id and a pre-allocated root span id that
+  // every work item carries through the ring.
+  u64 trace_id = 0;
+  u32 root_span = 0;
+  if (obs::kEnabled && options_.trace_mode != obs::TraceMode::kOff) {
+    const bool admit =
+        options_.trace_mode == obs::TraceMode::kFull ||
+        (trace_seq_.fetch_add(1, std::memory_order_relaxed) &
+         ((u64{1} << options_.trace_sample_shift) - 1)) == 0;
+    if (admit) {
+      trace_id = obs::SpanCollector::global().next_trace_id();
+      root_span = obs::SpanCollector::global().next_span_id();
+    }
+  }
+  const auto make_item = [&](u32 begin, u32 count) {
+    WorkItem w{&batch, begin, count};
+    if constexpr (obs::kEnabled) {
+      w.trace_id = trace_id;
+      w.parent_span = root_span;
+      w.enqueue_ticks = t0;
+    }
+    return w;
+  };
+
   if (options_.naive) {
     // Baseline transport: one work item (and one scalar map call) per
     // request — what a request-per-message server would do.
     batch.pending_.store(n, std::memory_order_release);
     for (u32 s = 0; s < nshards_; ++s) {
       for (u32 i = batch.offsets_[s]; i < batch.offsets_[s + 1]; ++i) {
-        push_item(*shards_[s], WorkItem{&batch, i, 1});
+        push_item(*shards_[s], make_item(i, 1));
       }
     }
   } else {
@@ -151,7 +179,7 @@ void ShardServer::execute(Batch& batch) {
     for (u32 s = 0; s < nshards_; ++s) {
       const u32 begin = batch.offsets_[s];
       const u32 count = batch.offsets_[s + 1] - begin;
-      if (count > 0) push_item(*shards_[s], WorkItem{&batch, begin, count});
+      if (count > 0) push_item(*shards_[s], make_item(begin, count));
     }
   }
 
@@ -160,12 +188,27 @@ void ShardServer::execute(Batch& batch) {
     batch.pending_.wait(p, std::memory_order_acquire);
   }
 
-  const u64 dt = obs::now_ticks() - t0;
+  const u64 t1 = obs::now_ticks();
+  const u64 dt = t1 - t0;
   for (u32 i = 0; i < n; ++i) recorder_.record(op_kind(batch.requests[i].op), dt);
+  if (trace_id != 0) {
+    // The wake span covers "last shard answered → this thread resumed"
+    // (futex wake + scheduling), the one stretch of a request's life no
+    // worker-side span can see.
+    const u64 done = batch.done_ticks_.load(std::memory_order_relaxed);
+    if (done > t0 && done < t1) {
+      obs::emit_span(obs::SpanKind::kWake, trace_id, root_span, done, t1);
+    }
+    obs::emit_span_with_id(obs::SpanKind::kRequest, trace_id, root_span,
+                           /*parent=*/0, t0, t1);
+  }
 }
 
 void ShardServer::complete(Batch* batch) {
   if (batch->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if constexpr (obs::kEnabled) {
+      batch->done_ticks_.store(obs::now_ticks(), std::memory_order_relaxed);
+    }
     batch->pending_.notify_all();
   }
 }
@@ -271,10 +314,52 @@ void ShardServer::worker_loop(Shard& shard) {
       }
       continue;
     }
+    // Ring-wait attribution + trace adoption. Each item's enqueue → pop
+    // wait books under Phase::kRingWait per request kind (added to both
+    // the bucket and the attributed total, so phases still sum to the
+    // request's attributed time). Traced items get a ring_wait span; the
+    // first traced item's context is adopted for the whole visit so the
+    // map ops inside emit their spans under one shard_visit parent.
+    u64 visit_trace = 0;
+    u32 visit_parent = 0;
+    const u64 pop_ticks = obs::kEnabled ? obs::now_ticks() : 0;
+    if constexpr (obs::kEnabled) {
+      for (const WorkItem& item : shard.visit) {
+        if (item.enqueue_ticks == 0) continue;
+        const u64 wait =
+            pop_ticks > item.enqueue_ticks ? pop_ticks - item.enqueue_ticks : 0;
+        if (shard.ring_gate.admit()) {
+          for (u32 i = 0; i < item.count; ++i) {
+            const Request& rq =
+                item.batch->requests[item.batch->order_[item.begin + i]];
+            ring_phases_.add_wait(op_kind(rq.op), obs::Phase::kRingWait, wait);
+          }
+        }
+        if (item.trace_id != 0) {
+          obs::emit_span(obs::SpanKind::kRingWait, item.trace_id, item.parent_span,
+                        item.enqueue_ticks, pop_ticks, static_cast<u8>(shard.index));
+          if (visit_trace == 0) {
+            visit_trace = item.trace_id;
+            visit_parent = item.parent_span;
+          }
+        }
+      }
+    }
+    u32 visit_span = 0;
+    if (visit_trace != 0) {
+      visit_span = obs::SpanCollector::global().next_span_id();
+      obs::set_thread_trace(visit_trace, visit_span, true);
+    }
     if (options_.naive) {
       serve_visit_naive(shard);
     } else {
       serve_visit(shard);
+    }
+    if (visit_trace != 0) {
+      obs::clear_thread_trace();
+      obs::emit_span_with_id(obs::SpanKind::kShardVisit, visit_trace, visit_span,
+                             visit_parent, pop_ticks, obs::now_ticks(),
+                             static_cast<u8>(shard.index));
     }
     for (const WorkItem& item : shard.visit) complete(item.batch);
   }
@@ -412,11 +497,32 @@ void ShardServer::serve_visit_naive(Shard& shard) {
   }
 }
 
+obs::Snapshot ShardServer::live_snapshot() const {
+  obs::Snapshot s;
+  s.source = "ShardServer.live";
+  s.shards = nshards_;
+  s.latency = obs::OpLatencySnapshot::from(recorder_);
+  s.phases = ring_phases_.snapshot();
+  for (u32 i = 0; i < nshards_; ++i) {
+    const GroupHashMap* map = shards_[i]->map.get();
+    if (map == nullptr) continue;
+    const obs::LiveObs* live = map->live_obs();
+    if (live == nullptr) continue;
+    s.phases += live->phases.snapshot();
+    const obs::MigrationGauges g = live->migration();
+    s.migration.active += g.active;
+    s.migration.cursor += g.cursor;
+    s.migration.total_groups += g.total_groups;
+  }
+  return s;
+}
+
 obs::Snapshot ShardServer::snapshot() {
   GH_CHECK(!running());
   obs::Snapshot agg;
   agg.source = "ShardServer";
   agg.shards = nshards_;
+  agg.phases = ring_phases_.snapshot();
   for (u32 s = 0; s < nshards_; ++s) {
     obs::Snapshot shard_snap = shards_[s]->map->snapshot();
     agg.absorb(shard_snap);

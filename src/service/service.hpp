@@ -68,6 +68,7 @@
 #include "core/group_hash_map.hpp"
 #include "obs/metrics.hpp"
 #include "obs/snapshot.hpp"
+#include "obs/span.hpp"
 #include "util/types.hpp"
 
 namespace gh::service {
@@ -124,14 +125,24 @@ class Batch {
   std::vector<u32> order_;    ///< request indices grouped by shard
   std::vector<u32> offsets_;  ///< shards+1 fence posts into order_
   std::atomic<u32> pending_{0};
+  /// Tick of the final complete() (traced batches only): lets the
+  /// client attribute the futex wake as its own span, so a traced
+  /// request's spans cover its whole end-to-end latency.
+  std::atomic<u64> done_ticks_{0};
 };
 
 /// One unit of shard work: `count` request indices of `batch`, starting
 /// at batch->order_[begin], all routed to the receiving shard.
+/// `enqueue_ticks` is stamped at push so the worker can attribute the
+/// MPSC ring wait; `trace_id`/`parent_span` carry the trace context of a
+/// sampled batch through the ring (zero = untraced).
 struct WorkItem {
   Batch* batch = nullptr;
   u32 begin = 0;
   u32 count = 0;
+  u32 parent_span = 0;
+  u64 trace_id = 0;
+  u64 enqueue_ticks = 0;
 };
 
 /// Bounded multi-producer single-consumer ring (Vyukov sequence
@@ -205,6 +216,12 @@ struct ServiceOptions {
   /// Non-empty → file-backed shard maps at <data_dir>/shard<i>.gh (the
   /// crash/forensics path); empty → in-memory shards.
   std::string data_dir;
+  /// Request tracing: kOff (default), kSampled (1 in
+  /// 2^trace_sample_shift batches) or kFull. A traced batch stamps its
+  /// trace id on every work item; the worker adopts it around the shard
+  /// visit so map ops emit spans into the per-thread span rings.
+  obs::TraceMode trace_mode = obs::TraceMode::kOff;
+  u32 trace_sample_shift = obs::kTraceSampleShift;
   MapOptions map_options;
 };
 
@@ -255,6 +272,15 @@ class ShardServer {
   /// quiescent only then); per_shard carries one brief per shard.
   [[nodiscard]] obs::Snapshot snapshot();
 
+  /// Stats-poller view of a RUNNING server: only the pieces that are
+  /// safe to read while workers serve traffic — the service-level
+  /// latency recorder, the ring-wait + per-map phase accumulators, and
+  /// the per-map migration gauges. Map internals (size/capacity/persist
+  /// counters…) are single-owner and stay zero here; use snapshot()
+  /// after stop() for those. Must not run concurrently with
+  /// restart_shard() (the map swap is unsynchronized with this read).
+  [[nodiscard]] obs::Snapshot live_snapshot() const;
+
  private:
   struct SlotRef {
     Batch* batch;
@@ -265,6 +291,14 @@ class ShardServer {
     explicit Shard(u32 ring_capacity) : ring(ring_capacity) {}
 
     IngestRing ring;
+    u32 index = 0;  ///< shard number (span/trace labels)
+    /// Ring-wait attribution gate, worker-local. Samples items at the
+    /// same 1-in-2^latency_sample_shift rate the maps sample their op
+    /// latencies, so the ring_wait share in Snapshot.phases is
+    /// comparable against the map-side probe/persist/fence shares
+    /// (attributing every item's wait against 1/64-sampled op time
+    /// would report ~100% ring_wait no matter the real balance).
+    obs::SampleGate ring_gate;
     alignas(kCachelineSize) std::atomic<u64> doorbell{0};
     std::atomic<bool> dead{false};
     std::unique_ptr<GroupHashMap> map;
@@ -305,6 +339,13 @@ class ShardServer {
   std::atomic<bool> stopping_{false};
   std::mutex restart_mu_;  ///< serializes restart_shard callers
   obs::OpRecorder recorder_;
+  /// Batch counter driving kSampled trace admission (1 in 2^shift).
+  std::atomic<u64> trace_seq_{0};
+  /// Ring-wait attribution: ticks each request spent queued in the MPSC
+  /// ring, bucketed per OpKind. Lives at the server (the wait is a
+  /// transport property, not a map property) and is merged into both
+  /// snapshot() and live_snapshot().
+  obs::PhaseAccum ring_phases_;
 };
 
 }  // namespace gh::service

@@ -285,6 +285,82 @@ TEST(SnapshotAbsorb, SelfCopyDoublesCountsKeepsShape) {
   EXPECT_DOUBLE_EQ(s.latency.insert.mean_ns, copy.latency.insert.mean_ns);
 }
 
+/// A snapshot with phase attribution and timeseries gauges filled the
+/// way ShardServer::live_snapshot + the gh_serve stats ticker do.
+Snapshot snapshot_with_phases() {
+  Snapshot s = sample_snapshot();
+  PhaseSnapshot::Row& ins = s.phases.rows[static_cast<usize>(OpKind::kInsert)];
+  ins.samples = 5;
+  ins.op_ns = 1000;
+  ins.phase_ns[static_cast<usize>(Phase::kRingWait)] = 400;
+  ins.phase_ns[static_cast<usize>(Phase::kProbe)] = 300;
+  ins.phase_ns[static_cast<usize>(Phase::kPersist)] = 200;
+  ins.phase_ns[static_cast<usize>(Phase::kFence)] = 80;
+  ins.phase_ns[static_cast<usize>(Phase::kMigrateHelp)] = 20;
+  s.timeseries.windows = 3;
+  s.timeseries.interval_ms = 500;
+  s.timeseries.last_window_ms = 1500;
+  s.timeseries.last_qps = 1234.5;
+  s.timeseries.last_p99_ns = 42000;
+  return s;
+}
+
+TEST(ExportJson, PhasesAndTimeseriesSectionsValidate) {
+  const std::string json = export_json(snapshot_with_phases());
+  std::string error;
+  EXPECT_TRUE(validate_json(json, &error)) << error;
+  EXPECT_NE(json.find("\"phases\""), std::string::npos);
+  EXPECT_NE(json.find("\"ring_wait_ns\":400"), std::string::npos);
+  EXPECT_NE(json.find("\"persist_ns\":200"), std::string::npos);
+  EXPECT_NE(json.find("\"timeseries\""), std::string::npos);
+  EXPECT_NE(json.find("\"last_qps\":1234.5"), std::string::npos);
+  // Unsampled kinds are elided from the phases object entirely.
+  EXPECT_EQ(json.find("\"scrub\":{\"samples\":0"), std::string::npos);
+}
+
+TEST(ExportPrometheus, PhaseCountersCarryOpAndPhaseLabels) {
+  const std::string prom = export_prometheus(snapshot_with_phases());
+  EXPECT_NE(prom.find("gh_phase_ns_total"), std::string::npos);
+  EXPECT_NE(prom.find("op=\"insert\",phase=\"ring_wait\""), std::string::npos);
+  EXPECT_NE(prom.find("op=\"insert\",phase=\"migrate_help\""), std::string::npos);
+}
+
+TEST(SnapshotAbsorb, PhasesSumButSharesAreInvariant) {
+  Snapshot s = snapshot_with_phases();
+  const Snapshot copy = s;
+  s.absorb(copy);
+  const PhaseSnapshot::Row& row = s.phases.of(OpKind::kInsert);
+  EXPECT_EQ(row.samples, 10u) << "counters double on self-absorb";
+  EXPECT_EQ(row.op_ns, 2000u);
+  EXPECT_EQ(row.phase_ns[static_cast<usize>(Phase::kPersist)], 400u);
+  // Every share is unchanged: doubling all counters scales uniformly.
+  for (usize p = 0; p < kPhases; ++p) {
+    EXPECT_DOUBLE_EQ(s.phases.share(OpKind::kInsert, static_cast<Phase>(p)),
+                     copy.phases.share(OpKind::kInsert, static_cast<Phase>(p)));
+  }
+  // Phase sums still partition the attributed total after the merge.
+  u64 phase_sum = 0;
+  for (const u64 p : row.phase_ns) phase_sum += p;
+  EXPECT_EQ(phase_sum, row.op_ns);
+}
+
+TEST(SnapshotAbsorb, TimeseriesGaugesMaxMergeNotSum) {
+  Snapshot s = snapshot_with_phases();
+  const Snapshot copy = s;
+  s.absorb(copy);
+  // Gauges: self-absorb must NOT double (max-merge).
+  EXPECT_EQ(s.timeseries.windows, copy.timeseries.windows);
+  EXPECT_DOUBLE_EQ(s.timeseries.last_qps, copy.timeseries.last_qps);
+
+  // Absorbing a shard that never saw a ticker keeps the aggregator's
+  // gauges; absorbing a larger gauge takes it.
+  Snapshot bigger;
+  bigger.timeseries.last_qps = 9999.0;
+  s.absorb(bigger);
+  EXPECT_DOUBLE_EQ(s.timeseries.last_qps, 9999.0);
+  EXPECT_EQ(s.timeseries.windows, copy.timeseries.windows);
+}
+
 TEST(ExportPrometheus, EmitsHelpAndTypeLines) {
   const std::string prom = export_prometheus(sample_snapshot());
   // Exposition metadata: every family gets "# HELP" then "# TYPE".

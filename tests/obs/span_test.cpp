@@ -1,0 +1,340 @@
+// obs/span.hpp tests: ring semantics (overwrite-oldest, drain, dropped),
+// the thread-trace + phase-collection protocol (op span and its phase
+// children partition the op exactly), span file round-trip, and the
+// trace-event rendering regression — merged flight+span output must be
+// globally sorted by ts or Chrome's viewer silently drops events.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace gh::obs {
+namespace {
+
+SpanRecord make_record(u32 span_id, u64 t_start, u64 t_end) {
+  SpanRecord r;
+  r.trace_id = 1;
+  r.span_id = span_id;
+  r.t_start = t_start;
+  r.t_end = t_end;
+  return r;
+}
+
+TEST(SpanRing, OverwritesOldestAndCountsDrops) {
+  SpanRing ring(4);
+  for (u32 i = 1; i <= 6; ++i) ring.emit(make_record(i, i * 10, i * 10 + 5));
+  EXPECT_EQ(ring.dropped(), 2u);
+
+  std::vector<SpanRecord> out;
+  ring.drain(out);
+  ASSERT_EQ(out.size(), 4u);
+  // Oldest-first of the surviving records: 3, 4, 5, 6.
+  for (u32 i = 0; i < 4; ++i) EXPECT_EQ(out[i].span_id, i + 3);
+
+  // Drain cleared the ring; dropped is cumulative.
+  out.clear();
+  ring.drain(out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(SpanRing, ZeroCapacityIsClampedNotFatal) {
+  SpanRing ring(0);
+  ring.emit(make_record(1, 10, 20));
+  ring.emit(make_record(2, 30, 40));
+  std::vector<SpanRecord> out;
+  ring.drain(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].span_id, 2u);
+}
+
+TEST(TraceMode, NamesRoundTrip) {
+  for (const TraceMode m : {TraceMode::kOff, TraceMode::kSampled, TraceMode::kFull}) {
+    EXPECT_EQ(trace_mode_from(trace_mode_name(m)), m);
+  }
+  EXPECT_EQ(trace_mode_from("bogus"), TraceMode::kOff);
+}
+
+TEST(SpanEmit, EndClampedToStart) {
+  if (!kEnabled) GTEST_SKIP() << "GH_OBS_OFF build";
+  (void)SpanCollector::global().drain_all();
+  const u64 trace = SpanCollector::global().next_trace_id();
+  emit_span(SpanKind::kRequest, trace, 0, /*t_start=*/100, /*t_end=*/50);
+  for (const SpanRecord& s : SpanCollector::global().drain_all()) {
+    if (s.trace_id != trace) continue;
+    EXPECT_EQ(s.t_start, 100u);
+    EXPECT_EQ(s.t_end, 100u);
+    return;
+  }
+  FAIL() << "emitted span not found in drain";
+}
+
+TEST(SpanCollector, TraceIdsAreUniqueAndNonZero) {
+  u64 prev = SpanCollector::global().next_trace_id();
+  EXPECT_NE(prev, 0u);
+  for (int i = 0; i < 100; ++i) {
+    const u64 id = SpanCollector::global().next_trace_id();
+    EXPECT_NE(id, 0u);
+    EXPECT_NE(id, prev);
+    prev = id;
+  }
+}
+
+/// Spin until at least `ticks` TSC ticks elapsed (keeps phase scratch
+/// durations nonzero without sleeping).
+void burn_ticks(u64 ticks) {
+  const u64 t0 = now_ticks();
+  while (now_ticks() - t0 < ticks) {
+  }
+}
+
+TEST(PhaseCollect, OpSpanAndChildrenPartitionTheOp) {
+  if (!kEnabled) GTEST_SKIP() << "GH_OBS_OFF build";
+  (void)SpanCollector::global().drain_all();
+  const u64 trace = SpanCollector::global().next_trace_id();
+  set_thread_trace(trace, /*parent_span=*/7, /*sampled=*/true);
+
+  PhaseAccum acc;
+  const u64 t0 = now_ticks();
+  phase_collect_begin(t0);
+  { PhasePersistScope persist; burn_ticks(2000); }
+  { PhaseFenceScope fence; burn_ticks(2000); }
+  burn_ticks(2000);  // probe residual
+  const u64 dt = now_ticks() - t0;
+  phase_collect_finish(acc, OpKind::kInsert, t0, dt, /*shard=*/3);
+  clear_thread_trace();
+
+  const SpanRecord* op = nullptr;
+  std::vector<const SpanRecord*> children;
+  const std::vector<SpanRecord> spans = SpanCollector::global().drain_all();
+  for (const SpanRecord& s : spans) {
+    if (s.trace_id != trace) continue;
+    if (s.kind == static_cast<u8>(SpanKind::kOpInsert)) op = &s;
+  }
+  ASSERT_NE(op, nullptr) << "sampled op must emit an op span";
+  EXPECT_EQ(op->parent_id, 7u);
+  EXPECT_EQ(op->shard, 3u);
+  EXPECT_EQ(op->t_start, t0);
+  EXPECT_GE(op->t_end - op->t_start, dt);
+
+  for (const SpanRecord& s : spans) {
+    if (s.trace_id == trace && s.parent_id == op->span_id) children.push_back(&s);
+  }
+  ASSERT_GE(children.size(), 3u) << "expected probe + persist + fence children";
+  // The children tile [op.t_start, op.t_end] contiguously, in emit order.
+  u64 cursor = op->t_start;
+  u64 covered = 0;
+  bool saw_persist = false;
+  bool saw_fence = false;
+  for (const SpanRecord* c : children) {
+    EXPECT_EQ(c->t_start, cursor) << "children must be contiguous";
+    EXPECT_GE(c->t_end, c->t_start);
+    covered += c->t_end - c->t_start;
+    cursor = c->t_end;
+    saw_persist |= c->kind == static_cast<u8>(SpanKind::kPhasePersist);
+    saw_fence |= c->kind == static_cast<u8>(SpanKind::kPhaseFence);
+    EXPECT_NE(c->kind, static_cast<u8>(SpanKind::kRingWait))
+        << "ring_wait is service-level, never a phase child";
+  }
+  EXPECT_TRUE(saw_persist);
+  EXPECT_TRUE(saw_fence);
+  EXPECT_EQ(cursor, op->t_end) << "children must cover the op span exactly";
+  EXPECT_EQ(covered, op->t_end - op->t_start);
+
+  // The accumulator saw the same partition: phases sum to op time.
+  const PhaseSnapshot snap = acc.snapshot();
+  const PhaseSnapshot::Row& row = snap.of(OpKind::kInsert);
+  EXPECT_EQ(row.samples, 1u);
+  u64 phase_sum = 0;
+  for (const u64 p : row.phase_ns) phase_sum += p;
+  EXPECT_NEAR(static_cast<double>(phase_sum), static_cast<double>(row.op_ns),
+              2.0 + static_cast<double>(row.op_ns) * 0.001);
+}
+
+TEST(PhaseCollect, UnsampledThreadEmitsNoSpansButStillAttributes) {
+  if (!kEnabled) GTEST_SKIP() << "GH_OBS_OFF build";
+  (void)SpanCollector::global().drain_all();
+  clear_thread_trace();
+
+  PhaseAccum acc;
+  const u64 t0 = now_ticks();
+  phase_collect_begin(t0);
+  { PhasePersistScope persist; burn_ticks(1000); }
+  phase_collect_finish(acc, OpKind::kFind, t0, now_ticks() - t0);
+
+  EXPECT_EQ(acc.snapshot().of(OpKind::kFind).samples, 1u);
+  for (const SpanRecord& s : SpanCollector::global().drain_all()) {
+    EXPECT_NE(s.kind, static_cast<u8>(SpanKind::kOpFind))
+        << "no thread trace installed: op spans must not be emitted";
+  }
+}
+
+TEST(PhaseCollect, EnclosingOpOwnsCollection) {
+  if (!kEnabled) GTEST_SKIP() << "GH_OBS_OFF build";
+  clear_thread_trace();
+  PhaseAccum acc;
+  const u64 outer_t0 = now_ticks();
+  phase_collect_begin(outer_t0);
+  burn_ticks(500);
+  // A nested op (put → expand) must not steal the collection...
+  const u64 inner_t0 = now_ticks();
+  phase_collect_begin(inner_t0);
+  { PhasePersistScope persist; burn_ticks(500); }
+  phase_collect_finish(acc, OpKind::kExpand, inner_t0, now_ticks() - inner_t0);
+  EXPECT_EQ(acc.snapshot().of(OpKind::kExpand).samples, 0u)
+      << "the inner finish must be a no-op: the outer op owns the scratch";
+  // ...and the outer finish books everything, including the nested persist.
+  phase_collect_finish(acc, OpKind::kInsert, outer_t0, now_ticks() - outer_t0);
+  const PhaseSnapshot snap = acc.snapshot();
+  const PhaseSnapshot::Row& row = snap.of(OpKind::kInsert);
+  EXPECT_EQ(row.samples, 1u);
+  EXPECT_GT(row.phase_ns[static_cast<usize>(Phase::kPersist)], 0u);
+}
+
+TEST(PhaseCollect, HelpScopeFoldsNestedPersistIntoMigrateHelp) {
+  if (!kEnabled) GTEST_SKIP() << "GH_OBS_OFF build";
+  clear_thread_trace();
+  PhaseAccum acc;
+  const u64 t0 = now_ticks();
+  phase_collect_begin(t0);
+  {
+    PhaseHelpScope help;
+    // Flush/fence inside the help-along must book as migrate_help, not
+    // persist/fence — the stall the op experienced IS the help.
+    PhasePersistScope persist;
+    burn_ticks(1500);
+  }
+  phase_collect_finish(acc, OpKind::kInsert, t0, now_ticks() - t0);
+  const PhaseSnapshot snap = acc.snapshot();
+  const PhaseSnapshot::Row& row = snap.of(OpKind::kInsert);
+  EXPECT_GT(row.phase_ns[static_cast<usize>(Phase::kMigrateHelp)], 0u);
+  EXPECT_EQ(row.phase_ns[static_cast<usize>(Phase::kPersist)], 0u);
+}
+
+TEST(PhaseAccum, AddWaitPreservesPartitionInvariant) {
+  if (!kEnabled) GTEST_SKIP() << "GH_OBS_OFF build";
+  PhaseAccum acc;
+  const u64 phase_ticks[kPhases] = {0, 600, 300, 100, 0};
+  acc.add(OpKind::kFind, 1000, phase_ticks);
+  acc.add_wait(OpKind::kFind, Phase::kRingWait, 4000);
+
+  const PhaseSnapshot snap = acc.snapshot();
+  const PhaseSnapshot::Row& row = snap.of(OpKind::kFind);
+  u64 phase_sum = 0;
+  for (const u64 p : row.phase_ns) phase_sum += p;
+  // Each field truncates its own ticks→ns conversion, so the sum can sit
+  // up to kPhases ns under the attributed total — never more.
+  EXPECT_NEAR(static_cast<double>(phase_sum), static_cast<double>(row.op_ns),
+              static_cast<double>(kPhases) + 1)
+      << "ring wait adds to both sides of the invariant";
+  const double total_share =
+      snap.share(OpKind::kFind, Phase::kRingWait) + snap.share(OpKind::kFind, Phase::kProbe) +
+      snap.share(OpKind::kFind, Phase::kPersist) + snap.share(OpKind::kFind, Phase::kFence) +
+      snap.share(OpKind::kFind, Phase::kMigrateHelp);
+  EXPECT_NEAR(total_share, 1.0, 0.01);
+  EXPECT_GT(snap.share(OpKind::kFind, Phase::kRingWait), 0.7);
+}
+
+TEST(SpanFile, RoundTripsRecordsAndBase) {
+  const std::string path = testing::TempDir() + "span_roundtrip.ghspans";
+  std::vector<SpanRecord> spans;
+  spans.push_back(make_record(1, 5000, 9000));
+  spans.push_back(make_record(2, 3000, 4000));  // min t_start → base
+  spans.back().kind = static_cast<u8>(SpanKind::kPhasePersist);
+  ASSERT_TRUE(write_spans_file(path, spans, 2.5));
+
+  const SpanFile f = read_spans_file(path);
+  ASSERT_TRUE(f.valid);
+  EXPECT_DOUBLE_EQ(f.ticks_per_ns, 2.5);
+  EXPECT_EQ(f.base_ticks, 3000u);
+  ASSERT_EQ(f.spans.size(), 2u);
+  EXPECT_EQ(f.spans[0].span_id, 1u);
+  EXPECT_EQ(f.spans[1].kind, static_cast<u8>(SpanKind::kPhasePersist));
+  std::remove(path.c_str());
+}
+
+TEST(SpanFile, RejectsMissingAndForeignFiles) {
+  EXPECT_FALSE(read_spans_file(testing::TempDir() + "no_such.ghspans").valid);
+  const std::string path = testing::TempDir() + "foreign.ghspans";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("definitely not a span file, much longer than a header", f);
+  std::fclose(f);
+  EXPECT_FALSE(read_spans_file(path).valid);
+  std::remove(path.c_str());
+}
+
+/// Extract every "ts" value from a rendered trace document, in order.
+std::vector<double> extract_ts(const std::string& json) {
+  std::vector<double> ts;
+  usize pos = 0;
+  while ((pos = json.find("\"ts\":", pos)) != std::string::npos) {
+    ts.push_back(std::strtod(json.c_str() + pos + 5, nullptr));
+    pos += 5;
+  }
+  return ts;
+}
+
+TEST(TraceRender, SortsEventsGloballyByTs) {
+  std::vector<TraceEvent> events;
+  events.push_back({30.0, "\"name\":\"c\",\"ph\":\"i\",\"pid\":1,\"s\":\"t\""});
+  events.push_back({10.0, "\"name\":\"a\",\"ph\":\"i\",\"pid\":1,\"s\":\"t\""});
+  events.push_back({20.0, "\"name\":\"b\",\"ph\":\"i\",\"pid\":1,\"s\":\"t\""});
+  const std::string json = render_trace_json(std::move(events));
+  const std::vector<double> ts = extract_ts(json);
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+}
+
+TEST(TraceRender, MergedFlightAndSpanEventsStaySorted) {
+  // Regression for gh_stats --flight --spans merging: flight records
+  // carry per-ring TSC skew, so a naive per-source append interleaves
+  // out-of-order. Build a scan whose rings are skewed against a span
+  // set that starts earlier, and check the merged render is sorted.
+  FlightScan scan;
+  scan.valid_header = true;
+  scan.ring_count = 2;
+  scan.slots_per_ring = 8;
+  const auto rec = [](u32 ring, u64 seqno, FlightPhase phase, u64 tsc) {
+    FlightRecordView v;
+    v.ring = ring;
+    v.kind = OpKind::kInsert;
+    v.phase = phase;
+    v.seqno = seqno;
+    v.tsc = tsc;
+    return v;
+  };
+  // Ring 0 sits late on the axis; ring 1 early: appended per-ring this
+  // is maximally out of order.
+  scan.records.push_back(rec(0, 1, FlightPhase::kStart, 900'000));
+  scan.records.push_back(rec(0, 1, FlightPhase::kFinish, 950'000));
+  scan.records.push_back(rec(1, 2, FlightPhase::kStart, 200'000));
+  scan.records.push_back(rec(1, 2, FlightPhase::kFinish, 260'000));
+  scan.records_valid = scan.records.size();
+
+  std::vector<SpanRecord> spans;
+  spans.push_back(make_record(1, 100'000, 980'000));  // earliest start of all
+  spans.push_back(make_record(2, 500'000, 600'000));
+
+  u64 base = ~u64{0};
+  for (const SpanRecord& s : spans) base = s.t_start < base ? s.t_start : base;
+  for (const FlightRecordView& r : scan.records) base = r.tsc < base ? r.tsc : base;
+
+  std::vector<TraceEvent> events;
+  append_flight_trace_events(scan, events, base);
+  append_span_trace_events(spans, /*ticks_per_ns=*/1.0, base, events);
+  const std::string json = render_trace_json(std::move(events));
+  const std::vector<double> ts = extract_ts(json);
+  ASSERT_GE(ts.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end())) << json;
+  EXPECT_NEAR(ts.front(), 0.0, 1e-6) << "shared base anchors the earliest event at 0";
+}
+
+}  // namespace
+}  // namespace gh::obs

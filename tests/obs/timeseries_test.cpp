@@ -1,0 +1,251 @@
+// obs/timeseries.hpp tests: the delta math (bucket-wise histogram
+// subtraction yields the exact per-window distribution), QPS and
+// phase-share windows, ring capping, last-window gauges, and the JSON
+// round-trip through parse_timeseries_json (the gh_top reader).
+#include "obs/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+
+namespace gh::obs {
+namespace {
+
+TEST(TimeSeries, FirstTickOnlySeedsTheBaseline) {
+  TimeSeries ts(8, 1000);
+  ts.tick(Snapshot{}, 1000);
+  EXPECT_TRUE(ts.windows().empty());
+  EXPECT_EQ(ts.gauges().windows, 0u);
+}
+
+TEST(TimeSeries, WindowCarriesOpsQpsAndOwnPercentiles) {
+  if (!kEnabled) GTEST_SKIP() << "GH_OBS_OFF build";
+  TimeSeries ts(8, 1000);
+  LatencyHistogram insert;
+  LatencyHistogram find;
+
+  // Interval 1: 100 fast inserts.
+  for (int i = 0; i < 100; ++i) insert.record(1000);
+  Snapshot cum;
+  cum.latency.insert = insert.snapshot();
+  cum.latency.find = find.snapshot();
+  ts.tick(cum, 1000);  // seed
+
+  // Interval 2: 40 fast inserts + 10 finds, one of them very slow. The
+  // window percentiles must reflect ONLY these 50 samples — the first
+  // interval's 100 fast ops are history.
+  for (int i = 0; i < 40; ++i) insert.record(1200);
+  for (int i = 0; i < 9; ++i) find.record(1500);
+  find.record(4'000'000);
+  cum.latency.insert = insert.snapshot();
+  cum.latency.find = find.snapshot();
+  ts.tick(cum, 3000);
+
+  const std::vector<TimeWindow> windows = ts.windows();
+  ASSERT_EQ(windows.size(), 1u);
+  const TimeWindow& w = windows[0];
+  EXPECT_EQ(w.t_ms, 3000u);
+  EXPECT_EQ(w.dur_ms, 2000u);
+  EXPECT_EQ(w.ops, 50u) << "ops = histogram-count delta summed over kinds";
+  EXPECT_DOUBLE_EQ(w.qps, 25.0);
+  EXPECT_GT(w.p50_ns, 0.0);
+  EXPECT_GT(w.p99_ns, w.p50_ns * 50)
+      << "the slow sample lands in this window's p99 even though the "
+         "cumulative histogram is dominated by fast ops";
+}
+
+TEST(TimeSeries, SteadyWindowPercentilesExcludeOldTail) {
+  if (!kEnabled) GTEST_SKIP() << "GH_OBS_OFF build";
+  // Inverse of the test above: a slow FIRST interval must not haunt the
+  // p99 of a later all-fast window (the cumulative histogram's tail
+  // sticks forever; the window's must not).
+  TimeSeries ts(8, 1000);
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(8'000'000);
+  Snapshot cum;
+  cum.latency.insert = h.snapshot();
+  ts.tick(cum, 1000);
+  for (int i = 0; i < 100; ++i) h.record(2000);
+  cum.latency.insert = h.snapshot();
+  ts.tick(cum, 2000);
+
+  const std::vector<TimeWindow> windows = ts.windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_GT(cum.latency.insert.p99_ns, windows[0].p99_ns * 100)
+      << "cumulative p99 keeps the old tail; the window sheds it";
+}
+
+TEST(TimeSeries, PhaseSharesComeFromDeltas) {
+  TimeSeries ts(8, 1000);
+  Snapshot cum;
+  ts.tick(cum, 0);  // seed at zero
+
+  PhaseSnapshot::Row& row = cum.phases.rows[static_cast<usize>(OpKind::kInsert)];
+  row.samples = 10;
+  row.op_ns = 1000;
+  row.phase_ns[static_cast<usize>(Phase::kProbe)] = 750;
+  row.phase_ns[static_cast<usize>(Phase::kPersist)] = 250;
+  ts.tick(cum, 1000);
+
+  // Second window: the cumulative counters doubled but the delta is all
+  // fence time — the share must follow the delta, not the cumulative.
+  row.op_ns = 2000;
+  row.phase_ns[static_cast<usize>(Phase::kFence)] = 1000;
+  ts.tick(cum, 2000);
+
+  const std::vector<TimeWindow> windows = ts.windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(windows[0].phase_share[static_cast<usize>(Phase::kProbe)], 0.75);
+  EXPECT_DOUBLE_EQ(windows[0].phase_share[static_cast<usize>(Phase::kPersist)], 0.25);
+  EXPECT_DOUBLE_EQ(windows[1].phase_share[static_cast<usize>(Phase::kFence)], 1.0);
+  EXPECT_DOUBLE_EQ(windows[1].phase_share[static_cast<usize>(Phase::kProbe)], 0.0);
+}
+
+TEST(TimeSeries, MigrationAndLoadGaugesSampledAtWindowEnd) {
+  TimeSeries ts(8, 1000);
+  Snapshot cum;
+  ts.tick(cum, 0);
+  cum.migration.active = 1;
+  cum.migration.cursor = 37;
+  cum.migration.total_groups = 64;
+  cum.load_factor = 0.42;
+  ts.tick(cum, 1000);
+
+  const std::vector<TimeWindow> windows = ts.windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].mig_active, 1u);
+  EXPECT_EQ(windows[0].mig_cursor, 37u);
+  EXPECT_EQ(windows[0].mig_total, 64u);
+  EXPECT_DOUBLE_EQ(windows[0].load_factor, 0.42);
+}
+
+TEST(TimeSeries, RingKeepsOnlyTheNewestWindows) {
+  TimeSeries ts(3, 1000);
+  Snapshot cum;
+  ts.tick(cum, 0);
+  for (u64 t = 1; t <= 5; ++t) ts.tick(cum, t * 1000);
+
+  const std::vector<TimeWindow> windows = ts.windows();
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].t_ms, 3000u) << "oldest surviving window";
+  EXPECT_EQ(windows[2].t_ms, 5000u) << "newest window last";
+  EXPECT_EQ(ts.gauges().windows, 3u);
+}
+
+TEST(TimeSeries, GaugesReflectNewestWindowAndMergeIdempotently) {
+  if (!kEnabled) GTEST_SKIP() << "GH_OBS_OFF build";
+  TimeSeries ts(4, 500);
+  LatencyHistogram h;
+  Snapshot cum;
+  ts.tick(cum, 0);
+  for (int i = 0; i < 50; ++i) h.record(3000);
+  cum.latency.find = h.snapshot();
+  ts.tick(cum, 1000);
+
+  const TimeseriesGauges g = ts.gauges();
+  EXPECT_EQ(g.windows, 1u);
+  EXPECT_EQ(g.interval_ms, 500u);
+  EXPECT_EQ(g.last_window_ms, 1000u);
+  EXPECT_DOUBLE_EQ(g.last_qps, 50.0);
+  EXPECT_GT(g.last_p99_ns, 0.0);
+
+  // Max-merge: absorbing the same gauges twice changes nothing, so a
+  // Snapshot aggregation that touches several shard snapshots (only one
+  // of which owns a ticker) cannot double-count.
+  TimeseriesGauges merged = g;
+  merged += g;
+  EXPECT_EQ(merged.windows, g.windows);
+  EXPECT_EQ(merged.last_window_ms, g.last_window_ms);
+  EXPECT_DOUBLE_EQ(merged.last_qps, g.last_qps);
+  EXPECT_DOUBLE_EQ(merged.last_p99_ns, g.last_p99_ns);
+}
+
+TEST(TimeSeries, ResetForgetsBaselineAndWindows) {
+  TimeSeries ts(4, 1000);
+  Snapshot cum;
+  ts.tick(cum, 0);
+  ts.tick(cum, 1000);
+  ASSERT_EQ(ts.windows().size(), 1u);
+  ts.reset();
+  EXPECT_TRUE(ts.windows().empty());
+  ts.tick(cum, 5000);  // seeds again, no window from the stale baseline
+  EXPECT_TRUE(ts.windows().empty());
+}
+
+TEST(TimeseriesJson, RoundTripsThroughTheGhTopReader) {
+  TimeSeries ts(8, 1000);
+  Snapshot cum;
+  ts.tick(cum, 0);
+  PhaseSnapshot::Row& row = cum.phases.rows[static_cast<usize>(OpKind::kFind)];
+  row.op_ns = 100;
+  row.phase_ns[static_cast<usize>(Phase::kRingWait)] = 60;
+  row.phase_ns[static_cast<usize>(Phase::kProbe)] = 40;
+  cum.migration.active = 1;
+  cum.migration.cursor = 12;
+  cum.migration.total_groups = 99;
+  cum.load_factor = 0.5;
+  ts.tick(cum, 1000);
+  ts.tick(cum, 2000);
+
+  const std::string json = export_timeseries_json(ts);
+  EXPECT_NE(json.find(kTimeseriesSchema), std::string::npos);
+
+  std::vector<TimeWindow> parsed;
+  ASSERT_TRUE(parse_timeseries_json(json, &parsed));
+  const std::vector<TimeWindow> original = ts.windows();
+  ASSERT_EQ(parsed.size(), original.size());
+  for (usize i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].t_ms, original[i].t_ms);
+    EXPECT_EQ(parsed[i].dur_ms, original[i].dur_ms);
+    EXPECT_EQ(parsed[i].ops, original[i].ops);
+    EXPECT_NEAR(parsed[i].qps, original[i].qps, 0.001);
+    EXPECT_NEAR(parsed[i].p99_ns, original[i].p99_ns, 0.001);
+    for (usize p = 0; p < kPhases; ++p) {
+      EXPECT_NEAR(parsed[i].phase_share[p], original[i].phase_share[p], 0.001);
+    }
+    EXPECT_EQ(parsed[i].mig_active, original[i].mig_active);
+    EXPECT_EQ(parsed[i].mig_cursor, original[i].mig_cursor);
+    EXPECT_EQ(parsed[i].mig_total, original[i].mig_total);
+    EXPECT_NEAR(parsed[i].load_factor, original[i].load_factor, 0.001);
+  }
+
+  // The reader also accepts the JSON embedded inside a larger document
+  // (the gh_serve stats file wraps it under a "timeseries" key).
+  const std::string wrapped =
+      "{\"schema\":\"gh.obs.stats.v1\",\"snapshot\":{},\"timeseries\":" + json + "}";
+  parsed.clear();
+  ASSERT_TRUE(parse_timeseries_json(wrapped, &parsed));
+  EXPECT_EQ(parsed.size(), original.size());
+}
+
+TEST(TimeseriesJson, ParserRejectsDocumentsWithoutWindows) {
+  std::vector<TimeWindow> parsed;
+  EXPECT_FALSE(parse_timeseries_json("", &parsed));
+  EXPECT_FALSE(parse_timeseries_json("{\"schema\":\"gh.obs.timeseries.v1\"}", &parsed));
+  EXPECT_FALSE(parse_timeseries_json("not json at all", &parsed));
+  // An empty windows array is well-formed: zero windows, success.
+  EXPECT_TRUE(parse_timeseries_json("{\"windows\":[]}", &parsed));
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(TimeseriesPrometheus, ExposesNewestWindowGauges) {
+  TimeSeries ts(4, 1000);
+  Snapshot cum;
+  ts.tick(cum, 0);
+  cum.migration.cursor = 7;
+  ts.tick(cum, 1000);
+
+  const std::string prom = export_timeseries_prometheus(ts);
+  EXPECT_NE(prom.find("gh_window_qps "), std::string::npos);
+  EXPECT_NE(prom.find("gh_window_p99_ns "), std::string::npos);
+  EXPECT_NE(prom.find("gh_window_phase_share{phase=\"ring_wait\"}"), std::string::npos);
+  EXPECT_NE(prom.find("gh_window_phase_share{phase=\"persist\"}"), std::string::npos);
+  EXPECT_NE(prom.find("gh_window_mig_cursor 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gh::obs

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "service/service.hpp"
 #include "util/rng.hpp"
 
@@ -296,6 +297,124 @@ TEST(ShardService, NaiveAndBatchedProduceIdenticalResponses) {
   batched.stop();
   naive.stop();
   EXPECT_EQ(batched.snapshot().size, naive.snapshot().size);
+}
+
+TEST(ShardService, FullTracingEmitsLinkedRequestRingWaitVisitAndOpSpans) {
+  if (!obs::kEnabled) GTEST_SKIP() << "GH_OBS_OFF build";
+  // trace_mode=kFull stamps every batch; after the run the global span
+  // rings must contain complete request trees: request (root, parent 0)
+  // → ring_wait + shard_visit children → op spans under the visit.
+  obs::SpanCollector& collector = obs::SpanCollector::global();
+  (void)collector.drain_all();  // discard anything earlier tests left behind
+
+  ServiceOptions opts = small_service_options();
+  opts.trace_mode = obs::TraceMode::kFull;
+  opts.map_options.latency_sample_shift = 0;  // phases populate densely
+  ShardServer server(opts);
+  Xoshiro256 rng(3);
+  Batch batch;
+  for (u32 round = 0; round < 50; ++round) {
+    batch.clear();
+    for (u32 i = 0; i < 16; ++i) {
+      const u64 k = 1 + rng.next_below(500);
+      switch (rng.next_below(3)) {
+        case 0: batch.requests.push_back(Request{Op::kGet, k, 0}); break;
+        case 1: batch.requests.push_back(Request{Op::kPut, k, k}); break;
+        default: batch.requests.push_back(Request{Op::kErase, k, 0}); break;
+      }
+    }
+    server.execute(batch);
+  }
+  server.stop();
+  const std::vector<obs::SpanRecord> spans = collector.drain_all();
+  ASSERT_FALSE(spans.empty());
+
+  // Index the forest. Roots are kRequest spans with parent 0.
+  std::unordered_map<u32, const obs::SpanRecord*> by_id;
+  u64 requests = 0, ring_waits = 0, visits = 0, ops = 0;
+  for (const obs::SpanRecord& s : spans) {
+    EXPECT_NE(s.trace_id, 0u);
+    EXPECT_GE(s.t_end, s.t_start);
+    EXPECT_LT(s.kind, obs::kSpanKinds);
+    by_id[s.span_id] = &s;
+    switch (static_cast<obs::SpanKind>(s.kind)) {
+      case obs::SpanKind::kRequest:
+        EXPECT_EQ(s.parent_id, 0u) << "request spans are roots";
+        ++requests;
+        break;
+      case obs::SpanKind::kRingWait: ++ring_waits; break;
+      case obs::SpanKind::kShardVisit: ++visits; break;
+      case obs::SpanKind::kOpInsert:
+      case obs::SpanKind::kOpFind:
+      case obs::SpanKind::kOpErase: ++ops; break;
+      default: break;
+    }
+  }
+  EXPECT_GT(requests, 0u);
+  EXPECT_GT(ring_waits, 0u);
+  EXPECT_GT(visits, 0u);
+  EXPECT_GT(ops, 0u);
+
+  // Linkage: every surviving non-root span whose parent also survived
+  // must agree on trace_id, and the child kinds sit where the
+  // propagation puts them (ring_wait/visit under request, ops under a
+  // visit, phase children under an op).
+  u64 linked = 0;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.parent_id == 0) continue;
+    const auto it = by_id.find(s.parent_id);
+    if (it == by_id.end()) continue;  // parent overwritten in the ring
+    const obs::SpanRecord& parent = *it->second;
+    EXPECT_EQ(parent.trace_id, s.trace_id)
+        << "child " << span_kind_name(static_cast<obs::SpanKind>(s.kind))
+        << " crossed traces";
+    switch (static_cast<obs::SpanKind>(s.kind)) {
+      case obs::SpanKind::kRingWait:
+      case obs::SpanKind::kShardVisit:
+      case obs::SpanKind::kWake:
+        EXPECT_EQ(parent.kind, static_cast<u8>(obs::SpanKind::kRequest));
+        break;
+      case obs::SpanKind::kOpInsert:
+      case obs::SpanKind::kOpFind:
+      case obs::SpanKind::kOpErase:
+      case obs::SpanKind::kOpMigrate:
+      case obs::SpanKind::kOpOther:
+        EXPECT_EQ(parent.kind, static_cast<u8>(obs::SpanKind::kShardVisit));
+        break;
+      case obs::SpanKind::kPhaseProbe:
+      case obs::SpanKind::kPhasePersist:
+      case obs::SpanKind::kPhaseFence:
+      case obs::SpanKind::kPhaseMigrateHelp:
+        EXPECT_GE(parent.kind, static_cast<u8>(obs::SpanKind::kOpInsert));
+        EXPECT_LE(parent.kind, static_cast<u8>(obs::SpanKind::kOpOther));
+        break;
+      default: break;
+    }
+    ++linked;
+  }
+  EXPECT_GT(linked, 0u) << "no parent-child pair survived the rings";
+
+  // The phase accumulators saw the same run: attributed time exists and
+  // the ring-wait bucket (worker-side attribution) is populated.
+  const obs::Snapshot snap = server.snapshot();
+  EXPECT_GT(snap.phases.total_op_ns(), 0u);
+  u64 ring_wait_ns = 0;
+  for (const auto& row : snap.phases.rows) {
+    ring_wait_ns += row.phase_ns[static_cast<usize>(obs::Phase::kRingWait)];
+  }
+  EXPECT_GT(ring_wait_ns, 0u);
+}
+
+TEST(ShardService, TracingOffEmitsNothing) {
+  obs::SpanCollector& collector = obs::SpanCollector::global();
+  (void)collector.drain_all();
+
+  ShardServer server(small_service_options());  // trace_mode defaults to kOff
+  Batch batch;
+  for (u64 k = 1; k <= 500; ++k) batch.requests.push_back(Request{Op::kPut, k, k});
+  server.execute(batch);
+  server.stop();
+  EXPECT_TRUE(collector.drain_all().empty());
 }
 
 }  // namespace

@@ -3,7 +3,8 @@
 // exercise end to end).
 //
 //   gh_stats <file.gh> [--format=json|prom|text] [--registry]
-//   gh_stats --flight <file.flight> [--trace=out.json]
+//   gh_stats --flight <file.flight> [--spans=file.spans] [--trace=out.json]
+//   gh_stats --spans=<file.spans> [--trace=out.json]
 //   gh_stats --selftest [--format=json|prom|text] [--keep]
 //
 // --registry additionally dumps the process-wide MetricsRegistry (named
@@ -12,6 +13,11 @@
 // --flight scans a flight-recorder sidecar offline (no map open): prints
 // the crash-forensics timeline, and with --trace=<out> also writes a
 // Chrome trace-event JSON (chrome://tracing, Perfetto) of the records.
+//
+// --spans reads a span file written by gh_serve --spans-out. Combined
+// with --flight, both sources land in ONE trace JSON on a shared time
+// axis (they record the same TSC domain), so a request's spans line up
+// against the map-level flight records under chrome://tracing.
 //
 // --selftest is the CI smoke path: build a temporary map, write through
 // it, close, reopen, snapshot, export, and validate the JSON against the
@@ -31,6 +37,7 @@
 #include "obs/export.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/snapshot.hpp"
+#include "obs/span.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 
@@ -108,6 +115,22 @@ void print_text(const gh::obs::Snapshot& s) {
   print_histogram_row("recover", s.latency.recover);
   print_histogram_row("compact", s.latency.compact);
   print_histogram_row("migrate", s.latency.migrate);
+  bool phases_header = false;
+  for (gh::usize k = 0; k < gh::obs::kOpKinds; ++k) {
+    const auto& row = s.phases.rows[k];
+    if (row.samples == 0 && row.op_ns == 0) continue;
+    if (!phases_header) {
+      std::printf("phases          (share of attributed time per op kind)\n");
+      phases_header = true;
+    }
+    const auto kind = static_cast<gh::obs::OpKind>(k);
+    std::printf("  %-8s", gh::obs::op_kind_name(kind));
+    for (gh::usize p = 0; p < gh::obs::kPhases; ++p) {
+      std::printf(" %s=%.1f%%", gh::obs::phase_name(static_cast<gh::obs::Phase>(p)),
+                  100.0 * s.phases.share(kind, static_cast<gh::obs::Phase>(p)));
+    }
+    std::printf("\n");
+  }
 }
 
 int emit(const gh::obs::Snapshot& s, const std::string& format, bool registry) {
@@ -143,10 +166,51 @@ int dump(const std::string& path, const std::string& format, bool registry) {
   return emit(map.snapshot(), format, registry);
 }
 
+int write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "gh_stats: cannot write %s\n", path.c_str());
+    return 2;
+  }
+  out << body;
+  return 0;
+}
+
+/// Spans-only view: summary to stdout, optional Chrome trace JSON.
+int dump_spans(const std::string& spans_path, const std::string& trace_path) {
+  const gh::obs::SpanFile f = gh::obs::read_spans_file(spans_path);
+  if (!f.valid) {
+    std::fprintf(stderr, "gh_stats: %s is not a valid span file\n", spans_path.c_str());
+    return 1;
+  }
+  std::printf("spans: %zu records, base_ticks=%llu, ticks_per_ns=%.3f\n",
+              f.spans.size(), static_cast<unsigned long long>(f.base_ticks),
+              f.ticks_per_ns);
+  gh::u64 per_kind[gh::obs::kSpanKinds] = {};
+  for (const gh::obs::SpanRecord& s : f.spans) {
+    if (s.kind < gh::obs::kSpanKinds) per_kind[s.kind]++;
+  }
+  for (gh::usize k = 0; k < gh::obs::kSpanKinds; ++k) {
+    if (per_kind[k] == 0) continue;
+    std::printf("  %-12s %s\n",
+                gh::obs::span_kind_name(static_cast<gh::obs::SpanKind>(k)),
+                gh::format_count(per_kind[k]).c_str());
+  }
+  if (trace_path.empty()) return 0;
+  std::vector<gh::obs::TraceEvent> events;
+  gh::obs::append_span_trace_events(f.spans, f.ticks_per_ns, f.base_ticks, events);
+  const int rc = write_text_file(trace_path, gh::obs::render_trace_json(std::move(events)));
+  if (rc == 0) std::fprintf(stderr, "gh_stats: wrote trace to %s\n", trace_path.c_str());
+  return rc;
+}
+
 /// Offline flight-sidecar scan: timeline to stdout, optional Chrome
 /// trace JSON to `trace_path`. Works without opening (or consuming) the
-/// map the sidecar belongs to.
-int dump_flight(const std::string& path, const std::string& trace_path) {
+/// map the sidecar belongs to. A non-empty `spans_path` merges that span
+/// file's records into the same trace on a shared time axis (both
+/// sources record raw TSC).
+int dump_flight(const std::string& path, const std::string& trace_path,
+                const std::string& spans_path = "") {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "gh_stats: cannot read %s\n", path.c_str());
@@ -162,13 +226,32 @@ int dump_flight(const std::string& path, const std::string& trace_path) {
     return 1;
   }
   std::printf("%s", gh::obs::flight_timeline_text(scan).c_str());
-  if (!trace_path.empty()) {
-    std::ofstream out(trace_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "gh_stats: cannot write %s\n", trace_path.c_str());
-      return 2;
+  gh::obs::SpanFile spans;
+  if (!spans_path.empty()) {
+    spans = gh::obs::read_spans_file(spans_path);
+    if (!spans.valid) {
+      std::fprintf(stderr, "gh_stats: %s is not a valid span file\n", spans_path.c_str());
+      return 1;
     }
-    out << gh::obs::flight_trace_json(scan);
+    std::printf("spans: merging %zu records from %s\n", spans.spans.size(),
+                spans_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::vector<gh::obs::TraceEvent> events;
+    if (spans.valid && !spans.spans.empty()) {
+      // Anchor both sources at the earliest tick either one saw.
+      gh::u64 base = spans.base_ticks;
+      for (const gh::obs::FlightRecordView& r : scan.records) {
+        if (base == 0 || r.tsc < base) base = r.tsc;
+      }
+      gh::obs::append_flight_trace_events(scan, events, base);
+      gh::obs::append_span_trace_events(spans.spans, spans.ticks_per_ns, base, events);
+    } else {
+      gh::obs::append_flight_trace_events(scan, events);
+    }
+    const int rc =
+        write_text_file(trace_path, gh::obs::render_trace_json(std::move(events)));
+    if (rc != 0) return rc;
     std::fprintf(stderr, "gh_stats: wrote trace to %s\n", trace_path.c_str());
   }
   return 0;
@@ -315,15 +398,22 @@ int main(int argc, char** argv) {
         fpath = cli.positional().empty() ? "" : cli.positional().front();
       }
       if (fpath.empty()) {
-        std::fprintf(stderr, "usage: gh_stats --flight <file.flight> [--trace=out.json]\n");
+        std::fprintf(stderr,
+                     "usage: gh_stats --flight <file.flight> [--spans=file.spans] "
+                     "[--trace=out.json]\n");
         return 2;
       }
-      return dump_flight(fpath, cli.get_or("trace", ""));
+      return dump_flight(fpath, cli.get_or("trace", ""), cli.get_or("spans", ""));
+    }
+    if (cli.has("spans")) {
+      return dump_spans(cli.get_or("spans", ""), cli.get_or("trace", ""));
     }
     if (cli.positional().empty()) {
       std::fprintf(stderr,
                    "usage: gh_stats <file.gh> [--format=json|prom|text] [--registry]\n"
-                   "       gh_stats --flight <file.flight> [--trace=out.json]\n"
+                   "       gh_stats --flight <file.flight> [--spans=file.spans] "
+                   "[--trace=out.json]\n"
+                   "       gh_stats --spans=<file.spans> [--trace=out.json]\n"
                    "       gh_stats --selftest [--format=...] [--keep]\n");
       return 2;
     }

@@ -1,0 +1,146 @@
+// gh_top — live dashboard over a running gh_serve.
+//
+// Attaches to the stats file gh_serve rewrites every --stats-interval-ms
+// (--stats-file=PATH on the serve side), parses the embedded
+// gh.obs.timeseries.v1 windows, and renders a refreshing terminal view:
+// QPS / p99 / phase-share / migration-cursor sparklines over the buffered
+// windows plus the newest window's numbers. No shared memory, no
+// sockets: the atomically-renamed file IS the transport, so gh_top can
+// run as a different user, after the server died (last file wins), or on
+// a copied file.
+//
+//   gh_top --stats=PATH [--interval-ms=500] [--once] [--iterations=N]
+//
+// --once renders a single frame without ANSI clearing and prints a
+// machine-greppable `qps=<value>` line — the CI smoke asserts a nonzero
+// QPS through exactly that. Exit codes: 0 ok, 1 no/invalid stats file.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+using gh::u64;
+using gh::usize;
+using gh::obs::TimeWindow;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Unicode block sparkline of the series, scaled to its own max.
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  double max = 0;
+  for (double v : values) max = v > max ? v : max;
+  std::string out;
+  for (double v : values) {
+    if (max <= 0) {
+      out += kBlocks[0];
+      continue;
+    }
+    int idx = static_cast<int>(v / max * 7.0 + 0.5);
+    if (idx < 0) idx = 0;
+    if (idx > 7) idx = 7;
+    out += kBlocks[idx];
+  }
+  return out;
+}
+
+void render(const std::vector<TimeWindow>& windows, bool ansi) {
+  if (ansi) std::printf("\x1b[H\x1b[2J");
+  const TimeWindow& last = windows.back();
+  std::printf("gh_top — %zu windows buffered, newest %llu ms span\n\n",
+              windows.size(), static_cast<unsigned long long>(last.dur_ms));
+
+  std::vector<double> qps, p99, mig;
+  std::vector<double> shares[gh::obs::kPhases];
+  for (const TimeWindow& w : windows) {
+    qps.push_back(w.qps);
+    p99.push_back(w.p99_ns);
+    mig.push_back(w.mig_total > 0
+                      ? static_cast<double>(w.mig_cursor) / static_cast<double>(w.mig_total)
+                      : 0);
+    for (usize p = 0; p < gh::obs::kPhases; ++p) shares[p].push_back(w.phase_share[p]);
+  }
+
+  std::printf("  qps   %s  %s\n", sparkline(qps).c_str(),
+              gh::format_double(last.qps, 0).c_str());
+  std::printf("  p99   %s  %s\n", sparkline(p99).c_str(),
+              gh::format_ns(last.p99_ns).c_str());
+  std::printf("  p50   %*s  %s\n", static_cast<int>(windows.size()), "",
+              gh::format_ns(last.p50_ns).c_str());
+  std::printf("\n  phase shares (newest window)\n");
+  for (usize p = 0; p < gh::obs::kPhases; ++p) {
+    std::printf("  %-12s %s  %5.1f%%\n",
+                gh::obs::phase_name(static_cast<gh::obs::Phase>(p)),
+                sparkline(shares[p]).c_str(), 100.0 * last.phase_share[p]);
+  }
+  if (last.mig_active != 0 || last.mig_total != 0) {
+    std::printf("\n  migration  %s  cursor %llu / %llu groups%s\n",
+                sparkline(mig).c_str(),
+                static_cast<unsigned long long>(last.mig_cursor),
+                static_cast<unsigned long long>(last.mig_total),
+                last.mig_active != 0 ? "  ACTIVE" : "");
+  }
+  std::printf("\n  load %.3f  ops %llu\n", last.load_factor,
+              static_cast<unsigned long long>(last.ops));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const gh::Cli cli(argc, argv);
+  std::string stats = cli.get_or("stats", "");
+  if (stats.empty() && !cli.positional().empty()) stats = cli.positional().front();
+  if (stats.empty()) {
+    std::fprintf(stderr,
+                 "usage: gh_top --stats=PATH [--interval-ms=500] [--once] "
+                 "[--iterations=N]\n");
+    return 1;
+  }
+  const u64 interval_ms = cli.get_u64("interval-ms", 500);
+  const bool once = cli.has("once");
+  // 0 = run until the stats file disappears (or forever while it lives).
+  const u64 iterations = cli.get_u64("iterations", once ? 1 : 0);
+
+  u64 frame = 0;
+  u64 misses = 0;
+  for (;;) {
+    const std::string body = read_file(stats);
+    std::vector<TimeWindow> windows;
+    const bool parsed = !body.empty() && gh::obs::parse_timeseries_json(body, &windows);
+    if (parsed && !windows.empty()) {
+      misses = 0;
+      render(windows, /*ansi=*/!once);
+      if (once) {
+        std::printf("qps=%s\n", gh::format_double(windows.back().qps, 0).c_str());
+      }
+      ++frame;
+    } else {
+      if (once) {
+        std::fprintf(stderr, "gh_top: no parsable timeseries in %s\n", stats.c_str());
+        return 1;
+      }
+      // Live mode tolerates a transient miss (server still warming up or
+      // mid-rename) but gives up once the file stays gone.
+      if (++misses > 20) {
+        std::fprintf(stderr, "gh_top: giving up on %s\n", stats.c_str());
+        return 1;
+      }
+    }
+    if (iterations != 0 && frame >= iterations) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
